@@ -1,0 +1,348 @@
+(** kgmodel — the KGModel command-line front end.
+
+    Subcommands mirror the framework's software modules (Sec. 2.2):
+    - [validate]  : parse and validate a GSL design file (KGSE);
+    - [render]    : Γ_SM rendering to DOT or ASCII;
+    - [translate] : SSST translation to a target model, printing the
+                    schema and its enforcement artifact;
+    - [compile]   : MTV compilation of a MetaLog file to Vadalog;
+    - [reason]    : run a Vadalog program from a file;
+    - [stats]     : EXP-1 synthetic-topology table;
+    - [demo]      : end-to-end Algorithm 2 on a synthetic Company KG;
+    - [diff]      : model-independent schema evolution diff;
+    - [check]     : instance conformance checking;
+    - [figures]   : regenerate the paper's figure artifacts. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle f =
+  try f () with
+  | Kgm_common.Kgm_error.Error e ->
+      Format.eprintf "error: %a@." Kgm_common.Kgm_error.pp e;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let gsl_file =
+  let doc = "GSL design file (textual Graph Schema Language)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let validate_cmd =
+  let run file =
+    handle (fun () ->
+        let s = Kgmodel.Gsl.parse (read_file file) in
+        match Kgmodel.Supermodel.validate s with
+        | Ok () ->
+            Format.printf "%s: valid super-schema@." s.Kgmodel.Supermodel.s_name;
+            List.iter
+              (fun (k, v) -> Format.printf "  %-28s %d@." k v)
+              (Kgmodel.Supermodel.stats s)
+        | Error errs ->
+            List.iter (Format.printf "invalid: %s@.") errs;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Parse and validate a GSL design file.")
+    Term.(const run $ gsl_file)
+
+let render_cmd =
+  let format =
+    Arg.(value & opt (enum [ ("dot", `Dot); ("ascii", `Ascii); ("legend", `Legend) ])
+           `Dot
+         & info [ "format"; "f" ] ~doc:"Output format: dot, ascii or legend.")
+  in
+  let run file fmt =
+    handle (fun () ->
+        match fmt with
+        | `Legend -> print_string (Kgmodel.Render.grapheme_legend ())
+        | `Dot ->
+            let s = Kgmodel.Gsl.parse_validated (read_file file) in
+            print_string (Kgmodel.Render.to_dot s)
+        | `Ascii ->
+            let s = Kgmodel.Gsl.parse_validated (read_file file) in
+            print_string (Kgmodel.Render.to_ascii s))
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a GSL diagram with the Γ_SM graphemes.")
+    Term.(const run $ gsl_file $ format)
+
+let translate_cmd =
+  let target =
+    Arg.(value
+         & opt (enum [ ("pg", `Pg); ("relational", `Rel); ("rdfs", `Rdfs); ("csv", `Csv) ])
+             `Pg
+         & info [ "target"; "t" ] ~doc:"Target model: pg, relational, rdfs, csv.")
+  in
+  let strategy =
+    Arg.(value & opt (some string) None
+         & info [ "strategy"; "s" ] ~doc:"Implementation strategy (Algorithm 1, line 2).")
+  in
+  let run file target strategy =
+    handle (fun () ->
+        let s = Kgmodel.Gsl.parse_validated (read_file file) in
+        match target with
+        | `Pg ->
+            let dict = Kgmodel.Dictionary.create () in
+            let sid = Kgmodel.Dictionary.store dict s in
+            let mapping = Kgm_targets.Pg_model.mapping ?strategy () in
+            let outcome = Kgmodel.Ssst.translate dict mapping sid in
+            let schema =
+              Kgm_targets.Pg_model.decode dict outcome.Kgmodel.Ssst.target_oid
+            in
+            Format.printf "%a@." Kgm_targets.Pg_model.pp schema;
+            print_string "-- enforcement script --\n";
+            print_string (Kgm_targets.Pg_model.enforcement_script schema)
+        | `Rel ->
+            let dict = Kgmodel.Dictionary.create () in
+            let sid = Kgmodel.Dictionary.store dict s in
+            let mapping = Kgm_targets.Relational_model.mapping ?strategy () in
+            let outcome = Kgmodel.Ssst.translate dict mapping sid in
+            let schema =
+              Kgm_targets.Relational_model.decode dict outcome.Kgmodel.Ssst.target_oid
+            in
+            print_string (Kgm_targets.Relational_model.ddl schema)
+        | `Rdfs ->
+            let schema = Kgm_targets.Triple_model.translate_native s in
+            print_string (Kgm_targets.Triple_model.to_rdfs schema)
+        | `Csv ->
+            let bundle = Kgm_targets.Csv_model.translate_native s in
+            print_string bundle.Kgm_targets.Csv_model.manifest)
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"SSST: translate a super-schema into a target model (Algorithm 1).")
+    Term.(const run $ gsl_file $ target $ strategy)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"MetaLog source file.")
+  in
+  let run file =
+    handle (fun () ->
+        let prog = Kgm_metalog.Mparser.parse_program (read_file file) in
+        let { Kgm_metalog.Mtv.program; _ } = Kgm_metalog.Mtv.translate prog in
+        print_string (Kgm_vadalog.Rule.program_to_string program))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"MTV: compile MetaLog to Vadalog (Sec. 4).")
+    Term.(const run $ file)
+
+let reason_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Vadalog program file (facts inline).")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query"; "q" ] ~doc:"Predicate whose facts to print.")
+  in
+  let run file query =
+    handle (fun () ->
+        let program = Kgm_vadalog.Parser.parse_program (read_file file) in
+        let db = Kgm_vadalog.Database.create () in
+        List.iter
+          (fun (pred, n) -> Format.printf "%% @input %s: %d facts@." pred n)
+          (Kgm_vadalog.Io_sources.load_inputs program db);
+        let stats = Kgm_vadalog.Engine.run program db in
+        Format.printf "%% %d new facts in %d rounds (%.3fs)@."
+          stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
+          stats.Kgm_vadalog.Engine.elapsed_s;
+        match query with
+        | Some pred ->
+            List.iter
+              (fun fact ->
+                Format.printf "%s(%s).@." pred
+                  (String.concat ", "
+                     (Array.to_list (Array.map Kgm_common.Value.to_string fact))))
+              (Kgm_vadalog.Engine.query db pred)
+        | None ->
+            List.iter
+              (fun pred -> Format.printf "%s: %d facts@." pred
+                  (List.length (Kgm_vadalog.Database.facts db pred)))
+              (Kgm_vadalog.Database.predicates db))
+  in
+  Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
+    Term.(const run $ file $ query)
+
+let stats_cmd =
+  let n =
+    Arg.(value & opt int 20_000 & info [ "n" ] ~doc:"Network size (vertices).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let run n seed =
+    handle (fun () ->
+        let o = Kgm_finance.Generator.generate ~seed ~n () in
+        let s = Kgm_finance.Fin_stats.compute o.Kgm_finance.Generator.graph in
+        Format.printf "%a" Kgm_finance.Fin_stats.pp s)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Topology statistics of a synthetic shareholding graph (Sec. 2.1).")
+    Term.(const run $ n $ seed)
+
+let demo_cmd =
+  let n =
+    Arg.(value & opt int 400 & info [ "n" ] ~doc:"Synthetic network size.")
+  in
+  let run n =
+    handle (fun () ->
+        let schema = Kgm_finance.Company_schema.load () in
+        let dict = Kgmodel.Dictionary.create () in
+        let sid = Kgmodel.Dictionary.store dict schema in
+        let inst = Kgmodel.Instances.create dict in
+        let o = Kgm_finance.Generator.generate ~n () in
+        let data = Kgm_finance.Generator.to_company_graph o in
+        Format.printf "data: %a@." Kgm_graphdb.Pgraph.pp_summary data;
+        let report =
+          Kgmodel.Materialize.materialize ~instances:inst ~schema
+            ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
+        in
+        Format.printf
+          "materialized: load %.3fs, reason %.3fs, flush %.3fs@."
+          report.Kgmodel.Materialize.load_s report.Kgmodel.Materialize.reason_s
+          report.Kgmodel.Materialize.flush_s;
+        Format.printf "derived: %d nodes, %d edges, %d attribute values@."
+          report.Kgmodel.Materialize.derived_nodes
+          report.Kgmodel.Materialize.derived_edges
+          report.Kgmodel.Materialize.derived_attrs;
+        Format.printf "after: %a@." Kgm_graphdb.Pgraph.pp_summary data)
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"End-to-end Algorithm 2 on a synthetic Company KG.")
+    Term.(const run $ n)
+
+let diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Previous GSL design.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Evolved GSL design.")
+  in
+  let run old_file new_file =
+    handle (fun () ->
+        let a = Kgmodel.Gsl.parse_validated (read_file old_file) in
+        let b = Kgmodel.Gsl.parse_validated (read_file new_file) in
+        let d = Kgmodel.Schema_diff.diff a b in
+        Format.printf "%a" Kgmodel.Schema_diff.pp d;
+        match Kgmodel.Schema_diff.migration_hints d with
+        | [] -> ()
+        | hints ->
+            Format.printf "@.migration hints:@.";
+            List.iter (Format.printf "  - %s@.") hints)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Model-independent diff of two super-schemas, with migration hints.")
+    Term.(const run $ old_file $ new_file)
+
+let check_cmd =
+  let schema_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SCHEMA" ~doc:"GSL design file.")
+  in
+  let n =
+    Arg.(value & opt int 300
+         & info [ "n" ] ~doc:"Size of the synthetic Company-KG instance to check \
+                              (demo mode; the API checks arbitrary graphs).")
+  in
+  let run schema_file n =
+    handle (fun () ->
+        let schema = Kgmodel.Gsl.parse_validated (read_file schema_file) in
+        (* demo: conformance-check a synthetic instance of the company KG
+           when the design is compatible, otherwise just report the
+           checker on an empty instance *)
+        let g =
+          if schema.Kgmodel.Supermodel.s_name = "company_kg" then
+            Kgm_finance.Generator.to_company_graph
+              (Kgm_finance.Generator.generate ~n ())
+          else Kgm_graphdb.Pgraph.create ()
+        in
+        match Kgmodel.Conformance.check ~reject_intensional:true schema g with
+        | [] ->
+            Format.printf "instance conforms (%d nodes, %d edges)@."
+              (Kgm_graphdb.Pgraph.node_count g)
+              (Kgm_graphdb.Pgraph.edge_count g)
+        | vs ->
+            List.iter (Format.printf "%a@." Kgmodel.Conformance.pp_violation) vs;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Conformance-check an instance against a super-schema.")
+    Term.(const run $ schema_file $ n)
+
+let figures_cmd =
+  let out_dir =
+    Arg.(value & opt string "figures"
+         & info [ "out"; "o" ] ~doc:"Output directory for the figure artifacts.")
+  in
+  let run out_dir =
+    handle (fun () ->
+        if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+        let write name content =
+          let oc = open_out (Filename.concat out_dir name) in
+          output_string oc content;
+          close_out oc;
+          Format.printf "wrote %s@." (Filename.concat out_dir name)
+        in
+        (* Fig. 2: the meta-model *)
+        write "fig2_meta_model.dot" (Kgmodel.Metamodel.render_gamma_mm ());
+        (* Fig. 3: the super-model dictionary + grapheme legend *)
+        write "fig3_super_model.dot"
+          (Kgmodel.Metamodel.render_super_model_dictionary ());
+        write "fig3_grapheme_legend.txt" (Kgmodel.Render.grapheme_legend ());
+        (* Fig. 4: the Company KG design diagram *)
+        let schema = Kgm_finance.Company_schema.load () in
+        write "fig4_company_kg.dot" (Kgmodel.Render.to_dot schema);
+        write "fig4_company_kg.txt" (Kgmodel.Render.to_ascii schema);
+        (* Figs. 6 and 8: the SSST translations *)
+        let dict = Kgmodel.Dictionary.create () in
+        let sid = Kgmodel.Dictionary.store dict schema in
+        let pg_out =
+          Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ()) sid
+        in
+        let pg = Kgm_targets.Pg_model.decode dict pg_out.Kgmodel.Ssst.target_oid in
+        write "fig6_pg_schema.txt" (Format.asprintf "%a" Kgm_targets.Pg_model.pp pg);
+        write "fig6_pg_constraints.cypher"
+          (Kgm_targets.Pg_model.enforcement_script pg);
+        let rel_out =
+          Kgmodel.Ssst.translate dict (Kgm_targets.Relational_model.mapping ()) sid
+        in
+        let rel =
+          Kgm_targets.Relational_model.decode dict rel_out.Kgmodel.Ssst.target_oid
+        in
+        write "fig8_relational_schema.txt"
+          (Format.asprintf "%a" Kgm_relational.Rschema.pp rel);
+        write "fig8_relational_schema.sql" (Kgm_targets.Relational_model.ddl rel);
+        (* bonus targets: RDF-S and the CSV manifest *)
+        write "company_kg.rdfs.ttl"
+          (Kgm_targets.Triple_model.to_rdfs
+             (Kgm_targets.Triple_model.translate_native schema));
+        write "company_kg_csv_manifest.txt"
+          (Kgm_targets.Csv_model.translate_native schema).Kgm_targets.Csv_model.manifest)
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Regenerate every figure artifact of the paper (Figs. 2, 3, 4, 6, 8).")
+    Term.(const run $ out_dir)
+
+let () =
+  let info =
+    Cmd.info "kgmodel" ~version:"1.0.0"
+      ~doc:"Model-independent design of Knowledge Graphs (EDBT 2022 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ validate_cmd; render_cmd; translate_cmd; compile_cmd; reason_cmd;
+            stats_cmd; demo_cmd; diff_cmd; check_cmd; figures_cmd ]))

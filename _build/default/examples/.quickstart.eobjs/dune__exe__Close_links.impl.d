@@ -1,0 +1,1 @@
+examples/close_links.ml: Array Format Hashtbl Kgm_algo Kgm_common Kgm_finance Kgm_graphdb Kgmodel List Option Sys Value

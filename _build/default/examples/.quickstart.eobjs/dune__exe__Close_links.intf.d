@@ -1,0 +1,1 @@
+examples/close_links.mli:

@@ -1,0 +1,1 @@
+examples/company_kg.ml: Array Format Kgm_finance Kgm_graphdb Kgm_relational Kgm_targets Kgmodel List Sys

@@ -1,0 +1,1 @@
+examples/metalog_tour.ml: Format Kgm_common Kgm_graphdb Kgm_metalog Kgm_vadalog List String Value

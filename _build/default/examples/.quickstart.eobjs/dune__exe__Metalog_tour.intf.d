@@ -1,0 +1,1 @@
+examples/metalog_tour.mli:

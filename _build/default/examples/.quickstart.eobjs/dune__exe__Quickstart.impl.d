@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kgm_common Kgm_graphdb Kgm_targets Kgmodel List Option Printf Value

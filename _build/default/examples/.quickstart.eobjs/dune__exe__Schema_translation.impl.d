@@ -1,0 +1,1 @@
+examples/schema_translation.ml: Format Kgm_finance Kgm_relational Kgm_targets Kgm_vadalog Kgmodel List String

@@ -1,0 +1,1 @@
+examples/supervision.ml: Array Buffer Format Kgm_algo Kgm_common Kgm_finance Kgm_graphdb Kgm_vadalog Kgmodel List String Sys Value

@@ -1,0 +1,96 @@
+(* ECB close links (Sec. 2.1, reference [42]): conflict-of-interest
+   detection over the shareholding network.
+
+   Computes close links three ways and compares them:
+   - the exact native fixpoint over integrated ownership;
+   - the bounded-depth MetaLog encoding run through MTV + the chase;
+   - the third-party rule specifically, showing a worked case.
+
+   Run with: dune exec examples/close_links.exe [-- n] *)
+
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 400 in
+  let o = Kgm_finance.Generator.generate ~n ~seed:11 () in
+
+  (* exact: integrated ownership >= 20%, both ownership directions and
+     common >= 20% holders *)
+  let exact = Kgm_finance.Close_links.compute o in
+  Format.printf "exact close links: %d@." (List.length exact);
+  let by_reason r =
+    List.length
+      (List.filter (fun l -> match l.Kgm_finance.Close_links.reason, r with
+         | `Owns, `Owns | `Owned, `Owned | `Third_party _, `Third -> true
+         | _ -> false) exact)
+  in
+  Format.printf "  ownership-based: %d, third-party: %d@."
+    (by_reason `Owns) (by_reason `Third);
+
+  (* rule-based: materialize OWNS then the close-link rules *)
+  let schema = Kgm_finance.Company_schema.load () in
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict schema in
+  let inst = Kgmodel.Instances.create dict in
+  let data = Kgm_finance.Generator.to_company_graph o in
+  let sigma =
+    Kgm_finance.Intensional.owns ^ "\n" ^ Kgm_finance.Intensional.close_links
+  in
+  let report =
+    Kgmodel.Materialize.materialize ~instances:inst ~schema ~schema_oid:sid
+      ~data ~sigma ()
+  in
+  let rule_links = PG.edges_with_label data "CLOSE_LINK" in
+  Format.printf "rule-based close links (depth <= 3): %d (reasoning %.3fs)@."
+    (List.length rule_links) report.Kgmodel.Materialize.reason_s;
+
+  (* agreement: every rule-derived link must be an exact link (the
+     bounded unfolding is sound, possibly incomplete on deep chains) *)
+  let code node = Option.get (PG.node_prop data node "fiscalCode") in
+  let vertex_of_code = Hashtbl.create 256 in
+  for v = 0 to Kgm_algo.Digraph.n o.Kgm_finance.Generator.graph - 1 do
+    Hashtbl.add vertex_of_code
+      (Value.to_string (Kgm_finance.Generator.vertex_fiscal_code v)) v
+  done;
+  let exact_pairs = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace exact_pairs
+        (l.Kgm_finance.Close_links.a, l.Kgm_finance.Close_links.b) ();
+      Hashtbl.replace exact_pairs
+        (l.Kgm_finance.Close_links.b, l.Kgm_finance.Close_links.a) ())
+    exact;
+  let sound = ref 0 and unsound = ref 0 in
+  List.iter
+    (fun e ->
+      let s, d = PG.edge_ends data e in
+      match
+        Hashtbl.find_opt vertex_of_code (Value.to_string (code s)),
+        Hashtbl.find_opt vertex_of_code (Value.to_string (code d))
+      with
+      | Some a, Some b ->
+          if Hashtbl.mem exact_pairs (a, b) then incr sound else incr unsound
+      | _ -> ())
+    rule_links;
+  Format.printf "soundness: %d/%d rule-derived links confirmed exact@." !sound
+    (!sound + !unsound);
+
+  (* a worked third-party case, if one exists *)
+  (match
+     List.find_opt
+       (fun l ->
+         match l.Kgm_finance.Close_links.reason with
+         | `Third_party _ -> true
+         | _ -> false)
+       exact
+   with
+  | Some { Kgm_finance.Close_links.a; b; reason = `Third_party h } ->
+      Format.printf
+        "example: entities %d and %d are closely linked through common \
+         holder %d (io(h, %d) = %.3f, io(h, %d) = %.3f)@."
+        a b h a
+        (Kgm_finance.Ownership.between o h a)
+        b
+        (Kgm_finance.Ownership.between o h b)
+  | _ -> Format.printf "no third-party case in this network@.")

@@ -1,0 +1,67 @@
+(* The Bank of Italy Company KG end to end (Secs. 2-6 of the paper).
+
+   - loads the Fig. 4 design (GSL), prints its construct census;
+   - translates it to the PG model (Fig. 6) and the relational model
+     (Fig. 8) through SSST, printing both artifacts;
+   - generates a synthetic shareholding network, expands it to a
+     Company-KG property graph, and materializes the full intensional
+     component (OWNS, CONTROLS, numberOfStakeholders) via Algorithm 2;
+   - prints the timing split the paper reports in Sec. 6.
+
+   Run with: dune exec examples/company_kg.exe [-- n] *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 600 in
+  let schema = Kgm_finance.Company_schema.load () in
+  Format.printf "== The Company KG super-schema (Fig. 4) ==@.";
+  List.iter
+    (fun (k, v) -> Format.printf "  %-28s %d@." k v)
+    (Kgmodel.Supermodel.stats schema);
+
+  (* SSST to the PG model: the Fig. 6 artifact *)
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict schema in
+  let pg_out = Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ()) sid in
+  let pg = Kgm_targets.Pg_model.decode dict pg_out.Kgmodel.Ssst.target_oid in
+  Format.printf "@.== PG-model schema (Fig. 6), %d node kinds, %d relationship kinds ==@."
+    (List.length pg.Kgm_targets.Pg_model.node_kinds)
+    (List.length pg.Kgm_targets.Pg_model.rel_kinds);
+  Format.printf "%a@." Kgm_targets.Pg_model.pp pg;
+
+  (* SSST to the relational model: the Fig. 8 artifact *)
+  let rel_out =
+    Kgmodel.Ssst.translate dict (Kgm_targets.Relational_model.mapping ()) sid
+  in
+  let rel = Kgm_targets.Relational_model.decode dict rel_out.Kgmodel.Ssst.target_oid in
+  Format.printf "== Relational schema (Fig. 8) ==@.%a@." Kgm_relational.Rschema.pp rel;
+
+  (* data + intensional component *)
+  let o = Kgm_finance.Generator.generate ~n () in
+  let data = Kgm_finance.Generator.to_company_graph o in
+  Format.printf "== Synthetic instance ==@.%a@." Kgm_graphdb.Pgraph.pp_summary data;
+  let inst = Kgmodel.Instances.create dict in
+  let report =
+    Kgmodel.Materialize.materialize ~instances:inst ~schema ~schema_oid:sid
+      ~data ~sigma:Kgm_finance.Intensional.full ()
+  in
+  Format.printf
+    "@.== Algorithm 2 (Sec. 6 split: load | reason | flush) ==@.\
+     load %.3fs | reason %.3fs | flush %.3fs@.\
+     derived: %d edges, %d attribute values@."
+    report.Kgmodel.Materialize.load_s report.Kgmodel.Materialize.reason_s
+    report.Kgmodel.Materialize.flush_s report.Kgmodel.Materialize.derived_edges
+    report.Kgmodel.Materialize.derived_attrs;
+  Format.printf "after materialization: %a@." Kgm_graphdb.Pgraph.pp_summary data;
+
+  (* cross-check the materialized control edges against the native
+     baseline and the Example 4.2 Vadalog program *)
+  let module PG = Kgm_graphdb.Pgraph in
+  let materialized =
+    List.length (PG.edges_with_label data "CONTROLS")
+    - List.length (PG.nodes_with_label data "Business") (* minus reflexive *)
+  in
+  let native = List.length (Kgm_finance.Control.all_pairs o) in
+  let vadalog = List.length (Kgm_finance.Control.via_vadalog o) in
+  Format.printf
+    "@.control-pairs agreement: materialized %d | native %d | vadalog %d@."
+    materialized native vadalog

@@ -1,0 +1,1 @@
+lib/common/kgm_error.ml: Format Result

@@ -1,0 +1,1 @@
+lib/common/names.ml: Buffer Char List String

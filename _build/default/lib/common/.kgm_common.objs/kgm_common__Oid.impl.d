@@ -1,0 +1,1 @@
+lib/common/oid.ml: Format Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/common/value.ml: Bool Float Format Hashtbl Int List Oid Option String

@@ -1,0 +1,36 @@
+(** Uniform error reporting across KGModel tools. Each subsystem raises
+    [Error] with a structured payload; CLI and tests format it with
+    {!pp}. *)
+
+type stage =
+  | Parse        (** GSL / MetaLog / Vadalog text parsing *)
+  | Validate     (** schema or program static checks *)
+  | Translate    (** SSST / MTV translation *)
+  | Reason       (** chase execution *)
+  | Storage      (** dictionary / database access *)
+
+type t = { stage : stage; message : string }
+
+exception Error of t
+
+let stage_name = function
+  | Parse -> "parse"
+  | Validate -> "validate"
+  | Translate -> "translate"
+  | Reason -> "reason"
+  | Storage -> "storage"
+
+let pp ppf e = Format.fprintf ppf "[%s] %s" (stage_name e.stage) e.message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let raise_error stage fmt =
+  Format.kasprintf (fun message -> raise (Error { stage; message })) fmt
+
+let parse_error fmt = raise_error Parse fmt
+let validate_error fmt = raise_error Validate fmt
+let translate_error fmt = raise_error Translate fmt
+let reason_error fmt = raise_error Reason fmt
+let storage_error fmt = raise_error Storage fmt
+
+let guard f = try Ok (f ()) with Error e -> Result.Error e

@@ -1,0 +1,60 @@
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_word c = is_alpha c || is_digit c || c = '_'
+
+let all_chars p s =
+  let ok = ref true in
+  String.iter (fun c -> if not (p c) then ok := false) s;
+  !ok
+
+let is_pascal_case s =
+  String.length s > 0
+  && s.[0] >= 'A' && s.[0] <= 'Z'
+  && all_chars (fun c -> is_alpha c || is_digit c) s
+
+let is_upper_case s =
+  String.length s > 0
+  && s.[0] >= 'A' && s.[0] <= 'Z'
+  && all_chars (fun c -> (c >= 'A' && c <= 'Z') || is_digit c || c = '_') s
+
+let is_camel_case s =
+  String.length s > 0
+  && s.[0] >= 'a' && s.[0] <= 'z'
+  && all_chars (fun c -> is_alpha c || is_digit c) s
+
+let to_snake_case s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iteri
+    (fun i c ->
+      if c >= 'A' && c <= 'Z' then begin
+        (* word boundary only after a lowercase letter or digit, so
+           acronym runs like HOLDS or HAS_ROLE stay intact *)
+        let boundary =
+          i > 0
+          &&
+          let p = s.[i - 1] in
+          (p >= 'a' && p <= 'z') || is_digit p
+        in
+        if boundary then Buffer.add_char buf '_';
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      end
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_pascal_case s =
+  let parts = String.split_on_char '_' s in
+  let capitalize p =
+    if p = "" then "" else String.capitalize_ascii p
+  in
+  String.concat "" (List.map capitalize parts)
+
+let sanitize_identifier s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> Buffer.add_char buf (if is_word c then c else '_'))
+    s;
+  let r = Buffer.contents buf in
+  if r = "" then "x"
+  else if is_alpha r.[0] then r
+  else "x" ^ r

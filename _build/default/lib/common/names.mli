@@ -1,0 +1,21 @@
+(** Naming conventions of the KGModel stack (paper, footnote 1):
+    PascalCase for entity names, UPPER_CASE for links, camelCase for
+    properties. The validators are used by the GSL parser and the
+    dictionary loader to reject ill-formed designs early. *)
+
+val is_pascal_case : string -> bool
+val is_upper_case : string -> bool
+val is_camel_case : string -> bool
+
+val to_snake_case : string -> string
+(** [to_snake_case "PublicListedCompany"] is ["public_listed_company"];
+    used when rendering relational field/table names. *)
+
+val to_pascal_case : string -> string
+(** Inverse-ish of {!to_snake_case}: ["public_listed_company"] becomes
+    ["PublicListedCompany"]. *)
+
+val sanitize_identifier : string -> string
+(** Replace characters outside [A-Za-z0-9_] by ['_'] and prefix with
+    ['x'] when the result would not start with a letter. Total: never
+    returns the empty string. *)

@@ -1,0 +1,124 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int * int * int
+  | Id of Oid.t
+  | Null of int
+  | List of t list
+
+let tag = function
+  | Int _ -> 0 | Float _ -> 1 | String _ -> 2 | Bool _ -> 3
+  | Date _ -> 4 | Id _ -> 5 | Null _ -> 6 | List _ -> 7
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Date (y1, m1, d1), Date (y2, m2, d2) ->
+      compare (y1, m1, d1) (y2, m2, d2)
+  | Id x, Id y -> Oid.compare x y
+  | Null x, Null y -> Int.compare x y
+  | List x, List y -> List.compare compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Id o -> Hashtbl.hash (5, Oid.hash o)
+  | List l -> Hashtbl.hash (7, List.map hash l)
+  | v -> Hashtbl.hash v
+
+let rec pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Date (y, m, d) -> Format.fprintf ppf "%04d-%02d-%02d" y m d
+  | Id o -> Oid.pp ppf o
+  | Null n -> Format.fprintf ppf "_:n%d" n
+  | List l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int i = Int i
+let float f = Float f
+let string s = String s
+let bool b = Bool b
+let date y m d = Date (y, m, d)
+let id o = Id o
+
+let as_int = function Int i -> Some i | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+let as_bool = function Bool b -> Some b | _ -> None
+let as_id = function Id o -> Some o | _ -> None
+
+let is_null = function Null _ -> true | _ -> false
+
+type ty = TInt | TFloat | TString | TBool | TDate | TId | TAny
+
+let ty_of_string = function
+  | "int" | "integer" -> Some TInt
+  | "float" | "double" | "real" -> Some TFloat
+  | "string" | "text" -> Some TString
+  | "bool" | "boolean" -> Some TBool
+  | "date" -> Some TDate
+  | "id" | "oid" -> Some TId
+  | "any" -> Some TAny
+  | _ -> None
+
+let ty_to_string = function
+  | TInt -> "int" | TFloat -> "float" | TString -> "string"
+  | TBool -> "bool" | TDate -> "date" | TId -> "id" | TAny -> "any"
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_to_string ty)
+
+let type_of = function
+  | Int _ -> TInt | Float _ -> TFloat | String _ -> TString
+  | Bool _ -> TBool | Date _ -> TDate | Id _ -> TId | Null _ -> TAny
+  | List _ -> TAny
+
+let conforms ty v =
+  match ty, v with
+  | TAny, _ | _, Null _ -> true
+  | TInt, Int _ | TFloat, Float _ | TFloat, Int _
+  | TString, String _ | TBool, Bool _ | TDate, Date _ | TId, Id _ -> true
+  | (TInt | TFloat | TString | TBool | TDate | TId), _ -> false
+
+let parse ty s =
+  match ty with
+  | TInt -> Option.map int (int_of_string_opt s)
+  | TFloat -> Option.map float (float_of_string_opt s)
+  | TString -> Some (String s)
+  | TBool -> Option.map bool (bool_of_string_opt s)
+  | TDate ->
+      (match String.split_on_char '-' s with
+       | [y; m; d] ->
+           (match int_of_string_opt y, int_of_string_opt m, int_of_string_opt d with
+            | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+                Some (Date (y, m, d))
+            | _ -> None)
+       | _ -> None)
+  | TId -> None
+  | TAny ->
+      (match int_of_string_opt s with
+       | Some i -> Some (Int i)
+       | None ->
+           (match float_of_string_opt s with
+            | Some f -> Some (Float f)
+            | None ->
+                (match bool_of_string_opt s with
+                 | Some b -> Some (Bool b)
+                 | None -> Some (String s))))

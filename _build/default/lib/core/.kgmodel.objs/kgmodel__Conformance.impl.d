@@ -1,0 +1,1 @@
+lib/core/conformance.ml: Format Hashtbl Kgm_common Kgm_graphdb List Oid Option Supermodel Value

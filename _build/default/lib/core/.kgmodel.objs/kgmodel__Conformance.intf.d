@@ -1,0 +1,1 @@
+lib/core/conformance.mli: Format Kgm_common Kgm_graphdb Supermodel

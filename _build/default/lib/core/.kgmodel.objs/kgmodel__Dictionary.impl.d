@@ -1,0 +1,1 @@
+lib/core/dictionary.ml: Hashtbl Kgm_common Kgm_error Kgm_graphdb List Supermodel Value

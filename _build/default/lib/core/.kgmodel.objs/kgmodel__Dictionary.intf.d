@@ -1,0 +1,1 @@
+lib/core/dictionary.mli: Kgm_graphdb Supermodel

@@ -1,0 +1,1 @@
+lib/core/gsl.ml: Buffer Kgm_common Kgm_error Kgm_vadalog List Printf String Supermodel Value

@@ -1,0 +1,1 @@
+lib/core/gsl.mli: Supermodel

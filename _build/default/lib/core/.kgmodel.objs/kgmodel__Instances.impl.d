@@ -1,0 +1,1 @@
+lib/core/instances.ml: Dictionary Hashtbl Kgm_common Kgm_error Kgm_graphdb List Oid Value

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Dictionary Kgm_common Kgm_graphdb Oid

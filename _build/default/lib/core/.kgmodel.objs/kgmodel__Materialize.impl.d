@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Dictionary Hashtbl Instances Kgm_common Kgm_graphdb Kgm_metalog Kgm_vadalog List Supermodel Unix Value Views

@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Instances Kgm_graphdb Kgm_metalog Kgm_vadalog Supermodel

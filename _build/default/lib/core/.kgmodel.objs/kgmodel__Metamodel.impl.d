@@ -1,0 +1,1 @@
+lib/core/metamodel.ml: Buffer List Printf

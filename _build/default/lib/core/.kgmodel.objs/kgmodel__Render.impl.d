@@ -1,0 +1,1 @@
+lib/core/render.ml: Buffer Kgm_common List Names Printf String Supermodel Value

@@ -1,0 +1,1 @@
+lib/core/schema_diff.ml: Format List Printf Supermodel

@@ -1,0 +1,1 @@
+lib/core/ssst.ml: Dictionary Kgm_common Kgm_metalog Kgm_vadalog List Printf

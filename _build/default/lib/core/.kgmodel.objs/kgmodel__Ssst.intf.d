@@ -1,0 +1,1 @@
+lib/core/ssst.mli: Dictionary Kgm_vadalog

@@ -1,0 +1,1 @@
+lib/core/supermodel.ml: Format Hashtbl Kgm_common List Names String Value

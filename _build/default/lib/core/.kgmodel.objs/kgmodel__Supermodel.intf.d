@@ -1,0 +1,1 @@
+lib/core/supermodel.mli: Format Kgm_common Value

@@ -1,0 +1,1 @@
+lib/core/views.ml: Buffer Hashtbl Kgm_metalog List Option Printf String Supermodel

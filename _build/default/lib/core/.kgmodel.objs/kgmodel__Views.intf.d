@@ -1,0 +1,1 @@
+lib/core/views.mli: Kgm_metalog Supermodel

@@ -1,0 +1,256 @@
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+type violation = {
+  subject : Oid.t option;
+  rule : string;
+  message : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s]%s %s" v.rule
+    (match v.subject with
+     | Some id -> " " ^ Oid.to_string id
+     | None -> "")
+    v.message
+
+let check ?(reject_intensional = false) (s : Supermodel.t) g =
+  let violations = ref [] in
+  let report ?subject rule fmt =
+    Format.kasprintf
+      (fun message -> violations := { subject; rule; message } :: !violations)
+      fmt
+  in
+  (* ---- nodes ---- *)
+  let node_label = Hashtbl.create 256 in
+  (* per (type-in-hierarchy, identifying-attr-name) -> value -> node *)
+  let id_values : (string * string, (Value.t, Oid.t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let unique_values = Hashtbl.create 64 in
+  PG.iter_nodes g (fun id ->
+      match PG.node_labels g id with
+      | [ label ] -> (
+          match Supermodel.find_node s label with
+          | None -> report ~subject:id "unknown-label" "node label %s not in schema" label
+          | Some n ->
+              Hashtbl.add node_label id label;
+              if reject_intensional && n.Supermodel.n_intensional then
+                report ~subject:id "intensional-node"
+                  "%s is intensional: not ground data" label;
+              let attrs = Supermodel.all_attributes s label in
+              let props = PG.node_props g id in
+              (* unknown properties *)
+              List.iter
+                (fun (k, _) ->
+                  if
+                    not
+                      (List.exists
+                         (fun (a : Supermodel.attribute) -> a.Supermodel.at_name = k)
+                         attrs)
+                  then
+                    report ~subject:id "unknown-property"
+                      "property %s not declared for %s" k label)
+                props;
+              List.iter
+                (fun (a : Supermodel.attribute) ->
+                  let v = List.assoc_opt a.Supermodel.at_name props in
+                  (match v with
+                   | None ->
+                       if
+                         (not a.Supermodel.at_opt)
+                         && not a.Supermodel.at_intensional
+                       then
+                         report ~subject:id "missing-attribute"
+                           "mandatory attribute %s missing on %s"
+                           a.Supermodel.at_name label
+                   | Some v ->
+                       if not (Value.conforms a.Supermodel.at_ty v) then
+                         report ~subject:id "domain"
+                           "%s.%s: %s does not conform to %s" label
+                           a.Supermodel.at_name (Value.to_string v)
+                           (Value.ty_to_string a.Supermodel.at_ty);
+                       if
+                         reject_intensional && a.Supermodel.at_intensional
+                       then
+                         report ~subject:id "intensional-attribute"
+                           "%s.%s is intensional: not ground data" label
+                           a.Supermodel.at_name;
+                       (* modifiers *)
+                       List.iter
+                         (function
+                           | Supermodel.Enum allowed ->
+                               (match Value.as_string v with
+                                | Some str when not (List.mem str allowed) ->
+                                    report ~subject:id "enum"
+                                      "%s.%s: %S not in enum" label
+                                      a.Supermodel.at_name str
+                                | _ -> ())
+                           | Supermodel.Range (lo, hi) ->
+                               (match Value.as_float v with
+                                | Some f ->
+                                    let lo_ok =
+                                      match lo with Some l -> f >= l | None -> true
+                                    in
+                                    let hi_ok =
+                                      match hi with Some h -> f <= h | None -> true
+                                    in
+                                    if not (lo_ok && hi_ok) then
+                                      report ~subject:id "range"
+                                        "%s.%s: %g out of range" label
+                                        a.Supermodel.at_name f
+                                | None -> ())
+                           | Supermodel.Unique ->
+                               (* checked below via the value table *)
+                               ()
+                           | Supermodel.Default _ -> ())
+                         a.Supermodel.at_modifiers;
+                       (* identity / uniqueness accounting: keyed by the
+                          topmost ancestor owning the attribute so the
+                          check spans the generalization hierarchy *)
+                       let owner =
+                         let rec find_owner labels =
+                           match labels with
+                           | [] -> label
+                           | l :: rest ->
+                               (match Supermodel.find_node s l with
+                                | Some n
+                                  when List.exists
+                                         (fun (b : Supermodel.attribute) ->
+                                           b.Supermodel.at_name
+                                           = a.Supermodel.at_name)
+                                         n.Supermodel.n_attrs ->
+                                    l
+                                | _ -> find_owner rest)
+                         in
+                         find_owner
+                           (List.rev (label :: Supermodel.ancestors s label))
+                       in
+                       let track table rule =
+                         let key = (owner, a.Supermodel.at_name) in
+                         let tbl =
+                           match Hashtbl.find_opt table key with
+                           | Some t -> t
+                           | None ->
+                               let t = Hashtbl.create 64 in
+                               Hashtbl.add table key t;
+                               t
+                         in
+                         match Hashtbl.find_opt tbl v with
+                         | Some other when not (Oid.equal other id) ->
+                             report ~subject:id rule
+                               "%s.%s: duplicate value %s (also on %s)" owner
+                               a.Supermodel.at_name (Value.to_string v)
+                               (Oid.to_string other)
+                         | _ -> Hashtbl.replace tbl v id
+                       in
+                       if a.Supermodel.at_id then track id_values "identity";
+                       if
+                         List.exists
+                           (function Supermodel.Unique -> true | _ -> false)
+                           a.Supermodel.at_modifiers
+                       then track unique_values "unique");
+                  ())
+                attrs)
+      | labels ->
+          report ~subject:id "label-count" "node carries %d labels, expected 1"
+            (List.length labels))
+  ;
+  (* ---- edges ---- *)
+  (* cardinality accounting: (edge-name, endpoint, side) -> count *)
+  let partner_count = Hashtbl.create 256 in
+  let bump key =
+    Hashtbl.replace partner_count key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt partner_count key))
+  in
+  let label_matches declared actual =
+    declared = actual || List.mem declared (Supermodel.ancestors s actual)
+  in
+  PG.iter_edges g (fun id ->
+      let label = PG.edge_label g id in
+      match Supermodel.find_edge s label with
+      | None -> report ~subject:id "unknown-edge" "edge label %s not in schema" label
+      | Some e ->
+          if reject_intensional && e.Supermodel.e_intensional then
+            report ~subject:id "intensional-edge"
+              "%s is intensional: not ground data" label;
+          let src, dst = PG.edge_ends g id in
+          (match Hashtbl.find_opt node_label src with
+           | Some l when not (label_matches e.Supermodel.e_from l) ->
+               report ~subject:id "endpoint" "%s source is %s, expected %s" label
+                 l e.Supermodel.e_from
+           | _ -> ());
+          (match Hashtbl.find_opt node_label dst with
+           | Some l when not (label_matches e.Supermodel.e_to l) ->
+               report ~subject:id "endpoint" "%s target is %s, expected %s" label
+                 l e.Supermodel.e_to
+           | _ -> ());
+          bump (label, src, `From);
+          bump (label, dst, `To);
+          (* edge attributes *)
+          let props = PG.edge_props g id in
+          List.iter
+            (fun (k, _) ->
+              if
+                not
+                  (List.exists
+                     (fun (a : Supermodel.attribute) -> a.Supermodel.at_name = k)
+                     e.Supermodel.e_attrs)
+              then
+                report ~subject:id "unknown-property"
+                  "edge property %s not declared for %s" k label)
+            props;
+          List.iter
+            (fun (a : Supermodel.attribute) ->
+              match List.assoc_opt a.Supermodel.at_name props with
+              | None ->
+                  if (not a.Supermodel.at_opt) && not a.Supermodel.at_intensional
+                  then
+                    report ~subject:id "missing-attribute"
+                      "mandatory attribute %s missing on %s" a.Supermodel.at_name
+                      label
+              | Some v ->
+                  if not (Value.conforms a.Supermodel.at_ty v) then
+                    report ~subject:id "domain" "%s.%s: %s does not conform to %s"
+                      label a.Supermodel.at_name (Value.to_string v)
+                      (Value.ty_to_string a.Supermodel.at_ty))
+            e.Supermodel.e_attrs);
+  (* isFun upper bounds: at most one partner *)
+  Hashtbl.iter
+    (fun (label, node, side) count ->
+      match Supermodel.find_edge s label with
+      | Some e ->
+          let fn = match side with `From -> e.Supermodel.e_fun1 | `To -> e.Supermodel.e_fun2 in
+          if fn && count > 1 then
+            report ~subject:node "cardinality-max"
+              "%s: %d %s-partners, at most 1 allowed" label count
+              (match side with `From -> "outgoing" | `To -> "incoming")
+      | None -> ())
+    partner_count;
+  (* isOpt lower bounds: mandatory participation *)
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      if not e.Supermodel.e_intensional then begin
+        let require side declared opt =
+          if not opt then
+            List.iter
+              (fun nl ->
+                List.iter
+                  (fun id ->
+                    if not (Hashtbl.mem partner_count (e.Supermodel.e_name, id, side))
+                    then
+                      report ~subject:id "cardinality-min"
+                        "%s (%s) must participate in %s" nl
+                        (match side with `From -> "source" | `To -> "target")
+                        e.Supermodel.e_name)
+                  (PG.nodes_with_label g nl))
+              (declared :: Supermodel.descendants s declared)
+        in
+        require `From e.Supermodel.e_from e.Supermodel.e_opt1;
+        require `To e.Supermodel.e_to e.Supermodel.e_opt2
+      end)
+    s.Supermodel.edges;
+  List.rev !violations
+
+let is_conformant ?reject_intensional s g =
+  check ?reject_intensional s g = []

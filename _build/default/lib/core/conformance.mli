@@ -1,0 +1,37 @@
+(** Instance conformance checking (paper, "Model awareness": the
+    extensional component should conform to a graph schema; Sec. 2.2
+    lists schema enforcement per target — this module is the native,
+    model-independent checker run directly against the super-schema,
+    the "ad-hoc methodology" for schema-less systems [21]).
+
+    Checks performed on a property-graph instance:
+    - every node carries exactly one label naming a schema SM_Node;
+    - node properties name (possibly inherited) schema attributes,
+      values conform to the declared domains;
+    - mandatory extensional attributes are present, identifying
+      attributes are present and unique within their type;
+    - [Unique] modifiers hold within the type; [Enum] and [Range]
+      modifier domains hold;
+    - every edge's label names a schema SM_Edge whose endpoints (or
+      ancestors thereof) match the incident node labels;
+    - edge cardinalities hold: isFun bounds (at most one partner) and
+      isOpt bounds (at least one partner) on both sides;
+    - intensional constructs are permitted in the instance (they may
+      have been materialized) but are reported when [reject_intensional]
+      is set (useful for validating freshly loaded ground data). *)
+
+type violation = {
+  subject : Kgm_common.Oid.t option;  (** offending element, if any *)
+  rule : string;                      (** short machine-ish rule id *)
+  message : string;
+}
+
+val check :
+  ?reject_intensional:bool ->
+  Supermodel.t -> Kgm_graphdb.Pgraph.t -> violation list
+(** Empty list = the instance conforms. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val is_conformant :
+  ?reject_intensional:bool -> Supermodel.t -> Kgm_graphdb.Pgraph.t -> bool

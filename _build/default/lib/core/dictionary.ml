@@ -1,0 +1,269 @@
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+type t = {
+  g : PG.t;
+  mutable registry : (int * string) list; (* (schemaOID, name), oldest first *)
+  mutable next : int;
+}
+
+let create () = { g = PG.create (); registry = []; next = 1 }
+
+let graph t = t.g
+
+let schemas t = t.registry
+
+let find_schema t name =
+  List.find_map (fun (oid, n) -> if n = name then Some oid else None) t.registry
+
+let next_schema_oid t = t.next
+
+let reserve_oid t ~name =
+  let oid = t.next in
+  t.next <- oid + 1;
+  t.registry <- t.registry @ [ (oid, name) ];
+  ignore
+    (PG.add_node t.g ~labels:[ "SM_Schema" ]
+       ~props:[ ("schemaOID", Value.Int oid); ("name", Value.String name) ]);
+  oid
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+
+let modifier_props = function
+  | Supermodel.Unique -> [ ("kind", Value.String "unique") ]
+  | Supermodel.Enum vs ->
+      [ ("kind", Value.String "enum");
+        ("values", Value.List (List.map (fun v -> Value.String v) vs)) ]
+  | Supermodel.Default v -> [ ("kind", Value.String "default"); ("value", v) ]
+  | Supermodel.Range (lo, hi) ->
+      [ ("kind", Value.String "range") ]
+      @ (match lo with Some f -> [ ("lo", Value.Float f) ] | None -> [])
+      @ (match hi with Some f -> [ ("hi", Value.Float f) ] | None -> [])
+
+let store_attribute t sid owner link_label (a : Supermodel.attribute) =
+  let attr =
+    PG.add_node t.g ~labels:[ "SM_Attribute" ]
+      ~props:
+        [ ("schemaOID", Value.Int sid);
+          ("name", Value.String a.Supermodel.at_name);
+          ("type", Value.String (Value.ty_to_string a.Supermodel.at_ty));
+          ("isOpt", Value.Bool a.Supermodel.at_opt);
+          ("isId", Value.Bool a.Supermodel.at_id);
+          ("isIntensional", Value.Bool a.Supermodel.at_intensional) ]
+  in
+  ignore
+    (PG.add_edge t.g ~label:link_label ~src:owner ~dst:attr
+       ~props:[ ("schemaOID", Value.Int sid) ]);
+  List.iter
+    (fun m ->
+      let mnode =
+        PG.add_node t.g ~labels:[ "SM_AttributeModifier" ]
+          ~props:(("schemaOID", Value.Int sid) :: modifier_props m)
+      in
+      ignore
+        (PG.add_edge t.g ~label:"SM_HAS_MODIFIER" ~src:attr ~dst:mnode
+           ~props:[ ("schemaOID", Value.Int sid) ]))
+    a.Supermodel.at_modifiers
+
+let store_type t sid owner link_label name =
+  let ty =
+    PG.add_node t.g ~labels:[ "SM_Type" ]
+      ~props:[ ("schemaOID", Value.Int sid); ("name", Value.String name) ]
+  in
+  ignore
+    (PG.add_edge t.g ~label:link_label ~src:owner ~dst:ty
+       ~props:[ ("schemaOID", Value.Int sid) ])
+
+let store t (s : Supermodel.t) =
+  let sid = reserve_oid t ~name:s.Supermodel.s_name in
+  let node_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Supermodel.node) ->
+      let id =
+        PG.add_node t.g ~labels:[ "SM_Node" ]
+          ~props:
+            [ ("schemaOID", Value.Int sid);
+              ("isIntensional", Value.Bool n.Supermodel.n_intensional) ]
+      in
+      Hashtbl.add node_ids n.Supermodel.n_name id;
+      store_type t sid id "SM_HAS_NODE_TYPE" n.Supermodel.n_name;
+      List.iter (store_attribute t sid id "SM_HAS_NODE_PROPERTY") n.Supermodel.n_attrs)
+    s.Supermodel.nodes;
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      let id =
+        PG.add_node t.g ~labels:[ "SM_Edge" ]
+          ~props:
+            [ ("schemaOID", Value.Int sid);
+              ("isIntensional", Value.Bool e.Supermodel.e_intensional);
+              ("isOpt1", Value.Bool e.Supermodel.e_opt1);
+              ("isFun1", Value.Bool e.Supermodel.e_fun1);
+              ("isOpt2", Value.Bool e.Supermodel.e_opt2);
+              ("isFun2", Value.Bool e.Supermodel.e_fun2) ]
+      in
+      store_type t sid id "SM_HAS_EDGE_TYPE" e.Supermodel.e_name;
+      let from_id = Hashtbl.find node_ids e.Supermodel.e_from in
+      let to_id = Hashtbl.find node_ids e.Supermodel.e_to in
+      ignore
+        (PG.add_edge t.g ~label:"SM_FROM" ~src:id ~dst:from_id
+           ~props:[ ("schemaOID", Value.Int sid) ]);
+      ignore
+        (PG.add_edge t.g ~label:"SM_TO" ~src:id ~dst:to_id
+           ~props:[ ("schemaOID", Value.Int sid) ]);
+      List.iter (store_attribute t sid id "SM_HAS_EDGE_PROPERTY") e.Supermodel.e_attrs)
+    s.Supermodel.edges;
+  List.iter
+    (fun (g : Supermodel.generalization) ->
+      let id =
+        PG.add_node t.g ~labels:[ "SM_Generalization" ]
+          ~props:
+            [ ("schemaOID", Value.Int sid);
+              ("name", Value.String g.Supermodel.g_name);
+              ("isTotal", Value.Bool g.Supermodel.g_total);
+              ("isDisjoint", Value.Bool g.Supermodel.g_disjoint) ]
+      in
+      ignore
+        (PG.add_edge t.g ~label:"SM_PARENT" ~src:id
+           ~dst:(Hashtbl.find node_ids g.Supermodel.g_parent)
+           ~props:[ ("schemaOID", Value.Int sid) ]);
+      List.iter
+        (fun c ->
+          ignore
+            (PG.add_edge t.g ~label:"SM_CHILD" ~src:id
+               ~dst:(Hashtbl.find node_ids c)
+               ~props:[ ("schemaOID", Value.Int sid) ]))
+        g.Supermodel.g_children)
+    s.Supermodel.generalizations;
+  sid
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+
+let prop_string t id k =
+  match PG.node_prop t.g id k with
+  | Some (Value.String s) -> s
+  | _ -> Kgm_error.storage_error "dictionary: missing string prop %s" k
+
+let prop_bool ?(default = false) t id k =
+  match PG.node_prop t.g id k with
+  | Some (Value.Bool b) -> b
+  | _ -> default
+
+let in_schema t sid id =
+  PG.node_prop t.g id "schemaOID" = Some (Value.Int sid)
+
+let elements t sid label =
+  List.filter (in_schema t sid) (PG.nodes_with_label t.g label)
+
+let single_out t id label what =
+  match PG.neighbors_out ~label t.g id with
+  | [ x ] -> x
+  | l ->
+      Kgm_error.storage_error "dictionary: %s has %d %s links, expected 1" what
+        (List.length l) label
+
+let type_name t id link what =
+  let ty = single_out t id link what in
+  prop_string t ty "name"
+
+let decode_modifier t id =
+  match prop_string t id "kind" with
+  | "unique" -> Supermodel.Unique
+  | "enum" ->
+      (match PG.node_prop t.g id "values" with
+       | Some (Value.List vs) ->
+           Supermodel.Enum
+             (List.map
+                (function Value.String s -> s | v -> Value.to_string v)
+                vs)
+       | _ -> Kgm_error.storage_error "dictionary: enum modifier without values")
+  | "default" ->
+      (match PG.node_prop t.g id "value" with
+       | Some v -> Supermodel.Default v
+       | None -> Kgm_error.storage_error "dictionary: default modifier without value")
+  | "range" ->
+      let f k =
+        match PG.node_prop t.g id k with
+        | Some (Value.Float x) -> Some x
+        | Some (Value.Int x) -> Some (float_of_int x)
+        | _ -> None
+      in
+      Supermodel.Range (f "lo", f "hi")
+  | k -> Kgm_error.storage_error "dictionary: unknown modifier kind %s" k
+
+let decode_attribute t id =
+  let ty_str = prop_string t id "type" in
+  let ty =
+    match Value.ty_of_string ty_str with
+    | Some ty -> ty
+    | None -> Kgm_error.storage_error "dictionary: bad attribute type %s" ty_str
+  in
+  { Supermodel.at_name = prop_string t id "name";
+    at_ty = ty;
+    at_opt = prop_bool t id "isOpt";
+    at_id = prop_bool t id "isId";
+    at_intensional = prop_bool t id "isIntensional";
+    at_modifiers =
+      List.map (decode_modifier t) (PG.neighbors_out ~label:"SM_HAS_MODIFIER" t.g id) }
+
+let load t sid =
+  let name =
+    match List.assoc_opt sid t.registry with
+    | Some n -> n
+    | None -> Kgm_error.storage_error "dictionary: unknown schemaOID %d" sid
+  in
+  let node_name = Hashtbl.create 16 in
+  let nodes =
+    List.map
+      (fun id ->
+        let n_name = type_name t id "SM_HAS_NODE_TYPE" "SM_Node" in
+        Hashtbl.add node_name id n_name;
+        { Supermodel.n_name;
+          n_intensional = prop_bool t id "isIntensional";
+          n_attrs =
+            List.map (decode_attribute t)
+              (PG.neighbors_out ~label:"SM_HAS_NODE_PROPERTY" t.g id) })
+      (elements t sid "SM_Node")
+  in
+  let edges =
+    List.map
+      (fun id ->
+        let e_name = type_name t id "SM_HAS_EDGE_TYPE" "SM_Edge" in
+        let from_id = single_out t id "SM_FROM" "SM_Edge" in
+        let to_id = single_out t id "SM_TO" "SM_Edge" in
+        { Supermodel.e_name;
+          e_from = Hashtbl.find node_name from_id;
+          e_to = Hashtbl.find node_name to_id;
+          e_intensional = prop_bool t id "isIntensional";
+          e_opt1 = prop_bool t id "isOpt1";
+          e_fun1 = prop_bool t id "isFun1";
+          e_opt2 = prop_bool t id "isOpt2";
+          e_fun2 = prop_bool t id "isFun2";
+          e_attrs =
+            List.map (decode_attribute t)
+              (PG.neighbors_out ~label:"SM_HAS_EDGE_PROPERTY" t.g id) })
+      (elements t sid "SM_Edge")
+  in
+  let generalizations =
+    List.map
+      (fun id ->
+        let parent = single_out t id "SM_PARENT" "SM_Generalization" in
+        { Supermodel.g_name = prop_string t id "name";
+          g_parent = Hashtbl.find node_name parent;
+          g_children =
+            List.map
+              (fun c -> Hashtbl.find node_name c)
+              (PG.neighbors_out ~label:"SM_CHILD" t.g id);
+          g_total = prop_bool t id "isTotal";
+          g_disjoint = prop_bool t id "isDisjoint" })
+      (elements t sid "SM_Generalization")
+  in
+  { Supermodel.s_name = name; nodes; edges; generalizations }
+
+let element_count t sid =
+  let n = ref 0 in
+  PG.iter_nodes t.g (fun id -> if in_schema t sid id then incr n);
+  PG.iter_edges t.g (fun id ->
+      if PG.edge_prop t.g id "schemaOID" = Some (Value.Int sid) then incr n);
+  !n

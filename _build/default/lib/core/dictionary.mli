@@ -1,0 +1,48 @@
+(** Graph dictionaries (paper, Sec. 2.2): property-graph databases that
+    store super-schemas (and, via {!Instances}, super-components) as
+    instances of the super-model. Each construct instance becomes a
+    dictionary node labeled with its super-construct (SM_Node, SM_Edge,
+    SM_Type, SM_Attribute, SM_Generalization, SM_AttributeModifier) and
+    the linking super-constructs become dictionary edges
+    (SM_HAS_NODE_TYPE, SM_HAS_EDGE_TYPE, SM_HAS_NODE_PROPERTY,
+    SM_HAS_EDGE_PROPERTY, SM_HAS_MODIFIER, SM_FROM, SM_TO, SM_PARENT,
+    SM_CHILD). Every element carries a [schemaOID] property selecting
+    the super-schema it belongs to, as in Example 5.1.
+
+    SSST mappings are MetaLog programs run directly against this
+    graph. *)
+
+type t
+
+val create : unit -> t
+
+val graph : t -> Kgm_graphdb.Pgraph.t
+(** The underlying property graph (shared, mutable). *)
+
+val store : t -> Supermodel.t -> int
+(** Serialize a super-schema into the dictionary; returns its fresh
+    schemaOID. The schema should be validated first. *)
+
+val load : t -> int -> Supermodel.t
+(** Decode the super-schema with the given schemaOID. Inverse of
+    {!store} up to list ordering. Raises on unknown OID or on dictionary
+    content that does not satisfy super-schema invariants (e.g. a node
+    with two SM_Types — legal in a translated PG-model schema but not in
+    a super-schema). *)
+
+val schemas : t -> (int * string) list
+(** Registered [(schemaOID, name)] pairs, oldest first. *)
+
+val find_schema : t -> string -> int option
+
+val next_schema_oid : t -> int
+(** The OID the next {!store} (or derived translation) may use;
+    translations reserve ids with {!reserve_oid}. *)
+
+val reserve_oid : t -> name:string -> int
+(** Register a schema id without content (SSST writes the content by
+    reasoning). *)
+
+val element_count : t -> int -> int
+(** Number of dictionary elements (nodes and edges) carrying the given
+    schemaOID. *)

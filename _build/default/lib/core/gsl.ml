@@ -1,0 +1,316 @@
+open Kgm_common
+module L = Kgm_vadalog.Lexer
+
+type state = { mutable toks : L.t list }
+
+let peek st = match st.toks with t :: _ -> t.L.tok | [] -> L.EOF
+let line st = match st.toks with t :: _ -> t.L.line | [] -> 0
+
+let next st =
+  match st.toks with
+  | t :: rest ->
+      st.toks <- rest;
+      t.L.tok
+  | [] -> L.EOF
+
+let expect st tok =
+  let found = next st in
+  if found <> tok then
+    Kgm_error.parse_error "gsl line %d: expected %s, found %s" (line st)
+      (L.token_name tok) (L.token_name found)
+
+let accept st tok =
+  if peek st = tok then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+let ident st =
+  match next st with
+  | L.IDENT s -> s
+  | tok ->
+      Kgm_error.parse_error "gsl line %d: expected identifier, found %s"
+        (line st) (L.token_name tok)
+
+let keyword st kw =
+  match next st with
+  | L.IDENT s when s = kw -> ()
+  | tok ->
+      Kgm_error.parse_error "gsl line %d: expected %S, found %s" (line st) kw
+        (L.token_name tok)
+
+(* ------------------------------------------------------------------ *)
+
+let parse_literal st =
+  match next st with
+  | L.INT i -> Value.Int i
+  | L.FLOAT f -> Value.Float f
+  | L.STRING s -> Value.String s
+  | L.IDENT "true" -> Value.Bool true
+  | L.IDENT "false" -> Value.Bool false
+  | L.MINUS ->
+      (match next st with
+       | L.INT i -> Value.Int (-i)
+       | L.FLOAT f -> Value.Float (-.f)
+       | tok -> Kgm_error.parse_error "gsl: bad literal %s" (L.token_name tok))
+  | tok -> Kgm_error.parse_error "gsl: bad literal %s" (L.token_name tok)
+
+let parse_number_opt st =
+  match peek st with
+  | L.INT i ->
+      ignore (next st);
+      Some (float_of_int i)
+  | L.FLOAT f ->
+      ignore (next st);
+      Some f
+  | L.IDENT "none" ->
+      ignore (next st);
+      None
+  | tok -> Kgm_error.parse_error "gsl: bad range bound %s" (L.token_name tok)
+
+(* markers after "name: type" *)
+let parse_attr_markers st =
+  let opt = ref false and id = ref false and intensional = ref false in
+  let modifiers = ref [] in
+  let continue = ref true in
+  while !continue do
+    if accept st L.AT then begin
+      match ident st with
+      | "id" -> id := true
+      | "opt" -> opt := true
+      | "intensional" -> intensional := true
+      | "unique" -> modifiers := Supermodel.Unique :: !modifiers
+      | "enum" ->
+          expect st L.LPAREN;
+          let rec loop acc =
+            match next st with
+            | L.STRING s | L.IDENT s ->
+                if accept st L.COMMA then loop (s :: acc)
+                else begin
+                  expect st L.RPAREN;
+                  List.rev (s :: acc)
+                end
+            | tok ->
+                Kgm_error.parse_error "gsl: bad enum value %s" (L.token_name tok)
+          in
+          modifiers := Supermodel.Enum (loop []) :: !modifiers
+      | "default" ->
+          expect st L.LPAREN;
+          let v = parse_literal st in
+          expect st L.RPAREN;
+          modifiers := Supermodel.Default v :: !modifiers
+      | "range" ->
+          expect st L.LPAREN;
+          let lo = parse_number_opt st in
+          expect st L.COMMA;
+          let hi = parse_number_opt st in
+          expect st L.RPAREN;
+          modifiers := Supermodel.Range (lo, hi) :: !modifiers
+      | m -> Kgm_error.parse_error "gsl line %d: unknown marker @%s" (line st) m
+    end
+    else continue := false
+  done;
+  (!opt, !id, !intensional, List.rev !modifiers)
+
+let parse_attr st =
+  let name = ident st in
+  expect st L.COLON;
+  let ty_name = ident st in
+  let ty =
+    match Value.ty_of_string ty_name with
+    | Some ty -> ty
+    | None -> Kgm_error.parse_error "gsl line %d: unknown type %s" (line st) ty_name
+  in
+  let opt, id, intensional, modifiers = parse_attr_markers st in
+  expect st L.SEMI;
+  Supermodel.attribute ~opt ~id ~intensional ~modifiers name ty
+
+let parse_attr_block st =
+  if accept st L.LBRACE then begin
+    let rec loop acc =
+      if accept st L.RBRACE then List.rev acc else loop (parse_attr st :: acc)
+    in
+    loop []
+  end
+  else []
+
+(* [a..b -> c..d]; omitted block means unconstrained 0..N -> 0..N *)
+let parse_cardinality st =
+  if accept st L.LBRACKET then begin
+    let bound () =
+      match next st with
+      | L.INT 0 -> `Zero
+      | L.INT 1 -> `One
+      | L.IDENT ("N" | "n") -> `Many
+      | tok ->
+          Kgm_error.parse_error "gsl line %d: bad cardinality bound %s" (line st)
+            (L.token_name tok)
+    in
+    let range () =
+      let lo = bound () in
+      expect st L.DOT;
+      expect st L.DOT;
+      let hi = bound () in
+      (match lo, hi with
+       | `Many, _ -> Kgm_error.parse_error "gsl: N cannot be a lower bound"
+       | _, `Zero -> Kgm_error.parse_error "gsl: 0 cannot be an upper bound"
+       | _ -> ());
+      (lo = `Zero, hi = `One) (* (isOpt, isFun) *)
+    in
+    let opt1, fun1 = range () in
+    expect st L.MINUS;
+    expect st L.GT;
+    let opt2, fun2 = range () in
+    expect st L.RBRACKET;
+    (opt1, fun1, opt2, fun2)
+  end
+  else (true, false, true, false)
+
+let parse_generalization_markers st =
+  let total = ref false and disjoint = ref false in
+  while peek st = L.AT do
+    ignore (next st);
+    match ident st with
+    | "total" -> total := true
+    | "disjoint" -> disjoint := true
+    | m -> Kgm_error.parse_error "gsl: unknown generalization marker @%s" m
+  done;
+  (!total, !disjoint)
+
+let parse_schema st =
+  keyword st "schema";
+  let name = ident st in
+  expect st L.LBRACE;
+  let schema = ref (Supermodel.empty name) in
+  let rec loop () =
+    if accept st L.RBRACE then ()
+    else begin
+      let intensional = accept st (L.IDENT "intensional") in
+      (match ident st with
+       | "node" ->
+           let n_name = ident st in
+           let attrs = parse_attr_block st in
+           schema := Supermodel.add_node !schema (Supermodel.node ~intensional n_name attrs)
+       | "edge" ->
+           let e_name = ident st in
+           keyword st "from";
+           let from = ident st in
+           keyword st "to";
+           let to_ = ident st in
+           let opt1, fun1, opt2, fun2 = parse_cardinality st in
+           let attrs = parse_attr_block st in
+           if peek st = L.SEMI then ignore (next st);
+           schema :=
+             Supermodel.add_edge !schema
+               (Supermodel.edge ~intensional ~attrs ~opt1 ~fun1 ~opt2 ~fun2 e_name
+                  ~from ~to_)
+       | "generalization" ->
+           if intensional then
+             Kgm_error.parse_error "gsl: generalizations cannot be intensional";
+           let g_name = ident st in
+           keyword st "of";
+           let parent = ident st in
+           expect st L.EQ;
+           let rec children acc =
+             let c = ident st in
+             if accept st L.PIPE then children (c :: acc) else List.rev (c :: acc)
+           in
+           let children = children [] in
+           let total, disjoint = parse_generalization_markers st in
+           expect st L.SEMI;
+           schema :=
+             Supermodel.add_generalization !schema
+               (Supermodel.generalization ~total ~disjoint g_name ~parent ~children)
+       | kw -> Kgm_error.parse_error "gsl line %d: unknown declaration %S" (line st) kw);
+      loop ()
+    end
+  in
+  loop ();
+  !schema
+
+let parse src =
+  let st = { toks = L.tokenize src } in
+  let schema = parse_schema st in
+  (match peek st with
+   | L.EOF -> ()
+   | tok ->
+       Kgm_error.parse_error "gsl: trailing input (%s)" (L.token_name tok));
+  schema
+
+let parse_validated src =
+  let s = parse src in
+  match Supermodel.validate s with
+  | Ok () -> s
+  | Error errs ->
+      Kgm_error.validate_error "invalid GSL schema:@ %s" (String.concat "; " errs)
+
+(* ------------------------------------------------------------------ *)
+
+let print_modifier buf = function
+  | Supermodel.Unique -> Buffer.add_string buf " @unique"
+  | Supermodel.Enum vs ->
+      Buffer.add_string buf
+        (Printf.sprintf " @enum(%s)"
+           (String.concat ", " (List.map (Printf.sprintf "%S") vs)))
+  | Supermodel.Default v ->
+      Buffer.add_string buf (Printf.sprintf " @default(%s)" (Value.to_string v))
+  | Supermodel.Range (lo, hi) ->
+      let b = function Some f -> Printf.sprintf "%g" f | None -> "none" in
+      Buffer.add_string buf (Printf.sprintf " @range(%s, %s)" (b lo) (b hi))
+
+let print_attr buf (a : Supermodel.attribute) =
+  Buffer.add_string buf
+    (Printf.sprintf "    %s: %s" a.Supermodel.at_name
+       (Value.ty_to_string a.Supermodel.at_ty));
+  if a.Supermodel.at_id then Buffer.add_string buf " @id";
+  if a.Supermodel.at_opt then Buffer.add_string buf " @opt";
+  if a.Supermodel.at_intensional then Buffer.add_string buf " @intensional";
+  List.iter (print_modifier buf) a.Supermodel.at_modifiers;
+  Buffer.add_string buf ";\n"
+
+let card_str opt fn =
+  Printf.sprintf "%s..%s" (if opt then "0" else "1") (if fn then "1" else "N")
+
+let print (s : Supermodel.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "schema %s {\n" s.Supermodel.s_name);
+  List.iter
+    (fun (n : Supermodel.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %snode %s"
+           (if n.Supermodel.n_intensional then "intensional " else "")
+           n.Supermodel.n_name);
+      if n.Supermodel.n_attrs = [] then Buffer.add_string buf " {}\n"
+      else begin
+        Buffer.add_string buf " {\n";
+        List.iter (print_attr buf) n.Supermodel.n_attrs;
+        Buffer.add_string buf "  }\n"
+      end)
+    s.Supermodel.nodes;
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %sedge %s from %s to %s [%s -> %s]"
+           (if e.Supermodel.e_intensional then "intensional " else "")
+           e.Supermodel.e_name e.Supermodel.e_from e.Supermodel.e_to
+           (card_str e.Supermodel.e_opt1 e.Supermodel.e_fun1)
+           (card_str e.Supermodel.e_opt2 e.Supermodel.e_fun2));
+      if e.Supermodel.e_attrs = [] then Buffer.add_string buf ";\n"
+      else begin
+        Buffer.add_string buf " {\n";
+        List.iter (print_attr buf) e.Supermodel.e_attrs;
+        Buffer.add_string buf "  }\n"
+      end)
+    s.Supermodel.edges;
+  List.iter
+    (fun (g : Supermodel.generalization) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  generalization %s of %s = %s%s%s;\n"
+           g.Supermodel.g_name g.Supermodel.g_parent
+           (String.concat " | " g.Supermodel.g_children)
+           (if g.Supermodel.g_total then " @total" else "")
+           (if g.Supermodel.g_disjoint then " @disjoint" else "")))
+    s.Supermodel.generalizations;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

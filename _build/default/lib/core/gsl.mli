@@ -1,0 +1,44 @@
+(** GSL — the Graph Schema Language (paper, Sec. 2.2/3.2).
+
+    In the paper GSL is the visual language produced by the rendering
+    function Γ_SM; KGSE serializes diagrams into the super-model
+    dictionary. This module implements the serialized, textual form of
+    GSL plus its parser, so designs are reproducible files:
+
+    {v
+    schema company_kg {
+      node Person {
+        fiscalCode: string @id @unique;
+        name: string;
+      }
+      node PhysicalPerson {
+        gender: string;
+        birthDate: date @opt;
+      }
+      generalization PersonKind of Person =
+        PhysicalPerson | LegalPerson @total @disjoint;
+      edge HOLDS from Person to Share [0..N -> 1..N] {
+        right: string @enum("ownership", "bareOwnership", "usufruct");
+        percentage: float;
+      }
+      intensional edge CONTROLS from Person to Business;
+    }
+    v}
+
+    Cardinality [\[a..b -> c..d\]] reads: each FROM instance reaches
+    between [a] and [b] TO instances; each TO instance is reached by
+    between [c] and [d] FROM instances ([b]/[d] are [1] or [N]).
+    Attribute markers: [@id], [@opt], [@unique], [@intensional],
+    [@enum("v1", ...)], [@default(lit)], [@range(lo, hi)]. Node/edge
+    prefix [intensional] marks derived constructs (dashed graphemes in
+    Fig. 3). *)
+
+val parse : string -> Supermodel.t
+(** Raises [Kgm_common.Kgm_error.Error] on syntax errors; the result is
+    NOT yet validated — run {!Supermodel.validate}. *)
+
+val parse_validated : string -> Supermodel.t
+(** Parse then validate; raises on either failure. *)
+
+val print : Supermodel.t -> string
+(** Render back to GSL text; [parse (print s)] is [s] up to formatting. *)

@@ -1,0 +1,257 @@
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+type t = {
+  dict : Dictionary.t;
+  mutable registry : (int * int) list; (* instanceOID -> schemaOID *)
+  mutable next : int;
+  null_gen : int ref;
+}
+
+let create dict = { dict; registry = []; next = 1; null_gen = ref 2_000_000_000 }
+
+let dictionary t = t.dict
+
+let instances t = t.registry
+
+let fresh_null t =
+  incr t.null_gen;
+  Value.Null !(t.null_gen)
+
+(* dictionary lookup helpers *)
+
+let g t = Dictionary.graph t.dict
+
+let construct_with_type t sid construct_label type_link name =
+  PG.nodes_with_label (g t) construct_label
+  |> List.find_opt (fun id ->
+         PG.node_prop (g t) id "schemaOID" = Some (Value.Int sid)
+         && List.exists
+              (fun ty -> PG.node_prop (g t) ty "name" = Some (Value.String name))
+              (PG.neighbors_out ~label:type_link (g t) id))
+
+let node_construct t sid name =
+  construct_with_type t sid "SM_Node" "SM_HAS_NODE_TYPE" name
+
+let edge_construct t sid name =
+  construct_with_type t sid "SM_Edge" "SM_HAS_EDGE_TYPE" name
+
+let attrs_of_construct t id link =
+  List.map
+    (fun a ->
+      let name =
+        match PG.node_prop (g t) a "name" with
+        | Some (Value.String s) -> s
+        | _ -> Kgm_error.storage_error "attribute without name"
+      in
+      let intensional =
+        PG.node_prop (g t) a "isIntensional" = Some (Value.Bool true)
+      in
+      (name, a, intensional))
+    (PG.neighbors_out ~label:link (g t) id)
+
+(* ------------------------------------------------------------------ *)
+
+let store t ~schema_oid data =
+  let iid = t.next in
+  t.next <- iid + 1;
+  t.registry <- t.registry @ [ (iid, schema_oid) ];
+  let gd = g t in
+  let add_attr owner owner_link construct_attr value =
+    let ia =
+      PG.add_node gd ~labels:[ "I_SM_Attribute" ]
+        ~props:[ ("instanceOID", Value.Int iid); ("value", value) ]
+    in
+    ignore
+      (PG.add_edge gd ~label:owner_link ~src:owner ~dst:ia
+         ~props:[ ("instanceOID", Value.Int iid) ]);
+    ignore
+      (PG.add_edge gd ~label:"SM_REFERENCES" ~src:ia ~dst:construct_attr
+         ~props:[ ("instanceOID", Value.Int iid) ])
+  in
+  let inode_of = Hashtbl.create 256 in
+  PG.iter_nodes data (fun id ->
+      let label =
+        match PG.node_labels data id with
+        | [ l ] -> l
+        | ls ->
+            Kgm_error.storage_error "data node %s must carry one label (has %d)"
+              (Oid.to_string id) (List.length ls)
+      in
+      let construct =
+        match node_construct t schema_oid label with
+        | Some c -> c
+        | None ->
+            Kgm_error.storage_error "no SM_Node construct for label %s" label
+      in
+      let inode =
+        PG.add_node gd ~labels:[ "I_SM_Node" ]
+          ~props:
+            [ ("instanceOID", Value.Int iid); ("dataOID", Value.Id id) ]
+      in
+      Hashtbl.add inode_of id inode;
+      ignore
+        (PG.add_edge gd ~label:"SM_REFERENCES" ~src:inode ~dst:construct
+           ~props:[ ("instanceOID", Value.Int iid) ]);
+      let props = PG.node_props data id in
+      (* every extensional attribute along the generalization chain *)
+      let rec constructs_up c acc =
+        let acc = c :: acc in
+        match
+          List.find_opt
+            (fun p -> List.mem "SM_Generalization" (PG.node_labels gd p))
+            (PG.neighbors_in ~label:"SM_CHILD" gd c)
+        with
+        | Some gen ->
+            (match PG.neighbors_out ~label:"SM_PARENT" gd gen with
+             | p :: _ -> constructs_up p acc
+             | [] -> acc)
+        | None -> acc
+      in
+      let attr_specs =
+        List.concat_map
+          (fun c -> attrs_of_construct t c "SM_HAS_NODE_PROPERTY")
+          (constructs_up construct [])
+      in
+      List.iter
+        (fun (aname, aconstruct, intensional) ->
+          if not intensional then
+            let value =
+              match List.assoc_opt aname props with
+              | Some v -> v
+              | None -> fresh_null t
+            in
+            add_attr inode "I_SM_HAS_NODE_ATTR" aconstruct value)
+        attr_specs;
+      (* unknown properties are conformance errors *)
+      List.iter
+        (fun (k, _) ->
+          if not (List.exists (fun (a, _, _) -> a = k) attr_specs) then
+            Kgm_error.storage_error "data node property %s not in schema (%s)" k
+              label)
+        props);
+  PG.iter_edges data (fun id ->
+      let label = PG.edge_label data id in
+      let construct =
+        match edge_construct t schema_oid label with
+        | Some c -> c
+        | None ->
+            Kgm_error.storage_error "no SM_Edge construct for label %s" label
+      in
+      let src, dst = PG.edge_ends data id in
+      let iedge =
+        PG.add_node gd ~labels:[ "I_SM_Edge" ]
+          ~props:[ ("instanceOID", Value.Int iid); ("dataOID", Value.Id id) ]
+      in
+      ignore
+        (PG.add_edge gd ~label:"SM_REFERENCES" ~src:iedge ~dst:construct
+           ~props:[ ("instanceOID", Value.Int iid) ]);
+      ignore
+        (PG.add_edge gd ~label:"I_SM_FROM" ~src:iedge
+           ~dst:(Hashtbl.find inode_of src)
+           ~props:[ ("instanceOID", Value.Int iid) ]);
+      ignore
+        (PG.add_edge gd ~label:"I_SM_TO" ~src:iedge
+           ~dst:(Hashtbl.find inode_of dst)
+           ~props:[ ("instanceOID", Value.Int iid) ]);
+      let props = PG.edge_props data id in
+      let attr_specs = attrs_of_construct t construct "SM_HAS_EDGE_PROPERTY" in
+      List.iter
+        (fun (aname, aconstruct, intensional) ->
+          if not intensional then
+            let value =
+              match List.assoc_opt aname props with
+              | Some v -> v
+              | None -> fresh_null t
+            in
+            add_attr iedge "I_SM_HAS_EDGE_ATTR" aconstruct value)
+        attr_specs);
+  iid
+
+(* ------------------------------------------------------------------ *)
+
+let in_instance t iid id =
+  PG.node_prop (g t) id "instanceOID" = Some (Value.Int iid)
+
+let data_oid t id =
+  match PG.node_prop (g t) id "dataOID" with
+  | Some (Value.Id o) -> Some o
+  | _ -> None
+
+let construct_type_name t id link =
+  match PG.neighbors_out ~label:"SM_REFERENCES" (g t) id with
+  | c :: _ ->
+      (match PG.neighbors_out ~label:link (g t) c with
+       | ty :: _ ->
+           (match PG.node_prop (g t) ty "name" with
+            | Some (Value.String s) -> Some s
+            | _ -> None)
+       | [] -> None)
+  | [] -> None
+
+let attr_values t owner link =
+  List.filter_map
+    (fun ia ->
+      let value = PG.node_prop (g t) ia "value" in
+      let name =
+        match PG.neighbors_out ~label:"SM_REFERENCES" (g t) ia with
+        | a :: _ ->
+            (match PG.node_prop (g t) a "name" with
+             | Some (Value.String s) -> Some s
+             | _ -> None)
+        | [] -> None
+      in
+      match name, value with
+      | Some n, Some v when not (Value.is_null v) -> Some (n, v)
+      | _ -> None)
+    (PG.neighbors_out ~label:link (g t) owner)
+
+let load t iid =
+  let gd = g t in
+  let out = PG.create () in
+  let data_of = Hashtbl.create 256 in
+  List.iter
+    (fun inode ->
+      if in_instance t iid inode then begin
+        let label =
+          match construct_type_name t inode "SM_HAS_NODE_TYPE" with
+          | Some l -> l
+          | None -> Kgm_error.storage_error "I_SM_Node without construct type"
+        in
+        let id =
+          match data_oid t inode with Some o -> o | None -> inode
+        in
+        Hashtbl.add data_of inode id;
+        ignore
+          (PG.add_node ~id out ~labels:[ label ]
+             ~props:(attr_values t inode "I_SM_HAS_NODE_ATTR"))
+      end)
+    (PG.nodes_with_label gd "I_SM_Node");
+  List.iter
+    (fun iedge ->
+      if in_instance t iid iedge then begin
+        let label =
+          match construct_type_name t iedge "SM_HAS_EDGE_TYPE" with
+          | Some l -> l
+          | None -> Kgm_error.storage_error "I_SM_Edge without construct type"
+        in
+        let endpoint link =
+          match PG.neighbors_out ~label:link gd iedge with
+          | n :: _ -> Hashtbl.find data_of n
+          | [] -> Kgm_error.storage_error "I_SM_Edge without %s" link
+        in
+        let id = match data_oid t iedge with Some o -> o | None -> iedge in
+        ignore
+          (PG.add_edge ~id out ~label ~src:(endpoint "I_SM_FROM")
+             ~dst:(endpoint "I_SM_TO")
+             ~props:(attr_values t iedge "I_SM_HAS_EDGE_ATTR"))
+      end)
+    (PG.nodes_with_label gd "I_SM_Edge");
+  out
+
+let element_counts t iid =
+  let count label =
+    List.length
+      (List.filter (in_instance t iid) (PG.nodes_with_label (g t) label))
+  in
+  (count "I_SM_Node", count "I_SM_Edge", count "I_SM_Attribute")

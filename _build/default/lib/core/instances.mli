@@ -1,0 +1,43 @@
+(** Instance-level constructs (paper, Sec. 6 / Fig. 9): the dictionary
+    is extended with an I_C counterpart for each super-construct C, so
+    super-components — instances of super-schemas — can be stored next
+    to the super-schemas themselves. Every instance element carries an
+    [instanceOID] and an [SM_REFERENCES] edge to the construct it
+    instantiates; data values live in [I_SM_Attribute.value].
+
+    [store] implements the instance-loading direction of Algorithm 2
+    (lines 1-4): the source property-graph instance D is loaded into the
+    instance super-constructs via the quasi-inverse of the copy phase —
+    labels resolve to SM_Node constructs, properties to SM_Attributes
+    (every extensional schema attribute materializes, absent optional
+    values become fresh labeled nulls so unknowns never join).
+    [load] is the inverse; [load (store d)] reproduces d up to the
+    labeled nulls introduced for missing optional attributes. *)
+
+open Kgm_common
+
+type t
+
+val create : Dictionary.t -> t
+
+val dictionary : t -> Dictionary.t
+
+val store :
+  t -> schema_oid:int -> Kgm_graphdb.Pgraph.t -> int
+(** Load a data graph conforming to the super-schema; returns the fresh
+    instanceOID. Data nodes must carry exactly one label naming a
+    schema SM_Node; properties must name schema attributes. Raises
+    [Kgm_error.Error] on conformance violations. *)
+
+val load : t -> int -> Kgm_graphdb.Pgraph.t
+(** Decode the super-component back into a property graph; derived
+    (intensional) elements materialized by Algorithm 2 are included. *)
+
+val instances : t -> (int * int) list
+(** Registered [(instanceOID, schemaOID)] pairs. *)
+
+val element_counts : t -> int -> int * int * int
+(** (I_SM_Node, I_SM_Edge, I_SM_Attribute) counts for an instance. *)
+
+val data_oid : t -> Oid.t -> Oid.t option
+(** The original data-graph OID recorded on an I_SM_Node/I_SM_Edge. *)

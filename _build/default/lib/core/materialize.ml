@@ -1,0 +1,220 @@
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+module DB = Kgm_vadalog.Database
+
+type report = {
+  instance_oid : int;
+  load_s : float;
+  reason_s : float;
+  flush_s : float;
+  engine_stats : Kgm_vadalog.Engine.stats;
+  derived_nodes : int;
+  derived_edges : int;
+  derived_attrs : int;
+}
+
+let label_schema_of_supermodel (s : Supermodel.t) ls =
+  List.iter
+    (fun (n : Supermodel.node) ->
+      Kgm_metalog.Label_schema.declare_node_label ls n.Supermodel.n_name;
+      List.iter
+        (fun (a : Supermodel.attribute) ->
+          Kgm_metalog.Label_schema.add_node_prop ls n.Supermodel.n_name
+            a.Supermodel.at_name)
+        (Supermodel.all_attributes s n.Supermodel.n_name))
+    s.Supermodel.nodes;
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      Kgm_metalog.Label_schema.declare_edge_label ls e.Supermodel.e_name;
+      List.iter
+        (fun (a : Supermodel.attribute) ->
+          Kgm_metalog.Label_schema.add_edge_prop ls e.Supermodel.e_name
+            a.Supermodel.at_name)
+        e.Supermodel.e_attrs)
+    s.Supermodel.edges
+
+let now () = Unix.gettimeofday ()
+
+(* instance-level labels whose derived facts flow back to the dictionary *)
+let instance_node_labels = [ "I_SM_Node"; "I_SM_Edge"; "I_SM_Attribute" ]
+
+let instance_edge_labels =
+  [ "SM_REFERENCES"; "I_SM_FROM"; "I_SM_TO"; "I_SM_HAS_NODE_ATTR";
+    "I_SM_HAS_EDGE_ATTR" ]
+
+let materialize ?options ~instances ~schema ~schema_oid ~data ~sigma () =
+  let dict = Instances.dictionary instances in
+  let gd = Dictionary.graph dict in
+  (* ---- lines 1-4: load D into the super-components ---- *)
+  let t0 = now () in
+  let instance_oid = Instances.store instances ~schema_oid data in
+  (* parse Σ and generate the views *)
+  let sigma_prog = Kgm_metalog.Mparser.parse_program sigma in
+  let vi =
+    Views.input_views ~schema ~schema_oid ~instance_oid sigma_prog
+  in
+  let vo =
+    Views.output_views ~schema ~schema_oid ~instance_oid sigma_prog
+  in
+  let vi_prog = Kgm_metalog.Mparser.parse_program vi in
+  let vo_prog = Kgm_metalog.Mparser.parse_program vo in
+  (* phase 1 applies V_I ∪ Σ, phase 2 applies V_O on the accumulated
+     facts: the incremental, stratified execution described at the end
+     of Sec. 6 (it also cuts the V_O -> V_I feedback loop, which is
+     semantically final) *)
+  let phase1 =
+    { Kgm_metalog.Ast.rules =
+        vi_prog.Kgm_metalog.Ast.rules @ sigma_prog.Kgm_metalog.Ast.rules;
+      annotations = [] }
+  in
+  (* label schema: dictionary labels + schema construct labels; shared
+     by both phases so predicate layouts agree *)
+  let ls = Kgm_metalog.Label_schema.create () in
+  Kgm_metalog.Label_schema.observe_graph ls gd;
+  label_schema_of_supermodel schema ls;
+  Kgm_metalog.Label_schema.observe_program ls phase1;
+  Kgm_metalog.Label_schema.observe_program ls vo_prog;
+  let { Kgm_metalog.Mtv.program = program1; schema = ls } =
+    Kgm_metalog.Mtv.translate ~schema:ls phase1
+  in
+  let { Kgm_metalog.Mtv.program = program2; schema = ls } =
+    Kgm_metalog.Mtv.translate ~schema:ls vo_prog
+  in
+  let db = DB.create () in
+  Kgm_metalog.Pg_bridge.load ls gd db;
+  let load_s = now () -. t0 in
+  (* ---- lines 7-8: the reasoning passes ---- *)
+  let t1 = now () in
+  let stats1 = Kgm_vadalog.Engine.run ?options program1 db in
+  let stats2 = Kgm_vadalog.Engine.run ?options program2 db in
+  let engine_stats =
+    { Kgm_vadalog.Engine.rounds =
+        stats1.Kgm_vadalog.Engine.rounds + stats2.Kgm_vadalog.Engine.rounds;
+      new_facts =
+        stats1.Kgm_vadalog.Engine.new_facts + stats2.Kgm_vadalog.Engine.new_facts;
+      elapsed_s =
+        stats1.Kgm_vadalog.Engine.elapsed_s +. stats2.Kgm_vadalog.Engine.elapsed_s }
+  in
+  let reason_s = now () -. t1 in
+  (* ---- line 9: materialize into the dictionary, flush into D ---- *)
+  let t2 = now () in
+  let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
+  List.iter
+    (fun l -> ignore (Kgm_metalog.Pg_bridge.store_nodes wb ls db l))
+    instance_node_labels;
+  List.iter
+    (fun l -> ignore (Kgm_metalog.Pg_bridge.store_edges wb ls db l))
+    instance_edge_labels;
+  (* flush: new instance elements (no dataOID) become data elements; new
+     attribute values are set on their data owners *)
+  let derived_nodes = ref 0 and derived_edges = ref 0 and derived_attrs = ref 0 in
+  let in_instance id =
+    PG.node_prop gd id "instanceOID" = Some (Value.Int instance_oid)
+  in
+  let construct_type id link =
+    match PG.neighbors_out ~label:"SM_REFERENCES" gd id with
+    | c :: _ ->
+        (match PG.neighbors_out ~label:link gd c with
+         | ty :: _ ->
+             (match PG.node_prop gd ty "name" with
+              | Some (Value.String s) -> Some s
+              | _ -> None)
+         | [] -> None)
+    | [] -> None
+  in
+  let data_id = Hashtbl.create 256 in
+  let data_id_of inode =
+    match Hashtbl.find_opt data_id inode with
+    | Some d -> d
+    | None ->
+        let d =
+          match PG.node_prop gd inode "dataOID" with
+          | Some (Value.Id o) -> o
+          | _ -> inode (* derived node: reuse the dictionary id in D *)
+        in
+        Hashtbl.add data_id inode d;
+        d
+  in
+  (* derived nodes first *)
+  List.iter
+    (fun inode ->
+      if in_instance inode && PG.node_prop gd inode "dataOID" = None then begin
+        match construct_type inode "SM_HAS_NODE_TYPE" with
+        | Some label ->
+            let did = data_id_of inode in
+            if not (PG.node_exists data did) then begin
+              ignore (PG.add_node ~id:did data ~labels:[ label ] ~props:[]);
+              incr derived_nodes
+            end
+        | None -> ()
+      end)
+    (PG.nodes_with_label gd "I_SM_Node");
+  (* attribute values (both on old and new nodes/edges) *)
+  let flush_attrs owner link set_prop =
+    List.iter
+      (fun ia ->
+        if PG.node_prop gd ia "instanceOID" = Some (Value.Int instance_oid)
+        then
+          match PG.node_prop gd ia "value" with
+          | Some v when not (Value.is_null v) ->
+              let attr_name =
+                match PG.neighbors_out ~label:"SM_REFERENCES" gd ia with
+                | a :: _ ->
+                    (match PG.node_prop gd a "name" with
+                     | Some (Value.String s) -> Some s
+                     | _ -> None)
+                | [] -> None
+              in
+              (match attr_name with
+               | Some k ->
+                   if set_prop k v then incr derived_attrs
+               | None -> ())
+          | _ -> ())
+      (PG.neighbors_out ~label:link gd owner)
+  in
+  List.iter
+    (fun inode ->
+      if in_instance inode then begin
+        let did = data_id_of inode in
+        if PG.node_exists data did then
+          flush_attrs inode "I_SM_HAS_NODE_ATTR" (fun k v ->
+              match PG.node_prop data did k with
+              | Some v' when Value.equal v v' -> false
+              | _ ->
+                  PG.set_node_prop data did k v;
+                  true)
+      end)
+    (PG.nodes_with_label gd "I_SM_Node");
+  (* derived edges *)
+  List.iter
+    (fun iedge ->
+      if in_instance iedge && PG.node_prop gd iedge "dataOID" = None then begin
+        match construct_type iedge "SM_HAS_EDGE_TYPE" with
+        | Some label ->
+            let endpoint link =
+              match PG.neighbors_out ~label:link gd iedge with
+              | n :: _ -> Some (data_id_of n)
+              | [] -> None
+            in
+            (match endpoint "I_SM_FROM", endpoint "I_SM_TO" with
+             | Some src, Some dst
+               when PG.node_exists data src && PG.node_exists data dst ->
+                 if not (PG.edge_exists data iedge) then begin
+                   ignore (PG.add_edge ~id:iedge data ~label ~src ~dst ~props:[]);
+                   incr derived_edges
+                 end;
+                 flush_attrs iedge "I_SM_HAS_EDGE_ATTR" (fun k v ->
+                     match PG.edge_prop data iedge k with
+                     | Some v' when Value.equal v v' -> false
+                     | _ ->
+                         PG.set_edge_prop data iedge k v;
+                         true)
+             | _ -> ())
+        | None -> ()
+      end)
+    (PG.nodes_with_label gd "I_SM_Edge");
+  let flush_s = now () -. t2 in
+  { instance_oid; load_s; reason_s; flush_s; engine_stats;
+    derived_nodes = !derived_nodes;
+    derived_edges = !derived_edges;
+    derived_attrs = !derived_attrs }

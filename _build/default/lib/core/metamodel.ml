@@ -1,0 +1,110 @@
+(** The meta-model (paper, Sec. 3.1 / Fig. 2): the foundational
+    meta-constructs every super-construct specializes — MM_Entity,
+    MM_Link, MM_Property — together with the instance rendering function
+    Γ_MM that visualizes instances of the meta-model (the super-model
+    dictionary of Fig. 3 is itself such an instance).
+
+    The meta-model is fixed, so this module is mostly static data plus
+    the specialization table tying each super-construct to its
+    meta-construct. *)
+
+type meta_construct = MM_Entity | MM_Link | MM_Property
+
+let meta_construct_name = function
+  | MM_Entity -> "MM_Entity"
+  | MM_Link -> "MM_Link"
+  | MM_Property -> "MM_Property"
+
+(** The super-constructs of Fig. 3 with the meta-construct each
+    specializes. This is the super-model dictionary at type level. *)
+let super_constructs : (string * meta_construct) list =
+  [ ("SM_Node", MM_Entity);
+    ("SM_Edge", MM_Entity);
+    ("SM_Type", MM_Entity);
+    ("SM_Attribute", MM_Entity);
+    ("SM_AttributeModifier", MM_Entity);
+    ("SM_UniqueAttributeModifier", MM_Entity);
+    ("SM_EnumAttributeModifier", MM_Entity);
+    ("SM_Generalization", MM_Entity);
+    ("SM_HAS_NODE_TYPE", MM_Link);
+    ("SM_HAS_EDGE_TYPE", MM_Link);
+    ("SM_HAS_NODE_PROPERTY", MM_Link);
+    ("SM_HAS_EDGE_PROPERTY", MM_Link);
+    ("SM_HAS_MODIFIER", MM_Link);
+    ("SM_FROM", MM_Link);
+    ("SM_TO", MM_Link);
+    ("SM_PARENT", MM_Link);
+    ("SM_CHILD", MM_Link);
+    ("isIntensional", MM_Property);
+    ("isOpt", MM_Property);
+    ("isId", MM_Property);
+    ("isOpt1", MM_Property);
+    ("isFun1", MM_Property);
+    ("isOpt2", MM_Property);
+    ("isFun2", MM_Property);
+    ("isTotal", MM_Property);
+    ("isDisjoint", MM_Property);
+    ("name", MM_Property) ]
+
+let meta_construct_of name = List.assoc_opt name super_constructs
+
+let is_super_construct name = List.mem_assoc name super_constructs
+
+let entity_constructs =
+  List.filter_map
+    (fun (n, m) -> if m = MM_Entity then Some n else None)
+    super_constructs
+
+let link_constructs =
+  List.filter_map
+    (fun (n, m) -> if m = MM_Link then Some n else None)
+    super_constructs
+
+(** The links of the meta-model itself (Fig. 2), with UML-style
+    cardinalities: each MM_Link connects two MM_Entities; entities and
+    links carry MM_Properties. *)
+let meta_links =
+  [ ("MM_Link", "MM_Entity", "1..1 from");
+    ("MM_Link", "MM_Entity", "1..1 to");
+    ("MM_Entity", "MM_Property", "0..N has");
+    ("MM_Link", "MM_Property", "0..N has") ]
+
+(** Γ_MM rendered as Graphviz DOT: the visualization of Fig. 2. *)
+let render_gamma_mm () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph meta_model {\n  rankdir=LR;\n";
+  Buffer.add_string buf
+    "  node [shape=circle, fontsize=11, width=1.1, fixedsize=true];\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\"];\n" (meta_construct_name c)
+           (meta_construct_name c)))
+    [ MM_Entity; MM_Link; MM_Property ];
+  List.iter
+    (fun (src, dst, lbl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" src dst lbl))
+    meta_links;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** The super-model dictionary (Fig. 3) rendered by Γ_MM: one node per
+    super-construct, grouped by meta-construct. *)
+let render_super_model_dictionary () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph super_model {\n  rankdir=TB;\n";
+  Buffer.add_string buf "  subgraph cluster_entities {\n    label=\"MM_Entity instances\";\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\" [shape=box];\n" n))
+    entity_constructs;
+  Buffer.add_string buf "  }\n  subgraph cluster_links {\n    label=\"MM_Link instances\";\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\" [shape=ellipse, style=dashed];\n" n))
+    link_constructs;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf

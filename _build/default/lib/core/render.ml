@@ -1,0 +1,140 @@
+open Kgm_common
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* attribute line in the node label: the textual form of the lollipop
+   grapheme — ● mandatory, ○ optional, 🔑-style marker for identifying *)
+let attr_mark (a : Supermodel.attribute) =
+  if a.Supermodel.at_id then "[*]"
+  else if a.Supermodel.at_opt then "( )"
+  else "(*)"
+
+let attr_line a =
+  Printf.sprintf "%s %s: %s%s" (attr_mark a) a.Supermodel.at_name
+    (Value.ty_to_string a.Supermodel.at_ty)
+    (if a.Supermodel.at_intensional then " ~" else "")
+
+let card_label opt fn =
+  Printf.sprintf "%s..%s" (if opt then "0" else "1") (if fn then "1" else "N")
+
+let to_dot (s : Supermodel.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %s {\n  rankdir=TB;\n  node [shape=plain];\n"
+       (Names.sanitize_identifier s.Supermodel.s_name));
+  List.iter
+    (fun (n : Supermodel.node) ->
+      let border = if n.Supermodel.n_intensional then "dashed" else "solid" in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"%s\" [label=<<table border=\"1\" style=\"%s\" \
+            cellborder=\"0\" cellspacing=\"0\"><tr><td><b>%s</b></td></tr>"
+           n.Supermodel.n_name border (html_escape n.Supermodel.n_name));
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "<tr><td align=\"left\">%s</td></tr>"
+               (html_escape (attr_line a))))
+        n.Supermodel.n_attrs;
+      Buffer.add_string buf "</table>>];\n")
+    s.Supermodel.nodes;
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      let style = if e.Supermodel.e_intensional then "dashed" else "solid" in
+      let attrs =
+        if e.Supermodel.e_attrs = [] then ""
+        else
+          "\\n"
+          ^ String.concat "\\n"
+              (List.map
+                 (fun a -> html_escape (attr_line a))
+                 e.Supermodel.e_attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"%s\" -> \"%s\" [label=\"%s%s\", style=%s, taillabel=\"%s\", \
+            headlabel=\"%s\"];\n"
+           e.Supermodel.e_from e.Supermodel.e_to e.Supermodel.e_name attrs style
+           (card_label e.Supermodel.e_opt1 e.Supermodel.e_fun1)
+           (card_label e.Supermodel.e_opt2 e.Supermodel.e_fun2)))
+    s.Supermodel.edges;
+  (* generalization graphemes: arrowhead empty (UML-style), solid = total,
+     single head = disjoint, double head (diamond tail) = overlapping *)
+  List.iter
+    (fun (g : Supermodel.generalization) ->
+      let style = if g.Supermodel.g_total then "solid" else "dotted" in
+      let arrowhead = if g.Supermodel.g_disjoint then "onormal" else "odiamond" in
+      List.iter
+        (fun child ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"%s\" -> \"%s\" [style=%s, arrowhead=%s, penwidth=2, \
+                label=\"%s\"];\n"
+               child g.Supermodel.g_parent style arrowhead g.Supermodel.g_name))
+        g.Supermodel.g_children)
+    s.Supermodel.generalizations;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_ascii (s : Supermodel.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" s.Supermodel.s_name);
+  List.iter
+    (fun (n : Supermodel.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s\n"
+           (if n.Supermodel.n_intensional then "~" else "")
+           n.Supermodel.n_name);
+      List.iter
+        (fun a -> Buffer.add_string buf (Printf.sprintf "  o-- %s\n" (attr_line a)))
+        n.Supermodel.n_attrs)
+    s.Supermodel.nodes;
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s--[%s]--%s> %s  (%s -> %s)\n" e.Supermodel.e_from
+           (if e.Supermodel.e_intensional then "-" else "=")
+           e.Supermodel.e_name
+           (if e.Supermodel.e_intensional then "-" else "=")
+           e.Supermodel.e_to
+           (card_label e.Supermodel.e_opt1 e.Supermodel.e_fun1)
+           (card_label e.Supermodel.e_opt2 e.Supermodel.e_fun2));
+      List.iter
+        (fun a -> Buffer.add_string buf (Printf.sprintf "  o-- %s\n" (attr_line a)))
+        e.Supermodel.e_attrs)
+    s.Supermodel.edges;
+  List.iter
+    (fun (g : Supermodel.generalization) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s <|-- %s  [%s%s]\n" g.Supermodel.g_parent
+           (String.concat ", " g.Supermodel.g_children)
+           (if g.Supermodel.g_total then "total" else "partial")
+           (if g.Supermodel.g_disjoint then ", disjoint" else ", overlapping")))
+    s.Supermodel.generalizations;
+  Buffer.contents buf
+
+let grapheme_legend () =
+  String.concat "\n"
+    [ "SM_Node (extensional)          solid-border box, name from SM_Type";
+      "SM_Node (intensional)          dashed-border box";
+      "SM_Edge (extensional)          solid labeled arrow, UML cardinalities";
+      "SM_Edge (intensional)          dashed labeled arrow";
+      "SM_Attribute (mandatory)       filled lollipop (*)";
+      "SM_Attribute (optional)        empty lollipop ( )";
+      "SM_Attribute (identifying)     key-marked lollipop [*]";
+      "SM_Generalization total+disj   solid thick arrow, single empty head";
+      "SM_Generalization partial+disj dotted thick arrow, single empty head";
+      "SM_Generalization total        solid thick arrow, diamond head";
+      "SM_Generalization partial      dotted thick arrow, diamond head";
+      "SM_Type / SM_FROM / SM_TO / SM_PARENT / SM_CHILD / SM_HAS_*  implicit";
+      "" ]

@@ -1,0 +1,20 @@
+(** The rendering function Γ_SM (paper, Sec. 3.1–3.2 / Fig. 3): maps
+    super-construct instances to graphemes. Emitted as Graphviz DOT with
+    the figure's conventions — solid boxes for extensional SM_Nodes,
+    dashed for intensional ones, solid/dashed labeled arrows for
+    SM_Edges with UML-style cardinalities, lollipop-style attribute
+    lists (filled = mandatory, empty = optional, key-marked =
+    identifying), and generalization arrows whose head/solidity encode
+    total/disjoint. An ASCII renderer covers terminals. *)
+
+val to_dot : Supermodel.t -> string
+(** Deterministic DOT document for the whole design diagram (the shape
+    of Fig. 4). *)
+
+val to_ascii : Supermodel.t -> string
+(** Plain-text rendering: one block per node with its attribute
+    lollipops, then edges and generalizations. *)
+
+val grapheme_legend : unit -> string
+(** The Fig. 3 table: one line per super-construct with the textual
+    description of its grapheme. *)

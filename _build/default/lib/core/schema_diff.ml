@@ -1,0 +1,213 @@
+module SM = Supermodel
+
+type change =
+  | Added_node of string
+  | Removed_node of string
+  | Added_edge of string
+  | Removed_edge of string
+  | Added_attribute of string * string
+  | Removed_attribute of string * string
+  | Changed_attribute of string * string * string
+  | Changed_edge of string * string
+  | Added_generalization of string
+  | Removed_generalization of string
+  | Changed_generalization of string * string
+
+type verdict = Compatible | Needs_migration
+
+type t = {
+  changes : change list;
+  verdict : verdict;
+}
+
+(* A change is breaking when an instance of the old schema can violate
+   the new one. Additions of optional/intensional things are safe;
+   removals, tightenings and mandatory additions are not. *)
+let breaking = function
+  | Added_node _ -> false
+  | Removed_node _ -> true
+  | Added_edge _ -> false
+  | Removed_edge _ -> true
+  | Added_attribute (_, _) -> false (* flagged Changed_attribute if mandatory *)
+  | Removed_attribute _ -> true
+  | Changed_attribute _ -> true
+  | Changed_edge _ -> true
+  | Added_generalization _ -> false
+  | Removed_generalization _ -> true
+  | Changed_generalization _ -> true
+
+let diff_attrs owner old_attrs new_attrs changes =
+  let find name l =
+    List.find_opt (fun (a : SM.attribute) -> a.SM.at_name = name) l
+  in
+  List.iter
+    (fun (a : SM.attribute) ->
+      match find a.SM.at_name new_attrs with
+      | None -> changes := Removed_attribute (owner, a.SM.at_name) :: !changes
+      | Some b ->
+          if a.SM.at_ty <> b.SM.at_ty then
+            changes :=
+              Changed_attribute (owner, a.SM.at_name, "type changed") :: !changes;
+          if a.SM.at_opt && not b.SM.at_opt then
+            changes :=
+              Changed_attribute (owner, a.SM.at_name, "became mandatory")
+              :: !changes;
+          if (not a.SM.at_id) && b.SM.at_id then
+            changes :=
+              Changed_attribute (owner, a.SM.at_name, "became identifying")
+              :: !changes;
+          if a.SM.at_id && not b.SM.at_id then
+            changes :=
+              Changed_attribute (owner, a.SM.at_name, "no longer identifying")
+              :: !changes;
+          if
+            List.sort compare a.SM.at_modifiers
+            <> List.sort compare b.SM.at_modifiers
+          then
+            changes :=
+              Changed_attribute (owner, a.SM.at_name, "modifiers changed")
+              :: !changes)
+    old_attrs;
+  List.iter
+    (fun (b : SM.attribute) ->
+      match find b.SM.at_name old_attrs with
+      | None ->
+          changes := Added_attribute (owner, b.SM.at_name) :: !changes;
+          if (not b.SM.at_opt) && not b.SM.at_intensional then
+            changes :=
+              Changed_attribute
+                (owner, b.SM.at_name, "added as mandatory: backfill required")
+              :: !changes
+      | Some _ -> ())
+    new_attrs
+
+let diff (old_s : SM.t) (new_s : SM.t) =
+  let changes = ref [] in
+  (* nodes *)
+  List.iter
+    (fun (n : SM.node) ->
+      match SM.find_node new_s n.SM.n_name with
+      | None -> changes := Removed_node n.SM.n_name :: !changes
+      | Some m -> diff_attrs n.SM.n_name n.SM.n_attrs m.SM.n_attrs changes)
+    old_s.SM.nodes;
+  List.iter
+    (fun (m : SM.node) ->
+      if SM.find_node old_s m.SM.n_name = None then
+        changes := Added_node m.SM.n_name :: !changes)
+    new_s.SM.nodes;
+  (* edges *)
+  List.iter
+    (fun (e : SM.edge) ->
+      match SM.find_edge new_s e.SM.e_name with
+      | None -> changes := Removed_edge e.SM.e_name :: !changes
+      | Some f ->
+          if e.SM.e_from <> f.SM.e_from || e.SM.e_to <> f.SM.e_to then
+            changes := Changed_edge (e.SM.e_name, "endpoints changed") :: !changes;
+          (* tightened cardinalities are breaking; loosened are fine *)
+          if ((not e.SM.e_fun1) && f.SM.e_fun1)
+             || ((not e.SM.e_fun2) && f.SM.e_fun2)
+          then
+            changes :=
+              Changed_edge (e.SM.e_name, "maximum cardinality tightened")
+              :: !changes;
+          if (e.SM.e_opt1 && not f.SM.e_opt1) || (e.SM.e_opt2 && not f.SM.e_opt2)
+          then
+            changes :=
+              Changed_edge (e.SM.e_name, "participation became mandatory")
+              :: !changes;
+          diff_attrs e.SM.e_name e.SM.e_attrs f.SM.e_attrs changes)
+    old_s.SM.edges;
+  List.iter
+    (fun (f : SM.edge) ->
+      if SM.find_edge old_s f.SM.e_name = None then
+        changes := Added_edge f.SM.e_name :: !changes)
+    new_s.SM.edges;
+  (* generalizations *)
+  List.iter
+    (fun (g : SM.generalization) ->
+      match SM.find_generalization new_s g.SM.g_name with
+      | None -> changes := Removed_generalization g.SM.g_name :: !changes
+      | Some h ->
+          if g.SM.g_parent <> h.SM.g_parent then
+            changes :=
+              Changed_generalization (g.SM.g_name, "parent changed") :: !changes;
+          if List.sort compare g.SM.g_children <> List.sort compare h.SM.g_children
+          then
+            changes :=
+              Changed_generalization (g.SM.g_name, "children changed") :: !changes;
+          if (not g.SM.g_total) && h.SM.g_total then
+            changes :=
+              Changed_generalization (g.SM.g_name, "became total") :: !changes;
+          if (not g.SM.g_disjoint) && h.SM.g_disjoint then
+            changes :=
+              Changed_generalization (g.SM.g_name, "became disjoint") :: !changes)
+    old_s.SM.generalizations;
+  List.iter
+    (fun (h : SM.generalization) ->
+      if SM.find_generalization old_s h.SM.g_name = None then
+        changes := Added_generalization h.SM.g_name :: !changes)
+    new_s.SM.generalizations;
+  let changes = List.rev !changes in
+  { changes;
+    verdict =
+      (if List.exists breaking changes then Needs_migration else Compatible) }
+
+let pp_change ppf = function
+  | Added_node n -> Format.fprintf ppf "+ node %s" n
+  | Removed_node n -> Format.fprintf ppf "- node %s" n
+  | Added_edge e -> Format.fprintf ppf "+ edge %s" e
+  | Removed_edge e -> Format.fprintf ppf "- edge %s" e
+  | Added_attribute (o, a) -> Format.fprintf ppf "+ attribute %s.%s" o a
+  | Removed_attribute (o, a) -> Format.fprintf ppf "- attribute %s.%s" o a
+  | Changed_attribute (o, a, w) -> Format.fprintf ppf "~ attribute %s.%s: %s" o a w
+  | Changed_edge (e, w) -> Format.fprintf ppf "~ edge %s: %s" e w
+  | Added_generalization g -> Format.fprintf ppf "+ generalization %s" g
+  | Removed_generalization g -> Format.fprintf ppf "- generalization %s" g
+  | Changed_generalization (g, w) ->
+      Format.fprintf ppf "~ generalization %s: %s" g w
+
+let pp ppf t =
+  List.iter (fun c -> Format.fprintf ppf "%a@." pp_change c) t.changes;
+  Format.fprintf ppf "verdict: %s@."
+    (match t.verdict with
+     | Compatible -> "compatible (additive)"
+     | Needs_migration -> "needs migration")
+
+let migration_hints t =
+  List.filter_map
+    (fun c ->
+      if not (breaking c) then None
+      else
+        Some
+          (match c with
+           | Removed_node n ->
+               Printf.sprintf
+                 "node %s removed: archive its instances (relational: DROP \
+                  TABLE after export; PG: detach-delete by label)"
+                 n
+           | Removed_edge e ->
+               Printf.sprintf
+                 "edge %s removed: drop the relationship type / bridge table \
+                  and its foreign keys"
+                 e
+           | Removed_attribute (o, a) ->
+               Printf.sprintf "attribute %s.%s removed: drop the column/property" o a
+           | Changed_attribute (o, a, w) ->
+               Printf.sprintf
+                 "attribute %s.%s (%s): validate and convert existing values \
+                  before enforcing"
+                 o a w
+           | Changed_edge (e, w) ->
+               Printf.sprintf
+                 "edge %s (%s): existing instances may violate the new \
+                  cardinalities; deduplicate or backfill first"
+                 e w
+           | Removed_generalization g | Changed_generalization (g, _) ->
+               Printf.sprintf
+                 "generalization %s changed: re-run the SSST translation and \
+                  reconcile inherited labels/columns"
+                 g
+           | Added_node _ | Added_edge _ | Added_attribute _
+           | Added_generalization _ ->
+               assert false))
+    t.changes

@@ -1,0 +1,39 @@
+(** Super-schema evolution (paper, Sec. 3.3: "the address ... is likely
+    to change in the future and be enriched"; Sec. 7: design,
+    implementation and {e verification} across KG projects).
+
+    Structural diff of two super-schemas at the super-model level —
+    model-independent, so one diff serves every deployment target — with
+    a compatibility verdict and per-target migration hints. *)
+
+type change =
+  | Added_node of string
+  | Removed_node of string
+  | Added_edge of string
+  | Removed_edge of string
+  | Added_attribute of string * string            (** owner, attribute *)
+  | Removed_attribute of string * string
+  | Changed_attribute of string * string * string (** owner, attr, what *)
+  | Changed_edge of string * string               (** edge, what *)
+  | Added_generalization of string
+  | Removed_generalization of string
+  | Changed_generalization of string * string
+
+type verdict =
+  | Compatible          (** purely additive: old instances still conform *)
+  | Needs_migration     (** old instances may violate the new schema *)
+
+type t = {
+  changes : change list;
+  verdict : verdict;
+}
+
+val diff : Supermodel.t -> Supermodel.t -> t
+(** [diff old_schema new_schema]. *)
+
+val pp_change : Format.formatter -> change -> unit
+val pp : Format.formatter -> t -> unit
+
+val migration_hints : t -> string list
+(** One human-readable hint per breaking change: what a relational or PG
+    deployment must do before enforcing the new schema. *)

@@ -1,0 +1,43 @@
+type mapping = {
+  model_name : string;
+  strategy : string;
+  eliminate : src:int -> dst:int -> string;
+  copy : src:int -> dst:int -> string;
+}
+
+type outcome = {
+  intermediate_oid : int;
+  target_oid : int;
+  eliminate_stats : Kgm_vadalog.Engine.stats;
+  copy_stats : Kgm_vadalog.Engine.stats;
+}
+
+let run_metalog ?options dict src =
+  let prog = Kgm_metalog.Mparser.parse_program src in
+  let _, _, stats =
+    Kgm_metalog.Pg_bridge.reason_on_graph ?options prog (Dictionary.graph dict)
+  in
+  stats
+
+let translate dict mapping sid =
+  let schema_name =
+    match List.assoc_opt sid (Dictionary.schemas dict) with
+    | Some n -> n
+    | None ->
+        Kgm_common.Kgm_error.translate_error "ssst: unknown schemaOID %d" sid
+  in
+  let intermediate_oid =
+    Dictionary.reserve_oid dict
+      ~name:(Printf.sprintf "%s@%s-" schema_name mapping.model_name)
+  in
+  let target_oid =
+    Dictionary.reserve_oid dict
+      ~name:(Printf.sprintf "%s@%s" schema_name mapping.model_name)
+  in
+  let eliminate_stats =
+    run_metalog dict (mapping.eliminate ~src:sid ~dst:intermediate_oid)
+  in
+  let copy_stats =
+    run_metalog dict (mapping.copy ~src:intermediate_oid ~dst:target_oid)
+  in
+  { intermediate_oid; target_oid; eliminate_stats; copy_stats }

@@ -1,0 +1,48 @@
+(** SSST — the Super-Schema to Schema Translator (paper, Sec. 2.2 and
+    Algorithm 1).
+
+    A target model is described by a {!mapping}: two MetaLog program
+    generators, [Eliminate] and [Copy]. Given a super-schema S stored in
+    a graph dictionary, {!translate}
+    + selects the mapping (Algorithm 1 line 1-2 — the caller passes the
+      desired implementation strategy),
+    + compiles the MetaLog programs with MTV (line 3),
+    + reasons S into the intermediate super-schema S⁻, eliminating the
+      super-constructs the target model does not support (line 4),
+    + reasons S⁻ into the target schema S' by downcasting the remaining
+      super-constructs into model constructs (line 5).
+
+    Both reasoning passes run against the dictionary graph itself, so
+    S⁻ and S' live in the same dictionary under fresh schemaOIDs; the
+    target library ({!Kgm_targets}) decodes S' into its native schema
+    type and renders the enforcement artifact (DDL, constraint scripts,
+    RDF-S, ...). *)
+
+type mapping = {
+  model_name : string;
+  strategy : string;
+  (** [eliminate ~src ~dst] is the MetaLog source of the Eliminate
+      program, reading super-constructs with [schemaOID = src] and
+      writing [schemaOID = dst]. *)
+  eliminate : src:int -> dst:int -> string;
+  (** [copy ~src ~dst] downcasts S⁻ into model constructs. *)
+  copy : src:int -> dst:int -> string;
+}
+
+type outcome = {
+  intermediate_oid : int;  (** schemaOID of S⁻ *)
+  target_oid : int;        (** schemaOID of S' *)
+  eliminate_stats : Kgm_vadalog.Engine.stats;
+  copy_stats : Kgm_vadalog.Engine.stats;
+}
+
+val translate : Dictionary.t -> mapping -> int -> outcome
+(** [translate dict mapping sid] runs Algorithm 1 on the super-schema
+    with [schemaOID = sid]. Raises [Kgm_error.Error] on translation or
+    reasoning failures. *)
+
+val run_metalog :
+  ?options:Kgm_vadalog.Engine.options ->
+  Dictionary.t -> string -> Kgm_vadalog.Engine.stats
+(** Parse and execute one MetaLog program against the dictionary graph
+    (used by the translation passes and by tests). *)

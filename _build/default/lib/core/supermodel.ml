@@ -1,0 +1,288 @@
+open Kgm_common
+
+type modifier =
+  | Unique
+  | Enum of string list
+  | Default of Value.t
+  | Range of float option * float option
+
+type attribute = {
+  at_name : string;
+  at_ty : Value.ty;
+  at_opt : bool;
+  at_id : bool;
+  at_intensional : bool;
+  at_modifiers : modifier list;
+}
+
+type node = {
+  n_name : string;
+  n_attrs : attribute list;
+  n_intensional : bool;
+}
+
+type edge = {
+  e_name : string;
+  e_from : string;
+  e_to : string;
+  e_attrs : attribute list;
+  e_intensional : bool;
+  e_opt1 : bool;
+  e_fun1 : bool;
+  e_opt2 : bool;
+  e_fun2 : bool;
+}
+
+type generalization = {
+  g_name : string;
+  g_parent : string;
+  g_children : string list;
+  g_total : bool;
+  g_disjoint : bool;
+}
+
+type t = {
+  s_name : string;
+  nodes : node list;
+  edges : edge list;
+  generalizations : generalization list;
+}
+
+let attribute ?(opt = false) ?(id = false) ?(intensional = false)
+    ?(modifiers = []) name ty =
+  { at_name = name; at_ty = ty; at_opt = opt; at_id = id;
+    at_intensional = intensional; at_modifiers = modifiers }
+
+let node ?(intensional = false) name attrs =
+  { n_name = name; n_attrs = attrs; n_intensional = intensional }
+
+let edge ?(intensional = false) ?(attrs = []) ?(opt1 = true) ?(fun1 = false)
+    ?(opt2 = true) ?(fun2 = false) name ~from ~to_ =
+  { e_name = name; e_from = from; e_to = to_; e_attrs = attrs;
+    e_intensional = intensional; e_opt1 = opt1; e_fun1 = fun1;
+    e_opt2 = opt2; e_fun2 = fun2 }
+
+let generalization ?(total = false) ?(disjoint = false) name ~parent ~children =
+  { g_name = name; g_parent = parent; g_children = children;
+    g_total = total; g_disjoint = disjoint }
+
+let empty name = { s_name = name; nodes = []; edges = []; generalizations = [] }
+
+let add_node t n = { t with nodes = t.nodes @ [ n ] }
+let add_edge t e = { t with edges = t.edges @ [ e ] }
+let add_generalization t g = { t with generalizations = t.generalizations @ [ g ] }
+
+let find_node t name = List.find_opt (fun n -> n.n_name = name) t.nodes
+let find_edge t name = List.find_opt (fun e -> e.e_name = name) t.edges
+
+let find_generalization t name =
+  List.find_opt (fun g -> g.g_name = name) t.generalizations
+
+let parent_of t name =
+  List.find_map
+    (fun g -> if List.mem name g.g_children then Some g.g_parent else None)
+    t.generalizations
+
+let rec ancestors t name =
+  match parent_of t name with
+  | Some p -> p :: ancestors t p
+  | None -> []
+
+let children_of t name =
+  List.concat_map
+    (fun g -> if g.g_parent = name then g.g_children else [])
+    t.generalizations
+
+let rec descendants t name =
+  List.concat_map (fun c -> c :: descendants t c) (children_of t name)
+
+let roots t =
+  List.filter (fun n -> parent_of t n.n_name = None) t.nodes
+
+let all_attributes t name =
+  let chain = List.rev (name :: ancestors t name) in
+  List.concat_map
+    (fun n -> match find_node t n with Some n -> n.n_attrs | None -> [])
+    chain
+
+let identifier_of t name =
+  List.filter (fun a -> a.at_id) (all_attributes t name)
+
+(* ------------------------------------------------------------------ *)
+
+let dup names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.add seen n ();
+        false
+      end)
+    names
+
+let modifier_ok ty = function
+  | Unique -> true
+  | Enum _ -> ty = Value.TString
+  | Default v -> Value.conforms ty v
+  | Range _ -> ty = Value.TInt || ty = Value.TFloat
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  (* naming conventions (paper footnote 1) *)
+  List.iter
+    (fun n ->
+      if not (Names.is_pascal_case n.n_name) then
+        err "node %s: entity names are PascalCase" n.n_name;
+      List.iter
+        (fun a ->
+          if not (Names.is_camel_case a.at_name) then
+            err "node %s: property %s is not camelCase" n.n_name a.at_name;
+          if not (List.for_all (modifier_ok a.at_ty) a.at_modifiers) then
+            err "node %s: modifier incompatible with type of %s" n.n_name a.at_name)
+        n.n_attrs)
+    t.nodes;
+  List.iter
+    (fun e ->
+      if not (Names.is_upper_case e.e_name) then
+        err "edge %s: link names are UPPER_CASE" e.e_name;
+      List.iter
+        (fun a ->
+          if not (Names.is_camel_case a.at_name) then
+            err "edge %s: property %s is not camelCase" e.e_name a.at_name;
+          if a.at_id then err "edge %s: edge attributes cannot be identifying" e.e_name)
+        e.e_attrs)
+    t.edges;
+  (* uniqueness: super-schemas are simple graphs by construction *)
+  List.iter (err "duplicate node name %s") (dup (List.map (fun n -> n.n_name) t.nodes));
+  List.iter (err "duplicate edge name %s") (dup (List.map (fun e -> e.e_name) t.edges));
+  List.iter
+    (err "duplicate generalization name %s")
+    (dup (List.map (fun g -> g.g_name) t.generalizations));
+  List.iter
+    (fun n ->
+      List.iter (err "node %s: duplicate attribute %s" n.n_name)
+        (dup (List.map (fun a -> a.at_name) n.n_attrs)))
+    t.nodes;
+  (* endpoints *)
+  List.iter
+    (fun e ->
+      if find_node t e.e_from = None then err "edge %s: missing node %s" e.e_name e.e_from;
+      if find_node t e.e_to = None then err "edge %s: missing node %s" e.e_name e.e_to)
+    t.edges;
+  (* generalizations: members exist, single parent, acyclic *)
+  List.iter
+    (fun g ->
+      if find_node t g.g_parent = None then
+        err "generalization %s: missing parent %s" g.g_name g.g_parent;
+      if g.g_children = [] then err "generalization %s: no children" g.g_name;
+      List.iter
+        (fun c ->
+          if find_node t c = None then
+            err "generalization %s: missing child %s" g.g_name c;
+          if c = g.g_parent then
+            err "generalization %s: %s is its own parent" g.g_name c)
+        g.g_children)
+    t.generalizations;
+  let child_names =
+    List.concat_map (fun g -> g.g_children) t.generalizations
+  in
+  List.iter (err "node %s has two generalization parents") (dup child_names);
+  (* cycle check via ancestor walk with visited bound *)
+  List.iter
+    (fun n ->
+      let rec walk seen cur =
+        match parent_of t cur with
+        | Some p when List.mem p seen -> err "generalization cycle through %s" p
+        | Some p -> walk (p :: seen) p
+        | None -> ()
+      in
+      walk [ n.n_name ] n.n_name)
+    t.nodes;
+  (* identifiers: every root extensional node needs one *)
+  List.iter
+    (fun n ->
+      if parent_of t n.n_name = None && not n.n_intensional then
+        if identifier_of t n.n_name = [] then
+          err "node %s has no identifying attribute" n.n_name)
+    t.nodes;
+  (* identifying attributes cannot be optional or intensional *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun a ->
+          if a.at_id && a.at_opt then
+            err "node %s: identifying attribute %s cannot be optional" n.n_name a.at_name;
+          if a.at_id && a.at_intensional then
+            err "node %s: identifying attribute %s cannot be intensional" n.n_name
+              a.at_name)
+        n.n_attrs)
+    t.nodes;
+  (* an extensional edge cannot hang off intensional nodes *)
+  List.iter
+    (fun e ->
+      if not e.e_intensional then
+        List.iter
+          (fun endp ->
+            match find_node t endp with
+            | Some n when n.n_intensional ->
+                err "extensional edge %s touches intensional node %s" e.e_name endp
+            | _ -> ())
+          [ e.e_from; e.e_to ])
+    t.edges;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_card ppf (opt, fn) =
+  Format.fprintf ppf "%s..%s" (if opt then "0" else "1") (if fn then "1" else "N")
+
+let pp_attribute ppf a =
+  Format.fprintf ppf "%s%s: %a%s%s" a.at_name
+    (if a.at_intensional then "~" else "")
+    Value.pp_ty a.at_ty
+    (if a.at_id then " @id" else "")
+    (if a.at_opt then " @opt" else "")
+
+let pp ppf t =
+  Format.fprintf ppf "super-schema %s@." t.s_name;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "  %snode %s@."
+        (if n.n_intensional then "intensional " else "")
+        n.n_name;
+      List.iter (fun a -> Format.fprintf ppf "    %a@." pp_attribute a) n.n_attrs)
+    t.nodes;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %sedge %s: %s -> %s [%a -> %a]@."
+        (if e.e_intensional then "intensional " else "")
+        e.e_name e.e_from e.e_to pp_card (e.e_opt1, e.e_fun1) pp_card
+        (e.e_opt2, e.e_fun2);
+      List.iter (fun a -> Format.fprintf ppf "    %a@." pp_attribute a) e.e_attrs)
+    t.edges;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  generalization %s: %s = %s%s%s@." g.g_name g.g_parent
+        (String.concat " | " g.g_children)
+        (if g.g_total then " @total" else "")
+        (if g.g_disjoint then " @disjoint" else ""))
+    t.generalizations
+
+let stats t =
+  let count p l = List.length (List.filter p l) in
+  let node_attrs = List.concat_map (fun n -> n.n_attrs) t.nodes in
+  let edge_attrs = List.concat_map (fun e -> e.e_attrs) t.edges in
+  [ ("SM_Node", List.length t.nodes);
+    ("SM_Node (intensional)", count (fun n -> n.n_intensional) t.nodes);
+    ("SM_Edge", List.length t.edges);
+    ("SM_Edge (intensional)", count (fun e -> e.e_intensional) t.edges);
+    ("SM_Attribute", List.length node_attrs + List.length edge_attrs);
+    ("SM_Attribute (identifying)",
+     count (fun a -> a.at_id) (node_attrs @ edge_attrs));
+    ("SM_Generalization", List.length t.generalizations);
+    ("SM_AttributeModifier",
+     List.fold_left
+       (fun acc a -> acc + List.length a.at_modifiers)
+       0 (node_attrs @ edge_attrs)) ]

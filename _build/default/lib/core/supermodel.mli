@@ -1,0 +1,124 @@
+(** The KGModel super-model (paper, Sec. 3.2 / Fig. 3): the
+    model-independent super-constructs a data engineer instantiates when
+    designing a super-schema — SM_Node, SM_Edge, SM_Attribute with its
+    modifiers, SM_Type, SM_Generalization, and the linking
+    super-constructs. A value of type {!t} is one super-schema. *)
+
+open Kgm_common
+
+(** Attribute modifiers (SM_AttributeModifier specializations). *)
+type modifier =
+  | Unique                               (** SM_UniqueAttributeModifier *)
+  | Enum of string list                  (** SM_EnumAttributeModifier *)
+  | Default of Value.t
+  | Range of float option * float option (** numeric domain bounds *)
+
+type attribute = {
+  at_name : string;       (** camelCase *)
+  at_ty : Value.ty;
+  at_opt : bool;          (** isOpt *)
+  at_id : bool;           (** isId: part of the node identifier *)
+  at_intensional : bool;  (** derived by reasoning *)
+  at_modifiers : modifier list;
+}
+
+type node = {
+  n_name : string;        (** the SM_Type name, PascalCase *)
+  n_attrs : attribute list;
+  n_intensional : bool;
+}
+
+(** Cardinalities are encoded by isOpt/isFun exactly as in the paper:
+    [e_fun1] true when each FROM instance reaches at most one TO
+    instance; [e_opt1] true when it may reach none; [e_fun2]/[e_opt2]
+    symmetrically constrain the TO side. *)
+type edge = {
+  e_name : string;        (** UPPER_CASE; unique: super-schemas are simple graphs *)
+  e_from : string;        (** FROM node name *)
+  e_to : string;          (** TO node name *)
+  e_attrs : attribute list;
+  e_intensional : bool;
+  e_opt1 : bool;
+  e_fun1 : bool;
+  e_opt2 : bool;
+  e_fun2 : bool;
+}
+
+type generalization = {
+  g_name : string;
+  g_parent : string;
+  g_children : string list;
+  g_total : bool;
+  g_disjoint : bool;
+}
+
+type t = {
+  s_name : string;
+  nodes : node list;
+  edges : edge list;
+  generalizations : generalization list;
+}
+
+(** {1 Builders} *)
+
+val attribute :
+  ?opt:bool -> ?id:bool -> ?intensional:bool -> ?modifiers:modifier list ->
+  string -> Value.ty -> attribute
+
+val node : ?intensional:bool -> string -> attribute list -> node
+
+val edge :
+  ?intensional:bool -> ?attrs:attribute list ->
+  ?opt1:bool -> ?fun1:bool -> ?opt2:bool -> ?fun2:bool ->
+  string -> from:string -> to_:string -> edge
+
+val generalization :
+  ?total:bool -> ?disjoint:bool -> string -> parent:string ->
+  children:string list -> generalization
+
+val empty : string -> t
+val add_node : t -> node -> t
+val add_edge : t -> edge -> t
+val add_generalization : t -> generalization -> t
+
+(** {1 Accessors} *)
+
+val find_node : t -> string -> node option
+val find_edge : t -> string -> edge option
+val find_generalization : t -> string -> generalization option
+
+val parent_of : t -> string -> string option
+(** Direct generalization parent of a node, if any. *)
+
+val ancestors : t -> string -> string list
+(** Proper ancestors bottom-up (parent first). *)
+
+val descendants : t -> string -> string list
+(** Proper descendants, preorder. *)
+
+val children_of : t -> string -> string list
+
+val roots : t -> node list
+(** Nodes that are not a child in any generalization. *)
+
+val all_attributes : t -> string -> attribute list
+(** Own attributes plus inherited ones (ancestor attributes first). *)
+
+val identifier_of : t -> string -> attribute list
+(** The identifying attributes of a node, inherited if needed. *)
+
+(** {1 Validation} *)
+
+val validate : t -> (unit, string list) result
+(** Checks (paper Sec. 3.2): naming conventions per level; unique
+    node/edge/generalization names (simple graph); edge endpoints exist;
+    generalization members exist, no node has two parents, no cycles;
+    every root node has an identifier; enum/range modifiers consistent
+    with attribute types; intensional edges may connect extensional
+    nodes but not vice versa for identifying attributes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val stats : t -> (string * int) list
+(** Construct census: counts of SM_Node, SM_Edge, SM_Attribute,
+    SM_Generalization instances, split extensional/intensional. *)

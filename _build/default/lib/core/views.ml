@@ -1,0 +1,262 @@
+module Ast = Kgm_metalog.Ast
+
+type analysis = {
+  body_node_labels : string list;
+  body_edge_labels : string list;
+  head_node_labels : string list;
+  head_edge_labels : string list;
+  head_attrs : (string * string list) list;
+}
+
+let dedup l = List.sort_uniq String.compare l
+
+let rec path_edge_atoms = function
+  | Ast.PEdge a -> [ a ]
+  | Ast.PInv p | Ast.PStar p -> path_edge_atoms p
+  | Ast.PSeq ps | Ast.PAlt ps -> List.concat_map path_edge_atoms ps
+
+let chain_atoms (c : Ast.chain) =
+  let nodes =
+    c.Ast.start :: List.map snd c.Ast.steps
+  in
+  let edges = List.concat_map (fun (p, _) -> path_edge_atoms p) c.Ast.steps in
+  (nodes, edges)
+
+let labels_of atoms =
+  List.filter_map (fun (a : Ast.pg_atom) -> a.Ast.label) atoms
+
+let analyze (p : Ast.program) =
+  let bn = ref [] and be = ref [] and hn = ref [] and he = ref [] in
+  let head_attrs : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let record_attrs (a : Ast.pg_atom) =
+    match a.Ast.label with
+    | Some l ->
+        let cur =
+          match Hashtbl.find_opt head_attrs l with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add head_attrs l r;
+              r
+        in
+        cur := List.map fst a.Ast.attrs @ !cur
+    | None -> ()
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (function
+          | Ast.BChain c | Ast.BNeg c ->
+              let nodes, edges = chain_atoms c in
+              bn := labels_of nodes @ !bn;
+              be := labels_of edges @ !be
+          | _ -> ())
+        r.Ast.body;
+      List.iter
+        (fun c ->
+          let nodes, edges = chain_atoms c in
+          hn := labels_of nodes @ !hn;
+          he := labels_of edges @ !he;
+          List.iter record_attrs nodes;
+          List.iter record_attrs edges)
+        r.Ast.head)
+    p.Ast.rules;
+  { body_node_labels = dedup !bn;
+    body_edge_labels = dedup !be;
+    head_node_labels = dedup !hn;
+    head_edge_labels = dedup !he;
+    head_attrs =
+      Hashtbl.fold (fun l r acc -> (l, dedup !r) :: acc) head_attrs [] }
+
+(* ------------------------------------------------------------------ *)
+
+let extensional_node_attrs (s : Supermodel.t) label =
+  List.filter
+    (fun (a : Supermodel.attribute) -> not a.Supermodel.at_intensional)
+    (Supermodel.all_attributes s label)
+
+let extensional_edge_attrs (s : Supermodel.t) label =
+  match Supermodel.find_edge s label with
+  | Some e ->
+      List.filter
+        (fun (a : Supermodel.attribute) -> not a.Supermodel.at_intensional)
+        e.Supermodel.e_attrs
+  | None -> []
+
+(** One V_I rule mapping instances of [concrete] (a descendant or the
+    label itself) into facts of [label] (cf. Example 6.2). *)
+let input_node_view ~schema_oid ~instance_oid ~has_attrs ~concrete label =
+  if has_attrs then
+    Printf.sprintf
+      {|(i: I_SM_Node; instanceOID: %d)-[: SM_REFERENCES]->(n: SM_Node; schemaOID: %d),
+(n)-[: SM_HAS_NODE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S),
+(i)-[: I_SM_HAS_NODE_ATTR]->(ia: I_SM_Attribute; instanceOID: %d, value: V)-[: SM_REFERENCES]->(na: SM_Attribute; name: N),
+  P = pack(pair(N, V))
+  => (i: %s; *P).
+|}
+      instance_oid schema_oid schema_oid schema_oid concrete instance_oid label
+  else
+    Printf.sprintf
+      {|(i: I_SM_Node; instanceOID: %d)-[: SM_REFERENCES]->(n: SM_Node; schemaOID: %d),
+(n)-[: SM_HAS_NODE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S)
+  => (i: %s).
+|}
+      instance_oid schema_oid schema_oid schema_oid concrete label
+
+let input_edge_view ~schema_oid ~instance_oid ~has_attrs label =
+  if has_attrs then
+    Printf.sprintf
+      {|(ie: I_SM_Edge; instanceOID: %d)-[: SM_REFERENCES]->(e: SM_Edge; schemaOID: %d),
+(e)-[: SM_HAS_EDGE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S),
+(ie)-[: I_SM_FROM]->(x: I_SM_Node; instanceOID: %d),
+(ie)-[: I_SM_TO]->(y: I_SM_Node; instanceOID: %d),
+(ie)-[: I_SM_HAS_EDGE_ATTR]->(ia: I_SM_Attribute; instanceOID: %d, value: V)-[: SM_REFERENCES]->(na: SM_Attribute; name: N),
+  P = pack(pair(N, V))
+  => (x)-[ie: %s; *P]->(y).
+|}
+      instance_oid schema_oid schema_oid schema_oid label instance_oid
+      instance_oid instance_oid label
+  else
+    Printf.sprintf
+      {|(ie: I_SM_Edge; instanceOID: %d)-[: SM_REFERENCES]->(e: SM_Edge; schemaOID: %d),
+(e)-[: SM_HAS_EDGE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S),
+(ie)-[: I_SM_FROM]->(x: I_SM_Node; instanceOID: %d),
+(ie)-[: I_SM_TO]->(y: I_SM_Node; instanceOID: %d)
+  => (x)-[ie: %s]->(y).
+|}
+      instance_oid schema_oid schema_oid schema_oid label instance_oid
+      instance_oid label
+
+let input_views ~schema ~schema_oid ~instance_oid (p : Ast.program) =
+  let a = analyze p in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun label ->
+      if Supermodel.find_node schema label <> None then begin
+        let has_attrs = extensional_node_attrs schema label <> [] in
+        List.iter
+          (fun concrete ->
+            (* instances of descendants are instances of the label *)
+            let has_attrs =
+              has_attrs || extensional_node_attrs schema concrete <> []
+            in
+            Buffer.add_string buf
+              (input_node_view ~schema_oid ~instance_oid ~has_attrs ~concrete
+                 label))
+          (label :: Supermodel.descendants schema label)
+      end)
+    a.body_node_labels;
+  List.iter
+    (fun label ->
+      if Supermodel.find_edge schema label <> None then
+        Buffer.add_string buf
+          (input_edge_view ~schema_oid ~instance_oid
+             ~has_attrs:(extensional_edge_attrs schema label <> [])
+             label))
+    a.body_edge_labels;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let output_node_view ~schema_oid ~instance_oid label =
+  Printf.sprintf
+    {|(x: %s),
+(n: SM_Node; schemaOID: %d)-[: SM_HAS_NODE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S)
+  => (x: I_SM_Node; instanceOID: %d)-[r: SM_REFERENCES; instanceOID: %d]->(n).
+|}
+    label schema_oid schema_oid schema_oid label instance_oid instance_oid
+
+(* Monotonic aggregates in Σ stream increasing partial values into the
+   derived facts; the output view selects the final (maximal) value per
+   element with a stratified dmax, so exactly one I_SM_Attribute is
+   materialized per derived attribute. *)
+let output_node_attr_view ~schema_oid ~instance_oid label attr =
+  Printf.sprintf
+    {|(x: %s; %s: V0), is_null(V0) == false,
+(n: SM_Node; schemaOID: %d)-[: SM_HAS_NODE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S),
+(n)-[: SM_HAS_NODE_PROPERTY; schemaOID: %d]->(na: SM_Attribute; schemaOID: %d, name: %S),
+  V = dmax(V0, <V0>)
+  => (x)-[h: I_SM_HAS_NODE_ATTR; instanceOID: %d]->(A: I_SM_Attribute; instanceOID: %d, value: V)-[r: SM_REFERENCES; instanceOID: %d]->(na).
+|}
+    label attr schema_oid schema_oid schema_oid label schema_oid schema_oid
+    attr instance_oid instance_oid instance_oid
+
+let output_edge_view ~schema_oid ~instance_oid label =
+  Printf.sprintf
+    {|(x: I_SM_Node; instanceOID: %d)-[c: %s]->(y: I_SM_Node; instanceOID: %d),
+(e: SM_Edge; schemaOID: %d)-[: SM_HAS_EDGE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S)
+  => (c: I_SM_Edge; instanceOID: %d)-[r: SM_REFERENCES; instanceOID: %d]->(e),
+     (c)-[f: I_SM_FROM; instanceOID: %d]->(x),
+     (c)-[g: I_SM_TO; instanceOID: %d]->(y).
+|}
+    instance_oid label instance_oid schema_oid schema_oid schema_oid label
+    instance_oid instance_oid instance_oid instance_oid
+
+(* The I_SM_FROM / I_SM_TO atoms in the head anchor the (possibly
+   null-identified) edge to its endpoints, so the homomorphism check
+   cannot collapse two same-valued attributes of different edges. *)
+let output_edge_attr_view ~schema_oid ~instance_oid label attr =
+  Printf.sprintf
+    {|(x: I_SM_Node; instanceOID: %d)-[c: %s; %s: V0]->(y: I_SM_Node; instanceOID: %d), is_null(V0) == false,
+(e: SM_Edge; schemaOID: %d)-[: SM_HAS_EDGE_TYPE; schemaOID: %d]->(t: SM_Type; schemaOID: %d, name: %S),
+(e)-[: SM_HAS_EDGE_PROPERTY; schemaOID: %d]->(na: SM_Attribute; schemaOID: %d, name: %S),
+  V = dmax(V0, <V0>)
+  => (c)-[f2: I_SM_FROM; instanceOID: %d]->(x),
+     (c)-[g2: I_SM_TO; instanceOID: %d]->(y),
+     (c)-[h: I_SM_HAS_EDGE_ATTR; instanceOID: %d]->(A: I_SM_Attribute; instanceOID: %d, value: V)-[r: SM_REFERENCES; instanceOID: %d]->(na).
+|}
+    instance_oid label attr instance_oid schema_oid schema_oid schema_oid
+    label schema_oid schema_oid attr instance_oid instance_oid instance_oid
+    instance_oid instance_oid
+
+let output_views ~schema ~schema_oid ~instance_oid (p : Ast.program) =
+  let a = analyze p in
+  let buf = Buffer.create 2048 in
+  let attrs_for label =
+    let mentioned =
+      Option.value ~default:[] (List.assoc_opt label a.head_attrs)
+    in
+    let intensional =
+      match Supermodel.find_node schema label with
+      | Some _ ->
+          List.filter_map
+            (fun (at : Supermodel.attribute) ->
+              if at.Supermodel.at_intensional then Some at.Supermodel.at_name
+              else None)
+            (Supermodel.all_attributes schema label)
+      | None -> (
+          match Supermodel.find_edge schema label with
+          | Some e ->
+              List.filter_map
+                (fun (at : Supermodel.attribute) ->
+                  if at.Supermodel.at_intensional then
+                    Some at.Supermodel.at_name
+                  else None)
+                e.Supermodel.e_attrs
+          | None -> [])
+    in
+    dedup (mentioned @ intensional)
+  in
+  List.iter
+    (fun label ->
+      if Supermodel.find_node schema label <> None then begin
+        Buffer.add_string buf (output_node_view ~schema_oid ~instance_oid label);
+        List.iter
+          (fun attr ->
+            Buffer.add_string buf
+              (output_node_attr_view ~schema_oid ~instance_oid label attr))
+          (attrs_for label)
+      end)
+    a.head_node_labels;
+  List.iter
+    (fun label ->
+      if Supermodel.find_edge schema label <> None then begin
+        Buffer.add_string buf (output_edge_view ~schema_oid ~instance_oid label);
+        List.iter
+          (fun attr ->
+            Buffer.add_string buf
+              (output_edge_attr_view ~schema_oid ~instance_oid label attr))
+          (attrs_for label)
+      end)
+    a.head_edge_labels;
+  Buffer.contents buf

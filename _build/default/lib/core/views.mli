@@ -1,0 +1,41 @@
+(** Automatic construction of the input and output views of Algorithm 2
+    (lines 5-6), from a static analysis of the intensional component Σ.
+
+    Σ is written against schema constructs ("speaks the business
+    language": Business, OWNS, CONTROLS, ...). The views bridge it to
+    the instance-level super-constructs:
+
+    - V_I: for each node/edge label in a body of Σ, a rule reading
+      I_SM_Node / I_SM_Edge elements referencing that construct (or a
+      descendant of it, enumerated from the generalization hierarchy)
+      and packing their I_SM_Attributes into facts of the label — the
+      pack/unpack discipline of Example 6.2. The produced fact reuses
+      the I_SM element id, which is what makes the output direction
+      trivially linkable.
+    - V_O: for each node/edge label in a head of Σ, rules denormalizing
+      the derived facts back into I_SM_Node / I_SM_Edge /
+      I_SM_Attribute elements with SM_REFERENCES to the schema
+      constructs. Existential head elements rely on the restricted
+      chase for idempotence, so repeated materializations do not
+      duplicate derived knowledge. *)
+
+type analysis = {
+  body_node_labels : string list;
+  body_edge_labels : string list;
+  head_node_labels : string list;
+  head_edge_labels : string list;
+  (** attribute names mentioned in Σ heads, per label *)
+  head_attrs : (string * string list) list;
+}
+
+val analyze : Kgm_metalog.Ast.program -> analysis
+
+val input_views :
+  schema:Supermodel.t -> schema_oid:int -> instance_oid:int ->
+  Kgm_metalog.Ast.program -> string
+(** MetaLog source of V_I(Σ). *)
+
+val output_views :
+  schema:Supermodel.t -> schema_oid:int -> instance_oid:int ->
+  Kgm_metalog.Ast.program -> string
+(** MetaLog source of V_O(Σ). *)

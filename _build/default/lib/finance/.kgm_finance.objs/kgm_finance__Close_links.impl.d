@@ -1,0 +1,1 @@
+lib/finance/close_links.ml: Generator Hashtbl Int Kgm_algo List Option Ownership

@@ -1,0 +1,1 @@
+lib/finance/close_links.mli: Generator Ownership

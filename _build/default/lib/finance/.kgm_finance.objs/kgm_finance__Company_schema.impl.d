@@ -1,0 +1,1 @@
+lib/finance/company_schema.ml: Kgmodel Lazy

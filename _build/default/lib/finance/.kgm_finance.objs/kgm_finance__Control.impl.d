@@ -1,0 +1,1 @@
+lib/finance/control.ml: Generator Hashtbl Int Kgm_algo Kgm_common Kgm_vadalog List Option Queue

@@ -1,0 +1,1 @@
+lib/finance/control.mli: Generator Kgm_vadalog

@@ -1,0 +1,1 @@
+lib/finance/fin_stats.ml: Format Kgm_algo List Printf String

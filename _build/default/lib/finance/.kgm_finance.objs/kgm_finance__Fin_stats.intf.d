@@ -1,0 +1,1 @@
+lib/finance/fin_stats.mli: Format Kgm_algo

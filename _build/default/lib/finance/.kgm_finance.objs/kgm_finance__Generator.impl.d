@@ -1,0 +1,1 @@
+lib/finance/generator.ml: Array Hashtbl Int Kgm_algo Kgm_common Kgm_graphdb List Option Printf Random Value

@@ -1,0 +1,1 @@
+lib/finance/generator.mli: Kgm_algo Kgm_common Kgm_graphdb Value

@@ -1,0 +1,1 @@
+lib/finance/groups.ml: Array Control Generator Hashtbl Int Kgm_algo List Option

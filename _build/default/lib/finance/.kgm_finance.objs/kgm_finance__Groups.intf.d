@@ -1,0 +1,1 @@
+lib/finance/groups.mli: Generator

@@ -1,0 +1,1 @@
+lib/finance/intensional.ml: Close_links Control Groups String

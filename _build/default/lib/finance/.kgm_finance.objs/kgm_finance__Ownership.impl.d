@@ -1,0 +1,1 @@
+lib/finance/ownership.ml: Generator Hashtbl Kgm_algo List Option Queue

@@ -1,0 +1,1 @@
+lib/finance/ownership.mli: Generator

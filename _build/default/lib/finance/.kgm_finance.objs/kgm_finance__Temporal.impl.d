@@ -1,0 +1,1 @@
+lib/finance/temporal.ml: Kgm_common Kgm_graphdb List Value

@@ -1,0 +1,1 @@
+lib/finance/temporal.mli: Kgm_common Kgm_graphdb Value

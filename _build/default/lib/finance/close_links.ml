@@ -1,0 +1,89 @@
+(** ECB close links (paper, Sec. 2.1 and [42], Guideline (EU) 2018/876):
+    two entities x and y are closely linked when
+    - x owns, directly or indirectly, at least 20% of the capital of y;
+    - or y owns, directly or indirectly, at least 20% of x;
+    - or a third party owns, directly or indirectly, at least 20% of
+      both x and y.
+    Indirect ownership is integrated ownership ({!Ownership}). *)
+
+module DG = Kgm_algo.Digraph
+
+let threshold = 0.2
+
+type link = {
+  a : int;
+  b : int;
+  reason : [ `Owns | `Owned | `Third_party of int ];
+}
+
+(** All close links of the network. Pairs are normalized a < b for the
+    symmetric third-party case; ownership cases keep their direction in
+    [reason]. *)
+let compute ?options (o : Generator.ownership) =
+  let above = Ownership.all_above ?options ~threshold o in
+  let direct = Hashtbl.create 256 in
+  List.iter (fun (x, y, _) -> Hashtbl.replace direct (x, y) ()) above;
+  let links = ref [] in
+  Hashtbl.iter
+    (fun (x, y) () ->
+      links := { a = x; b = y; reason = `Owns } :: !links)
+    direct;
+  (* third parties: for every holder h, every pair among the entities it
+     holds >= 20% of is closely linked *)
+  let held_by = Hashtbl.create 256 in
+  List.iter
+    (fun (h, y, _) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt held_by h) in
+      Hashtbl.replace held_by h (y :: cur))
+    above;
+  Hashtbl.iter
+    (fun h ys ->
+      let ys = List.sort_uniq Int.compare ys in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if
+                  (not (Hashtbl.mem direct (a, b)))
+                  && not (Hashtbl.mem direct (b, a))
+                then links := { a; b; reason = `Third_party h } :: !links)
+              rest;
+            pairs rest
+      in
+      pairs ys)
+    held_by;
+  List.sort_uniq compare !links
+
+let count ?options o = List.length (compute ?options o)
+
+(** Bounded-depth MetaLog encoding over the Company-KG constructs: the
+    regulatory practice of unfolding indirect ownership to a fixed depth
+    (3 here). Exact on networks whose ownership chains do not exceed the
+    bound; the native {!compute} is the exact reference (EXP-9 compares
+    them). Requires OWNS to be materialized first. *)
+let metalog_sigma =
+  {|
+% integrated ownership, unfolded to depth 3 (stratified sums)
+(x: Person)-[: OWNS; percentage: W]->(y: Business),
+  V = sum(W)
+  => (x)-[c: INTEGRATED_OWNS; percentage: V]->(y).
+(x: Person)-[: OWNS; percentage: W1]->(z: Business)-[: OWNS; percentage: W2]->(y: Business),
+  V = sum(W1 * W2)
+  => (x)-[c: INTEGRATED_OWNS; percentage: V]->(y).
+(x: Person)-[: OWNS; percentage: W1]->(z: Business)-[: OWNS; percentage: W2]->(u: Business)-[: OWNS; percentage: W3]->(y: Business),
+  V = sum(W1 * W2 * W3)
+  => (x)-[c: INTEGRATED_OWNS; percentage: V]->(y).
+
+% >= 20%% integrated ownership, summed across depths
+(x: Person)-[e: INTEGRATED_OWNS; percentage: W]->(y: Business),
+  T = sum(W), T >= 0.2
+  => (x)-[c: OWNS_20]->(y).
+
+% ECB close links: ownership in either role, or a common >= 20%% holder
+(x: Person)-[: OWNS_20]->(y: Business)
+  => (x)-[c: CLOSE_LINK]->(y).
+(h: Person)-[: OWNS_20]->(x: Business),
+(h)-[: OWNS_20]->(y: Business), x != y
+  => (x)-[c: CLOSE_LINK]->(y).
+|}

@@ -1,0 +1,29 @@
+(** ECB close links (paper, Sec. 2.1 and reference [42], Guideline (EU)
+    2018/876): two entities are closely linked when one owns — directly
+    or indirectly — at least 20% of the other, or a third party owns at
+    least 20% of both. Indirect ownership is integrated ownership
+    ({!Ownership}). *)
+
+val threshold : float
+(** 0.2, per the guideline. *)
+
+type link = {
+  a : int;
+  b : int;
+  reason : [ `Owns | `Owned | `Third_party of int ];
+}
+
+val compute :
+  ?options:Ownership.options -> Generator.ownership -> link list
+(** The exact close-link set (the EXP-9 reference): ownership links in
+    their direction, third-party links normalized a < b, deduplicated
+    and sorted. *)
+
+val count : ?options:Ownership.options -> Generator.ownership -> int
+
+val metalog_sigma : string
+(** The bounded-depth (≤ 3) MetaLog encoding over the Company-KG
+    constructs: integrated ownership unfolded per depth with stratified
+    sums into INTEGRATED_OWNS edges, thresholded into OWNS_20, and the
+    two ECB cases into CLOSE_LINK. Sound w.r.t. {!compute}; exact when
+    ownership chains do not exceed the bound. Requires OWNS first. *)

@@ -1,0 +1,96 @@
+(** The Company KG of the Bank of Italy (paper, Sec. 3.3 / Fig. 4),
+    written in GSL exactly as the design narrative builds it: persons
+    specialize into physical and legal persons; legal persons into
+    businesses and non-businesses; businesses may be publicly listed;
+    share holding is decoupled through Share nodes; OWNS, CONTROLS,
+    IS_RELATED_TO, BELONGS_TO_FAMILY, FAMILY_OWNS and
+    numberOfStakeholders are intensional. *)
+
+let gsl_source =
+  {|
+schema company_kg {
+  node Person {
+    fiscalCode: string @id @unique;
+  }
+  node PhysicalPerson {
+    name: string;
+    gender: string @enum("male", "female", "other");
+    birthDate: date @opt;
+  }
+  node LegalPerson {
+    businessName: string;
+    legalNature: string;
+    website: string @opt;
+  }
+  node Business {
+    shareholdingCapital: float;
+    numberOfStakeholders: int @intensional;
+  }
+  node NonBusiness {
+    isGovernmental: bool;
+  }
+  node PublicListedCompany {
+    stockExchange: string;
+    tickerSymbol: string @unique;
+  }
+  node Share {
+    shareId: string @id;
+    percentage: float @range(0.0, 1.0);
+  }
+  node StockShare {
+    numberOfStocks: int;
+  }
+  node Place {
+    addressId: string @id;
+    street: string;
+    streetNumber: string @opt;
+    city: string;
+    postalCode: string @opt;
+  }
+  intensional node Family {
+    familyId: string @id;
+  }
+  node BusinessEvent {
+    eventId: string @id;
+    eventType: string @enum("merger", "acquisition", "split");
+    eventDate: date;
+  }
+
+  generalization PersonKind of Person = PhysicalPerson | LegalPerson @total @disjoint;
+  generalization LegalPersonKind of LegalPerson = Business | NonBusiness @total @disjoint;
+  generalization BusinessListing of Business = PublicListedCompany @disjoint;
+  generalization ShareKind of Share = StockShare @disjoint;
+
+  edge HOLDS from Person to Share [0..N -> 1..N] {
+    right: string @enum("ownership", "bareOwnership", "usufruct");
+    validFrom: date @opt;
+    validTo: date @opt;
+  }
+  edge BELONGS_TO from Share to Business [1..1 -> 0..N];
+  edge HAS_ROLE from Person to LegalPerson [0..N -> 0..N] {
+    role: string;
+    since: date @opt;
+  }
+  edge RESIDES from Person to Place [0..1 -> 0..N];
+  edge REPRESENTS from PhysicalPerson to LegalPerson [0..N -> 0..N];
+  edge PARTICIPATES from Business to BusinessEvent [0..N -> 1..N] {
+    eventRole: string;
+  }
+  intensional edge OWNS from Person to Business [0..N -> 0..N] {
+    percentage: float;
+  }
+  intensional edge CONTROLS from Person to Business [0..N -> 0..N];
+  intensional edge INTEGRATED_OWNS from Person to Business [0..N -> 0..N] {
+    percentage: float;
+  }
+  intensional edge OWNS_20 from Person to Business [0..N -> 0..N];
+  intensional edge CLOSE_LINK from Person to Person [0..N -> 0..N];
+  intensional edge IS_RELATED_TO from PhysicalPerson to PhysicalPerson [0..N -> 0..N];
+  intensional edge BELONGS_TO_FAMILY from PhysicalPerson to Family [0..1 -> 1..N];
+  intensional edge FAMILY_OWNS from Family to Business [0..N -> 0..N];
+}
+|}
+
+let schema = lazy (Kgmodel.Gsl.parse_validated gsl_source)
+
+let load () = Lazy.force schema

@@ -1,0 +1,33 @@
+(** The graph-statistics table of Sec. 2.1, computed on a synthetic
+    network (EXP-1), with the paper's reference values embedded so the
+    bench prints paper-vs-measured rows. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  scc_count : int;
+  avg_scc_size : float;
+  largest_scc : int;
+  wcc_count : int;
+  avg_wcc_size : float;
+  largest_wcc : int;
+  avg_in_degree : float;   (** over vertices with in-degree > 0 *)
+  avg_out_degree : float;  (** over vertices with out-degree > 0 *)
+  max_in_degree : int;
+  max_out_degree : int;
+  clustering : float;
+  power_law_alpha : float option;
+}
+
+val compute : Kgm_algo.Digraph.t -> t
+
+type paper_row = {
+  metric : string;
+  paper : string;           (** the Sec. 2.1 value, 11.97M-node register *)
+  measured : t -> string;
+}
+
+val paper_rows : paper_row list
+
+val pp : Format.formatter -> t -> unit
+(** The EXP-1 table: metric | paper | measured. *)

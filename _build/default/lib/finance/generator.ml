@@ -1,0 +1,241 @@
+open Kgm_common
+module DG = Kgm_algo.Digraph
+
+type ownership = {
+  graph : DG.t;
+  weights : float array array;
+  n_persons : int;
+  n_companies : int;
+}
+
+let ownership_weight o x y =
+  let total = ref 0. in
+  let succs = DG.succ_list o.graph x in
+  List.iteri
+    (fun i s -> if s = y then total := !total +. o.weights.(x).(i))
+    succs;
+  !total
+
+let fold_owned o x f init =
+  let acc = ref init in
+  List.iteri
+    (fun i y -> acc := f !acc y o.weights.(x).(i))
+    (DG.succ_list o.graph x);
+  !acc
+
+let fold_owners o y f init =
+  let acc = ref init in
+  List.iter
+    (fun x ->
+      let w = ownership_weight o x y in
+      if w > 0. then acc := f !acc x w)
+    (List.sort_uniq Int.compare (DG.pred_list o.graph y));
+  !acc
+
+(* power-law-ish integer: 1 + floor(u^{-1/(alpha-1)}) capped *)
+let powerlaw_int rng ~mean ~cap =
+  let alpha = 2.2 in
+  let u = max 1e-9 (Random.State.float rng 1.0) in
+  let raw = u ** (-1. /. (alpha -. 1.)) in
+  let scaled = raw *. mean /. 2.0 in
+  max 1 (min cap (int_of_float scaled))
+
+let generate ?(seed = 42) ?(person_share = 0.55) ?(owners_per_company = 1.55)
+    ?(hub_bias = 0.22) ?(locality = 0.58) ?(triangle_links = 0.012)
+    ?(cross_links = 0.004) ~n () =
+  if n < 4 then invalid_arg "Generator.generate: n >= 4 required";
+  let rng = Random.State.make [| seed |] in
+  let n_persons = int_of_float (float_of_int n *. person_share) in
+  let n_companies = n - n_persons in
+  (* per-owner edge accumulators; arrays are built once at the end to
+     avoid quadratic Array.append on hub owners *)
+  let out_edges : (int * float) list array = Array.make n [] in
+  (* hub machinery: repeated-owner urn implements preferential
+     attachment; every vertex appears once, successful owners re-enter *)
+  let urn = ref [] in
+  let urn_size = ref 0 in
+  let push_urn v =
+    urn := v :: !urn;
+    incr urn_size
+  in
+  for v = 0 to n - 1 do
+    push_urn v
+  done;
+  let urn_array = ref (Array.of_list !urn) in
+  let urn_dirty = ref false in
+  let pick_owner company =
+    let pick () =
+      let r = Random.State.float rng 1.0 in
+      if r < hub_bias then begin
+        (* preferential attachment: hubs *)
+        if !urn_dirty then begin
+          urn_array := Array.of_list !urn;
+          urn_dirty := false
+        end;
+        let a = !urn_array in
+        a.(Random.State.int rng (Array.length a))
+      end
+      else if r < hub_bias +. locality then begin
+        (* local owner: keeps most weakly connected components small *)
+        let window = 12 in
+        let base = max 0 (min (n - 2 * window - 1) (company - window)) in
+        base + Random.State.int rng (2 * window)
+      end
+      else Random.State.int rng n
+    in
+    (* owners are persons, or lower-index companies: ownership among
+       companies is kept hierarchical (a DAG), so non-trivial SCCs come
+       only from the explicit cross_links back-edges, as in the register *)
+    let acceptable v = v < n_persons || (v >= n_persons && v < company) in
+    let rec retry k =
+      let v = pick () in
+      if v <> company && acceptable v then v
+      else if k > 20 then Random.State.int rng n_persons
+      else retry (k + 1)
+    in
+    retry 0
+  in
+  let owners_index : (int, int list) Hashtbl.t = Hashtbl.create (max 16 n_companies) in
+  (* unallocated capital per company: extra stakes (triangles, cross
+     links) must never oversubscribe the 100% total *)
+  let remaining = Array.make n 1.0 in
+  let take c w = if remaining.(c) >= w then (remaining.(c) <- remaining.(c) -. w; true) else false in
+  let out_edges_owners_of c =
+    Option.value ~default:[] (Hashtbl.find_opt owners_index c)
+  in
+  (* companies are [n_persons, n); persons only ever appear as owners *)
+  for c = n_persons to n - 1 do
+    let k = powerlaw_int rng ~mean:owners_per_company ~cap:(max 64 (n / 700)) in
+    let owners = ref [] in
+    for _ = 1 to k do
+      let o = pick_owner c in
+      if o <> c && not (List.mem o !owners) then owners := o :: !owners
+    done;
+    (* split the capital: random positive weights, normalized to a total
+       in (0.3, 1.0] — some capital may be unlisted, as in the register *)
+    let owners = !owners in
+    if owners <> [] then begin
+      let raws = List.map (fun _ -> 0.05 +. Random.State.float rng 1.0) owners in
+      let total = List.fold_left ( +. ) 0. raws in
+      let coverage = 0.3 +. Random.State.float rng 0.6 in
+      remaining.(c) <- 1.0 -. coverage;
+      List.iter2
+        (fun o raw ->
+          let w = raw /. total *. coverage in
+          out_edges.(o) <- (c, w) :: out_edges.(o);
+          Hashtbl.replace owners_index c
+            (o :: Option.value ~default:[] (Hashtbl.find_opt owners_index c));
+          (* successful owners re-enter the urn: rich get richer *)
+          push_urn o;
+          urn_dirty := true)
+        owners raws
+    end
+  done;
+  (* co-ownership triangles: a second owner takes a stake in the first
+     owner (when it is a company), raising the clustering coefficient *)
+  let n_tri = int_of_float (float_of_int n_companies *. triangle_links) in
+  for _ = 1 to n_tri do
+    let c = n_persons + Random.State.int rng n_companies in
+    let owners = out_edges_owners_of c in
+    (* a person co-owner takes a stake in a company co-owner: a triangle
+       that cannot close a directed cycle (persons are never owned) *)
+    let person = List.find_opt (fun o -> o < n_persons) owners in
+    let company = List.find_opt (fun o -> o >= n_persons) owners in
+    match person, company with
+    | Some p, Some oc ->
+        let w = 0.02 +. Random.State.float rng 0.05 in
+        if take oc w then out_edges.(p) <- (oc, w) :: out_edges.(p)
+    | _ -> ()
+  done;
+  (* a few company->company back-edges create small non-trivial SCCs *)
+  let owner_of = Array.make n (-1) in
+  Array.iteri
+    (fun o edges ->
+      List.iter (fun (c, _) -> if owner_of.(c) < 0 then owner_of.(c) <- o) edges)
+    out_edges;
+  let n_cross = int_of_float (float_of_int n_companies *. cross_links) in
+  for _ = 1 to n_cross do
+    let c = n_persons + Random.State.int rng n_companies in
+    let owner = owner_of.(c) in
+    if owner >= n_persons && take owner 0.05 then
+      (* minority stake back into the owning company *)
+      out_edges.(c) <- (owner, 0.05) :: out_edges.(c)
+  done;
+  let g = DG.create n in
+  let weights = Array.make n [||] in
+  Array.iteri
+    (fun o edges ->
+      let edges = List.rev edges in
+      List.iter (fun (c, _) -> DG.add_edge g o c) edges;
+      weights.(o) <- Array.of_list (List.map snd edges))
+    out_edges;
+  { graph = g; weights; n_persons; n_companies }
+
+(* ------------------------------------------------------------------ *)
+
+let vertex_fiscal_code i = Value.String (Printf.sprintf "FC%08d" i)
+
+let to_company_graph ?(temporal = false) o =
+  let module PG = Kgm_graphdb.Pgraph in
+  let trng = Random.State.make [| 97 |] in
+  let pg = PG.create () in
+  let node_of = Array.make (DG.n o.graph) None in
+  let person_id i =
+    match node_of.(i) with
+    | Some id -> id
+    | None ->
+        let id =
+          if i < o.n_persons then
+            PG.add_node pg ~labels:[ "PhysicalPerson" ]
+              ~props:
+                [ ("fiscalCode", vertex_fiscal_code i);
+                  ("name", Value.String (Printf.sprintf "Person %d" i));
+                  ("gender", Value.String (if i mod 2 = 0 then "male" else "female")) ]
+          else
+            PG.add_node pg ~labels:[ "Business" ]
+              ~props:
+                [ ("fiscalCode", vertex_fiscal_code i);
+                  ("businessName", Value.String (Printf.sprintf "Company %d" i));
+                  ("legalNature", Value.String "srl");
+                  ("shareholdingCapital",
+                   Value.Float (10_000. +. float_of_int (i * 13 mod 90_000))) ]
+        in
+        node_of.(i) <- Some id;
+        id
+  in
+  for i = 0 to DG.n o.graph - 1 do
+    ignore (person_id i)
+  done;
+  let share_counter = ref 0 in
+  for x = 0 to DG.n o.graph - 1 do
+    List.iteri
+      (fun j y ->
+        let w = o.weights.(x).(j) in
+        incr share_counter;
+        let share =
+          PG.add_node pg ~labels:[ "Share" ]
+            ~props:
+              [ ("shareId", Value.String (Printf.sprintf "SH%08d" !share_counter));
+                ("percentage", Value.Float w) ]
+        in
+        let temporal_props =
+          if temporal then begin
+            (* holdings open in a random year; a third of them close *)
+            let y0 = 1990 + Random.State.int trng 30 in
+            let base = [ ("validFrom", Value.Date (y0, 1, 1)) ] in
+            if Random.State.int trng 3 = 0 then
+              ("validTo", Value.Date (y0 + 1 + Random.State.int trng 10, 12, 31))
+              :: base
+            else base
+          end
+          else []
+        in
+        ignore
+          (PG.add_edge pg ~label:"HOLDS" ~src:(person_id x) ~dst:share
+             ~props:(("right", Value.String "ownership") :: temporal_props));
+        ignore
+          (PG.add_edge pg ~label:"BELONGS_TO" ~src:share ~dst:(person_id y)
+             ~props:[]))
+      (DG.succ_list o.graph x)
+  done;
+  pg

@@ -1,0 +1,61 @@
+(** Synthetic shareholding graphs calibrated to the topology the paper
+    reports for the Bank of Italy company KG (Sec. 2.1): scale-free
+    degree distribution with hub shareholders, a giant weakly connected
+    component, almost only trivial strongly connected components, low
+    clustering. This is the substitute for the proprietary Chambers of
+    Commerce register (see DESIGN.md). All generation is deterministic
+    in the seed. *)
+
+open Kgm_common
+
+type ownership = {
+  graph : Kgm_algo.Digraph.t;  (** edge x -> y: x owns shares of y *)
+  weights : float array array; (** weights.(v) aligned with succ list of v *)
+  n_persons : int;             (** vertices [0, n_persons) are individuals *)
+  n_companies : int;           (** vertices [n_persons, n) are companies *)
+}
+
+val ownership_weight : ownership -> int -> int -> float
+(** Total share of [y] held by [x] (0. when no edge). *)
+
+val fold_owners : ownership -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+(** Fold over (owner, weight) pairs of a company. *)
+
+val fold_owned : ownership -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+(** Fold over (owned company, weight) pairs of a shareholder. *)
+
+val generate :
+  ?seed:int -> ?person_share:float -> ?owners_per_company:float ->
+  ?hub_bias:float -> ?locality:float -> ?triangle_links:float ->
+  ?cross_links:float -> n:int -> unit -> ownership
+(** [generate ~n ()] builds an [n]-vertex shareholding network.
+
+    - [person_share] (default 0.55): fraction of vertices that are
+      individuals (sources only, like the register's physical persons);
+    - [owners_per_company] (default 1.55): mean number of shareholders
+      per company (power-law distributed around it);
+    - [hub_bias] (default 0.22): probability mass assigned to choosing
+      owners by current out-degree (preferential attachment, hubs);
+    - [locality] (default 0.58): probability mass assigned to choosing
+      owners in a small index window, which keeps most weakly connected
+      components small while one giant component still emerges;
+    - [triangle_links] (default 0.012): fraction of companies whose
+      second owner takes a stake in the first, creating the co-ownership
+      triangles behind the clustering coefficient;
+    - [cross_links] (default 0.004): fraction of companies given a
+      back-edge into an owner, producing the few non-trivial SCCs the
+      paper observes.
+
+    Share weights are normalized so each company's incoming shares sum
+    to at most 1. *)
+
+val to_company_graph : ?temporal:bool -> ownership -> Kgm_graphdb.Pgraph.t
+(** Expand the compact network into a Company-KG property graph
+    conforming to {!Company_schema}: PhysicalPerson/Business nodes,
+    Share nodes, HOLDS and BELONGS_TO edges (the decoupled ownership
+    of Sec. 3.3). Node ids are stable across calls. With [~temporal]
+    (default false) HOLDS edges carry validFrom/validTo intervals, the
+    time dependence of Sec. 2.1; see {!Temporal}. *)
+
+val vertex_fiscal_code : int -> Value.t
+(** The fiscalCode assigned to vertex [i] by {!to_company_graph}. *)

@@ -1,0 +1,131 @@
+(** Company groups, families and partnerships (paper, Sec. 2.1): the
+    intensional components capturing "relevant phenomena for analysis
+    purposes" — a company group is the set of businesses under a common
+    ultimate controller; partnerships are shareholders sharing the
+    assets of some firm; families link related individuals and
+    aggregate family ownership. *)
+
+module DG = Kgm_algo.Digraph
+
+type group = {
+  head : int;            (** ultimate controller *)
+  members : int list;    (** controlled companies, sorted *)
+}
+
+(** Company groups: for every {e ultimate} controller (a vertex that
+    controls at least one company and is itself controlled by nobody),
+    the set of companies it controls. *)
+let company_groups (o : Generator.ownership) =
+  let n = DG.n o.Generator.graph in
+  let controlled = Array.make n [] in
+  let is_controlled = Array.make n false in
+  for x = 0 to n - 1 do
+    if DG.out_degree o.Generator.graph x > 0 then begin
+      let c = Control.controlled_by o x in
+      controlled.(x) <- c;
+      List.iter (fun y -> is_controlled.(y) <- true) c
+    end
+  done;
+  let groups = ref [] in
+  for x = 0 to n - 1 do
+    if controlled.(x) <> [] && not is_controlled.(x) then
+      groups := { head = x; members = controlled.(x) } :: !groups
+  done;
+  List.rev !groups
+
+(** Partnerships: unordered pairs of shareholders jointly holding shares
+    of the same company, each with at least [min_share] of it. *)
+let partnerships ?(min_share = 0.1) (o : Generator.ownership) =
+  let pairs = Hashtbl.create 256 in
+  for y = 0 to DG.n o.Generator.graph - 1 do
+    let owners =
+      Generator.fold_owners o y
+        (fun acc x w -> if w >= min_share then x :: acc else acc)
+        []
+      |> List.sort_uniq Int.compare
+    in
+    let rec all_pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter (fun b -> Hashtbl.replace pairs (a, b) ()) rest;
+          all_pairs rest
+    in
+    all_pairs owners
+  done;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pairs [])
+
+(** Families: individuals are related when they jointly hold the same
+    company (a simple proxy for the register's family relationships);
+    families are the connected components of that relation; family
+    ownership aggregates the members' integrated ownership. *)
+type family = {
+  family_id : int;
+  persons : int list;
+}
+
+let families (o : Generator.ownership) =
+  let uf = Kgm_algo.Union_find.create o.Generator.n_persons in
+  for y = 0 to DG.n o.Generator.graph - 1 do
+    let holders =
+      Generator.fold_owners o y
+        (fun acc x _ -> if x < o.Generator.n_persons then x :: acc else acc)
+        []
+    in
+    match List.sort_uniq Int.compare holders with
+    | first :: rest -> List.iter (fun p -> Kgm_algo.Union_find.union uf first p) rest
+    | [] -> ()
+  done;
+  let members = Hashtbl.create 64 in
+  for p = 0 to o.Generator.n_persons - 1 do
+    if DG.out_degree o.Generator.graph p > 0 then begin
+      let r = Kgm_algo.Union_find.find uf p in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt members r) in
+      Hashtbl.replace members r (p :: cur)
+    end
+  done;
+  Hashtbl.fold
+    (fun r ps acc ->
+      match ps with
+      | [ _ ] | [] -> acc (* singletons are not families *)
+      | ps -> { family_id = r; persons = List.sort Int.compare ps } :: acc)
+    members []
+  |> List.sort compare
+
+(** Total direct ownership of a family in each company. *)
+let family_holdings (o : Generator.ownership) (f : family) =
+  let totals = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      ignore
+        (Generator.fold_owned o p
+           (fun () y w ->
+             let cur = Option.value ~default:0. (Hashtbl.find_opt totals y) in
+             Hashtbl.replace totals y (cur +. w))
+           ()))
+    f.persons;
+  List.sort compare (Hashtbl.fold (fun y w acc -> (y, w) :: acc) totals [])
+
+(** MetaLog rules for IS_RELATED_TO / BELONGS_TO_FAMILY / FAMILY_OWNS
+    (Sec. 3.3): relatedness via joint holdings, family nodes invented
+    with a linker Skolem functor keyed by the representative pair. *)
+let metalog_sigma =
+  {|
+% individuals jointly holding the same business are related
+(p: PhysicalPerson)-[: HOLDS]->(s1: Share)-[: BELONGS_TO]->(x: Business),
+(q: PhysicalPerson)-[: HOLDS]->(s2: Share)-[: BELONGS_TO]->(x),
+  p != q
+  => (p)-[r: IS_RELATED_TO]->(q).
+
+% related individuals share a family node, minted with a linker Skolem
+% functor anchored at one endpoint (an overlapping-cluster
+% approximation of the native connected-component families)
+(p: PhysicalPerson)-[: IS_RELATED_TO]->(q: PhysicalPerson),
+  F = #family(q)
+  => (p)-[m: BELONGS_TO_FAMILY]->(F: Family),
+     (q)-[m2: BELONGS_TO_FAMILY]->(F).
+
+% family ownership: a family owns what a member owns
+(p: PhysicalPerson)-[: BELONGS_TO_FAMILY]->(f: Family),
+(p)-[: OWNS; percentage: W]->(x: Business)
+  => (f)-[o: FAMILY_OWNS]->(x).
+|}

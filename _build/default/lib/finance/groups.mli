@@ -1,0 +1,34 @@
+(** Company groups, partnerships and families (paper, Sec. 2.1): the
+    intensional components capturing "relevant phenomena for analysis
+    purposes" — virtual concepts shared among firms and shareholders. *)
+
+type group = {
+  head : int;          (** ultimate controller *)
+  members : int list;  (** controlled companies, sorted *)
+}
+
+val company_groups : Generator.ownership -> group list
+(** One group per {e ultimate} controller: a vertex controlling at least
+    one company while controlled by nobody. *)
+
+val partnerships :
+  ?min_share:float -> Generator.ownership -> (int * int) list
+(** Unordered pairs of shareholders jointly holding at least [min_share]
+    (default 0.1) of the same company each. *)
+
+type family = {
+  family_id : int;     (** union-find representative *)
+  persons : int list;  (** ≥ 2 members, sorted *)
+}
+
+val families : Generator.ownership -> family list
+(** Individuals related by joint holdings, grouped as connected
+    components (the exact reference for the overlapping-cluster MetaLog
+    approximation in {!metalog_sigma}). *)
+
+val family_holdings : Generator.ownership -> family -> (int * float) list
+(** Total direct family ownership per company, sorted. *)
+
+val metalog_sigma : string
+(** IS_RELATED_TO / BELONGS_TO_FAMILY / FAMILY_OWNS rules (Sec. 3.3),
+    family nodes minted with a linker Skolem functor. Requires OWNS. *)

@@ -1,0 +1,39 @@
+(** The intensional component Σ of the Company KG, as MetaLog programs
+    over the Fig. 4 constructs (Sec. 2.1, 3.3, Example 4.1). Programs
+    compose: [owns] must run before [control] / [close_links] /
+    [family], either in one Σ or in successive materializations. *)
+
+(** OWNS compacts ownership rights through Share nodes (Sec. 3.3). *)
+let owns =
+  {|
+(p: Person)-[h: HOLDS; right: "ownership"]->(s: Share; percentage: W)-[: BELONGS_TO]->(x: Business),
+  V = sum(W)
+  => (p)-[o: OWNS; percentage: V]->(x).
+|}
+
+(** Company control, Example 4.1. *)
+let control = Control.metalog_sigma
+
+(** numberOfStakeholders intensional attribute (Sec. 3.3). *)
+let stakeholders =
+  {|
+(p: Person)-[: HOLDS]->(s: Share)-[: BELONGS_TO]->(x: Business),
+  N = count(p, <p>)
+  => (x: Business; numberOfStakeholders: N).
+|}
+
+(** ECB close links via bounded integrated ownership. *)
+let close_links = Close_links.metalog_sigma
+
+(** Families and family ownership. *)
+let family = Groups.metalog_sigma
+
+(** The full Σ used by the quickstart and the EXP-2 pipeline. *)
+let full = String.concat "\n" [ owns; control; stakeholders ]
+
+let all_named =
+  [ ("owns", owns);
+    ("control", control);
+    ("stakeholders", stakeholders);
+    ("close_links", close_links);
+    ("family", family) ]

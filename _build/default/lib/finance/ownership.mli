@@ -1,0 +1,29 @@
+(** Integrated ownership (paper, Sec. 2.1 and reference [43]): the total
+    share of a company owned by a shareholder directly and indirectly
+    throughout the whole graph — io(x, y) = a(x, y) + Σ_z io(x, z) ·
+    a(z, y), i.e. IO = A(I − A)⁻¹ row by row, computed as a sparse
+    fixpoint with outstanding-delta bookkeeping. Cross-shareholdings
+    keep company row sums ≤ 1 (with leakage), so deltas decay
+    geometrically and propagation stops below [epsilon]. *)
+
+type options = {
+  epsilon : float;   (** deltas below this stop propagating *)
+  max_steps : int;   (** hard cap on worklist pops, per source *)
+}
+
+val default_options : options
+
+val from_source :
+  ?options:options -> ?min_share:float -> Generator.ownership -> int ->
+  (int * float) list
+(** Integrated-ownership vector of a source: (company, io) pairs with
+    io >= [min_share] (default 1e-6), sorted by company. *)
+
+val between : ?options:options -> Generator.ownership -> int -> int -> float
+(** io(x, y); 0. when unreachable. *)
+
+val all_above :
+  ?options:options -> threshold:float -> Generator.ownership ->
+  (int * int * float) list
+(** Every (source, company, io) with io >= threshold, sources being the
+    vertices with at least one holding. *)

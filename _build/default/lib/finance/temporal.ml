@@ -1,0 +1,72 @@
+(** Time dependence (paper, Sec. 2.1: "All our entities and their
+    associations are time dependent").
+
+    The register convention: elements may carry [validFrom] / [validTo]
+    date properties; a missing bound leaves that side open. [slice]
+    projects the KG onto the sub-graph valid at a reference date, which
+    is how the Bank's analysts pose as-of queries; the intensional
+    components then run on the slice. *)
+
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+let date_leq a b = Value.compare a b <= 0
+
+(** Is an element with the given properties valid at [at]? *)
+let valid_at ~at props =
+  let from_ok =
+    match List.assoc_opt "validFrom" props with
+    | Some (Value.Date _ as d) -> date_leq d at
+    | _ -> true
+  in
+  let to_ok =
+    match List.assoc_opt "validTo" props with
+    | Some (Value.Date _ as d) -> date_leq at d
+    | _ -> true
+  in
+  from_ok && to_ok
+
+(** The sub-graph valid at [at]: nodes outside their validity are
+    dropped with their incident edges; edges outside theirs are dropped.
+    Ids are preserved, so slices of the same graph are comparable. *)
+let slice ~at g =
+  let out = PG.create () in
+  PG.iter_nodes g (fun id ->
+      if valid_at ~at (PG.node_props g id) then
+        ignore
+          (PG.add_node ~id out ~labels:(PG.node_labels g id)
+             ~props:(PG.node_props g id)));
+  List.iter
+    (fun id ->
+      let src, dst = PG.edge_ends g id in
+      if
+        valid_at ~at (PG.edge_props g id)
+        && PG.node_exists out src && PG.node_exists out dst
+      then
+        ignore
+          (PG.add_edge ~id out ~label:(PG.edge_label g id) ~src ~dst
+             ~props:(PG.edge_props g id)))
+    (PG.edge_ids g);
+  out
+
+(** All distinct validity boundaries in the graph, sorted: the instants
+    at which the as-of view can change. *)
+let boundaries g =
+  let dates = ref [] in
+  let scan props =
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Value.Date _ when k = "validFrom" || k = "validTo" ->
+            dates := v :: !dates
+        | _ -> ())
+      props
+  in
+  PG.iter_nodes g (fun id -> scan (PG.node_props g id));
+  PG.iter_edges g (fun id -> scan (PG.edge_props g id));
+  List.sort_uniq Value.compare !dates
+
+(** Evolution of a metric across all validity boundaries:
+    [(date, metric (slice ~at:date g))] pairs. *)
+let timeline g metric =
+  List.map (fun d -> (d, metric (slice ~at:d g))) (boundaries g)

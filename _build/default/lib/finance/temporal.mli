@@ -1,0 +1,24 @@
+(** Time dependence (paper, Sec. 2.1: "All our entities and their
+    associations are time dependent"): elements may carry
+    [validFrom]/[validTo] date properties; a missing bound leaves that
+    side open. As-of queries run the intensional components on a
+    {!slice}. *)
+
+open Kgm_common
+
+val valid_at : at:Value.t -> (string * Value.t) list -> bool
+(** Is an element with these properties valid at the given date? *)
+
+val slice : at:Value.t -> Kgm_graphdb.Pgraph.t -> Kgm_graphdb.Pgraph.t
+(** The sub-graph valid at the date: out-of-validity nodes are dropped
+    with their incident edges. Element ids are preserved, so slices are
+    comparable across dates. *)
+
+val boundaries : Kgm_graphdb.Pgraph.t -> Value.t list
+(** All distinct validity bounds, sorted — the instants at which the
+    as-of view can change. *)
+
+val timeline :
+  Kgm_graphdb.Pgraph.t -> (Kgm_graphdb.Pgraph.t -> 'a) ->
+  (Value.t * 'a) list
+(** A metric evaluated on the slice at every boundary. *)

@@ -1,0 +1,1 @@
+lib/graph_algo/components.ml: Array Digraph Hashtbl List Queue Union_find

@@ -1,0 +1,1 @@
+lib/graph_algo/digraph.ml: Array Int List Set

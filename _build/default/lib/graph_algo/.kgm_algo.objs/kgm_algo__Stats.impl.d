@@ -1,0 +1,1 @@
+lib/graph_algo/stats.ml: Array Digraph Float Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/graph_algo/stats.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph_algo/traverse.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/graph_algo/union_find.ml: Array Hashtbl Option

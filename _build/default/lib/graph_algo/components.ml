@@ -1,0 +1,132 @@
+type partition = {
+  count : int;
+  component : int array;
+  sizes : int array;
+}
+
+(* Iterative Tarjan. The explicit stack holds (vertex, next-successor
+   index) frames; lowlink/index arrays double as the visited marks. *)
+let scc g =
+  let nv = Digraph.n g in
+  let index = Array.make nv (-1) in
+  let lowlink = Array.make nv 0 in
+  let on_stack = Array.make nv false in
+  let comp = Array.make nv (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let sizes = ref [] in
+  (* succ arrays materialized once per vertex for indexed resumption *)
+  let succs = Array.init nv (fun v -> Array.of_list (Digraph.succ_list g v)) in
+  let visit root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, ref 0) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, i) :: rest ->
+            let sv = succs.(v) in
+            if !i < Array.length sv then begin
+              let w = sv.(!i) in
+              incr i;
+              if index.(w) < 0 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                frames := (w, ref 0) :: !frames
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              (* v is done: close its SCC if it is a root *)
+              if lowlink.(v) = index.(v) then begin
+                let size = ref 0 in
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !next_comp;
+                      incr size;
+                      if w = v then continue := false
+                done;
+                sizes := !size :: !sizes;
+                incr next_comp
+              end;
+              frames := rest;
+              (match rest with
+               | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+               | [] -> ())
+            end
+      done
+    end
+  in
+  for v = 0 to nv - 1 do
+    visit v
+  done;
+  let sizes = Array.of_list (List.rev !sizes) in
+  { count = !next_comp; component = comp; sizes }
+
+let wcc g =
+  let nv = Digraph.n g in
+  let uf = Union_find.create nv in
+  Digraph.iter_edges g (fun u v -> Union_find.union uf u v);
+  let comp = Array.make nv (-1) in
+  let id_of_rep = Hashtbl.create 64 in
+  let next = ref 0 in
+  for v = 0 to nv - 1 do
+    let r = Union_find.find uf v in
+    let id =
+      match Hashtbl.find_opt id_of_rep r with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add id_of_rep r id;
+          id
+    in
+    comp.(v) <- id
+  done;
+  let sizes = Array.make !next 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  { count = !next; component = comp; sizes }
+
+let largest_size p = Array.fold_left max 0 p.sizes
+
+let condensation g p =
+  let dag = Digraph.create p.count in
+  let seen = Hashtbl.create 256 in
+  Digraph.iter_edges g (fun u v ->
+      let cu = p.component.(u) and cv = p.component.(v) in
+      if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+        Hashtbl.add seen (cu, cv) ();
+        Digraph.add_edge dag cu cv
+      end);
+  dag
+
+let topological_order g =
+  let nv = Digraph.n g in
+  let indeg = Array.init nv (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr visited;
+    order := v :: !order;
+    Digraph.iter_succ g v (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+  done;
+  if !visited = nv then Some (List.rev !order) else None

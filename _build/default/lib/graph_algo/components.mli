@@ -1,0 +1,29 @@
+(** Strongly and weakly connected components.
+
+    The paper characterizes the Bank of Italy shareholding graph by its
+    SCC/WCC structure (Sec. 2.1); these are the algorithms behind the
+    EXP-1 statistics. *)
+
+type partition = {
+  count : int;             (** number of components *)
+  component : int array;   (** vertex -> component id, ids in [0..count-1] *)
+  sizes : int array;       (** component id -> size *)
+}
+
+val scc : Digraph.t -> partition
+(** Tarjan's algorithm, iterative (no stack overflow on long chains).
+    Component ids are in reverse topological order of the condensation. *)
+
+val wcc : Digraph.t -> partition
+(** Weakly connected components via union-find over undirected edges. *)
+
+val largest_size : partition -> int
+(** 0 for the empty graph. *)
+
+val condensation : Digraph.t -> partition -> Digraph.t
+(** The DAG of SCCs: one vertex per component, one edge per cross-component
+    edge of the original graph (deduplicated). *)
+
+val topological_order : Digraph.t -> int list option
+(** [None] when the graph has a cycle; otherwise vertices in topological
+    order (sources first). *)

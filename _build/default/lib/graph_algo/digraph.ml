@@ -1,0 +1,83 @@
+(* Adjacency lists as growable int arrays, one pair (succ, pred) per
+   vertex. Growable arrays avoid the boxing of int list cells on graphs
+   with millions of edges. *)
+
+type vec = { mutable data : int array; mutable len : int }
+
+let vec_create () = { data = [||]; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let cap = max 4 (2 * Array.length v.data) in
+    let data = Array.make cap 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_iter v f =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+type t = { succ : vec array; pred : vec array; mutable edges : int }
+
+let create ?m_hint:_ n =
+  { succ = Array.init n (fun _ -> vec_create ());
+    pred = Array.init n (fun _ -> vec_create ());
+    edges = 0 }
+
+let n g = Array.length g.succ
+let m g = g.edges
+
+let check g v =
+  if v < 0 || v >= n g then invalid_arg "Digraph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  vec_push g.succ.(u) v;
+  vec_push g.pred.(v) u;
+  g.edges <- g.edges + 1
+
+let of_edges nv edges =
+  let g = create nv in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let out_degree g v = check g v; g.succ.(v).len
+let in_degree g v = check g v; g.pred.(v).len
+
+let iter_succ g v f = check g v; vec_iter g.succ.(v) f
+let iter_pred g v f = check g v; vec_iter g.pred.(v) f
+
+let fold_succ g v f init =
+  let acc = ref init in
+  iter_succ g v (fun w -> acc := f !acc w);
+  !acc
+
+let succ_list g v = List.rev (fold_succ g v (fun acc w -> w :: acc) [])
+
+let pred_list g v =
+  let acc = ref [] in
+  iter_pred g v (fun w -> acc := w :: !acc);
+  List.rev !acc
+
+let iter_edges g f =
+  for u = 0 to n g - 1 do
+    vec_iter g.succ.(u) (fun v -> f u v)
+  done
+
+let transpose g =
+  let t = create (n g) in
+  iter_edges g (fun u v -> add_edge t v u);
+  t
+
+let undirected_neighbors g v =
+  check g v;
+  let module IS = Set.Make (Int) in
+  let s = ref IS.empty in
+  iter_succ g v (fun w -> if w <> v then s := IS.add w !s);
+  iter_pred g v (fun w -> if w <> v then s := IS.add w !s);
+  IS.elements !s

@@ -1,0 +1,40 @@
+(** Compact mutable directed multigraph over integer vertices [0..n-1].
+
+    This is the algorithmic substrate for the topology statistics of
+    Sec. 2.1 and for the native intensional-component baselines; the
+    property-graph store projects onto it for analytics. *)
+
+type t
+
+val create : ?m_hint:int -> int -> t
+(** [create n] is an empty digraph over vertices [0..n-1]. *)
+
+val of_edges : int -> (int * int) list -> t
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges (parallel edges counted). *)
+
+val add_edge : t -> int -> int -> unit
+(** Appends an edge; O(1) amortized. Raises [Invalid_argument] when an
+    endpoint is out of range. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+val iter_pred : t -> int -> (int -> unit) -> unit
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val succ_list : t -> int -> int list
+val pred_list : t -> int -> int list
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val transpose : t -> t
+
+val undirected_neighbors : t -> int -> int list
+(** Successors and predecessors merged, self-loops and duplicates
+    removed; used by clustering-coefficient and WCC computations. *)

@@ -1,0 +1,110 @@
+type degree_summary = {
+  avg_in : float;
+  avg_out : float;
+  max_in : int;
+  max_out : int;
+}
+
+let degree_summary g =
+  let nv = Digraph.n g in
+  if nv = 0 then { avg_in = 0.; avg_out = 0.; max_in = 0; max_out = 0 }
+  else begin
+    let sum_in = ref 0 and sum_out = ref 0 in
+    let max_in = ref 0 and max_out = ref 0 in
+    for v = 0 to nv - 1 do
+      let di = Digraph.in_degree g v and d_out = Digraph.out_degree g v in
+      sum_in := !sum_in + di;
+      sum_out := !sum_out + d_out;
+      if di > !max_in then max_in := di;
+      if d_out > !max_out then max_out := d_out
+    done;
+    let f = float_of_int in
+    { avg_in = f !sum_in /. f nv;
+      avg_out = f !sum_out /. f nv;
+      max_in = !max_in;
+      max_out = !max_out }
+  end
+
+(* Local clustering of v: 2 * |edges among neighbours| / (d * (d-1)) on
+   the undirected simple projection. Neighbour sets are materialized as
+   hash sets; the quadratic neighbour scan is bounded by the degree. *)
+let clustering_coefficient g =
+  let nv = Digraph.n g in
+  if nv = 0 then 0.
+  else begin
+    let neigh = Array.init nv (fun v -> Digraph.undirected_neighbors g v) in
+    let neigh_set =
+      Array.map
+        (fun l ->
+          let h = Hashtbl.create (List.length l) in
+          List.iter (fun w -> Hashtbl.replace h w ()) l;
+          h)
+        neigh
+    in
+    let total = ref 0. in
+    for v = 0 to nv - 1 do
+      let ns = neigh.(v) in
+      let d = List.length ns in
+      if d >= 2 then begin
+        let links = ref 0 in
+        let rec pairs = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter (fun b -> if Hashtbl.mem neigh_set.(a) b then incr links) rest;
+              pairs rest
+        in
+        pairs ns;
+        total := !total +. (2. *. float_of_int !links /. float_of_int (d * (d - 1)))
+      end
+    done;
+    !total /. float_of_int nv
+  end
+
+let degree_histogram g kind =
+  let nv = Digraph.n g in
+  let deg v =
+    match kind with
+    | `In -> Digraph.in_degree g v
+    | `Out -> Digraph.out_degree g v
+    | `Total -> Digraph.in_degree g v + Digraph.out_degree g v
+  in
+  let h = Hashtbl.create 64 in
+  for v = 0 to nv - 1 do
+    let d = deg v in
+    Hashtbl.replace h d (1 + Option.value ~default:0 (Hashtbl.find_opt h d))
+  done;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun d c acc -> (d, c) :: acc) h [])
+
+let power_law_alpha ?(k_min = 1) hist =
+  let obs =
+    List.concat_map
+      (fun (d, c) -> if d >= k_min then [ (float_of_int d, c) ] else [])
+      hist
+  in
+  let n = List.fold_left (fun acc (_, c) -> acc + c) 0 obs in
+  if n < 2 then None
+  else begin
+    let xm = float_of_int k_min -. 0.5 in
+    let log_sum =
+      List.fold_left (fun acc (d, c) -> acc +. (float_of_int c *. log (d /. xm))) 0. obs
+    in
+    if log_sum <= 0. then None else Some (1. +. (float_of_int n /. log_sum))
+  end
+
+let gini xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let total = Array.fold_left ( +. ) 0. sorted in
+    if total <= 0. then 0.
+    else begin
+      let weighted = ref 0. in
+      Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) sorted;
+      let nf = float_of_int n in
+      ((2. *. !weighted) /. (nf *. total)) -. ((nf +. 1.) /. nf)
+    end
+  end

@@ -1,0 +1,27 @@
+(** Topology statistics of Sec. 2.1: degree moments, clustering
+    coefficient, degree distribution and power-law fit. *)
+
+type degree_summary = {
+  avg_in : float;
+  avg_out : float;
+  max_in : int;
+  max_out : int;
+}
+
+val degree_summary : Digraph.t -> degree_summary
+
+val clustering_coefficient : Digraph.t -> float
+(** Average local clustering coefficient of the undirected simple
+    projection; vertices with fewer than two neighbours contribute 0,
+    as in the usual network-science convention. *)
+
+val degree_histogram : Digraph.t -> [ `In | `Out | `Total ] -> (int * int) list
+(** [(degree, #vertices)] pairs sorted by degree, zero-degree included. *)
+
+val power_law_alpha : ?k_min:int -> (int * int) list -> float option
+(** Clauset–Shalizi–Newman MLE exponent fitted on a degree histogram,
+    restricted to degrees >= [k_min] (default 1). [None] when fewer than
+    two observations qualify. *)
+
+val gini : float array -> float
+(** Gini concentration index, used to quantify ownership-hub dominance. *)

@@ -1,0 +1,69 @@
+let bfs g src =
+  let nv = Digraph.n g in
+  let dist = Array.make nv (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Digraph.iter_succ g v (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w q
+        end)
+  done;
+  dist
+
+let reachable_set g sources =
+  let nv = Digraph.n g in
+  let seen = Array.make nv false in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Digraph.iter_succ g v (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+  done;
+  seen
+
+let reachable g src = reachable_set g [ src ]
+
+let dfs_postorder g =
+  let nv = Digraph.n g in
+  let seen = Array.make nv false in
+  let order = ref [] in
+  let succs = Array.init nv (fun v -> Array.of_list (Digraph.succ_list g v)) in
+  for root = 0 to nv - 1 do
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      let frames = ref [ (root, ref 0) ] in
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, i) :: rest ->
+            let sv = succs.(v) in
+            if !i < Array.length sv then begin
+              let w = sv.(!i) in
+              incr i;
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                frames := (w, ref 0) :: !frames
+              end
+            end
+            else begin
+              order := v :: !order;
+              frames := rest
+            end
+      done
+    end
+  done;
+  List.rev !order

@@ -1,0 +1,14 @@
+(** Reachability and shortest-path primitives used by the intensional
+    baselines (integrated ownership walks the whole reachable set). *)
+
+val bfs : Digraph.t -> int -> int array
+(** [bfs g src] is the array of hop distances from [src]; unreachable
+    vertices carry [-1]. *)
+
+val reachable : Digraph.t -> int -> bool array
+
+val reachable_set : Digraph.t -> int list -> bool array
+(** Union of forward reachability from several sources. *)
+
+val dfs_postorder : Digraph.t -> int list
+(** Vertices in DFS finishing order over the whole graph. *)

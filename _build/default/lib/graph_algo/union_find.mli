@@ -1,0 +1,14 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets currently represented. *)
+
+val component_sizes : t -> (int * int) list
+(** [(representative, size)] for every set, unordered. *)

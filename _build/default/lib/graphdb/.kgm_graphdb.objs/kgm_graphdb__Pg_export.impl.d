@@ -1,0 +1,1 @@
+lib/graphdb/pg_export.ml: Buffer Hashtbl Kgm_common List Oid Option Pgraph Printf Set String Value

@@ -1,0 +1,1 @@
+lib/graphdb/pg_import.ml: Buffer Kgm_common Kgm_error List Oid Pgraph String Value

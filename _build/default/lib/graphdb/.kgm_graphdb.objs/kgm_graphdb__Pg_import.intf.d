@@ -1,0 +1,1 @@
+lib/graphdb/pg_import.mli: Pgraph

@@ -1,0 +1,1 @@
+lib/graphdb/pgraph.ml: Array Format Hashtbl Kgm_algo Kgm_common Kgm_error List Oid Value

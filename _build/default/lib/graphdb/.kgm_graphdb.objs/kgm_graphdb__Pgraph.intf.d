@@ -1,0 +1,1 @@
+lib/graphdb/pgraph.mli: Format Kgm_algo Kgm_common Oid Value

@@ -1,0 +1,188 @@
+open Kgm_common
+
+let rec cypher_value = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.12g" f
+  | Value.String s -> Printf.sprintf "%S" s
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Date (y, m, d) -> Printf.sprintf "date(\"%04d-%02d-%02d\")" y m d
+  | Value.Id o -> Printf.sprintf "%S" (Oid.to_string o)
+  | Value.Null _ -> "null"
+  | Value.List l ->
+      "[" ^ String.concat ", " (List.map cypher_value l) ^ "]"
+
+let cypher_props ?(extra = []) props =
+  let all = extra @ props in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (cypher_value v)) all)
+  ^ "}"
+
+let to_cypher g =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun id ->
+      let labels = Pgraph.node_labels g id in
+      let label_str = String.concat "" (List.map (fun l -> ":" ^ l) labels) in
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE (%s %s);\n" label_str
+           (cypher_props
+              ~extra:[ ("_oid", Value.String (Oid.to_string id)) ]
+              (Pgraph.node_props g id))))
+    (Pgraph.node_ids g);
+  List.iter
+    (fun id ->
+      let src, dst = Pgraph.edge_ends g id in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "MATCH (a {_oid: %S}), (b {_oid: %S}) CREATE (a)-[:%s %s]->(b);\n"
+           (Oid.to_string src) (Oid.to_string dst) (Pgraph.edge_label g id)
+           (cypher_props
+              ~extra:[ ("_oid", Value.String (Oid.to_string id)) ]
+              (Pgraph.edge_props g id))))
+    (Pgraph.edge_ids g);
+  Buffer.contents buf
+
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_graphml g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string buf
+    "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n<graph edgedefault=\"directed\">\n";
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  <node id=\"%s\">\n" (xml_escape (Oid.to_string id)));
+      Buffer.add_string buf
+        (Printf.sprintf "    <data key=\"labels\">%s</data>\n"
+           (xml_escape (String.concat ";" (Pgraph.node_labels g id))));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    <data key=\"%s\">%s</data>\n" (xml_escape k)
+               (xml_escape (Value.to_string v))))
+        (Pgraph.node_props g id);
+      Buffer.add_string buf "  </node>\n")
+    (Pgraph.node_ids g);
+  List.iter
+    (fun id ->
+      let src, dst = Pgraph.edge_ends g id in
+      Buffer.add_string buf
+        (Printf.sprintf "  <edge id=\"%s\" source=\"%s\" target=\"%s\" label=\"%s\">\n"
+           (xml_escape (Oid.to_string id))
+           (xml_escape (Oid.to_string src))
+           (xml_escape (Oid.to_string dst))
+           (xml_escape (Pgraph.edge_label g id)));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    <data key=\"%s\">%s</data>\n" (xml_escape k)
+               (xml_escape (Value.to_string v))))
+        (Pgraph.edge_props g id);
+      Buffer.add_string buf "  </edge>\n")
+    (Pgraph.edge_ids g);
+  Buffer.add_string buf "</graph>\n</graphml>\n";
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv_value = function
+  | Value.Null _ -> ""
+  | v -> csv_escape (Value.to_string v)
+
+module SS = Set.Make (String)
+
+let to_csv_bundle g =
+  (* group nodes by primary (first) label, edges by label *)
+  let node_groups = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let label =
+        match Pgraph.node_labels g id with l :: _ -> l | [] -> "_unlabeled"
+      in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt node_groups label) in
+      Hashtbl.replace node_groups label (id :: prev))
+    (List.rev (Pgraph.node_ids g));
+  let edge_groups = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let label = Pgraph.edge_label g id in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt edge_groups label) in
+      Hashtbl.replace edge_groups label (id :: prev))
+    (List.rev (Pgraph.edge_ids g));
+  let render_group header_extra props_of ids =
+    let keys =
+      List.fold_left
+        (fun acc id ->
+          List.fold_left (fun acc (k, _) -> SS.add k acc) acc (props_of id))
+        SS.empty ids
+      |> SS.elements
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (String.concat "," (List.map fst header_extra @ keys));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun id ->
+        let props = props_of id in
+        let cells =
+          List.map (fun (_, f) -> f id) header_extra
+          @ List.map
+              (fun k ->
+                match List.assoc_opt k props with
+                | Some v -> csv_value v
+                | None -> "")
+              keys
+        in
+        Buffer.add_string buf (String.concat "," cells);
+        Buffer.add_char buf '\n')
+      ids;
+    Buffer.contents buf
+  in
+  let node_files =
+    Hashtbl.fold
+      (fun label ids acc ->
+        let doc =
+          render_group
+            [ ("_oid", fun id -> csv_escape (Oid.to_string id)) ]
+            (Pgraph.node_props g) (List.rev ids)
+        in
+        (Printf.sprintf "nodes_%s.csv" label, doc) :: acc)
+      node_groups []
+  in
+  let edge_files =
+    Hashtbl.fold
+      (fun label ids acc ->
+        let doc =
+          render_group
+            [ ("_oid", fun id -> csv_escape (Oid.to_string id));
+              ("_src", fun id -> csv_escape (Oid.to_string (fst (Pgraph.edge_ends g id))));
+              ("_dst", fun id -> csv_escape (Oid.to_string (snd (Pgraph.edge_ends g id)))) ]
+            (Pgraph.edge_props g) (List.rev ids)
+        in
+        (Printf.sprintf "edges_%s.csv" label, doc) :: acc)
+      edge_groups []
+  in
+  List.sort compare (node_files @ edge_files)

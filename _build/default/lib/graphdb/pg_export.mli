@@ -1,0 +1,17 @@
+(** Serialization of property graphs to deployment artifacts: a Cypher
+    CREATE script (the form a Neo4J-like target consumes), GraphML, and
+    a CSV bundle (the "non-graph-like models frequently used to
+    serialize graphs" of Sec. 2.2). *)
+
+val to_cypher : Pgraph.t -> string
+(** CREATE statements, nodes first (with a [_oid] property carrying the
+    internal identifier), then MATCH+CREATE per edge. Deterministic
+    order. *)
+
+val to_graphml : Pgraph.t -> string
+
+val to_csv_bundle : Pgraph.t -> (string * string) list
+(** One CSV document per node label and per edge label:
+    [("nodes_<label>.csv", data); ("edges_<label>.csv", data); ...].
+    Node files carry [_oid] plus the union of property names among that
+    label; edge files carry [_oid;_src;_dst] plus properties. *)

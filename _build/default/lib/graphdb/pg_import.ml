@@ -1,0 +1,147 @@
+open Kgm_common
+
+(* RFC-4180-ish CSV: quoted cells may contain commas, newlines and
+   escaped double quotes. *)
+let parse_csv doc =
+  let rows = ref [] in
+  let row = ref [] in
+  let cell = Buffer.create 32 in
+  let n = String.length doc in
+  let flush_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = doc.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && doc.[!i + 1] = '"' then begin
+          Buffer.add_char cell '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char cell c
+    end
+    else begin
+      match c with
+      | '"' -> in_quotes := true
+      | ',' -> flush_cell ()
+      | '\n' -> flush_row ()
+      | '\r' -> ()
+      | c -> Buffer.add_char cell c
+    end;
+    incr i
+  done;
+  if Buffer.length cell > 0 || !row <> [] then flush_row ();
+  List.rev !rows
+
+let strip_prefix ~prefix s =
+  let lp = String.length prefix in
+  if String.length s > lp && String.sub s 0 lp = prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let strip_suffix ~suffix s =
+  let ls = String.length suffix and n = String.length s in
+  if n > ls && String.sub s (n - ls) ls = suffix then
+    Some (String.sub s 0 (n - ls))
+  else None
+
+let oid_of_cell cell =
+  match Oid.of_string cell with
+  | Some o -> o
+  | None -> Kgm_error.storage_error "csv import: bad oid %S" cell
+
+(* Exported values are printed with Value.pp; recover the common cases
+   (quoted strings, numbers, booleans, dates, oids); anything else stays
+   a string. *)
+let value_of_cell cell =
+  let n = String.length cell in
+  if n >= 2 && cell.[0] = '"' && cell.[n - 1] = '"' then
+    Value.String (String.sub cell 1 (n - 2))
+  else
+    match Oid.of_string cell with
+    | Some o -> Value.Id o
+    | None -> (
+        match Value.parse Value.TDate cell with
+        | Some d -> d
+        | None -> (
+            match Value.parse Value.TAny cell with
+            | Some v -> v
+            | None -> Value.String cell))
+
+let of_csv_bundle files =
+  let g = Pgraph.create () in
+  let props_of header cells =
+    List.concat
+      (List.map2
+         (fun k v ->
+           if String.length k > 0 && k.[0] = '_' then []
+           else if v = "" then []
+           else [ (k, value_of_cell v) ])
+         header cells)
+  in
+  let col header name =
+    let rec idx i = function
+      | [] -> Kgm_error.storage_error "csv import: missing column %s" name
+      | c :: rest -> if c = name then i else idx (i + 1) rest
+    in
+    idx 0 header
+  in
+  (* nodes first, then edges *)
+  List.iter
+    (fun (filename, doc) ->
+      match strip_prefix ~prefix:"nodes_" filename with
+      | Some rest -> (
+          match strip_suffix ~suffix:".csv" rest with
+          | Some label -> (
+              match parse_csv doc with
+              | header :: rows ->
+                  let oid_i = col header "_oid" in
+                  List.iter
+                    (fun cells ->
+                      if List.length cells = List.length header then begin
+                        let id = oid_of_cell (List.nth cells oid_i) in
+                        ignore
+                          (Pgraph.add_node ~id g ~labels:[ label ]
+                             ~props:(props_of header cells))
+                      end)
+                    rows
+              | [] -> ())
+          | None -> ())
+      | None -> ())
+    files;
+  List.iter
+    (fun (filename, doc) ->
+      match strip_prefix ~prefix:"edges_" filename with
+      | Some rest -> (
+          match strip_suffix ~suffix:".csv" rest with
+          | Some label -> (
+              match parse_csv doc with
+              | header :: rows ->
+                  let oid_i = col header "_oid" in
+                  let src_i = col header "_src" in
+                  let dst_i = col header "_dst" in
+                  List.iter
+                    (fun cells ->
+                      if List.length cells = List.length header then begin
+                        let id = oid_of_cell (List.nth cells oid_i) in
+                        let src = oid_of_cell (List.nth cells src_i) in
+                        let dst = oid_of_cell (List.nth cells dst_i) in
+                        ignore
+                          (Pgraph.add_edge ~id g ~label ~src ~dst
+                             ~props:(props_of header cells))
+                      end)
+                    rows
+              | [] -> ())
+          | None -> ())
+      | None -> ())
+    files;
+  g

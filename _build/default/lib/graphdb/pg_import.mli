@@ -1,0 +1,17 @@
+(** Deserialization of property graphs from the CSV bundle produced by
+    {!Pg_export.to_csv_bundle} — the "plain CSV files" serialization the
+    paper lists among the non-graph-like target models (Sec. 2.2).
+    [of_csv_bundle (Pg_export.to_csv_bundle g)] reconstructs [g],
+    element ids included, up to property value types inferable from
+    text. *)
+
+val parse_csv : string -> string list list
+(** RFC-4180-ish parsing: quoted cells, escaped quotes, embedded commas
+    and newlines. First row is the header. *)
+
+val of_csv_bundle : (string * string) list -> Pgraph.t
+(** [(filename, document)] pairs following the export convention:
+    [nodes_<label>.csv] with an [_oid] column, [edges_<label>.csv] with
+    [_oid;_src;_dst]. Raises [Kgm_error.Error] on malformed bundles
+    (missing mandatory columns, dangling endpoints, unparseable
+    oids). *)

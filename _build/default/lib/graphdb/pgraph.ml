@@ -1,0 +1,245 @@
+open Kgm_common
+
+type id = Oid.t
+
+module IdMap = Hashtbl.Make (struct
+  type t = Oid.t
+
+  let equal = Oid.equal
+  let hash = Oid.hash
+end)
+
+type node = {
+  mutable labels : string list;
+  n_props : (string, Value.t) Hashtbl.t;
+  mutable outgoing : id list; (* edge ids, reverse insertion order *)
+  mutable incoming : id list;
+}
+
+type edge = {
+  e_label : string;
+  src : id;
+  dst : id;
+  e_props : (string, Value.t) Hashtbl.t;
+}
+
+type t = {
+  nodes : node IdMap.t;
+  edges : edge IdMap.t;
+  label_index : (string, id list ref) Hashtbl.t;
+  edge_label_index : (string, id list ref) Hashtbl.t;
+  gen : Oid.gen;
+}
+
+let create () =
+  { nodes = IdMap.create 256;
+    edges = IdMap.create 256;
+    label_index = Hashtbl.create 32;
+    edge_label_index = Hashtbl.create 32;
+    gen = Oid.make_gen () }
+
+let fresh_id t = Oid.fresh t.gen
+
+let index_add index key id =
+  match Hashtbl.find_opt index key with
+  | Some l -> l := id :: !l
+  | None -> Hashtbl.add index key (ref [ id ])
+
+let index_remove index key id =
+  match Hashtbl.find_opt index key with
+  | Some l -> l := List.filter (fun x -> not (Oid.equal x id)) !l
+  | None -> ()
+
+let get_node t id =
+  match IdMap.find_opt t.nodes id with
+  | Some n -> n
+  | None -> Kgm_error.storage_error "no node %s" (Oid.to_string id)
+
+let get_edge t id =
+  match IdMap.find_opt t.edges id with
+  | Some e -> e
+  | None -> Kgm_error.storage_error "no edge %s" (Oid.to_string id)
+
+let add_node ?id t ~labels ~props =
+  let id = match id with Some i -> i | None -> fresh_id t in
+  if IdMap.mem t.nodes id || IdMap.mem t.edges id then
+    Kgm_error.storage_error "id %s already bound" (Oid.to_string id);
+  let n_props = Hashtbl.create (List.length props) in
+  List.iter (fun (k, v) -> Hashtbl.replace n_props k v) props;
+  IdMap.add t.nodes id { labels; n_props; outgoing = []; incoming = [] };
+  List.iter (fun l -> index_add t.label_index l id) labels;
+  id
+
+let node_exists t id = IdMap.mem t.nodes id
+let node_labels t id = (get_node t id).labels
+let node_prop t id k = Hashtbl.find_opt (get_node t id).n_props k
+
+let node_props t id =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (get_node t id).n_props []
+  |> List.sort compare
+
+let set_node_prop t id k v = Hashtbl.replace (get_node t id).n_props k v
+
+let add_node_label t id l =
+  let n = get_node t id in
+  if not (List.mem l n.labels) then begin
+    n.labels <- n.labels @ [ l ];
+    index_add t.label_index l id
+  end
+
+let add_edge ?id t ~label ~src ~dst ~props =
+  let id = match id with Some i -> i | None -> fresh_id t in
+  if IdMap.mem t.edges id || IdMap.mem t.nodes id then
+    Kgm_error.storage_error "id %s already bound" (Oid.to_string id);
+  let src_node = get_node t src in
+  let dst_node = get_node t dst in
+  let e_props = Hashtbl.create (List.length props) in
+  List.iter (fun (k, v) -> Hashtbl.replace e_props k v) props;
+  IdMap.add t.edges id { e_label = label; src; dst; e_props };
+  src_node.outgoing <- id :: src_node.outgoing;
+  dst_node.incoming <- id :: dst_node.incoming;
+  index_add t.edge_label_index label id;
+  id
+
+let edge_exists t id = IdMap.mem t.edges id
+let edge_label t id = (get_edge t id).e_label
+let edge_ends t id = let e = get_edge t id in (e.src, e.dst)
+let edge_prop t id k = Hashtbl.find_opt (get_edge t id).e_props k
+
+let edge_props t id =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (get_edge t id).e_props []
+  |> List.sort compare
+
+let set_edge_prop t id k v = Hashtbl.replace (get_edge t id).e_props k v
+
+let remove_edge t id =
+  let e = get_edge t id in
+  (match IdMap.find_opt t.nodes e.src with
+   | Some n -> n.outgoing <- List.filter (fun x -> not (Oid.equal x id)) n.outgoing
+   | None -> ());
+  (match IdMap.find_opt t.nodes e.dst with
+   | Some n -> n.incoming <- List.filter (fun x -> not (Oid.equal x id)) n.incoming
+   | None -> ());
+  index_remove t.edge_label_index e.e_label id;
+  IdMap.remove t.edges id
+
+let remove_node t id =
+  let n = get_node t id in
+  List.iter (remove_edge t) n.outgoing;
+  List.iter (remove_edge t) n.incoming;
+  List.iter (fun l -> index_remove t.label_index l id) n.labels;
+  IdMap.remove t.nodes id
+
+let node_count t = IdMap.length t.nodes
+let edge_count t = IdMap.length t.edges
+
+let iter_nodes t f = IdMap.iter (fun id _ -> f id) t.nodes
+let iter_edges t f = IdMap.iter (fun id _ -> f id) t.edges
+
+let node_ids t =
+  IdMap.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort Oid.compare
+
+let edge_ids t =
+  IdMap.fold (fun id _ acc -> id :: acc) t.edges [] |> List.sort Oid.compare
+
+let nodes_with_label t l =
+  match Hashtbl.find_opt t.label_index l with
+  | Some ids -> List.sort Oid.compare !ids
+  | None -> []
+
+let edges_with_label t l =
+  match Hashtbl.find_opt t.edge_label_index l with
+  | Some ids -> List.sort Oid.compare !ids
+  | None -> []
+
+let find_nodes t ?label props =
+  let candidates =
+    match label with Some l -> nodes_with_label t l | None -> node_ids t
+  in
+  List.filter
+    (fun id ->
+      let n = get_node t id in
+      List.for_all
+        (fun (k, v) ->
+          match Hashtbl.find_opt n.n_props k with
+          | Some v' -> Value.equal v v'
+          | None -> false)
+        props)
+    candidates
+
+let filter_edges t ?label ids =
+  match label with
+  | None -> ids
+  | Some l -> List.filter (fun e -> (get_edge t e).e_label = l) ids
+
+let out_edges ?label t id =
+  filter_edges t ?label (List.rev (get_node t id).outgoing)
+
+let in_edges ?label t id =
+  filter_edges t ?label (List.rev (get_node t id).incoming)
+
+let neighbors_out ?label t id =
+  List.map (fun e -> (get_edge t e).dst) (out_edges ?label t id)
+
+let neighbors_in ?label t id =
+  List.map (fun e -> (get_edge t e).src) (in_edges ?label t id)
+
+let to_digraph ?node_filter ?edge_label t =
+  let keep = match node_filter with Some f -> f | None -> fun _ -> true in
+  let ids = List.filter keep (node_ids t) in
+  let back = Array.of_list ids in
+  let index = IdMap.create (Array.length back) in
+  Array.iteri (fun i id -> IdMap.add index id i) back;
+  let g = Kgm_algo.Digraph.create (Array.length back) in
+  IdMap.iter
+    (fun _ e ->
+      let ok = match edge_label with Some l -> e.e_label = l | None -> true in
+      if ok then
+        match IdMap.find_opt index e.src, IdMap.find_opt index e.dst with
+        | Some u, Some v -> Kgm_algo.Digraph.add_edge g u v
+        | _ -> ())
+    t.edges;
+  (g, back)
+
+let copy t =
+  let t' = create () in
+  IdMap.iter
+    (fun id n ->
+      ignore
+        (add_node ~id t' ~labels:n.labels
+           ~props:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) n.n_props [])))
+    t.nodes;
+  (* preserve edge insertion order per node by re-adding in order *)
+  List.iter
+    (fun id ->
+      let e = get_edge t id in
+      ignore
+        (add_edge ~id t' ~label:e.e_label ~src:e.src ~dst:e.dst
+           ~props:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.e_props [])))
+    (edge_ids t);
+  t'
+
+let equal_graphs a b =
+  node_count a = node_count b
+  && edge_count a = edge_count b
+  && List.for_all
+       (fun id ->
+         node_exists b id
+         && List.sort compare (node_labels a id) = List.sort compare (node_labels b id)
+         && node_props a id = node_props b id)
+       (node_ids a)
+  && List.for_all
+       (fun id ->
+         edge_exists b id
+         && edge_label a id = edge_label b id
+         && edge_ends a id = edge_ends b id
+         && edge_props a id = edge_props b id)
+       (edge_ids a)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "graph: %d nodes, %d edges" (node_count t) (edge_count t);
+  let labels =
+    Hashtbl.fold (fun l ids acc -> (l, List.length !ids) :: acc) t.label_index []
+    |> List.sort compare
+  in
+  List.iter (fun (l, c) -> Format.fprintf ppf "@.  :%s %d" l c) labels

@@ -1,0 +1,91 @@
+(** In-memory property-graph store.
+
+    Implements the paper's PG definition G = (N, E, μ, λ, σ) (Sec. 4)
+    with the practical extensions every PG system has: multi-labels on
+    nodes, label indexes, and property lookups. This store backs both
+    enterprise data (the extensional component) and the KGModel
+    {e graph dictionaries} that hold super-schemas, schemas and
+    instance-level constructs. *)
+
+open Kgm_common
+
+type t
+
+type id = Oid.t
+
+val create : unit -> t
+
+(** {1 Nodes} *)
+
+val add_node : ?id:id -> t -> labels:string list -> props:(string * Value.t) list -> id
+(** Raises [Kgm_error.Error] when [id] is already bound. *)
+
+val node_exists : t -> id -> bool
+val node_labels : t -> id -> string list
+val node_prop : t -> id -> string -> Value.t option
+val node_props : t -> id -> (string * Value.t) list
+val set_node_prop : t -> id -> string -> Value.t -> unit
+val add_node_label : t -> id -> string -> unit
+val remove_node : t -> id -> unit
+(** Also removes incident edges. *)
+
+(** {1 Edges} *)
+
+val add_edge :
+  ?id:id -> t -> label:string -> src:id -> dst:id ->
+  props:(string * Value.t) list -> id
+(** Raises when an endpoint is missing or [id] is already bound. *)
+
+val edge_exists : t -> id -> bool
+val edge_label : t -> id -> string
+val edge_ends : t -> id -> id * id
+val edge_prop : t -> id -> string -> Value.t option
+val edge_props : t -> id -> (string * Value.t) list
+val set_edge_prop : t -> id -> string -> Value.t -> unit
+val remove_edge : t -> id -> unit
+
+(** {1 Iteration and lookup} *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val iter_nodes : t -> (id -> unit) -> unit
+val iter_edges : t -> (id -> unit) -> unit
+val node_ids : t -> id list
+val edge_ids : t -> id list
+
+val nodes_with_label : t -> string -> id list
+(** Indexed: O(size of answer). *)
+
+val find_nodes : t -> ?label:string -> (string * Value.t) list -> id list
+(** Nodes carrying all the given property values (and the label when
+    given). *)
+
+val out_edges : ?label:string -> t -> id -> id list
+val in_edges : ?label:string -> t -> id -> id list
+val neighbors_out : ?label:string -> t -> id -> id list
+val neighbors_in : ?label:string -> t -> id -> id list
+
+val edges_with_label : t -> string -> id list
+
+val fresh_id : t -> id
+(** Mint an id from the store's own generator (used for derived
+    elements when no Skolem discipline applies). *)
+
+(** {1 Analytics projection} *)
+
+val to_digraph :
+  ?node_filter:(id -> bool) -> ?edge_label:string -> t ->
+  Kgm_algo.Digraph.t * id array
+(** Project onto a compact digraph for the algorithm substrate; the
+    returned array maps compact vertex indices back to node ids. *)
+
+(** {1 Whole-graph utilities} *)
+
+val copy : t -> t
+
+val equal_graphs : t -> t -> bool
+(** Structural equality by node/edge identity, labels and properties
+    (order-insensitive). Used by round-trip tests. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/metalog/ast.ml: Format Kgm_common Kgm_vadalog List Option String Value

@@ -1,0 +1,1 @@
+lib/metalog/label_schema.ml: Ast Kgm_common Kgm_error Kgm_graphdb List Map Option Set String

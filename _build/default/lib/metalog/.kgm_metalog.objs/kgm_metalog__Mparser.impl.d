@@ -1,0 +1,1 @@
+lib/metalog/mparser.ml: Ast Kgm_common Kgm_error Kgm_vadalog List Option Value

@@ -1,0 +1,1 @@
+lib/metalog/mtv.ml: Ast Kgm_common Kgm_error Kgm_vadalog Label_schema List Printf Set String Value

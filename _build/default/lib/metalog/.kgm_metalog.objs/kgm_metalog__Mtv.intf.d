@@ -1,0 +1,1 @@
+lib/metalog/mtv.mli: Ast Kgm_graphdb Kgm_vadalog Label_schema

@@ -1,0 +1,1 @@
+lib/metalog/pg_bridge.ml: Array Ast Hashtbl Kgm_common Kgm_graphdb Kgm_vadalog Label_schema List Mtv Oid String Value

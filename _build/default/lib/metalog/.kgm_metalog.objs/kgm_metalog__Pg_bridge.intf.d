@@ -1,0 +1,1 @@
+lib/metalog/pg_bridge.mli: Ast Kgm_common Kgm_graphdb Kgm_vadalog Label_schema Value

@@ -1,0 +1,243 @@
+(** Abstract syntax of MetaLog (paper, Sec. 4).
+
+    A MetaLog rule is φ(x,y) → ∃z ψ(x,z) where φ is a conjunction of PG
+    node atoms, path patterns, conditions and expressions, and ψ is a
+    conjunction of PG node atoms and (simple) path patterns.
+
+    Concrete syntax implemented by {!Mparser}:
+    {v
+    (x: Business)-[: CONTROLS]->(z: Business)
+                 -[: OWNS; percentage: W]->(y: Business),
+      V = sum(W, <z>), V > 0.5
+      => (x)-[c: CONTROLS]->(y).
+    v}
+    Path patterns use a regular-expression island between [-/ ... /->]:
+    {v
+    (x: SM_Node)-/ ([:SM_CHILD]~ [:SM_PARENT])* /->(y: SM_Node)
+      => (x)-[w: DESCFROM]->(y).
+    v}
+    where [~] is the inverse operator ρ⁻, juxtaposition is concatenation
+    (the paper's ·), [|] alternation and [*] the Kleene closure
+    (translated to the β-rules of Sec. 4, i.e. one-or-more applications,
+    exactly as in the paper's resolution of path patterns). In MetaLog
+    every bare identifier in value position is a variable; constants are
+    numeric/string/boolean literals. *)
+
+open Kgm_common
+
+(** [(x: L; a1: t1, ...)] — [binder] is the atom identifier, [label]
+    the type, [attrs] the named terms K. An omitted binder is an
+    anonymous binding; [spread] carries a packed-attribute variable
+    ([*p], Example 6.2). *)
+type pg_atom = {
+  binder : string option;
+  label : string option;
+  attrs : (string * attr_value) list;
+  spread : string option;
+}
+
+and attr_value =
+  | AVar of string
+  | AConst of Value.t
+
+(** Regular path expressions over the alphabet of PG edge atoms. *)
+type path =
+  | PEdge of pg_atom              (** [ [e: R; K] ] *)
+  | PInv of path                  (** ρ⁻ *)
+  | PSeq of path list             (** concatenation · *)
+  | PAlt of path list             (** | *)
+  | PStar of path                 (** Kleene closure (β-rules, ≥ 1) *)
+
+(** One navigation chain: a node atom followed by (path, node atom)
+    steps. [(x:A)-[e:R]->(y:B)-[f:S]->(z:C)] has two steps. *)
+type chain = {
+  start : pg_atom;
+  steps : (path * pg_atom) list;
+}
+
+type expr = Kgm_vadalog.Expr.t
+
+type body_item =
+  | BChain of chain
+  | BNeg of chain                 (** [not (...)], stratified negation over
+                                      a pattern: the desiderata's "mild form
+                                      of negation" *)
+  | BCond of expr
+  | BAssign of string * expr      (** includes Skolem functors [#sk(...)] *)
+  | BAgg of Kgm_vadalog.Rule.aggregate
+
+type rule = {
+  body : body_item list;
+  head : chain list;              (** simple paths only (single edges) *)
+}
+
+type program = {
+  rules : rule list;
+  annotations : Kgm_vadalog.Rule.annotation list;
+}
+
+let anon_atom = { binder = None; label = None; attrs = []; spread = None }
+
+(* ------------------------------------------------------------------ *)
+(* Variable accounting                                                  *)
+
+let atom_vars a =
+  Option.to_list a.binder
+  @ List.filter_map (function _, AVar v -> Some v | _, AConst _ -> None) a.attrs
+  @ Option.to_list a.spread
+
+let rec path_vars = function
+  | PEdge a -> atom_vars a
+  | PInv p | PStar p -> path_vars p
+  | PSeq ps | PAlt ps -> List.concat_map path_vars ps
+
+let chain_vars c =
+  atom_vars c.start
+  @ List.concat_map (fun (p, a) -> path_vars p @ atom_vars a) c.steps
+
+let body_item_vars = function
+  | BChain c | BNeg c -> chain_vars c
+  | BCond e -> Kgm_vadalog.Expr.vars e
+  | BAssign (x, e) -> x :: Kgm_vadalog.Expr.vars e
+  | BAgg g ->
+      (g.Kgm_vadalog.Rule.result :: g.Kgm_vadalog.Rule.contributors)
+      @ Kgm_vadalog.Expr.vars g.Kgm_vadalog.Rule.weight
+
+let body_vars body =
+  List.sort_uniq String.compare (List.concat_map body_item_vars body)
+
+let head_vars head =
+  List.sort_uniq String.compare (List.concat_map chain_vars head)
+
+(** Labels used in body chains (node and edge labels), for the
+    MetaLog-level recursion check. *)
+let rec path_edge_labels = function
+  | PEdge a -> Option.to_list a.label
+  | PInv p | PStar p -> path_edge_labels p
+  | PSeq ps | PAlt ps -> List.concat_map path_edge_labels ps
+
+let rec path_has_star = function
+  | PEdge _ -> false
+  | PInv p -> path_has_star p
+  | PStar _ -> true
+  | PSeq ps | PAlt ps -> List.exists path_has_star ps
+
+let chain_labels c =
+  Option.to_list c.start.label
+  @ List.concat_map
+      (fun (p, a) -> path_edge_labels p @ Option.to_list a.label)
+      c.steps
+
+let rule_body_labels r =
+  List.concat_map
+    (function BChain c | BNeg c -> chain_labels c | _ -> [])
+    r.body
+
+let rule_head_labels r = List.concat_map chain_labels r.head
+
+(** Labels keyed by the constant schemaOID selector when the atom has
+    one — the SSST mapping rules of Sec. 5 read and write the same
+    super-construct labels but in different schemas, which must not be
+    mistaken for recursion by the star-restriction check. *)
+let atom_schema_key (a : pg_atom) =
+  match List.assoc_opt "schemaOID" a.attrs with
+  | Some (AConst (Value.Int i)) -> Some i
+  | _ -> None
+
+let rec path_edge_labels_keyed = function
+  | PEdge a ->
+      (match a.label with
+       | Some l -> [ (l, atom_schema_key a) ]
+       | None -> [])
+  | PInv p | PStar p -> path_edge_labels_keyed p
+  | PSeq ps | PAlt ps -> List.concat_map path_edge_labels_keyed ps
+
+let chain_labels_keyed c =
+  let node (a : pg_atom) =
+    match a.label with Some l -> [ (l, atom_schema_key a) ] | None -> []
+  in
+  node c.start
+  @ List.concat_map
+      (fun (p, a) -> path_edge_labels_keyed p @ node a)
+      c.steps
+
+let rule_body_labels_keyed r =
+  List.concat_map
+    (function BChain c | BNeg c -> chain_labels_keyed c | _ -> [])
+    r.body
+
+let rule_head_labels_keyed r = List.concat_map chain_labels_keyed r.head
+
+let rule_has_star r =
+  List.exists
+    (function
+      | BChain c | BNeg c -> List.exists (fun (p, _) -> path_has_star p) c.steps
+      | _ -> false)
+    r.body
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                      *)
+
+let pp_attr_value ppf = function
+  | AVar v -> Format.pp_print_string ppf v
+  | AConst c -> Value.pp ppf c
+
+let pp_atom_guts ppf a =
+  (match a.binder with Some b -> Format.pp_print_string ppf b | None -> ());
+  (match a.label with Some l -> Format.fprintf ppf ": %s" l | None -> ());
+  if a.attrs <> [] || a.spread <> None then begin
+    Format.pp_print_string ppf "; ";
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (k, v) -> Format.fprintf ppf "%s: %a" k pp_attr_value v)
+      ppf a.attrs;
+    match a.spread with
+    | Some s ->
+        if a.attrs <> [] then Format.pp_print_string ppf ", ";
+        Format.fprintf ppf "*%s" s
+    | None -> ()
+  end
+
+let pp_node ppf a = Format.fprintf ppf "(%a)" pp_atom_guts a
+let pp_edge ppf a = Format.fprintf ppf "[%a]" pp_atom_guts a
+
+let rec pp_path ppf = function
+  | PEdge a -> pp_edge ppf a
+  | PInv p -> Format.fprintf ppf "%a~" pp_path p
+  | PSeq ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_path)
+        ps
+  | PAlt ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp_path)
+        ps
+  | PStar p -> Format.fprintf ppf "%a*" pp_path p
+
+let pp_chain ppf c =
+  pp_node ppf c.start;
+  List.iter
+    (fun (p, a) ->
+      (match p with
+       | PEdge e -> Format.fprintf ppf "-%a->" pp_edge e
+       | PInv (PEdge e) -> Format.fprintf ppf "<-%a-" pp_edge e
+       | p -> Format.fprintf ppf "-/ %a /->" pp_path p);
+      pp_node ppf a)
+    c.steps
+
+let pp_body_item ppf = function
+  | BChain c -> pp_chain ppf c
+  | BNeg c -> Format.fprintf ppf "not (%a)" pp_chain c
+  | BCond e -> Kgm_vadalog.Expr.pp ppf e
+  | BAssign (x, e) -> Format.fprintf ppf "%s = %a" x Kgm_vadalog.Expr.pp e
+  | BAgg g -> Kgm_vadalog.Rule.pp_literal ppf (Kgm_vadalog.Rule.Agg g)
+
+let pp_rule ppf r =
+  Format.fprintf ppf "@[<hov 2>%a@ => %a.@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_body_item)
+    r.body
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_chain)
+    r.head
+
+let pp_program ppf p =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_rule r) p.rules

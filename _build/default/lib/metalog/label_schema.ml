@@ -1,0 +1,120 @@
+(** Property layouts per label.
+
+    The paper's PG-to-relational mapping (Sec. 4, step 1) gives every
+    L-labeled node a fact L(oid, f1, ..., fn) over the property set of
+    L, and every L-labeled edge a fact L(oid, src, dst, f1, ..., fm).
+    This module computes and stores that per-label property ordering:
+    the union of the properties observed in the input graph and those
+    mentioned by the MetaLog program, sorted for determinism. *)
+
+open Kgm_common
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  mutable node_props : SSet.t SMap.t;  (** node label -> property names *)
+  mutable edge_props : SSet.t SMap.t;  (** edge label -> property names *)
+}
+
+let create () = { node_props = SMap.empty; edge_props = SMap.empty }
+
+let add_node_prop t label prop =
+  let cur = Option.value ~default:SSet.empty (SMap.find_opt label t.node_props) in
+  t.node_props <- SMap.add label (SSet.add prop cur) t.node_props
+
+let add_edge_prop t label prop =
+  let cur = Option.value ~default:SSet.empty (SMap.find_opt label t.edge_props) in
+  t.edge_props <- SMap.add label (SSet.add prop cur) t.edge_props
+
+let declare_node_label t label =
+  if not (SMap.mem label t.node_props) then
+    t.node_props <- SMap.add label SSet.empty t.node_props
+
+let declare_edge_label t label =
+  if not (SMap.mem label t.edge_props) then
+    t.edge_props <- SMap.add label SSet.empty t.edge_props
+
+let node_labels t = List.map fst (SMap.bindings t.node_props)
+let edge_labels t = List.map fst (SMap.bindings t.edge_props)
+
+let is_node_label t l = SMap.mem l t.node_props
+let is_edge_label t l = SMap.mem l t.edge_props
+
+(** Ordered property list of a node label ([] when unknown). *)
+let node_schema t label =
+  match SMap.find_opt label t.node_props with
+  | Some s -> SSet.elements s
+  | None -> []
+
+let edge_schema t label =
+  match SMap.find_opt label t.edge_props with
+  | Some s -> SSet.elements s
+  | None -> []
+
+(** Scan a property graph, recording every label and property key. *)
+let observe_graph t g =
+  Kgm_graphdb.Pgraph.iter_nodes g (fun id ->
+      let labels = Kgm_graphdb.Pgraph.node_labels g id in
+      List.iter
+        (fun l ->
+          declare_node_label t l;
+          List.iter
+            (fun (k, _) -> add_node_prop t l k)
+            (Kgm_graphdb.Pgraph.node_props g id))
+        labels);
+  Kgm_graphdb.Pgraph.iter_edges g (fun id ->
+      let l = Kgm_graphdb.Pgraph.edge_label g id in
+      declare_edge_label t l;
+      List.iter
+        (fun (k, _) -> add_edge_prop t l k)
+        (Kgm_graphdb.Pgraph.edge_props g id))
+
+(** Record the labels/properties a MetaLog program mentions. Node vs
+    edge position is syntactically unambiguous in MetaLog. *)
+let observe_program t (p : Ast.program) =
+  let atom_node (a : Ast.pg_atom) =
+    match a.Ast.label with
+    | Some l ->
+        declare_node_label t l;
+        List.iter (fun (k, _) -> add_node_prop t l k) a.Ast.attrs
+    | None -> ()
+  in
+  let atom_edge (a : Ast.pg_atom) =
+    match a.Ast.label with
+    | Some l ->
+        declare_edge_label t l;
+        List.iter (fun (k, _) -> add_edge_prop t l k) a.Ast.attrs
+    | None -> ()
+  in
+  let rec path = function
+    | Ast.PEdge a -> atom_edge a
+    | Ast.PInv p | Ast.PStar p -> path p
+    | Ast.PSeq ps | Ast.PAlt ps -> List.iter path ps
+  in
+  let chain (c : Ast.chain) =
+    atom_node c.Ast.start;
+    List.iter
+      (fun (p, n) ->
+        path p;
+        atom_node n)
+      c.Ast.steps
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter (function Ast.BChain c -> chain c | _ -> ()) r.Ast.body;
+      List.iter chain r.Ast.head)
+    p.Ast.rules
+
+let infer ?graph (p : Ast.program) =
+  let t = create () in
+  (match graph with Some g -> observe_graph t g | None -> ());
+  observe_program t p;
+  (* a label must not be both a node and an edge label: predicates share
+     one namespace in the Vadalog translation (paper, Example 4.4) *)
+  List.iter
+    (fun l ->
+      if is_edge_label t l then
+        Kgm_error.validate_error "label %s used for both nodes and edges" l)
+    (node_labels t);
+  t

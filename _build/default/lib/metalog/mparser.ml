@@ -1,0 +1,409 @@
+(** Parser for the MetaLog concrete syntax (see {!Ast} for the grammar
+    summary). Tokens come from the Vadalog lexer; the difference from
+    Vadalog expression parsing is the variable convention: in MetaLog
+    every bare identifier in value position is a variable. *)
+
+open Kgm_common
+module L = Kgm_vadalog.Lexer
+module E = Kgm_vadalog.Expr
+module R = Kgm_vadalog.Rule
+
+type state = {
+  mutable toks : L.t list;
+  mutable fresh : int;
+}
+
+let peek st = match st.toks with t :: _ -> t.L.tok | [] -> L.EOF
+let peek2 st = match st.toks with _ :: t :: _ -> t.L.tok | _ -> L.EOF
+
+let line st = match st.toks with t :: _ -> t.L.line | [] -> 0
+
+let next st =
+  match st.toks with
+  | t :: rest ->
+      st.toks <- rest;
+      t.L.tok
+  | [] -> L.EOF
+
+let expect st tok =
+  let found = next st in
+  if found <> tok then
+    Kgm_error.parse_error "metalog line %d: expected %s, found %s" (line st)
+      (L.token_name tok) (L.token_name found)
+
+let accept st tok =
+  if peek st = tok then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+let ident st =
+  match next st with
+  | L.IDENT s -> s
+  | tok ->
+      Kgm_error.parse_error "metalog line %d: expected identifier, found %s"
+        (line st) (L.token_name tok)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: bare identifiers are variables                          *)
+
+let agg_op_of_string = Kgm_vadalog.Parser.agg_op_of_string
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st (L.IDENT "or") then E.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st (L.IDENT "and") then E.And (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept st (L.IDENT "not") then E.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_additive st in
+  let cmp c =
+    ignore (next st);
+    E.Cmp (c, lhs, parse_additive st)
+  in
+  match peek st with
+  | L.EQEQ -> cmp E.Eq
+  | L.EQ -> cmp E.Eq    (* conditions may use a single '=' as in the paper *)
+  | L.NEQ -> cmp E.Neq
+  | L.LT -> cmp E.Lt
+  | L.LE -> cmp E.Le
+  | L.GT -> cmp E.Gt
+  | L.GE -> cmp E.Ge
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.PLUS ->
+        ignore (next st);
+        lhs := E.Binop (E.Add, !lhs, parse_multiplicative st)
+    | L.MINUS ->
+        ignore (next st);
+        lhs := E.Binop (E.Sub, !lhs, parse_multiplicative st)
+    | L.CONCAT ->
+        ignore (next st);
+        lhs := E.Binop (E.Concat, !lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.STAR ->
+        ignore (next st);
+        lhs := E.Binop (E.Mul, !lhs, parse_unary st)
+    | L.SLASH ->
+        ignore (next st);
+        lhs := E.Binop (E.Div, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept st L.MINUS then E.Binop (E.Sub, E.Const (Value.Int 0), parse_primary st)
+  else parse_primary st
+
+and parse_fun_args st =
+  expect st L.LPAREN;
+  if accept st L.RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept st L.COMMA then loop (e :: acc)
+      else begin
+        expect st L.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match next st with
+  | L.INT i -> E.Const (Value.Int i)
+  | L.FLOAT f -> E.Const (Value.Float f)
+  | L.STRING s -> E.Const (Value.String s)
+  | L.LPAREN ->
+      let e = parse_expr st in
+      expect st L.RPAREN;
+      e
+  | L.HASH ->
+      let name = ident st in
+      E.Skolem (name, parse_fun_args st)
+  | L.IDENT "true" -> E.Const (Value.Bool true)
+  | L.IDENT "false" -> E.Const (Value.Bool false)
+  | L.IDENT s when peek st = L.LPAREN -> E.Fun (s, parse_fun_args st)
+  | L.IDENT s -> E.Var s
+  | tok ->
+      Kgm_error.parse_error "metalog line %d: unexpected %s in expression"
+        (line st) (L.token_name tok)
+
+(* ------------------------------------------------------------------ *)
+(* PG atoms                                                             *)
+
+let parse_attr_value st =
+  match next st with
+  | L.INT i -> Ast.AConst (Value.Int i)
+  | L.FLOAT f -> Ast.AConst (Value.Float f)
+  | L.STRING s -> Ast.AConst (Value.String s)
+  | L.MINUS ->
+      (match next st with
+       | L.INT i -> Ast.AConst (Value.Int (-i))
+       | L.FLOAT f -> Ast.AConst (Value.Float (-.f))
+       | tok -> Kgm_error.parse_error "expected number, found %s" (L.token_name tok))
+  | L.IDENT "true" -> Ast.AConst (Value.Bool true)
+  | L.IDENT "false" -> Ast.AConst (Value.Bool false)
+  | L.IDENT s -> Ast.AVar s
+  | tok ->
+      Kgm_error.parse_error "metalog line %d: bad attribute value %s" (line st)
+        (L.token_name tok)
+
+(* guts of a node/edge atom, between the brackets *)
+let parse_atom_guts st closing =
+  let binder =
+    match peek st, peek2 st with
+    | L.IDENT s, (L.COLON | L.SEMI) when s <> "" ->
+        ignore (next st);
+        Some s
+    | L.IDENT s, tok when tok = closing ->
+        ignore (next st);
+        Some s
+    | _ -> None
+  in
+  let label =
+    if accept st L.COLON then Some (ident st) else None
+  in
+  let attrs = ref [] and spread = ref None in
+  if accept st L.SEMI then begin
+    let rec loop () =
+      (if accept st L.STAR then spread := Some (ident st)
+       else begin
+         let k = ident st in
+         expect st L.COLON;
+         attrs := (k, parse_attr_value st) :: !attrs
+       end);
+      if accept st L.COMMA then loop ()
+    in
+    loop ()
+  end;
+  expect st closing;
+  { Ast.binder; label; attrs = List.rev !attrs; spread = !spread }
+
+let parse_node st =
+  expect st L.LPAREN;
+  parse_atom_guts st L.RPAREN
+
+let parse_edge st =
+  expect st L.LBRACKET;
+  parse_atom_guts st L.RBRACKET
+
+(* ------------------------------------------------------------------ *)
+(* Path regular expressions (inside -/ ... /->)                         *)
+
+let rec parse_path st = parse_alt st
+
+and parse_alt st =
+  let first = parse_seq st in
+  let rec loop acc =
+    if accept st L.PIPE then loop (parse_seq st :: acc) else List.rev acc
+  in
+  match loop [ first ] with
+  | [ p ] -> p
+  | ps -> Ast.PAlt ps
+
+and parse_seq st =
+  let rec loop acc =
+    match peek st with
+    | L.LBRACKET | L.LPAREN -> loop (parse_postfix st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [] with
+  | [] -> Kgm_error.parse_error "metalog line %d: empty path" (line st)
+  | [ p ] -> p
+  | ps -> Ast.PSeq ps
+
+and parse_postfix st =
+  let base =
+    match peek st with
+    | L.LBRACKET -> Ast.PEdge (parse_edge st)
+    | L.LPAREN ->
+        ignore (next st);
+        let p = parse_path st in
+        expect st L.RPAREN;
+        p
+    | tok ->
+        Kgm_error.parse_error "metalog line %d: bad path element %s" (line st)
+          (L.token_name tok)
+  in
+  let rec suffixes p =
+    match peek st with
+    | L.TILDE ->
+        ignore (next st);
+        suffixes (Ast.PInv p)
+    | L.STAR ->
+        ignore (next st);
+        suffixes (Ast.PStar p)
+    | L.PLUS ->
+        ignore (next st);
+        suffixes (Ast.PStar p)  (* + and * coincide under the paper's β-rules *)
+    | _ -> p
+  in
+  suffixes base
+
+(* ------------------------------------------------------------------ *)
+(* Chains                                                               *)
+
+(* after a node atom: -[e]->  |  <-[e]-  |  -/ path /->  *)
+let parse_step st =
+  match peek st, peek2 st with
+  | L.MINUS, L.LBRACKET ->
+      ignore (next st);
+      let e = parse_edge st in
+      expect st L.MINUS;
+      expect st L.GT;
+      let n = parse_node st in
+      Some (Ast.PEdge e, n)
+  | L.MINUS, L.SLASH ->
+      ignore (next st);
+      ignore (next st);
+      let p = parse_path st in
+      expect st L.SLASH;
+      expect st L.MINUS;
+      expect st L.GT;
+      let n = parse_node st in
+      Some (p, n)
+  | L.LT, L.MINUS ->
+      ignore (next st);
+      ignore (next st);
+      let e = parse_edge st in
+      expect st L.MINUS;
+      let n = parse_node st in
+      Some (Ast.PInv (Ast.PEdge e), n)
+  | _ -> None
+
+let parse_chain st =
+  let start = parse_node st in
+  let rec steps acc =
+    match parse_step st with
+    | Some s -> steps (s :: acc)
+    | None -> List.rev acc
+  in
+  { Ast.start; steps = steps [] }
+
+(* ------------------------------------------------------------------ *)
+(* Items, rules, programs                                               *)
+
+let parse_assignment_rhs st result =
+  match peek st, peek2 st with
+  | L.IDENT name, L.LPAREN when agg_op_of_string name <> None ->
+      let op, forced_mode = Option.get (agg_op_of_string name) in
+      ignore (next st);
+      expect st L.LPAREN;
+      let weight = parse_expr st in
+      let contributors =
+        if accept st L.COMMA then begin
+          expect st L.LT;
+          let rec loop acc =
+            let v = ident st in
+            if accept st L.COMMA then loop (v :: acc) else List.rev (v :: acc)
+          in
+          let vs = loop [] in
+          expect st L.GT;
+          vs
+        end
+        else []
+      in
+      expect st L.RPAREN;
+      let mode =
+        match forced_mode with
+        | Some m -> m
+        | None -> if contributors = [] then R.Stratified else R.Monotonic
+      in
+      Ast.BAgg { R.result; op; weight; contributors; mode }
+  | _ -> Ast.BAssign (result, parse_expr st)
+
+let parse_body_item st =
+  match peek st, peek2 st with
+  | L.IDENT "not", L.LPAREN ->
+      (* negated pattern: not ( <chain> ) *)
+      ignore (next st);
+      ignore (next st);
+      let c = parse_chain st in
+      expect st L.RPAREN;
+      Ast.BNeg c
+  | L.LPAREN, _ -> Ast.BChain (parse_chain st)
+  | L.IDENT s, L.EQ ->
+      ignore (next st);
+      ignore (next st);
+      parse_assignment_rhs st s
+  | _ -> Ast.BCond (parse_expr st)
+
+let parse_rule st =
+  let rec body acc =
+    let item = parse_body_item st in
+    if accept st L.COMMA then body (item :: acc) else List.rev (item :: acc)
+  in
+  let body = body [] in
+  expect st L.ARROW;
+  let rec head acc =
+    let c = parse_chain st in
+    if accept st L.COMMA then head (c :: acc) else List.rev (c :: acc)
+  in
+  let head = head [] in
+  expect st L.DOT;
+  { Ast.body; head }
+
+let parse_annotation st =
+  expect st L.AT;
+  let name = ident st in
+  expect st L.LPAREN;
+  let rec loop acc =
+    match next st with
+    | L.STRING s | L.IDENT s ->
+        if accept st L.COMMA then loop (s :: acc)
+        else begin
+          expect st L.RPAREN;
+          List.rev (s :: acc)
+        end
+    | tok ->
+        Kgm_error.parse_error "annotation: expected string, found %s"
+          (L.token_name tok)
+  in
+  let args = if accept st L.RPAREN then [] else loop [] in
+  expect st L.DOT;
+  { R.a_name = name; a_args = args }
+
+let parse_program src =
+  let st = { toks = L.tokenize src; fresh = 0 } in
+  ignore st.fresh;
+  let rules = ref [] and annotations = ref [] in
+  let rec loop () =
+    match peek st with
+    | L.EOF -> ()
+    | L.AT ->
+        annotations := parse_annotation st :: !annotations;
+        loop ()
+    | _ ->
+        rules := parse_rule st :: !rules;
+        loop ()
+  in
+  loop ();
+  { Ast.rules = List.rev !rules; annotations = List.rev !annotations }
+
+let parse_rule_string src =
+  match (parse_program src).Ast.rules with
+  | [ r ] -> r
+  | rs -> Kgm_error.parse_error "expected one metalog rule, got %d" (List.length rs)

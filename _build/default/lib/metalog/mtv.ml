@@ -1,0 +1,450 @@
+(** MTV — the MetaLog-to-Vadalog translator (paper, Sec. 4).
+
+    Phase (1), the PG-to-relational mapping of instances, lives in
+    {!Pg_bridge}; this module implements phases (2) and (3):
+
+    - PG node atoms [(x: L; K)] become relational atoms
+      [L(X, f1, ..., fn)] over the property layout of [L] given by the
+      {!Label_schema}; properties not mentioned by the atom get fresh
+      anonymous variables (body) or existential variables (head).
+    - PG edge atoms [[e: R; K]] linking [x] to [y] become
+      [R(E, X, Y, f1, ..., fm)].
+    - Path patterns are resolved inductively: alternation introduces a
+      fresh α predicate with one rule per branch; the Kleene closure
+      introduces a fresh β predicate with the base and step rules of the
+      paper (β is the one-or-more closure, exactly as in the paper's
+      resolution rules); inversion swaps endpoints and distributes over
+      the other operators; concatenation chains fresh midpoints.
+    - MetaLog variables [x] are mangled to Vadalog variables [V_x]
+      (Vadalog identifies variables by initial capital).
+
+    The translator enforces the decidability condition of Sec. 4: the
+    Kleene star is admitted only in non-recursive MetaLog programs. *)
+
+open Kgm_common
+module R = Kgm_vadalog.Rule
+module E = Kgm_vadalog.Expr
+module T = Kgm_vadalog.Term
+
+type result = {
+  program : R.program;
+  schema : Label_schema.t;
+}
+
+type ctx = {
+  schema : Label_schema.t;
+  mutable fresh : int;
+  mutable aux_rules : R.rule list;
+}
+
+let mangle v = "V_" ^ v
+
+let fresh_var ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "_M%s%d" prefix ctx.fresh
+
+let fresh_pred ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "mtv_%s_%d" prefix ctx.fresh
+
+let rec mangle_expr = function
+  | E.Const v -> E.Const v
+  | E.Var x -> E.Var (mangle x)
+  | E.Binop (op, a, b) -> E.Binop (op, mangle_expr a, mangle_expr b)
+  | E.Cmp (c, a, b) -> E.Cmp (c, mangle_expr a, mangle_expr b)
+  | E.And (a, b) -> E.And (mangle_expr a, mangle_expr b)
+  | E.Or (a, b) -> E.Or (mangle_expr a, mangle_expr b)
+  | E.Not a -> E.Not (mangle_expr a)
+  | E.Fun (f, args) -> E.Fun (f, List.map mangle_expr args)
+  | E.Skolem (f, args) -> E.Skolem (f, List.map mangle_expr args)
+
+let attr_term = function
+  | Ast.AVar v -> T.Var (mangle v)
+  | Ast.AConst c -> T.Const c
+
+(* ------------------------------------------------------------------ *)
+(* Node and edge atoms                                                  *)
+
+(** Relational atom for a node atom; [slot] decides what fills
+    unmentioned property positions. *)
+let node_atom_args ctx (a : Ast.pg_atom) label ~binder_term ~slot =
+  let props = Label_schema.node_schema ctx.schema label in
+  let arg_of prop =
+    match List.assoc_opt prop a.Ast.attrs with
+    | Some v -> attr_term v
+    | None -> slot prop
+  in
+  binder_term :: List.map arg_of props
+
+let translate_body_node ctx bound (a : Ast.pg_atom) =
+  match a.Ast.label with
+  | None ->
+      (match a.Ast.binder with
+       | Some b when List.mem b !bound ->
+           if a.Ast.attrs <> [] then
+             Kgm_error.translate_error
+               "body node reference (%s) cannot carry attributes without a label" b;
+           (T.Var (mangle b), [])
+       | Some b ->
+           Kgm_error.translate_error "unbound unlabeled body node atom (%s)" b
+       | None -> Kgm_error.translate_error "anonymous unlabeled body node atom")
+  | Some label ->
+      if not (Label_schema.is_node_label ctx.schema label) then
+        Kgm_error.translate_error "unknown node label %s" label;
+      let binder_var =
+        match a.Ast.binder with Some b -> mangle b | None -> fresh_var ctx "n"
+      in
+      (match a.Ast.binder with
+       | Some b when not (List.mem b !bound) -> bound := b :: !bound
+       | _ -> ());
+      if a.Ast.spread <> None then
+        Kgm_error.translate_error "spread (*p) is only allowed in rule heads";
+      let args =
+        node_atom_args ctx a label ~binder_term:(T.Var binder_var)
+          ~slot:(fun _ -> T.Var (fresh_var ctx "a"))
+      in
+      (T.Var binder_var, [ R.Pos (R.atom label args) ])
+
+let edge_atom_literal ?spread_assigns ctx (a : Ast.pg_atom) ~src ~dst ~binder_term =
+  match a.Ast.label with
+  | None -> Kgm_error.translate_error "edge atoms require a label"
+  | Some label ->
+      if not (Label_schema.is_edge_label ctx.schema label) then
+        Kgm_error.translate_error "unknown edge label %s" label;
+      let props = Label_schema.edge_schema ctx.schema label in
+      let arg_of prop =
+        match List.assoc_opt prop a.Ast.attrs with
+        | Some v -> attr_term v
+        | None -> (
+            match a.Ast.spread, spread_assigns with
+            | Some p, Some assigns ->
+                let v = fresh_var ctx "u" in
+                assigns :=
+                  R.Assign
+                    ( v,
+                      E.Fun
+                        ( "unpack_or",
+                          [ E.Var (mangle p);
+                            E.Const (Value.String prop);
+                            E.Fun ("null", []) ] ) )
+                  :: !assigns;
+                T.Var v
+            | Some _, None ->
+                Kgm_error.translate_error "spread (*p) is only allowed in rule heads"
+            | None, _ -> T.Var (fresh_var ctx "a"))
+      in
+      R.atom label (binder_term :: src :: dst :: List.map arg_of props)
+
+(* ------------------------------------------------------------------ *)
+(* Path patterns (phase 3)                                              *)
+
+(** Distribute inversion down to the edge atoms. *)
+let rec push_inverse = function
+  | Ast.PEdge _ as p -> p
+  | Ast.PInv p -> invert (push_inverse p)
+  | Ast.PSeq ps -> Ast.PSeq (List.map push_inverse ps)
+  | Ast.PAlt ps -> Ast.PAlt (List.map push_inverse ps)
+  | Ast.PStar p -> Ast.PStar (push_inverse p)
+
+and invert = function
+  | Ast.PEdge _ as p -> Ast.PInv p           (* kept: resolved at emission *)
+  | Ast.PInv p -> push_inverse p
+  | Ast.PSeq ps -> Ast.PSeq (List.rev_map invert ps)
+  | Ast.PAlt ps -> Ast.PAlt (List.map invert ps)
+  | Ast.PStar p -> Ast.PStar (invert p)
+
+let path_exports (p : Ast.path) =
+  (* variables a sub-pattern would leak outside α/β auxiliaries *)
+  Ast.path_vars p
+
+(** τ(R, x, y): literals linking [src] to [dst], possibly registering
+    auxiliary rules in the context. *)
+let rec translate_path ctx bound p ~src ~dst =
+  match p with
+  | Ast.PEdge a ->
+      let binder_term =
+        match a.Ast.binder with
+        | Some b ->
+            bound := b :: !bound;
+            T.Var (mangle b)
+        | None -> T.Var (fresh_var ctx "e")
+      in
+      [ edge_atom_literal ctx a ~src ~dst ~binder_term |> fun a -> R.Pos a ]
+  | Ast.PInv (Ast.PEdge a) ->
+      let binder_term =
+        match a.Ast.binder with
+        | Some b ->
+            bound := b :: !bound;
+            T.Var (mangle b)
+        | None -> T.Var (fresh_var ctx "e")
+      in
+      [ edge_atom_literal ctx a ~src:dst ~dst:src ~binder_term |> fun a -> R.Pos a ]
+  | Ast.PInv p -> translate_path ctx bound (invert (push_inverse p)) ~src ~dst
+  | Ast.PSeq [] -> Kgm_error.translate_error "empty concatenation"
+  | Ast.PSeq [ p ] -> translate_path ctx bound p ~src ~dst
+  | Ast.PSeq (p :: rest) ->
+      let mid = T.Var (fresh_var ctx "m") in
+      translate_path ctx bound p ~src ~dst:mid
+      @ translate_path ctx bound (Ast.PSeq rest) ~src:mid ~dst
+  | Ast.PAlt branches ->
+      List.iter
+        (fun b ->
+          if path_exports b <> [] then
+            Kgm_error.translate_error
+              "alternation branches must not bind variables (%s)"
+              (String.concat ", " (path_exports b)))
+        branches;
+      let alpha = fresh_pred ctx "alt" in
+      List.iter
+        (fun b ->
+          let h = fresh_var ctx "h" and q = fresh_var ctx "q" in
+          let body =
+            translate_path ctx bound b ~src:(T.Var h) ~dst:(T.Var q)
+          in
+          ctx.aux_rules <-
+            { R.head = [ R.atom alpha [ T.Var h; T.Var q ] ]; body; name = alpha }
+            :: ctx.aux_rules)
+        branches;
+      [ R.Pos (R.atom alpha [ src; dst ]) ]
+  | Ast.PStar inner ->
+      if path_exports inner <> [] then
+        Kgm_error.translate_error
+          "starred sub-patterns must not bind variables (%s)"
+          (String.concat ", " (path_exports inner));
+      let beta = fresh_pred ctx "star" in
+      let h = fresh_var ctx "h" and q = fresh_var ctx "q" in
+      let step = translate_path ctx bound inner ~src:(T.Var h) ~dst:(T.Var q) in
+      (* paper rules: (i) τ(S_hq) -> β(h,q); (ii) β(v,h), τ(S_hq) -> β(v,q) *)
+      ctx.aux_rules <-
+        { R.head = [ R.atom beta [ T.Var h; T.Var q ] ]; body = step; name = beta }
+        :: ctx.aux_rules;
+      let v = fresh_var ctx "v" in
+      ctx.aux_rules <-
+        { R.head = [ R.atom beta [ T.Var v; T.Var q ] ];
+          body = R.Pos (R.atom beta [ T.Var v; T.Var h ]) :: step;
+          name = beta }
+        :: ctx.aux_rules;
+      [ R.Pos (R.atom beta [ src; dst ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Chains                                                               *)
+
+let translate_body_chain ctx bound (c : Ast.chain) =
+  let src, lits = translate_body_node ctx bound c.Ast.start in
+  let rec go src acc = function
+    | [] -> acc
+    | (p, node) :: rest ->
+        let dst, node_lits = translate_body_node ctx bound node in
+        let path_lits = translate_path ctx bound (push_inverse p) ~src ~dst in
+        go dst (acc @ path_lits @ node_lits) rest
+  in
+  go src lits c.Ast.steps
+
+(* Heads: node atoms create/reference nodes; steps must be single
+   (possibly inverse) edge atoms. *)
+let translate_head_node ctx bound extra_assigns (a : Ast.pg_atom) =
+  match a.Ast.label with
+  | None ->
+      (match a.Ast.binder with
+       | Some b ->
+           if a.Ast.attrs <> [] || a.Ast.spread <> None then
+             Kgm_error.translate_error
+               "head node reference (%s) cannot carry attributes" b;
+           (T.Var (mangle b), [])
+       | None -> Kgm_error.translate_error "anonymous unlabeled head node")
+  | Some label ->
+      if not (Label_schema.is_node_label ctx.schema label) then
+        Kgm_error.translate_error "unknown node label %s" label;
+      let binder_var =
+        match a.Ast.binder with Some b -> mangle b | None -> fresh_var ctx "x"
+      in
+      ignore bound;
+      let slot prop =
+        match a.Ast.spread with
+        | Some p ->
+            (* unpack the packed attribute list: Example 6.2's ∗p;
+               attributes absent from the pack become nulls *)
+            let v = fresh_var ctx "u" in
+            extra_assigns :=
+              R.Assign
+                ( v,
+                  E.Fun
+                    ( "unpack_or",
+                      [ E.Var (mangle p);
+                        E.Const (Value.String prop);
+                        E.Fun ("null", []) ] ) )
+              :: !extra_assigns;
+            T.Var v
+        | None -> T.Var (fresh_var ctx "ex")
+      in
+      let args =
+        node_atom_args ctx a label ~binder_term:(T.Var binder_var) ~slot
+      in
+      (T.Var binder_var, [ R.atom label args ])
+
+let translate_head_chain ctx bound extra_assigns (c : Ast.chain) =
+  let src, atoms = translate_head_node ctx bound extra_assigns c.Ast.start in
+  let rec go src acc = function
+    | [] -> acc
+    | (p, node) :: rest ->
+        let dst, node_atoms = translate_head_node ctx bound extra_assigns node in
+        let edge_atoms =
+          match p with
+          | Ast.PEdge a ->
+              let binder_term =
+                match a.Ast.binder with
+                | Some b -> T.Var (mangle b)
+                | None -> T.Var (fresh_var ctx "ex")
+              in
+              [ edge_atom_literal ~spread_assigns:extra_assigns ctx a ~src ~dst
+                  ~binder_term ]
+          | Ast.PInv (Ast.PEdge a) ->
+              let binder_term =
+                match a.Ast.binder with
+                | Some b -> T.Var (mangle b)
+                | None -> T.Var (fresh_var ctx "ex")
+              in
+              [ edge_atom_literal ~spread_assigns:extra_assigns ctx a ~src:dst
+                  ~dst:src ~binder_term ]
+          | _ ->
+              Kgm_error.translate_error
+                "rule heads admit only simple (possibly inverse) edges"
+        in
+        go dst (acc @ edge_atoms @ node_atoms) rest
+  in
+  go src atoms c.Ast.steps
+
+(* ------------------------------------------------------------------ *)
+
+let translate_rule ctx (r : Ast.rule) =
+  let bound = ref [] in
+  let body =
+    List.concat_map
+      (function
+        | Ast.BChain c -> translate_body_chain ctx bound c
+        | Ast.BNeg c ->
+            (* stratified negation of a pattern: the pattern is compiled
+               into an auxiliary predicate over the variables shared with
+               the outer rule, and the rule negates that predicate —
+               unshared variables stay existential inside the negation *)
+            let outer_bound = !bound in
+            let neg_bound = ref outer_bound in
+            let lits = translate_body_chain ctx neg_bound c in
+            let shared =
+              List.sort_uniq String.compare
+                (List.filter
+                   (fun v -> List.mem v outer_bound)
+                   (Ast.chain_vars c))
+            in
+            let args = List.map (fun v -> T.Var (mangle v)) shared in
+            let aux = fresh_pred ctx "neg" in
+            ctx.aux_rules <-
+              { R.head = [ R.atom aux args ]; body = lits; name = aux }
+              :: ctx.aux_rules;
+            [ R.Neg (R.atom aux args) ]
+        | Ast.BCond e -> [ R.Cond (mangle_expr e) ]
+        | Ast.BAssign (x, e) ->
+            bound := x :: !bound;
+            [ R.Assign (mangle x, mangle_expr e) ]
+        | Ast.BAgg g ->
+            bound := g.R.result :: !bound;
+            [ R.Agg
+                { g with
+                  R.result = mangle g.R.result;
+                  contributors = List.map mangle g.R.contributors;
+                  weight = mangle_expr g.R.weight } ])
+      r.Ast.body
+  in
+  let extra_assigns = ref [] in
+  let head =
+    List.concat_map (translate_head_chain ctx bound extra_assigns) r.Ast.head
+  in
+  if head = [] then
+    Kgm_error.translate_error "rule head produces no atoms (references only)";
+  { R.head; body = body @ List.rev !extra_assigns; name = "" }
+
+(** Generated [@input] annotations, one per body label, carrying the
+    target-system extraction query (Cypher-style, as in Example 4.4). *)
+let input_annotations schema (p : Ast.program) =
+  let module SS = Set.Make (String) in
+  let labels = ref SS.empty in
+  List.iter
+    (fun r ->
+      List.iter (fun l -> labels := SS.add l !labels) (Ast.rule_body_labels r))
+    p.Ast.rules;
+  List.filter_map
+    (fun l ->
+      if Label_schema.is_node_label schema l then
+        Some
+          { R.a_name = "input";
+            a_args = [ l; Printf.sprintf "MATCH (n:%s) RETURN n" l ] }
+      else if Label_schema.is_edge_label schema l then
+        Some
+          { R.a_name = "input";
+            a_args =
+              [ l; Printf.sprintf "MATCH (a)-[e:%s]->(b) RETURN e, a, b" l ] }
+      else None)
+    (SS.elements !labels)
+
+(** The decidability condition of Sec. 4: transitive closure via the
+    Kleene star only in non-recursive programs (label-level dependency
+    graph of the MetaLog rules). *)
+let check_star_restriction (p : Ast.program) =
+  let uses_star = List.exists Ast.rule_has_star p.Ast.rules in
+  if uses_star then begin
+    (* recursion check at the level of (label, schemaOID selector) keys:
+       atoms with distinct constant schemaOIDs live in different schemas
+       and do not feed each other (cf. the SSST mappings of Sec. 5) *)
+    let edges =
+      List.concat_map
+        (fun r ->
+          let bs = Ast.rule_body_labels_keyed r
+          and hs = Ast.rule_head_labels_keyed r in
+          List.concat_map (fun h -> List.map (fun b -> (b, h)) bs) hs)
+        p.Ast.rules
+    in
+    let feeds (lb, ob) (lh, oh) =
+      lb = lh
+      && (match ob, oh with Some a, Some b -> a = b | _ -> true)
+    in
+    let rec reach seen from target =
+      List.exists
+        (fun (b, h) ->
+          feeds from b
+          && (feeds h target
+              || ((not (List.mem h seen)) && reach (h :: seen) h target)))
+        edges
+    in
+    let heads =
+      List.sort_uniq compare
+        (List.concat_map Ast.rule_head_labels_keyed p.Ast.rules)
+    in
+    List.iter
+      (fun h ->
+        if reach [ h ] h h then
+          Kgm_error.validate_error
+            "Kleene star in a recursive MetaLog program (label %s) is not \
+             admitted (Sec. 4 decidability condition)"
+            (fst h))
+      heads
+  end
+
+let translate ?schema (p : Ast.program) =
+  check_star_restriction p;
+  let schema =
+    match schema with Some s -> s | None -> Label_schema.infer p
+  in
+  let ctx = { schema; fresh = 0; aux_rules = [] } in
+  let main = List.map (translate_rule ctx) p.Ast.rules in
+  let program =
+    { R.rules = List.rev ctx.aux_rules @ main;
+      facts = [];
+      annotations = p.Ast.annotations @ input_annotations schema p }
+  in
+  { program; schema }
+
+let translate_with_graph g (p : Ast.program) =
+  let schema = Label_schema.create () in
+  Label_schema.observe_graph schema g;
+  Label_schema.observe_program schema p;
+  translate ~schema p

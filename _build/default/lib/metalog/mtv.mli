@@ -1,0 +1,46 @@
+(** MTV — the MetaLog-to-Vadalog translator (paper, Sec. 4).
+
+    Phase (1), the PG-to-relational mapping of instances, lives in
+    {!Pg_bridge}; this module implements phases (2) and (3):
+
+    - PG node atoms [(x: L; K)] become relational atoms
+      [L(X, f1, ..., fn)] over the property layout of [L] given by the
+      {!Label_schema}; properties not mentioned by the atom get fresh
+      anonymous variables (body) or existential variables (head);
+    - PG edge atoms [[e: R; K]] linking x to y become
+      [R(E, X, Y, f1, ..., fm)];
+    - path patterns are resolved inductively (the paper's τ):
+      alternation introduces a fresh α predicate with one rule per
+      branch; the Kleene closure introduces a fresh β predicate with the
+      base and step rules of Example 4.4 (one-or-more applications);
+      inversion swaps endpoints and distributes over the other
+      operators; concatenation chains fresh midpoints;
+    - negated patterns compile to auxiliary predicates over the shared
+      variables, negated in the main rule;
+    - heads may use the spread [*p] to unpack packed attribute lists
+      (Example 6.2);
+    - [@input] annotations carrying target-system extraction queries are
+      generated for every body label (Example 4.4).
+
+    The translator enforces the decidability condition of Sec. 4: the
+    Kleene star is admitted only in non-recursive MetaLog programs,
+    where recursion is judged on (label, schemaOID-selector) keys so the
+    SSST mappings of Sec. 5 — which copy constructs across schemas —
+    are not mistaken for recursion. *)
+
+type result = {
+  program : Kgm_vadalog.Rule.program;
+  schema : Label_schema.t;
+}
+
+val mangle : string -> string
+(** MetaLog variable -> Vadalog variable ([x] becomes [V_x]). *)
+
+val translate : ?schema:Label_schema.t -> Ast.program -> result
+(** Raises [Kgm_error.Error]: [Validate] on the star restriction,
+    [Translate] on unknown labels, body spreads, unlabeled unbound
+    atoms, or variable-binding alternation/star sub-patterns. *)
+
+val translate_with_graph : Kgm_graphdb.Pgraph.t -> Ast.program -> result
+(** [translate] with the label schema inferred from the graph and the
+    program. *)

@@ -1,0 +1,161 @@
+(** Phase (1) of the MTV pipeline: the PG-to-relational mapping of
+    instances, and its inverse for materializing derived facts back into
+    the property graph (paper, Sec. 4 and Algorithm 2 line 9).
+
+    An L-labeled node n becomes the fact L(oid, f1, ..., fn) over the
+    property layout of L; missing properties become distinct labeled
+    nulls (so that two unknown values never join). An L-labeled edge e
+    from a to b becomes L(oid, src, dst, f1, ..., fm). *)
+
+open Kgm_common
+module DB = Kgm_vadalog.Database
+module PG = Kgm_graphdb.Pgraph
+
+(* Loader nulls live far above engine-invented nulls to keep the two
+   spaces disjoint within a run. *)
+let null_base = 1_000_000_000
+
+type loader = { mutable next_null : int }
+
+let make_loader () = { next_null = null_base }
+
+let fresh_null l =
+  l.next_null <- l.next_null + 1;
+  Value.Null l.next_null
+
+(** Load every node and edge of [g] into [db] following [schema]. *)
+let load ?(loader = make_loader ()) schema g db =
+  PG.iter_nodes g (fun id ->
+      let props = PG.node_props g id in
+      List.iter
+        (fun label ->
+          let layout = Label_schema.node_schema schema label in
+          let args =
+            Value.Id id
+            :: List.map
+                 (fun prop ->
+                   match List.assoc_opt prop props with
+                   | Some v -> v
+                   | None -> fresh_null loader)
+                 layout
+          in
+          ignore (DB.add db label (Array.of_list args)))
+        (PG.node_labels g id));
+  PG.iter_edges g (fun id ->
+      let label = PG.edge_label g id in
+      let layout = Label_schema.edge_schema schema label in
+      let props = PG.edge_props g id in
+      let src, dst = PG.edge_ends g id in
+      let args =
+        Value.Id id :: Value.Id src :: Value.Id dst
+        :: List.map
+             (fun prop ->
+               match List.assoc_opt prop props with
+               | Some v -> v
+               | None -> fresh_null loader)
+             layout
+      in
+      ignore (DB.add db label (Array.of_list args)))
+
+(** Id for a derived element: facts may carry OIDs (Skolem ids), labeled
+    nulls, or other values; nulls and non-id values are given fresh
+    store ids, memoized so the same null maps to the same element. *)
+type writeback = {
+  graph : PG.t;
+  memo : (Value.t, Oid.t) Hashtbl.t;
+}
+
+let make_writeback graph = { graph; memo = Hashtbl.create 64 }
+
+let element_id wb v =
+  match v with
+  | Value.Id oid -> oid
+  | other -> (
+      match Hashtbl.find_opt wb.memo other with
+      | Some oid -> oid
+      | None ->
+          let oid = PG.fresh_id wb.graph in
+          Hashtbl.add wb.memo other oid;
+          oid)
+
+let clean_props layout args =
+  List.filter_map
+    (fun (k, v) -> if Value.is_null v then None else Some (k, v))
+    (List.combine layout args)
+
+(** Write the facts of node predicate [label] back as nodes; existing
+    nodes (same id) only gain the label and any new properties. Returns
+    the number of new nodes. *)
+let store_nodes wb schema db label =
+  let layout = Label_schema.node_schema schema label in
+  let created = ref 0 in
+  List.iter
+    (fun fact ->
+      match Array.to_list fact with
+      | [] -> ()
+      | idv :: rest ->
+          let oid = element_id wb idv in
+          if not (PG.node_exists wb.graph oid) then begin
+            ignore (PG.add_node ~id:oid wb.graph ~labels:[ label ] ~props:[]);
+            incr created
+          end
+          else if not (List.mem label (PG.node_labels wb.graph oid)) then
+            PG.add_node_label wb.graph oid label;
+          List.iter
+            (fun (k, v) -> PG.set_node_prop wb.graph oid k v)
+            (clean_props layout rest))
+    (DB.facts db label);
+  !created
+
+(** Write the facts of edge predicate [label] back as edges; an edge is
+    only created when both endpoints exist and no edge with the same id
+    is present. Returns the number of new edges. *)
+let store_edges wb schema db label =
+  let layout = Label_schema.edge_schema schema label in
+  let created = ref 0 in
+  List.iter
+    (fun fact ->
+      match Array.to_list fact with
+      | idv :: srcv :: dstv :: rest ->
+          let oid = element_id wb idv in
+          let src = element_id wb srcv and dst = element_id wb dstv in
+          if
+            (not (PG.edge_exists wb.graph oid))
+            && PG.node_exists wb.graph src
+            && PG.node_exists wb.graph dst
+          then begin
+            ignore
+              (PG.add_edge ~id:oid wb.graph ~label ~src ~dst
+                 ~props:(clean_props layout rest));
+            incr created
+          end
+      | _ -> ())
+    (DB.facts db label);
+  !created
+
+(** Run a full MetaLog reasoning pass over a property graph: load,
+    translate, chase, and write the derived nodes/edges back. Returns
+    (new nodes, new edges, engine stats). *)
+let reason_on_graph ?options (p : Ast.program) g =
+  let { Mtv.program; schema } = Mtv.translate_with_graph g p in
+  let db = DB.create () in
+  load schema g db;
+  let stats = Kgm_vadalog.Engine.run ?options program db in
+  let wb = make_writeback g in
+  let head_labels =
+    List.sort_uniq String.compare
+      (List.concat_map Ast.rule_head_labels p.Ast.rules)
+  in
+  let new_nodes = ref 0 and new_edges = ref 0 in
+  (* nodes first: edges need both endpoints present *)
+  List.iter
+    (fun l ->
+      if Label_schema.is_node_label schema l then
+        new_nodes := !new_nodes + store_nodes wb schema db l)
+    head_labels;
+  List.iter
+    (fun l ->
+      if Label_schema.is_edge_label schema l then
+        new_edges := !new_edges + store_edges wb schema db l)
+    head_labels;
+  (!new_nodes, !new_edges, stats)

@@ -1,0 +1,51 @@
+(** Phase (1) of the MTV pipeline: the PG-to-relational mapping of
+    instances (paper, Sec. 4), and its inverse for materializing derived
+    facts back into the property graph (Algorithm 2, line 9).
+
+    An L-labeled node n becomes the fact L(oid, f1, ..., fn) over the
+    property layout of L; missing properties become distinct labeled
+    nulls so that two unknown values never join. An L-labeled edge e
+    from a to b becomes L(oid, src, dst, f1, ..., fm). *)
+
+open Kgm_common
+
+type loader
+(** Source of the loader's labeled nulls (disjoint from the engine's). *)
+
+val make_loader : unit -> loader
+
+val load :
+  ?loader:loader -> Label_schema.t -> Kgm_graphdb.Pgraph.t ->
+  Kgm_vadalog.Database.t -> unit
+(** Load every node and edge of the graph into the database following
+    the label schema. *)
+
+type writeback
+(** Memoizes the element identity assigned to each labeled null, so the
+    same null maps to the same graph element across facts. *)
+
+val make_writeback : Kgm_graphdb.Pgraph.t -> writeback
+
+val store_nodes :
+  writeback -> Label_schema.t -> Kgm_vadalog.Database.t -> string -> int
+(** Write the facts of a node predicate back as graph nodes; existing
+    nodes only gain the label and any new non-null properties. Returns
+    the number of nodes created. *)
+
+val store_edges :
+  writeback -> Label_schema.t -> Kgm_vadalog.Database.t -> string -> int
+(** Write the facts of an edge predicate back as graph edges; an edge is
+    created only when both endpoints exist and its id is unused.
+    Returns the number of edges created. *)
+
+val element_id : writeback -> Value.t -> Kgm_common.Oid.t
+(** The graph element id for a fact id (OIDs pass through; nulls and
+    other values get fresh, memoized ids). *)
+
+val reason_on_graph :
+  ?options:Kgm_vadalog.Engine.options ->
+  Ast.program -> Kgm_graphdb.Pgraph.t ->
+  int * int * Kgm_vadalog.Engine.stats
+(** The full loop: infer the label schema, load, MTV-compile, chase, and
+    write the head labels' derived nodes and edges back into the graph
+    (nodes before edges). Returns (new nodes, new edges, stats). *)

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Format Hashtbl Instance Int Kgm_common Kgm_error List Rschema String Value

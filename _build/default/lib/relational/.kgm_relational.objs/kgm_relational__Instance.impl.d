@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Format Hashtbl Kgm_common Kgm_error List Rschema String Value

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Kgm_common Rschema Value

@@ -1,0 +1,1 @@
+lib/relational/rschema.ml: Format Hashtbl Kgm_common Kgm_error List Names String Value

@@ -1,0 +1,1 @@
+lib/relational/rschema.mli: Format Kgm_common Value

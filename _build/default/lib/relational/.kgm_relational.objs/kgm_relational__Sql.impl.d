@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Array Buffer Instance Kgm_common List Oid Printf Rschema String Value

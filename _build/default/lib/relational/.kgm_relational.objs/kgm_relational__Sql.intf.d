@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Instance Kgm_common Rschema Value

@@ -1,0 +1,135 @@
+open Kgm_common
+
+type rel = {
+  header : string list;
+  rows : Value.t array list;
+}
+
+let of_instance db name =
+  let schema = Instance.schema db in
+  match Rschema.find_relation schema name with
+  | None -> Kgm_error.storage_error "unknown relation %s" name
+  | Some r ->
+      { header = List.map (fun (f : Rschema.field) -> f.f_name) r.r_fields;
+        rows = Instance.tuples db name }
+
+let col_idx rel name =
+  let rec idx i = function
+    | [] -> Kgm_error.storage_error "algebra: unknown column %s" name
+    | c :: rest -> if c = name then i else idx (i + 1) rest
+  in
+  idx 0 rel.header
+
+let select p rel = { rel with rows = List.filter p rel.rows }
+
+let select_eq name v rel =
+  let i = col_idx rel name in
+  select (fun row -> Value.equal row.(i) v) rel
+
+let project cols rel =
+  let idxs = List.map (col_idx rel) cols in
+  { header = cols;
+    rows = List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) idxs)) rel.rows }
+
+let row_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let dedup_rows rows =
+  let sorted = List.sort row_compare rows in
+  let rec go = function
+    | a :: b :: rest when row_compare a b = 0 -> go (b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go sorted
+
+let project_distinct cols rel =
+  let r = project cols rel in
+  { r with rows = dedup_rows r.rows }
+
+let rename mapping rel =
+  { rel with
+    header =
+      List.map
+        (fun c -> match List.assoc_opt c mapping with Some c' -> c' | None -> c)
+        rel.header }
+
+let natural_join a b =
+  let shared = List.filter (fun c -> List.mem c b.header) a.header in
+  let a_idx = List.map (col_idx a) shared in
+  let b_idx = List.map (col_idx b) shared in
+  let b_keep =
+    List.filteri (fun i _ -> not (List.mem i b_idx))
+      (List.mapi (fun i c -> (i, c)) b.header)
+  in
+  let header = a.header @ List.map snd b_keep in
+  (* hash join on the shared key *)
+  let tbl = Hashtbl.create (List.length b.rows) in
+  List.iter
+    (fun row ->
+      let k = List.map (fun i -> row.(i)) b_idx in
+      Hashtbl.add tbl k row)
+    b.rows;
+  let rows =
+    List.concat_map
+      (fun ra ->
+        let k = List.map (fun i -> ra.(i)) a_idx in
+        List.map
+          (fun rb ->
+            Array.append ra (Array.of_list (List.map (fun (i, _) -> rb.(i)) b_keep)))
+          (Hashtbl.find_all tbl k))
+      a.rows
+  in
+  { header; rows }
+
+let equi_join ~left ~right a b =
+  let li = col_idx a left and ri = col_idx b right in
+  let b_header =
+    List.map (fun c -> if List.mem c a.header then c ^ "_r" else c) b.header
+  in
+  let tbl = Hashtbl.create (List.length b.rows) in
+  List.iter (fun row -> Hashtbl.add tbl row.(ri) row) b.rows;
+  { header = a.header @ b_header;
+    rows =
+      List.concat_map
+        (fun ra ->
+          List.map (fun rb -> Array.append ra rb) (Hashtbl.find_all tbl ra.(li)))
+        a.rows }
+
+let same_header a b =
+  if a.header <> b.header then
+    Kgm_error.storage_error "algebra: header mismatch (%s vs %s)"
+      (String.concat "," a.header) (String.concat "," b.header)
+
+let union a b =
+  same_header a b;
+  { a with rows = dedup_rows (a.rows @ b.rows) }
+
+let difference a b =
+  same_header a b;
+  let tbl = Hashtbl.create (List.length b.rows) in
+  List.iter (fun r -> Hashtbl.replace tbl (Array.to_list r) ()) b.rows;
+  { a with rows = List.filter (fun r -> not (Hashtbl.mem tbl (Array.to_list r))) a.rows }
+
+let cardinality rel = List.length rel.rows
+
+let column rel name =
+  let i = col_idx rel name in
+  List.map (fun row -> row.(i)) rel.rows
+
+let sort_rows rel = { rel with rows = List.sort row_compare rel.rows }
+
+let pp ppf rel =
+  Format.fprintf ppf "| %s |@." (String.concat " | " rel.header);
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "| %s |@."
+        (String.concat " | " (Array.to_list (Array.map Value.to_string row))))
+    rel.rows

@@ -1,0 +1,43 @@
+(** A small relational algebra over named-column row sets.
+
+    SSST's relational enforcement tests and the CSV target use this to
+    inspect translated instances without SQL. Rows are positional; the
+    header names the columns. *)
+
+open Kgm_common
+
+type rel = {
+  header : string list;
+  rows : Value.t array list;
+}
+
+val of_instance : Instance.t -> string -> rel
+
+val select : (Value.t array -> bool) -> rel -> rel
+val select_eq : string -> Value.t -> rel -> rel
+
+val project : string list -> rel -> rel
+(** Duplicate rows are kept (bag semantics). Raises on unknown column. *)
+
+val project_distinct : string list -> rel -> rel
+
+val rename : (string * string) list -> rel -> rel
+
+val natural_join : rel -> rel -> rel
+(** Join on all shared column names; right copy of shared columns is
+    dropped. A cartesian product when no columns are shared. *)
+
+val equi_join : left:string -> right:string -> rel -> rel -> rel
+(** Join on [left = right]; all columns kept, right join column renamed
+    with a ["_r"] suffix if it collides. *)
+
+val union : rel -> rel -> rel
+val difference : rel -> rel -> rel
+
+val cardinality : rel -> int
+val column : rel -> string -> Value.t list
+
+val sort_rows : rel -> rel
+(** Canonical row order, for deterministic comparisons in tests. *)
+
+val pp : Format.formatter -> rel -> unit

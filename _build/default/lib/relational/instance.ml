@@ -1,0 +1,167 @@
+open Kgm_common
+
+type table = {
+  rel : Rschema.relation;
+  mutable rows : Value.t array list; (* reverse insertion order *)
+  mutable count : int;
+  key_positions : int list;
+  keys : (Value.t list, Value.t array) Hashtbl.t;
+}
+
+type t = {
+  sch : Rschema.t;
+  tables : (string, table) Hashtbl.t;
+  null_gen : int ref;
+}
+
+let create sch =
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun (rel : Rschema.relation) ->
+      let key_positions =
+        List.filteri (fun _ (f : Rschema.field) -> f.f_key) rel.r_fields
+        |> List.map (fun (f : Rschema.field) ->
+               let rec idx i = function
+                 | [] -> assert false
+                 | (g : Rschema.field) :: rest ->
+                     if g.f_name = f.f_name then i else idx (i + 1) rest
+               in
+               idx 0 rel.r_fields)
+      in
+      Hashtbl.add tables rel.r_name
+        { rel; rows = []; count = 0; key_positions; keys = Hashtbl.create 64 })
+    sch.Rschema.relations;
+  { sch; tables; null_gen = ref 0 }
+
+let schema t = t.sch
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> Kgm_error.storage_error "unknown relation %s" name
+
+let key_of tbl tuple = List.map (fun i -> tuple.(i)) tbl.key_positions
+
+let insert t name tuple =
+  let tbl = table t name in
+  let fields = tbl.rel.r_fields in
+  if Array.length tuple <> List.length fields then
+    Kgm_error.storage_error "%s: arity %d, got %d" name (List.length fields)
+      (Array.length tuple);
+  List.iteri
+    (fun i (f : Rschema.field) ->
+      let v = tuple.(i) in
+      if Value.is_null v && not f.f_nullable then
+        Kgm_error.storage_error "%s.%s: null in non-nullable field" name f.f_name;
+      if not (Value.conforms f.f_ty v) then
+        Kgm_error.storage_error "%s.%s: %s does not conform to %s" name f.f_name
+          (Value.to_string v) (Value.ty_to_string f.f_ty);
+      if f.f_enum <> [] then
+        match Value.as_string v with
+        | Some s when not (List.mem s f.f_enum) ->
+            Kgm_error.storage_error "%s.%s: %S not in enum" name f.f_name s
+        | _ -> ())
+    fields;
+  let k = key_of tbl tuple in
+  if Hashtbl.mem tbl.keys k then
+    Kgm_error.storage_error "%s: duplicate key (%s)" name
+      (String.concat "," (List.map Value.to_string k));
+  Hashtbl.add tbl.keys k tuple;
+  tbl.rows <- tuple :: tbl.rows;
+  tbl.count <- tbl.count + 1
+
+let insert_named t name bindings =
+  let tbl = table t name in
+  let tuple =
+    Array.of_list
+      (List.map
+         (fun (f : Rschema.field) ->
+           match List.assoc_opt f.f_name bindings with
+           | Some v -> v
+           | None ->
+               if f.f_nullable then begin
+                 incr t.null_gen;
+                 Value.Null !(t.null_gen)
+               end
+               else
+                 Kgm_error.storage_error "%s: missing field %s" name f.f_name)
+         tbl.rel.r_fields)
+  in
+  List.iter
+    (fun (fname, _) ->
+      if Rschema.find_field tbl.rel fname = None then
+        Kgm_error.storage_error "%s: no field %s" name fname)
+    bindings;
+  insert t name tuple
+
+let tuples t name = List.rev (table t name).rows
+let cardinality t name = (table t name).count
+
+let total_tuples t =
+  Hashtbl.fold (fun _ tbl acc -> acc + tbl.count) t.tables 0
+
+let lookup_key t name key = Hashtbl.find_opt (table t name).keys key
+
+let column_index t name field =
+  let tbl = table t name in
+  let rec idx i = function
+    | [] -> Kgm_error.storage_error "%s: no field %s" name field
+    | (f : Rschema.field) :: rest -> if f.f_name = field then i else idx (i + 1) rest
+  in
+  idx 0 tbl.rel.r_fields
+
+let fold t name f init = List.fold_left f init (tuples t name)
+let iter t name f = List.iter f (tuples t name)
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  (* UNIQUE single-field constraints *)
+  Hashtbl.iter
+    (fun name tbl ->
+      List.iteri
+        (fun i (f : Rschema.field) ->
+          if f.f_unique then begin
+            let seen = Hashtbl.create tbl.count in
+            List.iter
+              (fun row ->
+                let v = row.(i) in
+                if not (Value.is_null v) then
+                  if Hashtbl.mem seen v then
+                    err "%s.%s: duplicate unique value %s" name f.f_name
+                      (Value.to_string v)
+                  else Hashtbl.add seen v ())
+              tbl.rows
+          end)
+        tbl.rel.r_fields)
+    t.tables;
+  (* foreign keys *)
+  List.iter
+    (fun (fk : Rschema.foreign_key) ->
+      match Hashtbl.find_opt t.tables fk.fk_source, Hashtbl.find_opt t.tables fk.fk_target with
+      | Some src, Some tgt ->
+          let positions =
+            List.map
+              (fun f ->
+                let rec idx i = function
+                  | [] -> -1
+                  | (g : Rschema.field) :: rest ->
+                      if g.f_name = f then i else idx (i + 1) rest
+                in
+                idx 0 src.rel.r_fields)
+              fk.fk_fields
+          in
+          if List.for_all (fun p -> p >= 0) positions then
+            List.iter
+              (fun row ->
+                let key = List.map (fun p -> row.(p)) positions in
+                if not (List.exists Value.is_null key)
+                   && not (Hashtbl.mem tgt.keys key)
+                then
+                  err "fk %s: dangling reference (%s) from %s" fk.fk_name
+                    (String.concat "," (List.map Value.to_string key))
+                    fk.fk_source)
+              src.rows
+      | _ -> err "fk %s: missing relation" fk.fk_name)
+    t.sch.foreign_keys;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)

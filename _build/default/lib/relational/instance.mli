@@ -1,0 +1,37 @@
+(** Relational instances: mutable tuple stores conforming to a
+    {!Rschema.t}. Inserts enforce arity, domains and primary-key
+    uniqueness eagerly; foreign keys and UNIQUE modifiers are checked by
+    {!validate} (the usual deferred-constraint discipline, so SSST can
+    load mutually referencing relations in any order). *)
+
+open Kgm_common
+
+type t
+
+val create : Rschema.t -> t
+val schema : t -> Rschema.t
+
+val insert : t -> string -> Value.t array -> unit
+(** [insert db rel tuple]: fields in declaration order. Raises
+    [Kgm_error.Error] on unknown relation, arity mismatch, domain
+    violation, null in a non-nullable field, or duplicate key. *)
+
+val insert_named : t -> string -> (string * Value.t) list -> unit
+(** Missing nullable fields default to a fresh labeled null marker
+    [Value.Null]; missing non-nullable fields are an error. *)
+
+val tuples : t -> string -> Value.t array list
+val cardinality : t -> string -> int
+val total_tuples : t -> int
+
+val lookup_key : t -> string -> Value.t list -> Value.t array option
+(** Fetch by primary-key values (in key-field declaration order). *)
+
+val validate : t -> (unit, string list) result
+(** Foreign keys and single-field UNIQUE constraints. *)
+
+val fold : t -> string -> ('a -> Value.t array -> 'a) -> 'a -> 'a
+val iter : t -> string -> (Value.t array -> unit) -> unit
+
+val column_index : t -> string -> string -> int
+(** Position of a field inside the relation's tuples. *)

@@ -1,0 +1,136 @@
+open Kgm_common
+
+type field = {
+  f_name : string;
+  f_ty : Value.ty;
+  f_nullable : bool;
+  f_key : bool;
+  f_unique : bool;
+  f_enum : string list;
+  f_default : Value.t option;
+  f_range : float option * float option;
+}
+
+type relation = {
+  r_name : string;
+  r_fields : field list;
+}
+
+type foreign_key = {
+  fk_name : string;
+  fk_source : string;
+  fk_fields : string list;
+  fk_target : string;
+  fk_target_fields : string list;
+}
+
+type t = {
+  relations : relation list;
+  foreign_keys : foreign_key list;
+}
+
+let empty = { relations = []; foreign_keys = [] }
+
+let field ?(nullable = false) ?(key = false) ?(unique = false) ?(enum = [])
+    ?default ?(range = (None, None)) name ty =
+  { f_name = name; f_ty = ty; f_nullable = nullable; f_key = key;
+    f_unique = unique; f_enum = enum; f_default = default; f_range = range }
+
+let relation name fields = { r_name = name; r_fields = fields }
+
+let find_relation t name =
+  List.find_opt (fun r -> r.r_name = name) t.relations
+
+let find_field r name = List.find_opt (fun f -> f.f_name = name) r.r_fields
+
+let key_fields r = List.filter (fun f -> f.f_key) r.r_fields
+
+let add_relation t r =
+  if find_relation t r.r_name <> None then
+    Kgm_error.storage_error "duplicate relation %s" r.r_name;
+  { t with relations = t.relations @ [ r ] }
+
+let add_foreign_key t fk = { t with foreign_keys = t.foreign_keys @ [ fk ] }
+
+let dup_names names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.add seen n ();
+        false
+      end)
+    names
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  let rel_names = List.map (fun r -> r.r_name) t.relations in
+  List.iter (fun n -> err "duplicate relation name %s" n) (dup_names rel_names);
+  List.iter
+    (fun r ->
+      if r.r_fields = [] then err "relation %s has no fields" r.r_name;
+      if key_fields r = [] then err "relation %s has no key" r.r_name;
+      List.iter
+        (fun n -> err "relation %s: duplicate field %s" r.r_name n)
+        (dup_names (List.map (fun f -> f.f_name) r.r_fields));
+      List.iter
+        (fun f ->
+          if f.f_key && f.f_nullable then
+            err "relation %s: key field %s is nullable" r.r_name f.f_name;
+          if Names.sanitize_identifier f.f_name <> f.f_name then
+            err "relation %s: invalid field identifier %s" r.r_name f.f_name)
+        r.r_fields;
+      if Names.sanitize_identifier r.r_name <> r.r_name then
+        err "invalid relation identifier %s" r.r_name)
+    t.relations;
+  List.iter
+    (fun fk ->
+      match find_relation t fk.fk_source, find_relation t fk.fk_target with
+      | None, _ -> err "fk %s: missing source relation %s" fk.fk_name fk.fk_source
+      | _, None -> err "fk %s: missing target relation %s" fk.fk_name fk.fk_target
+      | Some src, Some tgt ->
+          List.iter
+            (fun f ->
+              if find_field src f = None then
+                err "fk %s: field %s not in %s" fk.fk_name f fk.fk_source)
+            fk.fk_fields;
+          let tgt_fields =
+            if fk.fk_target_fields = [] then
+              List.map (fun f -> f.f_name) (key_fields tgt)
+            else fk.fk_target_fields
+          in
+          List.iter
+            (fun f ->
+              if find_field tgt f = None then
+                err "fk %s: field %s not in %s" fk.fk_name f fk.fk_target)
+            tgt_fields;
+          if List.length fk.fk_fields <> List.length tgt_fields then
+            err "fk %s: arity mismatch (%d vs %d)" fk.fk_name
+              (List.length fk.fk_fields) (List.length tgt_fields))
+    t.foreign_keys;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+let pp_field ppf f =
+  Format.fprintf ppf "%s:%a%s%s%s" f.f_name Value.pp_ty f.f_ty
+    (if f.f_key then "!" else "")
+    (if f.f_nullable then "?" else "")
+    (if f.f_unique then " unique" else "")
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@[<hov 2>%s(%a)@]@." r.r_name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_field)
+        r.r_fields)
+    t.relations;
+  List.iter
+    (fun fk ->
+      Format.fprintf ppf "fk %s: %s(%s) -> %s(%s)@." fk.fk_name fk.fk_source
+        (String.concat "," fk.fk_fields)
+        fk.fk_target
+        (String.concat "," fk.fk_target_fields))
+    t.foreign_keys

@@ -1,0 +1,62 @@
+(** Relational schemas: the deployment form produced by SSST for
+    relational targets (Sec. 5.3 / Fig. 8). Relations carry fields with
+    domains, key markers and nullability; foreign keys reference the key
+    of the target relation. *)
+
+open Kgm_common
+
+type field = {
+  f_name : string;
+  f_ty : Value.ty;
+  f_nullable : bool;
+  f_key : bool;          (** part of the primary key *)
+  f_unique : bool;       (** single-field UNIQUE constraint *)
+  f_enum : string list;  (** allowed values when non-empty (CHECK) *)
+  f_default : Value.t option;              (** DEFAULT clause *)
+  f_range : float option * float option;   (** numeric CHECK bounds *)
+}
+
+type relation = {
+  r_name : string;
+  r_fields : field list;
+}
+
+type foreign_key = {
+  fk_name : string;
+  fk_source : string;              (** source relation name *)
+  fk_fields : string list;         (** source field names *)
+  fk_target : string;              (** target relation name *)
+  fk_target_fields : string list;  (** referenced (key) field names *)
+}
+
+type t = {
+  relations : relation list;
+  foreign_keys : foreign_key list;
+}
+
+val empty : t
+
+val field :
+  ?nullable:bool -> ?key:bool -> ?unique:bool -> ?enum:string list ->
+  ?default:Value.t -> ?range:float option * float option ->
+  string -> Value.ty -> field
+
+val relation : string -> field list -> relation
+
+val add_relation : t -> relation -> t
+(** Raises [Kgm_error.Error] on duplicate relation name. *)
+
+val add_foreign_key : t -> foreign_key -> t
+
+val find_relation : t -> string -> relation option
+val find_field : relation -> string -> field option
+val key_fields : relation -> field list
+
+val validate : t -> (unit, string list) result
+(** Structural soundness: non-empty keys, FK endpoints exist, FK field
+    lists align in arity with the target key, field names unique within
+    a relation, names are valid identifiers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact human-readable rendering, one relation per line (the textual
+    analogue of Fig. 8). *)

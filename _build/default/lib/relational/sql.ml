@@ -1,0 +1,97 @@
+open Kgm_common
+
+let sql_type = function
+  | Value.TInt -> "INTEGER"
+  | Value.TFloat -> "DOUBLE PRECISION"
+  | Value.TString -> "VARCHAR(255)"
+  | Value.TBool -> "BOOLEAN"
+  | Value.TDate -> "DATE"
+  | Value.TId -> "VARCHAR(64)"
+  | Value.TAny -> "VARCHAR(255)"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec sql_literal = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.12g" f
+  | Value.String s -> Printf.sprintf "'%s'" (escape_string s)
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Date (y, m, d) -> Printf.sprintf "DATE '%04d-%02d-%02d'" y m d
+  | Value.Id o -> Printf.sprintf "'%s'" (escape_string (Oid.to_string o))
+  | Value.Null _ -> "NULL"
+  | Value.List l ->
+      Printf.sprintf "'%s'"
+        (escape_string (String.concat ";" (List.map sql_literal l)))
+
+let field_def (f : Rschema.field) =
+  let range_checks =
+    match f.f_range with
+    | None, None -> []
+    | lo, hi ->
+        let parts =
+          (match lo with
+           | Some l -> [ Printf.sprintf "%s >= %.12g" f.f_name l ]
+           | None -> [])
+          @
+          (match hi with
+           | Some h -> [ Printf.sprintf "%s <= %.12g" f.f_name h ]
+           | None -> [])
+        in
+        [ Printf.sprintf "CHECK (%s)" (String.concat " AND " parts) ]
+  in
+  let parts =
+    [ f.f_name; sql_type f.f_ty ]
+    @ (if f.f_nullable then [] else [ "NOT NULL" ])
+    @ (match f.f_default with
+       | Some v -> [ "DEFAULT " ^ sql_literal v ]
+       | None -> [])
+    @ (if f.f_unique then [ "UNIQUE" ] else [])
+    @ (if f.f_enum = [] then []
+       else
+         [ Printf.sprintf "CHECK (%s IN (%s))" f.f_name
+             (String.concat ", "
+                (List.map (fun v -> "'" ^ escape_string v ^ "'") f.f_enum)) ])
+    @ range_checks
+  in
+  String.concat " " parts
+
+let create_table (r : Rschema.relation) =
+  let keys = List.filter (fun (f : Rschema.field) -> f.f_key) r.r_fields in
+  let pk =
+    Printf.sprintf "  PRIMARY KEY (%s)"
+      (String.concat ", " (List.map (fun (f : Rschema.field) -> f.f_name) keys))
+  in
+  let fields = List.map (fun f -> "  " ^ field_def f) r.r_fields in
+  Printf.sprintf "CREATE TABLE %s (\n%s\n);" r.r_name
+    (String.concat ",\n" (fields @ [ pk ]))
+
+let foreign_key_ddl (fk : Rschema.foreign_key) =
+  Printf.sprintf
+    "ALTER TABLE %s ADD CONSTRAINT %s FOREIGN KEY (%s) REFERENCES %s (%s);"
+    fk.fk_source fk.fk_name
+    (String.concat ", " fk.fk_fields)
+    fk.fk_target
+    (String.concat ", " fk.fk_target_fields)
+
+let ddl (sch : Rschema.t) =
+  String.concat "\n\n"
+    (List.map create_table sch.relations
+     @ List.map foreign_key_ddl sch.foreign_keys)
+
+let inserts db =
+  let sch = Instance.schema db in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : Rschema.relation) ->
+      Instance.iter db r.r_name (fun row ->
+          Buffer.add_string buf
+            (Printf.sprintf "INSERT INTO %s VALUES (%s);\n" r.r_name
+               (String.concat ", "
+                  (Array.to_list (Array.map sql_literal row))))))
+    sch.relations;
+  Buffer.contents buf

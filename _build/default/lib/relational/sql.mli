@@ -1,0 +1,22 @@
+(** SQL rendering of relational schemas and instances.
+
+    For relational targets the paper enforces translated schemas "as DDL
+    statements, which include the respective constraints such as keys,
+    foreign keys, domain constraints" (Sec. 2.2); this module emits that
+    artifact in a generic SQL:1999 dialect. *)
+
+open Kgm_common
+
+val ddl : Rschema.t -> string
+(** CREATE TABLE statements with PRIMARY KEY, NOT NULL, UNIQUE, CHECK
+    (enum) constraints, followed by ALTER TABLE ... FOREIGN KEY, in
+    schema declaration order (topologically safe because FKs are emitted
+    after all tables). *)
+
+val sql_type : Value.ty -> string
+val sql_literal : Value.t -> string
+
+val inserts : Instance.t -> string
+(** One INSERT statement per tuple, relations in schema order. *)
+
+val create_table : Rschema.relation -> string

@@ -1,0 +1,1 @@
+lib/targets/csv_model.ml: Array Buffer Kgm_common Kgm_relational Kgmodel List Printf Relational_model String

@@ -1,0 +1,1 @@
+lib/targets/pg_model.ml: Buffer Format Hashtbl Kgm_common Kgm_error Kgm_graphdb Kgmodel List Printf String Value

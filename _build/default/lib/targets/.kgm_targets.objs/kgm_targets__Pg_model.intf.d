@@ -1,0 +1,1 @@
+lib/targets/pg_model.mli: Format Kgm_common Kgmodel Value

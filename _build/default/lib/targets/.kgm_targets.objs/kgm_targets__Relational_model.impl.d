@@ -1,0 +1,1 @@
+lib/targets/relational_model.ml: Buffer Hashtbl Kgm_common Kgm_error Kgm_graphdb Kgm_relational Kgmodel List Names Option Printf String Value

@@ -1,0 +1,1 @@
+lib/targets/relational_model.mli: Kgm_relational Kgmodel

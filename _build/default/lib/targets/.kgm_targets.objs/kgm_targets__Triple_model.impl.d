@@ -1,0 +1,1 @@
+lib/targets/triple_model.ml: Buffer Kgm_common Kgmodel List Printf Value

@@ -1,0 +1,80 @@
+(** The plain-CSV serialization target (paper, Sec. 2.2: "non-graph-like
+    models that are frequently used to serialize graphs, such as ...
+    plain CSV files").
+
+    The CSV model is the relational model stripped of constraints: one
+    file per relation, columns in field order, a header line, foreign
+    keys documented in a sidecar manifest. Built on top of the
+    relational translation, so the relation-per-member strategy applies
+    unchanged. *)
+
+module Rschema = Kgm_relational.Rschema
+
+type file_spec = {
+  filename : string;
+  columns : string list;
+}
+
+type bundle = {
+  files : file_spec list;
+  manifest : string; (** human-readable description incl. FK links *)
+}
+
+let of_relational (sch : Rschema.t) =
+  let files =
+    List.map
+      (fun (r : Rschema.relation) ->
+        { filename = Kgm_common.Names.to_snake_case r.Rschema.r_name ^ ".csv";
+          columns =
+            List.map (fun (f : Rschema.field) -> f.Rschema.f_name) r.Rschema.r_fields })
+      sch.Rschema.relations
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# CSV bundle manifest\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "file %s: %s\n" f.filename (String.concat "," f.columns)))
+    files;
+  List.iter
+    (fun (fk : Rschema.foreign_key) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s.%s -> %s.%s\n"
+           (Kgm_common.Names.to_snake_case fk.Rschema.fk_source)
+           (String.concat "+" fk.Rschema.fk_fields)
+           (Kgm_common.Names.to_snake_case fk.Rschema.fk_target)
+           (String.concat "+" fk.Rschema.fk_target_fields)))
+    sch.Rschema.foreign_keys;
+  { files; manifest = Buffer.contents buf }
+
+let translate_native (s : Kgmodel.Supermodel.t) =
+  of_relational (Relational_model.translate_native s)
+
+(** Serialize a relational instance into CSV documents, one per file. *)
+let render_instance (db : Kgm_relational.Instance.t) =
+  let sch = Kgm_relational.Instance.schema db in
+  List.map
+    (fun (r : Rschema.relation) ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map (fun (f : Rschema.field) -> f.Rschema.f_name) r.Rschema.r_fields));
+      Buffer.add_char buf '\n';
+      Kgm_relational.Instance.iter db r.Rschema.r_name (fun row ->
+          let cells =
+            Array.to_list
+              (Array.map
+                 (fun v ->
+                   match v with
+                   | Kgm_common.Value.Null _ -> ""
+                   | v ->
+                       let s = Kgm_common.Value.to_string v in
+                       if String.contains s ',' || String.contains s '"' then
+                         "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+                       else s)
+                 row)
+          in
+          Buffer.add_string buf (String.concat "," cells);
+          Buffer.add_char buf '\n');
+      (Kgm_common.Names.to_snake_case r.Rschema.r_name ^ ".csv", Buffer.contents buf))
+    sch.Rschema.relations

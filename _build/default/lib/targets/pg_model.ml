@@ -1,0 +1,489 @@
+open Kgm_common
+module Supermodel = Kgmodel.Supermodel
+
+type property = {
+  p_name : string;
+  p_ty : Value.ty;
+  p_mandatory : bool;
+  p_unique : bool;
+}
+
+type node_kind = {
+  nk_labels : string list;
+  nk_props : property list;
+  nk_intensional : bool;
+}
+
+type rel_kind = {
+  rk_name : string;
+  rk_from : string;
+  rk_to : string;
+  rk_props : property list;
+  rk_intensional : bool;
+}
+
+type schema = {
+  node_kinds : node_kind list;
+  rel_kinds : rel_kind list;
+}
+
+let strategies = [ "multi-label"; "parent-edge" ]
+
+(* ------------------------------------------------------------------ *)
+(* The M(PG) mapping: Eliminate (Sec. 5.2, Examples 5.1/5.2)            *)
+
+(* Substitute $S (source schemaOID) and $D (destination schemaOID) in a
+   mapping template. Skolem functor names embed $D so repeated
+   translations of the same source never collide. As in Example 5.1,
+   every body PG node and edge atom carries the schemaOID attribute. *)
+let subst ~src ~dst template =
+  let s = string_of_int src and d = string_of_int dst in
+  let buf = Buffer.create (String.length template) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '$' -> ()
+      | 'S' when i > 0 && template.[i - 1] = '$' -> Buffer.add_string buf s
+      | 'D' when i > 0 && template.[i - 1] = '$' -> Buffer.add_string buf d
+      | c -> Buffer.add_char buf c)
+    template;
+  Buffer.contents buf
+
+let eliminate_copy_rules ~src ~dst =
+  subst ~src ~dst
+    {|
+%% Eliminate.CopyNodes
+(n: SM_Node; schemaOID: $S, isIntensional: B), X = #n$D(n)
+  => (X: SM_Node; schemaOID: $D, isIntensional: B).
+
+%% Eliminate.CopyNodeTypes (own type, marked primary)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  X = #n$D(n), L = #t$D(t), H = #hnt$D(n, t)
+  => (X)-[H: SM_HAS_NODE_TYPE; schemaOID: $D, isPrimary: true]->(L: SM_Type; schemaOID: $D, name: W).
+
+%% Eliminate.CopyAttributes (node attributes)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  X = #n$D(n), A = #an$D(n, a), H = #hnp$D(n, a)
+  => (X)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+
+%% Eliminate.CopyUniqueAttributeModifier (all modifiers, in fact)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K),
+  A = #an$D(n, a), M = #mn$D(n, a, m), H = #hm$D(n, a, m)
+  => (A)-[H: SM_HAS_MODIFIER; schemaOID: $D]->(M: SM_AttributeModifier; schemaOID: $D, kind: K).
+
+%% Eliminate.CopyEdges (edge construct with flags, type, endpoints)
+(e: SM_Edge; schemaOID: $S, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  F = #ed$D(e), X = #n$D(n), Z = #n$D(m),
+  L = #t$D(t), H = #het$D(e), U = #fr$D(e), V = #to$D(e)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W),
+     (F)-[U: SM_FROM; schemaOID: $D]->(X),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+
+%% Eliminate.CopyAttributes (edge attributes)
+(e: SM_Edge; schemaOID: $S)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  F = #ed$D(e), A = #ae$D(e, a), H = #hep$D(e, a)
+  => (F)-[H: SM_HAS_EDGE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+|}
+
+(* DeleteGeneralizations(1)-(4) for the multi-label strategy *)
+let eliminate_generalizations ~src ~dst =
+  subst ~src ~dst
+    {|
+%% Eliminate.DeleteGeneralizations(1): ancestor types accumulate (Ex. 5.1)
+(n: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(a: SM_Node; schemaOID: $S),
+(a)-[: SM_HAS_NODE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  X = #n$D(n), L = #t$D(t), H = #hnt$D(n, t)
+  => (X)-[H: SM_HAS_NODE_TYPE; schemaOID: $D, isPrimary: false]->(L: SM_Type; schemaOID: $D, name: W).
+
+%% Eliminate.DeleteGeneralizations(2): ancestor attributes inherited
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(n: SM_Node; schemaOID: $S),
+(n)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  X = #n$D(c), A = #an$D(c, a), H = #hnp$D(c, a)
+  => (X)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+
+%% inherited attribute modifiers
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(n: SM_Node; schemaOID: $S),
+(n)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K),
+  A = #an$D(c, a), M = #mn$D(c, a, m), H = #hm$D(c, a, m)
+  => (A)-[H: SM_HAS_MODIFIER; schemaOID: $D]->(M: SM_AttributeModifier; schemaOID: $D, kind: K).
+
+%% Eliminate.DeleteGeneralizations(3), outgoing edges (Ex. 5.2)
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(n: SM_Node; schemaOID: $S),
+(e: SM_Edge; schemaOID: $S, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2)-[: SM_FROM; schemaOID: $S]->(n),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+(e)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  F = #eo$D(e, c), X = #n$D(c), Z = #n$D(m),
+  L = #t$D(t), H = #heto$D(e, c), U = #fro$D(e, c), V = #too$D(e, c)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W),
+     (F)-[U: SM_FROM; schemaOID: $D]->(X),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+
+%% Eliminate.DeleteGeneralizations(4), outgoing edge attributes
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(n: SM_Node; schemaOID: $S),
+(e: SM_Edge; schemaOID: $S)-[: SM_FROM; schemaOID: $S]->(n),
+(e)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  F = #eo$D(e, c), A = #aeo$D(e, c, a), H = #hepo$D(e, c, a)
+  => (F)-[H: SM_HAS_EDGE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+
+%% Eliminate.DeleteGeneralizations(3), incoming edges
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(m: SM_Node; schemaOID: $S),
+(e: SM_Edge; schemaOID: $S, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2)-[: SM_TO; schemaOID: $S]->(m),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  F = #ei$D(e, c), X = #n$D(n), Z = #n$D(c),
+  L = #t$D(t), H = #heti$D(e, c), U = #fri$D(e, c), V = #toi$D(e, c)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: B, isOpt1: O1, isFun1: F1, isOpt2: O2, isFun2: F2),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W),
+     (F)-[U: SM_FROM; schemaOID: $D]->(X),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+
+%% Eliminate.DeleteGeneralizations(4), incoming edge attributes
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(m: SM_Node; schemaOID: $S),
+(e: SM_Edge; schemaOID: $S)-[: SM_TO; schemaOID: $S]->(m),
+(e)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  F = #ei$D(e, c), A = #aei$D(e, c, a), H = #hepi$D(e, c, a)
+  => (F)-[H: SM_HAS_EDGE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+|}
+
+(* parent-edge alternative: keep single labels, reify generalizations
+   as IS_A relationships child -> parent *)
+let eliminate_parent_edge ~src ~dst =
+  subst ~src ~dst
+    {|
+%% parent-edge strategy: generalizations become IS_A relationships
+(g: SM_Generalization; schemaOID: $S)-[: SM_CHILD; schemaOID: $S]->(c: SM_Node; schemaOID: $S),
+(g)-[: SM_PARENT; schemaOID: $S]->(p: SM_Node; schemaOID: $S),
+  E = #isa$D(g, c), X = #n$D(c), Z = #n$D(p),
+  L = #isat$D(), H = #isah$D(g, c), U = #isaf$D(g, c), V = #isato$D(g, c)
+  => (E: SM_Edge; schemaOID: $D, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (E)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: "IS_A"),
+     (E)-[U: SM_FROM; schemaOID: $D]->(X),
+     (E)-[V: SM_TO; schemaOID: $D]->(Z).
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Copy phase: downcast SM_* into PG-model constructs (Fig. 5)          *)
+
+let copy_program ~src ~dst =
+  subst ~src ~dst
+    {|
+%% Copy.StoreNodes
+(n: SM_Node; schemaOID: $S, isIntensional: B), X = #pn$D(n)
+  => (X: Node; schemaOID: $D, isIntensional: B).
+
+%% Copy.StoreLabels (SM_Type specialized by Label via HAS_LABEL)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_TYPE; schemaOID: $S, isPrimary: P]->(t: SM_Type; schemaOID: $S, name: W),
+  X = #pn$D(n), L = #pl$D(t), H = #phl$D(n, t)
+  => (X)-[H: HAS_LABEL; schemaOID: $D, isPrimary: P]->(L: Label; schemaOID: $D, name: W).
+
+%% Copy.StoreRelationships
+(e: SM_Edge; schemaOID: $S, isIntensional: B)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  F = #pr$D(e), X = #pn$D(n), Z = #pn$D(m),
+  L = #pl$D(t), H = #prt$D(e), U = #pfr$D(e), V = #pto$D(e)
+  => (F: Relationship; schemaOID: $D, isIntensional: B),
+     (F)-[H: REL_TYPE; schemaOID: $D]->(L: Label; schemaOID: $D, name: W),
+     (F)-[U: PG_FROM; schemaOID: $D]->(X),
+     (F)-[V: PG_TO; schemaOID: $D]->(Z).
+
+%% Copy.StoreProperties (node-owned)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I),
+  X = #pn$D(n), A = #pp$D(a), H = #php$D(n, a)
+  => (X)-[H: HAS_PROPERTY; schemaOID: $D]->(A: Property; schemaOID: $D, name: W, type: T, isOpt: O, isId: I).
+
+%% Copy.StoreProperties (relationship-owned)
+(e: SM_Edge; schemaOID: $S)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I),
+  F = #pr$D(e), A = #pp$D(a), H = #php2$D(e, a)
+  => (F)-[H: HAS_PROPERTY; schemaOID: $D]->(A: Property; schemaOID: $D, name: W, type: T, isOpt: O, isId: I).
+
+%% Copy.StoreUniquePropertyModifiers
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K),
+  K == "unique",
+  A = #pp$D(a), M = #pum$D(m, a), H = #pumh$D(m, a)
+  => (A)-[H: HAS_MODIFIER; schemaOID: $D]->(M: UniquePropertyModifier; schemaOID: $D).
+|}
+
+let mapping ?(strategy = "multi-label") () =
+  let eliminate ~src ~dst =
+    match strategy with
+    | "multi-label" ->
+        eliminate_copy_rules ~src ~dst ^ eliminate_generalizations ~src ~dst
+    | "parent-edge" ->
+        eliminate_copy_rules ~src ~dst ^ eliminate_parent_edge ~src ~dst
+    | s -> Kgm_error.translate_error "pg_model: unknown strategy %s" s
+  in
+  { Kgmodel.Ssst.model_name = "property-graph";
+    strategy;
+    eliminate;
+    copy = (fun ~src ~dst -> copy_program ~src ~dst) }
+
+(* ------------------------------------------------------------------ *)
+(* Native baseline (differential oracle for the MetaLog mapping)        *)
+
+let prop_of_attr (a : Supermodel.attribute) =
+  { p_name = a.Supermodel.at_name;
+    p_ty = a.Supermodel.at_ty;
+    p_mandatory = not a.Supermodel.at_opt;
+    p_unique =
+      a.Supermodel.at_id
+      || List.exists
+           (function Supermodel.Unique -> true | _ -> false)
+           a.Supermodel.at_modifiers }
+
+let dedup_props props =
+  List.sort_uniq compare props
+
+let translate_native ?(strategy = "multi-label") (s : Supermodel.t) =
+  match strategy with
+  | "multi-label" ->
+      let node_kinds =
+        List.map
+          (fun (n : Supermodel.node) ->
+            { nk_labels =
+                n.Supermodel.n_name :: Supermodel.ancestors s n.Supermodel.n_name;
+              nk_props =
+                dedup_props
+                  (List.map prop_of_attr
+                     (Supermodel.all_attributes s n.Supermodel.n_name));
+              nk_intensional = n.Supermodel.n_intensional })
+          s.Supermodel.nodes
+      in
+      let rel_kinds =
+        List.concat_map
+          (fun (e : Supermodel.edge) ->
+            let props = dedup_props (List.map prop_of_attr e.Supermodel.e_attrs) in
+            let mk from to_ =
+              { rk_name = e.Supermodel.e_name; rk_from = from; rk_to = to_;
+                rk_props = props; rk_intensional = e.Supermodel.e_intensional }
+            in
+            mk e.Supermodel.e_from e.Supermodel.e_to
+            :: List.map
+                 (fun c -> mk c e.Supermodel.e_to)
+                 (Supermodel.descendants s e.Supermodel.e_from)
+            @ List.map
+                (fun c -> mk e.Supermodel.e_from c)
+                (Supermodel.descendants s e.Supermodel.e_to))
+          s.Supermodel.edges
+      in
+      { node_kinds; rel_kinds = List.sort_uniq compare rel_kinds }
+  | "parent-edge" ->
+      let node_kinds =
+        List.map
+          (fun (n : Supermodel.node) ->
+            { nk_labels = [ n.Supermodel.n_name ];
+              nk_props = dedup_props (List.map prop_of_attr n.Supermodel.n_attrs);
+              nk_intensional = n.Supermodel.n_intensional })
+          s.Supermodel.nodes
+      in
+      let direct =
+        List.map
+          (fun (e : Supermodel.edge) ->
+            { rk_name = e.Supermodel.e_name;
+              rk_from = e.Supermodel.e_from;
+              rk_to = e.Supermodel.e_to;
+              rk_props = dedup_props (List.map prop_of_attr e.Supermodel.e_attrs);
+              rk_intensional = e.Supermodel.e_intensional })
+          s.Supermodel.edges
+      in
+      let is_a =
+        List.concat_map
+          (fun (g : Supermodel.generalization) ->
+            List.map
+              (fun c ->
+                { rk_name = "IS_A"; rk_from = c; rk_to = g.Supermodel.g_parent;
+                  rk_props = []; rk_intensional = false })
+              g.Supermodel.g_children)
+          s.Supermodel.generalizations
+      in
+      { node_kinds; rel_kinds = List.sort_uniq compare (direct @ is_a) }
+  | s -> Kgm_error.translate_error "pg_model: unknown strategy %s" s
+
+(* ------------------------------------------------------------------ *)
+(* Decoding S' out of the dictionary                                    *)
+
+let decode dict sid =
+  let g = Kgmodel.Dictionary.graph dict in
+  let module PG = Kgm_graphdb.Pgraph in
+  let in_schema id = PG.node_prop g id "schemaOID" = Some (Value.Int sid) in
+  let prop_string id k =
+    match PG.node_prop g id k with
+    | Some (Value.String s) -> s
+    | _ -> Kgm_error.storage_error "pg decode: missing %s" k
+  in
+  let prop_bool ?(default = false) id k =
+    match PG.node_prop g id k with Some (Value.Bool b) -> b | _ -> default
+  in
+  let decode_property id =
+    let ty =
+      match Value.ty_of_string (prop_string id "type") with
+      | Some ty -> ty
+      | None -> Value.TAny
+    in
+    let unique_mod =
+      PG.neighbors_out ~label:"HAS_MODIFIER" g id
+      |> List.exists (fun m -> List.mem "UniquePropertyModifier" (PG.node_labels g m))
+    in
+    { p_name = prop_string id "name";
+      p_ty = ty;
+      p_mandatory = not (prop_bool id "isOpt");
+      p_unique = prop_bool id "isId" || unique_mod }
+  in
+  let label_of id = prop_string id "name" in
+  let node_elems = List.filter in_schema (PG.nodes_with_label g "Node") in
+  let primary_label id =
+    let labelled =
+      List.filter_map
+        (fun e ->
+          let _, dst = PG.edge_ends g e in
+          if List.mem "Label" (PG.node_labels g dst) then
+            Some (PG.edge_prop g e "isPrimary" = Some (Value.Bool true), label_of dst)
+          else None)
+        (PG.out_edges ~label:"HAS_LABEL" g id)
+    in
+    match List.find_opt fst labelled with
+    | Some (_, l) -> l
+    | None -> (
+        match labelled with
+        | (_, l) :: _ -> l
+        | [] -> Kgm_error.storage_error "pg decode: node without label")
+  in
+  let node_of_elem = Hashtbl.create 16 in
+  let node_kinds =
+    List.map
+      (fun id ->
+        let primary = primary_label id in
+        Hashtbl.add node_of_elem id primary;
+        let labels =
+          primary
+          :: (PG.neighbors_out ~label:"HAS_LABEL" g id
+              |> List.map label_of
+              |> List.filter (fun l -> l <> primary)
+              |> List.sort String.compare)
+        in
+        let props =
+          PG.neighbors_out ~label:"HAS_PROPERTY" g id
+          |> List.map decode_property
+          |> List.sort_uniq compare
+        in
+        { nk_labels = labels; nk_props = props;
+          nk_intensional = prop_bool id "isIntensional" })
+      node_elems
+  in
+  let rel_elems = List.filter in_schema (PG.nodes_with_label g "Relationship") in
+  let rel_kinds =
+    List.map
+      (fun id ->
+        let name =
+          match PG.neighbors_out ~label:"REL_TYPE" g id with
+          | t :: _ -> label_of t
+          | [] -> Kgm_error.storage_error "pg decode: relationship without type"
+        in
+        let endpoint label =
+          match PG.neighbors_out ~label g id with
+          | n :: _ -> Hashtbl.find node_of_elem n
+          | [] -> Kgm_error.storage_error "pg decode: relationship without %s" label
+        in
+        { rk_name = name;
+          rk_from = endpoint "PG_FROM";
+          rk_to = endpoint "PG_TO";
+          rk_props =
+            PG.neighbors_out ~label:"HAS_PROPERTY" g id
+            |> List.map decode_property
+            |> List.sort_uniq compare;
+          rk_intensional = prop_bool id "isIntensional" })
+      rel_elems
+  in
+  { node_kinds = List.sort compare node_kinds;
+    rel_kinds = List.sort_uniq compare rel_kinds }
+
+(* ------------------------------------------------------------------ *)
+
+let normalize s =
+  { node_kinds =
+      List.sort compare
+        (List.map
+           (fun nk ->
+             { nk with
+               nk_labels =
+                 (match nk.nk_labels with
+                  | primary :: rest -> primary :: List.sort compare rest
+                  | [] -> []);
+               nk_props = List.sort_uniq compare nk.nk_props })
+           s.node_kinds);
+    rel_kinds =
+      List.sort_uniq compare
+        (List.map
+           (fun rk -> { rk with rk_props = List.sort_uniq compare rk.rk_props })
+           s.rel_kinds) }
+
+let equal_schema a b = normalize a = normalize b
+
+let pp_property ppf p =
+  Format.fprintf ppf "%s: %a%s%s" p.p_name Value.pp_ty p.p_ty
+    (if p.p_mandatory then "" else "?")
+    (if p.p_unique then " unique" else "")
+
+let pp ppf s =
+  List.iter
+    (fun nk ->
+      Format.fprintf ppf "(%s)%s {%a}@."
+        (String.concat ":" nk.nk_labels)
+        (if nk.nk_intensional then " ~" else "")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_property)
+        nk.nk_props)
+    s.node_kinds;
+  List.iter
+    (fun rk ->
+      Format.fprintf ppf "(%s)-[%s%s {%a}]->(%s)@." rk.rk_from rk.rk_name
+        (if rk.rk_intensional then " ~" else "")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_property)
+        rk.rk_props rk.rk_to)
+    s.rel_kinds
+
+(* ------------------------------------------------------------------ *)
+
+let enforcement_script s =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun nk ->
+      match nk.nk_labels with
+      | [] -> ()
+      | primary :: _ ->
+          List.iter
+            (fun p ->
+              if p.p_unique then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "CREATE CONSTRAINT %s_%s_unique IF NOT EXISTS FOR (n:%s) \
+                      REQUIRE n.%s IS UNIQUE;\n"
+                     (String.lowercase_ascii primary) p.p_name primary p.p_name);
+              if p.p_mandatory then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "CREATE CONSTRAINT %s_%s_exists IF NOT EXISTS FOR (n:%s) \
+                      REQUIRE n.%s IS NOT NULL;\n"
+                     (String.lowercase_ascii primary) p.p_name primary p.p_name))
+            nk.nk_props)
+    s.node_kinds;
+  List.iter
+    (fun rk ->
+      List.iter
+        (fun p ->
+          if p.p_mandatory then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "CREATE CONSTRAINT rel_%s_%s_exists IF NOT EXISTS FOR \
+                  ()-[r:%s]-() REQUIRE r.%s IS NOT NULL;\n"
+                 (String.lowercase_ascii rk.rk_name) p.p_name rk.rk_name p.p_name))
+        rk.rk_props)
+    s.rel_kinds;
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** The Property-Graph target model (paper, Sec. 5.2 / Fig. 5).
+
+    Constructs: [Node] (: SM_Node), [Relationship] (: SM_Edge), [Label]
+    (: SM_Type), [Property] (: SM_Attribute), [UniquePropertyModifier];
+    nodes may carry multiple labels, there is no generalization support,
+    uniqueness constraints on properties are available.
+
+    Two implementation strategies for generalizations (Algorithm 1,
+    line 2):
+    - ["multi-label"] (default, the paper's Sec. 5.2 mapping): children
+      accumulate every ancestor label, inherit ancestor attributes, and
+      ancestor edges are duplicated onto descendants
+      (Eliminate.DeleteGeneralizations 1-4, Examples 5.1/5.2);
+    - ["parent-edge"]: children keep a single label and an [IS_A]
+      relationship to the parent (the node-tagging alternative the paper
+      mentions for systems without multi-tagging). *)
+
+open Kgm_common
+
+type property = {
+  p_name : string;
+  p_ty : Value.ty;
+  p_mandatory : bool;
+  p_unique : bool;
+}
+
+type node_kind = {
+  nk_labels : string list;  (** primary label first, then inherited *)
+  nk_props : property list;
+  nk_intensional : bool;
+}
+
+type rel_kind = {
+  rk_name : string;
+  rk_from : string;  (** primary label of the source node kind *)
+  rk_to : string;
+  rk_props : property list;
+  rk_intensional : bool;
+}
+
+type schema = {
+  node_kinds : node_kind list;
+  rel_kinds : rel_kind list;
+}
+
+val mapping : ?strategy:string -> unit -> Kgmodel.Ssst.mapping
+(** The M(PG) MetaLog mapping. Raises on unknown strategy. *)
+
+val strategies : string list
+
+val translate_native : ?strategy:string -> Kgmodel.Supermodel.t -> schema
+(** Direct OCaml implementation of the Sec. 5.2 mapping: the baseline
+    the MetaLog-driven translation is differentially tested against. *)
+
+val decode : Kgmodel.Dictionary.t -> int -> schema
+(** Read the translated schema S' out of the dictionary. *)
+
+val enforcement_script : schema -> string
+(** Cypher-style constraint script (ad-hoc schema enforcement for
+    schema-less systems, Sec. 2.2): uniqueness and existence
+    constraints per label/property. *)
+
+val equal_schema : schema -> schema -> bool
+(** Order-insensitive comparison used by differential tests. *)
+
+val pp : Format.formatter -> schema -> unit

@@ -1,0 +1,525 @@
+open Kgm_common
+module Supermodel = Kgmodel.Supermodel
+module Rschema = Kgm_relational.Rschema
+
+let strategies = [ "relation-per-member" ]
+
+(* Substitute $S and $D, as in Pg_model. *)
+let subst ~src ~dst template =
+  let s = string_of_int src and d = string_of_int dst in
+  let buf = Buffer.create (String.length template) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '$' -> ()
+      | 'S' when i > 0 && template.[i - 1] = '$' -> Buffer.add_string buf s
+      | 'D' when i > 0 && template.[i - 1] = '$' -> Buffer.add_string buf d
+      | c -> Buffer.add_char buf c)
+    template;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Eliminate (Sec. 5.3)                                                 *)
+
+let eliminate_program ~src ~dst =
+  subst ~src ~dst
+    {|
+%% Eliminate.CopyNodes
+(n: SM_Node; schemaOID: $S, isIntensional: B), X = #rn$D(n)
+  => (X: SM_Node; schemaOID: $D, isIntensional: B).
+
+%% Eliminate.CopyTypes
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  X = #rn$D(n), L = #rt$D(t), H = #rhnt$D(n, t)
+  => (X)-[H: SM_HAS_NODE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W).
+
+%% Eliminate.CopyNodeAttributes
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  X = #rn$D(n), A = #ran$D(n, a), H = #rhnp$D(n, a)
+  => (X)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+
+%% modifiers travel with node attributes
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K, values: VS, value: DV, lo: LO, hi: HI),
+  A = #ran$D(n, a), M = #rmn$D(n, a, m), H = #rhm$D(n, a, m)
+  => (A)-[H: SM_HAS_MODIFIER; schemaOID: $D]->(M: SM_AttributeModifier; schemaOID: $D, kind: K, values: VS, value: DV, lo: LO, hi: HI).
+
+%% Eliminate.CopyOneToManyEdges, case isFun1 (FROM side holds the FK):
+%% direction preserved, attributes relocate to the FROM node copy
+(e: SM_Edge; schemaOID: $S, isFun1: true, isIntensional: B, isOpt1: O1)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  F = #re$D(e), X = #rn$D(n), Z = #rn$D(m),
+  L = #rt$D(t), H = #rhet$D(e), U = #rfr$D(e), V = #rto$D(e)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: B, isOpt1: O1, isFun1: true, isOpt2: true, isFun2: false),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W),
+     (F)-[U: SM_FROM; schemaOID: $D]->(X),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+
+(e: SM_Edge; schemaOID: $S, isFun1: true, isOpt1: O1)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  X = #rn$D(n), A = #rae$D(e, a), H = #rhnp2$D(e, a), O2 = O or O1
+  => (X)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O2, isId: I, isIntensional: B).
+
+%% Eliminate.CopyOneToManyEdges, symmetric case isFun2 (TO side holds the FK):
+%% direction reversed, attributes relocate to the TO node copy
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: true, isIntensional: B, isOpt2: O2)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  F = #re$D(e), X = #rn$D(n), Z = #rn$D(m),
+  L = #rt$D(t), H = #rhet$D(e), U = #rfr$D(e), V = #rto$D(e)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: B, isOpt1: O2, isFun1: true, isOpt2: true, isFun2: false),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W),
+     (F)-[U: SM_FROM; schemaOID: $D]->(Z),
+     (F)-[V: SM_TO; schemaOID: $D]->(X).
+
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: true, isOpt2: O2)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+(e)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  Z = #rn$D(m), A = #rae$D(e, a), H = #rhnp2$D(e, a), OO = O or O2
+  => (Z)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: OO, isId: I, isIntensional: B).
+
+%% Eliminate.DeleteManyToManyEdges(1): the bridge Predicate carries the
+%% edge type and its attributes
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: false, isIntensional: B)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  P = #rbg$D(e), L = #rt$D(t), H = #rhnt2$D(e)
+  => (P: SM_Node; schemaOID: $D, isIntensional: B),
+     (P)-[H: SM_HAS_NODE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W).
+
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: false)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I, isIntensional: B),
+  P = #rbg$D(e), A = #rae$D(e, a), H = #rhnp3$D(e, a)
+  => (P)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: O, isId: I, isIntensional: B).
+
+%% Eliminate.DeleteManyToManyEdges(2): FK bridge -> TO endpoint
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: false, isOpt1: OP1)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  P = #rbg$D(e), Z = #rn$D(m), F = #rfkm$D(e),
+  W2 = W ++ "_dst", L = #rtd$D(t), H = #rhet2$D(e), U = #rfr2$D(e), V = #rto2$D(e)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: false, isOpt1: OP1, isFun1: true, isOpt2: true, isFun2: false),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W2),
+     (F)-[U: SM_FROM; schemaOID: $D]->(P),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+
+%% Eliminate.DeleteManyToManyEdges(3): FK bridge -> FROM endpoint
+(e: SM_Edge; schemaOID: $S, isFun1: false, isFun2: false, isOpt2: OP2)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+  P = #rbg$D(e), X = #rn$D(n), F = #rfkn$D(e),
+  W2 = W ++ "_src", L = #rts$D(t), H = #rhet3$D(e), U = #rfr3$D(e), V = #rto3$D(e)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: false, isOpt1: OP2, isFun1: true, isOpt2: true, isFun2: false),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W2),
+     (F)-[U: SM_FROM; schemaOID: $D]->(P),
+     (F)-[V: SM_TO; schemaOID: $D]->(X).
+
+%% modifiers travel with relocated edge attributes (all three cases
+%% share the #rae skolem)
+(e: SM_Edge; schemaOID: $S)-[: SM_HAS_EDGE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K, values: VS, value: DV, lo: LO, hi: HI),
+  A = #rae$D(e, a), M = #rme$D(e, a, m), H = #rhme$D(e, a, m)
+  => (A)-[H: SM_HAS_MODIFIER; schemaOID: $D]->(M: SM_AttributeModifier; schemaOID: $D, kind: K, values: VS, value: DV, lo: LO, hi: HI).
+
+%% Eliminate.DeleteGeneralizations: inherited identifying attributes
+(c: SM_Node; schemaOID: $S)-/ ([:SM_CHILD; schemaOID: $S]~ [:SM_PARENT; schemaOID: $S])* /->(n: SM_Node; schemaOID: $S),
+(n)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isId: true),
+  X = #rn$D(c), A = #rani$D(c, a), H = #rhnpi$D(c, a)
+  => (X)-[H: SM_HAS_NODE_PROPERTY; schemaOID: $D]->(A: SM_Attribute; schemaOID: $D, name: W, type: T, isOpt: false, isId: true, isIntensional: false).
+
+%% ... and an IS_A foreign key from each child to its direct parent
+(g: SM_Generalization; schemaOID: $S)-[: SM_CHILD; schemaOID: $S]->(c: SM_Node; schemaOID: $S),
+(g)-[: SM_PARENT; schemaOID: $S]->(p: SM_Node; schemaOID: $S),
+(p)-[: SM_HAS_NODE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  F = #risa$D(g, c), X = #rn$D(c), Z = #rn$D(p),
+  W2 = "IS_A_" ++ W, L = #rtisa$D(g, c), H = #rhet4$D(g, c), U = #rfr4$D(g, c), V = #rto4$D(g, c)
+  => (F: SM_Edge; schemaOID: $D, isIntensional: false, isOpt1: false, isFun1: true, isOpt2: true, isFun2: false),
+     (F)-[H: SM_HAS_EDGE_TYPE; schemaOID: $D]->(L: SM_Type; schemaOID: $D, name: W2),
+     (F)-[U: SM_FROM; schemaOID: $D]->(X),
+     (F)-[V: SM_TO; schemaOID: $D]->(Z).
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Copy: downcast into Predicate / Relation / Field / ForeignKey        *)
+
+let copy_program ~src ~dst =
+  subst ~src ~dst
+    {|
+%% Copy.StorePredicatesAndRelations
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+  X = #cp$D(n), L = #cr$D(t), H = #crel$D(n)
+  => (X: Predicate; schemaOID: $D),
+     (X)-[H: REL_OF; schemaOID: $D]->(L: Relation; schemaOID: $D, name: W).
+
+%% Copy.StoreNodeAttributes
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S, name: W, type: T, isOpt: O, isId: I),
+  X = #cp$D(n), A = #cf$D(a), H = #chf$D(n, a)
+  => (X)-[H: HAS_FIELD; schemaOID: $D]->(A: Field; schemaOID: $D, name: W, type: T, isOpt: O, isId: I).
+
+%% field modifiers (unique / enum / default / range)
+(n: SM_Node; schemaOID: $S)-[: SM_HAS_NODE_PROPERTY; schemaOID: $S]->(a: SM_Attribute; schemaOID: $S)-[: SM_HAS_MODIFIER; schemaOID: $S]->(m: SM_AttributeModifier; schemaOID: $S, kind: K, values: VS, value: DV, lo: LO, hi: HI),
+  A = #cf$D(a), M = #cfm$D(m, a), H = #chfm$D(m, a)
+  => (A)-[H: HAS_MODIFIER; schemaOID: $D]->(M: FieldModifier; schemaOID: $D, kind: K, values: VS, value: DV, lo: LO, hi: HI).
+
+%% Copy.StoreOneToManyEdges: surviving edges become ForeignKeys
+(e: SM_Edge; schemaOID: $S, isOpt1: O1)-[: SM_HAS_EDGE_TYPE; schemaOID: $S]->(t: SM_Type; schemaOID: $S, name: W),
+(e)-[: SM_FROM; schemaOID: $S]->(n: SM_Node; schemaOID: $S),
+(e)-[: SM_TO; schemaOID: $S]->(m: SM_Node; schemaOID: $S),
+  F = #cfk$D(e), X = #cp$D(n), Z = #cp$D(m), U = #cfkf$D(e), V = #cfkt$D(e)
+  => (F: ForeignKey; schemaOID: $D, name: W, isOpt: O1),
+     (F)-[U: FK_FROM; schemaOID: $D]->(X),
+     (F)-[V: FK_TO; schemaOID: $D]->(Z).
+|}
+
+let mapping ?(strategy = "relation-per-member") () =
+  if strategy <> "relation-per-member" then
+    Kgm_error.translate_error "relational_model: unknown strategy %s" strategy;
+  { Kgmodel.Ssst.model_name = "relational";
+    strategy;
+    eliminate = (fun ~src ~dst -> eliminate_program ~src ~dst);
+    copy = (fun ~src ~dst -> copy_program ~src ~dst) }
+
+(* ------------------------------------------------------------------ *)
+(* Shared schema assembly: both the decoder and the native baseline
+   produce an intermediate list of (relation, fields, fks) and feed it
+   through [assemble], which resolves FK source fields and keys. *)
+
+type proto_field = {
+  pf_name : string;
+  pf_ty : Value.ty;
+  pf_nullable : bool;
+  pf_id : bool;
+  pf_unique : bool;
+  pf_enum : string list;
+  pf_default : Value.t option;
+  pf_range : float option * float option;
+}
+
+type proto_fk = {
+  pfk_name : string;
+  pfk_source : string;  (* relation name *)
+  pfk_target : string;
+  pfk_nullable : bool;
+}
+
+let assemble (protos : (string * proto_field list) list) (fks : proto_fk list) =
+  (* FK source fields: reuse an identically-named id field when present
+     (the IS_A case), otherwise add <target>_<field> columns. Input
+     order is normalized so the decoder and the native baseline assign
+     identical column names. *)
+  let fks = List.sort compare fks in
+  let protos = ref protos in
+  let find_rel name = List.assoc_opt name !protos in
+  let set_rel name fields =
+    protos := List.map (fun (n, f) -> if n = name then (n, fields) else (n, f)) !protos
+  in
+  let schema_fks = ref [] in
+  let fk_names = Hashtbl.create 16 in
+  let unique_fk_name base =
+    let n = Option.value ~default:0 (Hashtbl.find_opt fk_names base) in
+    Hashtbl.replace fk_names base (n + 1);
+    if n = 0 then "fk_" ^ base else Printf.sprintf "fk_%s_%d" base n
+  in
+  List.iter
+    (fun fk ->
+      match find_rel fk.pfk_source, find_rel fk.pfk_target with
+      | Some src_fields, Some tgt_fields ->
+          let tgt_ids = List.filter (fun f -> f.pf_id) tgt_fields in
+          let source_names =
+            List.map
+              (fun (idf : proto_field) ->
+                let reuse =
+                  List.exists
+                    (fun f -> f.pf_name = idf.pf_name && f.pf_id)
+                    src_fields
+                in
+                if reuse then idf.pf_name
+                else begin
+                  let base =
+                    Names.to_snake_case fk.pfk_target ^ "_" ^ idf.pf_name
+                  in
+                  let cur = Option.value ~default:[] (find_rel fk.pfk_source) in
+                  (* a second FK to the same target (self-referencing
+                     bridge) needs a fresh column *)
+                  let rec fresh i =
+                    let cand = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+                    if List.exists (fun f -> f.pf_name = cand) cur then fresh (i + 1)
+                    else cand
+                  in
+                  let col = fresh 0 in
+                  set_rel fk.pfk_source
+                    (cur
+                     @ [ { idf with
+                           pf_name = col;
+                           pf_id = false;
+                           pf_unique = false;
+                           pf_enum = [];
+                           pf_default = None;
+                           pf_range = (None, None);
+                           pf_nullable = fk.pfk_nullable } ]);
+                  col
+                end)
+              tgt_ids
+          in
+          schema_fks :=
+            { Rschema.fk_name = unique_fk_name fk.pfk_name;
+              fk_source = fk.pfk_source;
+              fk_fields = source_names;
+              fk_target = fk.pfk_target;
+              fk_target_fields = List.map (fun f -> f.pf_name) tgt_ids }
+            :: !schema_fks
+      | _ -> ())
+    fks;
+  (* keys: id fields; bridges fall back to their FK source fields *)
+  let relations =
+    List.map
+      (fun (name, fields) ->
+        let has_id = List.exists (fun f -> f.pf_id) fields in
+        let fk_cols =
+          List.concat_map
+            (fun fk ->
+              if fk.Rschema.fk_source = name then fk.Rschema.fk_fields else [])
+            !schema_fks
+        in
+        let key_of f =
+          if has_id then f.pf_id
+          else if fk_cols <> [] then List.mem f.pf_name fk_cols
+          else true
+        in
+        { Rschema.r_name = name;
+          r_fields =
+            List.map
+              (fun f ->
+                { Rschema.f_name = f.pf_name;
+                  f_ty = f.pf_ty;
+                  f_nullable = f.pf_nullable && not (key_of f);
+                  f_key = key_of f;
+                  f_unique = f.pf_unique && not (key_of f);
+                  f_enum = f.pf_enum;
+                  f_default = f.pf_default;
+                  f_range = f.pf_range })
+              fields })
+      !protos
+  in
+  { Rschema.relations; foreign_keys = List.rev !schema_fks }
+
+(* ------------------------------------------------------------------ *)
+(* Native baseline                                                      *)
+
+let proto_of_attr (a : Supermodel.attribute) ~force_opt =
+  { pf_name = a.Supermodel.at_name;
+    pf_ty = a.Supermodel.at_ty;
+    pf_nullable = a.Supermodel.at_opt || force_opt;
+    pf_id = a.Supermodel.at_id;
+    pf_unique =
+      List.exists (function Supermodel.Unique -> true | _ -> false)
+        a.Supermodel.at_modifiers;
+    pf_enum =
+      List.concat_map
+        (function Supermodel.Enum vs -> vs | _ -> [])
+        a.Supermodel.at_modifiers;
+    pf_default =
+      List.find_map
+        (function Supermodel.Default v -> Some v | _ -> None)
+        a.Supermodel.at_modifiers;
+    pf_range =
+      (match
+         List.find_map
+           (function Supermodel.Range (lo, hi) -> Some (lo, hi) | _ -> None)
+           a.Supermodel.at_modifiers
+       with
+       | Some r -> r
+       | None -> (None, None)) }
+
+let translate_native (s : Supermodel.t) =
+  let protos = ref [] in
+  let fks = ref [] in
+  let add_rel name fields = protos := !protos @ [ (name, fields) ] in
+  let append_fields name extra =
+    protos :=
+      List.map
+        (fun (n, f) -> if n = name then (n, f @ extra) else (n, f))
+        !protos
+  in
+  (* relations per node: own attributes + inherited identifying ones *)
+  List.iter
+    (fun (n : Supermodel.node) ->
+      let inherited_ids =
+        List.concat_map
+          (fun anc ->
+            match Supermodel.find_node s anc with
+            | Some a ->
+                List.filter (fun at -> at.Supermodel.at_id) a.Supermodel.n_attrs
+            | None -> [])
+          (Supermodel.ancestors s n.Supermodel.n_name)
+      in
+      add_rel n.Supermodel.n_name
+        (List.map (proto_of_attr ~force_opt:false) n.Supermodel.n_attrs
+         @ List.map
+             (fun a ->
+               { (proto_of_attr ~force_opt:false a) with
+                 pf_unique = false;
+                 pf_enum = [];
+                 pf_default = None;
+                 pf_range = (None, None) })
+             inherited_ids))
+    s.Supermodel.nodes;
+  (* IS_A fks child -> parent *)
+  List.iter
+    (fun (g : Supermodel.generalization) ->
+      List.iter
+        (fun c ->
+          fks :=
+            { pfk_name = "IS_A_" ^ g.Supermodel.g_parent ^ "_" ^ c;
+              pfk_source = c;
+              pfk_target = g.Supermodel.g_parent;
+              pfk_nullable = false }
+            :: !fks)
+        g.Supermodel.g_children)
+    s.Supermodel.generalizations;
+  (* edges *)
+  List.iter
+    (fun (e : Supermodel.edge) ->
+      if e.Supermodel.e_fun1 then begin
+        append_fields e.Supermodel.e_from
+          (List.map (proto_of_attr ~force_opt:e.Supermodel.e_opt1)
+             e.Supermodel.e_attrs);
+        fks :=
+          { pfk_name = e.Supermodel.e_name;
+            pfk_source = e.Supermodel.e_from;
+            pfk_target = e.Supermodel.e_to;
+            pfk_nullable = e.Supermodel.e_opt1 }
+          :: !fks
+      end
+      else if e.Supermodel.e_fun2 then begin
+        append_fields e.Supermodel.e_to
+          (List.map (proto_of_attr ~force_opt:e.Supermodel.e_opt2)
+             e.Supermodel.e_attrs);
+        fks :=
+          { pfk_name = e.Supermodel.e_name;
+            pfk_source = e.Supermodel.e_to;
+            pfk_target = e.Supermodel.e_from;
+            pfk_nullable = e.Supermodel.e_opt2 }
+          :: !fks
+      end
+      else begin
+        (* bridge relation *)
+        add_rel e.Supermodel.e_name
+          (List.map (proto_of_attr ~force_opt:false) e.Supermodel.e_attrs);
+        fks :=
+          { pfk_name = e.Supermodel.e_name ^ "_dst";
+            pfk_source = e.Supermodel.e_name;
+            pfk_target = e.Supermodel.e_to;
+            pfk_nullable = e.Supermodel.e_opt1 }
+          :: { pfk_name = e.Supermodel.e_name ^ "_src";
+               pfk_source = e.Supermodel.e_name;
+               pfk_target = e.Supermodel.e_from;
+               pfk_nullable = e.Supermodel.e_opt2 }
+          :: !fks
+      end)
+    s.Supermodel.edges;
+  assemble !protos (List.rev !fks)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                              *)
+
+let decode dict sid =
+  let g = Kgmodel.Dictionary.graph dict in
+  let module PG = Kgm_graphdb.Pgraph in
+  let in_schema id = PG.node_prop g id "schemaOID" = Some (Value.Int sid) in
+  let prop_string id k =
+    match PG.node_prop g id k with
+    | Some (Value.String s) -> s
+    | _ -> Kgm_error.storage_error "relational decode: missing %s" k
+  in
+  let prop_bool ?(default = false) id k =
+    match PG.node_prop g id k with Some (Value.Bool b) -> b | _ -> default
+  in
+  let preds = List.filter in_schema (PG.nodes_with_label g "Predicate") in
+  let rel_name = Hashtbl.create 16 in
+  let protos =
+    List.map
+      (fun id ->
+        let name =
+          match PG.neighbors_out ~label:"REL_OF" g id with
+          | r :: _ -> prop_string r "name"
+          | [] -> Kgm_error.storage_error "predicate without relation"
+        in
+        Hashtbl.add rel_name id name;
+        let fields =
+          PG.neighbors_out ~label:"HAS_FIELD" g id
+          |> List.map (fun f ->
+                 let unique = ref false and enum = ref [] in
+                 let default = ref None and range = ref (None, None) in
+                 List.iter
+                   (fun m ->
+                     match PG.node_prop g m "kind" with
+                     | Some (Value.String "unique") -> unique := true
+                     | Some (Value.String "enum") ->
+                         (match PG.node_prop g m "values" with
+                          | Some (Value.List vs) ->
+                              enum :=
+                                List.filter_map
+                                  (function Value.String s -> Some s | _ -> None)
+                                  vs
+                          | _ -> ())
+                     | Some (Value.String "default") ->
+                         default := PG.node_prop g m "value"
+                     | Some (Value.String "range") ->
+                         let bound k =
+                           match PG.node_prop g m k with
+                           | Some (Value.Float x) -> Some x
+                           | Some (Value.Int x) -> Some (float_of_int x)
+                           | _ -> None
+                         in
+                         range := (bound "lo", bound "hi")
+                     | _ -> ())
+                   (PG.neighbors_out ~label:"HAS_MODIFIER" g f);
+                 { pf_name = prop_string f "name";
+                   pf_ty =
+                     Option.value ~default:Value.TAny
+                       (Value.ty_of_string (prop_string f "type"));
+                   pf_nullable = prop_bool f "isOpt";
+                   pf_id = prop_bool f "isId";
+                   pf_unique = !unique;
+                   pf_enum = !enum;
+                   pf_default = !default;
+                   pf_range = !range })
+          |> List.sort compare
+        in
+        (name, fields))
+      preds
+    |> List.sort compare
+  in
+  let fks =
+    List.filter in_schema (PG.nodes_with_label g "ForeignKey")
+    |> List.map (fun id ->
+           let endp label =
+             match PG.neighbors_out ~label g id with
+             | p :: _ -> Hashtbl.find rel_name p
+             | [] -> Kgm_error.storage_error "fk without %s" label
+           in
+           { pfk_name = prop_string id "name";
+             pfk_source = endp "FK_FROM";
+             pfk_target = endp "FK_TO";
+             pfk_nullable = prop_bool id "isOpt" })
+    |> List.sort compare
+  in
+  assemble protos fks
+
+(* ------------------------------------------------------------------ *)
+
+let ddl = Kgm_relational.Sql.ddl
+
+let normalize (s : Rschema.t) =
+  let rels =
+    List.sort compare
+      (List.map
+         (fun (r : Rschema.relation) ->
+           { r with Rschema.r_fields = List.sort compare r.Rschema.r_fields })
+         s.Rschema.relations)
+  in
+  let fks =
+    List.sort compare
+      (List.map
+         (fun (fk : Rschema.foreign_key) ->
+           (* names are synthetic: compare up to endpoints and fields *)
+           { fk with Rschema.fk_name = "" })
+         s.Rschema.foreign_keys)
+  in
+  (rels, fks)
+
+let equal_schema a b = normalize a = normalize b

@@ -1,0 +1,35 @@
+(** The relational target model (paper, Sec. 5.3 / Figs. 7-8).
+
+    Constructs: [Relation] (: SM_Type), [Field] (: SM_Attribute),
+    [Predicate] (: SM_Node) connecting a Relation to its Fields,
+    [ForeignKey] (: SM_Edge) constraining source fields to the key of
+    the target relation.
+
+    The Eliminate phase normalizes the super-schema so only
+    FK-convertible edges survive: one-to-many edges are re-pointed from
+    the many side to the one side and their attributes move to the many
+    side; many-to-many edges become bridge Predicates with two outgoing
+    FKs; generalizations become one relation per member, each child
+    carrying a copy of the inherited identifying attributes and an IS_A
+    foreign key to its parent (the strategy the paper adopts).
+
+    The decoded schema is a {!Kgm_relational.Rschema.t}, so the
+    enforcement artifact is plain SQL DDL via {!Kgm_relational.Sql}. *)
+
+val mapping : ?strategy:string -> unit -> Kgmodel.Ssst.mapping
+(** Only the paper's ["relation-per-member"] strategy is rule-encoded. *)
+
+val strategies : string list
+
+val translate_native : Kgmodel.Supermodel.t -> Kgm_relational.Rschema.t
+(** Direct OCaml implementation: the differential oracle. *)
+
+val decode : Kgmodel.Dictionary.t -> int -> Kgm_relational.Rschema.t
+
+val ddl : Kgm_relational.Rschema.t -> string
+(** The Fig. 8 artifact rendered as SQL DDL. *)
+
+val equal_schema :
+  Kgm_relational.Rschema.t -> Kgm_relational.Rschema.t -> bool
+(** Order-insensitive comparison (relations, fields, FKs sorted;
+    FK names ignored up to source/target equality). *)

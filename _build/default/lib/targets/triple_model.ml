@@ -1,0 +1,147 @@
+(** The triple-store target model (RDF-S; paper Sec. 2.2: "for RDF
+    stores, schemas can be rendered as RDF-S documents, to be validated
+    by dedicated tools").
+
+    Unlike the PG and relational targets, RDF-S natively supports
+    generalizations (rdfs:subClassOf), so the Eliminate phase is the
+    identity: every super-construct maps one-to-one —
+    SM_Node -> rdfs:Class, SM_Attribute -> DatatypeProperty with
+    rdfs:domain, SM_Edge -> ObjectProperty with rdfs:domain/rdfs:range,
+    SM_Generalization -> rdfs:subClassOf. Because the mapping is a pure
+    renaming, it is implemented natively; the MetaLog machinery would
+    be a trivial copy. *)
+
+open Kgm_common
+module Supermodel = Kgmodel.Supermodel
+
+type class_def = {
+  c_name : string;
+  c_super : string option;
+  c_intensional : bool;
+}
+
+type property_def = {
+  pr_name : string;
+  pr_kind : [ `Datatype of Value.ty | `Object of string (* range class *) ];
+  pr_domain : string;
+  pr_functional : bool;
+  pr_intensional : bool;
+}
+
+type schema = {
+  classes : class_def list;
+  properties : property_def list;
+}
+
+let translate_native (s : Supermodel.t) =
+  let classes =
+    List.map
+      (fun (n : Supermodel.node) ->
+        { c_name = n.Supermodel.n_name;
+          c_super = Supermodel.parent_of s n.Supermodel.n_name;
+          c_intensional = n.Supermodel.n_intensional })
+      s.Supermodel.nodes
+  in
+  let data_props =
+    List.concat_map
+      (fun (n : Supermodel.node) ->
+        List.map
+          (fun (a : Supermodel.attribute) ->
+            { pr_name = n.Supermodel.n_name ^ "_" ^ a.Supermodel.at_name;
+              pr_kind = `Datatype a.Supermodel.at_ty;
+              pr_domain = n.Supermodel.n_name;
+              pr_functional = true;
+              pr_intensional = a.Supermodel.at_intensional })
+          n.Supermodel.n_attrs)
+      s.Supermodel.nodes
+  in
+  let object_props =
+    List.map
+      (fun (e : Supermodel.edge) ->
+        { pr_name = e.Supermodel.e_name;
+          pr_kind = `Object e.Supermodel.e_to;
+          pr_domain = e.Supermodel.e_from;
+          pr_functional = e.Supermodel.e_fun1;
+          pr_intensional = e.Supermodel.e_intensional })
+      s.Supermodel.edges
+  in
+  (* edge attributes require reification in plain RDF-S; they become
+     datatype properties of the reified statement class *)
+  let reified =
+    List.concat_map
+      (fun (e : Supermodel.edge) ->
+        if e.Supermodel.e_attrs = [] then []
+        else
+          List.map
+            (fun (a : Supermodel.attribute) ->
+              { pr_name = e.Supermodel.e_name ^ "_" ^ a.Supermodel.at_name;
+                pr_kind = `Datatype a.Supermodel.at_ty;
+                pr_domain = e.Supermodel.e_name ^ "Statement";
+                pr_functional = true;
+                pr_intensional = a.Supermodel.at_intensional })
+            e.Supermodel.e_attrs)
+      s.Supermodel.edges
+  in
+  let reified_classes =
+    List.filter_map
+      (fun (e : Supermodel.edge) ->
+        if e.Supermodel.e_attrs = [] then None
+        else
+          Some
+            { c_name = e.Supermodel.e_name ^ "Statement";
+              c_super = None;
+              c_intensional = e.Supermodel.e_intensional })
+      s.Supermodel.edges
+  in
+  { classes = classes @ reified_classes;
+    properties = data_props @ object_props @ reified }
+
+let xsd_type = function
+  | Value.TInt -> "xsd:integer"
+  | Value.TFloat -> "xsd:double"
+  | Value.TString -> "xsd:string"
+  | Value.TBool -> "xsd:boolean"
+  | Value.TDate -> "xsd:date"
+  | Value.TId -> "xsd:anyURI"
+  | Value.TAny -> "rdfs:Literal"
+
+(** The RDF-S enforcement artifact, in Turtle syntax. *)
+let to_rdfs ?(prefix = "http://kgmodel.example.org/schema#") s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "@prefix : <%s> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\n"
+       prefix);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf ":%s a rdfs:Class" c.c_name);
+      (match c.c_super with
+       | Some p -> Buffer.add_string buf (Printf.sprintf " ;\n    rdfs:subClassOf :%s" p)
+       | None -> ());
+      if c.c_intensional then
+        Buffer.add_string buf " ;\n    rdfs:comment \"intensional\"";
+      Buffer.add_string buf " .\n")
+    s.classes;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      (match p.pr_kind with
+       | `Datatype ty ->
+           Buffer.add_string buf
+             (Printf.sprintf
+                ":%s a owl:DatatypeProperty ;\n    rdfs:domain :%s ;\n    rdfs:range %s"
+                p.pr_name p.pr_domain (xsd_type ty))
+       | `Object range ->
+           Buffer.add_string buf
+             (Printf.sprintf
+                ":%s a owl:ObjectProperty ;\n    rdfs:domain :%s ;\n    rdfs:range :%s"
+                p.pr_name p.pr_domain range));
+      if p.pr_functional then
+        Buffer.add_string buf " ;\n    a owl:FunctionalProperty";
+      if p.pr_intensional then
+        Buffer.add_string buf " ;\n    rdfs:comment \"intensional\"";
+      Buffer.add_string buf " .\n")
+    s.properties;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/vadalog/analysis.ml: Array Kgm_common Kgm_error List Map Printf Queue Rule Set String Term

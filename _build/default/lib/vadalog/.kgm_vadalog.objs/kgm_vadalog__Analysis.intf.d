@@ -1,0 +1,1 @@
+lib/vadalog/analysis.mli: Map Rule Set

@@ -1,0 +1,1 @@
+lib/vadalog/database.ml: Array Format Hashtbl Kgm_common List String Value

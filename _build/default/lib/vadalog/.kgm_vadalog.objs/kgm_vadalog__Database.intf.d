@@ -1,0 +1,1 @@
+lib/vadalog/database.mli: Format Kgm_common Value

@@ -1,0 +1,1 @@
+lib/vadalog/engine.ml: Analysis Array Database Expr Format Hashtbl Kgm_common Kgm_error List Option Rule String Term Unix Value

@@ -1,0 +1,1 @@
+lib/vadalog/engine.mli: Database Format Kgm_common Rule

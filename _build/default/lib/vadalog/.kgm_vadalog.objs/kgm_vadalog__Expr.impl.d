@@ -1,0 +1,1 @@
+lib/vadalog/expr.ml: Float Format Hashtbl Kgm_common List Oid String Value

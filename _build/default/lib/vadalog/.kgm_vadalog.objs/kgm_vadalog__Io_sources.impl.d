@@ -1,0 +1,1 @@
+lib/vadalog/io_sources.ml: Array Database Kgm_common Kgm_error List Rule String Value

@@ -1,0 +1,1 @@
+lib/vadalog/lexer.ml: Buffer Kgm_common Kgm_error List Printf String

@@ -1,0 +1,1 @@
+lib/vadalog/parser.ml: Expr Format Kgm_common Kgm_error Lexer List Option Printf Rule String Term Value

@@ -1,0 +1,1 @@
+lib/vadalog/parser.mli: Rule

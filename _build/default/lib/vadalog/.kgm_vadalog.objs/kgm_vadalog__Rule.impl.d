@@ -1,0 +1,1 @@
+lib/vadalog/rule.ml: Expr Format Hashtbl Kgm_common List Printf String Term Value

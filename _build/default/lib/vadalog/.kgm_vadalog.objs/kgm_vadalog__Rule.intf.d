@@ -1,0 +1,1 @@
+lib/vadalog/rule.mli: Expr Format Kgm_common Term Value

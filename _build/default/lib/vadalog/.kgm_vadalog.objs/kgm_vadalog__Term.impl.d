@@ -1,0 +1,1 @@
+lib/vadalog/term.ml: Format Kgm_common List String Value

@@ -1,0 +1,323 @@
+(** Static analysis of Vadalog programs: predicate dependency graph,
+    stratification (negation and stratified aggregation must not occur
+    in recursive cycles), the wardedness check that gives the PTIME
+    guarantee of Sec. 4, and the star-restriction used by MetaLog
+    (Kleene star only in non-recursive programs). *)
+
+open Kgm_common
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type edge_kind = Positive | Negative | Aggregated
+
+type dep_edge = {
+  from_pred : string;   (** body predicate *)
+  to_pred : string;     (** head predicate *)
+  kind : edge_kind;
+  via_rule : int;       (** index in program rule list *)
+}
+
+type t = {
+  preds : SSet.t;
+  edges : dep_edge list;
+  strata : string list list;   (** bottom-up; each stratum is a pred set *)
+  stratum_of : int SMap.t;
+}
+
+let head_preds (r : Rule.rule) = List.map (fun (a : Rule.atom) -> a.Rule.pred) r.head
+
+let body_pred_literals (r : Rule.rule) =
+  List.filter_map
+    (function
+      | Rule.Pos a -> Some (a.Rule.pred, Positive)
+      | Rule.Neg a -> Some (a.Rule.pred, Negative)
+      | Rule.Cond _ | Rule.Assign _ | Rule.Agg _ -> None)
+    r.body
+
+let rule_has_stratified_agg (r : Rule.rule) =
+  List.exists
+    (function
+      | Rule.Agg g -> g.Rule.mode = Rule.Stratified
+      | _ -> false)
+    r.body
+
+let dependency_edges (p : Rule.program) =
+  List.concat
+    (List.mapi
+       (fun i r ->
+         let strat_agg = rule_has_stratified_agg r in
+         List.concat_map
+           (fun h ->
+             List.map
+               (fun (b, kind) ->
+                 let kind =
+                   match kind with
+                   | Positive when strat_agg -> Aggregated
+                   | k -> k
+                 in
+                 { from_pred = b; to_pred = h; kind; via_rule = i })
+               (body_pred_literals r))
+           (head_preds r))
+       p.Rule.rules)
+
+let all_preds (p : Rule.program) =
+  let s = ref SSet.empty in
+  List.iter (fun (pred, _) -> s := SSet.add pred !s) p.Rule.facts;
+  List.iter
+    (fun r ->
+      List.iter (fun pr -> s := SSet.add pr !s) (head_preds r);
+      List.iter (fun (pr, _) -> s := SSet.add pr !s) (body_pred_literals r))
+    p.Rule.rules;
+  !s
+
+(* Tarjan-free SCC via Kosaraju over the small predicate graph. *)
+let pred_sccs preds edges =
+  let pred_list = SSet.elements preds in
+  let index = List.mapi (fun i p -> (p, i)) pred_list in
+  let idx p = List.assoc p index in
+  let n = List.length pred_list in
+  let succ = Array.make n [] and pred_adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      let u = idx e.from_pred and v = idx e.to_pred in
+      succ.(u) <- v :: succ.(u);
+      pred_adj.(v) <- u :: pred_adj.(v))
+    edges;
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs1 v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs1 succ.(v);
+      order := v :: !order
+    end
+  in
+  for v = 0 to n - 1 do
+    dfs1 v
+  done;
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let rec dfs2 v c =
+    if comp.(v) = -1 then begin
+      comp.(v) <- c;
+      List.iter (fun u -> dfs2 u c) pred_adj.(v)
+    end
+  in
+  List.iter
+    (fun v ->
+      if comp.(v) = -1 then begin
+        dfs2 v !next;
+        incr next
+      end)
+    !order;
+  let arr = Array.of_list pred_list in
+  let groups = Array.make !next [] in
+  Array.iteri (fun v c -> groups.(c) <- arr.(v) :: groups.(c)) comp;
+  (groups, fun p -> comp.(idx p))
+
+(** Compute strata. Raises [Kgm_error.Error] when a negative or
+    stratified-aggregation edge lies inside a recursive component. *)
+let stratify (p : Rule.program) =
+  let preds = all_preds p in
+  let edges = dependency_edges p in
+  let groups, comp_of = pred_sccs preds edges in
+  List.iter
+    (fun e ->
+      if e.kind <> Positive && comp_of e.from_pred = comp_of e.to_pred then
+        Kgm_error.validate_error
+          "program is not stratifiable: %s dependency %s -> %s inside a cycle"
+          (match e.kind with Negative -> "negative" | _ -> "aggregated")
+          e.from_pred e.to_pred)
+    edges;
+  (* topological order of components: component c depends on c' when an
+     edge goes from a pred of c' to a pred of c *)
+  let nc = Array.length groups in
+  let succ = Array.make nc SSet.empty in
+  let indeg = Array.make nc 0 in
+  List.iter
+    (fun e ->
+      let cu = comp_of e.from_pred and cv = comp_of e.to_pred in
+      if cu <> cv && not (SSet.mem (string_of_int cv) succ.(cu)) then begin
+        succ.(cu) <- SSet.add (string_of_int cv) succ.(cu);
+        indeg.(cv) <- indeg.(cv) + 1
+      end)
+    edges;
+  let queue = Queue.create () in
+  Array.iteri (fun c d -> if d = 0 then Queue.add c queue) indeg;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    order := c :: !order;
+    SSet.iter
+      (fun cv ->
+        let cv = int_of_string cv in
+        indeg.(cv) <- indeg.(cv) - 1;
+        if indeg.(cv) = 0 then Queue.add cv queue)
+      succ.(c)
+  done;
+  let order = List.rev !order in
+  let strata = List.map (fun c -> groups.(c)) order in
+  let stratum_of =
+    List.fold_left
+      (fun (i, m) group ->
+        (i + 1, List.fold_left (fun m p -> SMap.add p i m) m group))
+      (0, SMap.empty) strata
+    |> snd
+  in
+  { preds; edges; strata; stratum_of }
+
+let is_recursive_program (p : Rule.program) =
+  let preds = all_preds p in
+  let edges = dependency_edges p in
+  let _, comp_of = pred_sccs preds edges in
+  List.exists (fun e -> comp_of e.from_pred = comp_of e.to_pred) edges
+
+(* ------------------------------------------------------------------ *)
+(* Wardedness                                                           *)
+
+type position = string * int (* predicate, argument index *)
+
+module PSet = Set.Make (struct
+  type t = position
+
+  let compare = compare
+end)
+
+(** Affected positions: positions that may host labeled nulls. Base:
+    head positions of existentially quantified variables; propagation:
+    when every body occurrence of a variable is in an affected position,
+    its head positions become affected. *)
+let affected_positions (p : Rule.program) =
+  let affected = ref PSet.empty in
+  let add pos = affected := PSet.add pos !affected in
+  let changed = ref true in
+  (* base case *)
+  List.iter
+    (fun r ->
+      let ex = Rule.existential_vars r in
+      List.iter
+        (fun (a : Rule.atom) ->
+          List.iteri
+            (fun i t ->
+              match t with
+              | Term.Var v when List.mem v ex -> add (a.Rule.pred, i)
+              | _ -> ())
+            a.Rule.args)
+        r.Rule.head)
+    p.Rule.rules;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.rule) ->
+        let body_atoms =
+          List.filter_map
+            (function Rule.Pos a -> Some a | _ -> None)
+            r.Rule.body
+        in
+        let var_positions v =
+          List.concat_map
+            (fun (a : Rule.atom) ->
+              List.concat
+                (List.mapi
+                   (fun i t ->
+                     match t with
+                     | Term.Var v' when v' = v -> [ (a.Rule.pred, i) ]
+                     | _ -> [])
+                   a.Rule.args))
+            body_atoms
+        in
+        let body_bound = Rule.body_vars r.Rule.body in
+        List.iter
+          (fun v ->
+            let poss = var_positions v in
+            if poss <> [] && List.for_all (fun p -> PSet.mem p !affected) poss
+            then
+              (* v may carry a null: propagate to its head positions *)
+              List.iter
+                (fun (a : Rule.atom) ->
+                  List.iteri
+                    (fun i t ->
+                      match t with
+                      | Term.Var v' when v' = v ->
+                          let pos = (a.Rule.pred, i) in
+                          if not (PSet.mem pos !affected) then begin
+                            add pos;
+                            changed := true
+                          end
+                      | _ -> ())
+                    a.Rule.args)
+                r.Rule.head)
+          body_bound)
+      p.Rule.rules
+  done;
+  !affected
+
+type ward_report = {
+  warded : bool;
+  violations : string list;
+  affected : position list;
+}
+
+(** A rule is warded when its {e dangerous} variables (variables
+    occurring only in affected positions in the body and appearing in
+    the head) all occur in one single body atom (the ward). *)
+let wardedness (p : Rule.program) =
+  let affected = affected_positions p in
+  let violations = ref [] in
+  List.iteri
+    (fun ri (r : Rule.rule) ->
+      let body_atoms =
+        List.filter_map (function Rule.Pos a -> Some a | _ -> None) r.Rule.body
+      in
+      let hvars = Rule.head_vars r.Rule.head in
+      let dangerous =
+        List.filter
+          (fun v ->
+            let poss =
+              List.concat_map
+                (fun (a : Rule.atom) ->
+                  List.concat
+                    (List.mapi
+                       (fun i t ->
+                         match t with
+                         | Term.Var v' when v' = v -> [ (a.Rule.pred, i) ]
+                         | _ -> [])
+                       a.Rule.args))
+                body_atoms
+            in
+            poss <> []
+            && List.for_all (fun pos -> PSet.mem pos affected) poss
+            && List.mem v hvars)
+          (Rule.body_vars r.Rule.body)
+      in
+      if dangerous <> [] then begin
+        (* all dangerous variables must co-occur in a single atom *)
+        let in_single_atom =
+          List.exists
+            (fun (a : Rule.atom) ->
+              let avars = Rule.atom_vars a in
+              List.for_all (fun v -> List.mem v avars) dangerous)
+            body_atoms
+        in
+        if not in_single_atom then
+          violations :=
+            Printf.sprintf "rule %d: dangerous variables {%s} have no ward" ri
+              (String.concat ", " dangerous)
+            :: !violations
+      end)
+    p.Rule.rules;
+  { warded = !violations = [];
+    violations = List.rev !violations;
+    affected = PSet.elements affected }
+
+(* ------------------------------------------------------------------ *)
+
+let safety_report (p : Rule.program) =
+  List.concat
+    (List.mapi
+       (fun i r ->
+         List.map
+           (Printf.sprintf "rule %d: %s" i)
+           (Rule.check_safety { r with Rule.name = "" }))
+       p.Rule.rules)

@@ -1,0 +1,55 @@
+(** Static analysis of Vadalog programs (paper, Sec. 4): the predicate
+    dependency graph, stratification, and the {e wardedness} check
+    behind the PTIME data-complexity guarantee. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+
+type edge_kind =
+  | Positive    (** plain positive dependency (monotonic aggregates too) *)
+  | Negative    (** through stratified negation *)
+  | Aggregated  (** through a stratified aggregate *)
+
+type dep_edge = {
+  from_pred : string;
+  to_pred : string;
+  kind : edge_kind;
+  via_rule : int;  (** index in the program's rule list *)
+}
+
+type t = {
+  preds : SSet.t;
+  edges : dep_edge list;
+  strata : string list list;  (** bottom-up predicate groups *)
+  stratum_of : int SMap.t;
+}
+
+val dependency_edges : Rule.program -> dep_edge list
+
+val stratify : Rule.program -> t
+(** Raises [Kgm_error.Error] ([Validate]) when a negative or
+    stratified-aggregation dependency lies on a cycle. *)
+
+val is_recursive_program : Rule.program -> bool
+
+(** {1 Wardedness} *)
+
+type position = string * int
+(** (predicate, argument index) *)
+
+type ward_report = {
+  warded : bool;
+  violations : string list;
+  affected : position list;
+      (** positions that may host labeled nulls (the affected-position
+          fixpoint) *)
+}
+
+val wardedness : Rule.program -> ward_report
+(** A rule is warded when its dangerous variables (body variables that
+    occur only in affected positions and propagate to the head) all
+    co-occur in one single body atom — the ward. *)
+
+val safety_report : Rule.program -> string list
+(** Range-restriction violations: unbound variables in negations,
+    conditions, assignments or aggregates. Empty = safe. *)

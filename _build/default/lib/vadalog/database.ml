@@ -1,0 +1,110 @@
+(** Fact store of the Vadalog engine: per-predicate sets of tuples with
+    lazily built hash indexes on bound-position patterns. *)
+
+open Kgm_common
+
+type fact = Value.t array
+
+let fact_key (f : fact) = Array.to_list f
+
+type pred_store = {
+  mutable facts : fact list;                     (* reverse insertion order *)
+  mutable count : int;
+  set : (Value.t list, unit) Hashtbl.t;
+  indexes : (int list, (Value.t list, fact list ref) Hashtbl.t) Hashtbl.t;
+}
+
+type t = { preds : (string, pred_store) Hashtbl.t; mutable total : int }
+
+let create () = { preds = Hashtbl.create 64; total = 0 }
+
+let store t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | Some s -> s
+  | None ->
+      let s =
+        { facts = []; count = 0; set = Hashtbl.create 256; indexes = Hashtbl.create 4 }
+      in
+      Hashtbl.add t.preds pred s;
+      s
+
+let index_key positions fact = List.map (fun i -> fact.(i)) positions
+
+let index_insert idx positions fact =
+  let k = index_key positions fact in
+  match Hashtbl.find_opt idx k with
+  | Some l -> l := fact :: !l
+  | None -> Hashtbl.add idx k (ref [ fact ])
+
+(** [add t pred fact] returns [true] when the fact is new. *)
+let add t pred fact =
+  let s = store t pred in
+  let k = fact_key fact in
+  if Hashtbl.mem s.set k then false
+  else begin
+    Hashtbl.add s.set k ();
+    s.facts <- fact :: s.facts;
+    s.count <- s.count + 1;
+    t.total <- t.total + 1;
+    Hashtbl.iter (fun positions idx -> index_insert idx positions fact) s.indexes;
+    true
+  end
+
+let mem t pred fact =
+  match Hashtbl.find_opt t.preds pred with
+  | Some s -> Hashtbl.mem s.set (fact_key fact)
+  | None -> false
+
+let facts t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | Some s -> List.rev s.facts
+  | None -> []
+
+let count t pred =
+  match Hashtbl.find_opt t.preds pred with Some s -> s.count | None -> 0
+
+let total t = t.total
+
+let predicates t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.preds [] |> List.sort String.compare
+
+(** Facts whose values at [positions] equal [key]. Builds (and then
+    maintains) a hash index for the position pattern on first use; an
+    empty pattern is a full scan. *)
+let lookup t pred positions key =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> []
+  | Some s ->
+      if positions = [] then List.rev s.facts
+      else begin
+        let idx =
+          match Hashtbl.find_opt s.indexes positions with
+          | Some idx -> idx
+          | None ->
+              let idx = Hashtbl.create (max 64 s.count) in
+              List.iter (fun f -> index_insert idx positions f) s.facts;
+              Hashtbl.add s.indexes positions idx;
+              idx
+        in
+        match Hashtbl.find_opt idx key with
+        | Some l -> List.rev !l
+        | None -> []
+      end
+
+let copy t =
+  let t' = create () in
+  Hashtbl.iter
+    (fun pred s ->
+      List.iter (fun f -> ignore (add t' pred (Array.copy f))) (List.rev s.facts))
+    t.preds;
+  t'
+
+let pp ppf t =
+  List.iter
+    (fun pred ->
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "%s(%s).@." pred
+            (String.concat ", " (List.map Value.to_string (Array.to_list f))))
+        (facts t pred))
+    (predicates t)

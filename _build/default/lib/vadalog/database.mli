@@ -1,0 +1,39 @@
+(** Fact store of the Vadalog engine: per-predicate sets of tuples with
+    lazily built hash indexes on bound-position patterns. Duplicate
+    facts are silently ignored (set semantics). *)
+
+open Kgm_common
+
+type fact = Value.t array
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> fact -> bool
+(** [add db pred fact] inserts and returns [true] when the fact is new.
+    Existing indexes on the predicate are maintained incrementally. *)
+
+val mem : t -> string -> fact -> bool
+
+val facts : t -> string -> fact list
+(** Facts of a predicate in insertion order; [[]] for unknown
+    predicates. *)
+
+val count : t -> string -> int
+val total : t -> int
+
+val predicates : t -> string list
+(** Every predicate with at least one fact, sorted. *)
+
+val lookup : t -> string -> int list -> Value.t list -> fact list
+(** [lookup db pred positions key]: the facts whose values at
+    [positions] (ascending) equal [key] pointwise. Builds a hash index
+    for the position pattern on first use; the empty pattern is a full
+    scan. *)
+
+val copy : t -> t
+(** Deep copy (facts are copied; indexes are rebuilt lazily). *)
+
+val pp : Format.formatter -> t -> unit
+(** Every fact as [pred(v1, ..., vn).] lines, predicates sorted. *)

@@ -1,0 +1,784 @@
+(** The reasoning engine: a restricted chase over warded programs with
+    stratified negation, stratified and monotonic aggregation, and
+    semi-naive evaluation.
+
+    The semantics follows Sec. 4 of the paper: for each satisfied body
+    φ(t,t'), a tuple t'' of constants and fresh labeled nulls is invented
+    so that ψ(t,t'') holds. Termination on warded programs is obtained
+    with the {e restricted} chase: an existential head is only
+    instantiated when no homomorphic image of it already exists in the
+    database. The oblivious variant (no check) is kept for the ABL-1
+    ablation, guarded by the fact budget. *)
+
+open Kgm_common
+
+type options = {
+  semi_naive : bool;        (** ABL-2: false = naive re-evaluation *)
+  restricted_chase : bool;  (** ABL-1: false = oblivious chase *)
+  isomorphic_nulls : bool;  (** match nulls up to renaming in the
+                                satisfaction check (Vadalog-style
+                                termination for warded programs) *)
+  reorder_body : bool;      (** ABL-4: greedy join ordering of bodies *)
+  max_facts : int;          (** hard budget; exceeded -> Reason error *)
+  max_rounds : int;
+  check_wardedness : bool;  (** reject non-warded programs *)
+}
+
+let default_options =
+  { semi_naive = true;
+    restricted_chase = true;
+    isomorphic_nulls = true;
+    reorder_body = false;
+    max_facts = 5_000_000;
+    max_rounds = 1_000_000;
+    check_wardedness = false }
+
+type stats = {
+  rounds : int;
+  new_facts : int;
+  elapsed_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Provenance: the first derivation recorded for each derived fact      *)
+
+type derivation = {
+  via_rule : string;                       (* pp of the firing rule *)
+  parents : (string * Value.t array) list; (* body facts that matched *)
+}
+
+type provenance = (string * Value.t list, derivation) Hashtbl.t
+
+let create_provenance () : provenance = Hashtbl.create 256
+
+let explain (prov : provenance) pred fact =
+  Hashtbl.find_opt prov (pred, Array.to_list fact)
+
+let rec pp_derivation_tree (prov : provenance) ppf (pred, fact) =
+  let pp_fact ppf (p, f) =
+    Format.fprintf ppf "%s(%s)" p
+      (String.concat ", " (Array.to_list (Array.map Value.to_string f)))
+  in
+  Format.fprintf ppf "@[<v 2>%a" pp_fact (pred, fact);
+  (match explain prov pred fact with
+   | Some d ->
+       Format.fprintf ppf "  <- %s" d.via_rule;
+       List.iter
+         (fun (p, f) ->
+           Format.fprintf ppf "@,%a" (pp_derivation_tree prov) (p, f))
+         d.parents
+   | None -> Format.fprintf ppf "  (ground)");
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Bindings with trail-based backtracking                               *)
+
+type env = {
+  tbl : (string, Value.t) Hashtbl.t;
+  mutable trail : string list;
+}
+
+let env_create () = { tbl = Hashtbl.create 32; trail = [] }
+
+let env_mark env = List.length env.trail
+
+let env_undo env mark =
+  while List.length env.trail > mark do
+    match env.trail with
+    | v :: rest ->
+        Hashtbl.remove env.tbl v;
+        env.trail <- rest
+    | [] -> ()
+  done
+
+let env_bind env v value =
+  Hashtbl.replace env.tbl v value;
+  env.trail <- v :: env.trail
+
+let env_lookup env v = Hashtbl.find_opt env.tbl v
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation state (persists across rounds within a run)              *)
+
+type group_state = {
+  seen : (Value.t list, unit) Hashtbl.t;  (* contributor/dedup keys *)
+  mutable acc : Value.t option;
+  mutable n : int;
+}
+
+type agg_state = (Value.t list, group_state) Hashtbl.t
+
+let agg_step op acc v =
+  match op, acc with
+  | Rule.Count, None -> Value.Int 1
+  | Rule.Count, Some (Value.Int c) -> Value.Int (c + 1)
+  | Rule.Count, Some a -> a
+  | Rule.Sum, None -> v
+  | Rule.Sum, Some a ->
+      (match a, v with
+       | Value.Int x, Value.Int y -> Value.Int (x + y)
+       | _ ->
+           (match Value.as_float a, Value.as_float v with
+            | Some x, Some y -> Value.Float (x +. y)
+            | _ -> Kgm_error.reason_error "sum over non-numeric values"))
+  | Rule.Prod, None -> v
+  | Rule.Prod, Some a ->
+      (match Value.as_float a, Value.as_float v with
+       | Some x, Some y -> Value.Float (x *. y)
+       | _ -> Kgm_error.reason_error "prod over non-numeric values")
+  | Rule.Min, None -> v
+  | Rule.Min, Some a -> if Value.compare v a < 0 then v else a
+  | Rule.Max, None -> v
+  | Rule.Max, Some a -> if Value.compare v a > 0 then v else a
+  | Rule.Pack, None -> Value.List [ v ]
+  | Rule.Pack, Some (Value.List l) -> Value.List (l @ [ v ])
+  | Rule.Pack, Some a -> Value.List [ a; v ]
+
+(* ------------------------------------------------------------------ *)
+(* Prepared rules                                                       *)
+
+type prepared = {
+  rule : Rule.rule;
+  rule_id : int;
+  existentials : string list;
+  (* for every monotonic/stratified aggregate literal (at most one
+     stratified supported), the variables forming the group key *)
+  group_vars : (int * string list) list;  (* literal index -> group vars *)
+  strat_agg_index : int option;           (* index of a Stratified Agg literal *)
+}
+
+let vars_after body i =
+  let rest = List.filteri (fun j _ -> j > i) body in
+  List.sort_uniq String.compare
+    (List.concat_map
+       (function
+         | Rule.Pos a | Rule.Neg a -> Rule.atom_vars a
+         | Rule.Cond e -> Expr.vars e
+         | Rule.Assign (x, e) -> x :: Expr.vars e
+         | Rule.Agg g -> (g.Rule.result :: g.Rule.contributors) @ Expr.vars g.Rule.weight)
+       rest)
+
+let bound_before body i =
+  let prefix = List.filteri (fun j _ -> j < i) body in
+  Rule.body_vars prefix
+
+(* Greedy join ordering: bound-variable count (plus constants) first,
+   then fewer free variables; non-atom literals run as soon as their
+   inputs are bound. Rules with aggregates are left untouched — their
+   semantics depend on the written literal order. *)
+let reorder_rule ?db (r : Rule.rule) =
+  let has_agg =
+    List.exists (function Rule.Agg _ -> true | _ -> false) r.Rule.body
+  in
+  if has_agg then r
+  else begin
+    let items = Array.of_list r.Rule.body in
+    let n = Array.length items in
+    let used = Array.make n false in
+    let bound = Hashtbl.create 16 in
+    let is_bound v = Hashtbl.mem bound v in
+    let result = ref [] in
+    let add i =
+      used.(i) <- true;
+      List.iter
+        (fun v -> Hashtbl.replace bound v ())
+        (Rule.literal_body_bound items.(i));
+      result := items.(i) :: !result
+    in
+    let ready = function
+      | Rule.Pos _ | Rule.Agg _ -> false
+      | Rule.Neg a -> List.for_all is_bound (Rule.atom_vars a)
+      | Rule.Cond e -> List.for_all is_bound (Expr.vars e)
+      | Rule.Assign (x, e) ->
+          List.for_all (fun v -> v = x || is_bound v) (Expr.vars e)
+    in
+    let flush_ready () =
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for i = 0 to n - 1 do
+          if (not used.(i)) && ready items.(i) then begin
+            add i;
+            progress := true
+          end
+        done
+      done
+    in
+    flush_ready ();
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      let best_score = ref (min_int, min_int, min_int) in
+      for i = n - 1 downto 0 do
+        if not used.(i) then
+          match items.(i) with
+          | Rule.Pos a ->
+              let anchors =
+                List.fold_left
+                  (fun acc t ->
+                    match t with
+                    | Term.Const _ -> acc + 1
+                    | Term.Var v -> if is_bound v then acc + 1 else acc)
+                  0 a.Rule.args
+              in
+              (* estimated fan-out: an unanchored atom scans the whole
+                 predicate; prefer smaller base cardinalities *)
+              let card =
+                match db with
+                | Some db -> Database.count db a.Rule.pred
+                | None -> 0
+              in
+              let free = List.length a.Rule.args - anchors in
+              let score = ((if anchors > 0 then 1 else 0), -free, -card) in
+              (* >= so earlier literals win ties (stability) *)
+              if score >= !best_score then begin
+                best_score := score;
+                best := i
+              end
+          | _ -> ()
+      done;
+      if !best >= 0 then begin
+        add !best;
+        flush_ready ()
+      end
+      else continue := false
+    done;
+    (* leftovers (unsafe rules are rejected elsewhere) keep their order *)
+    for i = 0 to n - 1 do
+      if not used.(i) then add i
+    done;
+    { r with Rule.body = List.rev !result }
+  end
+
+let prepare rule_id (r : Rule.rule) =
+  let hvars = Rule.head_vars r.Rule.head in
+  let group_vars =
+    List.concat
+      (List.mapi
+         (fun i lit ->
+           match lit with
+           | Rule.Agg g ->
+               let before = bound_before r.Rule.body i in
+               let after = vars_after r.Rule.body i in
+               let used v = List.mem v hvars || List.mem v after in
+               let gv =
+                 List.filter
+                   (fun v ->
+                     used v
+                     && (not (List.mem v g.Rule.contributors))
+                     && v <> g.Rule.result)
+                   before
+               in
+               [ (i, gv) ]
+           | _ -> [])
+         r.Rule.body)
+  in
+  let strat_agg_index =
+    let rec find i = function
+      | [] -> None
+      | Rule.Agg g :: _ when g.Rule.mode = Rule.Stratified -> Some i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 r.Rule.body
+  in
+  (match strat_agg_index with
+   | Some i ->
+       let extra =
+         List.exists
+           (function Rule.Agg g -> g.Rule.mode = Rule.Stratified | _ -> false)
+           (List.filteri (fun j _ -> j > i) r.Rule.body)
+       in
+       if extra then
+         Kgm_error.validate_error "at most one stratified aggregate per rule"
+   | None -> ());
+  { rule = r;
+    rule_id;
+    existentials = Rule.existential_vars r;
+    group_vars;
+    strat_agg_index }
+
+(* ------------------------------------------------------------------ *)
+
+type run_state = {
+  db : Database.t;
+  opts : options;
+  mutable added : int;
+  agg_states : (int, agg_state) Hashtbl.t; (* rule_id -> state *)
+  prov : provenance option;
+  (* facts matched so far on the current evaluation path *)
+  mutable fact_trail : (string * Value.t array) list;
+}
+
+(* Labeled nulls are drawn from a process-wide counter: successive runs
+   over a shared database (e.g. the two phases of Algorithm 2) must
+   never re-issue a null already present in the facts. *)
+let global_null_counter = ref 0
+
+let fresh_null _st =
+  incr global_null_counter;
+  Value.Null !global_null_counter
+
+let term_value env = function
+  | Term.Const v -> Some v
+  | Term.Var x -> env_lookup env x
+
+(* Enumerate facts matching atom under env; call k for each extension. *)
+let match_atom st env (a : Rule.atom) ~facts_override k =
+  let args = Array.of_list a.Rule.args in
+  let n = Array.length args in
+  (* bound positions and their key values *)
+  let positions = ref [] and key = ref [] in
+  for i = n - 1 downto 0 do
+    match term_value env args.(i) with
+    | Some v ->
+        positions := i :: !positions;
+        key := v :: !key
+    | None -> ()
+  done;
+  let candidates =
+    match facts_override with
+    | Some fl ->
+        (* delta literal: linear filter on bound positions *)
+        List.filter
+          (fun f ->
+            List.for_all2 (fun i v -> Value.equal f.(i) v) !positions !key)
+          fl
+    | None -> Database.lookup st.db a.Rule.pred !positions !key
+  in
+  List.iter
+    (fun fact ->
+      if Array.length fact = n then begin
+        let mark = env_mark env in
+        let ok = ref true in
+        (try
+           for i = 0 to n - 1 do
+             match args.(i) with
+             | Term.Const v ->
+                 if not (Value.equal v fact.(i)) then raise Exit
+             | Term.Var x ->
+                 (match env_lookup env x with
+                  | Some v -> if not (Value.equal v fact.(i)) then raise Exit
+                  | None -> env_bind env x fact.(i))
+           done
+         with Exit -> ok := false);
+        if !ok then begin
+          (match st.prov with
+           | Some _ ->
+               st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
+               k ();
+               st.fact_trail <- List.tl st.fact_trail
+           | None -> k ())
+        end;
+        env_undo env mark
+      end)
+    candidates
+
+let ground_atom env (a : Rule.atom) =
+  Array.of_list
+    (List.map
+       (fun t ->
+         match term_value env t with
+         | Some v -> v
+         | None -> Kgm_error.reason_error "unbound variable in ground_atom")
+       a.Rule.args)
+
+(* Does the head have a homomorphic image in the database under env?
+   Backtracking over head atoms; existential vars accumulate bindings.
+
+   With [isomorphic_nulls] (the default, mirroring the Vadalog System's
+   termination strategy for warded programs), labeled nulls bound in the
+   body are matched {e up to consistent renaming onto other nulls}: the
+   head is considered satisfied when an image exists in which each body
+   null maps to some null, the same one at every occurrence. This is
+   what makes chases like [mgr(X,M) :- emp(X). emp(M) :- mgr(X,M).]
+   terminate while preserving certain answers over null-free facts. *)
+let head_satisfied st env (prep : prepared) =
+  let ex_env = Hashtbl.create 4 in
+  let null_map : (Value.t, Value.t) Hashtbl.t = Hashtbl.create 4 in
+  let iso = st.opts.isomorphic_nulls in
+  let rec go = function
+    | [] -> true
+    | (a : Rule.atom) :: rest ->
+        let args = Array.of_list a.Rule.args in
+        let n = Array.length args in
+        (* [`Rigid v]: the image is the term v itself (constants,
+           non-null body bindings, and already-chosen images of
+           existentials); [`Flex v]: a body-bound null, flexible up to
+           the consistent renaming in [null_map]; [`Free x]: an
+           existential without an image yet. *)
+        let requirement t =
+          match t with
+          | Term.Const v -> if iso && Value.is_null v then `Flex v else `Rigid v
+          | Term.Var x ->
+              (match env_lookup env x with
+               | Some v -> if iso && Value.is_null v then `Flex v else `Rigid v
+               | None ->
+                   (match Hashtbl.find_opt ex_env x with
+                    | Some v -> `Rigid v
+                    | None -> `Free x))
+        in
+        (* index only on rigid required values and already-mapped nulls *)
+        let positions = ref [] and key = ref [] in
+        for i = n - 1 downto 0 do
+          match requirement args.(i) with
+          | `Rigid v ->
+              positions := i :: !positions;
+              key := v :: !key
+          | `Flex v ->
+              (match Hashtbl.find_opt null_map v with
+               | Some mapped ->
+                   positions := i :: !positions;
+                   key := mapped :: !key
+               | None -> ())
+          | `Free _ -> ()
+        done;
+        let candidates = Database.lookup st.db a.Rule.pred !positions !key in
+        List.exists
+          (fun fact ->
+            Array.length fact = n
+            &&
+            let new_ex = ref [] and new_nulls = ref [] in
+            let ok = ref true in
+            (try
+               for i = 0 to n - 1 do
+                 match requirement args.(i) with
+                 | `Rigid v -> if not (Value.equal v fact.(i)) then raise Exit
+                 | `Flex v ->
+                     (* consistent renaming: one image per null *)
+                     (match Hashtbl.find_opt null_map v with
+                      | Some mapped ->
+                          if not (Value.equal mapped fact.(i)) then raise Exit
+                      | None ->
+                          Hashtbl.add null_map v fact.(i);
+                          new_nulls := v :: !new_nulls)
+                 | `Free x ->
+                     Hashtbl.add ex_env x fact.(i);
+                     new_ex := x :: !new_ex
+               done
+             with Exit -> ok := false);
+            let res = !ok && go rest in
+            if not res then begin
+              List.iter (Hashtbl.remove ex_env) !new_ex;
+              List.iter (Hashtbl.remove null_map) !new_nulls
+            end;
+            res)
+          candidates
+  in
+  go prep.rule.Rule.head
+
+let fire st env (prep : prepared) ~on_new =
+  let budget_check () =
+    if Database.total st.db > st.opts.max_facts then
+      Kgm_error.reason_error
+        "fact budget exceeded (%d facts): non-terminating chase?"
+        st.opts.max_facts
+  in
+  let record pred fact =
+    match st.prov with
+    | Some prov ->
+        let key = (pred, Array.to_list fact) in
+        if not (Hashtbl.mem prov key) then
+          Hashtbl.add prov key
+            { via_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
+              parents = List.rev st.fact_trail }
+    | None -> ()
+  in
+  if prep.existentials = [] then
+    List.iter
+      (fun a ->
+        let fact = ground_atom env a in
+        if Database.add st.db a.Rule.pred fact then begin
+          st.added <- st.added + 1;
+          budget_check ();
+          record a.Rule.pred fact;
+          on_new a.Rule.pred fact
+        end)
+      prep.rule.Rule.head
+  else if st.opts.restricted_chase && head_satisfied st env prep then ()
+  else begin
+    let mark = env_mark env in
+    List.iter (fun x -> env_bind env x (fresh_null st)) prep.existentials;
+    List.iter
+      (fun a ->
+        let fact = ground_atom env a in
+        if Database.add st.db a.Rule.pred fact then begin
+          st.added <- st.added + 1;
+          budget_check ();
+          record a.Rule.pred fact;
+          on_new a.Rule.pred fact
+        end)
+      prep.rule.Rule.head;
+    env_undo env mark
+  end
+
+(* Evaluate literals from position [i]; [delta] optionally designates a
+   literal index whose atom must range over the given fact list. *)
+let rec eval_literals st env (prep : prepared) body i ~delta ~on_new =
+  match body with
+  | [] -> fire st env prep ~on_new
+  | lit :: rest -> (
+      let continue () = eval_literals st env prep rest (i + 1) ~delta ~on_new in
+      match lit with
+      | Rule.Pos a ->
+          let facts_override =
+            match delta with
+            | Some (j, fl) when j = i -> Some fl
+            | _ -> None
+          in
+          match_atom st env a ~facts_override (fun () -> continue ())
+      | Rule.Neg a ->
+          let fact = ground_atom env a in
+          if not (Database.mem st.db a.Rule.pred fact) then continue ()
+      | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
+      | Rule.Assign (x, e) ->
+          let v = Expr.eval env.tbl e in
+          (match env_lookup env x with
+           | Some v' -> if Value.equal v v' then continue ()
+           | None ->
+               let mark = env_mark env in
+               env_bind env x v;
+               continue ();
+               env_undo env mark)
+      | Rule.Agg g when g.Rule.mode = Rule.Monotonic ->
+          let gv = List.assoc i prep.group_vars in
+          let group_key =
+            List.map
+              (fun v ->
+                match env_lookup env v with
+                | Some value -> value
+                | None -> Kgm_error.reason_error "unbound group variable %s" v)
+              gv
+          in
+          let contrib_key =
+            List.map
+              (fun v ->
+                match env_lookup env v with
+                | Some value -> value
+                | None -> Kgm_error.reason_error "unbound contributor %s" v)
+              g.Rule.contributors
+          in
+          let state =
+            match Hashtbl.find_opt st.agg_states prep.rule_id with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 64 in
+                Hashtbl.add st.agg_states prep.rule_id s;
+                s
+          in
+          let group =
+            match Hashtbl.find_opt state group_key with
+            | Some gstate -> gstate
+            | None ->
+                let gstate = { seen = Hashtbl.create 16; acc = None; n = 0 } in
+                Hashtbl.add state group_key gstate;
+                gstate
+          in
+          if not (Hashtbl.mem group.seen contrib_key) then begin
+            Hashtbl.add group.seen contrib_key ();
+            let w = Expr.eval env.tbl g.Rule.weight in
+            group.acc <- Some (agg_step g.Rule.op group.acc w);
+            group.n <- group.n + 1;
+            let mark = env_mark env in
+            env_bind env g.Rule.result (Option.get group.acc);
+            continue ();
+            env_undo env mark
+          end
+      | Rule.Agg _ ->
+          Kgm_error.reason_error
+            "stratified aggregate not handled inline (engine bug)")
+
+(* Stratified-aggregate rule: enumerate prefix, group, then run suffix
+   per group with only the group variables (plus result) in scope. *)
+let eval_stratified st (prep : prepared) agg_i ~on_new =
+  let body = prep.rule.Rule.body in
+  let prefix = List.filteri (fun j _ -> j < agg_i) body in
+  let suffix = List.filteri (fun j _ -> j > agg_i) body in
+  let g =
+    match List.nth body agg_i with
+    | Rule.Agg g -> g
+    | _ -> assert false
+  in
+  let gv = List.assoc agg_i prep.group_vars in
+  (* set-semantics dedup key: one contribution per distinct binding of
+     the NAMED prefix variables. Variables starting with '_' (the
+     parser's anonymous "_" and MTV's generated slot fillers) denote
+     don't-care positions of the same graph element: two facts that
+     differ only there must not contribute twice. *)
+  let prefix_vars =
+    List.filter
+      (fun v -> not (String.length v > 0 && v.[0] = '_'))
+      (Rule.body_vars prefix)
+  in
+  let groups : agg_state = Hashtbl.create 64 in
+  let rec enumerate env lits i k =
+    match lits with
+    | [] -> k ()
+    | lit :: rest -> (
+        let continue () = enumerate env rest (i + 1) k in
+        match lit with
+        | Rule.Pos a -> match_atom st env a ~facts_override:None (fun () -> continue ())
+        | Rule.Neg a ->
+            let fact = ground_atom env a in
+            if not (Database.mem st.db a.Rule.pred fact) then continue ()
+        | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
+        | Rule.Assign (x, e) ->
+            let v = Expr.eval env.tbl e in
+            (match env_lookup env x with
+             | Some v' -> if Value.equal v v' then continue ()
+             | None ->
+                 let mark = env_mark env in
+                 env_bind env x v;
+                 continue ();
+                 env_undo env mark)
+        | Rule.Agg _ -> Kgm_error.reason_error "nested aggregate")
+  in
+  let env = env_create () in
+  enumerate env prefix 0 (fun () ->
+      let group_key =
+        List.map (fun v -> Option.get (env_lookup env v)) gv
+      in
+      let dedup_key =
+        if g.Rule.contributors <> [] then
+          List.map (fun v -> Option.get (env_lookup env v)) g.Rule.contributors
+        else
+          (* set semantics: one contribution per distinct prefix binding *)
+          List.map
+            (fun v -> Option.value ~default:(Value.Null 0) (env_lookup env v))
+            prefix_vars
+      in
+      let group =
+        match Hashtbl.find_opt groups group_key with
+        | Some gr -> gr
+        | None ->
+            let gr = { seen = Hashtbl.create 16; acc = None; n = 0 } in
+            Hashtbl.add groups group_key gr;
+            gr
+      in
+      if not (Hashtbl.mem group.seen dedup_key) then begin
+        Hashtbl.add group.seen dedup_key ();
+        let w = Expr.eval env.tbl g.Rule.weight in
+        group.acc <- Some (agg_step g.Rule.op group.acc w)
+      end);
+  (* per group: bind group vars + result, then run the suffix and head *)
+  Hashtbl.iter
+    (fun group_key group ->
+      match group.acc with
+      | None -> ()
+      | Some acc ->
+          let env = env_create () in
+          List.iter2 (fun v value -> env_bind env v value) gv group_key;
+          env_bind env g.Rule.result acc;
+          eval_literals st env prep suffix (agg_i + 1) ~delta:None ~on_new)
+    groups
+
+(* ------------------------------------------------------------------ *)
+
+let eval_rule st (prep : prepared) ~delta ~on_new =
+  match prep.strat_agg_index with
+  | Some agg_i ->
+      if delta = None then eval_stratified st prep agg_i ~on_new
+  | None ->
+      let env = env_create () in
+      eval_literals st env prep prep.rule.Rule.body 0 ~delta ~on_new
+
+let run ?(options = default_options) ?provenance (program : Rule.program) db =
+  let t0 = Unix.gettimeofday () in
+  (match Analysis.safety_report program with
+   | [] -> ()
+   | errs ->
+       Kgm_error.validate_error "unsafe program:@ %s" (String.concat "; " errs));
+  if options.check_wardedness then begin
+    let report = Analysis.wardedness program in
+    if not report.Analysis.warded then
+      Kgm_error.validate_error "program is not warded: %s"
+        (String.concat "; " report.Analysis.violations)
+  end;
+  let analysis = Analysis.stratify program in
+  List.iter
+    (fun (pred, args) -> ignore (Database.add db pred (Array.of_list args)))
+    program.Rule.facts;
+  let st =
+    { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
+      prov = provenance; fact_trail = [] }
+  in
+  let prepared =
+    List.mapi
+      (fun i r ->
+        prepare i (if options.reorder_body then reorder_rule ~db r else r))
+      program.Rule.rules
+  in
+  let stratum_of pred =
+    Option.value ~default:0 (Analysis.SMap.find_opt pred analysis.Analysis.stratum_of)
+  in
+  let rule_stratum (prep : prepared) =
+    List.fold_left
+      (fun acc (a : Rule.atom) -> max acc (stratum_of a.Rule.pred))
+      0 prep.rule.Rule.head
+  in
+  let n_strata = List.length analysis.Analysis.strata in
+  let rounds = ref 0 in
+  for s = 0 to n_strata - 1 do
+    let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
+    if rules_here <> [] then begin
+      let in_stratum =
+        match List.nth_opt analysis.Analysis.strata s with
+        | Some preds -> preds
+        | None -> []
+      in
+      let delta : (string, Database.fact list ref) Hashtbl.t = Hashtbl.create 8 in
+      let record pred fact =
+        if List.mem pred in_stratum then
+          match Hashtbl.find_opt delta pred with
+          | Some l -> l := fact :: !l
+          | None -> Hashtbl.add delta pred (ref [ fact ])
+      in
+      (* round 0: full evaluation *)
+      incr rounds;
+      List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here;
+      let continue = ref (Hashtbl.length delta > 0) in
+      while !continue do
+        incr rounds;
+        if !rounds > options.max_rounds then
+          Kgm_error.reason_error "round budget exceeded";
+        let current = Hashtbl.copy delta in
+        Hashtbl.reset delta;
+        if options.semi_naive then
+          List.iter
+            (fun prep ->
+              List.iteri
+                (fun i lit ->
+                  match lit with
+                  | Rule.Pos a ->
+                      (match Hashtbl.find_opt current a.Rule.pred with
+                       | Some fl ->
+                           eval_rule st prep
+                             ~delta:(Some (i, List.rev !fl))
+                             ~on_new:record
+                       | None -> ())
+                  | _ -> ())
+                prep.rule.Rule.body)
+            rules_here
+        else
+          (* naive: full re-evaluation; recurse only while new facts appear *)
+          List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here;
+        continue := Hashtbl.length delta > 0
+      done
+    end
+  done;
+  { rounds = !rounds; new_facts = st.added; elapsed_s = Unix.gettimeofday () -. t0 }
+
+let run_program ?options ?provenance program =
+  let db = Database.create () in
+  let stats = run ?options ?provenance program db in
+  (db, stats)
+
+let query db pred = Database.facts db pred
+
+(** Facts of every @output-annotated predicate, in annotation order. *)
+let outputs (program : Rule.program) db =
+  List.filter_map
+    (fun (a : Rule.annotation) ->
+      match a.Rule.a_name, a.Rule.a_args with
+      | "output", pred :: _ -> Some (pred, Database.facts db pred)
+      | _ -> None)
+    program.Rule.annotations

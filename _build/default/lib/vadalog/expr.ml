@@ -1,0 +1,169 @@
+(** Tuple-level expressions of MetaLog/Vadalog rules: arithmetic,
+    string operations, comparisons, boolean connectives, and linker
+    Skolem functors (paper, Sec. 4). Evaluation is over total variable
+    bindings; an unbound variable is a hard error because the parser
+    orders assignments after the atoms that bind their inputs. *)
+
+open Kgm_common
+
+type binop = Add | Sub | Mul | Div | Concat
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Fun of string * t list      (** builtin functions *)
+  | Skolem of string * t list   (** linker Skolem functor sk(v) -> I *)
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Eval_error m)) fmt
+
+let rec vars = function
+  | Const _ -> []
+  | Var x -> [ x ]
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      vars a @ vars b
+  | Not a -> vars a
+  | Fun (_, args) | Skolem (_, args) -> List.concat_map vars args
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Concat -> "++")
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with
+     | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %a %a)" pp a pp_binop op pp b
+  | Cmp (c, a, b) -> Format.fprintf ppf "(%a %a %a)" pp a pp_cmp c pp b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a
+  | Fun (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        args
+  | Skolem (f, args) ->
+      Format.fprintf ppf "#%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        args
+
+let numeric_binop op a b =
+  (* integer arithmetic preserved when both sides are ints (except /) *)
+  match op, a, b with
+  | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | _ ->
+      let fa = Value.as_float a and fb = Value.as_float b in
+      (match fa, fb with
+       | Some x, Some y ->
+           (match op with
+            | Add -> Value.Float (x +. y)
+            | Sub -> Value.Float (x -. y)
+            | Mul -> Value.Float (x *. y)
+            | Div ->
+                if y = 0. then err "division by zero" else Value.Float (x /. y)
+            | Concat -> assert false)
+       | _ ->
+           err "numeric operator on non-numeric values (%s, %s)"
+             (Value.to_string a) (Value.to_string b))
+
+let builtin name args =
+  match name, args with
+  | "abs", [ Value.Int x ] -> Value.Int (abs x)
+  | "abs", [ Value.Float x ] -> Value.Float (Float.abs x)
+  | "min2", [ a; b ] -> if Value.compare a b <= 0 then a else b
+  | "max2", [ a; b ] -> if Value.compare a b >= 0 then a else b
+  | "floor", [ Value.Float x ] -> Value.Int (int_of_float (Float.floor x))
+  | "ceil", [ Value.Float x ] -> Value.Int (int_of_float (Float.ceil x))
+  | "to_float", [ v ] ->
+      (match Value.as_float v with
+       | Some f -> Value.Float f
+       | None -> err "to_float: %s" (Value.to_string v))
+  | "to_string", [ v ] ->
+      (match v with Value.String _ -> v | v -> Value.String (Value.to_string v))
+  | "upper", [ Value.String s ] -> Value.String (String.uppercase_ascii s)
+  | "lower", [ Value.String s ] -> Value.String (String.lowercase_ascii s)
+  | "strlen", [ Value.String s ] -> Value.Int (String.length s)
+  | "substr", [ Value.String s; Value.Int off; Value.Int len ] ->
+      let n = String.length s in
+      let off = max 0 (min off n) in
+      let len = max 0 (min len (n - off)) in
+      Value.String (String.sub s off len)
+  | "year", [ Value.Date (y, _, _) ] -> Value.Int y
+  | "pair", [ a; b ] -> Value.List [ a; b ]
+  | "null", [] -> Value.Null 0
+  | "is_null", [ v ] -> Value.Bool (Value.is_null v)
+  | "unpack", [ Value.List pairs; Value.String key ] ->
+      (* lookup inside a pack of (name, value) pairs; Example 6.2's *p *)
+      let rec find = function
+        | Value.List [ Value.String k; v ] :: rest ->
+            if k = key then v else find rest
+        | _ :: rest -> find rest
+        | [] -> err "unpack: no attribute %S" key
+      in
+      find pairs
+  | "unpack_or", [ Value.List pairs; Value.String key; default ] ->
+      let rec find = function
+        | Value.List [ Value.String k; v ] :: rest ->
+            if k = key then v else find rest
+        | _ :: rest -> find rest
+        | [] -> default
+      in
+      find pairs
+  | "fst", [ Value.List (a :: _) ] -> a
+  | "snd", [ Value.List (_ :: b :: _) ] -> b
+  | _ -> err "unknown builtin %s/%d" name (List.length args)
+
+let skolem_arg v =
+  (* Skolem functors are injective on their argument tuple; we key them
+     by the canonical printed form of each argument. *)
+  Value.to_string v
+
+let rec eval bindings = function
+  | Const v -> v
+  | Var x ->
+      (match Hashtbl.find_opt bindings x with
+       | Some v -> v
+       | None -> err "unbound variable %s" x)
+  | Binop (Concat, a, b) ->
+      let sa = eval bindings a and sb = eval bindings b in
+      (match sa, sb with
+       | Value.String x, Value.String y -> Value.String (x ^ y)
+       | x, y -> err "++ on non-strings (%s, %s)" (Value.to_string x) (Value.to_string y))
+  | Binop (op, a, b) -> numeric_binop op (eval bindings a) (eval bindings b)
+  | Cmp (c, a, b) ->
+      let va = eval bindings a and vb = eval bindings b in
+      let r =
+        (* numeric comparison coerces int/float; others use Value.compare *)
+        match Value.as_float va, Value.as_float vb with
+        | Some x, Some y -> Float.compare x y
+        | _ -> Value.compare va vb
+      in
+      Value.Bool
+        (match c with
+         | Eq -> r = 0 | Neq -> r <> 0 | Lt -> r < 0
+         | Le -> r <= 0 | Gt -> r > 0 | Ge -> r >= 0)
+  | And (a, b) -> Value.Bool (truthy bindings a && truthy bindings b)
+  | Or (a, b) -> Value.Bool (truthy bindings a || truthy bindings b)
+  | Not a -> Value.Bool (not (truthy bindings a))
+  | Fun (f, args) -> builtin f (List.map (eval bindings) args)
+  | Skolem (f, args) ->
+      Value.Id (Oid.skolem f (List.map (fun a -> skolem_arg (eval bindings a)) args))
+
+and truthy bindings e =
+  match eval bindings e with
+  | Value.Bool b -> b
+  | v -> err "non-boolean condition value %s" (Value.to_string v)

@@ -1,0 +1,40 @@
+(** Tuple-level expressions of MetaLog/Vadalog rules (paper, Sec. 4):
+    arithmetic, string operations, comparisons, boolean connectives,
+    builtin functions and linker Skolem functors. *)
+
+open Kgm_common
+
+type binop = Add | Sub | Mul | Div | Concat
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Fun of string * t list
+      (** builtins: [abs], [min2], [max2], [floor], [ceil], [to_float],
+          [to_string], [upper], [lower], [strlen], [substr], [year],
+          [pair], [fst], [snd], [unpack], [unpack_or], [null],
+          [is_null] *)
+  | Skolem of string * t list
+      (** linker Skolem functor sk(v): deterministic, injective,
+          range-disjoint identifier minting into I (Sec. 4) *)
+
+exception Eval_error of string
+
+val vars : t -> string list
+(** Free variables, in occurrence order, duplicates preserved. *)
+
+val pp : Format.formatter -> t -> unit
+
+val eval : (string, Value.t) Hashtbl.t -> t -> Value.t
+(** Evaluate under total bindings; raises {!Eval_error} on unbound
+    variables, type mismatches, unknown builtins or division by zero. *)
+
+val truthy : (string, Value.t) Hashtbl.t -> t -> bool
+(** [eval] then require a boolean. *)

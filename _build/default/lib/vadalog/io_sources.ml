@@ -1,0 +1,68 @@
+(** Resolution of [@input] annotations (paper, Sec. 4: "the atoms ...
+    are populated from the input sources via automatically generated
+    annotations of the form [@input(atom, query)]").
+
+    Two source forms are resolved here; graph-store extraction (the
+    Cypher-style queries MTV generates) is performed in-process by
+    {!Kgm_metalog.Pg_bridge}, so those annotations are documentation of
+    what a remote deployment would run.
+
+    - ["csv:<path>"]: a headerless CSV file, one fact per row; each cell
+      is parsed as int, float, boolean or string (in that order);
+    - ["inline:<r1>;<r2>;..."]: the same format inline, rows separated
+      by [';'] — convenient for tests and small fixtures. *)
+
+open Kgm_common
+
+let parse_cell cell =
+  match Value.parse Value.TAny (String.trim cell) with
+  | Some v -> v
+  | None -> Value.String cell
+
+let parse_row row = Array.of_list (List.map parse_cell (String.split_on_char ',' row))
+
+let load_rows db pred rows =
+  let n = ref 0 in
+  List.iter
+    (fun row ->
+      if String.trim row <> "" then
+        if Database.add db pred (parse_row row) then incr n)
+    rows;
+  !n
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let strip_prefix ~prefix s =
+  let lp = String.length prefix in
+  if String.length s >= lp && String.sub s 0 lp = prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+(** Load every resolvable [@input] source into the database; returns
+    [(predicate, facts loaded)] for each resolved annotation.
+    Unresolvable sources (e.g. the Cypher extraction queries) are
+    skipped. Raises [Kgm_error.Error] when a csv file is unreadable. *)
+let load_inputs (program : Rule.program) db =
+  List.filter_map
+    (fun (a : Rule.annotation) ->
+      match a.Rule.a_name, a.Rule.a_args with
+      | "input", [ pred; source ] -> (
+          match strip_prefix ~prefix:"csv:" source with
+          | Some path ->
+              let doc =
+                try read_file path
+                with Sys_error m -> Kgm_error.storage_error "@input %s: %s" pred m
+              in
+              Some (pred, load_rows db pred (String.split_on_char '\n' doc))
+          | None -> (
+              match strip_prefix ~prefix:"inline:" source with
+              | Some rows ->
+                  Some (pred, load_rows db pred (String.split_on_char ';' rows))
+              | None -> None))
+      | _ -> None)
+    program.Rule.annotations

@@ -1,0 +1,174 @@
+(** Rules and programs of the Vadalog engine.
+
+    A rule is φ(x,y) → ∃z ψ(x,z): [body] is a list of literals evaluated
+    left to right; [head] is a conjunction of atoms. Head variables that
+    are neither bound in the body nor assigned are the existentially
+    quantified z and receive fresh labeled nulls (or linker-Skolem ids
+    when an explicit [@sk] assignment produced them). *)
+
+open Kgm_common
+
+type atom = {
+  pred : string;
+  args : Term.t list;
+}
+
+type agg_op = Sum | Count | Min | Max | Prod | Pack
+
+(** [Monotonic]: contributor-keyed aggregation usable inside recursion
+    (the paper's [sum(w, ⟨z⟩)]); [Stratified]: classical group-by
+    aggregation, evaluated after the body stratum saturates. *)
+type agg_mode = Monotonic | Stratified
+
+type aggregate = {
+  result : string;              (** variable receiving the running value *)
+  op : agg_op;
+  weight : Expr.t;              (** aggregated expression *)
+  contributors : string list;   (** ⟨z⟩ — dedup key inside a group *)
+  mode : agg_mode;
+}
+
+type literal =
+  | Pos of atom
+  | Neg of atom                  (** stratified negation *)
+  | Cond of Expr.t               (** boolean filter *)
+  | Assign of string * Expr.t    (** x = expr *)
+  | Agg of aggregate
+
+type rule = {
+  head : atom list;
+  body : literal list;
+  name : string;                 (** diagnostic label; "" when anonymous *)
+}
+
+type annotation = {
+  a_name : string;               (** e.g. "input", "output", "bind" *)
+  a_args : string list;
+}
+
+type program = {
+  rules : rule list;
+  facts : (string * Value.t list) list;
+  annotations : annotation list;
+}
+
+let atom pred args = { pred; args }
+
+let empty_program = { rules = []; facts = []; annotations = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Variable accounting                                                  *)
+
+let atom_vars a = Term.vars a.args
+
+let literal_body_bound = function
+  | Pos a -> atom_vars a
+  | Assign (x, _) -> [ x ]
+  | Agg g -> [ g.result ]
+  | Neg _ | Cond _ -> []
+
+let body_vars body =
+  List.sort_uniq String.compare (List.concat_map literal_body_bound body)
+
+let head_vars head = List.sort_uniq String.compare (List.concat_map atom_vars head)
+
+let existential_vars r =
+  let bound = body_vars r.body in
+  List.filter (fun v -> not (List.mem v bound)) (head_vars r.head)
+
+let is_fact r = r.body = [] && List.for_all (fun a -> Term.vars a.args = []) r.head
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness (range restriction)                                  *)
+
+(** Every variable used by a condition, assignment rhs, aggregate or
+    negated atom must be bound by a preceding positive literal; returns
+    the list of violations. *)
+let check_safety r =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  let bound = Hashtbl.create 16 in
+  let is_bound v = Hashtbl.mem bound v in
+  let bind v = Hashtbl.replace bound v () in
+  List.iter
+    (fun lit ->
+      (match lit with
+       | Pos _ -> ()
+       | Neg a ->
+           List.iter
+             (fun v -> if not (is_bound v) then err "%s: unbound %s in negation" r.name v)
+             (atom_vars a)
+       | Cond e ->
+           List.iter
+             (fun v -> if not (is_bound v) then err "%s: unbound %s in condition" r.name v)
+             (Expr.vars e)
+       | Assign (x, e) ->
+           List.iter
+             (fun v ->
+               if v <> x && not (is_bound v) then
+                 err "%s: unbound %s in assignment" r.name v)
+             (Expr.vars e)
+       | Agg g ->
+           List.iter
+             (fun v -> if not (is_bound v) then err "%s: unbound %s in aggregate" r.name v)
+             (Expr.vars g.weight @ g.contributors));
+      List.iter bind (literal_body_bound lit))
+    r.body;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (round-trips through the parser)                     *)
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    a.args
+
+let pp_agg_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+     | Sum -> "sum" | Count -> "count" | Min -> "min"
+     | Max -> "max" | Prod -> "prod" | Pack -> "pack")
+
+let pp_literal ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Format.fprintf ppf "not %a" pp_atom a
+  | Cond e -> Expr.pp ppf e
+  | Assign (x, e) -> Format.fprintf ppf "%s = %a" x Expr.pp e
+  | Agg g ->
+      let mode_mark = match g.mode with Monotonic -> "m" | Stratified -> "" in
+      if g.contributors = [] then
+        Format.fprintf ppf "%s = %s%a(%a)" g.result mode_mark pp_agg_op g.op
+          Expr.pp g.weight
+      else
+        Format.fprintf ppf "%s = %s%a(%a, <%s>)" g.result mode_mark pp_agg_op
+          g.op Expr.pp g.weight
+          (String.concat ", " g.contributors)
+
+let pp_rule ppf r =
+  if r.body = [] then
+    Format.fprintf ppf "%a."
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_atom)
+      r.head
+  else
+    Format.fprintf ppf "@[<hov 2>%a :-@ %a.@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_atom)
+      r.head
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_literal)
+      r.body
+
+let pp_program ppf p =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@%s(%s).@."
+        a.a_name
+        (String.concat ", " (List.map (Printf.sprintf "%S") a.a_args)))
+    p.annotations;
+  List.iter
+    (fun (pred, args) ->
+      Format.fprintf ppf "%s(%s).@." pred
+        (String.concat ", " (List.map Value.to_string args)))
+    p.facts;
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_rule r) p.rules
+
+let program_to_string p = Format.asprintf "%a" pp_program p

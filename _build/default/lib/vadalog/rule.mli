@@ -1,0 +1,87 @@
+(** Rules and programs of the Vadalog engine (paper, Sec. 4).
+
+    A rule is φ(x,y) → ∃z ψ(x,z): the [body] is a list of literals
+    evaluated left to right; the [head] is a conjunction of atoms. Head
+    variables that are neither bound in the body nor assigned are the
+    existentially quantified z: the chase gives them fresh labeled
+    nulls, or linker-Skolem identifiers when bound with [#sk(...)]. *)
+
+open Kgm_common
+
+type atom = {
+  pred : string;
+  args : Term.t list;
+}
+
+type agg_op = Sum | Count | Min | Max | Prod | Pack
+
+(** [Monotonic]: contributor-keyed streaming aggregation, usable inside
+    recursion (the paper's [sum(w, ⟨z⟩)]); [Stratified]: classical
+    group-by aggregation evaluated once its stratum's inputs are
+    saturated. *)
+type agg_mode = Monotonic | Stratified
+
+type aggregate = {
+  result : string;             (** variable receiving the value *)
+  op : agg_op;
+  weight : Expr.t;             (** aggregated expression *)
+  contributors : string list;  (** ⟨z⟩ — dedup key inside a group *)
+  mode : agg_mode;
+}
+
+type literal =
+  | Pos of atom
+  | Neg of atom                (** stratified negation *)
+  | Cond of Expr.t             (** boolean filter *)
+  | Assign of string * Expr.t  (** [x = expr]; equality check when bound *)
+  | Agg of aggregate
+
+type rule = {
+  head : atom list;
+  body : literal list;
+  name : string;               (** diagnostic label; "" when anonymous *)
+}
+
+type annotation = {
+  a_name : string;             (** e.g. "input", "output" (Ex. 4.4) *)
+  a_args : string list;
+}
+
+type program = {
+  rules : rule list;
+  facts : (string * Value.t list) list;
+  annotations : annotation list;
+}
+
+val atom : string -> Term.t list -> atom
+val empty_program : program
+
+(** {1 Variable accounting} *)
+
+val atom_vars : atom -> string list
+
+val literal_body_bound : literal -> string list
+(** Variables a literal binds when evaluated (positive atoms,
+    assignments, aggregate results). *)
+
+val body_vars : literal list -> string list
+(** Variables bound by the body (positive atoms, assignments,
+    aggregates), sorted and deduplicated. *)
+
+val head_vars : atom list -> string list
+
+val existential_vars : rule -> string list
+(** Head variables not bound by the body — the ∃z of the rule. *)
+
+val is_fact : rule -> bool
+
+val check_safety : rule -> string list
+(** Range-restriction violations in evaluation order; empty = safe. *)
+
+(** {1 Pretty-printing (round-trips through {!Parser})} *)
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+val program_to_string : program -> string

@@ -1,0 +1,29 @@
+(** Terms of Vadalog rules: constants from C ∪ I, variables from V.
+    Labeled nulls from N appear only in facts ([Value.Null]), never in
+    rule text. *)
+
+open Kgm_common
+
+type t =
+  | Const of Value.t
+  | Var of string
+
+let compare a b =
+  match a, b with
+  | Const x, Const y -> Value.compare x y
+  | Var x, Var y -> String.compare x y
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+
+let to_string t = Format.asprintf "%a" pp t
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let vars terms =
+  List.filter_map (function Var x -> Some x | Const _ -> None) terms

@@ -1,0 +1,21 @@
+(** Terms of Vadalog rules: constants from C ∪ I, variables from V
+    (paper, Sec. 4). Labeled nulls from N appear only inside facts
+    ([Kgm_common.Value.Null]), never in rule text. *)
+
+open Kgm_common
+
+type t =
+  | Const of Value.t
+  | Var of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_var : t -> bool
+
+val vars : t list -> string list
+(** The variable names among the given terms, in order, duplicates
+    preserved. *)

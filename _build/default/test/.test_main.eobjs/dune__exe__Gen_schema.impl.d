@@ -1,0 +1,1 @@
+test/gen_schema.ml: Char Hashtbl Kgm_common Kgmodel List Printf QCheck Random String Value

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array Kgm_algo List Printf QCheck QCheck_alcotest String

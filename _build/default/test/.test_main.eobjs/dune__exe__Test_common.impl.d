@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Kgm_common Kgm_error List Names Oid QCheck QCheck_alcotest String Value

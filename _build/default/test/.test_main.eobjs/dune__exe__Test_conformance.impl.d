@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Kgm_common Kgm_finance Kgm_graphdb Kgmodel Lazy List Value

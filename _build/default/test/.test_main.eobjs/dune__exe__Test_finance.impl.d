@@ -1,0 +1,1 @@
+test/test_finance.ml: Alcotest Array Hashtbl Kgm_algo Kgm_common Kgm_finance Kgm_graphdb Kgmodel Lazy List Printf QCheck QCheck_alcotest Value

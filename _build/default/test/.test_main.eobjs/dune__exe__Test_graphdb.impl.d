@@ -1,0 +1,1 @@
+test/test_graphdb.ml: Alcotest Array Kgm_algo Kgm_common Kgm_error Kgm_graphdb List Oid QCheck QCheck_alcotest String Value

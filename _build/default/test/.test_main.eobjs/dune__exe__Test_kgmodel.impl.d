@@ -1,0 +1,1 @@
+test/test_kgmodel.ml: Alcotest Fun Gen_schema Kgm_common Kgm_error Kgm_finance Kgmodel List Printf QCheck QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_materialize.ml: Alcotest Kgm_common Kgm_error Kgm_finance Kgm_graphdb Kgm_metalog Kgm_vadalog Kgmodel List Option String Value

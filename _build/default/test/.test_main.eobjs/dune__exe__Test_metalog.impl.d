@@ -1,0 +1,1 @@
+test/test_metalog.ml: Alcotest Array Format Kgm_algo Kgm_common Kgm_error Kgm_graphdb Kgm_metalog Kgm_vadalog List Oid Option QCheck QCheck_alcotest String Value

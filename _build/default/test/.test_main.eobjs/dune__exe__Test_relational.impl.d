@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Fun Kgm_common Kgm_error Kgm_relational List QCheck QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_schema_diff.ml: Alcotest Kgmodel List

@@ -1,0 +1,1 @@
+test/test_ssst.ml: Alcotest Gen_schema Kgm_common Kgm_error Kgm_finance Kgm_relational Kgm_targets Kgm_vadalog Kgmodel List QCheck QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_vadalog.ml: Alcotest Array Buffer Filename Format Kgm_algo Kgm_common Kgm_error Kgm_vadalog List Printf QCheck QCheck_alcotest String Sys Unix Value

@@ -1,0 +1,137 @@
+(* A QCheck generator of small valid super-schemas, used for the GSL
+   round-trip, dictionary round-trip and SSST differential properties. *)
+
+open Kgm_common
+module SM = Kgmodel.Supermodel
+
+let ty_gen =
+  QCheck.Gen.oneofl
+    [ Value.TInt; Value.TFloat; Value.TString; Value.TBool; Value.TDate ]
+
+let attr_gen ~id_name =
+  QCheck.Gen.(
+    let* n = int_range 0 3 in
+    let* attrs =
+      list_size (return n)
+        (let* i = int_range 0 999 in
+         let* ty = ty_gen in
+         let* opt = bool in
+         let* uniq = bool in
+         return
+           (SM.attribute ~opt
+              ~modifiers:(if uniq && ty = Value.TString then [ SM.Unique ] else [])
+              (Printf.sprintf "attr%d" i) ty))
+    in
+    (* dedup attr names *)
+    let seen = Hashtbl.create 8 in
+    let attrs =
+      List.filter
+        (fun (a : SM.attribute) ->
+          if Hashtbl.mem seen a.SM.at_name then false
+          else begin
+            Hashtbl.add seen a.SM.at_name ();
+            true
+          end)
+        attrs
+    in
+    match id_name with
+    | Some name ->
+        return (SM.attribute ~id:true name Value.TString :: attrs)
+    | None -> return attrs)
+
+(* a schema: a forest of up to [max_nodes] nodes with generalizations,
+   plus random edges with random cardinalities *)
+let schema_gen =
+  QCheck.Gen.(
+    let* n_roots = int_range 1 3 in
+    let* n_children = int_range 0 4 in
+    let* n_edges = int_range 0 5 in
+    let* seed = int_range 0 10_000 in
+    return (n_roots, n_children, n_edges, seed))
+
+let build (n_roots, n_children, n_edges, seed) =
+  let rng = Random.State.make [| seed |] in
+  let rand_int n = Random.State.int rng n in
+  let rand_bool () = Random.State.bool rng in
+  let schema = ref (SM.empty "random_schema") in
+  let names = ref [] in
+  let add_node ?(root = false) i =
+    let name = Printf.sprintf "%s%d" (if root then "Root" else "Child") i in
+    let attrs =
+      List.init (rand_int 3) (fun j ->
+          let ty =
+            List.nth
+              [ Value.TInt; Value.TFloat; Value.TString; Value.TBool ]
+              (rand_int 4)
+          in
+          let modifiers =
+            match rand_int 6, ty with
+            | 0, Value.TString -> [ SM.Unique ]
+            | 1, Value.TString -> [ SM.Enum [ "alpha"; "beta" ] ]
+            | 2, Value.TFloat -> [ SM.Range (Some 0., Some 1.) ]
+            | 3, Value.TInt -> [ SM.Default (Value.Int 0) ]
+            | _ -> []
+          in
+          SM.attribute ~opt:(rand_bool ()) ~modifiers
+            (Printf.sprintf "a%d%s" j (String.make 1 (Char.chr (97 + (i mod 26)))))
+            ty)
+    in
+    let attrs =
+      if root then SM.attribute ~id:true "oid" Value.TString :: attrs else attrs
+    in
+    schema := SM.add_node !schema (SM.node name attrs);
+    names := name :: !names;
+    name
+  in
+  let roots = List.init n_roots (fun i -> add_node ~root:true i) in
+  (* children attach to random existing nodes, single parent each *)
+  let gen_counter = ref 0 in
+  for i = 0 to n_children - 1 do
+    let child = add_node (100 + i) in
+    let parent = List.nth !names (1 + rand_int (List.length !names - 1)) in
+    if parent <> child then begin
+      incr gen_counter;
+      schema :=
+        SM.add_generalization !schema
+          (SM.generalization
+             ~total:(rand_bool ()) ~disjoint:(rand_bool ())
+             (Printf.sprintf "Gen%d" !gen_counter)
+             ~parent ~children:[ child ])
+    end
+  done;
+  ignore roots;
+  let all = !names in
+  for i = 0 to n_edges - 1 do
+    let from = List.nth all (rand_int (List.length all)) in
+    let to_ = List.nth all (rand_int (List.length all)) in
+    let attrs =
+      if rand_bool () then
+        [ SM.attribute (Printf.sprintf "w%d" i) Value.TFloat ]
+      else []
+    in
+    schema :=
+      SM.add_edge !schema
+        (SM.edge
+           ~opt1:(rand_bool ()) ~fun1:(rand_bool ())
+           ~opt2:(rand_bool ()) ~fun2:(rand_bool ())
+           ~attrs
+           (Printf.sprintf "EDGE_%d" i) ~from ~to_)
+  done;
+  !schema
+
+(* only keep instances that validate: the generator can produce schemas
+   where a child has no identifier path etc. *)
+let valid_schema_gen =
+  QCheck.Gen.map
+    (fun params ->
+      let s = build params in
+      match SM.validate s with Ok () -> Some s | Error _ -> None)
+    schema_gen
+
+let arb =
+  QCheck.make
+    ~print:(fun s ->
+      match s with
+      | Some s -> Kgmodel.Gsl.print s
+      | None -> "<invalid>")
+    valid_schema_gen

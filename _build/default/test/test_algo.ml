@@ -1,0 +1,226 @@
+(* Tests for the graph-algorithm substrate: digraph, union-find,
+   SCC/WCC, statistics, traversal — including qcheck properties checking
+   Tarjan against brute-force mutual reachability. *)
+
+module DG = Kgm_algo.Digraph
+module C = Kgm_algo.Components
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* random digraph generator: (n, edge list) *)
+let graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 14 in
+    let* m = int_range 0 (n * 3) in
+    let* edges = list_size (return m) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    return (n, edges))
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d %s" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+    graph_gen
+
+(* ------------------------------------------------------------------ *)
+
+let test_digraph_basics () =
+  let g = DG.of_edges 4 [ (0, 1); (1, 2); (1, 2); (2, 0); (3, 3) ] in
+  check Alcotest.int "n" 4 (DG.n g);
+  check Alcotest.int "m (multi)" 5 (DG.m g);
+  check Alcotest.int "out 1" 2 (DG.out_degree g 1);
+  check Alcotest.int "in 2" 2 (DG.in_degree g 2);
+  check (Alcotest.list Alcotest.int) "succ order" [ 2; 2 ] (DG.succ_list g 1);
+  check (Alcotest.list Alcotest.int) "pred" [ 2 ] (DG.pred_list g 0);
+  check (Alcotest.list Alcotest.int) "undirected neighbors no self"
+    [] (DG.undirected_neighbors g 3);
+  Alcotest.check_raises "range check" (Invalid_argument "Digraph: vertex out of range")
+    (fun () -> DG.add_edge g 0 9)
+
+let test_transpose () =
+  let g = DG.of_edges 3 [ (0, 1); (1, 2) ] in
+  let t = DG.transpose g in
+  check (Alcotest.list Alcotest.int) "transposed succ" [ 0 ] (DG.succ_list t 1);
+  check Alcotest.int "m preserved" (DG.m g) (DG.m t)
+
+let test_union_find () =
+  let uf = Kgm_algo.Union_find.create 6 in
+  check Alcotest.int "init count" 6 (Kgm_algo.Union_find.count uf);
+  Kgm_algo.Union_find.union uf 0 1;
+  Kgm_algo.Union_find.union uf 1 2;
+  Kgm_algo.Union_find.union uf 4 5;
+  check Alcotest.int "count" 3 (Kgm_algo.Union_find.count uf);
+  check Alcotest.bool "same" true (Kgm_algo.Union_find.same uf 0 2);
+  check Alcotest.bool "not same" false (Kgm_algo.Union_find.same uf 0 3);
+  let sizes = List.sort compare (List.map snd (Kgm_algo.Union_find.component_sizes uf)) in
+  check (Alcotest.list Alcotest.int) "sizes" [ 1; 2; 3 ] sizes
+
+let test_scc_known () =
+  (* two 2-cycles and a bridge: 0<->1 -> 2<->3, plus isolated 4 *)
+  let g = DG.of_edges 5 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let p = C.scc g in
+  check Alcotest.int "count" 3 p.C.count;
+  check Alcotest.int "largest" 2 (C.largest_size p);
+  check Alcotest.bool "0,1 same" true (p.C.component.(0) = p.C.component.(1));
+  check Alcotest.bool "2,3 same" true (p.C.component.(2) = p.C.component.(3));
+  check Alcotest.bool "0,2 differ" false (p.C.component.(0) = p.C.component.(2))
+
+let test_scc_long_chain_no_overflow () =
+  (* iterative Tarjan must survive a 200k chain *)
+  let n = 200_000 in
+  let g = DG.create n in
+  for i = 0 to n - 2 do
+    DG.add_edge g i (i + 1)
+  done;
+  let p = C.scc g in
+  check Alcotest.int "all singleton" n p.C.count
+
+let test_wcc_known () =
+  let g = DG.of_edges 6 [ (0, 1); (2, 1); (3, 4) ] in
+  let p = C.wcc g in
+  check Alcotest.int "count" 3 p.C.count;
+  check Alcotest.int "largest" 3 (C.largest_size p)
+
+let test_condensation () =
+  let g = DG.of_edges 4 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let p = C.scc g in
+  let dag = C.condensation g p in
+  check Alcotest.int "dag vertices" 2 (DG.n dag);
+  check Alcotest.int "dag edges dedup" 1 (DG.m dag);
+  check Alcotest.bool "acyclic" true (C.topological_order dag <> None)
+
+let test_topological () =
+  let g = DG.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  (match C.topological_order g with
+   | Some order ->
+       let pos = Array.make 4 0 in
+       List.iteri (fun i v -> pos.(v) <- i) order;
+       check Alcotest.bool "0 before 3" true (pos.(0) < pos.(3));
+       check Alcotest.bool "1 before 3" true (pos.(1) < pos.(3))
+   | None -> Alcotest.fail "expected DAG");
+  let cyc = DG.of_edges 2 [ (0, 1); (1, 0) ] in
+  check Alcotest.bool "cycle detected" true (C.topological_order cyc = None)
+
+(* brute-force mutual reachability for qcheck oracle *)
+let reach_matrix g =
+  let n = DG.n g in
+  let r = Array.make_matrix n n false in
+  for v = 0 to n - 1 do
+    let seen = Kgm_algo.Traverse.reachable g v in
+    Array.iteri (fun w b -> r.(v).(w) <- b) seen
+  done;
+  r
+
+let prop_scc_vs_bruteforce =
+  QCheck.Test.make ~name:"SCC = mutual reachability" ~count:200 graph_arb
+    (fun (n, edges) ->
+      let g = DG.of_edges n edges in
+      let p = C.scc g in
+      let r = reach_matrix g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let same = p.C.component.(a) = p.C.component.(b) in
+          let mutual = r.(a).(b) && r.(b).(a) in
+          if same <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let prop_scc_sizes_sum =
+  QCheck.Test.make ~name:"SCC sizes partition vertices" ~count:200 graph_arb
+    (fun (n, edges) ->
+      let p = C.scc (DG.of_edges n edges) in
+      Array.fold_left ( + ) 0 p.C.sizes = n)
+
+let prop_wcc_undirected_connectivity =
+  QCheck.Test.make ~name:"WCC = undirected components" ~count:200 graph_arb
+    (fun (n, edges) ->
+      let g = DG.of_edges n edges in
+      let p = C.wcc g in
+      (* two endpoints of every edge share a component *)
+      List.for_all (fun (a, b) -> p.C.component.(a) = p.C.component.(b)) edges)
+
+let prop_condensation_acyclic =
+  QCheck.Test.make ~name:"condensation is a DAG" ~count:200 graph_arb
+    (fun (n, edges) ->
+      let g = DG.of_edges n edges in
+      let p = C.scc g in
+      C.topological_order (C.condensation g p) <> None)
+
+(* ------------------------------------------------------------------ *)
+
+let test_degree_summary () =
+  let g = DG.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2) ] in
+  let s = Kgm_algo.Stats.degree_summary g in
+  check Alcotest.int "max out" 3 s.Kgm_algo.Stats.max_out;
+  check Alcotest.int "max in" 2 s.Kgm_algo.Stats.max_in;
+  check (Alcotest.float 1e-9) "avg out" 1.0 s.Kgm_algo.Stats.avg_out
+
+let test_clustering_triangle () =
+  (* complete triangle has clustering 1 *)
+  let g = DG.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check (Alcotest.float 1e-9) "triangle" 1.0
+    (Kgm_algo.Stats.clustering_coefficient g);
+  (* a path has clustering 0 *)
+  let p = DG.of_edges 3 [ (0, 1); (1, 2) ] in
+  check (Alcotest.float 1e-9) "path" 0.0 (Kgm_algo.Stats.clustering_coefficient p)
+
+let test_histogram () =
+  let g = DG.of_edges 3 [ (0, 1); (0, 2) ] in
+  let h = Kgm_algo.Stats.degree_histogram g `Out in
+  check Alcotest.bool "0 deg out twice" true (List.assoc 0 h = 2);
+  check Alcotest.bool "2 deg once" true (List.assoc 2 h = 1)
+
+let test_power_law () =
+  (* synthetic power-law histogram alpha ~ 2.5 *)
+  let hist = List.init 50 (fun i ->
+      let k = i + 2 in
+      (k, max 1 (int_of_float (10000. *. (float_of_int k ** -2.5))))) in
+  (match Kgm_algo.Stats.power_law_alpha ~k_min:2 hist with
+   | Some a -> check Alcotest.bool "alpha near 2.5" true (a > 2.0 && a < 3.0)
+   | None -> Alcotest.fail "expected alpha");
+  check Alcotest.bool "too few" true (Kgm_algo.Stats.power_law_alpha [ (1, 1) ] = None)
+
+let test_gini () =
+  check (Alcotest.float 1e-9) "equal -> 0" 0. (Kgm_algo.Stats.gini [| 1.; 1.; 1. |]);
+  check Alcotest.bool "concentrated > 0.5" true
+    (Kgm_algo.Stats.gini [| 0.; 0.; 0.; 10. |] > 0.5)
+
+let test_bfs () =
+  let g = DG.of_edges 5 [ (0, 1); (1, 2); (0, 3) ] in
+  let d = Kgm_algo.Traverse.bfs g 0 in
+  check (Alcotest.array Alcotest.int) "dists" [| 0; 1; 2; 1; -1 |] d
+
+let test_reachable_set () =
+  let g = DG.of_edges 5 [ (0, 1); (2, 3) ] in
+  let seen = Kgm_algo.Traverse.reachable_set g [ 0; 2 ] in
+  check (Alcotest.array Alcotest.bool) "union" [| true; true; true; true; false |] seen
+
+let test_dfs_postorder () =
+  let g = DG.of_edges 3 [ (0, 1); (1, 2) ] in
+  check (Alcotest.list Alcotest.int) "postorder" [ 2; 1; 0 ]
+    (Kgm_algo.Traverse.dfs_postorder g)
+
+let suite =
+  [ ("digraph basics", `Quick, test_digraph_basics);
+    ("digraph transpose", `Quick, test_transpose);
+    ("union-find", `Quick, test_union_find);
+    ("scc known graph", `Quick, test_scc_known);
+    ("scc 200k chain (iterative)", `Slow, test_scc_long_chain_no_overflow);
+    ("wcc known graph", `Quick, test_wcc_known);
+    ("condensation", `Quick, test_condensation);
+    ("topological order", `Quick, test_topological);
+    qtest prop_scc_vs_bruteforce;
+    qtest prop_scc_sizes_sum;
+    qtest prop_wcc_undirected_connectivity;
+    qtest prop_condensation_acyclic;
+    ("degree summary", `Quick, test_degree_summary);
+    ("clustering coefficient", `Quick, test_clustering_triangle);
+    ("degree histogram", `Quick, test_histogram);
+    ("power-law MLE", `Quick, test_power_law);
+    ("gini", `Quick, test_gini);
+    ("bfs distances", `Quick, test_bfs);
+    ("multi-source reachability", `Quick, test_reachable_set);
+    ("dfs postorder", `Quick, test_dfs_postorder) ]

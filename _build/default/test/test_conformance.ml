@@ -1,0 +1,194 @@
+(* Tests for the model-independent instance conformance checker. *)
+
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+module C = Kgmodel.Conformance
+
+let check = Alcotest.check
+
+let schema =
+  lazy
+    (Kgmodel.Gsl.parse_validated
+       {|
+schema shop {
+  node Customer {
+    cid: string @id @unique;
+    tier: string @enum("gold", "silver");
+    age: int @opt @range(0, 150);
+  }
+  node Vip {
+    perk: string @opt;
+  }
+  generalization Kind of Customer = Vip @disjoint;
+  node Order {
+    oid: string @id;
+    total: float;
+  }
+  edge PLACED from Customer to Order [0..N -> 1..1];
+  intensional edge FREQUENT from Customer to Customer [0..N -> 0..N];
+}
+|})
+
+let customer ?(tier = "gold") g cid =
+  PG.add_node g ~labels:[ "Customer" ]
+    ~props:[ ("cid", Value.string cid); ("tier", Value.string tier) ]
+
+let order g oid total =
+  PG.add_node g ~labels:[ "Order" ]
+    ~props:[ ("oid", Value.string oid); ("total", Value.float total) ]
+
+let placed g c o = ignore (PG.add_edge g ~label:"PLACED" ~src:c ~dst:o ~props:[])
+
+let conforming () =
+  let g = PG.create () in
+  let c1 = customer g "c1" in
+  let o1 = order g "o1" 10. in
+  placed g c1 o1;
+  g
+
+let rules vs = List.sort_uniq compare (List.map (fun v -> v.C.rule) vs)
+
+let test_conformant () =
+  let s = Lazy.force schema in
+  check Alcotest.bool "ok" true (C.is_conformant s (conforming ()));
+  (* inherited attributes on a Vip *)
+  let g = conforming () in
+  let v =
+    PG.add_node g ~labels:[ "Vip" ]
+      ~props:
+        [ ("cid", Value.string "c9"); ("tier", Value.string "silver");
+          ("perk", Value.string "lounge") ]
+  in
+  let o = order g "o9" 5. in
+  placed g v o;
+  check Alcotest.bool "vip conforms via inheritance" true (C.is_conformant s g)
+
+let test_unknown_label_and_property () =
+  let s = Lazy.force schema in
+  let g = conforming () in
+  ignore (PG.add_node g ~labels:[ "Alien" ] ~props:[]);
+  let c = customer g "c2" in
+  let o = order g "o2" 1. in
+  placed g c o;
+  PG.set_node_prop g c "ghost" (Value.int 1);
+  let vs = C.check s g in
+  check Alcotest.bool "unknown label" true (List.mem "unknown-label" (rules vs));
+  check Alcotest.bool "unknown property" true
+    (List.mem "unknown-property" (rules vs))
+
+let test_missing_and_domain () =
+  let s = Lazy.force schema in
+  let g = PG.create () in
+  (* missing mandatory tier; bad type for total *)
+  let c =
+    PG.add_node g ~labels:[ "Customer" ] ~props:[ ("cid", Value.string "c1") ]
+  in
+  let o =
+    PG.add_node g ~labels:[ "Order" ]
+      ~props:[ ("oid", Value.string "o1"); ("total", Value.string "ten") ]
+  in
+  placed g c o;
+  let vs = C.check s g in
+  check Alcotest.bool "missing attribute" true
+    (List.mem "missing-attribute" (rules vs));
+  check Alcotest.bool "domain" true (List.mem "domain" (rules vs))
+
+let test_modifiers () =
+  let s = Lazy.force schema in
+  let g = PG.create () in
+  let c1 = customer ~tier:"bronze" g "dup" in
+  let c2 = customer g "dup" in
+  PG.set_node_prop g c1 "age" (Value.int 200);
+  let o1 = order g "o1" 1. and o2 = order g "o2" 2. in
+  placed g c1 o1;
+  placed g c2 o2;
+  let vs = C.check s g in
+  check Alcotest.bool "enum" true (List.mem "enum" (rules vs));
+  check Alcotest.bool "range" true (List.mem "range" (rules vs));
+  check Alcotest.bool "identity/unique duplicate" true
+    (List.mem "identity" (rules vs) || List.mem "unique" (rules vs))
+
+let test_identity_across_hierarchy () =
+  (* a Vip and a Customer sharing a cid is a duplicate identity *)
+  let s = Lazy.force schema in
+  let g = PG.create () in
+  let c = customer g "same" in
+  let v =
+    PG.add_node g ~labels:[ "Vip" ]
+      ~props:[ ("cid", Value.string "same"); ("tier", Value.string "gold") ]
+  in
+  let o1 = order g "o1" 1. and o2 = order g "o2" 2. in
+  placed g c o1;
+  placed g v o2;
+  let vs = C.check s g in
+  check Alcotest.bool "cross-hierarchy identity" true
+    (List.mem "identity" (rules vs))
+
+let test_endpoints () =
+  let s = Lazy.force schema in
+  let g = conforming () in
+  let o2 = order g "o2" 2. in
+  let o3 = order g "o3" 3. in
+  (* Order placed an Order: wrong source *)
+  ignore (PG.add_edge g ~label:"PLACED" ~src:o2 ~dst:o3 ~props:[]);
+  let vs = C.check s g in
+  check Alcotest.bool "endpoint" true (List.mem "endpoint" (rules vs))
+
+let test_cardinalities () =
+  let s = Lazy.force schema in
+  (* an order placed by two customers violates isFun on the To side *)
+  let g = PG.create () in
+  let c1 = customer g "c1" and c2 = customer g "c2" in
+  let o = order g "o1" 1. in
+  placed g c1 o;
+  placed g c2 o;
+  let vs = C.check s g in
+  check Alcotest.bool "max cardinality" true
+    (List.mem "cardinality-max" (rules vs));
+  (* an order with no customer violates the mandatory participation *)
+  let g2 = PG.create () in
+  ignore (order g2 "orphan" 1.);
+  let vs2 = C.check s g2 in
+  check Alcotest.bool "min cardinality" true
+    (List.mem "cardinality-min" (rules vs2))
+
+let test_reject_intensional () =
+  let s = Lazy.force schema in
+  let g = conforming () in
+  let c1 = List.hd (PG.nodes_with_label g "Customer") in
+  ignore (PG.add_edge g ~label:"FREQUENT" ~src:c1 ~dst:c1 ~props:[]);
+  (* allowed by default (materialized knowledge) *)
+  check Alcotest.bool "intensional tolerated" true (C.is_conformant s g);
+  let vs = C.check ~reject_intensional:true s g in
+  check Alcotest.bool "rejected as ground data" true
+    (List.mem "intensional-edge" (rules vs))
+
+let test_company_instance_conforms () =
+  let s = Kgm_finance.Company_schema.load () in
+  let o = Kgm_finance.Generator.generate ~n:150 ~seed:3 () in
+  let g = Kgm_finance.Generator.to_company_graph o in
+  let vs = C.check ~reject_intensional:true s g in
+  (match vs with
+   | [] -> ()
+   | v :: _ -> Alcotest.failf "unexpected violation: %s" v.C.message);
+  (* after materialization the instance still conforms (intensional
+     knowledge allowed) *)
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict s in
+  let inst = Kgmodel.Instances.create dict in
+  ignore
+    (Kgmodel.Materialize.materialize ~instances:inst ~schema:s ~schema_oid:sid
+       ~data:g ~sigma:Kgm_finance.Intensional.full ());
+  check Alcotest.bool "conforms after materialization" true
+    (C.is_conformant s g)
+
+let suite =
+  [ ("conformant instances", `Quick, test_conformant);
+    ("unknown labels and properties", `Quick, test_unknown_label_and_property);
+    ("missing attributes and domains", `Quick, test_missing_and_domain);
+    ("enum/range/unique modifiers", `Quick, test_modifiers);
+    ("identity across hierarchy", `Quick, test_identity_across_hierarchy);
+    ("edge endpoints", `Quick, test_endpoints);
+    ("cardinalities", `Quick, test_cardinalities);
+    ("reject intensional ground data", `Quick, test_reject_intensional);
+    ("company instance conforms", `Quick, test_company_instance_conforms) ]

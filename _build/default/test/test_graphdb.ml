@@ -1,0 +1,228 @@
+(* Tests for the property-graph store and its exporters. *)
+
+open Kgm_common
+module PG = Kgm_graphdb.Pgraph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tiny () =
+  let g = PG.create () in
+  let a = PG.add_node g ~labels:[ "Person" ] ~props:[ ("name", Value.string "ada") ] in
+  let b =
+    PG.add_node g ~labels:[ "Person"; "Employee" ]
+      ~props:[ ("name", Value.string "bob") ]
+  in
+  let c = PG.add_node g ~labels:[ "Company" ] ~props:[] in
+  let e1 = PG.add_edge g ~label:"KNOWS" ~src:a ~dst:b ~props:[ ("since", Value.int 2001) ] in
+  let e2 = PG.add_edge g ~label:"WORKS_AT" ~src:b ~dst:c ~props:[] in
+  (g, a, b, c, e1, e2)
+
+let test_crud () =
+  let g, a, b, _c, e1, _ = tiny () in
+  check Alcotest.int "nodes" 3 (PG.node_count g);
+  check Alcotest.int "edges" 2 (PG.edge_count g);
+  check (Alcotest.list Alcotest.string) "labels" [ "Person"; "Employee" ]
+    (PG.node_labels g b);
+  check Alcotest.bool "prop" true
+    (PG.node_prop g a "name" = Some (Value.string "ada"));
+  check Alcotest.string "edge label" "KNOWS" (PG.edge_label g e1);
+  check Alcotest.bool "edge ends" true (PG.edge_ends g e1 = (a, b));
+  PG.set_node_prop g a "age" (Value.int 36);
+  check Alcotest.bool "set prop" true (PG.node_prop g a "age" = Some (Value.int 36));
+  PG.set_edge_prop g e1 "since" (Value.int 1999);
+  check Alcotest.bool "edge prop updated" true
+    (PG.edge_prop g e1 "since" = Some (Value.int 1999))
+
+let test_label_index () =
+  let g, a, b, c, _, _ = tiny () in
+  check (Alcotest.list Alcotest.bool) "persons" [ true; true ]
+    (List.map (fun id -> id = a || id = b) (PG.nodes_with_label g "Person"));
+  check Alcotest.int "companies" 1 (List.length (PG.nodes_with_label g "Company"));
+  PG.add_node_label g c "Startup";
+  check Alcotest.int "new label indexed" 1
+    (List.length (PG.nodes_with_label g "Startup"));
+  check Alcotest.int "knows edges" 1 (List.length (PG.edges_with_label g "KNOWS"))
+
+let test_find_nodes () =
+  let g, a, _, _, _, _ = tiny () in
+  check (Alcotest.list Alcotest.bool) "by prop" [ true ]
+    (List.map (Oid.equal a)
+       (PG.find_nodes g ~label:"Person" [ ("name", Value.string "ada") ]));
+  check Alcotest.int "no match" 0
+    (List.length (PG.find_nodes g [ ("name", Value.string "zed") ]))
+
+let test_adjacency () =
+  let g, a, b, c, _, _ = tiny () in
+  check (Alcotest.list Alcotest.bool) "out" [ true ]
+    (List.map (Oid.equal b) (PG.neighbors_out ~label:"KNOWS" g a));
+  check (Alcotest.list Alcotest.bool) "in" [ true ]
+    (List.map (Oid.equal b) (PG.neighbors_in g c));
+  check Alcotest.int "filtered" 0 (List.length (PG.out_edges ~label:"WORKS_AT" g a))
+
+let test_removal () =
+  let g, a, b, _, e1, _ = tiny () in
+  PG.remove_edge g e1;
+  check Alcotest.int "edge gone" 1 (PG.edge_count g);
+  check Alcotest.int "adjacency updated" 0 (List.length (PG.out_edges g a));
+  PG.remove_node g b;
+  check Alcotest.int "node gone" 2 (PG.node_count g);
+  check Alcotest.int "incident edges gone" 0 (PG.edge_count g);
+  check Alcotest.int "label index updated" 1
+    (List.length (PG.nodes_with_label g "Person"))
+
+let test_duplicate_id_rejected () =
+  let g, a, _, _, e1, _ = tiny () in
+  (match Kgm_error.guard (fun () -> PG.add_node ~id:a g ~labels:[] ~props:[]) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "node id reuse");
+  match
+    Kgm_error.guard (fun () -> PG.add_edge ~id:e1 g ~label:"X" ~src:a ~dst:a ~props:[])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "edge id reuse"
+
+let test_copy_equal () =
+  let g, _, _, _, _, _ = tiny () in
+  let g2 = PG.copy g in
+  check Alcotest.bool "copies equal" true (PG.equal_graphs g g2);
+  (match PG.node_ids g2 with
+   | id :: _ ->
+       PG.set_node_prop g2 id "mutation" (Value.bool true);
+       check Alcotest.bool "diverged" false (PG.equal_graphs g g2)
+   | [] -> Alcotest.fail "no nodes")
+
+let test_to_digraph () =
+  let g, _, _, _, _, _ = tiny () in
+  let dg, back = PG.to_digraph g in
+  check Alcotest.int "vertices" 3 (Kgm_algo.Digraph.n dg);
+  check Alcotest.int "edges" 2 (Kgm_algo.Digraph.m dg);
+  check Alcotest.int "back map" 3 (Array.length back);
+  let dg2, _ = PG.to_digraph ~edge_label:"KNOWS" g in
+  check Alcotest.int "filtered edges" 1 (Kgm_algo.Digraph.m dg2)
+
+let test_cypher_export () =
+  let g, _, _, _, _, _ = tiny () in
+  let cy = Kgm_graphdb.Pg_export.to_cypher g in
+  check Alcotest.bool "create person" true (contains cy "CREATE (:Person ");
+  check Alcotest.bool "multi label" true (contains cy ":Person:Employee");
+  check Alcotest.bool "edge" true (contains cy "CREATE (a)-[:KNOWS");
+  check Alcotest.bool "prop" true (contains cy "since: 1999" || contains cy "since: 2001")
+
+let test_graphml_export () =
+  let g, _, _, _, _, _ = tiny () in
+  let xml = Kgm_graphdb.Pg_export.to_graphml g in
+  check Alcotest.bool "header" true (contains xml "<graphml");
+  check Alcotest.bool "node" true (contains xml "<node id=");
+  check Alcotest.bool "edge label" true (contains xml "label=\"KNOWS\"")
+
+let test_csv_export () =
+  let g, _, _, _, _, _ = tiny () in
+  let files = Kgm_graphdb.Pg_export.to_csv_bundle g in
+  let names = List.map fst files in
+  check Alcotest.bool "person file" true (List.mem "nodes_Person.csv" names);
+  check Alcotest.bool "knows file" true (List.mem "edges_KNOWS.csv" names);
+  let person = List.assoc "nodes_Person.csv" files in
+  check Alcotest.bool "header has name" true (contains person "_oid,");
+  check Alcotest.bool "row" true (contains person "ada")
+
+let prop_digraph_roundtrip =
+  QCheck.Test.make ~name:"to_digraph preserves degree sums" ~count:50
+    QCheck.(small_list (pair (int_bound 5) (int_bound 5)))
+    (fun edges ->
+      let g = PG.create () in
+      let nodes = Array.init 6 (fun _ -> PG.add_node g ~labels:[ "N" ] ~props:[]) in
+      List.iter
+        (fun (a, b) ->
+          ignore (PG.add_edge g ~label:"E" ~src:nodes.(a) ~dst:nodes.(b) ~props:[]))
+        edges;
+      let dg, _ = PG.to_digraph g in
+      Kgm_algo.Digraph.m dg = List.length edges)
+
+let suite =
+  [ ("crud", `Quick, test_crud);
+    ("label indexes", `Quick, test_label_index);
+    ("find nodes", `Quick, test_find_nodes);
+    ("adjacency", `Quick, test_adjacency);
+    ("removal", `Quick, test_removal);
+    ("duplicate id rejected", `Quick, test_duplicate_id_rejected);
+    ("copy / equal_graphs", `Quick, test_copy_equal);
+    ("analytics projection", `Quick, test_to_digraph);
+    ("cypher export", `Quick, test_cypher_export);
+    ("graphml export", `Quick, test_graphml_export);
+    ("csv export", `Quick, test_csv_export);
+    qtest prop_digraph_roundtrip ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV import (round trip with the export bundle) *)
+
+let test_csv_roundtrip () =
+  let g = PG.create () in
+  let a =
+    PG.add_node g ~labels:[ "Person" ]
+      ~props:
+        [ ("name", Value.string "ada, the first"); ("age", Value.int 36);
+          ("score", Value.float 1.5); ("vip", Value.bool true);
+          ("since", Value.date 2001 5 3) ]
+  in
+  let b = PG.add_node g ~labels:[ "Person" ] ~props:[ ("name", Value.string "bob") ] in
+  let c = PG.add_node g ~labels:[ "Company" ] ~props:[] in
+  ignore (PG.add_edge g ~label:"KNOWS" ~src:a ~dst:b ~props:[ ("w", Value.float 0.25) ]);
+  ignore (PG.add_edge g ~label:"WORKS_AT" ~src:b ~dst:c ~props:[]);
+  let bundle = Kgm_graphdb.Pg_export.to_csv_bundle g in
+  let g2 = Kgm_graphdb.Pg_import.of_csv_bundle bundle in
+  check Alcotest.bool "identical graphs" true (PG.equal_graphs g g2)
+
+let test_csv_parse_edge_cases () =
+  let rows =
+    Kgm_graphdb.Pg_import.parse_csv "a,b,c\n\"x,y\",\"he said \"\"hi\"\"\",3\n"
+  in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  (match rows with
+   | [ _; [ x; quoted; three ] ] ->
+       check Alcotest.string "embedded comma" "x,y" x;
+       check Alcotest.string "escaped quotes" "he said \"hi\"" quoted;
+       check Alcotest.string "plain" "3" three
+   | _ -> Alcotest.fail "bad shape");
+  (* embedded newline in a quoted cell *)
+  match Kgm_graphdb.Pg_import.parse_csv "h\n\"line1\nline2\"\n" with
+  | [ _; [ cell ] ] -> check Alcotest.string "newline kept" "line1\nline2" cell
+  | _ -> Alcotest.fail "embedded newline mishandled"
+
+let test_csv_import_errors () =
+  (match
+     Kgm_error.guard (fun () ->
+         Kgm_graphdb.Pg_import.of_csv_bundle [ ("nodes_X.csv", "name\nada\n") ])
+   with
+  | Error { Kgm_error.stage = Kgm_error.Storage; _ } -> ()
+  | _ -> Alcotest.fail "missing _oid accepted");
+  match
+    Kgm_error.guard (fun () ->
+        Kgm_graphdb.Pg_import.of_csv_bundle
+          [ ("edges_E.csv", "_oid,_src,_dst\n#1,#2,#3\n") ])
+  with
+  | Error { Kgm_error.stage = Kgm_error.Storage; _ } -> ()
+  | _ -> Alcotest.fail "dangling endpoints accepted"
+
+let test_oid_string_roundtrip () =
+  let gen = Oid.make_gen () in
+  List.iter
+    (fun o ->
+      match Oid.of_string (Oid.to_string o) with
+      | Some o' -> check Alcotest.bool "roundtrip" true (Oid.equal o o')
+      | None -> Alcotest.fail "unparsed oid")
+    [ Oid.fresh gen; Oid.fresh_named gen "hint"; Oid.skolem "f" [];
+      Oid.skolem "node" [ "a"; "b" ] ];
+  check Alcotest.bool "garbage rejected" true (Oid.of_string "nonsense" = None)
+
+let suite =
+  suite
+  @ [ ("csv bundle roundtrip", `Quick, test_csv_roundtrip);
+      ("csv parsing edge cases", `Quick, test_csv_parse_edge_cases);
+      ("csv import errors", `Quick, test_csv_import_errors);
+      ("oid string roundtrip", `Quick, test_oid_string_roundtrip) ]

@@ -1,0 +1,328 @@
+(* Tests for the kgmodel core: super-model validation, GSL parsing and
+   round-trips, graph dictionaries, rendering, meta-model. *)
+
+open Kgm_common
+module SM = Kgmodel.Supermodel
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let company = Kgm_finance.Company_schema.load
+
+(* ------------------------------------------------------------------ *)
+(* Super-model *)
+
+let base =
+  SM.empty "t"
+  |> Fun.flip SM.add_node
+       (SM.node "Person" [ SM.attribute ~id:true "code" Value.TString ])
+  |> Fun.flip SM.add_node (SM.node "Worker" [ SM.attribute "job" Value.TString ])
+  |> Fun.flip SM.add_generalization
+       (SM.generalization ~total:false ~disjoint:true "G" ~parent:"Person"
+          ~children:[ "Worker" ])
+
+let test_validate_company () =
+  match SM.validate (company ()) with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let expect_invalid s msg_part =
+  match SM.validate s with
+  | Error es ->
+      check Alcotest.bool
+        (Printf.sprintf "mentions %S" msg_part)
+        true
+        (List.exists (fun e -> contains e msg_part) es)
+  | Ok () -> Alcotest.fail ("expected invalid: " ^ msg_part)
+
+let test_validate_naming () =
+  expect_invalid
+    (SM.add_node (SM.empty "t") (SM.node "badName" []))
+    "PascalCase";
+  expect_invalid
+    (SM.add_node (SM.empty "t")
+       (SM.node "Ok" [ SM.attribute ~id:true "BadAttr" Value.TString ]))
+    "camelCase";
+  expect_invalid
+    (SM.add_edge
+       (SM.add_node
+          (SM.add_node (SM.empty "t")
+             (SM.node "A" [ SM.attribute ~id:true "x" Value.TString ]))
+          (SM.node "B" [ SM.attribute ~id:true "y" Value.TString ]))
+       (SM.edge "badEdge" ~from:"A" ~to_:"B"))
+    "UPPER_CASE"
+
+let test_validate_structure () =
+  expect_invalid
+    (SM.add_edge base (SM.edge "R" ~from:"Person" ~to_:"Ghost"))
+    "missing node";
+  expect_invalid
+    (SM.add_node base (SM.node "Person" []))
+    "duplicate node";
+  expect_invalid
+    (SM.add_node (SM.empty "t") (SM.node "Orphan" []))
+    "no identifying attribute";
+  (* two parents *)
+  expect_invalid
+    (SM.add_generalization
+       (SM.add_node base (SM.node "Other" [ SM.attribute ~id:true "o" Value.TString ]))
+       (SM.generalization "G2" ~parent:"Other" ~children:[ "Worker" ]))
+    "two generalization parents";
+  (* identifying optional *)
+  expect_invalid
+    (SM.add_node (SM.empty "t")
+       (SM.node "A" [ SM.attribute ~id:true ~opt:true "x" Value.TString ]))
+    "cannot be optional";
+  (* generalization cycle *)
+  let cyc =
+    SM.empty "t"
+    |> Fun.flip SM.add_node (SM.node "A" [ SM.attribute ~id:true "x" Value.TString ])
+    |> Fun.flip SM.add_node (SM.node "B" [])
+    |> Fun.flip SM.add_generalization
+         (SM.generalization "G1" ~parent:"A" ~children:[ "B" ])
+    |> Fun.flip SM.add_generalization
+         (SM.generalization "G2" ~parent:"B" ~children:[ "A" ])
+  in
+  expect_invalid cyc "cycle"
+
+let test_hierarchy_queries () =
+  let s = company () in
+  check (Alcotest.list Alcotest.string) "ancestors of PLC"
+    [ "Business"; "LegalPerson"; "Person" ]
+    (SM.ancestors s "PublicListedCompany");
+  check Alcotest.bool "descendants of Person" true
+    (List.mem "PublicListedCompany" (SM.descendants s "Person"));
+  check Alcotest.int "roots" 5 (List.length (SM.roots s));
+  let plc_attrs = SM.all_attributes s "PublicListedCompany" in
+  check Alcotest.bool "inherits fiscalCode" true
+    (List.exists (fun (a : SM.attribute) -> a.SM.at_name = "fiscalCode") plc_attrs);
+  check Alcotest.int "identifier" 1
+    (List.length (SM.identifier_of s "PublicListedCompany"))
+
+let test_stats () =
+  let stats = SM.stats (company ()) in
+  check Alcotest.int "nodes" 11 (List.assoc "SM_Node" stats);
+  check Alcotest.int "edges" 14 (List.assoc "SM_Edge" stats);
+  check Alcotest.int "generalizations" 4 (List.assoc "SM_Generalization" stats);
+  check Alcotest.int "intensional edges" 8
+    (List.assoc "SM_Edge (intensional)" stats)
+
+(* ------------------------------------------------------------------ *)
+(* GSL *)
+
+let test_gsl_parse_company () =
+  let s = company () in
+  check Alcotest.string "name" "company_kg" s.SM.s_name;
+  match SM.find_edge s "HOLDS" with
+  | Some e ->
+      check Alcotest.bool "cardinalities" true
+        (e.SM.e_opt1 && (not e.SM.e_fun1) && (not e.SM.e_opt2) && not e.SM.e_fun2)
+  | None -> Alcotest.fail "HOLDS missing"
+
+let test_gsl_roundtrip_company () =
+  let s = company () in
+  let s2 = Kgmodel.Gsl.parse (Kgmodel.Gsl.print s) in
+  check Alcotest.bool "identical" true (s = s2)
+
+let test_gsl_errors () =
+  let expect_parse_error src =
+    match Kgm_error.guard (fun () -> Kgmodel.Gsl.parse src) with
+    | Error { Kgm_error.stage = Kgm_error.Parse; _ } -> ()
+    | _ -> Alcotest.fail ("expected parse error: " ^ src)
+  in
+  expect_parse_error "schema x { node A { a: unknown_type; } }";
+  expect_parse_error "schema x { node A { a: int @ghost; } }";
+  expect_parse_error "schema x { edge R from A to B [N..1 -> 1..1]; }";
+  expect_parse_error "schema x { blurb A; }";
+  match
+    Kgm_error.guard (fun () ->
+        Kgmodel.Gsl.parse_validated "schema x { node lower { a: int @id; } }")
+  with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected validation error"
+
+let prop_gsl_roundtrip =
+  QCheck.Test.make ~name:"GSL print/parse round-trip" ~count:60 Gen_schema.arb
+    (function
+      | None -> true (* generator produced an invalid draft; skip *)
+      | Some s ->
+          let s2 = Kgmodel.Gsl.parse (Kgmodel.Gsl.print s) in
+          s = s2)
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary *)
+
+let norm (x : SM.t) =
+  { x with
+    SM.nodes = List.sort compare x.SM.nodes;
+    edges = List.sort compare x.SM.edges;
+    generalizations = List.sort compare x.SM.generalizations }
+
+let test_dictionary_roundtrip () =
+  let dict = Kgmodel.Dictionary.create () in
+  let s = company () in
+  let sid = Kgmodel.Dictionary.store dict s in
+  check Alcotest.bool "registered" true
+    (Kgmodel.Dictionary.schemas dict = [ (sid, "company_kg") ]);
+  check Alcotest.bool "find by name" true
+    (Kgmodel.Dictionary.find_schema dict "company_kg" = Some sid);
+  let s2 = Kgmodel.Dictionary.load dict sid in
+  check Alcotest.bool "roundtrip" true (norm s = norm s2)
+
+let test_dictionary_two_schemas_isolated () =
+  let dict = Kgmodel.Dictionary.create () in
+  let s1 = company () in
+  let s2 = Kgmodel.Gsl.parse "schema other { node A { x: int @id; } }" in
+  let id1 = Kgmodel.Dictionary.store dict s1 in
+  let id2 = Kgmodel.Dictionary.store dict s2 in
+  check Alcotest.bool "s1 intact" true (norm (Kgmodel.Dictionary.load dict id1) = norm s1);
+  check Alcotest.bool "s2 intact" true (norm (Kgmodel.Dictionary.load dict id2) = norm s2);
+  check Alcotest.bool "element counts differ" true
+    (Kgmodel.Dictionary.element_count dict id1
+     > Kgmodel.Dictionary.element_count dict id2)
+
+let prop_dictionary_roundtrip =
+  QCheck.Test.make ~name:"dictionary store/load round-trip" ~count:40
+    Gen_schema.arb
+    (function
+      | None -> true
+      | Some s ->
+          let dict = Kgmodel.Dictionary.create () in
+          let sid = Kgmodel.Dictionary.store dict s in
+          norm (Kgmodel.Dictionary.load dict sid) = norm s)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and meta-model *)
+
+let test_render_dot () =
+  let dot = Kgmodel.Render.to_dot (company ()) in
+  check Alcotest.bool "digraph" true (contains dot "digraph company_kg");
+  check Alcotest.bool "intensional dashed" true (contains dot "style=dashed");
+  check Alcotest.bool "generalization arrow" true (contains dot "arrowhead=onormal");
+  check Alcotest.bool "cardinality labels" true (contains dot "taillabel=\"0..N\"")
+
+let test_render_ascii () =
+  let txt = Kgmodel.Render.to_ascii (company ()) in
+  check Alcotest.bool "node block" true (contains txt "PhysicalPerson");
+  check Alcotest.bool "identifying lollipop" true (contains txt "[*] fiscalCode");
+  check Alcotest.bool "generalization" true (contains txt "<|--")
+
+let test_grapheme_legend () =
+  let l = Kgmodel.Render.grapheme_legend () in
+  List.iter
+    (fun c -> check Alcotest.bool c true (contains l c))
+    [ "SM_Node"; "SM_Edge"; "SM_Attribute"; "SM_Generalization" ]
+
+let test_metamodel () =
+  check Alcotest.bool "SM_Node is an entity" true
+    (Kgmodel.Metamodel.meta_construct_of "SM_Node"
+     = Some Kgmodel.Metamodel.MM_Entity);
+  check Alcotest.bool "SM_FROM is a link" true
+    (Kgmodel.Metamodel.meta_construct_of "SM_FROM"
+     = Some Kgmodel.Metamodel.MM_Link);
+  check Alcotest.bool "isOpt is a property" true
+    (Kgmodel.Metamodel.meta_construct_of "isOpt"
+     = Some Kgmodel.Metamodel.MM_Property);
+  check Alcotest.bool "unknown" true
+    (Kgmodel.Metamodel.meta_construct_of "Nope" = None);
+  let dot = Kgmodel.Metamodel.render_gamma_mm () in
+  check Alcotest.bool "meta-model figure" true (contains dot "MM_Entity");
+  let smd = Kgmodel.Metamodel.render_super_model_dictionary () in
+  check Alcotest.bool "super-model figure" true (contains smd "SM_Generalization")
+
+let suite =
+  [ ("validate company schema", `Quick, test_validate_company);
+    ("validate naming conventions", `Quick, test_validate_naming);
+    ("validate structural rules", `Quick, test_validate_structure);
+    ("hierarchy queries", `Quick, test_hierarchy_queries);
+    ("construct census", `Quick, test_stats);
+    ("gsl parse company", `Quick, test_gsl_parse_company);
+    ("gsl roundtrip company", `Quick, test_gsl_roundtrip_company);
+    ("gsl error reporting", `Quick, test_gsl_errors);
+    qtest prop_gsl_roundtrip;
+    ("dictionary roundtrip", `Quick, test_dictionary_roundtrip);
+    ("dictionary isolation", `Quick, test_dictionary_two_schemas_isolated);
+    qtest prop_dictionary_roundtrip;
+    ("render dot", `Quick, test_render_dot);
+    ("render ascii", `Quick, test_render_ascii);
+    ("grapheme legend", `Quick, test_grapheme_legend);
+    ("meta-model", `Quick, test_metamodel) ]
+
+(* ------------------------------------------------------------------ *)
+(* GSL parser edge cases *)
+
+let test_gsl_comments_and_whitespace () =
+  let s =
+    Kgmodel.Gsl.parse
+      {|
+% the design, annotated
+schema c {   % inline comment
+  node A {
+    x: int @id;   % identifying
+  }
+}
+|}
+  in
+  check Alcotest.string "name" "c" s.SM.s_name;
+  check Alcotest.int "one node" 1 (List.length s.SM.nodes)
+
+let test_gsl_empty_bodies () =
+  let s =
+    Kgmodel.Gsl.parse
+      "schema c { node A { x: int @id; } node B {} edge R from A to B; }"
+  in
+  check Alcotest.int "two nodes" 2 (List.length s.SM.nodes);
+  (match SM.find_edge s "R" with
+   | Some e ->
+       check Alcotest.bool "default cardinalities 0..N -> 0..N" true
+         (e.SM.e_opt1 && (not e.SM.e_fun1) && e.SM.e_opt2 && not e.SM.e_fun2)
+   | None -> Alcotest.fail "edge missing")
+
+let test_gsl_all_modifiers_roundtrip () =
+  let src =
+    {|schema m {
+  node A {
+    k: string @id @unique;
+    e: string @enum("x", "y z");
+    d: int @default(7);
+    r: float @opt @range(0.5, none);
+    i: int @intensional;
+  }
+}
+|}
+  in
+  let s = Kgmodel.Gsl.parse src in
+  let s2 = Kgmodel.Gsl.parse (Kgmodel.Gsl.print s) in
+  check Alcotest.bool "modifiers roundtrip" true (s = s2);
+  match SM.find_node s "A" with
+  | Some n ->
+      let attr name =
+        List.find (fun (a : SM.attribute) -> a.SM.at_name = name) n.SM.n_attrs
+      in
+      check Alcotest.bool "enum with space" true
+        ((attr "e").SM.at_modifiers = [ SM.Enum [ "x"; "y z" ] ]);
+      check Alcotest.bool "default" true
+        ((attr "d").SM.at_modifiers = [ SM.Default (Value.int 7) ]);
+      check Alcotest.bool "half-open range" true
+        ((attr "r").SM.at_modifiers = [ SM.Range (Some 0.5, None) ]);
+      check Alcotest.bool "intensional" true (attr "i").SM.at_intensional
+  | None -> Alcotest.fail "A missing"
+
+let test_render_deterministic () =
+  let s = company () in
+  check Alcotest.bool "dot deterministic" true
+    (Kgmodel.Render.to_dot s = Kgmodel.Render.to_dot s);
+  check Alcotest.bool "ascii deterministic" true
+    (Kgmodel.Render.to_ascii s = Kgmodel.Render.to_ascii s)
+
+let suite =
+  suite
+  @ [ ("gsl comments/whitespace", `Quick, test_gsl_comments_and_whitespace);
+      ("gsl empty bodies and defaults", `Quick, test_gsl_empty_bodies);
+      ("gsl all modifiers roundtrip", `Quick, test_gsl_all_modifiers_roundtrip);
+      ("render deterministic", `Quick, test_render_deterministic) ]

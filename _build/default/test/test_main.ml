@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "kgmodel"
+    [ ("common", Test_common.suite);
+      ("algo", Test_algo.suite);
+      ("relational", Test_relational.suite);
+      ("graphdb", Test_graphdb.suite);
+      ("vadalog", Test_vadalog.suite);
+      ("metalog", Test_metalog.suite);
+      ("kgmodel", Test_kgmodel.suite);
+      ("ssst", Test_ssst.suite);
+      ("materialize", Test_materialize.suite);
+      ("finance", Test_finance.suite);
+      ("conformance", Test_conformance.suite);
+      ("schema-diff", Test_schema_diff.suite) ]

@@ -1,0 +1,339 @@
+(* Tests for the MetaLog language and the MTV compiler: parsing, the
+   inductive path-pattern resolution, Kleene-star decidability check,
+   label schemas and the PG bridge. *)
+
+open Kgm_common
+module M = Kgm_metalog
+module PG = Kgm_graphdb.Pgraph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let parse = M.Mparser.parse_program
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_parse_control_example () =
+  let p = parse
+      {| (x: Business) => (x)-[c: CONTROLS]->(x).
+         (x: Business)-[: CONTROLS]->(z: Business)-[: OWNS; percentage: W]->(y: Business),
+           V = sum(W, <z>), V > 0.5
+           => (x)-[c: CONTROLS]->(y). |}
+  in
+  check Alcotest.int "two rules" 2 (List.length p.M.Ast.rules);
+  let r2 = List.nth p.M.Ast.rules 1 in
+  check Alcotest.int "body items" 3 (List.length r2.M.Ast.body);
+  (match r2.M.Ast.body with
+   | [ M.Ast.BChain c; M.Ast.BAgg g; M.Ast.BCond _ ] ->
+       check Alcotest.int "two steps" 2 (List.length c.M.Ast.steps);
+       check Alcotest.bool "monotonic" true
+         (g.Kgm_vadalog.Rule.mode = Kgm_vadalog.Rule.Monotonic);
+       check (Alcotest.list Alcotest.string) "contributors" [ "z" ]
+         g.Kgm_vadalog.Rule.contributors
+   | _ -> Alcotest.fail "unexpected body shape")
+
+let test_parse_inverse_edge () =
+  let p = parse "(x: A)<-[e: R]-(y: B) => (x)-[c: S]->(y)." in
+  match (List.hd p.M.Ast.rules).M.Ast.body with
+  | [ M.Ast.BChain { M.Ast.steps = [ (M.Ast.PInv (M.Ast.PEdge _), _) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected inverse edge step"
+
+let test_parse_path_regex () =
+  let p = parse "(x: A)-/ ([:C]~ [:P])* | [:Q] /->(y: A) => (x)-[d: D]->(y)." in
+  match (List.hd p.M.Ast.rules).M.Ast.body with
+  | [ M.Ast.BChain { M.Ast.steps = [ (M.Ast.PAlt [ M.Ast.PStar _; M.Ast.PEdge _ ], _) ]; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "expected alternation of star and edge"
+
+let test_parse_attr_values () =
+  let p = parse {| (x: P; name: "ada", age: 36, ok: true, score: -1.5) => (x)-[t: T]->(x). |} in
+  match (List.hd p.M.Ast.rules).M.Ast.body with
+  | [ M.Ast.BChain { M.Ast.start = { M.Ast.attrs; _ }; _ } ] ->
+      check Alcotest.int "four attrs" 4 (List.length attrs);
+      check Alcotest.bool "string const" true
+        (List.assoc "name" attrs = M.Ast.AConst (Value.string "ada"));
+      check Alcotest.bool "neg float" true
+        (List.assoc "score" attrs = M.Ast.AConst (Value.float (-1.5)))
+  | _ -> Alcotest.fail "bad parse"
+
+let test_parse_spread () =
+  let p = parse "(x: P; *Q) => (x)-[t: T]->(x)." in
+  match (List.hd p.M.Ast.rules).M.Ast.body with
+  | [ M.Ast.BChain { M.Ast.start = { M.Ast.spread = Some "Q"; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected spread"
+
+let test_pp_roundtrip () =
+  let src =
+    {| (x: Business)-[: CONTROLS]->(z: Business), V = sum(W, <z>), W = 1
+       => (x)-[c: CONTROLS]->(z). |}
+  in
+  let p1 = parse src in
+  let printed = Format.asprintf "%a" M.Ast.pp_program p1 in
+  let p2 = parse printed in
+  check Alcotest.int "rules preserved" (List.length p1.M.Ast.rules)
+    (List.length p2.M.Ast.rules)
+
+(* ------------------------------------------------------------------ *)
+(* Label schemas *)
+
+let tiny_graph () =
+  let g = PG.create () in
+  let a = PG.add_node g ~labels:[ "A" ] ~props:[ ("p", Value.int 1) ] in
+  let b = PG.add_node g ~labels:[ "B" ] ~props:[ ("q", Value.int 2) ] in
+  ignore (PG.add_edge g ~label:"R" ~src:a ~dst:b ~props:[ ("w", Value.float 0.5) ]);
+  g
+
+let test_label_schema_inference () =
+  let g = tiny_graph () in
+  let prog = parse "(x: A; p: P)-[: R; w: W]->(y: B) => (x)-[s: S; total: W]->(y)." in
+  let schema = M.Label_schema.create () in
+  M.Label_schema.observe_graph schema g;
+  M.Label_schema.observe_program schema prog;
+  check (Alcotest.list Alcotest.string) "A props" [ "p" ]
+    (M.Label_schema.node_schema schema "A");
+  check (Alcotest.list Alcotest.string) "R props" [ "w" ]
+    (M.Label_schema.edge_schema schema "R");
+  check (Alcotest.list Alcotest.string) "S props from program" [ "total" ]
+    (M.Label_schema.edge_schema schema "S")
+
+let test_label_namespace_collision () =
+  let prog = parse "(x: R) => (x)-[e: R]->(x)." in
+  match Kgm_error.guard (fun () -> M.Label_schema.infer prog) with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected node/edge label collision error"
+
+(* ------------------------------------------------------------------ *)
+(* MTV translation *)
+
+let test_mtv_control_shape () =
+  let prog = parse
+      {| (x: Business)-[: CONTROLS]->(z: Business)-[: OWNS; percentage: W]->(y: Business),
+           V = sum(W, <z>), V > 0.5
+           => (x)-[c: CONTROLS]->(y). |}
+  in
+  let { M.Mtv.program; _ } = M.Mtv.translate prog in
+  check Alcotest.int "single rule, no aux" 1 (List.length program.Kgm_vadalog.Rule.rules);
+  let r = List.hd program.Kgm_vadalog.Rule.rules in
+  (* head: CONTROLS(C, X, Y); existential edge id *)
+  (match r.Kgm_vadalog.Rule.head with
+   | [ { Kgm_vadalog.Rule.pred = "CONTROLS"; args } ] ->
+       check Alcotest.int "edge arity 3 (id, src, dst)" 3 (List.length args)
+   | _ -> Alcotest.fail "bad head");
+  check Alcotest.bool "existential binder" true
+    (Kgm_vadalog.Rule.existential_vars r = [ "V_c" ])
+
+let test_mtv_star_generates_beta () =
+  let prog = parse "(x: N)-/ [:E]* /->(y: N) => (x)-[d: D]->(y)." in
+  let { M.Mtv.program; _ } = M.Mtv.translate prog in
+  (* one main rule + base and step β rules *)
+  check Alcotest.int "three rules" 3 (List.length program.Kgm_vadalog.Rule.rules);
+  let preds =
+    List.concat_map
+      (fun (r : Kgm_vadalog.Rule.rule) ->
+        List.map (fun (a : Kgm_vadalog.Rule.atom) -> a.Kgm_vadalog.Rule.pred) r.Kgm_vadalog.Rule.head)
+      program.Kgm_vadalog.Rule.rules
+  in
+  check Alcotest.bool "beta predicate" true
+    (List.exists (fun p -> String.length p > 4 && String.sub p 0 4 = "mtv_") preds)
+
+let test_mtv_alternation_generates_alpha () =
+  let prog = parse "(x: N)-/ [:E] | [:F]~ /->(y: N) => (x)-[d: D]->(y)." in
+  let { M.Mtv.program; _ } = M.Mtv.translate prog in
+  check Alcotest.int "main + 2 branch rules" 3
+    (List.length program.Kgm_vadalog.Rule.rules)
+
+let test_mtv_input_annotations () =
+  let prog = parse "(x: A)-[: R]->(y: B) => (x)-[s: S]->(y)." in
+  let { M.Mtv.program; _ } = M.Mtv.translate prog in
+  let inputs =
+    List.filter (fun a -> a.Kgm_vadalog.Rule.a_name = "input")
+      program.Kgm_vadalog.Rule.annotations
+  in
+  check Alcotest.int "A, B, R inputs" 3 (List.length inputs);
+  check Alcotest.bool "cypher query text" true
+    (List.exists
+       (fun a ->
+         match a.Kgm_vadalog.Rule.a_args with
+         | [ "R"; q ] -> q = "MATCH (a)-[e:R]->(b) RETURN e, a, b"
+         | _ -> false)
+       inputs)
+
+let test_star_restriction () =
+  (* star + recursion on the same label-key must be rejected *)
+  let prog = parse
+      {| (x: N)-/ [:E]* /->(y: N) => (x)-[e2: E]->(y). |}
+  in
+  (match Kgm_error.guard (fun () -> M.Mtv.translate prog) with
+   | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+   | _ -> Alcotest.fail "expected star restriction error");
+  (* but different schemaOID selectors are not recursion (SSST mappings) *)
+  let ok = parse
+      {| (x: SM_Node; schemaOID: 1)-/ ([:SM_CHILD; schemaOID: 1]~ [:SM_PARENT; schemaOID: 1])* /->(y: SM_Node; schemaOID: 1),
+           K = #c(x)
+           => (K: SM_Node; schemaOID: 2). |}
+  in
+  match Kgm_error.guard (fun () -> M.Mtv.translate ok) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Kgm_error.to_string e)
+
+let test_spread_only_in_heads () =
+  let prog = parse "(x: A; *P) => (x)-[t: T]->(x)." in
+  match Kgm_error.guard (fun () -> M.Mtv.translate prog) with
+  | Error { Kgm_error.stage = Kgm_error.Translate; _ } -> ()
+  | _ -> Alcotest.fail "expected spread-in-body rejection"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end reasoning on graphs *)
+
+let chain_graph n =
+  let g = PG.create () in
+  let nodes =
+    Array.init n (fun i ->
+        PG.add_node g ~labels:[ "N" ] ~props:[ ("idx", Value.int i) ])
+  in
+  for i = 0 to n - 2 do
+    ignore (PG.add_edge g ~label:"E" ~src:nodes.(i) ~dst:nodes.(i + 1) ~props:[])
+  done;
+  (g, nodes)
+
+let test_star_reachability () =
+  let g, _ = chain_graph 6 in
+  let prog = parse "(x: N)-/ [:E]* /->(y: N) => (x)-[d: D]->(y)." in
+  let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  (* one-or-more closure on a 6-chain: 5+4+3+2+1 = 15 pairs *)
+  check Alcotest.int "closure pairs" 15 ne
+
+let test_inverse_concat () =
+  (* siblings: children of the same parent, via child~ . parent *)
+  let g = PG.create () in
+  let p = PG.add_node g ~labels:[ "N" ] ~props:[] in
+  let a = PG.add_node g ~labels:[ "N" ] ~props:[] in
+  let b = PG.add_node g ~labels:[ "N" ] ~props:[] in
+  ignore (PG.add_edge g ~label:"PARENT" ~src:a ~dst:p ~props:[]);
+  ignore (PG.add_edge g ~label:"PARENT" ~src:b ~dst:p ~props:[]);
+  let prog = parse
+      "(x: N)-/ [:PARENT] [:PARENT]~ /->(y: N) => (x)-[s: SIB]->(y)." in
+  let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  (* pairs: (a,a), (a,b), (b,a), (b,b) *)
+  check Alcotest.int "sibling pairs incl. reflexive" 4 ne
+
+let test_edge_attributes_roundtrip () =
+  let g = tiny_graph () in
+  let prog = parse
+      "(x: A)-[: R; w: W]->(y: B), V = W * 2 => (x)-[s: S; total: V]->(y)." in
+  let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  check Alcotest.int "one derived edge" 1 ne;
+  let s = List.hd (PG.edges_with_label g "S") in
+  check Alcotest.bool "attribute computed" true
+    (PG.edge_prop g s "total" = Some (Value.float 1.0))
+
+let test_derived_node_with_skolem () =
+  let g = tiny_graph () in
+  let prog = parse
+      {| (x: A; p: P), K = #grp(P) => (K: Group; size: P), (x)-[m: IN]->(K). |}
+  in
+  let nn, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  check Alcotest.int "one group node" 1 nn;
+  check Alcotest.int "one membership" 1 ne;
+  let k = List.hd (PG.nodes_with_label g "Group") in
+  check Alcotest.bool "skolem id" true (Oid.is_skolem k)
+
+let test_negated_pattern () =
+  (* employees with no direct report are leaves of the org chart *)
+  let g = PG.create () in
+  let emp name =
+    PG.add_node g ~labels:[ "Employee" ] ~props:[ ("name", Value.string name) ]
+  in
+  let a = emp "ada" and b = emp "bob" and c = emp "cas" in
+  ignore (PG.add_edge g ~label:"REPORTS_TO" ~src:b ~dst:a ~props:[]);
+  ignore (PG.add_edge g ~label:"REPORTS_TO" ~src:c ~dst:a ~props:[]);
+  let prog = parse
+      {| (x: Employee), not ((y: Employee)-[: REPORTS_TO]->(x))
+           => (x)-[t: LEAF]->(x). |}
+  in
+  let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  check Alcotest.int "two leaves" 2 ne;
+  let leaves =
+    List.map
+      (fun e ->
+        let s, _ = PG.edge_ends g e in
+        Value.to_string (Option.get (PG.node_prop g s "name")))
+      (PG.edges_with_label g "LEAF")
+    |> List.sort compare
+  in
+  check (Alcotest.list Alcotest.string) "bob and cas" [ "\"bob\""; "\"cas\"" ] leaves
+
+let test_negation_with_attributes () =
+  (* negation may constrain attributes inside the pattern *)
+  let g = tiny_graph () in
+  let prog = parse
+      {| (x: A), not ((x)-[: R; w: 0.9]->(y: B)) => (x)-[t: NOHEAVY]->(x). |}
+  in
+  let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+  (* the single R edge has w = 0.5, so the negation succeeds *)
+  check Alcotest.int "derived" 1 ne;
+  let g2 = tiny_graph () in
+  let prog2 = parse
+      {| (x: A), not ((x)-[: R; w: 0.5]->(y: B)) => (x)-[t: NOHEAVY]->(x). |}
+  in
+  let _, ne2, _ = M.Pg_bridge.reason_on_graph prog2 g2 in
+  check Alcotest.int "blocked" 0 ne2
+
+let test_negation_roundtrip () =
+  let src = "(x: A), not ((x)-[: R]->(y: B)) => (x)-[t: T]->(x)." in
+  let p1 = parse src in
+  let printed = Format.asprintf "%a" M.Ast.pp_program p1 in
+  let p2 = parse printed in
+  check Alcotest.int "negation survives pp" (List.length p1.M.Ast.rules)
+    (List.length p2.M.Ast.rules)
+
+let prop_star_equals_reachability =
+  QCheck.Test.make ~name:"MetaLog [:E]* = digraph reachability" ~count:40
+    QCheck.(pair (int_range 2 7) (small_list (pair (int_bound 6) (int_bound 6))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (a, b) -> a < n && b < n) edges in
+      let g = PG.create () in
+      let nodes = Array.init n (fun i ->
+          PG.add_node g ~labels:[ "N" ] ~props:[ ("idx", Value.int i) ]) in
+      List.iter
+        (fun (a, b) ->
+          ignore (PG.add_edge g ~label:"E" ~src:nodes.(a) ~dst:nodes.(b) ~props:[]))
+        edges;
+      let prog = parse "(x: N)-/ [:E]* /->(y: N) => (x)-[d: D]->(y)." in
+      let _, ne, _ = M.Pg_bridge.reason_on_graph prog g in
+      (* oracle: pairs (x,y) connected by >= 1 edges *)
+      let dg = Kgm_algo.Digraph.of_edges n edges in
+      let count = ref 0 in
+      for v = 0 to n - 1 do
+        let seen = Array.make n false in
+        Kgm_algo.Digraph.iter_succ dg v (fun w ->
+            let r = Kgm_algo.Traverse.reachable dg w in
+            Array.iteri (fun u b -> if b then seen.(u) <- true) r);
+        Array.iter (fun b -> if b then incr count) seen
+      done;
+      ne = !count)
+
+let suite =
+  [ ("parse Example 4.1", `Quick, test_parse_control_example);
+    ("parse inverse edges", `Quick, test_parse_inverse_edge);
+    ("parse path regex", `Quick, test_parse_path_regex);
+    ("parse attribute literals", `Quick, test_parse_attr_values);
+    ("parse spread", `Quick, test_parse_spread);
+    ("pp roundtrip", `Quick, test_pp_roundtrip);
+    ("label schema inference", `Quick, test_label_schema_inference);
+    ("label namespace collision", `Quick, test_label_namespace_collision);
+    ("MTV: control rule shape", `Quick, test_mtv_control_shape);
+    ("MTV: star -> beta rules", `Quick, test_mtv_star_generates_beta);
+    ("MTV: alternation -> alpha rules", `Quick, test_mtv_alternation_generates_alpha);
+    ("MTV: @input annotations (Ex. 4.4)", `Quick, test_mtv_input_annotations);
+    ("star restriction (Sec. 4)", `Quick, test_star_restriction);
+    ("spread only in heads", `Quick, test_spread_only_in_heads);
+    ("star closure on a chain", `Quick, test_star_reachability);
+    ("inverse + concatenation", `Quick, test_inverse_concat);
+    ("edge attributes through rules", `Quick, test_edge_attributes_roundtrip);
+    ("derived skolem nodes", `Quick, test_derived_node_with_skolem);
+    ("negated patterns", `Quick, test_negated_pattern);
+    ("negation with attributes", `Quick, test_negation_with_attributes);
+    ("negation pp roundtrip", `Quick, test_negation_roundtrip);
+    qtest prop_star_equals_reachability ]

@@ -1,0 +1,256 @@
+(* Tests for the relational substrate: schemas, instances, algebra, SQL. *)
+
+open Kgm_common
+module R = Kgm_relational.Rschema
+module I = Kgm_relational.Instance
+module A = Kgm_relational.Algebra
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let people_schema =
+  R.empty
+  |> Fun.flip R.add_relation
+       (R.relation "person"
+          [ R.field ~key:true "id" Value.TInt;
+            R.field "name" Value.TString;
+            R.field ~nullable:true "age" Value.TInt;
+            R.field ~unique:true "code" Value.TString ])
+  |> Fun.flip R.add_relation
+       (R.relation "city"
+          [ R.field ~key:true "cid" Value.TInt; R.field "label" Value.TString ])
+  |> Fun.flip R.add_relation
+       (R.relation "lives"
+          [ R.field ~key:true "pid" Value.TInt;
+            R.field ~key:true "cid" Value.TInt ])
+  |> fun s ->
+  R.add_foreign_key
+    (R.add_foreign_key s
+       { R.fk_name = "fk_p"; fk_source = "lives"; fk_fields = [ "pid" ];
+         fk_target = "person"; fk_target_fields = [ "id" ] })
+    { R.fk_name = "fk_c"; fk_source = "lives"; fk_fields = [ "cid" ];
+      fk_target = "city"; fk_target_fields = [ "cid" ] }
+
+let test_schema_validate_ok () =
+  match R.validate people_schema with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_schema_validate_errors () =
+  let bad =
+    R.empty
+    |> Fun.flip R.add_relation (R.relation "t" [ R.field "x" Value.TInt ])
+  in
+  (match R.validate bad with
+   | Error es ->
+       check Alcotest.bool "no key reported" true
+         (List.exists (fun e -> e = "relation t has no key") es)
+   | Ok () -> Alcotest.fail "expected error");
+  let bad_fk =
+    R.add_foreign_key people_schema
+      { R.fk_name = "dangling"; fk_source = "lives"; fk_fields = [ "pid" ];
+        fk_target = "nowhere"; fk_target_fields = [] }
+  in
+  (match R.validate bad_fk with
+   | Error es ->
+       check Alcotest.bool "missing target" true
+         (List.exists (fun e -> String.length e > 0 && e.[0] = 'f') es)
+   | Ok () -> Alcotest.fail "expected fk error");
+  let dup =
+    R.relation "t"
+      [ R.field ~key:true "x" Value.TInt; R.field "x" Value.TString ]
+  in
+  (match R.validate (R.add_relation R.empty dup) with
+   | Error es -> check Alcotest.bool "dup field" true (es <> [])
+   | Ok () -> Alcotest.fail "expected dup error")
+
+let test_nullable_key_rejected () =
+  let bad =
+    R.add_relation R.empty
+      (R.relation "t" [ R.field ~key:true ~nullable:true "x" Value.TInt ])
+  in
+  match R.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "nullable key must be rejected"
+
+let test_duplicate_relation_rejected () =
+  Alcotest.check_raises "dup"
+    (Kgm_error.Error { Kgm_error.stage = Kgm_error.Storage; message = "duplicate relation t" })
+    (fun () ->
+      let r = R.relation "t" [ R.field ~key:true "x" Value.TInt ] in
+      ignore (R.add_relation (R.add_relation R.empty r) r))
+
+(* ------------------------------------------------------------------ *)
+
+let sample_instance () =
+  let db = I.create people_schema in
+  I.insert db "person" [| Value.int 1; Value.string "ada"; Value.int 36; Value.string "A" |];
+  I.insert db "person" [| Value.int 2; Value.string "bob"; Value.Null 1; Value.string "B" |];
+  I.insert db "city" [| Value.int 10; Value.string "rome" |];
+  I.insert db "lives" [| Value.int 1; Value.int 10 |];
+  db
+
+let test_insert_and_lookup () =
+  let db = sample_instance () in
+  check Alcotest.int "cardinality" 2 (I.cardinality db "person");
+  check Alcotest.int "total" 4 (I.total_tuples db);
+  (match I.lookup_key db "person" [ Value.int 1 ] with
+   | Some row -> check Alcotest.string "name" "\"ada\"" (Value.to_string row.(1))
+   | None -> Alcotest.fail "key lookup failed");
+  check Alcotest.int "column index" 1 (I.column_index db "person" "name")
+
+let expect_storage_error f =
+  match Kgm_error.guard f with
+  | Error { Kgm_error.stage = Kgm_error.Storage; _ } -> ()
+  | Error e -> Alcotest.fail ("wrong stage: " ^ Kgm_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected storage error"
+
+let test_insert_violations () =
+  let db = sample_instance () in
+  expect_storage_error (fun () ->
+      I.insert db "person" [| Value.int 1; Value.string "dup"; Value.int 1; Value.string "C" |]);
+  expect_storage_error (fun () ->
+      I.insert db "person" [| Value.int 3; Value.int 9; Value.int 1; Value.string "C" |]);
+  expect_storage_error (fun () ->
+      I.insert db "person" [| Value.int 3; Value.string "x"; Value.int 1 |]);
+  expect_storage_error (fun () ->
+      I.insert db "person"
+        [| Value.int 3; Value.Null 2; Value.int 1; Value.string "C" |]);
+  expect_storage_error (fun () -> I.insert db "ghost" [| Value.int 1 |])
+
+let test_insert_named_defaults () =
+  let db = I.create people_schema in
+  I.insert_named db "person"
+    [ ("id", Value.int 5); ("name", Value.string "eve"); ("code", Value.string "E") ];
+  (match I.lookup_key db "person" [ Value.int 5 ] with
+   | Some row -> check Alcotest.bool "age defaulted to null" true (Value.is_null row.(2))
+   | None -> Alcotest.fail "missing");
+  expect_storage_error (fun () ->
+      I.insert_named db "person" [ ("id", Value.int 6); ("name", Value.string "x");
+                                   ("code", Value.string "F"); ("ghost", Value.int 1) ])
+
+let test_validate_fk_and_unique () =
+  let db = sample_instance () in
+  (match I.validate db with Ok () -> () | Error es -> Alcotest.fail (String.concat ";" es));
+  I.insert db "lives" [| Value.int 9; Value.int 10 |];
+  (match I.validate db with
+   | Error es ->
+       check Alcotest.bool "dangling fk" true
+         (List.exists (fun e -> String.length e >= 2 && String.sub e 0 2 = "fk") es)
+   | Ok () -> Alcotest.fail "expected dangling fk");
+  let db2 = I.create people_schema in
+  I.insert db2 "person" [| Value.int 1; Value.string "a"; Value.Null 1; Value.string "X" |];
+  I.insert db2 "person" [| Value.int 2; Value.string "b"; Value.Null 2; Value.string "X" |];
+  (match I.validate db2 with
+   | Error es -> check Alcotest.bool "unique violated" true (es <> [])
+   | Ok () -> Alcotest.fail "expected unique violation")
+
+(* ------------------------------------------------------------------ *)
+(* Algebra *)
+
+let test_select_project () =
+  let db = sample_instance () in
+  let rel = A.of_instance db "person" in
+  check Alcotest.int "all" 2 (A.cardinality rel);
+  let adults = A.select_eq "name" (Value.string "ada") rel in
+  check Alcotest.int "selected" 1 (A.cardinality adults);
+  let names = A.project [ "name" ] rel in
+  check (Alcotest.list Alcotest.string) "names header" [ "name" ] names.A.header;
+  let dedup = A.project_distinct [ "name" ] (A.union names names) in
+  check Alcotest.int "distinct" 2 (A.cardinality dedup)
+
+let test_join () =
+  let db = sample_instance () in
+  let person = A.rename [ ("id", "pid") ] (A.of_instance db "person") in
+  let lives = A.of_instance db "lives" in
+  let joined = A.natural_join person lives in
+  check Alcotest.int "joined rows" 1 (A.cardinality joined);
+  check Alcotest.bool "cid present" true (List.mem "cid" joined.A.header);
+  (* equi join against city *)
+  let city = A.of_instance db "city" in
+  let full = A.equi_join ~left:"cid" ~right:"cid" joined city in
+  check Alcotest.int "two-hop join" 1 (A.cardinality full)
+
+let test_difference_union () =
+  let db = sample_instance () in
+  let rel = A.of_instance db "person" in
+  let ada = A.select_eq "name" (Value.string "ada") rel in
+  let rest = A.difference rel ada in
+  check Alcotest.int "difference" 1 (A.cardinality rest);
+  let back = A.union rest ada in
+  check Alcotest.int "union back" 2 (A.cardinality back)
+
+let prop_join_cardinality =
+  (* |A ⋈ B| on a key equals number of matching pairs; joining a relation
+     with itself on its key returns it (after projecting) *)
+  QCheck.Test.make ~name:"self equi-join on key preserves rows" ~count:100
+    QCheck.(small_list small_nat)
+    (fun xs ->
+      let xs = List.sort_uniq compare xs in
+      let rel =
+        { A.header = [ "k" ];
+          rows = List.map (fun i -> [| Value.int i |]) xs }
+      in
+      let j = A.equi_join ~left:"k" ~right:"k" rel rel in
+      A.cardinality j = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* SQL *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_ddl () =
+  let ddl = Kgm_relational.Sql.ddl people_schema in
+  check Alcotest.bool "create person" true (contains ddl "CREATE TABLE person");
+  check Alcotest.bool "pk" true (contains ddl "PRIMARY KEY (id)");
+  check Alcotest.bool "unique" true (contains ddl "code VARCHAR(255) NOT NULL UNIQUE");
+  check Alcotest.bool "nullable age" true (contains ddl "age INTEGER,");
+  check Alcotest.bool "fk" true
+    (contains ddl "ALTER TABLE lives ADD CONSTRAINT fk_p FOREIGN KEY (pid) REFERENCES person (id);")
+
+let test_sql_literals () =
+  check Alcotest.string "escape" "'it''s'" (Kgm_relational.Sql.sql_literal (Value.string "it's"));
+  check Alcotest.string "date" "DATE '2022-03-29'"
+    (Kgm_relational.Sql.sql_literal (Value.date 2022 3 29));
+  check Alcotest.string "null" "NULL" (Kgm_relational.Sql.sql_literal (Value.Null 1));
+  check Alcotest.string "bool" "TRUE" (Kgm_relational.Sql.sql_literal (Value.bool true))
+
+let test_inserts () =
+  let db = sample_instance () in
+  let sql = Kgm_relational.Sql.inserts db in
+  let lines = String.split_on_char '\n' (String.trim sql) in
+  check Alcotest.int "one insert per tuple" (I.total_tuples db) (List.length lines)
+
+let test_enum_check () =
+  let sch =
+    R.add_relation R.empty
+      (R.relation "t"
+         [ R.field ~key:true "id" Value.TInt;
+           R.field ~enum:[ "a"; "b" ] "kind" Value.TString ])
+  in
+  let db = I.create sch in
+  I.insert db "t" [| Value.int 1; Value.string "a" |];
+  expect_storage_error (fun () -> I.insert db "t" [| Value.int 2; Value.string "z" |]);
+  let ddl = Kgm_relational.Sql.ddl sch in
+  check Alcotest.bool "check clause" true (contains ddl "CHECK (kind IN ('a', 'b'))")
+
+let suite =
+  [ ("schema validate ok", `Quick, test_schema_validate_ok);
+    ("schema validate errors", `Quick, test_schema_validate_errors);
+    ("nullable key rejected", `Quick, test_nullable_key_rejected);
+    ("duplicate relation rejected", `Quick, test_duplicate_relation_rejected);
+    ("instance insert/lookup", `Quick, test_insert_and_lookup);
+    ("instance constraint violations", `Quick, test_insert_violations);
+    ("insert_named defaults", `Quick, test_insert_named_defaults);
+    ("deferred fk/unique validation", `Quick, test_validate_fk_and_unique);
+    ("algebra select/project", `Quick, test_select_project);
+    ("algebra joins", `Quick, test_join);
+    ("algebra union/difference", `Quick, test_difference_union);
+    qtest prop_join_cardinality;
+    ("sql ddl", `Quick, test_ddl);
+    ("sql literals", `Quick, test_sql_literals);
+    ("sql inserts", `Quick, test_inserts);
+    ("enum modifiers", `Quick, test_enum_check) ]

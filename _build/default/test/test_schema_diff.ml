@@ -1,0 +1,122 @@
+(* Tests for super-schema evolution. *)
+
+module SD = Kgmodel.Schema_diff
+
+let check = Alcotest.check
+
+let v1 =
+  Kgmodel.Gsl.parse_validated
+    {|
+schema s {
+  node Person { pid: string @id; name: string @opt; }
+  node Place { addr: string @id; }
+  edge RESIDES from Person to Place [0..1 -> 0..N];
+}
+|}
+
+let test_no_changes () =
+  let d = SD.diff v1 v1 in
+  check Alcotest.int "empty" 0 (List.length d.SD.changes);
+  check Alcotest.bool "compatible" true (d.SD.verdict = SD.Compatible)
+
+let test_additive () =
+  let v2 =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema s {
+  node Person { pid: string @id; name: string @opt; nickname: string @opt; }
+  node Place { addr: string @id; }
+  node Family { fid: string @id; }
+  edge RESIDES from Person to Place [0..1 -> 0..N];
+  intensional edge IN_FAMILY from Person to Family [0..N -> 0..N];
+}
+|}
+  in
+  let d = SD.diff v1 v2 in
+  check Alcotest.bool "compatible" true (d.SD.verdict = SD.Compatible);
+  check Alcotest.bool "added node" true
+    (List.mem (SD.Added_node "Family") d.SD.changes);
+  check Alcotest.bool "added edge" true
+    (List.mem (SD.Added_edge "IN_FAMILY") d.SD.changes);
+  check Alcotest.bool "added attr" true
+    (List.mem (SD.Added_attribute ("Person", "nickname")) d.SD.changes);
+  check Alcotest.int "no hints" 0 (List.length (SD.migration_hints d))
+
+let test_breaking () =
+  let v2 =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema s {
+  node Person { pid: string @id; name: string; }
+  edge RESIDES from Person to Person [1..1 -> 0..N];
+}
+|}
+  in
+  let d = SD.diff v1 v2 in
+  check Alcotest.bool "needs migration" true (d.SD.verdict = SD.Needs_migration);
+  check Alcotest.bool "removed node" true
+    (List.mem (SD.Removed_node "Place") d.SD.changes);
+  check Alcotest.bool "name became mandatory" true
+    (List.mem (SD.Changed_attribute ("Person", "name", "became mandatory"))
+       d.SD.changes);
+  check Alcotest.bool "edge retargeted" true
+    (List.mem (SD.Changed_edge ("RESIDES", "endpoints changed")) d.SD.changes);
+  check Alcotest.bool "participation tightened" true
+    (List.mem (SD.Changed_edge ("RESIDES", "participation became mandatory"))
+       d.SD.changes);
+  check Alcotest.bool "hints produced" true (SD.migration_hints d <> [])
+
+let test_mandatory_addition_is_breaking () =
+  let v2 =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema s {
+  node Person { pid: string @id; name: string @opt; taxCode: string; }
+  node Place { addr: string @id; }
+  edge RESIDES from Person to Place [0..1 -> 0..N];
+}
+|}
+  in
+  let d = SD.diff v1 v2 in
+  check Alcotest.bool "needs migration" true (d.SD.verdict = SD.Needs_migration);
+  check Alcotest.bool "backfill flagged" true
+    (List.exists
+       (function
+         | SD.Changed_attribute ("Person", "taxCode", w) ->
+             w = "added as mandatory: backfill required"
+         | _ -> false)
+       d.SD.changes)
+
+let test_generalization_changes () =
+  let a =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema s {
+  node A { x: string @id; }
+  node B {}
+  generalization G of A = B;
+}
+|}
+  in
+  let b =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema s {
+  node A { x: string @id; }
+  node B {}
+  generalization G of A = B @total @disjoint;
+}
+|}
+  in
+  let d = SD.diff a b in
+  check Alcotest.bool "tightened generalization is breaking" true
+    (d.SD.verdict = SD.Needs_migration);
+  check Alcotest.bool "became total" true
+    (List.mem (SD.Changed_generalization ("G", "became total")) d.SD.changes)
+
+let suite =
+  [ ("identical schemas", `Quick, test_no_changes);
+    ("additive evolution is compatible", `Quick, test_additive);
+    ("breaking changes detected", `Quick, test_breaking);
+    ("mandatory addition needs backfill", `Quick, test_mandatory_addition_is_breaking);
+    ("generalization tightening", `Quick, test_generalization_changes) ]

@@ -1,0 +1,398 @@
+(* Tests for SSST (Algorithm 1) and the target models: the MetaLog
+   mapping programs of Secs. 5.2/5.3 are differentially tested against
+   the native OCaml baselines, on the Company KG and on random
+   super-schemas. *)
+
+open Kgm_common
+module SM = Kgmodel.Supermodel
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let company = Kgm_finance.Company_schema.load
+
+let translate_pg ?strategy s =
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict s in
+  let outcome =
+    Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ?strategy ()) sid
+  in
+  Kgm_targets.Pg_model.decode dict outcome.Kgmodel.Ssst.target_oid
+
+let translate_rel s =
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict s in
+  let outcome =
+    Kgmodel.Ssst.translate dict (Kgm_targets.Relational_model.mapping ()) sid
+  in
+  Kgm_targets.Relational_model.decode dict outcome.Kgmodel.Ssst.target_oid
+
+(* ------------------------------------------------------------------ *)
+(* PG model (Sec. 5.2 / Fig. 6) *)
+
+let test_pg_differential_company () =
+  let s = company () in
+  let derived = translate_pg s in
+  let native = Kgm_targets.Pg_model.translate_native s in
+  check Alcotest.bool "metalog = native" true
+    (Kgm_targets.Pg_model.equal_schema derived native)
+
+let test_pg_multilabel_accumulation () =
+  (* Example 5.1: descendants accumulate every ancestor label *)
+  let s = translate_pg (company ()) in
+  let labels_of primary =
+    List.find_map
+      (fun nk ->
+        match nk.Kgm_targets.Pg_model.nk_labels with
+        | p :: rest when p = primary -> Some rest
+        | _ -> None)
+      s.Kgm_targets.Pg_model.node_kinds
+  in
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "PLC labels"
+    (Some [ "Business"; "LegalPerson"; "Person" ])
+    (labels_of "PublicListedCompany");
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "Person alone"
+    (Some []) (labels_of "Person")
+
+let test_pg_attribute_inheritance () =
+  (* Example 5.1/DG2: children inherit ancestor attributes *)
+  let s = translate_pg (company ()) in
+  let props_of primary =
+    List.find_map
+      (fun nk ->
+        match nk.Kgm_targets.Pg_model.nk_labels with
+        | p :: _ when p = primary ->
+            Some (List.map (fun pr -> pr.Kgm_targets.Pg_model.p_name)
+                    nk.Kgm_targets.Pg_model.nk_props)
+        | _ -> None)
+      s.Kgm_targets.Pg_model.node_kinds
+  in
+  match props_of "StockShare" with
+  | Some props ->
+      check Alcotest.bool "own prop" true (List.mem "numberOfStocks" props);
+      check Alcotest.bool "inherited percentage" true (List.mem "percentage" props);
+      check Alcotest.bool "inherited id" true (List.mem "shareId" props)
+  | None -> Alcotest.fail "StockShare missing"
+
+let test_pg_edge_inheritance () =
+  (* Example 5.2/DG3: HOLDS duplicated onto descendants of both ends *)
+  let s = translate_pg (company ()) in
+  let holds =
+    List.filter
+      (fun rk -> rk.Kgm_targets.Pg_model.rk_name = "HOLDS")
+      s.Kgm_targets.Pg_model.rel_kinds
+  in
+  let pairs =
+    List.map
+      (fun rk -> (rk.Kgm_targets.Pg_model.rk_from, rk.Kgm_targets.Pg_model.rk_to))
+      holds
+  in
+  check Alcotest.bool "direct" true (List.mem ("Person", "Share") pairs);
+  check Alcotest.bool "from descendant" true
+    (List.mem ("PublicListedCompany", "Share") pairs);
+  check Alcotest.bool "to descendant" true (List.mem ("Person", "StockShare") pairs);
+  (* the paper's rules do not compose both inheritances in one edge *)
+  check Alcotest.bool "no double descent" false
+    (List.mem ("PublicListedCompany", "StockShare") pairs)
+
+let test_pg_parent_edge_strategy () =
+  let s = translate_pg ~strategy:"parent-edge" (company ()) in
+  let native = Kgm_targets.Pg_model.translate_native ~strategy:"parent-edge" (company ()) in
+  check Alcotest.bool "differential" true
+    (Kgm_targets.Pg_model.equal_schema s native);
+  let is_a =
+    List.filter
+      (fun rk -> rk.Kgm_targets.Pg_model.rk_name = "IS_A")
+      s.Kgm_targets.Pg_model.rel_kinds
+  in
+  check Alcotest.int "six IS_A links" 6 (List.length is_a);
+  (* single labels in this strategy *)
+  List.iter
+    (fun nk ->
+      check Alcotest.int "one label" 1
+        (List.length nk.Kgm_targets.Pg_model.nk_labels))
+    s.Kgm_targets.Pg_model.node_kinds
+
+let test_pg_unknown_strategy () =
+  match
+    Kgm_error.guard (fun () -> Kgm_targets.Pg_model.mapping ~strategy:"bogus" ())
+  with
+  | Error _ -> ()
+  | Ok m -> (
+      (* mapping is lazy; building the program must fail *)
+      match Kgm_error.guard (fun () -> m.Kgmodel.Ssst.eliminate ~src:1 ~dst:2) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected strategy error")
+
+let test_pg_enforcement_script () =
+  let s = translate_pg (company ()) in
+  let script = Kgm_targets.Pg_model.enforcement_script s in
+  check Alcotest.bool "unique fiscalCode" true
+    (contains script
+       "CREATE CONSTRAINT person_fiscalCode_unique IF NOT EXISTS FOR (n:Person) REQUIRE n.fiscalCode IS UNIQUE;");
+  check Alcotest.bool "mandatory right on HOLDS" true
+    (contains script "()-[r:HOLDS]-() REQUIRE r.right IS NOT NULL")
+
+let test_pg_intensional_flag_carried () =
+  let s = translate_pg (company ()) in
+  let controls =
+    List.find
+      (fun rk -> rk.Kgm_targets.Pg_model.rk_name = "CONTROLS")
+      s.Kgm_targets.Pg_model.rel_kinds
+  in
+  check Alcotest.bool "intensional" true controls.Kgm_targets.Pg_model.rk_intensional;
+  let family =
+    List.find
+      (fun nk -> List.hd nk.Kgm_targets.Pg_model.nk_labels = "Family")
+      s.Kgm_targets.Pg_model.node_kinds
+  in
+  check Alcotest.bool "family intensional" true
+    family.Kgm_targets.Pg_model.nk_intensional
+
+let prop_pg_differential =
+  QCheck.Test.make ~name:"SSST PG mapping = native (random schemas)" ~count:25
+    Gen_schema.arb
+    (function
+      | None -> true
+      | Some s ->
+          Kgm_targets.Pg_model.equal_schema (translate_pg s)
+            (Kgm_targets.Pg_model.translate_native s))
+
+(* ------------------------------------------------------------------ *)
+(* Relational model (Sec. 5.3 / Fig. 8) *)
+
+let test_rel_differential_company () =
+  let s = company () in
+  check Alcotest.bool "metalog = native" true
+    (Kgm_targets.Relational_model.equal_schema (translate_rel s)
+       (Kgm_targets.Relational_model.translate_native s))
+
+let test_rel_schema_valid () =
+  let sch = translate_rel (company ()) in
+  match Kgm_relational.Rschema.validate sch with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let find_rel sch name =
+  match Kgm_relational.Rschema.find_relation sch name with
+  | Some r -> r
+  | None -> Alcotest.fail ("missing relation " ^ name)
+
+let test_rel_many_to_many_bridge () =
+  let sch = translate_rel (company ()) in
+  (* HAS_ROLE is many-to-many: a bridge relation with two FKs *)
+  let bridge = find_rel sch "HAS_ROLE" in
+  let cols =
+    List.map (fun (f : Kgm_relational.Rschema.field) -> f.Kgm_relational.Rschema.f_name)
+      bridge.Kgm_relational.Rschema.r_fields
+  in
+  check Alcotest.bool "role attr on bridge" true (List.mem "role" cols);
+  check Alcotest.bool "person fk col" true (List.mem "person_fiscalCode" cols);
+  let fks =
+    List.filter
+      (fun (fk : Kgm_relational.Rschema.foreign_key) ->
+        fk.Kgm_relational.Rschema.fk_source = "HAS_ROLE")
+      sch.Kgm_relational.Rschema.foreign_keys
+  in
+  check Alcotest.int "two fks" 2 (List.length fks)
+
+let test_rel_one_to_many_fk () =
+  let sch = translate_rel (company ()) in
+  (* RESIDES is [0..1 -> 0..N]: FK on Person, nullable *)
+  let person = find_rel sch "Person" in
+  (match Kgm_relational.Rschema.find_field person "place_addressId" with
+   | Some f -> check Alcotest.bool "nullable fk col" true f.Kgm_relational.Rschema.f_nullable
+   | None -> Alcotest.fail "place fk column missing");
+  (* BELONGS_TO is [1..1 -> 0..N]: FK on Share, non-nullable *)
+  let share = find_rel sch "Share" in
+  match Kgm_relational.Rschema.find_field share "business_fiscalCode" with
+  | Some f -> check Alcotest.bool "mandatory fk col" false f.Kgm_relational.Rschema.f_nullable
+  | None -> Alcotest.fail "share fk column missing"
+
+let test_rel_generalization_fks () =
+  let sch = translate_rel (company ()) in
+  let is_a =
+    List.filter
+      (fun (fk : Kgm_relational.Rschema.foreign_key) ->
+        contains fk.Kgm_relational.Rschema.fk_name "IS_A")
+      sch.Kgm_relational.Rschema.foreign_keys
+  in
+  check Alcotest.int "one fk per child" 6 (List.length is_a);
+  (* child PK = inherited parent key *)
+  let plc = find_rel sch "PublicListedCompany" in
+  let keys = Kgm_relational.Rschema.key_fields plc in
+  check (Alcotest.list Alcotest.string) "PLC key" [ "fiscalCode" ]
+    (List.map (fun (f : Kgm_relational.Rschema.field) -> f.Kgm_relational.Rschema.f_name) keys)
+
+let test_rel_self_edge_bridge () =
+  let sch = translate_rel (company ()) in
+  let rel = find_rel sch "IS_RELATED_TO" in
+  let cols =
+    List.map (fun (f : Kgm_relational.Rschema.field) -> f.Kgm_relational.Rschema.f_name)
+      rel.Kgm_relational.Rschema.r_fields
+  in
+  check Alcotest.bool "two distinct columns" true
+    (List.mem "physical_person_fiscalCode" cols
+     && List.mem "physical_person_fiscalCode_1" cols)
+
+let test_rel_enum_modifier_travels () =
+  let sch = translate_rel (company ()) in
+  let holds = find_rel sch "HOLDS" in
+  match Kgm_relational.Rschema.find_field holds "right" with
+  | Some f ->
+      check (Alcotest.list Alcotest.string) "enum preserved"
+        [ "ownership"; "bareOwnership"; "usufruct" ] f.Kgm_relational.Rschema.f_enum
+  | None -> Alcotest.fail "right column missing"
+
+let test_rel_ddl () =
+  let sch = translate_rel (company ()) in
+  let ddl = Kgm_targets.Relational_model.ddl sch in
+  check Alcotest.bool "tables" true (contains ddl "CREATE TABLE Person");
+  check Alcotest.bool "fks" true (contains ddl "FOREIGN KEY");
+  check Alcotest.bool "enum check" true (contains ddl "CHECK (right IN (")
+
+let prop_rel_differential =
+  QCheck.Test.make ~name:"SSST relational mapping = native (random schemas)"
+    ~count:25 Gen_schema.arb
+    (function
+      | None -> true
+      | Some s ->
+          Kgm_targets.Relational_model.equal_schema (translate_rel s)
+            (Kgm_targets.Relational_model.translate_native s))
+
+let prop_rel_valid =
+  QCheck.Test.make ~name:"translated relational schemas validate" ~count:25
+    Gen_schema.arb
+    (function
+      | None -> true
+      | Some s ->
+          (match Kgm_relational.Rschema.validate (translate_rel s) with
+           | Ok () -> true
+           | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Triple and CSV targets *)
+
+let test_rdfs () =
+  let schema = Kgm_targets.Triple_model.translate_native (company ()) in
+  let rdfs = Kgm_targets.Triple_model.to_rdfs schema in
+  check Alcotest.bool "subclass preserved" true
+    (contains rdfs ":PublicListedCompany a rdfs:Class ;\n    rdfs:subClassOf :Business");
+  check Alcotest.bool "object property" true
+    (contains rdfs ":HOLDS a owl:ObjectProperty");
+  check Alcotest.bool "datatype property" true
+    (contains rdfs ":Person_fiscalCode a owl:DatatypeProperty");
+  check Alcotest.bool "reified statement class" true
+    (contains rdfs ":HOLDSStatement a rdfs:Class");
+  check Alcotest.bool "intensional comment" true
+    (contains rdfs "rdfs:comment \"intensional\"")
+
+let test_csv () =
+  let bundle = Kgm_targets.Csv_model.translate_native (company ()) in
+  let names = List.map (fun f -> f.Kgm_targets.Csv_model.filename)
+      bundle.Kgm_targets.Csv_model.files in
+  check Alcotest.bool "person file" true (List.mem "person.csv" names);
+  check Alcotest.bool "bridge file" true (List.mem "has_role.csv" names);
+  check Alcotest.bool "manifest links" true
+    (contains bundle.Kgm_targets.Csv_model.manifest "link ")
+
+let test_csv_instance_render () =
+  let sch =
+    Kgm_relational.Rschema.add_relation Kgm_relational.Rschema.empty
+      (Kgm_relational.Rschema.relation "t"
+         [ Kgm_relational.Rschema.field ~key:true "id" Value.TInt;
+           Kgm_relational.Rschema.field ~nullable:true "txt" Value.TString ])
+  in
+  let db = Kgm_relational.Instance.create sch in
+  Kgm_relational.Instance.insert db "t" [| Value.int 1; Value.string "a,b" |];
+  Kgm_relational.Instance.insert db "t" [| Value.int 2; Value.Null 1 |];
+  match Kgm_targets.Csv_model.render_instance db with
+  | [ ("t.csv", doc) ] ->
+      check Alcotest.bool "quoted comma" true (contains doc "\"\"\"a,b\"\"\"");
+      check Alcotest.bool "null empty" true (contains doc "2,\n")
+  | _ -> Alcotest.fail "unexpected bundle"
+
+(* intermediate schema S- inspection: Algorithm 1 really is two phases *)
+let test_intermediate_schema () =
+  let dict = Kgmodel.Dictionary.create () in
+  let sid = Kgmodel.Dictionary.store dict (company ()) in
+  let outcome = Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ()) sid in
+  let inter = Kgmodel.Dictionary.element_count dict outcome.Kgmodel.Ssst.intermediate_oid in
+  let target = Kgmodel.Dictionary.element_count dict outcome.Kgmodel.Ssst.target_oid in
+  let source = Kgmodel.Dictionary.element_count dict sid in
+  check Alcotest.bool "S- grows (inheritance)" true (inter > source);
+  check Alcotest.bool "S' nonempty" true (target > 0);
+  check Alcotest.bool "phases ran" true
+    (outcome.Kgmodel.Ssst.eliminate_stats.Kgm_vadalog.Engine.new_facts > 0
+     && outcome.Kgmodel.Ssst.copy_stats.Kgm_vadalog.Engine.new_facts > 0)
+
+let suite =
+  [ ("PG differential: company (Fig. 6)", `Quick, test_pg_differential_company);
+    ("PG multi-label accumulation (Ex. 5.1)", `Quick, test_pg_multilabel_accumulation);
+    ("PG attribute inheritance", `Quick, test_pg_attribute_inheritance);
+    ("PG edge inheritance (Ex. 5.2)", `Quick, test_pg_edge_inheritance);
+    ("PG parent-edge strategy", `Quick, test_pg_parent_edge_strategy);
+    ("PG unknown strategy rejected", `Quick, test_pg_unknown_strategy);
+    ("PG enforcement script", `Quick, test_pg_enforcement_script);
+    ("PG intensional flags carried", `Quick, test_pg_intensional_flag_carried);
+    qtest prop_pg_differential;
+    ("relational differential: company (Fig. 8)", `Quick, test_rel_differential_company);
+    ("relational schema validates", `Quick, test_rel_schema_valid);
+    ("many-to-many bridging", `Quick, test_rel_many_to_many_bridge);
+    ("one-to-many FK direction", `Quick, test_rel_one_to_many_fk);
+    ("generalization FKs", `Quick, test_rel_generalization_fks);
+    ("self-edge bridge columns", `Quick, test_rel_self_edge_bridge);
+    ("enum modifier travels", `Quick, test_rel_enum_modifier_travels);
+    ("relational DDL", `Quick, test_rel_ddl);
+    qtest prop_rel_differential;
+    qtest prop_rel_valid;
+    ("RDF-S target", `Quick, test_rdfs);
+    ("CSV target", `Quick, test_csv);
+    ("CSV instance rendering", `Quick, test_csv_instance_render);
+    ("intermediate schema S-", `Quick, test_intermediate_schema) ]
+
+(* ------------------------------------------------------------------ *)
+(* Default / Range modifiers travel into the DDL *)
+
+let test_default_range_modifiers () =
+  let s =
+    Kgmodel.Gsl.parse_validated
+      {|
+schema m {
+  node Account {
+    accId: string @id;
+    balance: float @range(0.0, 1000000.0) @default(0.0);
+    status: string @default("open") @enum("open", "closed");
+  }
+}
+|}
+  in
+  let derived = translate_rel s in
+  let native = Kgm_targets.Relational_model.translate_native s in
+  check Alcotest.bool "differential with modifiers" true
+    (Kgm_targets.Relational_model.equal_schema derived native);
+  let account =
+    match Kgm_relational.Rschema.find_relation derived "Account" with
+    | Some r -> r
+    | None -> Alcotest.fail "Account missing"
+  in
+  (match Kgm_relational.Rschema.find_field account "balance" with
+   | Some f ->
+       check Alcotest.bool "range carried" true
+         (f.Kgm_relational.Rschema.f_range = (Some 0., Some 1_000_000.));
+       check Alcotest.bool "default carried" true
+         (f.Kgm_relational.Rschema.f_default = Some (Value.float 0.))
+   | None -> Alcotest.fail "balance missing");
+  let ddl = Kgm_targets.Relational_model.ddl derived in
+  check Alcotest.bool "DEFAULT clause" true (contains ddl "DEFAULT 0");
+  check Alcotest.bool "range CHECK" true
+    (contains ddl "CHECK (balance >= 0 AND balance <= 1000000)");
+  check Alcotest.bool "string default" true (contains ddl "DEFAULT 'open'")
+
+let suite =
+  suite @ [ ("default/range modifiers in DDL", `Quick, test_default_range_modifiers) ]

@@ -1,0 +1,732 @@
+(* Tests for the Vadalog engine: parsing, semantics of the chase,
+   negation, aggregation, existentials, wardedness analysis, and the
+   semi-naive / restricted-chase ablations. *)
+
+open Kgm_common
+module V = Kgm_vadalog
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run ?options src =
+  let p = V.Parser.parse_program src in
+  V.Engine.run_program ?options p
+
+let facts db pred =
+  List.map Array.to_list (V.Engine.query db pred) |> List.sort compare
+
+let ints xs = List.map (List.map Value.int) xs
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser *)
+
+let test_lexer_tokens () =
+  let toks = V.Lexer.tokenize "p(X) :- q(X), X >= 1.5. % comment\n@out(\"a\")." in
+  check Alcotest.bool "nonempty" true (List.length toks > 8);
+  check Alcotest.bool "comment stripped" true
+    (List.for_all
+       (fun t -> match t.V.Lexer.tok with V.Lexer.IDENT "comment" -> false | _ -> true)
+       toks)
+
+let test_lexer_string_escape () =
+  match V.Lexer.tokenize {|"a\"b\n"|} with
+  | [ { V.Lexer.tok = V.Lexer.STRING s; _ }; _ ] ->
+      check Alcotest.string "escapes" "a\"b\n" s
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_unterminated () =
+  match Kgm_error.guard (fun () -> V.Lexer.tokenize "\"abc") with
+  | Error { Kgm_error.stage = Kgm_error.Parse; _ } -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parser_facts_and_rules () =
+  let p = V.Parser.parse_program
+      {| edge(a, b). edge(b, c).
+         tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- tc(X, Y), edge(Y, Z). |}
+  in
+  check Alcotest.int "facts" 2 (List.length p.V.Rule.facts);
+  check Alcotest.int "rules" 2 (List.length p.V.Rule.rules)
+
+let test_parser_negative_numbers () =
+  let db, _ = run "v(-3). v(-1.5). big(X) :- v(X), X < 0." in
+  check Alcotest.int "two" 2 (List.length (facts db "big"))
+
+let test_parser_annotations () =
+  let p = V.Parser.parse_program {|@input("own", "csv:own.csv"). p(a).|} in
+  (match p.V.Rule.annotations with
+   | [ { V.Rule.a_name = "input"; a_args = [ "own"; "csv:own.csv" ] } ] -> ()
+   | _ -> Alcotest.fail "annotation mismatch")
+
+let test_parser_anonymous_vars () =
+  let db, _ = run "p(1, 2). p(3, 4). q(X) :- p(X, _)." in
+  check Alcotest.int "projected" 2 (List.length (facts db "q"))
+
+let test_pp_roundtrip () =
+  let src =
+    {| edge(a, b).
+       tc(X, Y) :- edge(X, Y).
+       tc(X, Z) :- tc(X, Y), edge(Y, Z), X != Z.
+       agg(X, S) :- tc(X, Y), W = 1, S = sum(W).
+    |}
+  in
+  let p1 = V.Parser.parse_program src in
+  let printed = V.Rule.program_to_string p1 in
+  let p2 = V.Parser.parse_program printed in
+  check Alcotest.int "same rule count" (List.length p1.V.Rule.rules)
+    (List.length p2.V.Rule.rules);
+  (* both programs compute the same fixpoint *)
+  let db1, _ = run src in
+  let db2, _ = run printed in
+  check Alcotest.bool "same tc" true (facts db1 "tc" = facts db2 "tc")
+
+let test_parse_error_position () =
+  match Kgm_error.guard (fun () -> V.Parser.parse_program "p(X :- q(X).") with
+  | Error { Kgm_error.stage = Kgm_error.Parse; message } ->
+      check Alcotest.bool "line number in message" true
+        (String.length message > 0)
+  | _ -> Alcotest.fail "expected parse error"
+
+(* ------------------------------------------------------------------ *)
+(* Core semantics *)
+
+let test_transitive_closure () =
+  let db, _ = run
+      {| edge(1, 2). edge(2, 3). edge(3, 4).
+         tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- tc(X, Y), edge(Y, Z). |}
+  in
+  check Alcotest.int "6 pairs" 6 (List.length (facts db "tc"))
+
+let test_same_generation () =
+  let db, _ = run
+      {| par(a, x). par(b, x). par(c, y). par(d, y). par(x, r). par(y, r).
+         sg(A, B) :- par(A, P), par(B, P), A != B.
+         sg(A, B) :- par(A, P), par(B, Q), sg(P, Q). |}
+  in
+  (* 6 sibling pairs (both directions) + 8 cousin pairs *)
+  check Alcotest.int "same generation pairs" 14 (List.length (facts db "sg"))
+
+let test_stratified_negation () =
+  let db, _ = run
+      {| node(1). node(2). node(3). edge(1, 2).
+         connected(X) :- edge(X, _).
+         connected(X) :- edge(_, X).
+         isolated(X) :- node(X), not connected(X). |}
+  in
+  check Alcotest.bool "isolated 3" true (facts db "isolated" = ints [ [ 3 ] ])
+
+let test_unstratifiable_rejected () =
+  match Kgm_error.guard (fun () -> run "p(X) :- q(X), not p(X). q(1).") with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected stratification error"
+
+let test_unsafe_rejected () =
+  match Kgm_error.guard (fun () -> run "p(X) :- q(Y), X > 2. q(1).") with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected safety error"
+
+let test_conditions_and_arith () =
+  let db, _ = run
+      {| n(1). n(2). n(3). n(4).
+         even(X) :- n(X), Y = X / 2, Z = floor(to_float(Y)) * 2,
+                    XF = to_float(X), ZF = to_float(Z), XF == ZF.
+         double(X, Y) :- n(X), Y = X * 2. |}
+  in
+  check Alcotest.int "doubles" 4 (List.length (facts db "double"));
+  check Alcotest.int "evens" 2 (List.length (facts db "even"));
+  check Alcotest.bool "arith" true
+    (List.mem [ Value.int 3; Value.int 6 ] (facts db "double"))
+
+let test_string_builtins () =
+  let db, _ = run
+      {| w("Hello"). w("KG").
+         up(Y) :- w(X), Y = upper(X).
+         len(X, N) :- w(X), N = strlen(X).
+         cat(Z) :- w(X), w(Y), X != Y, Z = X ++ "-" ++ Y. |}
+  in
+  check Alcotest.bool "upper" true
+    (List.mem [ Value.string "HELLO" ] (facts db "up"));
+  check Alcotest.bool "strlen" true
+    (List.mem [ Value.string "KG"; Value.int 2 ] (facts db "len"));
+  check Alcotest.int "concat pairs" 2 (List.length (facts db "cat"))
+
+let test_assignment_as_check () =
+  (* assigning to a bound variable acts as an equality filter *)
+  let db, _ = run "p(1). p(2). q(X) :- p(X), X = 1." in
+  check Alcotest.bool "filtered" true (facts db "q" = ints [ [ 1 ] ])
+
+let test_bool_conditions () =
+  let db, _ = run
+      {| t(1, true). t(2, false).
+         on(X) :- t(X, B), B == true.
+         off(X) :- t(X, B), B == false. |}
+  in
+  check Alcotest.bool "on" true (facts db "on" = ints [ [ 1 ] ]);
+  check Alcotest.bool "off" true (facts db "off" = ints [ [ 2 ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+let test_stratified_sum () =
+  let db, _ = run
+      {| holds(s1, a, 0.5). holds(s2, a, 0.3). holds(s3, b, 1.0).
+         total(C, T) :- holds(S, C, W), T = sum(W). |}
+  in
+  check Alcotest.bool "totals" true
+    (facts db "total"
+     = List.sort compare
+         [ [ Value.string "a"; Value.float 0.8 ];
+           [ Value.string "b"; Value.float 1.0 ] ])
+
+let test_stratified_count_min_max () =
+  let db, _ = run
+      {| s(a, 3). s(a, 5). s(b, 2).
+         c(K, N) :- s(K, V), N = count(V).
+         mn(K, M) :- s(K, V), M = min(V).
+         mx(K, M) :- s(K, V), M = max(V). |}
+  in
+  check Alcotest.bool "count a" true
+    (List.mem [ Value.string "a"; Value.int 2 ] (facts db "c"));
+  check Alcotest.bool "min a" true
+    (List.mem [ Value.string "a"; Value.int 3 ] (facts db "mn"));
+  check Alcotest.bool "max a" true
+    (List.mem [ Value.string "a"; Value.int 5 ] (facts db "mx"))
+
+let test_distinct_contributor_agg () =
+  (* dsum dedups by contributor key at fixpoint: duplicated atoms do not
+     double count *)
+  let db, _ = run
+      {| h(p1, s1, c, 0.4). h(p2, s2, c, 0.3).
+         mirror(P, S, C, W) :- h(P, S, C, W).
+         tot(C, T) :- h(P, S, C, W), mirror(P, S, C, W), T = dsum(W, <S>). |}
+  in
+  check Alcotest.bool "dedup by share" true
+    (facts db "tot" = [ [ Value.string "c"; Value.float 0.7 ] ])
+
+let test_monotonic_sum_recursion () =
+  let db, _ = run
+      {| company(a). company(b). company(c). company(d).
+         own(a, b, 0.3). own(a, c, 0.6). own(c, b, 0.25). own(b, d, 0.6). own(c, d, 0.1).
+         controls(X, X) :- company(X).
+         controls(X, Y) :- controls(X, Z), own(Z, Y, W), V = sum(W, <Z>), V > 0.5. |}
+  in
+  let nonrefl =
+    List.filter (function [ a; b ] -> a <> b | _ -> false) (facts db "controls")
+  in
+  check Alcotest.bool "control set" true
+    (nonrefl
+     = List.sort compare
+         [ [ Value.string "a"; Value.string "b" ];
+           [ Value.string "a"; Value.string "c" ];
+           [ Value.string "a"; Value.string "d" ];
+           [ Value.string "b"; Value.string "d" ] ])
+
+let test_monotonic_count () =
+  let db, _ = run
+      {| e(a, b). e(a, c). e(a, d).
+         deg(X, N) :- e(X, Y), N = count(Y, <Y>), N >= 2. |}
+  in
+  (* partial counts stream: 2 and 3 both appear; threshold filters 1 *)
+  let counts = List.filter_map (function
+      | [ Value.String "a"; Value.Int n ] -> Some n
+      | _ -> None) (facts db "deg") in
+  check (Alcotest.list Alcotest.int) "streamed counts" [ 2; 3 ] (List.sort compare counts)
+
+let test_pack_unpack () =
+  let db, _ = run
+      {| attr(n1, "name", "ada"). attr(n1, "age", 36).
+         packed(N, P) :- attr(N, K, V), X = pair(K, V), P = pack(X).
+         name(N, V) :- packed(N, P), V = unpack(P, "name").
+         missing(N, V) :- packed(N, P), V = unpack_or(P, "ghost", "none"). |}
+  in
+  check Alcotest.bool "unpacked" true
+    (facts db "name" = [ [ Value.string "n1"; Value.string "ada" ] ]);
+  check Alcotest.bool "default" true
+    (facts db "missing" = [ [ Value.string "n1"; Value.string "none" ] ])
+
+let test_agg_in_cycle_rejected () =
+  match
+    Kgm_error.guard (fun () ->
+        run "p(X, S) :- p(X, W), S = sum(W). p(a, 1).")
+  with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected aggregated-cycle rejection"
+
+(* ------------------------------------------------------------------ *)
+(* Existentials, skolems, chase *)
+
+let test_existential_invention () =
+  let db, _ = run "person(p). node(N, X) :- person(X)." in
+  match facts db "node" with
+  | [ [ n; Value.String "p" ] ] ->
+      check Alcotest.bool "labeled null" true (Value.is_null n)
+  | _ -> Alcotest.fail "expected one invented node"
+
+let test_restricted_chase_terminates () =
+  (* employee-manager: everyone has a manager, managers are employees *)
+  let db, stats = run
+      {| emp(e1).
+         mgr(X, M) :- emp(X).
+         emp(M) :- mgr(X, M). |}
+  in
+  check Alcotest.bool "terminates small" true (stats.V.Engine.rounds < 10);
+  check Alcotest.bool "bounded facts" true (List.length (facts db "emp") <= 3)
+
+let test_oblivious_chase_budget () =
+  let options =
+    { V.Engine.default_options with
+      V.Engine.restricted_chase = false;
+      max_facts = 500 }
+  in
+  match
+    Kgm_error.guard (fun () ->
+        run ~options
+          {| emp(e1).
+             mgr(X, M) :- emp(X).
+             emp(M) :- mgr(X, M). |})
+  with
+  | Error { Kgm_error.stage = Kgm_error.Reason; _ } -> ()
+  | _ -> Alcotest.fail "oblivious chase should exhaust the budget"
+
+let test_skolem_reuse () =
+  let db, _ = run
+      {| p(a). p(b). q(a).
+         node(K, X) :- p(X), K = #n(X).
+         node2(K, X) :- q(X), K = #n(X). |}
+  in
+  (* same functor+args -> same id across rules *)
+  match facts db "node", facts db "node2" with
+  | [ [ ka; _ ]; _ ], [ [ ka'; _ ] ] ->
+      check Alcotest.bool "shared skolem" true (Value.equal ka ka')
+  | _ -> Alcotest.fail "unexpected shapes"
+
+let test_multi_atom_head () =
+  let db, _ = run
+      {| person(p).
+         dept(D, X), member(X, D) :- person(X). |}
+  in
+  (match facts db "dept", facts db "member" with
+   | [ [ d; _ ] ], [ [ _; d' ] ] ->
+       check Alcotest.bool "shared existential" true (Value.equal d d')
+   | _ -> Alcotest.fail "expected one fact each");
+  (* idempotence: rerunning the program derives nothing new *)
+  let p = V.Parser.parse_program "dept(D, X), member(X, D) :- person(X)." in
+  let db2 = db in
+  let stats = V.Engine.run p db2 in
+  check Alcotest.int "idempotent" 0 stats.V.Engine.new_facts
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let test_wardedness_ok () =
+  let p = V.Parser.parse_program
+      {| mgr(X, M) :- emp(X).
+         emp(M) :- mgr(X, M). |}
+  in
+  let r = V.Analysis.wardedness p in
+  check Alcotest.bool "warded" true r.V.Analysis.warded
+
+let test_wardedness_violation () =
+  (* two dangerous variables from different atoms joined in the head *)
+  let p = V.Parser.parse_program
+      {| p(X, Y) :- a(X).
+         p2(X, Y) :- b(X).
+         both(Y, Z) :- p(X, Y), p2(W, Z). |}
+  in
+  let r = V.Analysis.wardedness p in
+  check Alcotest.bool "not warded" false r.V.Analysis.warded;
+  check Alcotest.bool "violation reported" true (r.V.Analysis.violations <> [])
+
+let test_check_wardedness_option () =
+  let options = { V.Engine.default_options with V.Engine.check_wardedness = true } in
+  match
+    Kgm_error.guard (fun () ->
+        run ~options
+          {| a(1). b(2).
+             p(X, Y) :- a(X).
+             p2(X, Y) :- b(X).
+             both(Y, Z) :- p(X, Y), p2(W, Z). |})
+  with
+  | Error { Kgm_error.stage = Kgm_error.Validate; _ } -> ()
+  | _ -> Alcotest.fail "expected wardedness rejection"
+
+let test_stratify_structure () =
+  let p = V.Parser.parse_program
+      {| b(X) :- a(X).
+         c(X) :- b(X), not a2(X).
+         a2(X) :- a(X). |}
+  in
+  let s = V.Analysis.stratify p in
+  let stratum pred = V.Analysis.SMap.find pred s.V.Analysis.stratum_of in
+  check Alcotest.bool "a before c" true (stratum "a" < stratum "c");
+  check Alcotest.bool "a2 before c" true (stratum "a2" < stratum "c")
+
+let test_recursive_detection () =
+  let p1 = V.Parser.parse_program "tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z)." in
+  check Alcotest.bool "recursive" true (V.Analysis.is_recursive_program p1);
+  let p2 = V.Parser.parse_program "b(X) :- a(X). c(X) :- b(X)." in
+  check Alcotest.bool "non-recursive" false (V.Analysis.is_recursive_program p2)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: naive vs semi-naive, restricted vs oblivious *)
+
+let tc_program n =
+  let buf = Buffer.create 256 in
+  for i = 1 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "edge(%d, %d). " i (i + 1))
+  done;
+  Buffer.add_string buf "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+  Buffer.contents buf
+
+let test_naive_equals_semi_naive () =
+  let src = tc_program 12 in
+  let db1, s1 = run src in
+  let db2, s2 =
+    run ~options:{ V.Engine.default_options with V.Engine.semi_naive = false } src
+  in
+  check Alcotest.bool "same fixpoint" true (facts db1 "tc" = facts db2 "tc");
+  check Alcotest.bool "both count facts equally" true
+    (s1.V.Engine.new_facts = s2.V.Engine.new_facts)
+
+let test_oblivious_equals_restricted_nonrecursive () =
+  (* on programs without existential recursion the chase variants agree *)
+  let src = "p(1). p(2). q(X, Y) :- p(X), p(Y)." in
+  let db1, _ = run src in
+  let db2, _ =
+    run ~options:{ V.Engine.default_options with V.Engine.restricted_chase = false } src
+  in
+  check Alcotest.bool "same" true (facts db1 "q" = facts db2 "q")
+
+let prop_tc_matches_reachability =
+  QCheck.Test.make ~name:"datalog TC = BFS reachability" ~count:60
+    QCheck.(pair (int_range 2 8) (small_list (pair (int_bound 7) (int_bound 7))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (a, b) -> a < n && b < n) edges in
+      let src =
+        String.concat " "
+          (List.map (fun (a, b) -> Printf.sprintf "edge(%d, %d)." a b) edges)
+        ^ " tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."
+      in
+      let db, _ = run src in
+      let g = Kgm_algo.Digraph.of_edges n edges in
+      let expected = ref [] in
+      for v = 0 to n - 1 do
+        if Kgm_algo.Digraph.out_degree g v > 0 then begin
+          let d = Kgm_algo.Traverse.bfs g v in
+          Array.iteri
+            (fun w dist ->
+              if dist > 0 then expected := [ Value.int v; Value.int w ] :: !expected)
+            d
+        end
+      done;
+      (* BFS distance 0 misses self-loops reachable via cycles; recompute
+         with explicit cycle check *)
+      let self = ref [] in
+      List.iter
+        (fun (a, b) ->
+          ignore a;
+          ignore b)
+        edges;
+      for v = 0 to n - 1 do
+        let reachable_back = ref false in
+        Kgm_algo.Digraph.iter_succ g v (fun w ->
+            let d = Kgm_algo.Traverse.bfs g w in
+            if w = v || (v < Array.length d && d.(v) >= 0) then reachable_back := true);
+        if !reachable_back then self := [ Value.int v; Value.int v ] :: !self
+      done;
+      let expected = List.sort_uniq compare (!expected @ !self) in
+      facts db "tc" = expected)
+
+let suite =
+  [ ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer string escapes", `Quick, test_lexer_string_escape);
+    ("lexer unterminated string", `Quick, test_lexer_unterminated);
+    ("parser facts and rules", `Quick, test_parser_facts_and_rules);
+    ("parser negative numbers", `Quick, test_parser_negative_numbers);
+    ("parser annotations", `Quick, test_parser_annotations);
+    ("parser anonymous vars", `Quick, test_parser_anonymous_vars);
+    ("pp roundtrip", `Quick, test_pp_roundtrip);
+    ("parse error reporting", `Quick, test_parse_error_position);
+    ("transitive closure", `Quick, test_transitive_closure);
+    ("same generation", `Quick, test_same_generation);
+    ("stratified negation", `Quick, test_stratified_negation);
+    ("unstratifiable rejected", `Quick, test_unstratifiable_rejected);
+    ("unsafe rule rejected", `Quick, test_unsafe_rejected);
+    ("conditions and arithmetic", `Quick, test_conditions_and_arith);
+    ("string builtins", `Quick, test_string_builtins);
+    ("assignment as equality check", `Quick, test_assignment_as_check);
+    ("boolean conditions", `Quick, test_bool_conditions);
+    ("stratified sum", `Quick, test_stratified_sum);
+    ("stratified count/min/max", `Quick, test_stratified_count_min_max);
+    ("distinct-contributor aggregation", `Quick, test_distinct_contributor_agg);
+    ("monotonic sum in recursion (Ex. 4.2)", `Quick, test_monotonic_sum_recursion);
+    ("monotonic count streams", `Quick, test_monotonic_count);
+    ("pack/unpack", `Quick, test_pack_unpack);
+    ("aggregate inside cycle rejected", `Quick, test_agg_in_cycle_rejected);
+    ("existential invention", `Quick, test_existential_invention);
+    ("restricted chase terminates", `Quick, test_restricted_chase_terminates);
+    ("oblivious chase hits budget", `Quick, test_oblivious_chase_budget);
+    ("linker skolem reuse", `Quick, test_skolem_reuse);
+    ("multi-atom heads share existentials", `Quick, test_multi_atom_head);
+    ("wardedness: positive case", `Quick, test_wardedness_ok);
+    ("wardedness: violation", `Quick, test_wardedness_violation);
+    ("check_wardedness option", `Quick, test_check_wardedness_option);
+    ("stratification structure", `Quick, test_stratify_structure);
+    ("recursion detection", `Quick, test_recursive_detection);
+    ("ABL-2: naive = semi-naive", `Quick, test_naive_equals_semi_naive);
+    ("ABL-1: chase variants agree (non-recursive)", `Quick,
+     test_oblivious_equals_restricted_nonrecursive);
+    qtest prop_tc_matches_reachability ]
+
+(* ------------------------------------------------------------------ *)
+(* Provenance and @output *)
+
+let test_provenance () =
+  let prov = V.Engine.create_provenance () in
+  let p = V.Parser.parse_program
+      {| edge(a, b). edge(b, c).
+         tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- tc(X, Y), edge(Y, Z). |}
+  in
+  let db, _ = V.Engine.run_program ~provenance:prov p in
+  ignore db;
+  (* ground facts have no derivation *)
+  check Alcotest.bool "ground" true
+    (V.Engine.explain prov "edge" [| Value.string "a"; Value.string "b" |] = None);
+  (* one-step derivation *)
+  (match V.Engine.explain prov "tc" [| Value.string "a"; Value.string "b" |] with
+   | Some d ->
+       check Alcotest.int "one parent" 1 (List.length d.V.Engine.parents);
+       check Alcotest.bool "via base rule" true
+         (String.length d.V.Engine.via_rule > 0)
+   | None -> Alcotest.fail "missing derivation");
+  (* two-step derivation: parents are tc(a,b) and edge(b,c) *)
+  (match V.Engine.explain prov "tc" [| Value.string "a"; Value.string "c" |] with
+   | Some d ->
+       let names = List.map fst d.V.Engine.parents |> List.sort compare in
+       check (Alcotest.list Alcotest.string) "parents" [ "edge"; "tc" ] names
+   | None -> Alcotest.fail "missing derivation");
+  (* the tree renders down to ground facts *)
+  let tree =
+    Format.asprintf "%a"
+      (V.Engine.pp_derivation_tree prov)
+      ("tc", [| Value.string "a"; Value.string "c" |])
+  in
+  check Alcotest.bool "tree mentions ground" true
+    (String.length tree > 40)
+
+let test_outputs_annotation () =
+  let p = V.Parser.parse_program
+      {| @output("big").
+         n(1). n(5).
+         big(X) :- n(X), X > 2. |}
+  in
+  let db, _ = V.Engine.run_program p in
+  match V.Engine.outputs p db with
+  | [ ("big", facts) ] -> check Alcotest.int "one output fact" 1 (List.length facts)
+  | _ -> Alcotest.fail "expected one output predicate"
+
+let suite =
+  suite
+  @ [ ("provenance derivation trees", `Quick, test_provenance);
+      ("@output annotation", `Quick, test_outputs_annotation) ]
+
+(* ------------------------------------------------------------------ *)
+(* ABL-4: join ordering *)
+
+let test_reorder_correctness () =
+  (* a body written in a pathological order must produce the same
+     fixpoint with and without reordering *)
+  let src =
+    {| p(1). p(2). p(3). q(2). q(3). r(3).
+       sel(X) :- p(X), q(X), r(X).
+       join(A, C) :- p(A), p(B), p(C), A < B, B < C. |}
+  in
+  let run reorder =
+    let p = V.Parser.parse_program src in
+    V.Engine.run_program
+      ~options:{ V.Engine.default_options with V.Engine.reorder_body = reorder }
+      p
+  in
+  let db1, _ = run true in
+  let db2, _ = run false in
+  check Alcotest.bool "sel same" true (facts db1 "sel" = facts db2 "sel");
+  check Alcotest.bool "join same" true (facts db1 "join" = facts db2 "join");
+  check Alcotest.bool "sel = {3}" true (facts db1 "sel" = ints [ [ 3 ] ])
+
+let test_reorder_speeds_up_bad_order () =
+  (* cross-product first, selective atom last: the optimizer must help *)
+  let buf = Buffer.create 4096 in
+  for i = 1 to 60 do
+    Buffer.add_string buf (Printf.sprintf "big(%d). " i)
+  done;
+  Buffer.add_string buf "tiny(1). ";
+  Buffer.add_string buf
+    "out(X, Y, Z) :- big(X), big(Y), big(Z), tiny(X), tiny(Y), tiny(Z).";
+  let src = Buffer.contents buf in
+  let time reorder =
+    let t0 = Unix.gettimeofday () in
+    let p = V.Parser.parse_program src in
+    let db, _ =
+      V.Engine.run_program
+        ~options:{ V.Engine.default_options with V.Engine.reorder_body = reorder }
+        p
+    in
+    (Unix.gettimeofday () -. t0, List.length (facts db "out"))
+  in
+  let t_opt, n_opt = time true in
+  let t_raw, n_raw = time false in
+  check Alcotest.int "same answers" n_raw n_opt;
+  check Alcotest.int "one tuple" 1 n_opt;
+  (* don't assert a hard speedup factor (timing noise); just sanity *)
+  check Alcotest.bool "optimizer not absurdly slower" true (t_opt < t_raw +. 1.0)
+
+let prop_reorder_equivalence =
+  QCheck.Test.make ~name:"ABL-4: reordering preserves fixpoints" ~count:40
+    QCheck.(pair (int_range 2 6) (small_list (pair (int_bound 5) (int_bound 5))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (a, b) -> a < n && b < n) edges in
+      let src =
+        String.concat " "
+          (List.map (fun (a, b) -> Printf.sprintf "edge(%d, %d)." a b) edges)
+        ^ " two(X, Z) :- edge(X, Y), edge(Y, Z).\
+           tri(X) :- edge(X, Y), edge(Y, Z), edge(Z, X)."
+      in
+      let run reorder =
+        let p = V.Parser.parse_program src in
+        let db, _ =
+          V.Engine.run_program
+            ~options:
+              { V.Engine.default_options with V.Engine.reorder_body = reorder }
+            p
+        in
+        (facts db "two", facts db "tri")
+      in
+      run true = run false)
+
+let suite =
+  suite
+  @ [ ("ABL-4: reorder correctness", `Quick, test_reorder_correctness);
+      ("ABL-4: reorder helps bad orders", `Quick, test_reorder_speeds_up_bad_order);
+      qtest prop_reorder_equivalence ]
+
+(* ------------------------------------------------------------------ *)
+(* Expression builtin coverage *)
+
+let test_builtin_coverage () =
+  let db, _ = run
+      {| s("Knowledge Graphs").
+         d(2022, 3, 29).
+         m(X) :- s(S), X = substr(S, 0, 9).
+         mm(A, B) :- s(S), A = min2(1, 2), B = max2(1, 2).
+         ab(X) :- s(S), X = abs(-4).
+         yr(Y) :- d(A, B, C), Y = A + 1.
+         pr(P) :- s(S), P = pair(S, 1), F = fst(P), F == S. |}
+  in
+  check Alcotest.bool "substr" true
+    (facts db "m" = [ [ Value.string "Knowledge" ] ]);
+  check Alcotest.bool "min2/max2" true
+    (facts db "mm" = [ [ Value.int 1; Value.int 2 ] ]);
+  check Alcotest.bool "abs" true (facts db "ab" = ints [ [ 4 ] ]);
+  check Alcotest.bool "arith on columns" true (facts db "yr" = ints [ [ 2023 ] ]);
+  check Alcotest.int "pair/fst" 1 (List.length (facts db "pr"))
+
+let test_division_by_zero () =
+  try
+    ignore (run "p(1). q(X) :- p(X), Y = X / 0.");
+    Alcotest.fail "expected division error"
+  with V.Expr.Eval_error _ -> ()
+
+let test_unknown_builtin () =
+  (try
+     ignore (run "p(1). q(X) :- p(X), Y = frobnicate(X).");
+     Alcotest.fail "unknown builtin accepted"
+   with V.Expr.Eval_error _ -> ())
+
+let test_precedence () =
+  let db, _ = run
+      {| n(10).
+         a(X) :- n(N), X = 1 + 2 * N.
+         b(X) :- n(N), X = (1 + 2) * N.
+         c(1) :- n(N), N - 4 > 2 + 3.
+         d(1) :- n(N), DF = to_float(N), DD = DF / 4.0, DD > 2.0. |}
+  in
+  check Alcotest.bool "mul binds tighter" true (facts db "a" = ints [ [ 21 ] ]);
+  check Alcotest.bool "parens" true (facts db "b" = ints [ [ 30 ] ]);
+  check Alcotest.int "comparison arithmetic" 1 (List.length (facts db "c"));
+  check Alcotest.int "float division" 1 (List.length (facts db "d"))
+
+let test_stratified_agg_after_conditions () =
+  (* conditions after a stratified aggregate filter groups *)
+  let db, _ = run
+      {| h(a, 1.0). h(a, 2.0). h(b, 0.5).
+         big(K, T) :- h(K, W), T = sum(W), T > 1.0. |}
+  in
+  check Alcotest.bool "only a" true
+    (facts db "big" = [ [ Value.string "a"; Value.float 3.0 ] ])
+
+let test_two_monotonic_aggs () =
+  (* two monotonic aggregates over the same relation, combined by a join:
+     each keeps its own per-group contributor state *)
+  let db, _ = run
+      {| e(a, b, 1.0). e(a, c, 2.0). e(b, c, 4.0).
+         deg(X, C) :- e(X, Y, W), C = count(Y, <Y>), C >= 2.
+         tot(X, S) :- e(X, Y, W), S = sum(W, <Y>), S >= 3.0.
+         both(X) :- deg(X, C), tot(X, S). |}
+  in
+  check Alcotest.bool "only a reaches both thresholds" true
+    (facts db "both" = [ [ Value.string "a" ] ])
+
+let suite =
+  suite
+  @ [ ("builtin coverage", `Quick, test_builtin_coverage);
+      ("division by zero", `Quick, test_division_by_zero);
+      ("unknown builtin", `Quick, test_unknown_builtin);
+      ("expression precedence", `Quick, test_precedence);
+      ("stratified agg + trailing conditions", `Quick,
+       test_stratified_agg_after_conditions);
+      ("two monotonic aggregates", `Quick, test_two_monotonic_aggs) ]
+
+(* ------------------------------------------------------------------ *)
+(* @input source resolution *)
+
+let test_input_sources () =
+  (* inline rows *)
+  let p = V.Parser.parse_program
+      {| @input("own", "inline:1, 2, 0.6; 2, 3, 0.7").
+         tc(X, Y) :- own(X, Y, W), W > 0.5. |}
+  in
+  let db = V.Database.create () in
+  (match V.Io_sources.load_inputs p db with
+   | [ ("own", 2) ] -> ()
+   | _ -> Alcotest.fail "inline rows not loaded");
+  ignore (V.Engine.run p db);
+  check Alcotest.int "rules over loaded facts" 2 (List.length (facts db "tc"));
+  (* csv file *)
+  let path = Filename.temp_file "kgm" ".csv" in
+  let oc = open_out path in
+  output_string oc "a, 1\nb, 2\n";
+  close_out oc;
+  let p2 = V.Parser.parse_program
+      (Printf.sprintf "@input(\"t\", \"csv:%s\"). big(X) :- t(X, N), N >= 2." path)
+  in
+  let db2 = V.Database.create () in
+  (match V.Io_sources.load_inputs p2 db2 with
+   | [ ("t", 2) ] -> ()
+   | _ -> Alcotest.fail "csv not loaded");
+  ignore (V.Engine.run p2 db2);
+  check Alcotest.bool "values typed" true
+    (facts db2 "big" = [ [ Value.string "b" ] ]);
+  Sys.remove path;
+  (* missing file *)
+  let p3 = V.Parser.parse_program "@input(\"t\", \"csv:/nonexistent/x.csv\"). t(0)." in
+  (match Kgm_error.guard (fun () -> V.Io_sources.load_inputs p3 (V.Database.create ())) with
+   | Error { Kgm_error.stage = Kgm_error.Storage; _ } -> ()
+   | _ -> Alcotest.fail "missing csv accepted");
+  (* cypher-style sources are skipped, not errors *)
+  let p4 = V.Parser.parse_program "@input(\"n\", \"MATCH (n) RETURN n\"). n(0)." in
+  check Alcotest.int "unresolvable skipped" 0
+    (List.length (V.Io_sources.load_inputs p4 (V.Database.create ())))
+
+let suite = suite @ [ ("@input csv/inline sources", `Quick, test_input_sources) ]
