@@ -33,10 +33,15 @@ let header title =
   say "%s@." title;
   say "============================================================@."
 
+(* Every run feeds one collector; the harness dumps it as
+   BENCH_telemetry.json (Chrome trace-event format) so experiment
+   reports are machine-readable as well as printed. *)
+let tele = Kgm_telemetry.create ()
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kgm_telemetry.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Kgm_telemetry.Clock.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 
@@ -57,7 +62,7 @@ let exp1 () =
 
 (* ------------------------------------------------------------------ *)
 
-let materialization_run n =
+let materialization_run ?(telemetry = Kgm_telemetry.null) n =
   let schema = Kgm_finance.Company_schema.load () in
   let dict = Kgmodel.Dictionary.create () in
   let sid = Kgmodel.Dictionary.store dict schema in
@@ -65,8 +70,8 @@ let materialization_run n =
   let o = G.generate ~n () in
   let data = G.to_company_graph o in
   let report =
-    Kgmodel.Materialize.materialize ~instances:inst ~schema ~schema_oid:sid
-      ~data ~sigma:Kgm_finance.Intensional.full ()
+    Kgmodel.Materialize.materialize ~telemetry ~instances:inst ~schema
+      ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
   in
   (o, data, report)
 
@@ -82,7 +87,12 @@ let exp2 () =
   say "%s@." (String.make 70 '-');
   List.iter
     (fun n ->
-      let _, _, r = materialization_run n in
+      let _, _, r =
+        Kgm_telemetry.with_span tele ~cat:"bench"
+          ~args:[ ("n", string_of_int n) ]
+          "exp2.materialize"
+          (fun () -> materialization_run ~telemetry:tele n)
+      in
       let ratio =
         r.Kgmodel.Materialize.reason_s
         /. max 1e-9 (r.Kgmodel.Materialize.load_s +. r.Kgmodel.Materialize.flush_s)
@@ -105,7 +115,9 @@ let exp3 () =
   let dict = Kgmodel.Dictionary.create () in
   let sid = Kgmodel.Dictionary.store dict schema in
   let outcome, dt =
-    time (fun () -> Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ()) sid)
+    time (fun () ->
+        Kgmodel.Ssst.translate ~telemetry:tele dict
+          (Kgm_targets.Pg_model.mapping ()) sid)
   in
   let derived = Kgm_targets.Pg_model.decode dict outcome.Kgmodel.Ssst.target_oid in
   let native = Kgm_targets.Pg_model.translate_native schema in
@@ -145,7 +157,8 @@ let exp4 () =
   let sid = Kgmodel.Dictionary.store dict schema in
   let outcome, dt =
     time (fun () ->
-        Kgmodel.Ssst.translate dict (Kgm_targets.Relational_model.mapping ()) sid)
+        Kgmodel.Ssst.translate ~telemetry:tele dict
+          (Kgm_targets.Relational_model.mapping ()) sid)
   in
   let derived =
     Kgm_targets.Relational_model.decode dict outcome.Kgmodel.Ssst.target_oid
@@ -673,4 +686,14 @@ let () =
               None)
         args
   in
-  List.iter (fun (_, f) -> f ()) selected
+  List.iter
+    (fun (name, f) ->
+      Kgm_telemetry.with_span tele ~cat:"bench" ("bench." ^ name) f;
+      Kgm_telemetry.count tele ("bench." ^ name ^ ".runs"))
+    selected;
+  if selected <> [] then begin
+    Kgm_telemetry.write_chrome_trace ~process_name:"kgmodel-bench"
+      "BENCH_telemetry.json" tele;
+    say "@.telemetry written to BENCH_telemetry.json (%d spans)@."
+      (List.length (Kgm_telemetry.spans tele))
+  end

@@ -25,8 +25,47 @@ let read_file path =
 let handle f =
   try f () with
   | Kgm_common.Kgm_error.Error e ->
-      Format.eprintf "error: %a@." Kgm_common.Kgm_error.pp e;
+      Format.eprintf "@[<v>error: %a%a@]@." Kgm_common.Kgm_error.pp e
+        Kgm_common.Kgm_error.pp_context e;
       exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags, shared by reason / demo / figures: --metrics
+   prints the telemetry summary (and per-rule chase tables where a
+   reasoning run is involved); --trace FILE writes Chrome trace-event
+   JSON loadable in chrome://tracing or Perfetto. *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON (chrome://tracing, \
+                 Perfetto) of the run to $(docv).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print per-rule chase metrics and the telemetry summary \
+                 after the run.")
+
+(* Run [f] with a collector (enabled only when a flag asks for it), then
+   emit the requested artifacts. *)
+let with_telemetry ~trace ~metrics f =
+  let tele =
+    if trace <> None || metrics then Kgm_telemetry.create ()
+    else Kgm_telemetry.null
+  in
+  let r = f tele in
+  if metrics then print_string (Kgm_telemetry.summary tele);
+  (match trace with
+   | Some file ->
+       (try Kgm_telemetry.write_chrome_trace file tele
+        with Sys_error msg ->
+          Kgm_common.Kgm_error.raise_error_ctx Kgm_common.Kgm_error.Storage
+            [ ("file", file) ]
+            "cannot write trace: %s" msg);
+       Format.printf "trace written to %s@." file
+   | None -> ());
+  r
 
 (* ------------------------------------------------------------------ *)
 
@@ -143,17 +182,20 @@ let reason_cmd =
     Arg.(value & opt (some string) None
          & info [ "query"; "q" ] ~doc:"Predicate whose facts to print.")
   in
-  let run file query =
+  let run file query trace metrics =
     handle (fun () ->
+        with_telemetry ~trace ~metrics @@ fun tele ->
         let program = Kgm_vadalog.Parser.parse_program (read_file file) in
         let db = Kgm_vadalog.Database.create () in
         List.iter
           (fun (pred, n) -> Format.printf "%% @input %s: %d facts@." pred n)
           (Kgm_vadalog.Io_sources.load_inputs program db);
-        let stats = Kgm_vadalog.Engine.run program db in
+        let stats = Kgm_vadalog.Engine.run ~telemetry:tele program db in
         Format.printf "%% %d new facts in %d rounds (%.3fs)@."
           stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
           stats.Kgm_vadalog.Engine.elapsed_s;
+        if metrics then
+          Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table stats;
         match query with
         | Some pred ->
             List.iter
@@ -169,7 +211,7 @@ let reason_cmd =
               (Kgm_vadalog.Database.predicates db))
   in
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
-    Term.(const run $ file $ query)
+    Term.(const run $ file $ query $ trace_arg $ metrics_arg)
 
 let stats_cmd =
   let n =
@@ -191,8 +233,9 @@ let demo_cmd =
   let n =
     Arg.(value & opt int 400 & info [ "n" ] ~doc:"Synthetic network size.")
   in
-  let run n =
+  let run n trace metrics =
     handle (fun () ->
+        with_telemetry ~trace ~metrics @@ fun tele ->
         let schema = Kgm_finance.Company_schema.load () in
         let dict = Kgmodel.Dictionary.create () in
         let sid = Kgmodel.Dictionary.store dict schema in
@@ -201,8 +244,9 @@ let demo_cmd =
         let data = Kgm_finance.Generator.to_company_graph o in
         Format.printf "data: %a@." Kgm_graphdb.Pgraph.pp_summary data;
         let report =
-          Kgmodel.Materialize.materialize ~instances:inst ~schema
-            ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
+          Kgmodel.Materialize.materialize ~telemetry:tele ~instances:inst
+            ~schema ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full
+            ()
         in
         Format.printf
           "materialized: load %.3fs, reason %.3fs, flush %.3fs@."
@@ -212,12 +256,15 @@ let demo_cmd =
           report.Kgmodel.Materialize.derived_nodes
           report.Kgmodel.Materialize.derived_edges
           report.Kgmodel.Materialize.derived_attrs;
-        Format.printf "after: %a@." Kgm_graphdb.Pgraph.pp_summary data)
+        Format.printf "after: %a@." Kgm_graphdb.Pgraph.pp_summary data;
+        if metrics then
+          Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table
+            report.Kgmodel.Materialize.engine_stats)
   in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"End-to-end Algorithm 2 on a synthetic Company KG.")
-    Term.(const run $ n)
+    Term.(const run $ n $ trace_arg $ metrics_arg)
 
 let diff_cmd =
   let old_file =
@@ -286,10 +333,13 @@ let figures_cmd =
     Arg.(value & opt string "figures"
          & info [ "out"; "o" ] ~doc:"Output directory for the figure artifacts.")
   in
-  let run out_dir =
+  let run out_dir trace metrics =
     handle (fun () ->
+        with_telemetry ~trace ~metrics @@ fun tele ->
         if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
         let write name content =
+          Kgm_telemetry.with_span tele ~cat:"figure" ("figure:" ^ name)
+          @@ fun () ->
           let oc = open_out (Filename.concat out_dir name) in
           output_string oc content;
           close_out oc;
@@ -309,14 +359,16 @@ let figures_cmd =
         let dict = Kgmodel.Dictionary.create () in
         let sid = Kgmodel.Dictionary.store dict schema in
         let pg_out =
-          Kgmodel.Ssst.translate dict (Kgm_targets.Pg_model.mapping ()) sid
+          Kgmodel.Ssst.translate ~telemetry:tele dict
+            (Kgm_targets.Pg_model.mapping ()) sid
         in
         let pg = Kgm_targets.Pg_model.decode dict pg_out.Kgmodel.Ssst.target_oid in
         write "fig6_pg_schema.txt" (Format.asprintf "%a" Kgm_targets.Pg_model.pp pg);
         write "fig6_pg_constraints.cypher"
           (Kgm_targets.Pg_model.enforcement_script pg);
         let rel_out =
-          Kgmodel.Ssst.translate dict (Kgm_targets.Relational_model.mapping ()) sid
+          Kgmodel.Ssst.translate ~telemetry:tele dict
+            (Kgm_targets.Relational_model.mapping ()) sid
         in
         let rel =
           Kgm_targets.Relational_model.decode dict rel_out.Kgmodel.Ssst.target_oid
@@ -334,7 +386,7 @@ let figures_cmd =
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Regenerate every figure artifact of the paper (Figs. 2, 3, 4, 6, 8).")
-    Term.(const run $ out_dir)
+    Term.(const run $ out_dir $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -1,6 +1,9 @@
 (** Uniform error reporting across KGModel tools. Each subsystem raises
     [Error] with a structured payload; CLI and tests format it with
-    {!pp}. *)
+    {!pp}. The optional [context] carries machine-readable key/value
+    pairs locating the failure (rule name, chase round, file, ...) —
+    the CLI prints them under the message so e.g. a fact-budget
+    [Reason] error points at the offending rule. *)
 
 type stage =
   | Parse        (** GSL / MetaLog / Vadalog text parsing *)
@@ -9,7 +12,11 @@ type stage =
   | Reason       (** chase execution *)
   | Storage      (** dictionary / database access *)
 
-type t = { stage : stage; message : string }
+type t = {
+  stage : stage;
+  message : string;
+  context : (string * string) list;
+}
 
 exception Error of t
 
@@ -22,15 +29,22 @@ let stage_name = function
 
 let pp ppf e = Format.fprintf ppf "[%s] %s" (stage_name e.stage) e.message
 
+let pp_context ppf e =
+  List.iter (fun (k, v) -> Format.fprintf ppf "@,  %s: %s" k v) e.context
+
 let to_string e = Format.asprintf "%a" pp e
 
-let raise_error stage fmt =
-  Format.kasprintf (fun message -> raise (Error { stage; message })) fmt
+let raise_error_ctx stage context fmt =
+  Format.kasprintf (fun message -> raise (Error { stage; message; context })) fmt
+
+let raise_error stage fmt = raise_error_ctx stage [] fmt
 
 let parse_error fmt = raise_error Parse fmt
 let validate_error fmt = raise_error Validate fmt
 let translate_error fmt = raise_error Translate fmt
 let reason_error fmt = raise_error Reason fmt
 let storage_error fmt = raise_error Storage fmt
+
+let reason_error_ctx context fmt = raise_error_ctx Reason context fmt
 
 let guard f = try Ok (f ()) with Error e -> Result.Error e

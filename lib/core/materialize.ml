@@ -33,7 +33,7 @@ let label_schema_of_supermodel (s : Supermodel.t) ls =
         e.Supermodel.e_attrs)
     s.Supermodel.edges
 
-let now () = Unix.gettimeofday ()
+let now () = Kgm_telemetry.Clock.now ()
 
 (* instance-level labels whose derived facts flow back to the dictionary *)
 let instance_node_labels = [ "I_SM_Node"; "I_SM_Edge"; "I_SM_Attribute" ]
@@ -42,62 +42,67 @@ let instance_edge_labels =
   [ "SM_REFERENCES"; "I_SM_FROM"; "I_SM_TO"; "I_SM_HAS_NODE_ATTR";
     "I_SM_HAS_EDGE_ATTR" ]
 
-let materialize ?options ~instances ~schema ~schema_oid ~data ~sigma () =
+let materialize ?options ?(telemetry = Kgm_telemetry.null) ~instances
+    ~schema ~schema_oid ~data ~sigma () =
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
+  @@ fun () ->
   let dict = Instances.dictionary instances in
   let gd = Dictionary.graph dict in
   (* ---- lines 1-4: load D into the super-components ---- *)
   let t0 = now () in
-  let instance_oid = Instances.store instances ~schema_oid data in
-  (* parse Σ and generate the views *)
-  let sigma_prog = Kgm_metalog.Mparser.parse_program sigma in
-  let vi =
-    Views.input_views ~schema ~schema_oid ~instance_oid sigma_prog
+  let instance_oid, program1, program2, ls, db =
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "load" @@ fun () ->
+    let instance_oid = Instances.store instances ~schema_oid data in
+    (* parse Σ and generate the views *)
+    let sigma_prog = Kgm_metalog.Mparser.parse_program sigma in
+    let vi =
+      Views.input_views ~schema ~schema_oid ~instance_oid sigma_prog
+    in
+    let vo =
+      Views.output_views ~schema ~schema_oid ~instance_oid sigma_prog
+    in
+    let vi_prog = Kgm_metalog.Mparser.parse_program vi in
+    let vo_prog = Kgm_metalog.Mparser.parse_program vo in
+    (* phase 1 applies V_I ∪ Σ, phase 2 applies V_O on the accumulated
+       facts: the incremental, stratified execution described at the end
+       of Sec. 6 (it also cuts the V_O -> V_I feedback loop, which is
+       semantically final) *)
+    let phase1 =
+      { Kgm_metalog.Ast.rules =
+          vi_prog.Kgm_metalog.Ast.rules @ sigma_prog.Kgm_metalog.Ast.rules;
+        annotations = [] }
+    in
+    (* label schema: dictionary labels + schema construct labels; shared
+       by both phases so predicate layouts agree *)
+    let ls = Kgm_metalog.Label_schema.create () in
+    Kgm_metalog.Label_schema.observe_graph ls gd;
+    label_schema_of_supermodel schema ls;
+    Kgm_metalog.Label_schema.observe_program ls phase1;
+    Kgm_metalog.Label_schema.observe_program ls vo_prog;
+    let { Kgm_metalog.Mtv.program = program1; schema = ls } =
+      Kgm_metalog.Mtv.translate ~schema:ls ~telemetry phase1
+    in
+    let { Kgm_metalog.Mtv.program = program2; schema = ls } =
+      Kgm_metalog.Mtv.translate ~schema:ls ~telemetry vo_prog
+    in
+    let db = DB.create () in
+    Kgm_metalog.Pg_bridge.load ls gd db;
+    (instance_oid, program1, program2, ls, db)
   in
-  let vo =
-    Views.output_views ~schema ~schema_oid ~instance_oid sigma_prog
-  in
-  let vi_prog = Kgm_metalog.Mparser.parse_program vi in
-  let vo_prog = Kgm_metalog.Mparser.parse_program vo in
-  (* phase 1 applies V_I ∪ Σ, phase 2 applies V_O on the accumulated
-     facts: the incremental, stratified execution described at the end
-     of Sec. 6 (it also cuts the V_O -> V_I feedback loop, which is
-     semantically final) *)
-  let phase1 =
-    { Kgm_metalog.Ast.rules =
-        vi_prog.Kgm_metalog.Ast.rules @ sigma_prog.Kgm_metalog.Ast.rules;
-      annotations = [] }
-  in
-  (* label schema: dictionary labels + schema construct labels; shared
-     by both phases so predicate layouts agree *)
-  let ls = Kgm_metalog.Label_schema.create () in
-  Kgm_metalog.Label_schema.observe_graph ls gd;
-  label_schema_of_supermodel schema ls;
-  Kgm_metalog.Label_schema.observe_program ls phase1;
-  Kgm_metalog.Label_schema.observe_program ls vo_prog;
-  let { Kgm_metalog.Mtv.program = program1; schema = ls } =
-    Kgm_metalog.Mtv.translate ~schema:ls phase1
-  in
-  let { Kgm_metalog.Mtv.program = program2; schema = ls } =
-    Kgm_metalog.Mtv.translate ~schema:ls vo_prog
-  in
-  let db = DB.create () in
-  Kgm_metalog.Pg_bridge.load ls gd db;
   let load_s = now () -. t0 in
   (* ---- lines 7-8: the reasoning passes ---- *)
   let t1 = now () in
-  let stats1 = Kgm_vadalog.Engine.run ?options program1 db in
-  let stats2 = Kgm_vadalog.Engine.run ?options program2 db in
   let engine_stats =
-    { Kgm_vadalog.Engine.rounds =
-        stats1.Kgm_vadalog.Engine.rounds + stats2.Kgm_vadalog.Engine.rounds;
-      new_facts =
-        stats1.Kgm_vadalog.Engine.new_facts + stats2.Kgm_vadalog.Engine.new_facts;
-      elapsed_s =
-        stats1.Kgm_vadalog.Engine.elapsed_s +. stats2.Kgm_vadalog.Engine.elapsed_s }
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
+    let stats1 = Kgm_vadalog.Engine.run ?options ~telemetry program1 db in
+    let stats2 = Kgm_vadalog.Engine.run ?options ~telemetry program2 db in
+    Kgm_vadalog.Engine.merge_stats stats1 stats2
   in
   let reason_s = now () -. t1 in
   (* ---- line 9: materialize into the dictionary, flush into D ---- *)
   let t2 = now () in
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "flush"
+  @@ fun () ->
   let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
   List.iter
     (fun l -> ignore (Kgm_metalog.Pg_bridge.store_nodes wb ls db l))
@@ -214,6 +219,14 @@ let materialize ?options ~instances ~schema ~schema_oid ~data ~sigma () =
       end)
     (PG.nodes_with_label gd "I_SM_Edge");
   let flush_s = now () -. t2 in
+  if Kgm_telemetry.enabled telemetry then begin
+    Kgm_telemetry.count telemetry ~by:!derived_nodes
+      "materialize.derived_nodes";
+    Kgm_telemetry.count telemetry ~by:!derived_edges
+      "materialize.derived_edges";
+    Kgm_telemetry.count telemetry ~by:!derived_attrs
+      "materialize.derived_attrs"
+  end;
   { instance_oid; load_s; reason_s; flush_s; engine_stats;
     derived_nodes = !derived_nodes;
     derived_edges = !derived_edges;

@@ -32,6 +32,7 @@ type report = {
 
 val materialize :
   ?options:Kgm_vadalog.Engine.options ->
+  ?telemetry:Kgm_telemetry.t ->
   instances:Instances.t ->
   schema:Supermodel.t ->
   schema_oid:int ->
@@ -39,7 +40,14 @@ val materialize :
   sigma:string ->
   unit -> report
 (** [data] is mutated in place (derived knowledge flushed into it).
-    Raises [Kgm_error.Error] on parse/translate/reasoning failures. *)
+    Raises [Kgm_error.Error] on parse/translate/reasoning failures.
+
+    All timings come from the monotonic {!Kgm_telemetry.Clock}. An
+    enabled [telemetry] collector (default: the no-op
+    {!Kgm_telemetry.null}) additionally records the [load] / [reason] /
+    [flush] stage spans matching the report's split — the EXP-2 stage
+    decomposition — with the translator's and engine's spans nested
+    inside, plus [materialize.derived_*] counters. *)
 
 val label_schema_of_supermodel :
   Supermodel.t -> Kgm_metalog.Label_schema.t -> unit

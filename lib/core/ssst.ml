@@ -12,14 +12,19 @@ type outcome = {
   copy_stats : Kgm_vadalog.Engine.stats;
 }
 
-let run_metalog ?options dict src =
+let run_metalog ?options ?telemetry dict src =
   let prog = Kgm_metalog.Mparser.parse_program src in
   let _, _, stats =
-    Kgm_metalog.Pg_bridge.reason_on_graph ?options prog (Dictionary.graph dict)
+    Kgm_metalog.Pg_bridge.reason_on_graph ?options ?telemetry prog
+      (Dictionary.graph dict)
   in
   stats
 
-let translate dict mapping sid =
+let translate ?(telemetry = Kgm_telemetry.null) dict mapping sid =
+  Kgm_telemetry.with_span telemetry ~cat:"stage"
+    ~args:[ ("model", mapping.model_name); ("strategy", mapping.strategy) ]
+    "ssst.translate"
+  @@ fun () ->
   let schema_name =
     match List.assoc_opt sid (Dictionary.schemas dict) with
     | Some n -> n
@@ -35,9 +40,13 @@ let translate dict mapping sid =
       ~name:(Printf.sprintf "%s@%s" schema_name mapping.model_name)
   in
   let eliminate_stats =
-    run_metalog dict (mapping.eliminate ~src:sid ~dst:intermediate_oid)
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "ssst.eliminate" (fun () ->
+        run_metalog ~telemetry dict
+          (mapping.eliminate ~src:sid ~dst:intermediate_oid))
   in
   let copy_stats =
-    run_metalog dict (mapping.copy ~src:intermediate_oid ~dst:target_oid)
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "ssst.copy" (fun () ->
+        run_metalog ~telemetry dict
+          (mapping.copy ~src:intermediate_oid ~dst:target_oid))
   in
   { intermediate_oid; target_oid; eliminate_stats; copy_stats }

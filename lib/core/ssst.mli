@@ -36,13 +36,17 @@ type outcome = {
   copy_stats : Kgm_vadalog.Engine.stats;
 }
 
-val translate : Dictionary.t -> mapping -> int -> outcome
+val translate :
+  ?telemetry:Kgm_telemetry.t -> Dictionary.t -> mapping -> int -> outcome
 (** [translate dict mapping sid] runs Algorithm 1 on the super-schema
     with [schemaOID = sid]. Raises [Kgm_error.Error] on translation or
-    reasoning failures. *)
+    reasoning failures. An enabled [telemetry] collector records the
+    [ssst.translate] span with [ssst.eliminate] / [ssst.copy] children
+    (the two reasoning passes). *)
 
 val run_metalog :
   ?options:Kgm_vadalog.Engine.options ->
+  ?telemetry:Kgm_telemetry.t ->
   Dictionary.t -> string -> Kgm_vadalog.Engine.stats
 (** Parse and execute one MetaLog program against the dictionary graph
     (used by the translation passes and by tests). *)

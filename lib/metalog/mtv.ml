@@ -429,7 +429,11 @@ let check_star_restriction (p : Ast.program) =
       heads
   end
 
-let translate ?schema (p : Ast.program) =
+let translate ?schema ?(telemetry = Kgm_telemetry.null) (p : Ast.program) =
+  Kgm_telemetry.with_span telemetry ~cat:"translate"
+    ~args:[ ("metalog_rules", string_of_int (List.length p.Ast.rules)) ]
+    "mtv.translate"
+  @@ fun () ->
   check_star_restriction p;
   let schema =
     match schema with Some s -> s | None -> Label_schema.infer p
@@ -441,6 +445,8 @@ let translate ?schema (p : Ast.program) =
       facts = [];
       annotations = p.Ast.annotations @ input_annotations schema p }
   in
+  Kgm_telemetry.count telemetry ~by:(List.length program.R.rules)
+    "mtv.vadalog_rules";
   { program; schema }
 
 let translate_with_graph g (p : Ast.program) =

@@ -36,10 +36,14 @@ type result = {
 val mangle : string -> string
 (** MetaLog variable -> Vadalog variable ([x] becomes [V_x]). *)
 
-val translate : ?schema:Label_schema.t -> Ast.program -> result
+val translate :
+  ?schema:Label_schema.t -> ?telemetry:Kgm_telemetry.t -> Ast.program ->
+  result
 (** Raises [Kgm_error.Error]: [Validate] on the star restriction,
     [Translate] on unknown labels, body spreads, unlabeled unbound
-    atoms, or variable-binding alternation/star sub-patterns. *)
+    atoms, or variable-binding alternation/star sub-patterns.
+    An enabled [telemetry] collector records an [mtv.translate] span
+    and an [mtv.vadalog_rules] counter. *)
 
 val translate_with_graph : Kgm_graphdb.Pgraph.t -> Ast.program -> result
 (** [translate] with the label schema inferred from the graph and the

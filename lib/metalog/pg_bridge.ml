@@ -136,11 +136,22 @@ let store_edges wb schema db label =
 (** Run a full MetaLog reasoning pass over a property graph: load,
     translate, chase, and write the derived nodes/edges back. Returns
     (new nodes, new edges, engine stats). *)
-let reason_on_graph ?options (p : Ast.program) g =
-  let { Mtv.program; schema } = Mtv.translate_with_graph g p in
+let reason_on_graph ?options ?(telemetry = Kgm_telemetry.null)
+    (p : Ast.program) g =
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "metalog.reason_on_graph"
+  @@ fun () ->
+  let { Mtv.program; schema } =
+    let sch = Label_schema.create () in
+    Label_schema.observe_graph sch g;
+    Label_schema.observe_program sch p;
+    Mtv.translate ~schema:sch ~telemetry p
+  in
   let db = DB.create () in
-  load schema g db;
-  let stats = Kgm_vadalog.Engine.run ?options program db in
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "metalog.load" (fun () ->
+      load schema g db);
+  let stats = Kgm_vadalog.Engine.run ?options ~telemetry program db in
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "metalog.writeback"
+  @@ fun () ->
   let wb = make_writeback g in
   let head_labels =
     List.sort_uniq String.compare

@@ -44,8 +44,12 @@ val element_id : writeback -> Value.t -> Kgm_common.Oid.t
 
 val reason_on_graph :
   ?options:Kgm_vadalog.Engine.options ->
+  ?telemetry:Kgm_telemetry.t ->
   Ast.program -> Kgm_graphdb.Pgraph.t ->
   int * int * Kgm_vadalog.Engine.stats
 (** The full loop: infer the label schema, load, MTV-compile, chase, and
     write the head labels' derived nodes and edges back into the graph
-    (nodes before edges). Returns (new nodes, new edges, stats). *)
+    (nodes before edges). Returns (new nodes, new edges, stats). An
+    enabled [telemetry] collector records [metalog.load] /
+    [metalog.writeback] stage spans around the translator's and
+    engine's own spans. *)

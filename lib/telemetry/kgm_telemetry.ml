@@ -1,0 +1,303 @@
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+end
+
+module Histogram = struct
+  (* bucket i counts observations in [2^(i-1), 2^i) microseconds; bucket
+     0 is the underflow (<= 1us), the last bucket the overflow (~ >18min) *)
+  let n_buckets = 42
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { counts = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.;
+      min_v = infinity;
+      max_v = neg_infinity }
+
+  let bucket_of seconds =
+    let us = seconds *. 1e6 in
+    if us <= 1. then 0
+    else
+      let i = 1 + int_of_float (Float.log2 us) in
+      if i >= n_buckets then n_buckets - 1 else i
+
+  (* upper bound of bucket i, in seconds *)
+  let bucket_bound i = if i = 0 then 1e-6 else Float.pow 2. (float_of_int i) *. 1e-6
+
+  let observe h seconds =
+    let v = if seconds < 0. then 0. else seconds in
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+
+  type snapshot = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  let snapshot h =
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then
+        buckets := (bucket_bound i, h.counts.(i)) :: !buckets
+    done;
+    { count = h.count;
+      sum = h.sum;
+      min = (if h.count = 0 then 0. else h.min_v);
+      max = (if h.count = 0 then 0. else h.max_v);
+      buckets = !buckets }
+
+  let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
+  let quantile s q =
+    if s.count = 0 then 0.
+    else begin
+      let target =
+        int_of_float (Float.round (q *. float_of_int s.count)) |> max 1
+      in
+      let rec go seen = function
+        | [] -> s.max
+        | (bound, c) :: rest ->
+            if seen + c >= target then bound else go (seen + c) rest
+      in
+      go 0 s.buckets
+    end
+end
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_depth : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_args : (string * string) list;
+}
+
+type t = {
+  on : bool;
+  epoch : float;
+  mutable next_id : int;
+  mutable stack : int list;             (* open span ids, innermost first *)
+  mutable closed : span list;           (* reverse completion order *)
+  ctrs : (string, int ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let make on =
+  { on;
+    epoch = Clock.now ();
+    next_id = 0;
+    stack = [];
+    closed = [];
+    ctrs = Hashtbl.create 16;
+    hists = Hashtbl.create 16 }
+
+let create () = make true
+let null = make false
+let global = make true
+let enabled t = t.on
+
+let reset t =
+  t.next_id <- 0;
+  t.stack <- [];
+  t.closed <- [];
+  Hashtbl.reset t.ctrs;
+  Hashtbl.reset t.hists
+
+let push t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let parent = match t.stack with [] -> None | p :: _ -> Some p in
+  let depth = List.length t.stack in
+  t.stack <- id :: t.stack;
+  (id, parent, depth)
+
+let with_span t ?(cat = "span") ?(args = []) name f =
+  if not t.on then f ()
+  else begin
+    let id, parent, depth = push t in
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now () in
+        (match t.stack with
+         | x :: rest when x = id -> t.stack <- rest
+         | _ -> ());
+        t.closed <-
+          { sp_id = id; sp_parent = parent; sp_depth = depth;
+            sp_name = name; sp_cat = cat;
+            sp_start = t0 -. t.epoch; sp_dur = t1 -. t0; sp_args = args }
+          :: t.closed)
+      f
+  end
+
+let record_span t ?(cat = "span") ?(args = []) name ~start ~stop =
+  if t.on then begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let parent = match t.stack with [] -> None | p :: _ -> Some p in
+    let depth = List.length t.stack in
+    t.closed <-
+      { sp_id = id; sp_parent = parent; sp_depth = depth;
+        sp_name = name; sp_cat = cat;
+        sp_start = start -. t.epoch;
+        sp_dur = Float.max 0. (stop -. start);
+        sp_args = args }
+      :: t.closed
+  end
+
+let count t ?(by = 1) name =
+  if t.on then
+    match Hashtbl.find_opt t.ctrs name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t.ctrs name (ref by)
+
+let observe t name seconds =
+  if t.on then
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.add t.hists name h;
+          h
+    in
+    Histogram.observe h seconds
+
+let spans t =
+  List.sort
+    (fun a b ->
+      match compare a.sp_start b.sp_start with
+      | 0 -> compare a.sp_id b.sp_id
+      | c -> c)
+    t.closed
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.ctrs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, Histogram.snapshot h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  let say fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  say "== telemetry summary ==\n";
+  (* spans aggregated by name *)
+  let agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt agg s.sp_name with
+      | Some (n, tot) ->
+          incr n;
+          tot := !tot +. s.sp_dur
+      | None ->
+          Hashtbl.add agg s.sp_name (ref 1, ref s.sp_dur);
+          order := s.sp_name :: !order)
+    (spans t);
+  if Hashtbl.length agg > 0 then begin
+    say "spans (aggregated by name):\n";
+    say "  %-40s %8s %12s %12s\n" "name" "count" "total s" "mean s";
+    List.iter
+      (fun name ->
+        let n, tot = Hashtbl.find agg name in
+        say "  %-40s %8d %12.6f %12.6f\n" name !n !tot
+          (!tot /. float_of_int !n))
+      (List.rev !order)
+  end;
+  (match counters t with
+   | [] -> ()
+   | cs ->
+       say "counters:\n";
+       List.iter (fun (k, v) -> say "  %-48s %12d\n" k v) cs);
+  (match histograms t with
+   | [] -> ()
+   | hs ->
+       say "histograms (seconds):\n";
+       say "  %-36s %8s %10s %10s %10s %10s\n" "name" "count" "mean" "p50"
+         "p90" "max";
+       List.iter
+         (fun (k, s) ->
+           say "  %-36s %8d %10.6f %10.6f %10.6f %10.6f\n" k s.Histogram.count
+             (Histogram.mean s)
+             (Histogram.quantile s 0.5)
+             (Histogram.quantile s 0.9)
+             s.Histogram.max)
+         hs);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_trace ?(process_name = "kgmodel") t =
+  let buf = Buffer.create 4096 in
+  let say fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  say "{\"traceEvents\":[";
+  say
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+    (json_escape process_name);
+  List.iter
+    (fun s ->
+      say
+        ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f"
+        (json_escape s.sp_name) (json_escape s.sp_cat) (s.sp_start *. 1e6)
+        (s.sp_dur *. 1e6);
+      (match s.sp_args with
+       | [] -> ()
+       | args ->
+           say ",\"args\":{";
+           List.iteri
+             (fun i (k, v) ->
+               say "%s\"%s\":\"%s\"" (if i = 0 then "" else ",")
+                 (json_escape k) (json_escape v))
+             args;
+           say "}");
+      say "}")
+    (spans t);
+  say "],\n\"otherData\":{";
+  List.iteri
+    (fun i (k, v) ->
+      say "%s\"%s\":%d" (if i = 0 then "" else ",") (json_escape k) v)
+    (counters t);
+  say "}}\n";
+  Buffer.contents buf
+
+let write_chrome_trace ?process_name file t =
+  let oc = open_out file in
+  output_string oc (chrome_trace ?process_name t);
+  close_out oc

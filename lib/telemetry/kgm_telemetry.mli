@@ -1,0 +1,131 @@
+(** Kgm_telemetry — the observability substrate of KGModel.
+
+    One collector gathers three kinds of signal:
+    - {e spans}: hierarchical, monotonic-clock timed regions
+      (load | reason | flush stages, per-rule chase work, figure
+      generation, ...);
+    - {e counters}: named monotone integers (facts derived, nulls
+      invented, chase-check hits, ...);
+    - {e histograms}: log-scale latency distributions (per-rule
+      evaluation times, ...).
+
+    Every instrumentation point takes a collector explicitly; the
+    {!null} collector makes all of them no-ops, so instrumented code
+    pays nothing when observability is off. Two exporters are provided:
+    a human-readable {!summary} table and {!chrome_trace}, the Chrome
+    trace-event JSON format loadable in [chrome://tracing] and
+    Perfetto. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic time in seconds, from [clock_gettime(CLOCK_MONOTONIC)].
+      Only differences are meaningful; never goes backwards on wall
+      clock adjustment (unlike [Unix.gettimeofday]). *)
+
+  val now_ns : unit -> int64
+  (** Same instant in integer nanoseconds. *)
+end
+
+module Histogram : sig
+  type t
+  (** A log-2-bucketed latency histogram: bucket [i] counts
+      observations in [[2^(i-1), 2^i)] microseconds. Cheap (one array
+      index per observation), bounded memory. *)
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  (** [observe h seconds] — negative observations clamp to 0. *)
+
+  type snapshot = {
+    count : int;
+    sum : float;                    (** seconds *)
+    min : float;
+    max : float;
+    buckets : (float * int) list;   (** (upper bound in seconds, count),
+                                        non-empty buckets only *)
+  }
+
+  val snapshot : t -> snapshot
+  val mean : snapshot -> float
+  val quantile : snapshot -> float -> float
+  (** [quantile s 0.9] — upper bound of the bucket holding the q-th
+      observation; 0 on an empty snapshot. *)
+end
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;  (** enclosing span, if any *)
+  sp_depth : int;          (** 0 = top-level *)
+  sp_name : string;
+  sp_cat : string;         (** trace-event category, e.g. "stage", "rule" *)
+  sp_start : float;        (** seconds since the collector's epoch *)
+  sp_dur : float;
+  sp_args : (string * string) list;
+}
+
+type t
+(** A collector. Not thread-safe (the engine is single-threaded). *)
+
+val create : unit -> t
+(** A fresh, enabled collector; its epoch is the creation instant. *)
+
+val null : t
+(** The disabled collector: every operation is a no-op. Use it as the
+    default for [?telemetry] arguments. *)
+
+val enabled : t -> bool
+
+val global : t
+(** A process-global enabled collector, for call sites with no natural
+    place to thread one through (epoch = module load time). *)
+
+val reset : t -> unit
+(** Drop all recorded spans, counters and histograms (epoch kept). *)
+
+(** {1 Recording} *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span; nesting is tracked, so
+    spans opened by [f] become children. Exceptions propagate; the span
+    is closed either way. *)
+
+val record_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string ->
+  start:float -> stop:float -> unit
+(** Record an already-timed region ([start]/[stop] from {!Clock.now});
+    it is parented under the currently open [with_span], if any. Lets
+    hot loops time unconditionally and record only when something
+    happened. *)
+
+val count : t -> ?by:int -> string -> unit
+(** Bump a named counter (created at 0 on first use). *)
+
+val observe : t -> string -> float -> unit
+(** Feed one observation (seconds) into a named histogram. *)
+
+(** {1 Reading} *)
+
+val spans : t -> span list
+(** In start order. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * Histogram.snapshot) list
+(** Sorted by name. *)
+
+(** {1 Exporters} *)
+
+val summary : t -> string
+(** Human-readable tables: spans aggregated by name (count, total,
+    mean), counters, histogram quantiles. *)
+
+val chrome_trace : ?process_name:string -> t -> string
+(** Chrome trace-event JSON: one ["X"] (complete) event per span with
+    microsecond [ts]/[dur], plus the counters under ["otherData"].
+    Loadable in [chrome://tracing] / Perfetto. *)
+
+val write_chrome_trace : ?process_name:string -> string -> t -> unit
+(** [write_chrome_trace file t] writes {!chrome_trace} to [file]. *)

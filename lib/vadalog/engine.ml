@@ -33,11 +33,78 @@ let default_options =
     max_rounds = 1_000_000;
     check_wardedness = false }
 
+(* ------------------------------------------------------------------ *)
+(* Per-rule chase instrumentation. The counters are cheap enough (one
+   int bump per event) to stay always-on; spans and histograms are only
+   recorded into an enabled [?telemetry] collector. *)
+
+type rule_stats = {
+  rs_id : int;             (** position of the rule in the program *)
+  rs_rule : string;        (** pretty-printed rule *)
+  rs_label : string;       (** short label: head predicates, "p/2,q/3" *)
+  rs_firings : int;        (** facts this rule added to the database *)
+  rs_matches : int;        (** complete body matches (head instantiations
+                               attempted) *)
+  rs_probes : int;         (** candidate facts examined while joining *)
+  rs_nulls : int;          (** labeled nulls invented *)
+  rs_chase_hits : int;     (** restricted-chase checks finding an image
+                               (invention suppressed) *)
+  rs_chase_misses : int;   (** checks finding none (nulls invented) *)
+  rs_time_s : float;       (** monotonic time spent evaluating the rule *)
+}
+
 type stats = {
   rounds : int;
   new_facts : int;
   elapsed_s : float;
+  delta_sizes : int list;  (** facts derived per semi-naive round, in
+                               chronological order across strata *)
+  nulls_invented : int;
+  chase_hits : int;
+  chase_misses : int;
+  per_rule : rule_stats list;  (** program order *)
 }
+
+let merge_stats a b =
+  { rounds = a.rounds + b.rounds;
+    new_facts = a.new_facts + b.new_facts;
+    elapsed_s = a.elapsed_s +. b.elapsed_s;
+    delta_sizes = a.delta_sizes @ b.delta_sizes;
+    nulls_invented = a.nulls_invented + b.nulls_invented;
+    chase_hits = a.chase_hits + b.chase_hits;
+    chase_misses = a.chase_misses + b.chase_misses;
+    per_rule = a.per_rule @ b.per_rule }
+
+let pp_rule_table ppf stats =
+  let active =
+    List.filter
+      (fun r -> r.rs_matches > 0 || r.rs_probes > 0 || r.rs_firings > 0)
+      stats.per_rule
+  in
+  let idle = List.length stats.per_rule - List.length active in
+  let by_time =
+    List.sort (fun a b -> compare b.rs_time_s a.rs_time_s) active
+  in
+  Format.fprintf ppf "%-28s %8s %8s %10s %6s %6s %6s %10s@."
+    "rule" "fired" "matched" "probes" "nulls" "hits" "misses" "time s";
+  Format.fprintf ppf "%s@." (String.make 90 '-');
+  List.iter
+    (fun r ->
+      let label =
+        if String.length r.rs_label <= 28 then r.rs_label
+        else String.sub r.rs_label 0 25 ^ "..."
+      in
+      Format.fprintf ppf "%-28s %8d %8d %10d %6d %6d %6d %10.6f@."
+        label r.rs_firings r.rs_matches r.rs_probes r.rs_nulls
+        r.rs_chase_hits r.rs_chase_misses r.rs_time_s)
+    by_time;
+  if idle > 0 then
+    Format.fprintf ppf "(%d rule%s with no activity omitted)@." idle
+      (if idle = 1 then "" else "s");
+  Format.fprintf ppf
+    "total: %d new facts, %d rounds, %d nulls, %d/%d chase hits/misses, %.6fs@."
+    stats.new_facts stats.rounds stats.nulls_invented stats.chase_hits
+    stats.chase_misses stats.elapsed_s
 
 (* ------------------------------------------------------------------ *)
 (* Provenance: the first derivation recorded for each derived fact      *)
@@ -140,6 +207,7 @@ let agg_step op acc v =
 type prepared = {
   rule : Rule.rule;
   rule_id : int;
+  head_label : string;  (* "pred/arity" of every head atom, joined *)
   existentials : string list;
   (* for every monotonic/stratified aggregate literal (at most one
      stratified supported), the variables forming the group key *)
@@ -293,11 +361,32 @@ let prepare rule_id (r : Rule.rule) =
    | None -> ());
   { rule = r;
     rule_id;
+    head_label =
+      String.concat ","
+        (List.map
+           (fun (a : Rule.atom) ->
+             Printf.sprintf "%s/%d" a.Rule.pred (List.length a.Rule.args))
+           r.Rule.head);
     existentials = Rule.existential_vars r;
     group_vars;
     strat_agg_index }
 
 (* ------------------------------------------------------------------ *)
+
+(* per-rule mutable counters, aggregated into [rule_stats] at the end *)
+type rule_ctr = {
+  mutable c_firings : int;
+  mutable c_matches : int;
+  mutable c_probes : int;
+  mutable c_nulls : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_time : float;
+}
+
+let fresh_ctr () =
+  { c_firings = 0; c_matches = 0; c_probes = 0; c_nulls = 0; c_hits = 0;
+    c_misses = 0; c_time = 0. }
 
 type run_state = {
   db : Database.t;
@@ -307,6 +396,10 @@ type run_state = {
   prov : provenance option;
   (* facts matched so far on the current evaluation path *)
   mutable fact_trail : (string * Value.t array) list;
+  tele : Kgm_telemetry.t;
+  ctrs : rule_ctr array;       (* indexed by rule_id *)
+  mutable cur : rule_ctr;      (* counters of the rule being evaluated *)
+  mutable round : int;         (* current fixpoint round (for errors) *)
 }
 
 (* Labeled nulls are drawn from a process-wide counter: successive runs
@@ -314,8 +407,9 @@ type run_state = {
    never re-issue a null already present in the facts. *)
 let global_null_counter = ref 0
 
-let fresh_null _st =
+let fresh_null st =
   incr global_null_counter;
+  st.cur.c_nulls <- st.cur.c_nulls + 1;
   Value.Null !global_null_counter
 
 let term_value env = function
@@ -345,6 +439,7 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
           fl
     | None -> Database.lookup st.db a.Rule.pred !positions !key
   in
+  st.cur.c_probes <- st.cur.c_probes + List.length candidates;
   List.iter
     (fun fact ->
       if Array.length fact = n then begin
@@ -467,9 +562,12 @@ let head_satisfied st env (prep : prepared) =
   go prep.rule.Rule.head
 
 let fire st env (prep : prepared) ~on_new =
+  st.cur.c_matches <- st.cur.c_matches + 1;
   let budget_check () =
     if Database.total st.db > st.opts.max_facts then
-      Kgm_error.reason_error
+      Kgm_error.reason_error_ctx
+        [ ("rule", Format.asprintf "%a" Rule.pp_rule prep.rule);
+          ("round", string_of_int st.round) ]
         "fact budget exceeded (%d facts): non-terminating chase?"
         st.opts.max_facts
   in
@@ -483,31 +581,29 @@ let fire st env (prep : prepared) ~on_new =
               parents = List.rev st.fact_trail }
     | None -> ()
   in
-  if prep.existentials = [] then
-    List.iter
-      (fun a ->
-        let fact = ground_atom env a in
-        if Database.add st.db a.Rule.pred fact then begin
-          st.added <- st.added + 1;
-          budget_check ();
-          record a.Rule.pred fact;
-          on_new a.Rule.pred fact
-        end)
-      prep.rule.Rule.head
-  else if st.opts.restricted_chase && head_satisfied st env prep then ()
+  let add_head a =
+    let fact = ground_atom env a in
+    if Database.add st.db a.Rule.pred fact then begin
+      st.added <- st.added + 1;
+      st.cur.c_firings <- st.cur.c_firings + 1;
+      budget_check ();
+      record a.Rule.pred fact;
+      on_new a.Rule.pred fact
+    end
+  in
+  if prep.existentials = [] then List.iter add_head prep.rule.Rule.head
+  else if
+    st.opts.restricted_chase
+    &&
+    let satisfied = head_satisfied st env prep in
+    if satisfied then st.cur.c_hits <- st.cur.c_hits + 1
+    else st.cur.c_misses <- st.cur.c_misses + 1;
+    satisfied
+  then ()
   else begin
     let mark = env_mark env in
     List.iter (fun x -> env_bind env x (fresh_null st)) prep.existentials;
-    List.iter
-      (fun a ->
-        let fact = ground_atom env a in
-        if Database.add st.db a.Rule.pred fact then begin
-          st.added <- st.added + 1;
-          budget_check ();
-          record a.Rule.pred fact;
-          on_new a.Rule.pred fact
-        end)
-      prep.rule.Rule.head;
+    List.iter add_head prep.rule.Rule.head;
     env_undo env mark
   end
 
@@ -674,15 +770,37 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
 (* ------------------------------------------------------------------ *)
 
 let eval_rule st (prep : prepared) ~delta ~on_new =
-  match prep.strat_agg_index with
-  | Some agg_i ->
-      if delta = None then eval_stratified st prep agg_i ~on_new
-  | None ->
-      let env = env_create () in
-      eval_literals st env prep prep.rule.Rule.body 0 ~delta ~on_new
+  let ctr = st.ctrs.(prep.rule_id) in
+  st.cur <- ctr;
+  let t0 = Kgm_telemetry.Clock.now () in
+  let before = st.added in
+  (match prep.strat_agg_index with
+   | Some agg_i ->
+       if delta = None then eval_stratified st prep agg_i ~on_new
+   | None ->
+       let env = env_create () in
+       eval_literals st env prep prep.rule.Rule.body 0 ~delta ~on_new);
+  let t1 = Kgm_telemetry.Clock.now () in
+  ctr.c_time <- ctr.c_time +. (t1 -. t0);
+  if Kgm_telemetry.enabled st.tele then begin
+    Kgm_telemetry.observe st.tele "engine.rule_eval_s" (t1 -. t0);
+    (* one span per rule evaluation that actually fired; quiet
+       evaluations stay out of the trace to keep it readable *)
+    if st.added > before then
+      Kgm_telemetry.record_span st.tele ~cat:"rule"
+        ~args:
+          [ ("fired", string_of_int (st.added - before));
+            ("round", string_of_int st.round) ]
+        ("rule:" ^ prep.head_label) ~start:t0 ~stop:t1
+  end
 
-let run ?(options = default_options) ?provenance (program : Rule.program) db =
-  let t0 = Unix.gettimeofday () in
+let run ?(options = default_options) ?provenance
+    ?(telemetry = Kgm_telemetry.null) (program : Rule.program) db =
+  Kgm_telemetry.with_span telemetry ~cat:"engine"
+    ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
+    "engine.run"
+  @@ fun () ->
+  let t0 = Kgm_telemetry.Clock.now () in
   (match Analysis.safety_report program with
    | [] -> ()
    | errs ->
@@ -697,9 +815,14 @@ let run ?(options = default_options) ?provenance (program : Rule.program) db =
   List.iter
     (fun (pred, args) -> ignore (Database.add db pred (Array.of_list args)))
     program.Rule.facts;
+  let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; fact_trail = [] }
+      prov = provenance; fact_trail = [];
+      tele = telemetry;
+      ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
+      cur = fresh_ctr ();
+      round = 0 }
   in
   let prepared =
     List.mapi
@@ -717,9 +840,14 @@ let run ?(options = default_options) ?provenance (program : Rule.program) db =
   in
   let n_strata = List.length analysis.Analysis.strata in
   let rounds = ref 0 in
+  let deltas = ref [] in (* per-round delta sizes, reverse chronological *)
   for s = 0 to n_strata - 1 do
     let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
     if rules_here <> [] then begin
+      Kgm_telemetry.with_span telemetry ~cat:"engine"
+        ~args:[ ("rules", string_of_int (List.length rules_here)) ]
+        (Printf.sprintf "stratum:%d" s)
+      @@ fun () ->
       let in_stratum =
         match List.nth_opt analysis.Analysis.strata s with
         | Some preds -> preds
@@ -732,44 +860,93 @@ let run ?(options = default_options) ?provenance (program : Rule.program) db =
           | Some l -> l := fact :: !l
           | None -> Hashtbl.add delta pred (ref [ fact ])
       in
+      let delta_size () =
+        Hashtbl.fold (fun _ l acc -> acc + List.length !l) delta 0
+      in
       (* round 0: full evaluation *)
       incr rounds;
-      List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here;
+      st.round <- !rounds;
+      Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
+          List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here);
+      deltas := delta_size () :: !deltas;
       let continue = ref (Hashtbl.length delta > 0) in
       while !continue do
         incr rounds;
+        st.round <- !rounds;
         if !rounds > options.max_rounds then
-          Kgm_error.reason_error "round budget exceeded";
+          Kgm_error.reason_error_ctx
+            [ ("round", string_of_int !rounds) ]
+            "round budget exceeded";
         let current = Hashtbl.copy delta in
         Hashtbl.reset delta;
-        if options.semi_naive then
-          List.iter
-            (fun prep ->
-              List.iteri
-                (fun i lit ->
-                  match lit with
-                  | Rule.Pos a ->
-                      (match Hashtbl.find_opt current a.Rule.pred with
-                       | Some fl ->
-                           eval_rule st prep
-                             ~delta:(Some (i, List.rev !fl))
-                             ~on_new:record
-                       | None -> ())
-                  | _ -> ())
-                prep.rule.Rule.body)
-            rules_here
-        else
-          (* naive: full re-evaluation; recurse only while new facts appear *)
-          List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here;
+        Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
+            if options.semi_naive then
+              List.iter
+                (fun prep ->
+                  List.iteri
+                    (fun i lit ->
+                      match lit with
+                      | Rule.Pos a ->
+                          (match Hashtbl.find_opt current a.Rule.pred with
+                           | Some fl ->
+                               eval_rule st prep
+                                 ~delta:(Some (i, List.rev !fl))
+                                 ~on_new:record
+                           | None -> ())
+                      | _ -> ())
+                    prep.rule.Rule.body)
+                rules_here
+            else
+              (* naive: full re-evaluation; recurse only while new facts
+                 appear *)
+              List.iter
+                (fun p -> eval_rule st p ~delta:None ~on_new:record)
+                rules_here);
+        deltas := delta_size () :: !deltas;
         continue := Hashtbl.length delta > 0
       done
     end
   done;
-  { rounds = !rounds; new_facts = st.added; elapsed_s = Unix.gettimeofday () -. t0 }
+  let per_rule =
+    List.map
+      (fun (prep : prepared) ->
+        let c = st.ctrs.(prep.rule_id) in
+        { rs_id = prep.rule_id;
+          rs_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
+          rs_label = prep.head_label;
+          rs_firings = c.c_firings;
+          rs_matches = c.c_matches;
+          rs_probes = c.c_probes;
+          rs_nulls = c.c_nulls;
+          rs_chase_hits = c.c_hits;
+          rs_chase_misses = c.c_misses;
+          rs_time_s = c.c_time })
+      prepared
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 per_rule in
+  let stats =
+    { rounds = !rounds;
+      new_facts = st.added;
+      elapsed_s = Kgm_telemetry.Clock.now () -. t0;
+      delta_sizes = List.rev !deltas;
+      nulls_invented = sum (fun r -> r.rs_nulls);
+      chase_hits = sum (fun r -> r.rs_chase_hits);
+      chase_misses = sum (fun r -> r.rs_chase_misses);
+      per_rule }
+  in
+  if Kgm_telemetry.enabled telemetry then begin
+    Kgm_telemetry.count telemetry ~by:stats.new_facts "engine.facts.new";
+    Kgm_telemetry.count telemetry ~by:stats.rounds "engine.rounds";
+    Kgm_telemetry.count telemetry ~by:stats.nulls_invented
+      "engine.nulls.invented";
+    Kgm_telemetry.count telemetry ~by:stats.chase_hits "engine.chase.hits";
+    Kgm_telemetry.count telemetry ~by:stats.chase_misses "engine.chase.misses"
+  end;
+  stats
 
-let run_program ?options ?provenance program =
+let run_program ?options ?provenance ?telemetry program =
   let db = Database.create () in
-  let stats = run ?options ?provenance program db in
+  let stats = run ?options ?provenance ?telemetry program db in
   (db, stats)
 
 let query db pred = Database.facts db pred

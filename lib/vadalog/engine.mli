@@ -37,11 +37,47 @@ type options = {
 
 val default_options : options
 
+(** {1 Statistics}
+
+    Per-rule chase instrumentation is always on (the counters are one
+    int bump per event); spans and histograms are only recorded when an
+    enabled {!Kgm_telemetry} collector is passed to {!run}. *)
+
+type rule_stats = {
+  rs_id : int;             (** position of the rule in the program *)
+  rs_rule : string;        (** pretty-printed rule *)
+  rs_label : string;       (** head predicates, e.g. ["controls/2"] *)
+  rs_firings : int;        (** facts this rule added to the database *)
+  rs_matches : int;        (** complete body matches (head instantiations
+                               attempted) *)
+  rs_probes : int;         (** candidate facts examined while joining *)
+  rs_nulls : int;          (** labeled nulls invented *)
+  rs_chase_hits : int;     (** restricted-chase homomorphism checks that
+                               found an image (invention suppressed) *)
+  rs_chase_misses : int;   (** checks that found none (nulls invented) *)
+  rs_time_s : float;       (** monotonic time evaluating the rule *)
+}
+
 type stats = {
   rounds : int;      (** fixpoint rounds across all strata *)
   new_facts : int;   (** facts added by this run *)
-  elapsed_s : float;
+  elapsed_s : float; (** monotonic wall time of the run *)
+  delta_sizes : int list;
+      (** facts derived per semi-naive round, chronological across
+          strata *)
+  nulls_invented : int;
+  chase_hits : int;
+  chase_misses : int;
+  per_rule : rule_stats list;  (** program order *)
 }
+
+val merge_stats : stats -> stats -> stats
+(** Componentwise sum/concatenation — for reporting over multi-pass
+    runs (e.g. Algorithm 2's two phases). *)
+
+val pp_rule_table : Format.formatter -> stats -> unit
+(** Human-readable per-rule metrics table, busiest rules first; rules
+    with no activity are folded into one line. *)
 
 (** {1 Provenance} *)
 
@@ -67,16 +103,23 @@ val pp_derivation_tree :
 (** {1 Running programs} *)
 
 val run :
-  ?options:options -> ?provenance:provenance -> Rule.program -> Database.t ->
-  stats
+  ?options:options -> ?provenance:provenance ->
+  ?telemetry:Kgm_telemetry.t -> Rule.program -> Database.t -> stats
 (** Load the program's facts into the database and chase its rules to
     fixpoint, stratum by stratum. Raises [Kgm_error.Error]:
     [Validate] on unsafe or unstratifiable programs (or unwarded ones
-    when [check_wardedness]), [Reason] on exceeded budgets. *)
+    when [check_wardedness]), [Reason] on exceeded budgets (with the
+    offending rule and round in the error context).
+
+    [telemetry] defaults to {!Kgm_telemetry.null}, a no-op; an enabled
+    collector additionally records an [engine.run] span, one span per
+    stratum and per fixpoint round, one [rule:<head>] span per rule
+    evaluation that derived facts, an [engine.rule_eval_s] latency
+    histogram and [engine.*] counters. *)
 
 val run_program :
-  ?options:options -> ?provenance:provenance -> Rule.program ->
-  Database.t * stats
+  ?options:options -> ?provenance:provenance ->
+  ?telemetry:Kgm_telemetry.t -> Rule.program -> Database.t * stats
 (** [run] on a fresh database. *)
 
 val query : Database.t -> string -> Database.fact list

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "kgmodel"
     [ ("common", Test_common.suite);
+      ("telemetry", Test_telemetry.suite);
       ("algo", Test_algo.suite);
       ("relational", Test_relational.suite);
       ("graphdb", Test_graphdb.suite);

@@ -75,7 +75,10 @@ let test_nullable_key_rejected () =
 
 let test_duplicate_relation_rejected () =
   Alcotest.check_raises "dup"
-    (Kgm_error.Error { Kgm_error.stage = Kgm_error.Storage; message = "duplicate relation t" })
+    (Kgm_error.Error
+       { Kgm_error.stage = Kgm_error.Storage;
+         message = "duplicate relation t";
+         context = [] })
     (fun () ->
       let r = R.relation "t" [ R.field ~key:true "x" Value.TInt ] in
       ignore (R.add_relation (R.add_relation R.empty r) r))
