@@ -19,7 +19,9 @@
    ABL-1  restricted+isomorphic chase vs oblivious chase
    ABL-2  semi-naive vs naive evaluation
    ABL-3  monotonic (streaming) vs distinct-at-fixpoint aggregation
-   ABL-4  greedy join ordering vs written body order *)
+   ABL-4  greedy join ordering vs written body order
+   PAR    parallel semi-naive rounds, jobs=1 vs jobs=ncores
+          (writes BENCH_parallel.json; run as "parallel") *)
 
 open Kgm_common
 module G = Kgm_finance.Generator
@@ -62,7 +64,7 @@ let exp1 () =
 
 (* ------------------------------------------------------------------ *)
 
-let materialization_run ?(telemetry = Kgm_telemetry.null) n =
+let materialization_run ?options ?(telemetry = Kgm_telemetry.null) n =
   let schema = Kgm_finance.Company_schema.load () in
   let dict = Kgmodel.Dictionary.create () in
   let sid = Kgmodel.Dictionary.store dict schema in
@@ -70,7 +72,7 @@ let materialization_run ?(telemetry = Kgm_telemetry.null) n =
   let o = G.generate ~n () in
   let data = G.to_company_graph o in
   let report =
-    Kgmodel.Materialize.materialize ~telemetry ~instances:inst ~schema
+    Kgmodel.Materialize.materialize ?options ~telemetry ~instances:inst ~schema
       ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
   in
   (o, data, report)
@@ -579,6 +581,76 @@ let abl4 () =
   say "%26s | %12.4f | %12.4f@." "materialization n=400" (mat true) (mat false)
 
 (* ------------------------------------------------------------------ *)
+
+(* PAR: the EXP-2 workload at jobs=1 vs jobs=ncores. Correctness is
+   jobs-independent by construction (the merge phase is sequential and
+   schedule-independent), so the experiment only reports wall-clock and
+   cross-checks derived counts. KGM_BENCH_N overrides the instance
+   sizes (e.g. KGM_BENCH_N=100 for a CI smoke run). *)
+let parallel () =
+  header "PAR | parallel semi-naive rounds: jobs=1 vs jobs=ncores";
+  let ncores = Domain.recommended_domain_count () in
+  (* on a 1-core box jobs=ncores would degenerate to the sequential
+     path; always spawn at least one extra domain so the snapshot+merge
+     machinery is what gets measured *)
+  let jobs_n = max 2 ncores in
+  let sizes =
+    match Option.bind (Sys.getenv_opt "KGM_BENCH_N") int_of_string_opt with
+    | Some n when n > 0 -> [ n ]
+    | _ -> [ 400; 800; 1600 ]
+  in
+  say
+    "EXP-2 materialization (full Σ) at jobs=1 and jobs=%d@.\
+     (Domain.recommended_domain_count = %d on this machine).@.@."
+    jobs_n ncores;
+  say "%8s | %10s | %10s | %8s | %6s@." "N" "jobs=1 s"
+    (Printf.sprintf "jobs=%d s" jobs_n)
+    "speedup" "agree";
+  say "%s@." (String.make 54 '-');
+  let opts jobs = { Kgm_vadalog.Engine.default_options with jobs } in
+  let rows =
+    List.map
+      (fun n ->
+        let (_, _, r1), t1 =
+          time (fun () -> materialization_run ~options:(opts 1) n)
+        in
+        let (_, _, rn), tn =
+          time (fun () -> materialization_run ~options:(opts jobs_n) n)
+        in
+        let derived r =
+          ( r.Kgmodel.Materialize.derived_nodes,
+            r.Kgmodel.Materialize.derived_edges,
+            r.Kgmodel.Materialize.derived_attrs )
+        in
+        let agree = derived r1 = derived rn in
+        let speedup = t1 /. max 1e-9 tn in
+        say "%8d | %10.3f | %10.3f | %7.2fx | %6b@." n t1 tn speedup agree;
+        (n, t1, tn, speedup, agree))
+      sizes
+  in
+  say
+    "@.Note: on a single-core container the parallel path cannot beat@.\
+     jobs=1 (ncores=%d here); the figure of merit is then the overhead@.\
+     of snapshot+merge, which the speedup column reports honestly.@."
+    ncores;
+  let oc = open_out "BENCH_parallel.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"parallel-semi-naive\",\n";
+  p "  \"workload\": \"exp2-materialization\",\n";
+  p "  \"ncores\": %d,\n  \"jobs\": %d,\n  \"runs\": [\n" ncores jobs_n;
+  List.iteri
+    (fun i (n, t1, tn, speedup, agree) ->
+      p
+        "    { \"n\": %d, \"jobs1_s\": %.6f, \"jobsN_s\": %.6f, \"speedup\": \
+         %.3f, \"agree\": %b }%s\n"
+        n t1 tn speedup agree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  say "@.results written to BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let bechamel_table () =
@@ -670,7 +742,7 @@ let all =
   [ ("exp1", exp1); ("exp2", exp2); ("exp3", exp3); ("exp4", exp4);
     ("exp5", exp5); ("exp6", exp6); ("exp7", exp7); ("exp8", exp8);
     ("exp9", exp9); ("abl1", abl1); ("abl2", abl2); ("abl3", abl3);
-    ("abl4", abl4); ("bechamel", bechamel_table) ]
+    ("abl4", abl4); ("parallel", parallel); ("bechamel", bechamel_table) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

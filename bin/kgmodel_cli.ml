@@ -47,6 +47,16 @@ let metrics_arg =
            ~doc:"Print per-rule chase metrics and the telemetry summary \
                  after the run.")
 
+let jobs_arg =
+  Arg.(value & opt int Kgm_vadalog.Engine.default_jobs
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the reasoner's semi-naive rounds \
+                 (default: \\$(b,KGM_JOBS) or 1). Results are identical \
+                 for every $(docv).")
+
+let options_for_jobs jobs =
+  { Kgm_vadalog.Engine.default_options with Kgm_vadalog.Engine.jobs }
+
 (* Run [f] with a collector (enabled only when a flag asks for it), then
    emit the requested artifacts. *)
 let with_telemetry ~trace ~metrics f =
@@ -182,7 +192,7 @@ let reason_cmd =
     Arg.(value & opt (some string) None
          & info [ "query"; "q" ] ~doc:"Predicate whose facts to print.")
   in
-  let run file query trace metrics =
+  let run file query trace metrics jobs =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
         let program = Kgm_vadalog.Parser.parse_program (read_file file) in
@@ -190,7 +200,10 @@ let reason_cmd =
         List.iter
           (fun (pred, n) -> Format.printf "%% @input %s: %d facts@." pred n)
           (Kgm_vadalog.Io_sources.load_inputs program db);
-        let stats = Kgm_vadalog.Engine.run ~telemetry:tele program db in
+        let stats =
+          Kgm_vadalog.Engine.run ~options:(options_for_jobs jobs)
+            ~telemetry:tele program db
+        in
         Format.printf "%% %d new facts in %d rounds (%.3fs)@."
           stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
           stats.Kgm_vadalog.Engine.elapsed_s;
@@ -211,7 +224,7 @@ let reason_cmd =
               (Kgm_vadalog.Database.predicates db))
   in
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
-    Term.(const run $ file $ query $ trace_arg $ metrics_arg)
+    Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg)
 
 let stats_cmd =
   let n =
@@ -233,7 +246,7 @@ let demo_cmd =
   let n =
     Arg.(value & opt int 400 & info [ "n" ] ~doc:"Synthetic network size.")
   in
-  let run n trace metrics =
+  let run n trace metrics jobs =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
         let schema = Kgm_finance.Company_schema.load () in
@@ -244,9 +257,9 @@ let demo_cmd =
         let data = Kgm_finance.Generator.to_company_graph o in
         Format.printf "data: %a@." Kgm_graphdb.Pgraph.pp_summary data;
         let report =
-          Kgmodel.Materialize.materialize ~telemetry:tele ~instances:inst
-            ~schema ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full
-            ()
+          Kgmodel.Materialize.materialize ~options:(options_for_jobs jobs)
+            ~telemetry:tele ~instances:inst ~schema ~schema_oid:sid ~data
+            ~sigma:Kgm_finance.Intensional.full ()
         in
         Format.printf
           "materialized: load %.3fs, reason %.3fs, flush %.3fs@."
@@ -264,7 +277,7 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"End-to-end Algorithm 2 on a synthetic Company KG.")
-    Term.(const run $ n $ trace_arg $ metrics_arg)
+    Term.(const run $ n $ trace_arg $ metrics_arg $ jobs_arg)
 
 let diff_cmd =
   let old_file =
@@ -333,9 +346,10 @@ let figures_cmd =
     Arg.(value & opt string "figures"
          & info [ "out"; "o" ] ~doc:"Output directory for the figure artifacts.")
   in
-  let run out_dir trace metrics =
+  let run out_dir trace metrics jobs =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
+        let options = options_for_jobs jobs in
         if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
         let write name content =
           Kgm_telemetry.with_span tele ~cat:"figure" ("figure:" ^ name)
@@ -359,7 +373,7 @@ let figures_cmd =
         let dict = Kgmodel.Dictionary.create () in
         let sid = Kgmodel.Dictionary.store dict schema in
         let pg_out =
-          Kgmodel.Ssst.translate ~telemetry:tele dict
+          Kgmodel.Ssst.translate ~options ~telemetry:tele dict
             (Kgm_targets.Pg_model.mapping ()) sid
         in
         let pg = Kgm_targets.Pg_model.decode dict pg_out.Kgmodel.Ssst.target_oid in
@@ -367,7 +381,7 @@ let figures_cmd =
         write "fig6_pg_constraints.cypher"
           (Kgm_targets.Pg_model.enforcement_script pg);
         let rel_out =
-          Kgmodel.Ssst.translate ~telemetry:tele dict
+          Kgmodel.Ssst.translate ~options ~telemetry:tele dict
             (Kgm_targets.Relational_model.mapping ()) sid
         in
         let rel =
@@ -386,7 +400,7 @@ let figures_cmd =
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Regenerate every figure artifact of the paper (Figs. 2, 3, 4, 6, 8).")
-    Term.(const run $ out_dir $ trace_arg $ metrics_arg)
+    Term.(const run $ out_dir $ trace_arg $ metrics_arg $ jobs_arg)
 
 let () =
   let info =

@@ -12,14 +12,23 @@ let tag = function
   | Int _ -> 0 | Float _ -> 1 | String _ -> 2 | Bool _ -> 3
   | Date _ -> 4 | Id _ -> 5 | Null _ -> 6 | List _ -> 7
 
-let compare a b =
+(* [rec] matters: without it the [List] branch (and any other inner
+   occurrence of [compare]) resolves to the polymorphic
+   [Stdlib.compare], which bypasses [Oid.compare] (the cosmetic Fresh
+   hint would leak into ordering) and [Float.compare] on nested
+   values. *)
+let rec compare a b =
   match a, b with
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
   | String x, String y -> String.compare x y
   | Bool x, Bool y -> Bool.compare x y
   | Date (y1, m1, d1), Date (y2, m2, d2) ->
-      compare (y1, m1, d1) (y2, m2, d2)
+      let c = Int.compare y1 y2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare m1 m2 in
+        if c <> 0 then c else Int.compare d1 d2
   | Id x, Id y -> Oid.compare x y
   | Null x, Null y -> Int.compare x y
   | List x, List y -> List.compare compare x y
@@ -31,6 +40,17 @@ let rec hash = function
   | Id o -> Hashtbl.hash (5, Oid.hash o)
   | List l -> Hashtbl.hash (7, List.map hash l)
   | v -> Hashtbl.hash v
+
+(** Key module for [Hashtbl.Make]: hashing and equality agree with
+    {!equal}/{!hash}, unlike the structural [( = )]/[Hashtbl.hash] pair
+    (which never equates [Float nan] with itself and distinguishes
+    [Id]s by their cosmetic hint). *)
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
 
 let rec pp ppf = function
   | Int i -> Format.pp_print_int ppf i

@@ -17,8 +17,19 @@ type t =
   | List of t list           (** packed multi-values (the [pack] operator) *)
 
 val compare : t -> t -> int
+(** Structural order that delegates to {!Oid.compare} (the cosmetic
+    [Fresh] hint is ignored) and [Float.compare] (total on NaN) at
+    every nesting depth, including inside [List]s. *)
+
 val equal : t -> t -> bool
 val hash : t -> int
+
+(** Key module for [Hashtbl.Make], consistent with {!equal}/{!hash}.
+    Use instead of polymorphic hash tables wherever values (or facts
+    built from them) are table keys: structural [( = )] never equates
+    [Float nan] with itself and distinguishes [Id]s by their cosmetic
+    hint. *)
+module Hashed : Hashtbl.HashedType with type t = t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -20,7 +20,7 @@ let run_metalog ?options ?telemetry dict src =
   in
   stats
 
-let translate ?(telemetry = Kgm_telemetry.null) dict mapping sid =
+let translate ?options ?(telemetry = Kgm_telemetry.null) dict mapping sid =
   Kgm_telemetry.with_span telemetry ~cat:"stage"
     ~args:[ ("model", mapping.model_name); ("strategy", mapping.strategy) ]
     "ssst.translate"
@@ -41,12 +41,12 @@ let translate ?(telemetry = Kgm_telemetry.null) dict mapping sid =
   in
   let eliminate_stats =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "ssst.eliminate" (fun () ->
-        run_metalog ~telemetry dict
+        run_metalog ?options ~telemetry dict
           (mapping.eliminate ~src:sid ~dst:intermediate_oid))
   in
   let copy_stats =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "ssst.copy" (fun () ->
-        run_metalog ~telemetry dict
+        run_metalog ?options ~telemetry dict
           (mapping.copy ~src:intermediate_oid ~dst:target_oid))
   in
   { intermediate_oid; target_oid; eliminate_stats; copy_stats }

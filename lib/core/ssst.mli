@@ -37,12 +37,14 @@ type outcome = {
 }
 
 val translate :
+  ?options:Kgm_vadalog.Engine.options ->
   ?telemetry:Kgm_telemetry.t -> Dictionary.t -> mapping -> int -> outcome
 (** [translate dict mapping sid] runs Algorithm 1 on the super-schema
     with [schemaOID = sid]. Raises [Kgm_error.Error] on translation or
-    reasoning failures. An enabled [telemetry] collector records the
-    [ssst.translate] span with [ssst.eliminate] / [ssst.copy] children
-    (the two reasoning passes). *)
+    reasoning failures. [options] is passed to the two reasoning passes.
+    An enabled [telemetry] collector records the [ssst.translate] span
+    with [ssst.eliminate] / [ssst.copy] children (the two reasoning
+    passes). *)
 
 val run_metalog :
   ?options:Kgm_vadalog.Engine.options ->

@@ -1,0 +1,123 @@
+(** A fixed-size pool of OCaml 5 domains with deterministic, ordered
+    results.
+
+    Built only on the stdlib multicore primitives ([Domain], [Mutex],
+    [Condition], [Atomic]); no external dependencies. The pool owns
+    [size - 1] worker domains — the caller's domain is the remaining
+    worker: {!run} drains the queue from the submitting domain too, so a
+    pool of size 1 spawns no domains and degenerates to strictly inline,
+    in-order execution. This makes [size = 1] a zero-overhead identity
+    and guarantees that results never depend on the pool size: tasks may
+    complete in any order, but {!run} returns them in submission order.
+
+    Tasks must not themselves call {!run} on the same pool (no nested
+    submission); the Vadalog engine uses one flat fan-out per fixpoint
+    round. *)
+
+type pool = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (** signalled when tasks arrive or at stop *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stop *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create size =
+  let size = max 1 size in
+  let pool =
+    { size; queue = Queue.create (); mutex = Mutex.create ();
+      nonempty = Condition.create (); stop = false; domains = [] }
+  in
+  pool.domains <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool size f =
+  let pool = create size in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* The caller's domain helps drain the queue, then blocks until every
+   task of this batch (including ones stolen by workers) has finished. *)
+let run (type a) pool (thunks : (unit -> a) array) : a list =
+  let n = Array.length thunks in
+  if n = 0 then []
+  else if pool.domains = [] then
+    (* inline fast path: no synchronization, strict submission order *)
+    Array.to_list (Array.map (fun f -> f ()) thunks)
+  else begin
+    let results : a option array = Array.make n None in
+    let error : exn option Atomic.t = Atomic.make None in
+    let remaining = Atomic.make n in
+    let finished = Condition.create () in
+    let task i () =
+      (try results.(i) <- Some (thunks.(i) ())
+       with e -> ignore (Atomic.compare_and_set error None (Some e)));
+      Mutex.lock pool.mutex;
+      if Atomic.fetch_and_add remaining (-1) = 1 then
+        Condition.broadcast finished;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    let rec help () =
+      Mutex.lock pool.mutex;
+      match Queue.take_opt pool.queue with
+      | Some t ->
+          Mutex.unlock pool.mutex;
+          t ();
+          help ()
+      | None -> Mutex.unlock pool.mutex
+    in
+    help ();
+    Mutex.lock pool.mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait finished pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let parallel_chunks pool items ~chunk_size f =
+  let chunk_size = max 1 chunk_size in
+  let n = Array.length items in
+  let n_chunks = (n + chunk_size - 1) / chunk_size in
+  run pool
+    (Array.init n_chunks (fun c ->
+         let lo = c * chunk_size in
+         let chunk = Array.sub items lo (min chunk_size (n - lo)) in
+         fun () -> f chunk))
+
+let chunk_size_for pool ~len =
+  (* about four chunks per worker: enough slack for load balancing,
+     few enough that per-chunk overhead stays negligible *)
+  max 1 ((len + (4 * pool.size) - 1) / (4 * pool.size))

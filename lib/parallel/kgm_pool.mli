@@ -1,0 +1,41 @@
+(** Fixed-size domain pool with deterministic, ordered results.
+
+    Stdlib-only ([Domain] / [Mutex] / [Condition] / [Atomic]). A pool of
+    size [n] uses the caller's domain plus [n - 1] spawned worker
+    domains; [n = 1] spawns nothing and runs every task inline, so
+    results are {e identical} for every pool size — tasks may finish in
+    any order but are always returned in submission order.
+
+    Tasks must be independent (no nested {!run} on the same pool). If a
+    task raises, the batch still runs to completion and the first
+    captured exception is re-raised from {!run} on the caller's
+    domain. *)
+
+type pool
+
+val create : int -> pool
+(** [create n] spawns [max 1 n - 1] worker domains. *)
+
+val size : pool -> int
+
+val shutdown : pool -> unit
+(** Stops and joins the workers. The pool must be idle. Idempotent. *)
+
+val with_pool : int -> (pool -> 'a) -> 'a
+(** [with_pool n f] runs [f] over a fresh pool and always shuts it
+    down, even when [f] raises. *)
+
+val run : pool -> (unit -> 'a) array -> 'a list
+(** Execute every thunk (concurrently when the pool has workers) and
+    return the results in submission order. *)
+
+val parallel_chunks : pool -> 'a array -> chunk_size:int -> ('a array -> 'b) -> 'b list
+(** [parallel_chunks pool items ~chunk_size f] splits [items] into
+    consecutive chunks of [chunk_size] (the last may be shorter), maps
+    [f] over the chunks on the pool, and returns the results in chunk
+    order — so [List.concat] of the results is independent of both the
+    chunk size and the pool size when [f] is pointwise. *)
+
+val chunk_size_for : pool -> len:int -> int
+(** A reasonable chunk size for [len] work items on this pool (about
+    four chunks per worker). *)

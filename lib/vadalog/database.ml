@@ -1,5 +1,19 @@
 (** Fact store of the Vadalog engine: per-predicate sets of tuples with
-    lazily built hash indexes on bound-position patterns. *)
+    lazily built hash indexes on bound-position patterns.
+
+    The dedup set and the indexes are functorized over
+    {!Kgm_common.Value.Hashed}: keying them on structural [( = )] /
+    [Hashtbl.hash] would make a fact containing [Float nan] never equal
+    itself (so every round re-inserts it — a non-termination risk for
+    recursive rules over float aggregates) and would distinguish [Id]s
+    by their cosmetic hint.
+
+    For the parallel chase the store can be {!freeze}-frozen: a frozen
+    database rejects writes and never mutates on {!lookup} (a missing
+    index falls back to a linear scan instead of being built), so any
+    number of domains may read it concurrently. {!prepare_index} builds
+    the indexes a query plan will need {e before} the parallel
+    section. *)
 
 open Kgm_common
 
@@ -7,42 +21,66 @@ type fact = Value.t array
 
 let fact_key (f : fact) = Array.to_list f
 
+(* Hashing/equality of fact keys must agree with Value.equal, not with
+   structural equality — see the module comment. *)
+module Key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
 type pred_store = {
   mutable facts : fact list;                     (* reverse insertion order *)
   mutable count : int;
-  set : (Value.t list, unit) Hashtbl.t;
-  indexes : (int list, (Value.t list, fact list ref) Hashtbl.t) Hashtbl.t;
+  set : unit KeyTbl.t;
+  indexes : (int list, fact list ref KeyTbl.t) Hashtbl.t;
 }
 
-type t = { preds : (string, pred_store) Hashtbl.t; mutable total : int }
+type t = {
+  preds : (string, pred_store) Hashtbl.t;
+  mutable total : int;
+  mutable frozen : bool;
+}
 
-let create () = { preds = Hashtbl.create 64; total = 0 }
+let create () = { preds = Hashtbl.create 64; total = 0; frozen = false }
 
 let store t pred =
   match Hashtbl.find_opt t.preds pred with
   | Some s -> s
   | None ->
       let s =
-        { facts = []; count = 0; set = Hashtbl.create 256; indexes = Hashtbl.create 4 }
+        { facts = []; count = 0; set = KeyTbl.create 256; indexes = Hashtbl.create 4 }
       in
       Hashtbl.add t.preds pred s;
       s
 
-let index_key positions fact = List.map (fun i -> fact.(i)) positions
+(* A predicate may hold facts of several arities (nothing enforces a
+   unique arity per name); a fact too short for the position pattern
+   simply has no key under it. *)
+let index_key positions fact =
+  let n = Array.length fact in
+  if List.exists (fun i -> i >= n) positions then None
+  else Some (List.map (fun i -> fact.(i)) positions)
 
 let index_insert idx positions fact =
-  let k = index_key positions fact in
-  match Hashtbl.find_opt idx k with
-  | Some l -> l := fact :: !l
-  | None -> Hashtbl.add idx k (ref [ fact ])
+  match index_key positions fact with
+  | None -> ()
+  | Some k -> (
+      match KeyTbl.find_opt idx k with
+      | Some l -> l := fact :: !l
+      | None -> KeyTbl.add idx k (ref [ fact ]))
 
 (** [add t pred fact] returns [true] when the fact is new. *)
 let add t pred fact =
+  if t.frozen then invalid_arg "Database.add: database is frozen";
   let s = store t pred in
   let k = fact_key fact in
-  if Hashtbl.mem s.set k then false
+  if KeyTbl.mem s.set k then false
   else begin
-    Hashtbl.add s.set k ();
+    KeyTbl.add s.set k ();
     s.facts <- fact :: s.facts;
     s.count <- s.count + 1;
     t.total <- t.total + 1;
@@ -52,7 +90,7 @@ let add t pred fact =
 
 let mem t pred fact =
   match Hashtbl.find_opt t.preds pred with
-  | Some s -> Hashtbl.mem s.set (fact_key fact)
+  | Some s -> KeyTbl.mem s.set (fact_key fact)
   | None -> false
 
 let facts t pred =
@@ -68,27 +106,53 @@ let total t = t.total
 let predicates t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.preds [] |> List.sort String.compare
 
+let build_index s positions =
+  let idx = KeyTbl.create (max 64 s.count) in
+  List.iter (fun f -> index_insert idx positions f) s.facts;
+  Hashtbl.add s.indexes positions idx;
+  idx
+
+let freeze t = t.frozen <- true
+let thaw t = t.frozen <- false
+let is_frozen t = t.frozen
+
+let prepare_index t pred positions =
+  if positions <> [] then
+    match Hashtbl.find_opt t.preds pred with
+    | None -> ()
+    | Some s ->
+        if not (Hashtbl.mem s.indexes positions) then ignore (build_index s positions)
+
 (** Facts whose values at [positions] equal [key]. Builds (and then
     maintains) a hash index for the position pattern on first use; an
-    empty pattern is a full scan. *)
+    empty pattern is a full scan. On a frozen database a missing index
+    is answered by a linear scan instead (no mutation). *)
 let lookup t pred positions key =
   match Hashtbl.find_opt t.preds pred with
   | None -> []
   | Some s ->
       if positions = [] then List.rev s.facts
       else begin
-        let idx =
-          match Hashtbl.find_opt s.indexes positions with
-          | Some idx -> idx
-          | None ->
-              let idx = Hashtbl.create (max 64 s.count) in
-              List.iter (fun f -> index_insert idx positions f) s.facts;
-              Hashtbl.add s.indexes positions idx;
-              idx
-        in
-        match Hashtbl.find_opt idx key with
-        | Some l -> List.rev !l
-        | None -> []
+        match Hashtbl.find_opt s.indexes positions with
+        | Some idx -> (
+            match KeyTbl.find_opt idx key with
+            | Some l -> List.rev !l
+            | None -> [])
+        | None ->
+            if t.frozen then
+              List.rev
+                (List.filter
+                   (fun f ->
+                     match index_key positions f with
+                     | Some k -> Key.equal k key
+                     | None -> false)
+                   s.facts)
+            else begin
+              let idx = build_index s positions in
+              match KeyTbl.find_opt idx key with
+              | Some l -> List.rev !l
+              | None -> []
+            end
       end
 
 let copy t =

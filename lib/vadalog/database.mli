@@ -1,10 +1,17 @@
 (** Fact store of the Vadalog engine: per-predicate sets of tuples with
     lazily built hash indexes on bound-position patterns. Duplicate
-    facts are silently ignored (set semantics). *)
+    facts are silently ignored (set semantics); fact equality is
+    {!Kgm_common.Value.equal} pointwise (so e.g. a fact containing
+    [Float nan] equals itself and re-derivation never duplicates it). *)
 
 open Kgm_common
 
 type fact = Value.t array
+
+module KeyTbl : Hashtbl.S with type key = Value.t list
+(** Hash tables keyed by value tuples, consistent with
+    {!Value.equal}/{!Value.hash} — use for any fact-keyed state (the
+    engine's aggregation groups, provenance, ...). *)
 
 type t
 
@@ -30,7 +37,29 @@ val lookup : t -> string -> int list -> Value.t list -> fact list
 (** [lookup db pred positions key]: the facts whose values at
     [positions] (ascending) equal [key] pointwise. Builds a hash index
     for the position pattern on first use; the empty pattern is a full
-    scan. *)
+    scan. Facts too short for the pattern never match. On a
+    {!freeze}-frozen database a missing index is answered by a linear
+    scan instead of being built (no mutation). *)
+
+(** {1 Freezing (parallel read phases)}
+
+    The restricted-chase engine evaluates rule bodies from several
+    domains at once against a read-only snapshot. Freezing makes the
+    store safe for concurrent readers: writes are rejected and
+    {!lookup} never builds indexes. Use {!prepare_index} to build the
+    indexes the workers will probe {e before} freezing. *)
+
+val freeze : t -> unit
+(** Reject writes ({!add} raises [Invalid_argument]) and make every
+    read path mutation-free until {!thaw}. *)
+
+val thaw : t -> unit
+val is_frozen : t -> bool
+
+val prepare_index : t -> string -> int list -> unit
+(** [prepare_index db pred positions] eagerly builds the index for the
+    position pattern (a no-op for the empty pattern, unknown predicates
+    or an already-built index). *)
 
 val copy : t -> t
 (** Deep copy (facts are copied; indexes are rebuilt lazily). *)

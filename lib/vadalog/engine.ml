@@ -22,7 +22,19 @@ type options = {
   max_facts : int;          (** hard budget; exceeded -> Reason error *)
   max_rounds : int;
   check_wardedness : bool;  (** reject non-warded programs *)
+  jobs : int;               (** domains evaluating semi-naive rounds;
+                                results are identical for every value *)
 }
+
+(* KGM_JOBS lets the whole test suite (and any embedding) exercise the
+   parallel path without code changes; an explicit [jobs] wins. *)
+let default_jobs =
+  match Sys.getenv_opt "KGM_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> 1)
+  | None -> 1
 
 let default_options =
   { semi_naive = true;
@@ -31,7 +43,8 @@ let default_options =
     reorder_body = false;
     max_facts = 5_000_000;
     max_rounds = 1_000_000;
-    check_wardedness = false }
+    check_wardedness = false;
+    jobs = default_jobs }
 
 (* ------------------------------------------------------------------ *)
 (* Per-rule chase instrumentation. The counters are cheap enough (one
@@ -114,12 +127,20 @@ type derivation = {
   parents : (string * Value.t array) list; (* body facts that matched *)
 }
 
-type provenance = (string * Value.t list, derivation) Hashtbl.t
+(* keyed consistently with Value.equal/Value.hash, like the fact store *)
+module ProvTbl = Hashtbl.Make (struct
+  type t = string * Value.t list
 
-let create_provenance () : provenance = Hashtbl.create 256
+  let equal (p, k) (p', k') = String.equal p p' && List.equal Value.equal k k'
+  let hash (p, k) = Hashtbl.hash (p, List.map Value.hash k)
+end)
+
+type provenance = derivation ProvTbl.t
+
+let create_provenance () : provenance = ProvTbl.create 256
 
 let explain (prov : provenance) pred fact =
-  Hashtbl.find_opt prov (pred, Array.to_list fact)
+  ProvTbl.find_opt prov (pred, Array.to_list fact)
 
 let rec pp_derivation_tree (prov : provenance) ppf (pred, fact) =
   let pp_fact ppf (p, f) =
@@ -167,13 +188,15 @@ let env_lookup env v = Hashtbl.find_opt env.tbl v
 (* ------------------------------------------------------------------ *)
 (* Aggregation state (persists across rounds within a run)              *)
 
+module KeyTbl = Database.KeyTbl
+
 type group_state = {
-  seen : (Value.t list, unit) Hashtbl.t;  (* contributor/dedup keys *)
+  seen : unit KeyTbl.t;  (* contributor/dedup keys *)
   mutable acc : Value.t option;
   mutable n : int;
 }
 
-type agg_state = (Value.t list, group_state) Hashtbl.t
+type agg_state = group_state KeyTbl.t
 
 let agg_step op acc v =
   match op, acc with
@@ -213,6 +236,19 @@ type prepared = {
      stratified supported), the variables forming the group key *)
   group_vars : (int * string list) list;  (* literal index -> group vars *)
   strat_agg_index : int option;           (* index of a Stratified Agg literal *)
+  has_agg : bool;          (* any aggregate literal: evaluation order
+                              matters, so the rule never runs on the
+                              worker pool *)
+  needed_vars : string array;
+  (* the non-existential head variables — everything the merge phase
+     needs to re-fire a candidate (ground the head, run the
+     restricted-chase check, invent nulls for the rest) *)
+  index_patterns : (string * int list) list;
+  (* for each positive body literal, the bound-position pattern its
+     written-order evaluation will probe: constants plus variables
+     bound by an earlier literal. Built eagerly by the parallel path
+     before freezing the database. A pattern the prediction misses only
+     costs a linear scan on the frozen store, never a crash. *)
 }
 
 let vars_after body i =
@@ -359,6 +395,42 @@ let prepare rule_id (r : Rule.rule) =
        if extra then
          Kgm_error.validate_error "at most one stratified aggregate per rule"
    | None -> ());
+  let existentials = Rule.existential_vars r in
+  let has_agg =
+    List.exists (function Rule.Agg _ -> true | _ -> false) r.Rule.body
+  in
+  let needed_vars =
+    Array.of_list
+      (List.filter
+         (fun v -> not (List.mem v existentials))
+         (Rule.head_vars r.Rule.head))
+  in
+  let index_patterns =
+    let bound = Hashtbl.create 16 in
+    List.concat_map
+      (fun lit ->
+        let here =
+          match lit with
+          | Rule.Pos (a : Rule.atom) ->
+              let pattern =
+                List.mapi
+                  (fun i t ->
+                    match t with
+                    | Term.Const _ -> Some i
+                    | Term.Var x ->
+                        if Hashtbl.mem bound x then Some i else None)
+                  a.Rule.args
+                |> List.filter_map Fun.id
+              in
+              if pattern = [] then [] else [ (a.Rule.pred, pattern) ]
+          | _ -> []
+        in
+        List.iter
+          (fun v -> Hashtbl.replace bound v ())
+          (Rule.literal_body_bound lit);
+        here)
+      r.Rule.body
+  in
   { rule = r;
     rule_id;
     head_label =
@@ -367,9 +439,12 @@ let prepare rule_id (r : Rule.rule) =
            (fun (a : Rule.atom) ->
              Printf.sprintf "%s/%d" a.Rule.pred (List.length a.Rule.args))
            r.Rule.head);
-    existentials = Rule.existential_vars r;
+    existentials;
     group_vars;
-    strat_agg_index }
+    strat_agg_index;
+    has_agg;
+    needed_vars;
+    index_patterns }
 
 (* ------------------------------------------------------------------ *)
 
@@ -404,13 +479,15 @@ type run_state = {
 
 (* Labeled nulls are drawn from a process-wide counter: successive runs
    over a shared database (e.g. the two phases of Algorithm 2) must
-   never re-issue a null already present in the facts. *)
-let global_null_counter = ref 0
+   never re-issue a null already present in the facts. Atomic so the
+   invariant survives embeddings that run engines from several domains;
+   within one run only the sequential merge phase invents nulls, which
+   is what makes the numbering independent of [options.jobs]. *)
+let global_null_counter = Atomic.make 0
 
 let fresh_null st =
-  incr global_null_counter;
   st.cur.c_nulls <- st.cur.c_nulls + 1;
-  Value.Null !global_null_counter
+  Value.Null (Atomic.fetch_and_add global_null_counter 1 + 1)
 
 let term_value env = function
   | Term.Const v -> Some v
@@ -432,10 +509,14 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
   let candidates =
     match facts_override with
     | Some fl ->
-        (* delta literal: linear filter on bound positions *)
+        (* delta literal: linear filter on bound positions. The arity
+           guard must come first: a same-predicate fact of another arity
+           simply does not match (indexing it at a bound position would
+           be out of bounds). *)
         List.filter
           (fun f ->
-            List.for_all2 (fun i v -> Value.equal f.(i) v) !positions !key)
+            Array.length f = n
+            && List.for_all2 (fun i v -> Value.equal f.(i) v) !positions !key)
           fl
     | None -> Database.lookup st.db a.Rule.pred !positions !key
   in
@@ -575,8 +656,8 @@ let fire st env (prep : prepared) ~on_new =
     match st.prov with
     | Some prov ->
         let key = (pred, Array.to_list fact) in
-        if not (Hashtbl.mem prov key) then
-          Hashtbl.add prov key
+        if not (ProvTbl.mem prov key) then
+          ProvTbl.add prov key
             { via_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
               parents = List.rev st.fact_trail }
     | None -> ()
@@ -608,12 +689,15 @@ let fire st env (prep : prepared) ~on_new =
   end
 
 (* Evaluate literals from position [i]; [delta] optionally designates a
-   literal index whose atom must range over the given fact list. *)
-let rec eval_literals st env (prep : prepared) body i ~delta ~on_new =
+   literal index whose atom must range over the given fact list.
+   [emit] is called (under the complete bindings) once per satisfied
+   body: the sequential path fires the head on the spot, the worker
+   path records a candidate for the merge phase. *)
+let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
   match body with
-  | [] -> fire st env prep ~on_new
+  | [] -> emit ()
   | lit :: rest -> (
-      let continue () = eval_literals st env prep rest (i + 1) ~delta ~on_new in
+      let continue () = eval_literals st env prep rest (i + 1) ~delta ~emit in
       match lit with
       | Rule.Pos a ->
           let facts_override =
@@ -657,20 +741,20 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~on_new =
             match Hashtbl.find_opt st.agg_states prep.rule_id with
             | Some s -> s
             | None ->
-                let s = Hashtbl.create 64 in
+                let s = KeyTbl.create 64 in
                 Hashtbl.add st.agg_states prep.rule_id s;
                 s
           in
           let group =
-            match Hashtbl.find_opt state group_key with
+            match KeyTbl.find_opt state group_key with
             | Some gstate -> gstate
             | None ->
-                let gstate = { seen = Hashtbl.create 16; acc = None; n = 0 } in
-                Hashtbl.add state group_key gstate;
+                let gstate = { seen = KeyTbl.create 16; acc = None; n = 0 } in
+                KeyTbl.add state group_key gstate;
                 gstate
           in
-          if not (Hashtbl.mem group.seen contrib_key) then begin
-            Hashtbl.add group.seen contrib_key ();
+          if not (KeyTbl.mem group.seen contrib_key) then begin
+            KeyTbl.add group.seen contrib_key ();
             let w = Expr.eval env.tbl g.Rule.weight in
             group.acc <- Some (agg_step g.Rule.op group.acc w);
             group.n <- group.n + 1;
@@ -705,7 +789,7 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
       (fun v -> not (String.length v > 0 && v.[0] = '_'))
       (Rule.body_vars prefix)
   in
-  let groups : agg_state = Hashtbl.create 64 in
+  let groups : agg_state = KeyTbl.create 64 in
   let rec enumerate env lits i k =
     match lits with
     | [] -> k ()
@@ -743,20 +827,20 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
             prefix_vars
       in
       let group =
-        match Hashtbl.find_opt groups group_key with
+        match KeyTbl.find_opt groups group_key with
         | Some gr -> gr
         | None ->
-            let gr = { seen = Hashtbl.create 16; acc = None; n = 0 } in
-            Hashtbl.add groups group_key gr;
+            let gr = { seen = KeyTbl.create 16; acc = None; n = 0 } in
+            KeyTbl.add groups group_key gr;
             gr
       in
-      if not (Hashtbl.mem group.seen dedup_key) then begin
-        Hashtbl.add group.seen dedup_key ();
+      if not (KeyTbl.mem group.seen dedup_key) then begin
+        KeyTbl.add group.seen dedup_key ();
         let w = Expr.eval env.tbl g.Rule.weight in
         group.acc <- Some (agg_step g.Rule.op group.acc w)
       end);
   (* per group: bind group vars + result, then run the suffix and head *)
-  Hashtbl.iter
+  KeyTbl.iter
     (fun group_key group ->
       match group.acc with
       | None -> ()
@@ -764,7 +848,8 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
           let env = env_create () in
           List.iter2 (fun v value -> env_bind env v value) gv group_key;
           env_bind env g.Rule.result acc;
-          eval_literals st env prep suffix (agg_i + 1) ~delta:None ~on_new)
+          eval_literals st env prep suffix (agg_i + 1) ~delta:None
+            ~emit:(fun () -> fire st env prep ~on_new))
     groups
 
 (* ------------------------------------------------------------------ *)
@@ -779,7 +864,8 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
        if delta = None then eval_stratified st prep agg_i ~on_new
    | None ->
        let env = env_create () in
-       eval_literals st env prep prep.rule.Rule.body 0 ~delta ~on_new);
+       eval_literals st env prep prep.rule.Rule.body 0 ~delta
+         ~emit:(fun () -> fire st env prep ~on_new));
   let t1 = Kgm_telemetry.Clock.now () in
   ctr.c_time <- ctr.c_time +. (t1 -. t0);
   if Kgm_telemetry.enabled st.tele then begin
@@ -793,6 +879,185 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
             ("round", string_of_int st.round) ]
         ("rule:" ^ prep.head_label) ~start:t0 ~stop:t1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel semi-naive rounds.
+
+   Within a stratum, every delta round is split into (rule x delta
+   chunk) work items. Workers match rule bodies against the database
+   {e frozen as of the round start} and only record candidate head
+   bindings; a sequential merge phase — in (rule, literal, chunk,
+   emission) order, which is independent of both the worker count and
+   the completion schedule — re-fires each candidate against the live
+   store: dedup, the restricted-chase homomorphism check, labeled-null
+   invention, provenance and delta recording all happen there. A match
+   that the frozen snapshot misses (its facts were derived later in the
+   same round) is re-discovered through the next round's delta, so the
+   fixpoint is unchanged; rules with aggregates are order-sensitive and
+   always evaluate sequentially against the live store, at their
+   program position inside the merge sweep. *)
+
+type candidate = {
+  cd_vals : Value.t array;  (* needed_vars bindings, positionally *)
+  cd_parents : (string * Value.t array) list;  (* body-fact trail *)
+}
+
+type work_item = {
+  w_prep : prepared;
+  w_lit : int;                   (* index of the delta-driven literal *)
+  w_facts : Database.fact list;  (* its delta chunk, chronological *)
+}
+
+type work_result = {
+  wr_cands : candidate list;  (* emission order *)
+  wr_probes : int;
+  wr_time : float;
+}
+
+(* Runs on a worker domain: read-only on the frozen database, all
+   mutable state (env, counters, trail) is local to the item. *)
+let eval_work_item (main : run_state) (w : work_item) : work_result =
+  let t0 = Kgm_telemetry.Clock.now () in
+  let ctr = fresh_ctr () in
+  let st =
+    { db = main.db; opts = main.opts; added = 0;
+      agg_states = Hashtbl.create 1;
+      prov = main.prov;  (* only consulted as a capture-the-trail flag *)
+      fact_trail = [];
+      tele = Kgm_telemetry.null;  (* collectors are not domain-safe *)
+      ctrs = [||]; cur = ctr; round = main.round }
+  in
+  let prep = w.w_prep in
+  let buf = ref [] in
+  let env = env_create () in
+  eval_literals st env prep prep.rule.Rule.body 0
+    ~delta:(Some (w.w_lit, w.w_facts))
+    ~emit:(fun () ->
+      let vals =
+        Array.map
+          (fun v ->
+            match env_lookup env v with
+            | Some value -> value
+            | None -> Kgm_error.reason_error "unbound head variable %s" v)
+          prep.needed_vars
+      in
+      buf := { cd_vals = vals; cd_parents = st.fact_trail } :: !buf);
+  { wr_cands = List.rev !buf; wr_probes = ctr.c_probes;
+    wr_time = Kgm_telemetry.Clock.now () -. t0 }
+
+(* Merge phase: rebind a candidate's head variables and fire as usual
+   (chase check, null invention, provenance) against the live store. *)
+let fire_candidate st env (prep : prepared) cand ~on_new =
+  let mark = env_mark env in
+  Array.iteri (fun i v -> env_bind env prep.needed_vars.(i) v) cand.cd_vals;
+  st.fact_trail <- cand.cd_parents;
+  fire st env prep ~on_new;
+  st.fact_trail <- [];
+  env_undo env mark
+
+let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
+  (* 1. deterministic (rule, literal, chunk) work-item order; results
+     are chunking-invariant, so the chunk size is free to follow the
+     pool size for load balancing *)
+  let items = ref [] in
+  List.iter
+    (fun (prep : prepared) ->
+      if not prep.has_agg then
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Rule.Pos (a : Rule.atom) -> (
+                match Hashtbl.find_opt current a.Rule.pred with
+                | Some fl ->
+                    let facts = Array.of_list (List.rev !fl) in
+                    let len = Array.length facts in
+                    let chunk = Kgm_pool.chunk_size_for pool ~len in
+                    let n_chunks = (len + chunk - 1) / chunk in
+                    for c = 0 to n_chunks - 1 do
+                      let lo = c * chunk in
+                      items :=
+                        { w_prep = prep; w_lit = i;
+                          w_facts =
+                            Array.to_list
+                              (Array.sub facts lo (min chunk (len - lo))) }
+                        :: !items
+                    done
+                | None -> ())
+            | _ -> ())
+          prep.rule.Rule.body)
+    rules;
+  let items = Array.of_list (List.rev !items) in
+  (* 2. match on the pool against the frozen store *)
+  let results =
+    if Array.length items = 0 then []
+    else begin
+      List.iter
+        (fun (prep : prepared) ->
+          if not prep.has_agg then
+            List.iter
+              (fun (pred, pat) -> Database.prepare_index st.db pred pat)
+              prep.index_patterns)
+        rules;
+      Database.freeze st.db;
+      let t0 = Kgm_telemetry.Clock.now () in
+      let results =
+        Fun.protect
+          ~finally:(fun () -> Database.thaw st.db)
+          (fun () ->
+            Kgm_pool.run pool (Array.map (fun w () -> eval_work_item st w) items))
+      in
+      if Kgm_telemetry.enabled st.tele then
+        Kgm_telemetry.record_span st.tele ~cat:"round"
+          ~args:
+            [ ("items", string_of_int (Array.length items));
+              ("jobs", string_of_int (Kgm_pool.size pool)) ]
+          "round.match" ~start:t0 ~stop:(Kgm_telemetry.Clock.now ());
+      results
+    end
+  in
+  let pairs = List.combine (Array.to_list items) results in
+  (* 3. sequential merge sweep in program order *)
+  List.iter
+    (fun (prep : prepared) ->
+      if prep.has_agg then
+        (* order-sensitive: evaluate directly against the live store *)
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Rule.Pos (a : Rule.atom) -> (
+                match Hashtbl.find_opt current a.Rule.pred with
+                | Some fl ->
+                    eval_rule st prep ~delta:(Some (i, List.rev !fl)) ~on_new
+                | None -> ())
+            | _ -> ())
+          prep.rule.Rule.body
+      else begin
+        let ctr = st.ctrs.(prep.rule_id) in
+        st.cur <- ctr;
+        let t0 = Kgm_telemetry.Clock.now () in
+        let before = st.added in
+        let env = env_create () in
+        List.iter
+          (fun ((w : work_item), (r : work_result)) ->
+            if w.w_prep.rule_id = prep.rule_id then begin
+              ctr.c_probes <- ctr.c_probes + r.wr_probes;
+              ctr.c_time <- ctr.c_time +. r.wr_time;
+              List.iter (fun c -> fire_candidate st env prep c ~on_new) r.wr_cands
+            end)
+          pairs;
+        let t1 = Kgm_telemetry.Clock.now () in
+        ctr.c_time <- ctr.c_time +. (t1 -. t0);
+        if Kgm_telemetry.enabled st.tele then begin
+          Kgm_telemetry.observe st.tele "engine.rule_eval_s" (t1 -. t0);
+          if st.added > before then
+            Kgm_telemetry.record_span st.tele ~cat:"rule"
+              ~args:
+                [ ("fired", string_of_int (st.added - before));
+                  ("round", string_of_int st.round) ]
+              ("rule:" ^ prep.head_label) ~start:t0 ~stop:t1
+        end
+      end)
+    rules
 
 let run ?(options = default_options) ?provenance
     ?(telemetry = Kgm_telemetry.null) (program : Rule.program) db =
@@ -841,6 +1106,10 @@ let run ?(options = default_options) ?provenance
   let n_strata = List.length analysis.Analysis.strata in
   let rounds = ref 0 in
   let deltas = ref [] in (* per-round delta sizes, reverse chronological *)
+  (* one pool for the whole run; with jobs = 1 it spawns no domains and
+     Kgm_pool.run degenerates to an inline loop *)
+  let pool = Kgm_pool.create (max 1 options.jobs) in
+  Fun.protect ~finally:(fun () -> Kgm_pool.shutdown pool) @@ fun () ->
   for s = 0 to n_strata - 1 do
     let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
     if rules_here <> [] then begin
@@ -881,21 +1150,7 @@ let run ?(options = default_options) ?provenance
         Hashtbl.reset delta;
         Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
             if options.semi_naive then
-              List.iter
-                (fun prep ->
-                  List.iteri
-                    (fun i lit ->
-                      match lit with
-                      | Rule.Pos a ->
-                          (match Hashtbl.find_opt current a.Rule.pred with
-                           | Some fl ->
-                               eval_rule st prep
-                                 ~delta:(Some (i, List.rev !fl))
-                                 ~on_new:record
-                           | None -> ())
-                      | _ -> ())
-                    prep.rule.Rule.body)
-                rules_here
+              eval_delta_round st pool rules_here ~current ~on_new:record
             else
               (* naive: full re-evaluation; recurse only while new facts
                  appear *)

@@ -33,7 +33,18 @@ type options = {
   max_rounds : int;
   check_wardedness : bool;
       (** reject programs that fail {!Analysis.wardedness} *)
+  jobs : int;
+      (** worker domains for semi-naive delta rounds (1 = fully
+          sequential). Body matching runs on a frozen snapshot of the
+          store; firing (dedup, chase check, null invention, provenance)
+          stays sequential in a schedule-independent order, so results —
+          including labeled-null numbering and per-rule statistics — are
+          identical for every jobs value *)
 }
+
+val default_jobs : int
+(** [KGM_JOBS] from the environment when it parses as a positive
+    integer, else 1. *)
 
 val default_options : options
 

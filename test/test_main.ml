@@ -6,6 +6,7 @@ let () =
       ("relational", Test_relational.suite);
       ("graphdb", Test_graphdb.suite);
       ("vadalog", Test_vadalog.suite);
+      ("parallel", Test_parallel.suite);
       ("metalog", Test_metalog.suite);
       ("kgmodel", Test_kgmodel.suite);
       ("ssst", Test_ssst.suite);

@@ -1,0 +1,268 @@
+(* Tests for the parallel semi-naive evaluation stack: the Kgm_pool
+   domain pool, the Database freeze protocol, the value-identity
+   bugfixes that parallel dedup depends on (rec compare, Value.Hashed
+   keyed tables, the delta arity guard), and — the load-bearing
+   property — bit-for-bit determinism of the engine across jobs. *)
+
+open Kgm_common
+module V = Kgm_vadalog
+
+let check = Alcotest.check
+
+let run ?options src =
+  let p = V.Parser.parse_program src in
+  V.Engine.run_program ?options p
+
+let options_jobs jobs = { V.Engine.default_options with V.Engine.jobs }
+
+(* ------------------------------------------------------------------ *)
+(* The pool *)
+
+let test_pool_chunk_order () =
+  Kgm_pool.with_pool 4 @@ fun pool ->
+  let items = Array.init 100 (fun i -> i) in
+  let sums =
+    Kgm_pool.parallel_chunks pool items ~chunk_size:7 (fun chunk ->
+        Array.fold_left ( + ) 0 chunk)
+  in
+  (* 15 chunks, in slice order, regardless of which domain ran them *)
+  check Alcotest.int "chunks" 15 (List.length sums);
+  check Alcotest.int "total" (99 * 100 / 2) (List.fold_left ( + ) 0 sums);
+  let seq = ref [] in
+  Array.iteri
+    (fun i x ->
+      if i mod 7 = 0 then seq := x :: !seq
+      else match !seq with s :: tl -> seq := (s + x) :: tl | [] -> ())
+    items;
+  check Alcotest.(list int) "slice order" (List.rev !seq) sums
+
+let test_pool_exception () =
+  Kgm_pool.with_pool 3 @@ fun pool ->
+  (match
+     Kgm_pool.run pool
+       [| (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) |]
+   with
+  | exception Failure msg -> check Alcotest.string "first error" "boom" msg
+  | _ -> Alcotest.fail "expected the worker exception to propagate");
+  (* the pool survives a failed batch *)
+  check Alcotest.(list int) "reusable" [ 2; 4 ]
+    (Kgm_pool.run pool [| (fun () -> 2); (fun () -> 4) |])
+
+let test_pool_inline () =
+  (* size 1 spawns no domains: everything runs inline on the caller *)
+  Kgm_pool.with_pool 1 @@ fun pool ->
+  check Alcotest.int "size" 1 (Kgm_pool.size pool);
+  let caller = Domain.self () in
+  let ran_on =
+    Kgm_pool.run pool (Array.init 5 (fun _ () -> Domain.self ()))
+  in
+  check Alcotest.bool "inline" true
+    (List.for_all (fun d -> d = caller) ran_on)
+
+(* ------------------------------------------------------------------ *)
+(* Value identity (satellite fixes the parallel dedup depends on) *)
+
+let oid s =
+  match Oid.of_string s with
+  | Some o -> o
+  | None -> Alcotest.failf "cannot parse oid %s" s
+
+let test_compare_nested_oid_hint () =
+  (* same Fresh counter, different cosmetic hint: equal — also inside a
+     List, which the non-[rec] compare delegated to Stdlib.compare *)
+  let a = Value.List [ Value.Id (oid "#12:a") ] in
+  let b = Value.List [ Value.Id (oid "#12:b") ] in
+  check Alcotest.int "compare" 0 (Value.compare a b);
+  check Alcotest.bool "equal" true (Value.equal a b);
+  check Alcotest.int "hash" (Value.hash a) (Value.hash b)
+
+let test_compare_nested_nan () =
+  let a = Value.List [ Value.Float Float.nan ] in
+  let b = Value.List [ Value.Float Float.nan ] in
+  check Alcotest.int "nan = nan inside lists" 0 (Value.compare a b);
+  check Alcotest.bool "Hashed.equal" true (Value.Hashed.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Database: Value-keyed dedup, freezing, mixed-arity indexes *)
+
+let test_db_nan_dedup () =
+  let db = V.Database.create () in
+  check Alcotest.bool "first insert" true
+    (V.Database.add db "p" [| Value.Float Float.nan |]);
+  check Alcotest.bool "duplicate rejected" false
+    (V.Database.add db "p" [| Value.Float Float.nan |]);
+  check Alcotest.int "one fact" 1 (V.Database.count db "p")
+
+let test_nan_fact_reaches_fixpoint () =
+  (* with structural-equality dedup a NaN fact is re-derived forever:
+     the mutual recursion below only terminates if nan = nan in the
+     store *)
+  let db = V.Database.create () in
+  ignore (V.Database.add db "q" [| Value.Float Float.nan |]);
+  let program = V.Parser.parse_program "p(X) :- q(X). q(X) :- p(X)." in
+  let stats = V.Engine.run program db in
+  check Alcotest.bool "terminates quickly" true
+    (stats.V.Engine.rounds <= 4);
+  check Alcotest.int "p" 1 (V.Database.count db "p");
+  check Alcotest.int "q" 1 (V.Database.count db "q")
+
+let test_db_freeze () =
+  let db = V.Database.create () in
+  ignore (V.Database.add db "p" [| Value.Int 1; Value.Int 2 |]);
+  ignore (V.Database.add db "p" [| Value.Int 3; Value.Int 4 |]);
+  V.Database.freeze db;
+  (match V.Database.add db "p" [| Value.Int 5; Value.Int 6 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frozen database accepted a write");
+  (* lookup without a prepared index: linear scan, no mutation *)
+  check Alcotest.int "frozen lookup" 1
+    (List.length (V.Database.lookup db "p" [ 1 ] [ Value.Int 4 ]));
+  V.Database.thaw db;
+  check Alcotest.bool "thawed write" true
+    (V.Database.add db "p" [| Value.Int 5; Value.Int 6 |])
+
+let test_db_mixed_arity_index () =
+  let db = V.Database.create () in
+  ignore (V.Database.add db "p" [| Value.Int 1 |]);
+  ignore (V.Database.add db "p" [| Value.Int 1; Value.Int 2 |]);
+  (* building an index on position 1 must skip the arity-1 fact *)
+  V.Database.prepare_index db "p" [ 1 ];
+  check Alcotest.int "index skips short facts" 1
+    (List.length (V.Database.lookup db "p" [ 1 ] [ Value.Int 2 ]))
+
+let test_mixed_arity_delta_no_crash () =
+  (* p holds facts of two arities; the q rule binds position 1 of p, so
+     the delta filter used to index arity-1 facts out of bounds before
+     the arity guard was moved first *)
+  let src =
+    {| n(1). n(2).
+       p(X) :- n(X).
+       p(X, 1) :- n(X).
+       q(X) :- p(X, 1).
+       p(X) :- q(X). |}
+  in
+  List.iter
+    (fun jobs ->
+      let db, _ = run ~options:(options_jobs jobs) src in
+      check Alcotest.int
+        (Printf.sprintf "q facts (jobs=%d)" jobs)
+        2
+        (V.Database.count db "q"))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Jobs-determinism: same facts, same null numbering, same counters *)
+
+(* Canonical form of a database: every predicate's facts in insertion
+   order, labeled nulls renumbered by first appearance. Two runs agree
+   bit-for-bit iff their canonical forms are equal (the absolute null
+   ids differ because the null counter is global to the process). *)
+let canon db =
+  let map = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rec cv = function
+    | Value.Null n -> (
+        match Hashtbl.find_opt map n with
+        | Some m -> Value.Null m
+        | None ->
+            incr next;
+            Hashtbl.add map n !next;
+            Value.Null !next)
+    | Value.List l -> Value.List (List.map cv l)
+    | v -> v
+  in
+  List.map
+    (fun pred ->
+      ( pred,
+        List.map
+          (fun f -> List.map cv (Array.to_list f))
+          (V.Database.facts db pred) ))
+    (V.Database.predicates db)
+
+let rule_counters (stats : V.Engine.stats) =
+  List.map
+    (fun (r : V.Engine.rule_stats) ->
+      ( r.V.Engine.rs_label,
+        ( r.V.Engine.rs_firings,
+          r.V.Engine.rs_matches,
+          r.V.Engine.rs_probes,
+          r.V.Engine.rs_nulls,
+          r.V.Engine.rs_chase_hits,
+          r.V.Engine.rs_chase_misses ) ))
+    stats.V.Engine.per_rule
+
+let check_jobs_invariant name src =
+  let db1, s1 = run ~options:(options_jobs 1) src in
+  let db4, s4 = run ~options:(options_jobs 4) src in
+  check Alcotest.bool (name ^ ": facts and null numbering") true
+    (canon db1 = canon db4);
+  check Alcotest.int (name ^ ": rounds") s1.V.Engine.rounds s4.V.Engine.rounds;
+  check
+    Alcotest.(list int)
+    (name ^ ": delta sizes") s1.V.Engine.delta_sizes s4.V.Engine.delta_sizes;
+  check Alcotest.int (name ^ ": new facts") s1.V.Engine.new_facts
+    s4.V.Engine.new_facts;
+  check Alcotest.bool (name ^ ": per-rule counters") true
+    (rule_counters s1 = rule_counters s4)
+
+let test_determinism_warded () =
+  check_jobs_invariant "warded"
+    {| emp(e0). emp(e1). emp(e2).
+       mgr(X, M) :- emp(X).
+       emp(M) :- mgr(X, M). |}
+
+let test_determinism_tc () =
+  let buf = Buffer.create 1024 in
+  for i = 1 to 39 do
+    Buffer.add_string buf (Printf.sprintf "edge(%d, %d). " i (i + 1))
+  done;
+  Buffer.add_string buf "edge(40, 1). ";
+  Buffer.add_string buf
+    "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+  check_jobs_invariant "transitive closure" (Buffer.contents buf)
+
+let test_determinism_negation_aggregation () =
+  check_jobs_invariant "negation + aggregation"
+    {| e(1, 2, 0.6). e(2, 3, 0.3). e(1, 3, 0.4). e(3, 4, 0.9).
+       r(X, Y) :- e(X, Y, W).
+       r(X, Z) :- r(X, Y), e(Y, Z, W).
+       blocked(4).
+       open(X, Y) :- r(X, Y), not blocked(Y).
+       deg(X, S) :- e(X, Y, W), S = dsum(W, <Y>). |}
+
+let test_determinism_control () =
+  (* Example 4.2 (recursion through a monotonic aggregate) on a
+     synthetic ownership network *)
+  let o = Kgm_finance.Generator.generate ~n:150 () in
+  let p1 = Kgm_finance.Control.via_vadalog ~options:(options_jobs 1) o in
+  let p4 = Kgm_finance.Control.via_vadalog ~options:(options_jobs 4) o in
+  check Alcotest.bool "control pairs" true (p1 = p4);
+  check Alcotest.bool "nonempty" true (p1 <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "pool chunk order." `Quick test_pool_chunk_order;
+    Alcotest.test_case "pool exception propagation." `Quick test_pool_exception;
+    Alcotest.test_case "pool size 1 runs inline." `Quick test_pool_inline;
+    Alcotest.test_case "compare ignores oid hints in lists." `Quick
+      test_compare_nested_oid_hint;
+    Alcotest.test_case "compare is total on nested NaN." `Quick
+      test_compare_nested_nan;
+    Alcotest.test_case "NaN fact dedup." `Quick test_db_nan_dedup;
+    Alcotest.test_case "NaN fact reaches fixpoint." `Quick
+      test_nan_fact_reaches_fixpoint;
+    Alcotest.test_case "freeze rejects writes, lookup scans." `Quick
+      test_db_freeze;
+    Alcotest.test_case "mixed-arity index build." `Quick
+      test_db_mixed_arity_index;
+    Alcotest.test_case "mixed-arity delta facts." `Quick
+      test_mixed_arity_delta_no_crash;
+    Alcotest.test_case "jobs-determinism: warded chase." `Quick
+      test_determinism_warded;
+    Alcotest.test_case "jobs-determinism: transitive closure." `Quick
+      test_determinism_tc;
+    Alcotest.test_case "jobs-determinism: negation + aggregation." `Quick
+      test_determinism_negation_aggregation;
+    Alcotest.test_case "jobs-determinism: company control." `Quick
+      test_determinism_control ]
