@@ -21,7 +21,10 @@
    ABL-3  monotonic (streaming) vs distinct-at-fixpoint aggregation
    ABL-4  greedy join ordering vs written body order
    PAR    parallel semi-naive rounds, jobs=1 vs jobs=ncores
-          (writes BENCH_parallel.json; run as "parallel") *)
+          (writes BENCH_parallel.json; run as "parallel")
+   RES    checkpoint overhead on the EXP-2 workload + crash-then-resume
+          equivalence (writes BENCH_resilience.json; run as
+          "resilience") *)
 
 open Kgm_common
 module G = Kgm_finance.Generator
@@ -64,7 +67,8 @@ let exp1 () =
 
 (* ------------------------------------------------------------------ *)
 
-let materialization_run ?options ?(telemetry = Kgm_telemetry.null) n =
+let materialization_run ?options ?(telemetry = Kgm_telemetry.null)
+    ?checkpoint_dir ?checkpoint_every ?resume n =
   let schema = Kgm_finance.Company_schema.load () in
   let dict = Kgmodel.Dictionary.create () in
   let sid = Kgmodel.Dictionary.store dict schema in
@@ -72,8 +76,9 @@ let materialization_run ?options ?(telemetry = Kgm_telemetry.null) n =
   let o = G.generate ~n () in
   let data = G.to_company_graph o in
   let report =
-    Kgmodel.Materialize.materialize ?options ~telemetry ~instances:inst ~schema
-      ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
+    Kgmodel.Materialize.materialize ?options ~telemetry ?checkpoint_dir
+      ?checkpoint_every ?resume ~instances:inst ~schema ~schema_oid:sid ~data
+      ~sigma:Kgm_finance.Intensional.full ()
   in
   (o, data, report)
 
@@ -651,6 +656,100 @@ let parallel () =
   say "@.results written to BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
+
+(* RES: the price of resilience on the EXP-2 workload. Two questions:
+   (a) what does periodic checkpointing (default interval) cost over an
+   uncheckpointed run, and (b) does crash-then-resume reproduce the
+   uninterrupted materialization exactly. The crash is a deterministic
+   seeded fault at the "round" site, so the experiment is repeatable.
+   KGM_BENCH_N overrides the instance sizes, as in PAR. *)
+let resilience () =
+  header "RES | resilience: checkpoint overhead + crash-then-resume";
+  let sizes =
+    match Option.bind (Sys.getenv_opt "KGM_BENCH_N") int_of_string_opt with
+    | Some n when n > 0 -> [ n ]
+    | _ -> [ 400; 800 ]
+  in
+  let ck_dir = Filename.concat (Filename.get_temp_dir_name ()) "kgm_bench_ck" in
+  if not (Sys.file_exists ck_dir) then Unix.mkdir ck_dir 0o755;
+  let clean_snapshots () =
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".snap" then
+          Sys.remove (Filename.concat ck_dir f))
+      (Sys.readdir ck_dir)
+  in
+  let derived r =
+    ( r.Kgmodel.Materialize.derived_nodes,
+      r.Kgmodel.Materialize.derived_edges,
+      r.Kgmodel.Materialize.derived_attrs )
+  in
+  say
+    "EXP-2 materialization (full Σ), plain vs checkpointed every %d@.\
+     rounds; then a seeded crash at the \"round\" fault site followed by@.\
+     --resume from the surviving snapshots.@.@."
+    Kgm_vadalog.Engine.default_checkpoint_every;
+  say "%8s | %10s | %10s | %9s | %7s | %5s@." "N" "plain s" "ckpt s"
+    "overhead" "crashed" "equal";
+  say "%s@." (String.make 62 '-');
+  let rows =
+    List.map
+      (fun n ->
+        let (_, _, r_plain), t_plain = time (fun () -> materialization_run n) in
+        clean_snapshots ();
+        let (_, _, r_ck), t_ck =
+          time (fun () -> materialization_run ~checkpoint_dir:ck_dir n)
+        in
+        let overhead_pct = (t_ck -. t_plain) /. max 1e-9 t_plain *. 100. in
+        (* crash-then-resume: a dense snapshot cadence plus a seeded
+           fault that fires at some round boundary mid-chase; then
+           resume must land on the uninterrupted result *)
+        clean_snapshots ();
+        Kgm_resilience.Faults.configure "round:0.25,seed=11";
+        let crashed =
+          try
+            ignore
+              (materialization_run ~checkpoint_dir:ck_dir ~checkpoint_every:2 n);
+            false
+          with Kgm_resilience.Fault _ -> true
+        in
+        Kgm_resilience.Faults.reset ();
+        let _, _, r_res =
+          materialization_run ~checkpoint_dir:ck_dir ~checkpoint_every:2
+            ~resume:crashed n
+        in
+        let equal =
+          derived r_ck = derived r_plain && derived r_res = derived r_plain
+        in
+        say "%8d | %10.3f | %10.3f | %8.2f%% | %7b | %5b@." n t_plain t_ck
+          overhead_pct crashed equal;
+        (n, t_plain, t_ck, overhead_pct, crashed, equal))
+      sizes
+  in
+  clean_snapshots ();
+  say
+    "@.Shape check: overhead stays small (acceptance: <= 10%% at the@.\
+     default interval) and the resumed run's derived counts match the@.\
+     plain run exactly (the bit-for-bit resume invariant, DESIGN.md).@.";
+  let oc = open_out "BENCH_resilience.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"resilience-checkpoint\",\n";
+  p "  \"workload\": \"exp2-materialization\",\n";
+  p "  \"checkpoint_every\": %d,\n  \"runs\": [\n"
+    Kgm_vadalog.Engine.default_checkpoint_every;
+  List.iteri
+    (fun i (n, t_plain, t_ck, overhead_pct, crashed, equal) ->
+      p
+        "    { \"n\": %d, \"plain_s\": %.6f, \"checkpointed_s\": %.6f, \
+         \"overhead_pct\": %.3f, \"crashed\": %b, \"resume_equal\": %b }%s\n"
+        n t_plain t_ck overhead_pct crashed equal
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  say "@.results written to BENCH_resilience.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let bechamel_table () =
@@ -742,7 +841,8 @@ let all =
   [ ("exp1", exp1); ("exp2", exp2); ("exp3", exp3); ("exp4", exp4);
     ("exp5", exp5); ("exp6", exp6); ("exp7", exp7); ("exp8", exp8);
     ("exp9", exp9); ("abl1", abl1); ("abl2", abl2); ("abl3", abl3);
-    ("abl4", abl4); ("parallel", parallel); ("bechamel", bechamel_table) ]
+    ("abl4", abl4); ("parallel", parallel); ("resilience", resilience);
+    ("bechamel", bechamel_table) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -28,6 +28,11 @@ let handle f =
       Format.eprintf "@[<v>error: %a%a@]@." Kgm_common.Kgm_error.pp e
         Kgm_common.Kgm_error.pp_context e;
       exit 1
+  | Kgm_resilience.Fault site ->
+      (* an injected, un-absorbed fault (KGM_FAULTS): distinct exit code
+         so the fault-injection harness can tell it from real errors *)
+      Format.eprintf "error: injected fault at site %S@." site;
+      exit 3
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags, shared by reason / demo / figures: --metrics
@@ -56,6 +61,78 @@ let jobs_arg =
 
 let options_for_jobs jobs =
   { Kgm_vadalog.Engine.default_options with Kgm_vadalog.Engine.jobs }
+
+(* ------------------------------------------------------------------ *)
+(* Resilience flags, shared by reason / demo: wall-clock deadlines,
+   checkpoint/resume, and the on-limit policy. The engine always runs
+   under the `Partial policy here so a stopped run can still print its
+   partial per-rule table; --on-limit raise (the default) then exits
+   non-zero after printing. *)
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the reasoning run; on expiry the \
+                 run stops at the next round boundary.")
+
+let checkpoint_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Write periodic snapshots of the chase state to $(docv) \
+                 (created if missing).")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int Kgm_vadalog.Engine.default_checkpoint_every
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Snapshot every $(docv) completed rounds.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume from the latest snapshot in --checkpoint-dir; \
+                 the result is bit-for-bit the uninterrupted run's.")
+
+let on_limit_arg =
+  Arg.(value & opt (enum [ ("raise", `Raise); ("partial", `Partial) ]) `Raise
+       & info [ "on-limit" ] ~docv:"POLICY"
+           ~doc:"raise: exit non-zero when a budget or deadline stops the \
+                 run (after printing partial results); partial: exit 0 \
+                 with the partial result tagged INCOMPLETE.")
+
+(* First Ctrl-C cancels cooperatively (the engine stops at a round
+   boundary, writing a final checkpoint when enabled); the second kills
+   the process. *)
+let install_sigint () =
+  let tok = Kgm_resilience.Token.create () in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            if Kgm_resilience.Token.cancelled tok then exit 130
+            else begin
+              prerr_endline
+                "kgmodel: interrupt - stopping at the next round boundary \
+                 (Ctrl-C again to kill)";
+              Kgm_resilience.Token.cancel tok
+            end))
+   with Invalid_argument _ -> () (* no signal support on this platform *));
+  tok
+
+(* Partial-result epilogue: print the per-rule table (unless --metrics
+   already did) and apply the --on-limit exit policy. *)
+let report_stopped ~on_limit ~metrics (stats : Kgm_vadalog.Engine.stats) =
+  match stats.Kgm_vadalog.Engine.stopped with
+  | None -> ()
+  | Some l ->
+      if not metrics then
+        Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table stats;
+      Format.printf "%% INCOMPLETE: limited by %s@."
+        (Kgm_vadalog.Engine.limit_name l);
+      if on_limit = `Raise then begin
+        Format.eprintf "error: run stopped on %s (partial results above)@."
+          (Kgm_vadalog.Engine.limit_name l);
+        exit 2
+      end
 
 (* Run [f] with a collector (enabled only when a flag asks for it), then
    emit the requested artifacts. *)
@@ -192,39 +269,81 @@ let reason_cmd =
     Arg.(value & opt (some string) None
          & info [ "query"; "q" ] ~doc:"Predicate whose facts to print.")
   in
-  let run file query trace metrics jobs =
+  let lenient =
+    Arg.(value & flag
+         & info [ "lenient" ]
+             ~doc:"Skip malformed @input rows (wrong arity, unparsable \
+                   value) with a warning instead of failing.")
+  in
+  let run file query trace metrics jobs deadline ck_dir ck_every resume
+      on_limit lenient =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
+        let cancel = install_sigint () in
         let program = Kgm_vadalog.Parser.parse_program (read_file file) in
         let db = Kgm_vadalog.Database.create () in
         List.iter
-          (fun (pred, n) -> Format.printf "%% @input %s: %d facts@." pred n)
-          (Kgm_vadalog.Io_sources.load_inputs program db);
+          (fun (r : Kgm_vadalog.Io_sources.source_report) ->
+            Format.printf "%% @input %s: %d facts%s@."
+              r.Kgm_vadalog.Io_sources.sr_pred r.Kgm_vadalog.Io_sources.sr_loaded
+              (if r.Kgm_vadalog.Io_sources.sr_skipped > 0 then
+                 Printf.sprintf " (%d malformed rows skipped)"
+                   r.Kgm_vadalog.Io_sources.sr_skipped
+               else "");
+            List.iter
+              (fun (w : Kgm_vadalog.Io_sources.warning) ->
+                Format.eprintf "%% warning: %s line %d: %s@."
+                  r.Kgm_vadalog.Io_sources.sr_source
+                  w.Kgm_vadalog.Io_sources.w_line
+                  w.Kgm_vadalog.Io_sources.w_reason)
+              r.Kgm_vadalog.Io_sources.sr_warnings)
+          (Kgm_vadalog.Io_sources.load_inputs_report ~lenient program db);
+        let options =
+          { (options_for_jobs jobs) with
+            Kgm_vadalog.Engine.deadline_s = deadline;
+            on_limit = `Partial }
+        in
+        let checkpoint =
+          Option.map
+            (fun dir -> Kgm_vadalog.Engine.checkpoint ~every:ck_every dir)
+            ck_dir
+        in
+        let resume_from =
+          match ck_dir with
+          | Some dir when resume -> Kgm_vadalog.Engine.latest_checkpoint dir
+          | _ -> None
+        in
+        (match resume_from with
+         | Some p -> Format.printf "%% resuming from %s@." p
+         | None -> ());
         let stats =
-          Kgm_vadalog.Engine.run ~options:(options_for_jobs jobs)
-            ~telemetry:tele program db
+          Kgm_vadalog.Engine.run ~options ~telemetry:tele ~cancel ?checkpoint
+            ?resume_from program db
         in
         Format.printf "%% %d new facts in %d rounds (%.3fs)@."
           stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
           stats.Kgm_vadalog.Engine.elapsed_s;
         if metrics then
           Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table stats;
-        match query with
-        | Some pred ->
-            List.iter
-              (fun fact ->
-                Format.printf "%s(%s).@." pred
-                  (String.concat ", "
-                     (Array.to_list (Array.map Kgm_common.Value.to_string fact))))
-              (Kgm_vadalog.Engine.query db pred)
-        | None ->
-            List.iter
-              (fun pred -> Format.printf "%s: %d facts@." pred
-                  (List.length (Kgm_vadalog.Database.facts db pred)))
-              (Kgm_vadalog.Database.predicates db))
+        (match query with
+         | Some pred ->
+             List.iter
+               (fun fact ->
+                 Format.printf "%s(%s).@." pred
+                   (String.concat ", "
+                      (Array.to_list (Array.map Kgm_common.Value.to_string fact))))
+               (Kgm_vadalog.Engine.query db pred)
+         | None ->
+             List.iter
+               (fun pred -> Format.printf "%s: %d facts@." pred
+                   (List.length (Kgm_vadalog.Database.facts db pred)))
+               (Kgm_vadalog.Database.predicates db));
+        report_stopped ~on_limit ~metrics stats)
   in
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
-    Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg
+          $ deadline_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+          $ resume_arg $ on_limit_arg $ lenient)
 
 let stats_cmd =
   let n =
@@ -246,9 +365,10 @@ let demo_cmd =
   let n =
     Arg.(value & opt int 400 & info [ "n" ] ~doc:"Synthetic network size.")
   in
-  let run n trace metrics jobs =
+  let run n trace metrics jobs deadline ck_dir ck_every resume on_limit =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
+        let cancel = install_sigint () in
         let schema = Kgm_finance.Company_schema.load () in
         let dict = Kgmodel.Dictionary.create () in
         let sid = Kgmodel.Dictionary.store dict schema in
@@ -256,13 +376,21 @@ let demo_cmd =
         let o = Kgm_finance.Generator.generate ~n () in
         let data = Kgm_finance.Generator.to_company_graph o in
         Format.printf "data: %a@." Kgm_graphdb.Pgraph.pp_summary data;
+        let options =
+          { (options_for_jobs jobs) with
+            Kgm_vadalog.Engine.deadline_s = deadline;
+            on_limit = `Partial }
+        in
         let report =
-          Kgmodel.Materialize.materialize ~options:(options_for_jobs jobs)
-            ~telemetry:tele ~instances:inst ~schema ~schema_oid:sid ~data
+          Kgmodel.Materialize.materialize ~options ~telemetry:tele ~cancel
+            ?checkpoint_dir:ck_dir ~checkpoint_every:ck_every ~resume
+            ~instances:inst ~schema ~schema_oid:sid ~data
             ~sigma:Kgm_finance.Intensional.full ()
         in
         Format.printf
-          "materialized: load %.3fs, reason %.3fs, flush %.3fs@."
+          "materialized%s: load %.3fs, reason %.3fs, flush %.3fs@."
+          (if report.Kgmodel.Materialize.incomplete then " (INCOMPLETE)"
+           else "")
           report.Kgmodel.Materialize.load_s report.Kgmodel.Materialize.reason_s
           report.Kgmodel.Materialize.flush_s;
         Format.printf "derived: %d nodes, %d edges, %d attribute values@."
@@ -272,12 +400,16 @@ let demo_cmd =
         Format.printf "after: %a@." Kgm_graphdb.Pgraph.pp_summary data;
         if metrics then
           Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table
-            report.Kgmodel.Materialize.engine_stats)
+            report.Kgmodel.Materialize.engine_stats;
+        report_stopped ~on_limit ~metrics
+          report.Kgmodel.Materialize.engine_stats)
   in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"End-to-end Algorithm 2 on a synthetic Company KG.")
-    Term.(const run $ n $ trace_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ n $ trace_arg $ metrics_arg $ jobs_arg $ deadline_arg
+          $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg
+          $ on_limit_arg)
 
 let diff_cmd =
   let old_file =
@@ -403,6 +535,9 @@ let figures_cmd =
     Term.(const run $ out_dir $ trace_arg $ metrics_arg $ jobs_arg)
 
 let () =
+  (* KGM_FAULTS=site:rate[,...][,seed=N] arms the deterministic fault-
+     injection harness for the whole process *)
+  ignore (Kgm_resilience.Faults.configure_from_env ());
   let info =
     Cmd.info "kgmodel" ~version:"1.0.0"
       ~doc:"Model-independent design of Knowledge Graphs (EDBT 2022 reproduction)."

@@ -46,5 +46,11 @@ let reason_error fmt = raise_error Reason fmt
 let storage_error fmt = raise_error Storage fmt
 
 let reason_error_ctx context fmt = raise_error_ctx Reason context fmt
+let storage_error_ctx context fmt = raise_error_ctx Storage context fmt
+
+(** Rebuild an error with extra context appended — used by layers that
+    catch, locate and re-raise (e.g. the worker pool tagging the
+    failing chunk). *)
+let with_context extra e = { e with context = e.context @ extra }
 
 let guard f = try Ok (f ()) with Error e -> Result.Error e

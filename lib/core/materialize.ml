@@ -11,6 +11,7 @@ type report = {
   derived_nodes : int;
   derived_edges : int;
   derived_attrs : int;
+  incomplete : bool;
 }
 
 let label_schema_of_supermodel (s : Supermodel.t) ls =
@@ -42,7 +43,8 @@ let instance_edge_labels =
   [ "SM_REFERENCES"; "I_SM_FROM"; "I_SM_TO"; "I_SM_HAS_NODE_ATTR";
     "I_SM_HAS_EDGE_ATTR" ]
 
-let materialize ?options ?(telemetry = Kgm_telemetry.null) ~instances
+let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
+    ?checkpoint_dir ?checkpoint_every ?(resume = false) ~instances
     ~schema ~schema_oid ~data ~sigma () =
   Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
   @@ fun () ->
@@ -94,10 +96,41 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ~instances
   let t1 = now () in
   let engine_stats =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
-    let stats1 = Kgm_vadalog.Engine.run ?options ~telemetry program1 db in
-    let stats2 = Kgm_vadalog.Engine.run ?options ~telemetry program2 db in
-    Kgm_vadalog.Engine.merge_stats stats1 stats2
+    (* each phase checkpoints under its own label; resuming prefers a
+       phase-2 snapshot (it already contains the whole phase-1 result),
+       else a phase-1 snapshot. Resume assumes the load stage above is
+       deterministic w.r.t. the original run — the engine's program
+       fingerprint check turns any mismatch into a clean error. *)
+    let ck label =
+      Option.map
+        (fun dir ->
+          Kgm_vadalog.Engine.checkpoint ?every:checkpoint_every ~label dir)
+        checkpoint_dir
+    in
+    let latest label =
+      match checkpoint_dir with
+      | Some dir when resume ->
+          Kgm_vadalog.Engine.latest_checkpoint ~label dir
+      | _ -> None
+    in
+    let run_phase ?resume_from label program =
+      Kgm_vadalog.Engine.run ?options ~telemetry ?cancel
+        ?checkpoint:(ck label) ?resume_from program db
+    in
+    match latest "phase2" with
+    | Some p2 -> run_phase ~resume_from:p2 "phase2" program2
+    | None ->
+        let stats1 =
+          run_phase ?resume_from:(latest "phase1") "phase1" program1
+        in
+        if stats1.Kgm_vadalog.Engine.stopped <> None then
+          (* partial phase 1: don't start phase 2, flush what exists *)
+          stats1
+        else
+          let stats2 = run_phase "phase2" program2 in
+          Kgm_vadalog.Engine.merge_stats stats1 stats2
   in
+  let incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None in
   let reason_s = now () -. t1 in
   (* ---- line 9: materialize into the dictionary, flush into D ---- *)
   let t2 = now () in
@@ -230,4 +263,5 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ~instances
   { instance_oid; load_s; reason_s; flush_s; engine_stats;
     derived_nodes = !derived_nodes;
     derived_edges = !derived_edges;
-    derived_attrs = !derived_attrs }
+    derived_attrs = !derived_attrs;
+    incomplete }

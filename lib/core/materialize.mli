@@ -28,11 +28,20 @@ type report = {
   derived_nodes : int;   (** new data nodes flushed into D *)
   derived_edges : int;   (** new data edges flushed into D *)
   derived_attrs : int;   (** new attribute values flushed into D *)
+  incomplete : bool;
+      (** the reasoning stage stopped on a limit under
+          [on_limit:`Partial]; derived knowledge flushed into D is a
+          deterministic prefix of the full materialization (the limiting
+          resource is in [engine_stats.stopped]) *)
 }
 
 val materialize :
   ?options:Kgm_vadalog.Engine.options ->
   ?telemetry:Kgm_telemetry.t ->
+  ?cancel:Kgm_resilience.Token.t ->
+  ?checkpoint_dir:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
   instances:Instances.t ->
   schema:Supermodel.t ->
   schema_oid:int ->
@@ -41,6 +50,16 @@ val materialize :
   unit -> report
 (** [data] is mutated in place (derived knowledge flushed into it).
     Raises [Kgm_error.Error] on parse/translate/reasoning failures.
+
+    [cancel] and the engine's deadline/limit policy (via [options]) stop
+    the reasoning stage cooperatively; with [on_limit:`Partial] the
+    partial derivation is still flushed into D and the report is tagged
+    [incomplete]. [checkpoint_dir] checkpoints each reasoning phase
+    under its own label (["phase1"], ["phase2"]); [resume:true] restarts
+    from the latest snapshot found there — preferring a phase-2 snapshot
+    (which already contains the whole phase-1 result) — provided the
+    load stage is re-run on identical inputs (the engine's program
+    fingerprint check rejects anything else).
 
     All timings come from the monotonic {!Kgm_telemetry.Clock}. An
     enabled [telemetry] collector (default: the no-op

@@ -12,7 +12,15 @@
 
     Tasks must not themselves call {!run} on the same pool (no nested
     submission); the Vadalog engine uses one flat fan-out per fixpoint
-    round. *)
+    round.
+
+    A task that raises fails the whole batch: the batch still runs to
+    completion, then the error of the {e lowest submission index} is
+    re-raised — deterministically, regardless of completion schedule —
+    wrapped in [Kgm_error] with the worker domain and chunk index in the
+    context and the original backtrace preserved. *)
+
+open Kgm_common
 
 type pool = {
   size : int;
@@ -60,22 +68,62 @@ let with_pool size f =
   let pool = create size in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* A failing worker task is re-raised on the caller's domain as a
+   [Kgm_error] locating the failure: the worker domain that ran it and
+   the chunk (submission index) it was working on. [Kgm_error]s keep
+   their stage and message and gain the context; anything else is
+   wrapped as a [Reason] error. The original backtrace is re-attached
+   either way, so the failing frame is not lost at the domain hop. *)
+let reraise_wrapped ~chunk ~of_ ~worker_id (e, bt) =
+  let context =
+    [ ("worker", string_of_int worker_id);
+      ("chunk", Printf.sprintf "%d/%d" chunk of_) ]
+  in
+  let wrapped =
+    match e with
+    | Kgm_error.Error err -> Kgm_error.Error (Kgm_error.with_context context err)
+    | e ->
+        Kgm_error.Error
+          { Kgm_error.stage = Kgm_error.Reason;
+            message = "worker exception: " ^ Printexc.to_string e;
+            context }
+  in
+  Printexc.raise_with_backtrace wrapped bt
+
 (* The caller's domain helps drain the queue, then blocks until every
    task of this batch (including ones stolen by workers) has finished. *)
 let run (type a) pool (thunks : (unit -> a) array) : a list =
   let n = Array.length thunks in
   if n = 0 then []
   else if pool.domains = [] then
-    (* inline fast path: no synchronization, strict submission order *)
-    Array.to_list (Array.map (fun f -> f ()) thunks)
+    (* inline fast path: no synchronization, strict submission order —
+       but the same error contract as the parallel path *)
+    Array.to_list
+      (Array.mapi
+         (fun i f ->
+           try f ()
+           with e ->
+             reraise_wrapped ~chunk:i ~of_:n
+               ~worker_id:(Domain.self () :> int)
+               (e, Printexc.get_raw_backtrace ()))
+         thunks)
   else begin
     let results : a option array = Array.make n None in
-    let error : exn option Atomic.t = Atomic.make None in
+    (* per-task error slots: the batch always runs to completion and the
+       lowest-index error wins, so which worker failed first (a race)
+       never changes what the caller observes *)
+    let errors : ((exn * Printexc.raw_backtrace) * int) option array =
+      Array.make n None
+    in
     let remaining = Atomic.make n in
     let finished = Condition.create () in
     let task i () =
       (try results.(i) <- Some (thunks.(i) ())
-       with e -> ignore (Atomic.compare_and_set error None (Some e)));
+       with e ->
+         errors.(i) <-
+           Some
+             ( (e, Printexc.get_raw_backtrace ()),
+               (Domain.self () :> int) ));
       Mutex.lock pool.mutex;
       if Atomic.fetch_and_add remaining (-1) = 1 then
         Condition.broadcast finished;
@@ -102,7 +150,12 @@ let run (type a) pool (thunks : (unit -> a) array) : a list =
       Condition.wait finished pool.mutex
     done;
     Mutex.unlock pool.mutex;
-    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Some (err, worker_id) -> reraise_wrapped ~chunk:i ~of_:n ~worker_id err
+        | None -> ())
+      errors;
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end

@@ -7,9 +7,15 @@
     any order but are always returned in submission order.
 
     Tasks must be independent (no nested {!run} on the same pool). If a
-    task raises, the batch still runs to completion and the first
-    captured exception is re-raised from {!run} on the caller's
-    domain. *)
+    task raises, the batch still runs to completion and the exception of
+    the {e lowest submission index} is re-raised from {!run} on the
+    caller's domain — deterministically, whatever the completion
+    schedule — as a [Kgm_common.Kgm_error.Error] carrying the worker
+    domain id and the failing chunk in its context ([Kgm_error]s keep
+    their stage and message and gain the context; other exceptions are
+    wrapped as [Reason] errors). The original backtrace is preserved
+    across the domain hop. The inline [size = 1] path follows the same
+    error contract. *)
 
 type pool
 

@@ -1,0 +1,305 @@
+(** Kgm_resilience — the failure-handling substrate of KGModel.
+
+    Long chases (the paper reports ~160 minutes of reasoning on the
+    production company KG) need the machinery real reasoners ship:
+    - {!Token}: cooperative cancellation with optional wall-clock
+      deadlines, checked at round boundaries and inside pool workers;
+    - {!Faults}: a seeded, deterministic fault-injection harness that
+      probabilistically fails at named sites ([KGM_FAULTS]), used by the
+      tests to prove the failure paths actually work;
+    - {!Retry}: bounded retry with exponential backoff for transient
+      faults;
+    - {!Snapshot}: versioned, atomically-written, digest-checked
+      on-disk blobs — the carrier of the engine's checkpoint/resume
+      protocol. *)
+
+open Kgm_common
+
+exception Interrupted of [ `Cancelled | `Deadline ]
+exception Fault of string
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted `Cancelled -> Some "Kgm_resilience.Interrupted(cancelled)"
+    | Interrupted `Deadline -> Some "Kgm_resilience.Interrupted(deadline)"
+    | Fault site -> Some (Printf.sprintf "Kgm_resilience.Fault(%s)" site)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+
+module Token = struct
+  (* The flag is atomic so a signal handler or another domain may trip
+     it while pool workers poll it; the deadline is immutable. A
+     [deadline_s] is measured from token creation on the monotonic
+     clock, so wall-clock adjustments never fire it spuriously. *)
+  type t = {
+    cancelled : bool Atomic.t;
+    deadline : float option;  (* absolute, Clock.now () scale *)
+  }
+
+  let create ?deadline_s () =
+    { cancelled = Atomic.make false;
+      deadline =
+        Option.map (fun d -> Kgm_telemetry.Clock.now () +. d) deadline_s }
+
+  let none = { cancelled = Atomic.make false; deadline = None }
+
+  let cancel t = Atomic.set t.cancelled true
+  let cancelled t = Atomic.get t.cancelled
+
+  let deadline_exceeded t =
+    match t.deadline with
+    | None -> false
+    | Some d -> Kgm_telemetry.Clock.now () > d
+
+  let status t =
+    if Atomic.get t.cancelled then `Cancelled
+    else if deadline_exceeded t then `Deadline
+    else `Ok
+
+  let check t =
+    match status t with
+    | `Ok -> ()
+    | `Cancelled -> raise (Interrupted `Cancelled)
+    | `Deadline -> raise (Interrupted `Deadline)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Faults = struct
+  (* One registered rate per site name. Draws are deterministic given
+     (seed, site, draw index): the index comes from a per-site atomic
+     counter, so the NUMBER of injected faults for a given call count is
+     reproducible — under a parallel schedule only WHICH caller observes
+     a given draw may vary, which retry/crash-recovery tests absorb by
+     construction. *)
+  type site = {
+    rate : float;
+    drawn : int Atomic.t;     (* draws taken at this site *)
+    injected : int Atomic.t;  (* draws that failed *)
+  }
+
+  let sites_tbl : (string, site) Hashtbl.t = Hashtbl.create 8
+  let seed = ref 0
+  let active_flag = ref false
+
+  let reset () =
+    Hashtbl.reset sites_tbl;
+    seed := 0;
+    active_flag := false
+
+  let set_rate name rate =
+    let rate = Float.max 0. (Float.min 1. rate) in
+    Hashtbl.replace sites_tbl name
+      { rate; drawn = Atomic.make 0; injected = Atomic.make 0 };
+    active_flag := true
+
+  (* Spec grammar: "site:rate[,site:rate...][,seed=N]", e.g.
+     "worker:0.05,checkpoint_write:0.2,seed=42". *)
+  let configure spec =
+    List.iter
+      (fun part ->
+        let part = String.trim part in
+        if part <> "" then
+          match String.index_opt part ':' with
+          | Some i ->
+              let name = String.sub part 0 i in
+              let rate =
+                String.sub part (i + 1) (String.length part - i - 1)
+              in
+              (match float_of_string_opt rate with
+               | Some r -> set_rate name r
+               | None ->
+                   Kgm_error.validate_error
+                     "KGM_FAULTS: bad rate %S for site %s" rate name)
+          | None -> (
+              match String.index_opt part '=' with
+              | Some i when String.sub part 0 i = "seed" ->
+                  (match
+                     int_of_string_opt
+                       (String.sub part (i + 1) (String.length part - i - 1))
+                   with
+                   | Some s -> seed := s
+                   | None ->
+                       Kgm_error.validate_error "KGM_FAULTS: bad seed in %S"
+                         part)
+              | _ ->
+                  Kgm_error.validate_error
+                    "KGM_FAULTS: cannot parse %S (want site:rate or seed=N)"
+                    part))
+      (String.split_on_char ',' spec)
+
+  let configure_from_env () =
+    match Sys.getenv_opt "KGM_FAULTS" with
+    | Some spec when String.trim spec <> "" ->
+        configure spec;
+        true
+    | _ -> false
+
+  let active () = !active_flag
+
+  (* splitmix64: a high-quality, allocation-free mix of (seed, site,
+     draw index) into a uniform 64-bit word. *)
+  let splitmix64 x =
+    let open Int64 in
+    let x = add x 0x9E3779B97F4A7C15L in
+    let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+    let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+    logxor x (shift_right_logical x 31)
+
+  let draw_fails rate ~site_hash ~n =
+    let h =
+      splitmix64
+        (Int64.add
+           (Int64.of_int (!seed * 0x1000003 + site_hash))
+           (splitmix64 (Int64.of_int n)))
+    in
+    (* map to [0,1) using the top 53 bits *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+    in
+    u < rate
+
+  let inject name =
+    if !active_flag then
+      match Hashtbl.find_opt sites_tbl name with
+      | None -> ()
+      | Some s ->
+          let n = Atomic.fetch_and_add s.drawn 1 in
+          if draw_fails s.rate ~site_hash:(Hashtbl.hash name) ~n then begin
+            ignore (Atomic.fetch_and_add s.injected 1);
+            raise (Fault name)
+          end
+
+  let site_count name =
+    match Hashtbl.find_opt sites_tbl name with
+    | None -> 0
+    | Some s -> Atomic.get s.injected
+
+  let total_injected () =
+    Hashtbl.fold (fun _ s acc -> acc + Atomic.get s.injected) sites_tbl 0
+
+  let sites () =
+    Hashtbl.fold (fun name s acc -> (name, s.rate) :: acc) sites_tbl []
+    |> List.sort compare
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Retry = struct
+  let default_retry_on = function Fault _ -> true | _ -> false
+
+  let with_backoff ?(attempts = 3) ?(base_s = 0.001)
+      ?(retry_on = default_retry_on) ?on_retry f =
+    let attempts = max 1 attempts in
+    let rec go n =
+      try f ()
+      with e when n + 1 < attempts && retry_on e ->
+        (match on_retry with
+         | Some k -> k ~attempt:(n + 1) e
+         | None -> ());
+        (* exponential backoff: base, 2*base, 4*base, ... — short
+           enough for in-process transients, long enough to yield *)
+        let delay = base_s *. Float.of_int (1 lsl n) in
+        if delay > 0. then Unix.sleepf delay;
+        go (n + 1)
+    in
+    go 0
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  (* On-disk layout: a 4-line ASCII header (magic, kind, version,
+     payload digest) followed by the Marshal payload. The digest makes
+     a torn or bit-rotted snapshot a clean Storage error instead of a
+     segfault inside Marshal; the kind/version pair makes a format
+     evolution a clean error instead of silent garbage. Writes go to a
+     temp file in the same directory and are renamed into place, so a
+     crash mid-write (or an injected "checkpoint_write" fault) never
+     clobbers the previous snapshot. *)
+
+  let magic = "KGMSNAP1"
+
+  let path ~dir ~kind ~seq = Filename.concat dir (Printf.sprintf "%s-%06d.snap" kind seq)
+
+  let parse_seq ~kind file =
+    let prefix = kind ^ "-" and suffix = ".snap" in
+    let lp = String.length prefix and ls = String.length suffix in
+    let n = String.length file in
+    if
+      n > lp + ls
+      && String.sub file 0 lp = prefix
+      && String.sub file (n - ls) ls = suffix
+    then int_of_string_opt (String.sub file lp (n - lp - ls))
+    else None
+
+  let list ~dir ~kind =
+    if not (Sys.file_exists dir) then []
+    else
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun f ->
+             Option.map
+               (fun seq -> (seq, Filename.concat dir f))
+               (parse_seq ~kind f))
+      |> List.sort compare
+
+  let latest ~dir ~kind =
+    match List.rev (list ~dir ~kind) with
+    | (_, p) :: _ -> Some p
+    | [] -> None
+
+  let save ~kind ~version ~path payload =
+    Faults.inject "checkpoint_write";
+    let body = Marshal.to_string payload [] in
+    let digest = Digest.to_hex (Digest.string body) in
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s\n%s\n%d\n%s\n" magic kind version digest;
+        output_string oc body);
+    Sys.rename tmp path
+
+  let load ~kind ~version ~path =
+    if not (Sys.file_exists path) then
+      Kgm_error.raise_error_ctx Kgm_error.Storage
+        [ ("snapshot", path) ]
+        "snapshot not found";
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let fail fmt =
+          Kgm_error.raise_error_ctx Kgm_error.Storage
+            [ ("snapshot", path) ]
+            fmt
+        in
+        let line () = try input_line ic with End_of_file -> fail "truncated snapshot header" in
+        if line () <> magic then fail "not a KGModel snapshot (bad magic)";
+        let k = line () in
+        if k <> kind then fail "snapshot kind mismatch: %s (want %s)" k kind;
+        let v = line () in
+        if int_of_string_opt v <> Some version then
+          fail "snapshot version %s not supported (want %d)" v version;
+        let digest = line () in
+        let body =
+          let buf = Buffer.create 65536 in
+          let chunk = Bytes.create 65536 in
+          let rec slurp () =
+            let n = input ic chunk 0 (Bytes.length chunk) in
+            if n > 0 then begin
+              Buffer.add_subbytes buf chunk 0 n;
+              slurp ()
+            end
+          in
+          slurp ();
+          Buffer.contents buf
+        in
+        if Digest.to_hex (Digest.string body) <> digest then
+          fail "snapshot payload corrupt (digest mismatch)";
+        Marshal.from_string body 0)
+end

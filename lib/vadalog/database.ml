@@ -76,6 +76,10 @@ let index_insert idx positions fact =
 (** [add t pred fact] returns [true] when the fact is new. *)
 let add t pred fact =
   if t.frozen then invalid_arg "Database.add: database is frozen";
+  (* chaos site: a crash here lands mid-round, which is exactly what the
+     checkpoint/resume tests need to provoke (one ref read when fault
+     injection is off) *)
+  Kgm_resilience.Faults.inject "db_insert";
   let s = store t pred in
   let k = fact_key fact in
   if KeyTbl.mem s.set k then false

@@ -19,7 +19,10 @@ val create : unit -> t
 
 val add : t -> string -> fact -> bool
 (** [add db pred fact] inserts and returns [true] when the fact is new.
-    Existing indexes on the predicate are maintained incrementally. *)
+    Existing indexes on the predicate are maintained incrementally.
+    Registered as the ["db_insert"] {!Kgm_resilience.Faults} site: with
+    fault injection active it may raise [Kgm_resilience.Fault], which
+    lands mid-round — the crash the checkpoint/resume tests provoke. *)
 
 val mem : t -> string -> fact -> bool
 

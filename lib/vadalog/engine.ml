@@ -24,6 +24,16 @@ type options = {
   check_wardedness : bool;  (** reject non-warded programs *)
   jobs : int;               (** domains evaluating semi-naive rounds;
                                 results are identical for every value *)
+  deadline_s : float option;
+                            (** monotonic wall-clock budget for the run,
+                                checked at round boundaries and inside
+                                pool workers *)
+  on_limit : [ `Raise | `Partial ];
+                            (** policy when a budget (facts, rounds,
+                                deadline) trips or the run is cancelled:
+                                raise as before, or stop cleanly and
+                                return a partial result tagged in
+                                {!stats.stopped} *)
 }
 
 (* KGM_JOBS lets the whole test suite (and any embedding) exercise the
@@ -44,7 +54,27 @@ let default_options =
     max_facts = 5_000_000;
     max_rounds = 1_000_000;
     check_wardedness = false;
-    jobs = default_jobs }
+    jobs = default_jobs;
+    deadline_s = None;
+    on_limit = `Raise }
+
+type limit = [ `Cancelled | `Deadline | `Facts | `Rounds ]
+
+let limit_name : limit -> string = function
+  | `Cancelled -> "cancelled"
+  | `Deadline -> "deadline"
+  | `Facts -> "facts"
+  | `Rounds -> "rounds"
+
+(* Internal control-flow for limit trips. [clean] is true when the trip
+   happened at a round boundary (or after a mid-round worker abort whose
+   delta was restored), i.e. when the database state is exactly the end
+   of a completed round and a final checkpoint may be written. A
+   mid-merge fact-budget trip is not clean: facts of a half-merged round
+   are present, so no checkpoint is written there (the partial result is
+   still a deterministic prefix — the merge order is schedule-
+   independent). *)
+exception Stop_chase of limit * bool
 
 (* ------------------------------------------------------------------ *)
 (* Per-rule chase instrumentation. The counters are cheap enough (one
@@ -76,6 +106,9 @@ type stats = {
   chase_hits : int;
   chase_misses : int;
   per_rule : rule_stats list;  (** program order *)
+  stopped : limit option;  (** [Some l] when the run stopped early under
+                               [on_limit:`Partial]; the result is a
+                               deterministic prefix of the fixpoint *)
 }
 
 let merge_stats a b =
@@ -86,7 +119,8 @@ let merge_stats a b =
     nulls_invented = a.nulls_invented + b.nulls_invented;
     chase_hits = a.chase_hits + b.chase_hits;
     chase_misses = a.chase_misses + b.chase_misses;
-    per_rule = a.per_rule @ b.per_rule }
+    per_rule = a.per_rule @ b.per_rule;
+    stopped = (match a.stopped with Some _ -> a.stopped | None -> b.stopped) }
 
 let pp_rule_table ppf stats =
   let active =
@@ -117,7 +151,13 @@ let pp_rule_table ppf stats =
   Format.fprintf ppf
     "total: %d new facts, %d rounds, %d nulls, %d/%d chase hits/misses, %.6fs@."
     stats.new_facts stats.rounds stats.nulls_invented stats.chase_hits
-    stats.chase_misses stats.elapsed_s
+    stats.chase_misses stats.elapsed_s;
+  match stats.stopped with
+  | Some l ->
+      Format.fprintf ppf
+        "INCOMPLETE: stopped on %s after %d rounds (partial fixpoint prefix)@."
+        (limit_name l) stats.rounds
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Provenance: the first derivation recorded for each derived fact      *)
@@ -475,6 +515,9 @@ type run_state = {
   ctrs : rule_ctr array;       (* indexed by rule_id *)
   mutable cur : rule_ctr;      (* counters of the rule being evaluated *)
   mutable round : int;         (* current fixpoint round (for errors) *)
+  mutable trip_rule : string option;
+                               (* rule that tripped the fact budget, for
+                                  the error context under `Raise *)
 }
 
 (* Labeled nulls are drawn from a process-wide counter: successive runs
@@ -645,12 +688,13 @@ let head_satisfied st env (prep : prepared) =
 let fire st env (prep : prepared) ~on_new =
   st.cur.c_matches <- st.cur.c_matches + 1;
   let budget_check () =
-    if Database.total st.db > st.opts.max_facts then
-      Kgm_error.reason_error_ctx
-        [ ("rule", Format.asprintf "%a" Rule.pp_rule prep.rule);
-          ("round", string_of_int st.round) ]
-        "fact budget exceeded (%d facts): non-terminating chase?"
-        st.opts.max_facts
+    if Database.total st.db > st.opts.max_facts then begin
+      (* trip mid-merge: not a clean round boundary, no checkpoint. The
+         error (or tagged partial result) is produced by [run]'s outer
+         handler, which keeps the firing rule for the context. *)
+      st.trip_rule <- Some (Format.asprintf "%a" Rule.pp_rule prep.rule);
+      raise (Stop_chase (`Facts, false))
+    end
   in
   let record pred fact =
     match st.prov with
@@ -914,6 +958,13 @@ type work_result = {
   wr_time : float;
 }
 
+(* Raised (on the caller domain) when a worker observed cancellation or
+   an expired deadline mid-round. Nothing has been merged at that point:
+   the whole round's candidates are discarded, so the database is back
+   at the previous round boundary — a deterministic state whatever
+   subset of work items the workers had managed to evaluate. *)
+exception Round_aborted
+
 (* Runs on a worker domain: read-only on the frozen database, all
    mutable state (env, counters, trail) is local to the item. *)
 let eval_work_item (main : run_state) (w : work_item) : work_result =
@@ -925,7 +976,7 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
       prov = main.prov;  (* only consulted as a capture-the-trail flag *)
       fact_trail = [];
       tele = Kgm_telemetry.null;  (* collectors are not domain-safe *)
-      ctrs = [||]; cur = ctr; round = main.round }
+      ctrs = [||]; cur = ctr; round = main.round; trip_rule = None }
   in
   let prep = w.w_prep in
   let buf = ref [] in
@@ -955,7 +1006,8 @@ let fire_candidate st env (prep : prepared) cand ~on_new =
   st.fact_trail <- [];
   env_undo env mark
 
-let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
+let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
+    ~current ~on_new =
   (* 1. deterministic (rule, literal, chunk) work-item order; results
      are chunking-invariant, so the chunk size is free to follow the
      pool size for load balancing *)
@@ -987,7 +1039,14 @@ let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
           prep.rule.Rule.body)
     rules;
   let items = Array.of_list (List.rev !items) in
-  (* 2. match on the pool against the frozen store *)
+  (* 2. match on the pool against the frozen store. Each worker polls
+     the cancellation token per work item; once it trips, remaining
+     items are skipped (cheaply, returning no candidates) and the whole
+     round is aborted after the batch joins. Worker bodies additionally
+     run under a short retry loop so injected transient faults
+     ("worker" site) are absorbed instead of killing the run. *)
+  let aborted = Atomic.make false in
+  let empty_result = { wr_cands = []; wr_probes = 0; wr_time = 0. } in
   let results =
     if Array.length items = 0 then []
     else begin
@@ -1004,7 +1063,21 @@ let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
         Fun.protect
           ~finally:(fun () -> Database.thaw st.db)
           (fun () ->
-            Kgm_pool.run pool (Array.map (fun w () -> eval_work_item st w) items))
+            Kgm_pool.run pool
+              (Array.map
+                 (fun w () ->
+                   if tok_status () <> `Ok then begin
+                     Atomic.set aborted true;
+                     empty_result
+                   end
+                   else
+                     Kgm_resilience.Retry.with_backoff ~attempts:3
+                       ~base_s:0.0005
+                       ~on_retry:(fun ~attempt:_ _ -> Atomic.incr retries)
+                       (fun () ->
+                         Kgm_resilience.Faults.inject "worker";
+                         eval_work_item st w))
+                 items))
       in
       if Kgm_telemetry.enabled st.tele then
         Kgm_telemetry.record_span st.tele ~cat:"round"
@@ -1015,6 +1088,7 @@ let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
       results
     end
   in
+  if Atomic.get aborted then raise Round_aborted;
   let pairs = List.combine (Array.to_list items) results in
   (* 3. sequential merge sweep in program order *)
   List.iter
@@ -1059,8 +1133,62 @@ let eval_delta_round st pool (rules : prepared list) ~current ~on_new =
       end)
     rules
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume.
+
+   At configurable round intervals (and at any clean limit stop) the
+   engine serializes its complete semi-naive state to a versioned
+   snapshot: the fact store in per-predicate insertion order, the
+   current delta, the global null counter, per-rule counters, aggregate
+   states, provenance, and the (stratum, round) position. Resuming
+   restores all of it and re-enters the strata loop at the saved
+   position, so a resumed run replays the exact rounds an uninterrupted
+   run would have executed — facts, null numbering and per-rule counters
+   are bit-for-bit identical, at every [jobs] value (the merge order is
+   schedule-independent, see above). *)
+
+type checkpoint = {
+  ck_dir : string;
+  ck_every : int;   (** write a snapshot every [ck_every] completed rounds *)
+  ck_label : string;
+}
+
+let default_checkpoint_every = 8
+
+let checkpoint ?(every = default_checkpoint_every) ?(label = "chase") dir =
+  { ck_dir = dir; ck_every = max 1 every; ck_label = label }
+
+let ck_version = 1
+let ck_kind label = "chase-" ^ label
+
+let latest_checkpoint ?(label = "chase") dir =
+  Kgm_resilience.Snapshot.latest ~dir ~kind:(ck_kind label)
+
+(* Marshal-friendly image of the loop state. Facts and deltas are kept
+   in chronological (insertion) order so replaying them through
+   [Database.add] reproduces per-predicate order exactly. *)
+type ck_payload = {
+  p_fingerprint : string;  (* digest of the program text: a checkpoint
+                              only resumes the program that wrote it *)
+  p_stratum : int;
+  p_round0_done : bool;    (* false = the stratum's full round is pending *)
+  p_rounds : int;
+  p_deltas : int list;     (* reverse chronological, as the loop keeps it *)
+  p_added : int;
+  p_nulls : int;           (* global null counter *)
+  p_facts : (string * Database.fact list) list;
+  p_delta : (string * Database.fact list) list;
+  p_ctrs : rule_ctr array;
+  p_agg : (int * agg_state) list;
+  p_prov : ((string * Value.t list) * derivation) list option;
+}
+
+let program_fingerprint program =
+  Digest.to_hex (Digest.string (Rule.program_to_string program))
+
 let run ?(options = default_options) ?provenance
-    ?(telemetry = Kgm_telemetry.null) (program : Rule.program) db =
+    ?(telemetry = Kgm_telemetry.null) ?(cancel = Kgm_resilience.Token.none)
+    ?checkpoint ?resume_from (program : Rule.program) db =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
     ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
     "engine.run"
@@ -1077,6 +1205,37 @@ let run ?(options = default_options) ?provenance
         (String.concat "; " report.Analysis.violations)
   end;
   let analysis = Analysis.stratify program in
+  let fingerprint = program_fingerprint program in
+  let ck_label =
+    match checkpoint with Some c -> c.ck_label | None -> "chase"
+  in
+  (* a [deadline_s] option composes with whatever token the caller
+     passed (which may carry its own deadline) *)
+  let deadline_tok =
+    match options.deadline_s with
+    | Some d -> Kgm_resilience.Token.create ~deadline_s:d ()
+    | None -> Kgm_resilience.Token.none
+  in
+  let tok_status () =
+    match Kgm_resilience.Token.status cancel with
+    | `Ok -> Kgm_resilience.Token.status deadline_tok
+    | s -> s
+  in
+  let resume : ck_payload option =
+    Option.map
+      (fun path ->
+        let (p : ck_payload) =
+          Kgm_resilience.Snapshot.load ~kind:(ck_kind ck_label)
+            ~version:ck_version ~path
+        in
+        if p.p_fingerprint <> fingerprint then
+          Kgm_error.validate_error
+            "checkpoint %s was written by a different program (fingerprint \
+             mismatch)"
+            path;
+        p)
+      resume_from
+  in
   List.iter
     (fun (pred, args) -> ignore (Database.add db pred (Array.of_list args)))
     program.Rule.facts;
@@ -1087,8 +1246,31 @@ let run ?(options = default_options) ?provenance
       tele = telemetry;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
-      round = 0 }
+      round = 0; trip_rule = None }
   in
+  (match resume with
+   | None -> ()
+   | Some p ->
+       (* replay the snapshot: facts in insertion order (dedup against
+          whatever the caller pre-loaded), exact null counter, counters,
+          aggregate and provenance state *)
+       List.iter
+         (fun (pred, facts) ->
+           List.iter (fun f -> ignore (Database.add db pred f)) facts)
+         p.p_facts;
+       Atomic.set global_null_counter p.p_nulls;
+       st.added <- p.p_added;
+       Array.iteri
+         (fun i c -> if i < Array.length st.ctrs then st.ctrs.(i) <- c)
+         p.p_ctrs;
+       List.iter (fun (id, s) -> Hashtbl.replace st.agg_states id s) p.p_agg;
+       (match provenance, p.p_prov with
+        | Some prov, Some entries ->
+            List.iter
+              (fun (k, d) ->
+                if not (ProvTbl.mem prov k) then ProvTbl.add prov k d)
+              entries
+        | _ -> ()));
   let prepared =
     List.mapi
       (fun i r ->
@@ -1104,64 +1286,167 @@ let run ?(options = default_options) ?provenance
       0 prep.rule.Rule.head
   in
   let n_strata = List.length analysis.Analysis.strata in
-  let rounds = ref 0 in
-  let deltas = ref [] in (* per-round delta sizes, reverse chronological *)
+  let rounds = ref (match resume with Some p -> p.p_rounds | None -> 0) in
+  (* per-round delta sizes, reverse chronological *)
+  let deltas = ref (match resume with Some p -> p.p_deltas | None -> []) in
+  let start_stratum = match resume with Some p -> p.p_stratum | None -> 0 in
+  let retries = Atomic.make 0 in
+  let cks_written = ref 0 and cks_failed = ref 0 in
+  let last_ck = ref None in
+  let write_checkpoint ~stratum ~round0_done delta =
+    match checkpoint with
+    | None -> ()
+    | Some cfg ->
+        let payload =
+          { p_fingerprint = fingerprint;
+            p_stratum = stratum;
+            p_round0_done = round0_done;
+            p_rounds = !rounds;
+            p_deltas = !deltas;
+            p_added = st.added;
+            p_nulls = Atomic.get global_null_counter;
+            p_facts =
+              List.map
+                (fun pred -> (pred, Database.facts db pred))
+                (Database.predicates db);
+            p_delta =
+              Hashtbl.fold (fun pred l acc -> (pred, List.rev !l) :: acc) delta []
+              |> List.sort compare;
+            p_ctrs = st.ctrs;
+            p_agg =
+              Hashtbl.fold (fun id s acc -> (id, s) :: acc) st.agg_states []
+              |> List.sort compare;
+            p_prov =
+              Option.map
+                (fun prov -> ProvTbl.fold (fun k d acc -> (k, d) :: acc) prov [])
+                st.prov }
+        in
+        let path =
+          Kgm_resilience.Snapshot.path ~dir:cfg.ck_dir
+            ~kind:(ck_kind cfg.ck_label) ~seq:!rounds
+        in
+        (* graceful degradation: a transient write fault is retried, a
+           persistent one costs only this snapshot, never the chase *)
+        (try
+           Kgm_resilience.Retry.with_backoff ~attempts:3 ~base_s:0.002
+             (fun () ->
+               Kgm_resilience.Snapshot.save ~kind:(ck_kind cfg.ck_label)
+                 ~version:ck_version ~path payload);
+           incr cks_written;
+           last_ck := Some path
+         with _ -> incr cks_failed)
+  in
+  let stopped = ref None in
   (* one pool for the whole run; with jobs = 1 it spawns no domains and
      Kgm_pool.run degenerates to an inline loop *)
   let pool = Kgm_pool.create (max 1 options.jobs) in
   Fun.protect ~finally:(fun () -> Kgm_pool.shutdown pool) @@ fun () ->
-  for s = 0 to n_strata - 1 do
-    let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
-    if rules_here <> [] then begin
-      Kgm_telemetry.with_span telemetry ~cat:"engine"
-        ~args:[ ("rules", string_of_int (List.length rules_here)) ]
-        (Printf.sprintf "stratum:%d" s)
-      @@ fun () ->
-      let in_stratum =
-        match List.nth_opt analysis.Analysis.strata s with
-        | Some preds -> preds
-        | None -> []
-      in
-      let delta : (string, Database.fact list ref) Hashtbl.t = Hashtbl.create 8 in
-      let record pred fact =
-        if List.mem pred in_stratum then
-          match Hashtbl.find_opt delta pred with
-          | Some l -> l := fact :: !l
-          | None -> Hashtbl.add delta pred (ref [ fact ])
-      in
-      let delta_size () =
-        Hashtbl.fold (fun _ l acc -> acc + List.length !l) delta 0
-      in
-      (* round 0: full evaluation *)
-      incr rounds;
-      st.round <- !rounds;
-      Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
-          List.iter (fun p -> eval_rule st p ~delta:None ~on_new:record) rules_here);
-      deltas := delta_size () :: !deltas;
-      let continue = ref (Hashtbl.length delta > 0) in
-      while !continue do
-        incr rounds;
-        st.round <- !rounds;
-        if !rounds > options.max_rounds then
-          Kgm_error.reason_error_ctx
-            [ ("round", string_of_int !rounds) ]
-            "round budget exceeded";
-        let current = Hashtbl.copy delta in
-        Hashtbl.reset delta;
-        Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
-            if options.semi_naive then
-              eval_delta_round st pool rules_here ~current ~on_new:record
-            else
-              (* naive: full re-evaluation; recurse only while new facts
-                 appear *)
+  (try
+     for s = start_stratum to n_strata - 1 do
+       let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
+       if rules_here <> [] then begin
+         Kgm_telemetry.with_span telemetry ~cat:"engine"
+           ~args:[ ("rules", string_of_int (List.length rules_here)) ]
+           (Printf.sprintf "stratum:%d" s)
+         @@ fun () ->
+         let in_stratum =
+           match List.nth_opt analysis.Analysis.strata s with
+           | Some preds -> preds
+           | None -> []
+         in
+         let delta : (string, Database.fact list ref) Hashtbl.t =
+           Hashtbl.create 8
+         in
+         let record pred fact =
+           if List.mem pred in_stratum then
+             match Hashtbl.find_opt delta pred with
+             | Some l -> l := fact :: !l
+             | None -> Hashtbl.add delta pred (ref [ fact ])
+         in
+         let delta_size () =
+           Hashtbl.fold (fun _ l acc -> acc + List.length !l) delta 0
+         in
+         let round0_done = ref false in
+         (match resume with
+          | Some p when s = p.p_stratum ->
+              round0_done := p.p_round0_done;
               List.iter
-                (fun p -> eval_rule st p ~delta:None ~on_new:record)
-                rules_here);
-        deltas := delta_size () :: !deltas;
-        continue := Hashtbl.length delta > 0
-      done
-    end
-  done;
+                (fun (pred, facts) ->
+                  Hashtbl.replace delta pred (ref (List.rev facts)))
+                p.p_delta
+          | _ -> ());
+         (* limit checks happen only here, at clean round boundaries;
+            the "round" fault site models a crash at exactly this point *)
+         let boundary_check () =
+           Kgm_resilience.Faults.inject "round";
+           (match tok_status () with
+            | `Cancelled -> raise (Stop_chase (`Cancelled, true))
+            | `Deadline -> raise (Stop_chase (`Deadline, true))
+            | `Ok -> ());
+           if !rounds >= options.max_rounds then
+             raise (Stop_chase (`Rounds, true))
+         in
+         let maybe_checkpoint () =
+           match checkpoint with
+           | Some cfg when !rounds mod cfg.ck_every = 0 ->
+               write_checkpoint ~stratum:s ~round0_done:!round0_done delta
+           | _ -> ()
+         in
+         try
+           boundary_check ();
+           if not !round0_done then begin
+             (* round 0: full evaluation *)
+             incr rounds;
+             st.round <- !rounds;
+             Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
+                 List.iter
+                   (fun p -> eval_rule st p ~delta:None ~on_new:record)
+                   rules_here);
+             deltas := delta_size () :: !deltas;
+             round0_done := true;
+             maybe_checkpoint ()
+           end;
+           let continue = ref (Hashtbl.length delta > 0) in
+           while !continue do
+             boundary_check ();
+             incr rounds;
+             st.round <- !rounds;
+             let current = Hashtbl.copy delta in
+             Hashtbl.reset delta;
+             (try
+                Kgm_telemetry.with_span telemetry ~cat:"round" "round"
+                  (fun () ->
+                    if options.semi_naive then
+                      eval_delta_round st pool rules_here ~tok_status ~retries
+                        ~current ~on_new:record
+                    else
+                      (* naive: full re-evaluation; recurse only while
+                         new facts appear *)
+                      List.iter
+                        (fun p -> eval_rule st p ~delta:None ~on_new:record)
+                        rules_here)
+              with Round_aborted ->
+                (* the aborted round never happened: restore its input
+                   delta and stop at the previous boundary *)
+                decr rounds;
+                Hashtbl.reset delta;
+                Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) current;
+                (match tok_status () with
+                 | `Cancelled -> raise (Stop_chase (`Cancelled, true))
+                 | _ -> raise (Stop_chase (`Deadline, true))));
+             deltas := delta_size () :: !deltas;
+             continue := Hashtbl.length delta > 0;
+             maybe_checkpoint ()
+           done
+         with Stop_chase (l, clean) ->
+           (* a clean stop is a round boundary: capture it so a later
+              [~resume_from] continues exactly where this run stopped *)
+           if clean then
+             write_checkpoint ~stratum:s ~round0_done:!round0_done delta;
+           raise (Stop_chase (l, clean))
+       end
+     done
+   with Stop_chase (l, _) -> stopped := Some l);
   let per_rule =
     List.map
       (fun (prep : prepared) ->
@@ -1187,7 +1472,8 @@ let run ?(options = default_options) ?provenance
       nulls_invented = sum (fun r -> r.rs_nulls);
       chase_hits = sum (fun r -> r.rs_chase_hits);
       chase_misses = sum (fun r -> r.rs_chase_misses);
-      per_rule }
+      per_rule;
+      stopped = !stopped }
   in
   if Kgm_telemetry.enabled telemetry then begin
     Kgm_telemetry.count telemetry ~by:stats.new_facts "engine.facts.new";
@@ -1195,13 +1481,50 @@ let run ?(options = default_options) ?provenance
     Kgm_telemetry.count telemetry ~by:stats.nulls_invented
       "engine.nulls.invented";
     Kgm_telemetry.count telemetry ~by:stats.chase_hits "engine.chase.hits";
-    Kgm_telemetry.count telemetry ~by:stats.chase_misses "engine.chase.misses"
+    Kgm_telemetry.count telemetry ~by:stats.chase_misses "engine.chase.misses";
+    if !cks_written > 0 then
+      Kgm_telemetry.count telemetry ~by:!cks_written
+        "resilience.checkpoints.written";
+    if !cks_failed > 0 then
+      Kgm_telemetry.count telemetry ~by:!cks_failed
+        "resilience.checkpoints.failed";
+    let r = Atomic.get retries in
+    if r > 0 then
+      Kgm_telemetry.count telemetry ~by:r "resilience.worker.retries";
+    match stats.stopped with
+    | Some l -> Kgm_telemetry.count telemetry ("engine.stopped." ^ limit_name l)
+    | None -> ()
   end;
+  (match !stopped, options.on_limit with
+   | Some l, `Raise ->
+       let ctx =
+         (match st.trip_rule with Some r -> [ ("rule", r) ] | None -> [])
+         @ [ ("round", string_of_int !rounds) ]
+         @ (match !last_ck with
+            | Some p -> [ ("checkpoint", p) ]
+            | None -> [])
+       in
+       (match l with
+        | `Facts ->
+            Kgm_error.reason_error_ctx ctx
+              "fact budget exceeded (%d facts): non-terminating chase?"
+              options.max_facts
+        | `Rounds -> Kgm_error.reason_error_ctx ctx "round budget exceeded"
+        | `Deadline -> Kgm_error.reason_error_ctx ctx "deadline exceeded"
+        | `Cancelled ->
+            Kgm_error.reason_error_ctx
+              (("interrupted", "cancelled") :: ctx)
+              "interrupted")
+   | _ -> ());
   stats
 
-let run_program ?options ?provenance ?telemetry program =
+let run_program ?options ?provenance ?telemetry ?cancel ?checkpoint ?resume_from
+    program =
   let db = Database.create () in
-  let stats = run ?options ?provenance ?telemetry program db in
+  let stats =
+    run ?options ?provenance ?telemetry ?cancel ?checkpoint ?resume_from
+      program db
+  in
   (db, stats)
 
 let query db pred = Database.facts db pred

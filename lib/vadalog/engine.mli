@@ -40,6 +40,18 @@ type options = {
           stays sequential in a schedule-independent order, so results —
           including labeled-null numbering and per-rule statistics — are
           identical for every jobs value *)
+  deadline_s : float option;
+      (** wall-clock budget for the run, measured on the monotonic clock
+          from the moment {!run} starts; checked at round boundaries and
+          polled by pool workers per work item *)
+  on_limit : [ `Raise | `Partial ];
+      (** what to do when a budget ([max_facts], [max_rounds],
+          [deadline_s]) trips or the cancellation token fires:
+          [`Raise] (default) raises a [Reason] error as before;
+          [`Partial] stops cleanly and returns the facts derived so far,
+          tagged with the limiting resource in {!stats.stopped}. The
+          partial database is a deterministic prefix of the fixpoint —
+          identical for every [jobs] value *)
 }
 
 val default_jobs : int
@@ -47,6 +59,33 @@ val default_jobs : int
     integer, else 1. *)
 
 val default_options : options
+
+(** {1 Limits and resilience} *)
+
+type limit = [ `Cancelled | `Deadline | `Facts | `Rounds ]
+(** The resource that stopped a run early. *)
+
+val limit_name : limit -> string
+(** Short stable name ("cancelled", "deadline", "facts", "rounds") used
+    in reports and telemetry counters ([engine.stopped.<name>]). *)
+
+type checkpoint = {
+  ck_dir : string;    (** snapshot directory (created on first write) *)
+  ck_every : int;     (** write a snapshot every [ck_every] completed
+                          rounds (also on any clean limit stop) *)
+  ck_label : string;  (** distinguishes concurrent chases sharing a
+                          directory, e.g. materialization phases *)
+}
+
+val default_checkpoint_every : int
+
+val checkpoint : ?every:int -> ?label:string -> string -> checkpoint
+(** [checkpoint dir] — [every] defaults to {!default_checkpoint_every}
+    (clamped to >= 1), [label] to ["chase"]. *)
+
+val latest_checkpoint : ?label:string -> string -> string option
+(** Highest-round snapshot file under a checkpoint directory, if any —
+    the path to hand to {!run}'s [resume_from]. *)
 
 (** {1 Statistics}
 
@@ -80,6 +119,10 @@ type stats = {
   chase_hits : int;
   chase_misses : int;
   per_rule : rule_stats list;  (** program order *)
+  stopped : limit option;
+      (** [Some l] when the run stopped early under [on_limit:`Partial]:
+          the database holds a deterministic prefix of the fixpoint and
+          [l] names the limiting resource. [None] for complete runs. *)
 }
 
 val merge_stats : stats -> stats -> stats
@@ -115,22 +158,40 @@ val pp_derivation_tree :
 
 val run :
   ?options:options -> ?provenance:provenance ->
-  ?telemetry:Kgm_telemetry.t -> Rule.program -> Database.t -> stats
+  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?checkpoint:checkpoint -> ?resume_from:string ->
+  Rule.program -> Database.t -> stats
 (** Load the program's facts into the database and chase its rules to
     fixpoint, stratum by stratum. Raises [Kgm_error.Error]:
     [Validate] on unsafe or unstratifiable programs (or unwarded ones
     when [check_wardedness]), [Reason] on exceeded budgets (with the
-    offending rule and round in the error context).
+    offending rule and round — and the final checkpoint path, when one
+    was written — in the error context) unless [on_limit] is [`Partial].
+
+    [cancel] is polled cooperatively (round boundaries, pool workers):
+    cancelling it stops the run at the previous round boundary, as
+    [`Cancelled]. [checkpoint] enables periodic snapshots of the
+    complete semi-naive state; [resume_from] (a snapshot path, see
+    {!latest_checkpoint}) restarts a run from one. A resumed run is
+    bit-for-bit equivalent to the uninterrupted one — facts, per-
+    predicate insertion order, labeled-null numbering and per-rule
+    counters — at every [jobs] value. The snapshot must have been
+    written by the same program text (fingerprint-checked) under the
+    same checkpoint label.
 
     [telemetry] defaults to {!Kgm_telemetry.null}, a no-op; an enabled
     collector additionally records an [engine.run] span, one span per
     stratum and per fixpoint round, one [rule:<head>] span per rule
     evaluation that derived facts, an [engine.rule_eval_s] latency
-    histogram and [engine.*] counters. *)
+    histogram and [engine.*] counters (plus [resilience.*] and
+    [engine.stopped.*] counters when checkpoints, retries or limit
+    stops occurred). *)
 
 val run_program :
   ?options:options -> ?provenance:provenance ->
-  ?telemetry:Kgm_telemetry.t -> Rule.program -> Database.t * stats
+  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?checkpoint:checkpoint -> ?resume_from:string ->
+  Rule.program -> Database.t * stats
 (** [run] on a fresh database. *)
 
 val query : Database.t -> string -> Database.fact list

@@ -10,32 +10,86 @@
     - ["csv:<path>"]: a headerless CSV file, one fact per row; each cell
       is parsed as int, float, boolean or string (in that order);
     - ["inline:<r1>;<r2>;..."]: the same format inline, rows separated
-      by [';'] — convenient for tests and small fixtures. *)
+      by [';'] — convenient for tests and small fixtures.
+
+    A malformed row — wrong arity w.r.t. the first row of the source, or
+    an empty cell in a multi-column row — is a [Storage] error carrying
+    the source and line number, or, under [~lenient:true], is skipped
+    with a counted warning. Loading never crashes mid-run on bad data:
+    it either reports the offending line or degrades gracefully. *)
 
 open Kgm_common
+
+type warning = {
+  w_line : int;      (** 1-based row number within the source *)
+  w_reason : string;
+}
+
+type source_report = {
+  sr_pred : string;
+  sr_source : string;  (** the annotation's source string *)
+  sr_loaded : int;     (** new facts inserted *)
+  sr_skipped : int;    (** malformed rows skipped (lenient mode only) *)
+  sr_warnings : warning list;  (** per skipped row, in line order *)
+}
 
 let parse_cell cell =
   match Value.parse Value.TAny (String.trim cell) with
   | Some v -> v
   | None -> Value.String cell
 
-let parse_row row = Array.of_list (List.map parse_cell (String.split_on_char ',' row))
+(* A cell that is empty after trimming carries no value; in a
+   multi-column row that is a malformed (truncated or shifted) record,
+   not an empty string. Single-column sources keep accepting blank-ish
+   rows as empty strings for backward compatibility. *)
+let row_error cells =
+  let arity = List.length cells in
+  if arity > 1 && List.exists (fun c -> String.trim c = "") cells then
+    Some "empty cell (unparsable value)"
+  else None
 
-let load_rows db pred rows =
-  let n = ref 0 in
-  List.iter
-    (fun row ->
-      if String.trim row <> "" then
-        if Database.add db pred (parse_row row) then incr n)
+let load_rows ?(lenient = false) ~source db pred rows =
+  let loaded = ref 0 and skipped = ref 0 in
+  let warnings = ref [] in
+  let expected_arity = ref None in
+  let malformed line reason =
+    if lenient then begin
+      incr skipped;
+      warnings := { w_line = line; w_reason = reason } :: !warnings
+    end
+    else
+      Kgm_error.storage_error_ctx
+        [ ("source", source); ("line", string_of_int line); ("predicate", pred) ]
+        "malformed row: %s" reason
+  in
+  List.iteri
+    (fun i row ->
+      let line = i + 1 in
+      if String.trim row <> "" then begin
+        let cells = String.split_on_char ',' row in
+        match row_error cells with
+        | Some reason -> malformed line reason
+        | None -> (
+            let arity = List.length cells in
+            match !expected_arity with
+            | Some a when a <> arity ->
+                malformed line
+                  (Printf.sprintf "arity %d, expected %d (from first row)"
+                     arity a)
+            | _ ->
+                if !expected_arity = None then expected_arity := Some arity;
+                if Database.add db pred (Array.of_list (List.map parse_cell cells))
+                then incr loaded)
+      end)
     rows;
-  !n
+  (!loaded, !skipped, List.rev !warnings)
 
 let read_file path =
+  Kgm_resilience.Faults.inject "source_read";
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let strip_prefix ~prefix s =
   let lp = String.length prefix in
@@ -43,26 +97,43 @@ let strip_prefix ~prefix s =
     Some (String.sub s lp (String.length s - lp))
   else None
 
-(** Load every resolvable [@input] source into the database; returns
-    [(predicate, facts loaded)] for each resolved annotation.
-    Unresolvable sources (e.g. the Cypher extraction queries) are
-    skipped. Raises [Kgm_error.Error] when a csv file is unreadable. *)
-let load_inputs (program : Rule.program) db =
+(** Load every resolvable [@input] source into the database, one report
+    per resolved annotation. Unresolvable sources (e.g. the Cypher
+    extraction queries) are skipped. Raises [Kgm_error.Error]
+    ([Storage]) when a csv file is unreadable, or — unless [lenient] —
+    on a malformed row (wrong arity, unparsable value), with the source
+    and line in the error context. Under [lenient], malformed rows are
+    skipped and counted in the report's warnings. *)
+let load_inputs_report ?lenient (program : Rule.program) db =
   List.filter_map
     (fun (a : Rule.annotation) ->
       match a.Rule.a_name, a.Rule.a_args with
       | "input", [ pred; source ] -> (
+          let report rows =
+            let loaded, skipped, warnings =
+              load_rows ?lenient ~source db pred rows
+            in
+            Some
+              { sr_pred = pred; sr_source = source; sr_loaded = loaded;
+                sr_skipped = skipped; sr_warnings = warnings }
+          in
           match strip_prefix ~prefix:"csv:" source with
           | Some path ->
               let doc =
                 try read_file path
                 with Sys_error m -> Kgm_error.storage_error "@input %s: %s" pred m
               in
-              Some (pred, load_rows db pred (String.split_on_char '\n' doc))
+              report (String.split_on_char '\n' doc)
           | None -> (
               match strip_prefix ~prefix:"inline:" source with
-              | Some rows ->
-                  Some (pred, load_rows db pred (String.split_on_char ';' rows))
+              | Some rows -> report (String.split_on_char ';' rows)
               | None -> None))
       | _ -> None)
     program.Rule.annotations
+
+(** Strict [(predicate, facts loaded)] view of {!load_inputs_report} —
+    the historical API. *)
+let load_inputs (program : Rule.program) db =
+  List.map
+    (fun r -> (r.sr_pred, r.sr_loaded))
+    (load_inputs_report program db)

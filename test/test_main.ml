@@ -1,3 +1,9 @@
+(* KGM_FAULTS=site:rate,seed=N turns the whole suite into a
+   fault-injection run: every registered site fires with the configured
+   seeded rate and the suite must still pass (CI runs it this way).
+   Tests that configure the registry themselves reset it first. *)
+let () = ignore (Kgm_resilience.Faults.configure_from_env ())
+
 let () =
   Alcotest.run "kgmodel"
     [ ("common", Test_common.suite);
@@ -7,6 +13,7 @@ let () =
       ("graphdb", Test_graphdb.suite);
       ("vadalog", Test_vadalog.suite);
       ("parallel", Test_parallel.suite);
+      ("resilience", Test_resilience.suite);
       ("metalog", Test_metalog.suite);
       ("kgmodel", Test_kgmodel.suite);
       ("ssst", Test_ssst.suite);

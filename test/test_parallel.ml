@@ -42,11 +42,28 @@ let test_pool_exception () =
      Kgm_pool.run pool
        [| (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) |]
    with
-  | exception Failure msg -> check Alcotest.string "first error" "boom" msg
+  | exception Kgm_error.Error e ->
+      check Alcotest.bool "reason stage" true (e.Kgm_error.stage = Kgm_error.Reason);
+      check Alcotest.string "message" "worker exception: Failure(\"boom\")"
+        e.Kgm_error.message;
+      check Alcotest.(option string) "chunk context" (Some "1/3")
+        (List.assoc_opt "chunk" e.Kgm_error.context);
+      check Alcotest.bool "worker context" true
+        (List.mem_assoc "worker" e.Kgm_error.context)
   | _ -> Alcotest.fail "expected the worker exception to propagate");
   (* the pool survives a failed batch *)
   check Alcotest.(list int) "reusable" [ 2; 4 ]
-    (Kgm_pool.run pool [| (fun () -> 2); (fun () -> 4) |])
+    (Kgm_pool.run pool [| (fun () -> 2); (fun () -> 4) |]);
+  (* deterministic propagation: several failures, the lowest submission
+     index wins regardless of completion schedule *)
+  match
+    Kgm_pool.run pool
+      [| (fun () -> failwith "a"); (fun () -> failwith "b"); (fun () -> 3) |]
+  with
+  | exception Kgm_error.Error e ->
+      check Alcotest.(option string) "lowest index wins" (Some "0/3")
+        (List.assoc_opt "chunk" e.Kgm_error.context)
+  | _ -> Alcotest.fail "expected the first worker error"
 
 let test_pool_inline () =
   (* size 1 spawns no domains: everything runs inline on the caller *)
