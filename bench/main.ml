@@ -750,6 +750,157 @@ let resilience () =
   say "@.results written to BENCH_resilience.json@."
 
 (* ------------------------------------------------------------------ *)
+
+(* PLAN: the cost-aware chase planner on vs off, same program, same
+   inputs. Three workloads:
+   (a) guard-first ownership reachability — the recursive rule names a
+       guard the delta does not bind first, as declarative programs
+       naturally read; unplanned evaluation scans it unbound once per
+       delta fact, the planner probes it last, bound, through a
+       prepared index (the headline probe cut);
+   (b) the EXP-6 DESCFROM star pattern through the MetaLog bridge —
+       its compiled program has a non-recursive DESCFROM stratum whose
+       empty fixpoint round the planner skips (the round cut);
+   (c) Example 4.2 control (monotonic-sum aggregate) — aggregate rules
+       are excluded from planning, so this is the no-regression
+       control: identical counters expected either way.
+   Correctness bar: outputs bit-for-bit identical planner-on vs -off at
+   jobs 1 and 2. KGM_BENCH_N overrides the instance size. *)
+let planner_bench () =
+  header "PLAN | cost-aware chase planner: on vs off";
+  let module V = Kgm_vadalog in
+  let n =
+    match Option.bind (Sys.getenv_opt "KGM_BENCH_N") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 2_000
+  in
+  let opts ~planner ~jobs = { V.Engine.default_options with planner; jobs } in
+  let canon db =
+    List.map (fun p -> (p, V.Database.facts db p)) (V.Database.predicates db)
+  in
+  let probes (s : V.Engine.stats) =
+    List.fold_left
+      (fun a (r : V.Engine.rule_stats) -> a + r.V.Engine.rs_probes)
+      0 s.V.Engine.per_rule
+  in
+  say
+    "planner on vs off on %d-company instances; \"identical\" compares@.\
+     the full fact store (every predicate, insertion order) across@.\
+     planner on/off at jobs 1 and 2.@.@."
+    n;
+  say "%22s | %11s | %11s | %9s | %9s | %6s | %5s@." "workload" "probes off"
+    "probes on" "off s" "on s" "rounds" "ident";
+  say "%s@." (String.make 88 '-');
+  let rows = ref [] in
+  let report name (runs : (V.Engine.stats * _ * float) list) =
+    match runs with
+    | [ (s_on1, c_on1, t_on); (s_off1, c_off1, t_off); (_, c_on2, _);
+        (_, c_off2, _) ] ->
+        let identical = c_on1 = c_off1 && c_on1 = c_on2 && c_on1 = c_off2 in
+        let p_on = probes s_on1 and p_off = probes s_off1 in
+        let reduction =
+          float_of_int (p_off - p_on) /. float_of_int (max 1 p_off) *. 100.
+        in
+        say "%22s | %11d | %11d | %9.3f | %9.3f | %2d/%2d | %5b@." name p_off
+          p_on t_off t_on s_on1.V.Engine.rounds s_off1.V.Engine.rounds
+          identical;
+        rows :=
+          ( name, s_on1.V.Engine.rounds, s_off1.V.Engine.rounds, p_on, p_off,
+            reduction, t_on, t_off, identical )
+          :: !rows
+    | _ -> assert false
+  in
+  (* (a) guard-first reachability over chains of depth 20 *)
+  let chains = max 1 (n / 20) and len = 20 in
+  let reach_prog =
+    let buf = Buffer.create (n * 24) in
+    for c = 0 to chains - 1 do
+      for i = 0 to len - 1 do
+        let v = (c * len) + i in
+        Buffer.add_string buf (Printf.sprintf "company(%d). " v);
+        if i < len - 1 then
+          Buffer.add_string buf (Printf.sprintf "own(%d, %d, 0.6). " v (v + 1))
+      done
+    done;
+    Buffer.add_string buf
+      "reach(X, Y) :- company(X), own(X, Y, W), company(Y), W > 0.0. \
+       reach(X, Z) :- company(Z), reach(X, Y), own(Y, Z, W), W > 0.0.";
+    V.Parser.parse_program (Buffer.contents buf)
+  in
+  report "reach-guard-first"
+    (List.map
+       (fun (planner, jobs) ->
+         let (db, s), t =
+           time (fun () ->
+               V.Engine.run_program ~options:(opts ~planner ~jobs) reach_prog)
+         in
+         (s, canon db, t))
+       [ (true, 1); (false, 1); (true, 2); (false, 2) ]);
+  (* (b) EXP-6 star: recursive mtv closure + non-recursive DESCFROM *)
+  report "exp6-descfrom-star"
+    (List.map
+       (fun (planner, jobs) ->
+         let dict = Kgmodel.Dictionary.create () in
+         let sid = Kgmodel.Dictionary.store dict (chain_schema 16) in
+         let (nodes, edges, s), t =
+           time (fun () ->
+               Kgm_metalog.Pg_bridge.reason_on_graph
+                 ~options:(opts ~planner ~jobs) (descfrom_program sid)
+                 (Kgmodel.Dictionary.graph dict))
+         in
+         (s, (nodes, edges, s.V.Engine.new_facts, s.V.Engine.nulls_invented), t))
+       [ (true, 1); (false, 1); (true, 2); (false, 2) ]);
+  (* (c) Example 4.2 control: the aggregate rule is never replanned *)
+  let control_prog =
+    let buf = Buffer.create (n * 24) in
+    for c = 0 to chains - 1 do
+      for i = 0 to len - 1 do
+        let v = (c * len) + i in
+        Buffer.add_string buf (Printf.sprintf "company(%d). " v);
+        if i < len - 1 then
+          Buffer.add_string buf (Printf.sprintf "own(%d, %d, 0.6). " v (v + 1))
+      done
+    done;
+    Buffer.add_string buf
+      "controls(X, X) :- company(X). \
+       controls(X, Y) :- controls(X, Z), own(Z, Y, W), V = sum(W, <Z>), \
+       V > 0.5.";
+    V.Parser.parse_program (Buffer.contents buf)
+  in
+  report "control-aggregate"
+    (List.map
+       (fun (planner, jobs) ->
+         let (db, s), t =
+           time (fun () ->
+               V.Engine.run_program ~options:(opts ~planner ~jobs) control_prog)
+         in
+         (s, canon db, t))
+       [ (true, 1); (false, 1); (true, 2); (false, 2) ]);
+  let rows = List.rev !rows in
+  say
+    "@.Shape check: identical everywhere; probes_on <= probes_off with@.\
+     >= 30%% cut on reach-guard-first; rounds_on <= rounds_off with a@.\
+     strict cut on exp6-descfrom-star (skipped non-recursive strata).@.";
+  let oc = open_out "BENCH_planner.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"chase-planner\",\n  \"n\": %d,\n" n;
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i
+         (name, rounds_on, rounds_off, p_on, p_off, reduction, t_on, t_off,
+          identical) ->
+      p
+        "    { \"name\": \"%s\", \"rounds_on\": %d, \"rounds_off\": %d, \
+         \"probes_on\": %d, \"probes_off\": %d, \"probe_reduction_pct\": \
+         %.2f, \"on_s\": %.6f, \"off_s\": %.6f, \"identical\": %b }%s\n"
+        name rounds_on rounds_off p_on p_off reduction t_on t_off identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  say "@.results written to BENCH_planner.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let bechamel_table () =
@@ -842,7 +993,7 @@ let all =
     ("exp5", exp5); ("exp6", exp6); ("exp7", exp7); ("exp8", exp8);
     ("exp9", exp9); ("abl1", abl1); ("abl2", abl2); ("abl3", abl3);
     ("abl4", abl4); ("parallel", parallel); ("resilience", resilience);
-    ("bechamel", bechamel_table) ]
+    ("planner", planner_bench); ("bechamel", bechamel_table) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -275,8 +275,24 @@ let reason_cmd =
              ~doc:"Skip malformed @input rows (wrong arity, unparsable \
                    value) with a warning instead of failing.")
   in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the chase plan (strata in execution order, join \
+                   order per recursive rule and delta literal) computed \
+                   over the loaded input facts, then exit without \
+                   running the chase.")
+  in
+  let no_planner =
+    Arg.(value & flag
+         & info [ "no-planner" ]
+             ~doc:"Disable cost-aware chase planning (stratum-round \
+                   skipping, selectivity-ordered joins, delta-side \
+                   indexes). Output facts are identical either way; only \
+                   probe counts and wall time change.")
+  in
   let run file query trace metrics jobs deadline ck_dir ck_every resume
-      on_limit lenient =
+      on_limit lenient explain no_planner =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
         let cancel = install_sigint () in
@@ -301,8 +317,21 @@ let reason_cmd =
         let options =
           { (options_for_jobs jobs) with
             Kgm_vadalog.Engine.deadline_s = deadline;
-            on_limit = `Partial }
+            on_limit = `Partial;
+            planner = not no_planner }
         in
+        if explain then begin
+          (* the engine loads inline facts itself; mirror that here so
+             the report sees the same cardinalities a run would start
+             from *)
+          List.iter
+            (fun (pred, args) ->
+              ignore (Kgm_vadalog.Database.add db pred (Array.of_list args)))
+            program.Kgm_vadalog.Rule.facts;
+          Kgm_vadalog.Engine.pp_plan_report ~options Format.std_formatter
+            program db;
+          exit 0
+        end;
         let checkpoint =
           Option.map
             (fun dir -> Kgm_vadalog.Engine.checkpoint ~every:ck_every dir)
@@ -343,7 +372,7 @@ let reason_cmd =
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
     Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg
           $ deadline_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ on_limit_arg $ lenient)
+          $ resume_arg $ on_limit_arg $ lenient $ explain $ no_planner)
 
 let stats_cmd =
   let n =

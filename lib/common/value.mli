@@ -31,6 +31,10 @@ val hash : t -> int
     hint. *)
 module Hashed : Hashtbl.HashedType with type t = t
 
+module Hashed_array : Hashtbl.HashedType with type t = t array
+(** Value tuples as arrays, pointwise {!equal} — probe fact-keyed tables
+    with the fact itself instead of allocating a list key. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

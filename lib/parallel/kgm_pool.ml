@@ -91,8 +91,11 @@ let reraise_wrapped ~chunk ~of_ ~worker_id (e, bt) =
   Printexc.raise_with_backtrace wrapped bt
 
 (* The caller's domain helps drain the queue, then blocks until every
-   task of this batch (including ones stolen by workers) has finished. *)
-let run (type a) pool (thunks : (unit -> a) array) : a list =
+   task of this batch (including ones stolen by workers) has finished.
+   [enqueue] lists the submission indices in the order they enter the
+   shared queue — the scheduling knob. Results (and the error contract)
+   stay in submission order whatever [enqueue] says. *)
+let run_scheduled (type a) pool ~enqueue (thunks : (unit -> a) array) : a list =
   let n = Array.length thunks in
   if n = 0 then []
   else if pool.domains = [] then
@@ -130,9 +133,7 @@ let run (type a) pool (thunks : (unit -> a) array) : a list =
       Mutex.unlock pool.mutex
     in
     Mutex.lock pool.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (task i) pool.queue
-    done;
+    Array.iter (fun i -> Queue.add (task i) pool.queue) enqueue;
     Condition.broadcast pool.nonempty;
     Mutex.unlock pool.mutex;
     let rec help () =
@@ -159,6 +160,25 @@ let run (type a) pool (thunks : (unit -> a) array) : a list =
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end
+
+let run pool thunks =
+  run_scheduled pool ~enqueue:(Array.init (Array.length thunks) Fun.id) thunks
+
+(* Longest-processing-time-first: starting the heavy tasks early shrinks
+   the tail where one straggler runs alone while the other workers idle.
+   Pure scheduling — the result list (and the error choice) is the same
+   as [run]'s for independent tasks. *)
+let run_weighted pool ~weights thunks =
+  let n = Array.length thunks in
+  if Array.length weights <> n then
+    invalid_arg "Kgm_pool.run_weighted: weights/thunks length mismatch";
+  let enqueue = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Int.compare weights.(j) weights.(i) in
+      if c <> 0 then c else Int.compare i j)
+    enqueue;
+  run_scheduled pool ~enqueue thunks
 
 let parallel_chunks pool items ~chunk_size f =
   let chunk_size = max 1 chunk_size in

@@ -35,6 +35,15 @@ val run : pool -> (unit -> 'a) array -> 'a list
 (** Execute every thunk (concurrently when the pool has workers) and
     return the results in submission order. *)
 
+val run_weighted : pool -> weights:int array -> (unit -> 'a) array -> 'a list
+(** Like {!run}, but tasks enter the shared queue heaviest-first
+    ([weights.(i)] descending, submission index breaking ties), so
+    long-running tasks start early instead of serializing the batch
+    tail. Pure scheduling: for independent tasks the results (and the
+    error contract) are exactly {!run}'s. The inline [size = 1] path
+    ignores the weights and runs in submission order. Raises
+    [Invalid_argument] when the arrays' lengths differ. *)
+
 val parallel_chunks : pool -> 'a array -> chunk_size:int -> ('a array -> 'b) -> 'b list
 (** [parallel_chunks pool items ~chunk_size f] splits [items] into
     consecutive chunks of [chunk_size] (the last may be shorter), maps

@@ -23,6 +23,7 @@ type t = {
   edges : dep_edge list;
   strata : string list list;   (** bottom-up; each stratum is a pred set *)
   stratum_of : int SMap.t;
+  recursive : bool array;      (** per stratum: SCC has an internal edge *)
 }
 
 let head_preds (r : Rule.rule) = List.map (fun (a : Rule.atom) -> a.Rule.pred) r.head
@@ -165,7 +166,16 @@ let stratify (p : Rule.program) =
       (0, SMap.empty) strata
     |> snd
   in
-  { preds; edges; strata; stratum_of }
+  (* a stratum's SCC is recursive iff it has an internal edge: a
+     self-loop, or a component of more than one predicate *)
+  let comp_recursive = Array.make nc false in
+  List.iter
+    (fun e ->
+      let c = comp_of e.from_pred in
+      if c = comp_of e.to_pred then comp_recursive.(c) <- true)
+    edges;
+  let recursive = Array.of_list (List.map (fun c -> comp_recursive.(c)) order) in
+  { preds; edges; strata; stratum_of; recursive }
 
 let is_recursive_program (p : Rule.program) =
   let preds = all_preds p in

@@ -22,6 +22,11 @@ type t = {
   edges : dep_edge list;
   strata : string list list;  (** bottom-up predicate groups *)
   stratum_of : int SMap.t;
+  recursive : bool array;
+      (** [recursive.(s)]: stratum [s]'s SCC has an internal dependency
+          edge (a self-loop or a component of several predicates), so
+          its fixpoint needs delta rounds; a non-recursive stratum is
+          complete after one round. *)
 }
 
 val dependency_edges : Rule.program -> dep_edge list

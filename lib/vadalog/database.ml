@@ -2,11 +2,18 @@
     lazily built hash indexes on bound-position patterns.
 
     The dedup set and the indexes are functorized over
-    {!Kgm_common.Value.Hashed}: keying them on structural [( = )] /
-    [Hashtbl.hash] would make a fact containing [Float nan] never equal
-    itself (so every round re-inserts it — a non-termination risk for
-    recursive rules over float aggregates) and would distinguish [Id]s
-    by their cosmetic hint.
+    {!Kgm_common.Value.Hashed_array} / {!Kgm_common.Value.Hashed}: keying
+    them on structural [( = )] / [Hashtbl.hash] would make a fact
+    containing [Float nan] never equal itself (so every round re-inserts
+    it — a non-termination risk for recursive rules over float
+    aggregates) and would distinguish [Id]s by their cosmetic hint.
+
+    Facts live in per-predicate append-order buffers (doubling arrays),
+    so insertion order is the storage order: probes and {!facts} never
+    reverse a list, and every fact carries an insertion sequence number
+    that the engine uses as a deterministic sort key. The dedup table is
+    keyed on the [Value.t array] fact itself — no list key is allocated
+    per {!add}/{!mem} probe.
 
     For the parallel chase the store can be {!freeze}-frozen: a frozen
     database rejects writes and never mutates on {!lookup} (a missing
@@ -19,8 +26,6 @@ open Kgm_common
 
 type fact = Value.t array
 
-let fact_key (f : fact) = Array.to_list f
-
 (* Hashing/equality of fact keys must agree with Value.equal, not with
    structural equality — see the module comment. *)
 module Key = struct
@@ -31,12 +36,26 @@ module Key = struct
 end
 
 module KeyTbl = Hashtbl.Make (Key)
+module FactTbl = Hashtbl.Make (Value.Hashed_array)
+
+(* Growable array of ascending insertion sequences (index postings). *)
+type postings = { mutable p_seq : int array; mutable p_len : int }
+
+let postings_add ps seq =
+  if ps.p_len = Array.length ps.p_seq then begin
+    let cap = max 8 (2 * ps.p_len) in
+    let a = Array.make cap 0 in
+    Array.blit ps.p_seq 0 a 0 ps.p_len;
+    ps.p_seq <- a
+  end;
+  ps.p_seq.(ps.p_len) <- seq;
+  ps.p_len <- ps.p_len + 1
 
 type pred_store = {
-  mutable facts : fact list;                     (* reverse insertion order *)
+  mutable arr : fact array;  (* arr.(0 .. count-1) in insertion order *)
   mutable count : int;
-  set : unit KeyTbl.t;
-  indexes : (int list, fact list ref KeyTbl.t) Hashtbl.t;
+  seqs : int FactTbl.t;      (* dedup set: fact -> insertion sequence *)
+  indexes : (int list, postings KeyTbl.t) Hashtbl.t;
 }
 
 type t = {
@@ -52,7 +71,7 @@ let store t pred =
   | Some s -> s
   | None ->
       let s =
-        { facts = []; count = 0; set = KeyTbl.create 256; indexes = Hashtbl.create 4 }
+        { arr = [||]; count = 0; seqs = FactTbl.create 256; indexes = Hashtbl.create 4 }
       in
       Hashtbl.add t.preds pred s;
       s
@@ -65,13 +84,26 @@ let index_key positions fact =
   if List.exists (fun i -> i >= n) positions then None
   else Some (List.map (fun i -> fact.(i)) positions)
 
-let index_insert idx positions fact =
+let index_insert idx positions fact seq =
   match index_key positions fact with
   | None -> ()
   | Some k -> (
       match KeyTbl.find_opt idx k with
-      | Some l -> l := fact :: !l
-      | None -> KeyTbl.add idx k (ref [ fact ]))
+      | Some ps -> postings_add ps seq
+      | None ->
+          let ps = { p_seq = Array.make 8 0; p_len = 0 } in
+          postings_add ps seq;
+          KeyTbl.add idx k ps)
+
+let buffer_append s fact =
+  if s.count = Array.length s.arr then begin
+    let cap = max 16 (2 * s.count) in
+    let a = Array.make cap [||] in
+    Array.blit s.arr 0 a 0 s.count;
+    s.arr <- a
+  end;
+  s.arr.(s.count) <- fact;
+  s.count <- s.count + 1
 
 (** [add t pred fact] returns [true] when the fact is new. *)
 let add t pred fact =
@@ -81,26 +113,25 @@ let add t pred fact =
      injection is off) *)
   Kgm_resilience.Faults.inject "db_insert";
   let s = store t pred in
-  let k = fact_key fact in
-  if KeyTbl.mem s.set k then false
+  if FactTbl.mem s.seqs fact then false
   else begin
-    KeyTbl.add s.set k ();
-    s.facts <- fact :: s.facts;
-    s.count <- s.count + 1;
+    let seq = s.count in
+    FactTbl.add s.seqs fact seq;
+    buffer_append s fact;
     t.total <- t.total + 1;
-    Hashtbl.iter (fun positions idx -> index_insert idx positions fact) s.indexes;
+    Hashtbl.iter (fun positions idx -> index_insert idx positions fact seq) s.indexes;
     true
   end
 
 let mem t pred fact =
   match Hashtbl.find_opt t.preds pred with
-  | Some s -> KeyTbl.mem s.set (fact_key fact)
+  | Some s -> FactTbl.mem s.seqs fact
   | None -> false
 
 let facts t pred =
   match Hashtbl.find_opt t.preds pred with
-  | Some s -> List.rev s.facts
   | None -> []
+  | Some s -> List.init s.count (fun i -> s.arr.(i))
 
 let count t pred =
   match Hashtbl.find_opt t.preds pred with Some s -> s.count | None -> 0
@@ -112,7 +143,9 @@ let predicates t =
 
 let build_index s positions =
   let idx = KeyTbl.create (max 64 s.count) in
-  List.iter (fun f -> index_insert idx positions f) s.facts;
+  for i = 0 to s.count - 1 do
+    index_insert idx positions s.arr.(i) i
+  done;
   Hashtbl.add s.indexes positions idx;
   idx
 
@@ -127,44 +160,86 @@ let prepare_index t pred positions =
     | Some s ->
         if not (Hashtbl.mem s.indexes positions) then ignore (build_index s positions)
 
-(** Facts whose values at [positions] equal [key]. Builds (and then
-    maintains) a hash index for the position pattern on first use; an
-    empty pattern is a full scan. On a frozen database a missing index
-    is answered by a linear scan instead (no mutation). *)
-let lookup t pred positions key =
+let indexed_patterns t pred =
   match Hashtbl.find_opt t.preds pred with
   | None -> []
   | Some s ->
-      if positions = [] then List.rev s.facts
+      Hashtbl.fold (fun positions _ acc -> positions :: acc) s.indexes []
+      |> List.sort compare
+
+(** [iter_matches t pred positions key f] calls [f seq fact] for every
+    fact whose values at [positions] equal [key], in ascending insertion
+    order ([seq] is the fact's per-predicate insertion sequence). Same
+    index semantics as {!lookup}, without allocating a result list.
+    Returns the number of facts {e examined} to produce the matches: the
+    index-group length when an index serves the probe (or is built, when
+    the store is unfrozen), but the whole predicate on the frozen
+    missing-index path, where the probe degrades to a linear scan — the
+    honest probe cost the engine's [rs_probes] counter reports. *)
+let iter_matches t pred positions key f =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> 0
+  | Some s ->
+      if positions = [] then begin
+        for i = 0 to s.count - 1 do
+          f i s.arr.(i)
+        done;
+        s.count
+      end
       else begin
         match Hashtbl.find_opt s.indexes positions with
         | Some idx -> (
             match KeyTbl.find_opt idx key with
-            | Some l -> List.rev !l
-            | None -> [])
+            | Some ps ->
+                for i = 0 to ps.p_len - 1 do
+                  let seq = ps.p_seq.(i) in
+                  f seq s.arr.(seq)
+                done;
+                ps.p_len
+            | None -> 0)
         | None ->
-            if t.frozen then
-              List.rev
-                (List.filter
-                   (fun f ->
-                     match index_key positions f with
-                     | Some k -> Key.equal k key
-                     | None -> false)
-                   s.facts)
+            if t.frozen then begin
+              for i = 0 to s.count - 1 do
+                match index_key positions s.arr.(i) with
+                | Some k when Key.equal k key -> f i s.arr.(i)
+                | _ -> ()
+              done;
+              s.count
+            end
             else begin
               let idx = build_index s positions in
               match KeyTbl.find_opt idx key with
-              | Some l -> List.rev !l
-              | None -> []
+              | Some ps ->
+                  for i = 0 to ps.p_len - 1 do
+                    let seq = ps.p_seq.(i) in
+                    f seq s.arr.(seq)
+                  done;
+                  ps.p_len
+              | None -> 0
             end
       end
+
+(** Facts whose values at [positions] equal [key], in insertion order.
+    Builds (and then maintains) a hash index for the position pattern on
+    first use; an empty pattern is a full scan. On a frozen database a
+    missing index is answered by a linear scan instead (no mutation). *)
+let lookup t pred positions key =
+  let acc = ref [] in
+  ignore (iter_matches t pred positions key (fun _ f -> acc := f :: !acc));
+  List.rev !acc
 
 let copy t =
   let t' = create () in
   Hashtbl.iter
     (fun pred s ->
-      List.iter (fun f -> ignore (add t' pred (Array.copy f))) (List.rev s.facts))
+      for i = 0 to s.count - 1 do
+        ignore (add t' pred (Array.copy s.arr.(i)))
+      done;
+      (* carry the source's index patterns over: a frozen copy could
+         otherwise never build them and would linear-scan every probe *)
+      Hashtbl.iter (fun positions _ -> prepare_index t' pred positions) s.indexes)
     t.preds;
+  t'.frozen <- t.frozen;
   t'
 
 let pp ppf t =

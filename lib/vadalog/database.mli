@@ -19,16 +19,19 @@ val create : unit -> t
 
 val add : t -> string -> fact -> bool
 (** [add db pred fact] inserts and returns [true] when the fact is new.
-    Existing indexes on the predicate are maintained incrementally.
-    Registered as the ["db_insert"] {!Kgm_resilience.Faults} site: with
-    fault injection active it may raise [Kgm_resilience.Fault], which
-    lands mid-round — the crash the checkpoint/resume tests provoke. *)
+    Facts are stored in append order and the dedup probe is keyed on the
+    fact array itself (no per-probe key allocation). Existing indexes on
+    the predicate are maintained incrementally. Registered as the
+    ["db_insert"] {!Kgm_resilience.Faults} site: with fault injection
+    active it may raise [Kgm_resilience.Fault], which lands mid-round —
+    the crash the checkpoint/resume tests provoke. *)
 
 val mem : t -> string -> fact -> bool
 
 val facts : t -> string -> fact list
-(** Facts of a predicate in insertion order; [[]] for unknown
-    predicates. *)
+(** Facts of a predicate in insertion order — the order {!add} first
+    accepted them, which every probe and export preserves (the engine's
+    determinism invariants depend on it); [[]] for unknown predicates. *)
 
 val count : t -> string -> int
 val total : t -> int
@@ -38,11 +41,26 @@ val predicates : t -> string list
 
 val lookup : t -> string -> int list -> Value.t list -> fact list
 (** [lookup db pred positions key]: the facts whose values at
-    [positions] (ascending) equal [key] pointwise. Builds a hash index
-    for the position pattern on first use; the empty pattern is a full
-    scan. Facts too short for the pattern never match. On a
-    {!freeze}-frozen database a missing index is answered by a linear
-    scan instead of being built (no mutation). *)
+    [positions] (ascending) equal [key] pointwise, in insertion order.
+    Builds a hash index for the position pattern on first use; the empty
+    pattern is a full scan. Facts too short for the pattern never match.
+    On a {!freeze}-frozen database a missing index is answered by a
+    linear scan instead of being built (no mutation). *)
+
+val iter_matches :
+  t -> string -> int list -> Value.t list -> (int -> fact -> unit) -> int
+(** [iter_matches db pred positions key f] calls [f seq fact] on exactly
+    the facts {!lookup} would return, in the same (insertion) order,
+    without allocating a result list. [seq] is the fact's per-predicate
+    insertion sequence number (dense from 0), strictly ascending over
+    the calls — the engine's deterministic join-order sort key.
+
+    Returns the number of facts {e examined} to answer the probe: the
+    index-group length when an index serves it (or is built first, on an
+    unfrozen store), but the predicate's whole cardinality on the frozen
+    missing-index path, where the probe degrades to a linear scan. The
+    engine charges this to its [rs_probes] counter, so un-prepared
+    probe patterns show up as the full scans they really are. *)
 
 (** {1 Freezing (parallel read phases)}
 
@@ -64,8 +82,13 @@ val prepare_index : t -> string -> int list -> unit
     position pattern (a no-op for the empty pattern, unknown predicates
     or an already-built index). *)
 
+val indexed_patterns : t -> string -> int list list
+(** The position patterns currently indexed for a predicate, sorted. *)
+
 val copy : t -> t
-(** Deep copy (facts are copied; indexes are rebuilt lazily). *)
+(** Deep copy: facts are copied in insertion order, the source's index
+    patterns are rebuilt eagerly, and the frozen flag carries over (a
+    copy of a frozen snapshot is itself a read-only snapshot). *)
 
 val pp : Format.formatter -> t -> unit
 (** Every fact as [pred(v1, ..., vn).] lines, predicates sorted. *)

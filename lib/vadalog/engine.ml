@@ -19,6 +19,12 @@ type options = {
                                 satisfaction check (Vadalog-style
                                 termination for warded programs) *)
   reorder_body : bool;      (** ABL-4: greedy join ordering of bodies *)
+  planner : bool;           (** cost-aware chase planning: skip delta
+                                rounds of non-recursive strata, evaluate
+                                delta-round bodies in selectivity order
+                                (emission order restored by sorting, so
+                                outputs are bit-for-bit those of the
+                                unplanned engine) *)
   max_facts : int;          (** hard budget; exceeded -> Reason error *)
   max_rounds : int;
   check_wardedness : bool;  (** reject non-warded programs *)
@@ -51,6 +57,7 @@ let default_options =
     restricted_chase = true;
     isomorphic_nulls = true;
     reorder_body = false;
+    planner = true;
     max_facts = 5_000_000;
     max_rounds = 1_000_000;
     check_wardedness = false;
@@ -536,6 +543,46 @@ let term_value env = function
   | Term.Const v -> Some v
   | Term.Var x -> env_lookup env x
 
+(* The per-round delta a rule evaluation ranges over, with a lazily
+   built hash index per (arity, bound-positions) pattern. A probe's
+   group holds exactly the facts the old linear filter (arity guard
+   first, then pointwise equality at the bound positions) would have
+   kept, in the same chronological order — probe counters and match
+   order are unchanged, only the per-probe scan of the whole delta goes
+   away. Each entry carries the fact's index within the round's delta,
+   the delta component of the emission-order sort key. *)
+type delta_group = {
+  dg_facts : (int * Database.fact) list;  (* (delta index, fact), chronological *)
+  dg_cache : (int * int list, (int * Database.fact) list ref KeyTbl.t) Hashtbl.t;
+}
+
+let delta_group ?(offset = 0) facts =
+  { dg_facts = List.mapi (fun i f -> (offset + i, f)) facts;
+    dg_cache = Hashtbl.create 4 }
+
+let dg_lookup dg ~arity positions key =
+  let ck = (arity, positions) in
+  let tbl =
+    match Hashtbl.find_opt dg.dg_cache ck with
+    | Some t -> t
+    | None ->
+        let t = KeyTbl.create 32 in
+        List.iter
+          (fun ((_, f) as entry) ->
+            if Array.length f = arity then begin
+              (* positions all < arity: they index a literal of this arity *)
+              let k = List.map (fun i -> f.(i)) positions in
+              match KeyTbl.find_opt t k with
+              | Some r -> r := entry :: !r
+              | None -> KeyTbl.add t k (ref [ entry ])
+            end)
+          dg.dg_facts;
+        KeyTbl.iter (fun _ r -> r := List.rev !r) t;
+        Hashtbl.add dg.dg_cache ck t;
+        t
+  in
+  match KeyTbl.find_opt tbl key with Some r -> !r | None -> []
+
 (* Enumerate facts matching atom under env; call k for each extension. *)
 let match_atom st env (a : Rule.atom) ~facts_override k =
   let args = Array.of_list a.Rule.args in
@@ -549,48 +596,41 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
         key := v :: !key
     | None -> ()
   done;
-  let candidates =
-    match facts_override with
-    | Some fl ->
-        (* delta literal: linear filter on bound positions. The arity
-           guard must come first: a same-predicate fact of another arity
-           simply does not match (indexing it at a bound position would
-           be out of bounds). *)
-        List.filter
-          (fun f ->
-            Array.length f = n
-            && List.for_all2 (fun i v -> Value.equal f.(i) v) !positions !key)
-          fl
-    | None -> Database.lookup st.db a.Rule.pred !positions !key
+  let each fact =
+    if Array.length fact = n then begin
+      let mark = env_mark env in
+      let ok = ref true in
+      (try
+         for i = 0 to n - 1 do
+           match args.(i) with
+           | Term.Const v ->
+               if not (Value.equal v fact.(i)) then raise Exit
+           | Term.Var x ->
+               (match env_lookup env x with
+                | Some v -> if not (Value.equal v fact.(i)) then raise Exit
+                | None -> env_bind env x fact.(i))
+         done
+       with Exit -> ok := false);
+      if !ok then begin
+        (match st.prov with
+         | Some _ ->
+             st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
+             k ();
+             st.fact_trail <- List.tl st.fact_trail
+         | None -> k ())
+      end;
+      env_undo env mark
+    end
   in
-  st.cur.c_probes <- st.cur.c_probes + List.length candidates;
-  List.iter
-    (fun fact ->
-      if Array.length fact = n then begin
-        let mark = env_mark env in
-        let ok = ref true in
-        (try
-           for i = 0 to n - 1 do
-             match args.(i) with
-             | Term.Const v ->
-                 if not (Value.equal v fact.(i)) then raise Exit
-             | Term.Var x ->
-                 (match env_lookup env x with
-                  | Some v -> if not (Value.equal v fact.(i)) then raise Exit
-                  | None -> env_bind env x fact.(i))
-           done
-         with Exit -> ok := false);
-        if !ok then begin
-          (match st.prov with
-           | Some _ ->
-               st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
-               k ();
-               st.fact_trail <- List.tl st.fact_trail
-           | None -> k ())
-        end;
-        env_undo env mark
-      end)
-    candidates
+  match facts_override with
+  | Some dg ->
+      let group = dg_lookup dg ~arity:n !positions !key in
+      st.cur.c_probes <- st.cur.c_probes + List.length group;
+      List.iter (fun (_, fact) -> each fact) group
+  | None ->
+      let candidates = Database.lookup st.db a.Rule.pred !positions !key in
+      st.cur.c_probes <- st.cur.c_probes + List.length candidates;
+      List.iter each candidates
 
 let ground_atom env (a : Rule.atom) =
   Array.of_list
@@ -930,26 +970,57 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
    Within a stratum, every delta round is split into (rule x delta
    chunk) work items. Workers match rule bodies against the database
    {e frozen as of the round start} and only record candidate head
-   bindings; a sequential merge phase — in (rule, literal, chunk,
-   emission) order, which is independent of both the worker count and
-   the completion schedule — re-fires each candidate against the live
-   store: dedup, the restricted-chase homomorphism check, labeled-null
-   invention, provenance and delta recording all happen there. A match
-   that the frozen snapshot misses (its facts were derived later in the
-   same round) is re-discovered through the next round's delta, so the
-   fixpoint is unchanged; rules with aggregates are order-sensitive and
-   always evaluate sequentially against the live store, at their
-   program position inside the merge sweep. *)
+   bindings; a sequential merge phase re-fires each candidate against
+   the live store: dedup, the restricted-chase homomorphism check,
+   labeled-null invention, provenance and delta recording all happen
+   there.
+
+   Merge order: each candidate carries the vector of fact insertion
+   sequences of its match, over the written positive-literal positions
+   (the delta literal contributes the fact's index within the round's
+   delta). A sequential written-order evaluation of the whole delta
+   emits matches exactly in lexicographic order of these vectors —
+   candidate lists are probed in ascending insertion order, and the
+   vector determines the match. So the merge, firing each (rule, delta
+   literal) group sorted on the vectors, reproduces that sequential
+   emission order independently of chunking, worker count, completion
+   schedule, and of the order workers actually evaluated the literals
+   in — which frees the planner to evaluate bodies most-selective-first
+   without perturbing a single output bit.
+
+   A match that the frozen snapshot misses (its facts were derived
+   later in the same round) is re-discovered through the next round's
+   delta, so the fixpoint is unchanged; rules with aggregates are
+   order-sensitive and always evaluate sequentially against the live
+   store, at their program position inside the merge sweep. *)
 
 type candidate = {
   cd_vals : Value.t array;  (* needed_vars bindings, positionally *)
+  cd_key : int array;       (* insertion-seq vector, written Pos order *)
   cd_parents : (string * Value.t array) list;  (* body-fact trail *)
 }
+
+(* lexicographic; vectors of one (rule, literal) group share a length *)
+let compare_candidates a b =
+  let ka = a.cd_key and kb = b.cd_key in
+  let n = Array.length ka in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Int.compare ka.(i) kb.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 type work_item = {
   w_prep : prepared;
   w_lit : int;                   (* index of the delta-driven literal *)
+  w_order : int list;            (* literal evaluation order (a plan, or
+                                    the written order) *)
+  w_weight : int;                (* estimated probe volume, for
+                                    heaviest-first pool scheduling *)
   w_facts : Database.fact list;  (* its delta chunk, chronological *)
+  w_offset : int;                (* chunk start within the round delta *)
 }
 
 type work_result = {
@@ -965,8 +1036,90 @@ type work_result = {
    subset of work items the workers had managed to evaluate. *)
 exception Round_aborted
 
+(* Body evaluation in plan order against the frozen store. Mirrors
+   [eval_literals]/[match_atom] exactly on what matches and what counts
+   as a probe; additionally records, per positive literal, the insertion
+   sequence of the matched fact into [keyv] (at the literal's written
+   Pos ordinal) and — when provenance is on — the matched fact into
+   [slots], from which the emit callback assembles the candidate. *)
+let eval_planned st env (prep : prepared) ~order ~delta_lit ~dg ~keyv ~pos_ord
+    ~slots ~emit =
+  let body = Array.of_list prep.rule.Rule.body in
+  let rec go = function
+    | [] -> emit ()
+    | j :: rest -> (
+        let continue () = go rest in
+        match body.(j) with
+        | Rule.Pos (a : Rule.atom) ->
+            let args = Array.of_list a.Rule.args in
+            let n = Array.length args in
+            let positions = ref [] and key = ref [] in
+            for i = n - 1 downto 0 do
+              match term_value env args.(i) with
+              | Some v ->
+                  positions := i :: !positions;
+                  key := v :: !key
+              | None -> ()
+            done;
+            let ord = pos_ord.(j) in
+            let try_fact seq fact =
+              if Array.length fact = n then begin
+                let mark = env_mark env in
+                let ok = ref true in
+                (try
+                   for i = 0 to n - 1 do
+                     match args.(i) with
+                     | Term.Const v ->
+                         if not (Value.equal v fact.(i)) then raise Exit
+                     | Term.Var x ->
+                         (match env_lookup env x with
+                          | Some v ->
+                              if not (Value.equal v fact.(i)) then raise Exit
+                          | None -> env_bind env x fact.(i))
+                   done
+                 with Exit -> ok := false);
+                if !ok then begin
+                  keyv.(ord) <- seq;
+                  (match slots with
+                   | Some sl -> sl.(ord) <- (a.Rule.pred, fact)
+                   | None -> ());
+                  go rest
+                end;
+                env_undo env mark
+              end
+            in
+            if j = delta_lit then begin
+              let group = dg_lookup dg ~arity:n !positions !key in
+              st.cur.c_probes <- st.cur.c_probes + List.length group;
+              List.iter (fun (i, f) -> try_fact i f) group
+            end
+            else
+              let examined =
+                Database.iter_matches st.db a.Rule.pred !positions !key
+                  try_fact
+              in
+              st.cur.c_probes <- st.cur.c_probes + examined
+        | Rule.Neg a ->
+            let fact = ground_atom env a in
+            if not (Database.mem st.db a.Rule.pred fact) then continue ()
+        | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
+        | Rule.Assign (x, e) ->
+            let v = Expr.eval env.tbl e in
+            (match env_lookup env x with
+             | Some v' -> if Value.equal v v' then continue ()
+             | None ->
+                 let mark = env_mark env in
+                 env_bind env x v;
+                 continue ();
+                 env_undo env mark)
+        | Rule.Agg _ ->
+            Kgm_error.reason_error "aggregate rule on the worker pool (engine bug)")
+  in
+  go order
+
 (* Runs on a worker domain: read-only on the frozen database, all
-   mutable state (env, counters, trail) is local to the item. *)
+   mutable state (env, counters, trail, delta index) is local to the
+   item. *)
 let eval_work_item (main : run_state) (w : work_item) : work_result =
   let t0 = Kgm_telemetry.Clock.now () in
   let ctr = fresh_ctr () in
@@ -979,10 +1132,30 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
       ctrs = [||]; cur = ctr; round = main.round; trip_rule = None }
   in
   let prep = w.w_prep in
+  (* written Pos ordinal of each body literal: the slot its matched
+     fact's insertion sequence occupies in the sort-key vector *)
+  let body = prep.rule.Rule.body in
+  let pos_ord = Array.make (List.length body) (-1) in
+  let n_pos = ref 0 in
+  List.iteri
+    (fun i lit ->
+      match lit with
+      | Rule.Pos _ ->
+          pos_ord.(i) <- !n_pos;
+          incr n_pos
+      | _ -> ())
+    body;
+  let keyv = Array.make (max 1 !n_pos) 0 in
+  let slots =
+    match main.prov with
+    | Some _ -> Some (Array.make (max 1 !n_pos) ("", [||]))
+    | None -> None
+  in
+  let dg = delta_group ~offset:w.w_offset w.w_facts in
   let buf = ref [] in
   let env = env_create () in
-  eval_literals st env prep prep.rule.Rule.body 0
-    ~delta:(Some (w.w_lit, w.w_facts))
+  eval_planned st env prep ~order:w.w_order ~delta_lit:w.w_lit ~dg ~keyv
+    ~pos_ord ~slots
     ~emit:(fun () ->
       let vals =
         Array.map
@@ -992,7 +1165,14 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
             | None -> Kgm_error.reason_error "unbound head variable %s" v)
           prep.needed_vars
       in
-      buf := { cd_vals = vals; cd_parents = st.fact_trail } :: !buf);
+      let parents =
+        match slots with
+        | Some sl -> Array.fold_left (fun acc s -> s :: acc) [] sl
+        | None -> []
+      in
+      buf :=
+        { cd_vals = vals; cd_key = Array.copy keyv; cd_parents = parents }
+        :: !buf);
   { wr_cands = List.rev !buf; wr_probes = ctr.c_probes;
     wr_time = Kgm_telemetry.Clock.now () -. t0 }
 
@@ -1009,8 +1189,14 @@ let fire_candidate st env (prep : prepared) cand ~on_new =
 let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
     ~current ~on_new =
   (* 1. deterministic (rule, literal, chunk) work-item order; results
-     are chunking-invariant, so the chunk size is free to follow the
-     pool size for load balancing *)
+     are chunking-invariant (the merge sorts each (rule, literal) group
+     on insertion-seq vectors), so the chunk size is free to follow the
+     pool size for load balancing. One body plan per (rule, delta
+     literal), recomputed here from the live cardinalities of this
+     round boundary; with the planner off every item evaluates in
+     written order. *)
+  let planner_on = st.opts.planner in
+  let plans : (int * int, Planner.plan) Hashtbl.t = Hashtbl.create 16 in
   let items = ref [] in
   List.iter
     (fun (prep : prepared) ->
@@ -1023,15 +1209,25 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
                 | Some fl ->
                     let facts = Array.of_list (List.rev !fl) in
                     let len = Array.length facts in
+                    let plan =
+                      if planner_on then
+                        Planner.plan_rule
+                          ~count:(fun p -> Database.count st.db p)
+                          ~delta_lit:i prep.rule
+                      else Planner.written ~delta_lit:i prep.rule
+                    in
+                    Hashtbl.replace plans (prep.rule_id, i) plan;
                     let chunk = Kgm_pool.chunk_size_for pool ~len in
                     let n_chunks = (len + chunk - 1) / chunk in
                     for c = 0 to n_chunks - 1 do
                       let lo = c * chunk in
+                      let sz = min chunk (len - lo) in
                       items :=
                         { w_prep = prep; w_lit = i;
-                          w_facts =
-                            Array.to_list
-                              (Array.sub facts lo (min chunk (len - lo))) }
+                          w_order = plan.Planner.order;
+                          w_weight = plan.Planner.cost * sz;
+                          w_facts = Array.to_list (Array.sub facts lo sz);
+                          w_offset = lo }
                         :: !items
                     done
                 | None -> ())
@@ -1039,6 +1235,16 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
           prep.rule.Rule.body)
     rules;
   let items = Array.of_list (List.rev !items) in
+  if Kgm_telemetry.enabled st.tele && Hashtbl.length plans > 0 then begin
+    Kgm_telemetry.count st.tele ~by:(Hashtbl.length plans) "planner.plans";
+    let reordered =
+      Hashtbl.fold
+        (fun _ (p : Planner.plan) n -> if p.Planner.reordered then n + 1 else n)
+        plans 0
+    in
+    if reordered > 0 then
+      Kgm_telemetry.count st.tele ~by:reordered "planner.plans.reordered"
+  end;
   (* 2. match on the pool against the frozen store. Each worker polls
      the cancellation token per work item; once it trips, remaining
      items are skipped (cheaply, returning no candidates) and the whole
@@ -1050,20 +1256,32 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
   let results =
     if Array.length items = 0 then []
     else begin
-      List.iter
-        (fun (prep : prepared) ->
-          if not prep.has_agg then
+      (* build exactly the indexes the items will probe: the plans'
+         patterns when planning, the written-order predictions
+         otherwise (the delta literal never probes the store) *)
+      if planner_on then
+        Hashtbl.iter
+          (fun _ (p : Planner.plan) ->
             List.iter
               (fun (pred, pat) -> Database.prepare_index st.db pred pat)
-              prep.index_patterns)
-        rules;
+              p.Planner.patterns)
+          plans
+      else
+        List.iter
+          (fun (prep : prepared) ->
+            if not prep.has_agg then
+              List.iter
+                (fun (pred, pat) -> Database.prepare_index st.db pred pat)
+                prep.index_patterns)
+          rules;
       Database.freeze st.db;
       let t0 = Kgm_telemetry.Clock.now () in
       let results =
         Fun.protect
           ~finally:(fun () -> Database.thaw st.db)
           (fun () ->
-            Kgm_pool.run pool
+            Kgm_pool.run_weighted pool
+              ~weights:(Array.map (fun w -> w.w_weight) items)
               (Array.map
                  (fun w () ->
                    if tok_status () <> `Ok then begin
@@ -1094,14 +1312,17 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
   List.iter
     (fun (prep : prepared) ->
       if prep.has_agg then
-        (* order-sensitive: evaluate directly against the live store *)
+        (* order-sensitive: evaluate directly against the live store, in
+           written order (the delta still probes through a hash index) *)
         List.iteri
           (fun i lit ->
             match lit with
             | Rule.Pos (a : Rule.atom) -> (
                 match Hashtbl.find_opt current a.Rule.pred with
                 | Some fl ->
-                    eval_rule st prep ~delta:(Some (i, List.rev !fl)) ~on_new
+                    eval_rule st prep
+                      ~delta:(Some (i, delta_group (List.rev !fl)))
+                      ~on_new
                 | None -> ())
             | _ -> ())
           prep.rule.Rule.body
@@ -1111,14 +1332,30 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
         let t0 = Kgm_telemetry.Clock.now () in
         let before = st.added in
         let env = env_create () in
-        List.iter
-          (fun ((w : work_item), (r : work_result)) ->
-            if w.w_prep.rule_id = prep.rule_id then begin
-              ctr.c_probes <- ctr.c_probes + r.wr_probes;
-              ctr.c_time <- ctr.c_time +. r.wr_time;
-              List.iter (fun c -> fire_candidate st env prep c ~on_new) r.wr_cands
-            end)
-          pairs;
+        (* per delta literal (ascending): gather every chunk's
+           candidates and fire them sorted on the insertion-seq vectors
+           — the written-order emission sequence over the whole round
+           delta, independent of chunking and of the evaluation plan *)
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Rule.Pos _ ->
+                let cands = ref [] in
+                List.iter
+                  (fun ((w : work_item), (r : work_result)) ->
+                    if w.w_prep.rule_id = prep.rule_id && w.w_lit = i then begin
+                      ctr.c_probes <- ctr.c_probes + r.wr_probes;
+                      ctr.c_time <- ctr.c_time +. r.wr_time;
+                      cands := List.rev_append r.wr_cands !cands
+                    end)
+                  pairs;
+                if !cands <> [] then begin
+                  let arr = Array.of_list !cands in
+                  Array.sort compare_candidates arr;
+                  Array.iter (fun c -> fire_candidate st env prep c ~on_new) arr
+                end
+            | _ -> ())
+          prep.rule.Rule.body;
         let t1 = Kgm_telemetry.Clock.now () in
         ctr.c_time <- ctr.c_time +. (t1 -. t0);
         if Kgm_telemetry.enabled st.tele then begin
@@ -1286,6 +1523,16 @@ let run ?(options = default_options) ?provenance
       0 prep.rule.Rule.head
   in
   let n_strata = List.length analysis.Analysis.strata in
+  if Kgm_telemetry.enabled telemetry && options.planner then begin
+    Kgm_telemetry.count telemetry ~by:n_strata "planner.strata";
+    let nrec =
+      Array.fold_left
+        (fun acc r -> if r then acc + 1 else acc)
+        0 analysis.Analysis.recursive
+    in
+    if nrec > 0 then
+      Kgm_telemetry.count telemetry ~by:nrec "planner.strata.recursive"
+  end;
   let rounds = ref (match resume with Some p -> p.p_rounds | None -> 0) in
   (* per-round delta sizes, reverse chronological *)
   let deltas = ref (match resume with Some p -> p.p_deltas | None -> []) in
@@ -1407,6 +1654,25 @@ let run ?(options = default_options) ?provenance
              maybe_checkpoint ()
            end;
            let continue = ref (Hashtbl.length delta > 0) in
+           (* stratification dividend: a non-recursive stratum is an SCC
+              group with no internal dependency edge, so none of its
+              rules reads a predicate derived in this stratum — the
+              delta round could only rediscover round-0 matches. Under
+              semi-naive evaluation that round derives nothing, so skip
+              it outright. (Naive mode re-evaluates everything each
+              round and is left untouched.) *)
+           let recursive_stratum =
+             s < Array.length analysis.Analysis.recursive
+             && analysis.Analysis.recursive.(s)
+           in
+           if
+             !continue && options.planner && options.semi_naive
+             && not recursive_stratum
+           then begin
+             continue := false;
+             if Kgm_telemetry.enabled telemetry then
+               Kgm_telemetry.count telemetry "planner.rounds.skipped"
+           end;
            while !continue do
              boundary_check ();
              incr rounds;
@@ -1517,6 +1783,72 @@ let run ?(options = default_options) ?provenance
               "interrupted")
    | _ -> ());
   stats
+
+(* Human-readable planning report: what [run] would decide for
+   [program] over the current contents of [db] — the strata in
+   execution order with their recursion flags, and for every rule of a
+   recursive stratum the join order chosen for each in-stratum delta
+   literal. Cardinalities are read live from [db], so load the input
+   facts before asking for the report. *)
+let pp_plan_report ?(options = default_options) ppf (program : Rule.program) db
+    =
+  let analysis = Analysis.stratify program in
+  let stratum_of pred =
+    Option.value ~default:0
+      (Analysis.SMap.find_opt pred analysis.Analysis.stratum_of)
+  in
+  let rules =
+    List.map
+      (fun r -> if options.reorder_body then reorder_rule ~db r else r)
+      program.Rule.rules
+  in
+  let rule_stratum (r : Rule.rule) =
+    List.fold_left
+      (fun acc (a : Rule.atom) -> max acc (stratum_of a.Rule.pred))
+      0 r.Rule.head
+  in
+  let count = Database.count db in
+  List.iteri
+    (fun s preds ->
+      let recursive =
+        s < Array.length analysis.Analysis.recursive
+        && analysis.Analysis.recursive.(s)
+      in
+      Format.fprintf ppf "stratum %d%s: %s@." s
+        (if recursive then " (recursive)" else "")
+        (String.concat ", " preds);
+      List.iter
+        (fun (r : Rule.rule) ->
+          if rule_stratum r = s then begin
+            Format.fprintf ppf "  %a@." Rule.pp_rule r;
+            if not recursive then
+              Format.fprintf ppf "    single round (non-recursive stratum)@."
+            else if
+              List.exists
+                (function Rule.Agg _ -> true | _ -> false)
+                r.Rule.body
+            then
+              Format.fprintf ppf
+                "    written order (aggregate rule: emission order is \
+                 semantic)@."
+            else
+              List.iteri
+                (fun i lit ->
+                  match lit with
+                  | Rule.Pos (a : Rule.atom) when List.mem a.Rule.pred preds ->
+                      let plan =
+                        if options.planner then
+                          Planner.plan_rule ~count ~delta_lit:i r
+                        else Planner.written ~delta_lit:i r
+                      in
+                      Format.fprintf ppf "    delta %s[%d]: %a@." a.Rule.pred i
+                        (Planner.pp ~delta_lit:i r)
+                        plan
+                  | _ -> ())
+                r.Rule.body
+          end)
+        rules)
+    analysis.Analysis.strata
 
 let run_program ?options ?provenance ?telemetry ?cancel ?checkpoint ?resume_from
     program =

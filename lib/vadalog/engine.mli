@@ -29,6 +29,21 @@ type options = {
           as written, which hand-tuned programs (and the generated SSST
           mappings and views) rely on; turn on for ad-hoc queries with
           unknown selectivities (ABL-4 quantifies both sides) *)
+  planner : bool;
+      (** cost-aware chase planning (on by default). Non-recursive
+          strata (no dependency edge inside their SCC group) complete
+          after round 0, so their empty delta round is skipped; in delta
+          rounds each (rule, delta literal) body is re-planned at the
+          round boundary from live predicate cardinalities and evaluated
+          most-selective-first, probing the delta through a hash index.
+          Pure scheduling: the merge sorts complete matches back into
+          the written-order emission sequence on fact insertion
+          sequences, so derived facts, their insertion order,
+          labeled-null numbering and per-rule firing counters are
+          bit-for-bit identical with the planner off, at every [jobs]
+          value — only probe counts and wall time change. Unlike
+          [reorder_body] (a static, semantics-visible rewrite of the
+          written order), the planner never changes observable output. *)
   max_facts : int;   (** hard budget; exceeding it raises a Reason error *)
   max_rounds : int;
   check_wardedness : bool;
@@ -186,6 +201,15 @@ val run :
     histogram and [engine.*] counters (plus [resilience.*] and
     [engine.stopped.*] counters when checkpoints, retries or limit
     stops occurred). *)
+
+val pp_plan_report :
+  ?options:options -> Format.formatter -> Rule.program -> Database.t -> unit
+(** Explain what the planner would decide for [program] over the
+    current contents of the database (load the input facts first —
+    cardinalities are read live): the strata in execution order with
+    their recursion flags, and for each rule of a recursive stratum the
+    join order chosen for every in-stratum delta literal. Diagnostic
+    only; nothing is evaluated and the database is not modified. *)
 
 val run_program :
   ?options:options -> ?provenance:provenance ->

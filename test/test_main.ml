@@ -13,6 +13,7 @@ let () =
       ("graphdb", Test_graphdb.suite);
       ("vadalog", Test_vadalog.suite);
       ("parallel", Test_parallel.suite);
+      ("planner", Test_planner.suite);
       ("resilience", Test_resilience.suite);
       ("metalog", Test_metalog.suite);
       ("kgmodel", Test_kgmodel.suite);
