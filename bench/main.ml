@@ -24,7 +24,10 @@
           (writes BENCH_parallel.json; run as "parallel")
    RES    checkpoint overhead on the EXP-2 workload + crash-then-resume
           equivalence (writes BENCH_resilience.json; run as
-          "resilience") *)
+          "resilience")
+   INC    incremental maintenance (DRed) vs full re-chase, single
+          retraction + 1% insert batch, jobs x planner matrix (writes
+          BENCH_incremental.json; run as "incremental") *)
 
 open Kgm_common
 module G = Kgm_finance.Generator
@@ -901,6 +904,131 @@ let planner_bench () =
   say "@.results written to BENCH_planner.json@."
 
 (* ------------------------------------------------------------------ *)
+
+(* INC: incremental maintenance vs full re-chase on the ownership
+   reachability workload (chains of depth 20, as PLAN (a)). Two update
+   scenarios per configuration: a single mid-chain retraction (the
+   delete-and-rederive cone) and a 1% insert batch hung off the chain
+   tails (delta propagation), applied cumulatively. After every
+   maintain the maintained database is compared — canonically, labeled
+   nulls renamed — against a from-scratch chase of the updated EDB, at
+   jobs 1 and 2, planner on and off. KGM_BENCH_N overrides the instance
+   size. *)
+let incremental_bench () =
+  header "INC | incremental maintenance (DRed): update latency vs re-chase";
+  let module V = Kgm_vadalog in
+  let n =
+    match Option.bind (Sys.getenv_opt "KGM_BENCH_N") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 2_000
+  in
+  let chains = max 1 (n / 20) and len = 20 in
+  let edb =
+    List.concat
+      (List.init chains (fun c ->
+           List.concat
+             (List.init len (fun i ->
+                  let v = (c * len) + i in
+                  ("company", [ Value.Int v ])
+                  :: (if i < len - 1 then
+                        [ ("own",
+                           [ Value.Int v; Value.Int (v + 1); Value.Float 0.6 ])
+                        ]
+                      else [])))))
+  in
+  let rules =
+    V.Parser.parse_program
+      "reach(X, Y) :- company(X), own(X, Y, W), company(Y), W > 0.0. \
+       reach(X, Z) :- reach(X, Y), own(Y, Z, W), company(Z), W > 0.0."
+  in
+  let program = { rules with V.Rule.facts = edb } in
+  (* single retraction: a mid-chain edge, so half of chain 0's closure
+     dies and nothing is rederivable *)
+  let mid = len / 2 in
+  let retract1 =
+    ("own", [| Value.Int (mid - 1); Value.Int mid; Value.Float 0.6 |])
+  in
+  (* 1% insert batch: new companies hung off chain tails, so every
+     ancestor in the host chain gains a reach fact *)
+  let batch_n = max 1 (n / 100) in
+  let batch =
+    List.concat
+      (List.init batch_n (fun i ->
+           let v = (chains * len) + i in
+           let tail = ((i mod chains) * len) + len - 1 in
+           [ ("company", [| Value.Int v |]);
+             ("own", [| Value.Int tail; Value.Int v; Value.Float 0.6 |]) ]))
+  in
+  let rechase st options =
+    time (fun () ->
+        let db = V.Database.create () in
+        List.iter
+          (fun (p, f) -> ignore (V.Database.add db p f))
+          (V.Incremental.edb_facts st);
+        ignore (V.Engine.run ~options { rules with V.Rule.facts = [] } db);
+        db)
+  in
+  say
+    "%d companies in %d chains; single mid-chain retraction, then a 1%%@.\
+     insert batch (%d facts). Maintained database checked against a@.\
+     from-scratch chase of the updated EDB after every batch.@.@."
+    (chains * len) chains
+    (2 * batch_n);
+  say "%6s | %7s | %12s | %11s | %10s | %8s | %5s@." "jobs" "planner"
+    "scenario" "maintain s" "rechase s" "speedup" "equal";
+  say "%s@." (String.make 74 '-');
+  let rows = ref [] in
+  List.iter
+    (fun (jobs, planner) ->
+      let options = { V.Engine.default_options with planner; jobs } in
+      let st, _ = V.Incremental.chase ~options program in
+      let scenario name ~inserts ~retracts =
+        let u = V.Incremental.maintain st ~inserts ~retracts in
+        let db_ref, t_rechase = rechase st options in
+        let equal = V.Incremental.equal_facts (V.Incremental.db st) db_ref in
+        let speedup =
+          t_rechase /. max 1e-9 u.V.Incremental.u_elapsed_s
+        in
+        say "%6d | %7b | %12s | %11.5f | %10.5f | %7.1fx | %5b@." jobs
+          planner name u.V.Incremental.u_elapsed_s t_rechase speedup equal;
+        rows := (jobs, planner, name, u, t_rechase, speedup, equal) :: !rows
+      in
+      scenario "retract-1" ~inserts:[] ~retracts:[ retract1 ];
+      scenario "insert-1pct" ~inserts:batch ~retracts:[])
+    [ (1, true); (1, false); (2, true); (2, false) ];
+  let rows = List.rev !rows in
+  say
+    "@.Shape check: equal everywhere, no fallback; with the planner on@.\
+     (the default) both scenarios maintain at >= 5x lower wall-clock@.\
+     than the full re-chase at the default size — the update touches a@.\
+     sliver of the closure. Planner off, the insert batch seeds a late@.\
+     guard delta whose written-order join scans the saturated closure@.\
+     once per seed fact (the PLAN workload's lesson), so incremental@.\
+     insertion needs the planner to pay off.@.";
+  let oc = open_out "BENCH_incremental.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"incremental-maintenance\",\n";
+  p "  \"workload\": \"ownership-reach-chains\",\n";
+  p "  \"n\": %d,\n  \"runs\": [\n" n;
+  List.iteri
+    (fun i (jobs, planner, name, (u : V.Incremental.update_stats), t_rechase,
+            speedup, equal) ->
+      p
+        "    { \"jobs\": %d, \"planner\": %b, \"scenario\": \"%s\", \
+         \"maintain_s\": %.6f, \"rechase_s\": %.6f, \"speedup\": %.3f, \
+         \"cone\": %d, \"deleted\": %d, \"rederived\": %d, \"derived\": %d, \
+         \"fallback\": %b, \"maintained_equal\": %b }%s\n"
+        jobs planner name u.V.Incremental.u_elapsed_s t_rechase speedup
+        u.V.Incremental.u_cone u.V.Incremental.u_deleted
+        u.V.Incremental.u_rederived u.V.Incremental.u_derived
+        u.V.Incremental.u_fallback equal
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  say "@.results written to BENCH_incremental.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment *)
 
 let bechamel_table () =
@@ -993,7 +1121,8 @@ let all =
     ("exp5", exp5); ("exp6", exp6); ("exp7", exp7); ("exp8", exp8);
     ("exp9", exp9); ("abl1", abl1); ("abl2", abl2); ("abl3", abl3);
     ("abl4", abl4); ("parallel", parallel); ("resilience", resilience);
-    ("planner", planner_bench); ("bechamel", bechamel_table) ]
+    ("planner", planner_bench); ("incremental", incremental_bench);
+    ("bechamel", bechamel_table) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -291,8 +291,18 @@ let reason_cmd =
                    indexes). Output facts are identical either way; only \
                    probe counts and wall time change.")
   in
+  let update =
+    Arg.(value & opt (some file) None
+         & info [ "update" ] ~docv:"FILE"
+             ~doc:"After the chase, apply an extensional update batch \
+                   and repair the materialization incrementally \
+                   (delete-and-rederive). Each non-empty line of FILE \
+                   is a fact, optionally prefixed with + (insert, the \
+                   default) or - (retract); lines starting with % are \
+                   comments. Incompatible with checkpointing.")
+  in
   let run file query trace metrics jobs deadline ck_dir ck_every resume
-      on_limit lenient explain no_planner =
+      on_limit lenient explain no_planner update =
     handle (fun () ->
         with_telemetry ~trace ~metrics @@ fun tele ->
         let cancel = install_sigint () in
@@ -332,47 +342,112 @@ let reason_cmd =
             program db;
           exit 0
         end;
-        let checkpoint =
-          Option.map
-            (fun dir -> Kgm_vadalog.Engine.checkpoint ~every:ck_every dir)
-            ck_dir
+        let finish db stats =
+          Format.printf "%% %d new facts in %d rounds (%.3fs)@."
+            stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
+            stats.Kgm_vadalog.Engine.elapsed_s;
+          if metrics then
+            Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table stats;
+          (match query with
+           | Some pred ->
+               List.iter
+                 (fun fact ->
+                   Format.printf "%s(%s).@." pred
+                     (String.concat ", "
+                        (Array.to_list
+                           (Array.map Kgm_common.Value.to_string fact))))
+                 (Kgm_vadalog.Engine.query db pred)
+           | None ->
+               List.iter
+                 (fun pred -> Format.printf "%s: %d facts@." pred
+                     (List.length (Kgm_vadalog.Database.facts db pred)))
+                 (Kgm_vadalog.Database.predicates db));
+          report_stopped ~on_limit ~metrics stats
         in
-        let resume_from =
-          match ck_dir with
-          | Some dir when resume -> Kgm_vadalog.Engine.latest_checkpoint dir
-          | _ -> None
-        in
-        (match resume_from with
-         | Some p -> Format.printf "%% resuming from %s@." p
-         | None -> ());
-        let stats =
-          Kgm_vadalog.Engine.run ~options ~telemetry:tele ~cancel ?checkpoint
-            ?resume_from program db
-        in
-        Format.printf "%% %d new facts in %d rounds (%.3fs)@."
-          stats.Kgm_vadalog.Engine.new_facts stats.Kgm_vadalog.Engine.rounds
-          stats.Kgm_vadalog.Engine.elapsed_s;
-        if metrics then
-          Format.printf "%a" Kgm_vadalog.Engine.pp_rule_table stats;
-        (match query with
-         | Some pred ->
-             List.iter
-               (fun fact ->
-                 Format.printf "%s(%s).@." pred
-                   (String.concat ", "
-                      (Array.to_list (Array.map Kgm_common.Value.to_string fact))))
-               (Kgm_vadalog.Engine.query db pred)
-         | None ->
-             List.iter
-               (fun pred -> Format.printf "%s: %d facts@." pred
-                   (List.length (Kgm_vadalog.Database.facts db pred)))
-               (Kgm_vadalog.Database.predicates db));
-        report_stopped ~on_limit ~metrics stats)
+        match update with
+        | None ->
+            let checkpoint =
+              Option.map
+                (fun dir -> Kgm_vadalog.Engine.checkpoint ~every:ck_every dir)
+                ck_dir
+            in
+            let resume_from =
+              match ck_dir with
+              | Some dir when resume ->
+                  Kgm_vadalog.Engine.latest_checkpoint dir
+              | _ -> None
+            in
+            (match resume_from with
+             | Some p -> Format.printf "%% resuming from %s@." p
+             | None -> ());
+            let stats =
+              Kgm_vadalog.Engine.run ~options ~telemetry:tele ~cancel
+                ?checkpoint ?resume_from program db
+            in
+            finish db stats
+        | Some ufile ->
+            (* chase with derivation support recorded, then repair *)
+            let batch =
+              List.concat_map
+                (fun line ->
+                  let line = String.trim line in
+                  if line = "" || line.[0] = '%' then []
+                  else
+                    let sign, rest =
+                      match line.[0] with
+                      | '+' ->
+                          (`Ins, String.sub line 1 (String.length line - 1))
+                      | '-' ->
+                          (`Ret, String.sub line 1 (String.length line - 1))
+                      | _ -> (`Ins, line)
+                    in
+                    let p =
+                      Kgm_vadalog.Parser.parse_program (String.trim rest)
+                    in
+                    List.map
+                      (fun (pred, args) -> (sign, (pred, Array.of_list args)))
+                      p.Kgm_vadalog.Rule.facts)
+                (String.split_on_char '\n' (read_file ufile))
+            in
+            let st, stats =
+              Kgm_vadalog.Incremental.chase ~options ~telemetry:tele ~db
+                program
+            in
+            Format.printf "%% chase: %d new facts in %d rounds (%.3fs)@."
+              stats.Kgm_vadalog.Engine.new_facts
+              stats.Kgm_vadalog.Engine.rounds
+              stats.Kgm_vadalog.Engine.elapsed_s;
+            let pick s =
+              List.filter_map
+                (fun (s', pf) -> if s' = s then Some pf else None)
+                batch
+            in
+            let u =
+              Kgm_vadalog.Incremental.maintain ~telemetry:tele st
+                ~inserts:(pick `Ins) ~retracts:(pick `Ret)
+            in
+            Format.printf
+              "%% update: +%d -%d; cone %d, deleted %d, rederived %d, \
+               refired %d, derived %d in %d rounds (%.3fs)%s@."
+              u.Kgm_vadalog.Incremental.u_inserted
+              u.Kgm_vadalog.Incremental.u_retracted
+              u.Kgm_vadalog.Incremental.u_cone
+              u.Kgm_vadalog.Incremental.u_deleted
+              u.Kgm_vadalog.Incremental.u_rederived
+              u.Kgm_vadalog.Incremental.u_refired
+              u.Kgm_vadalog.Incremental.u_derived
+              u.Kgm_vadalog.Incremental.u_rounds
+              u.Kgm_vadalog.Incremental.u_elapsed_s
+              (if u.Kgm_vadalog.Incremental.u_fallback then
+                 " [fallback: full re-chase]"
+               else "");
+            finish (Kgm_vadalog.Incremental.db st) stats)
   in
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
     Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg
           $ deadline_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ on_limit_arg $ lenient $ explain $ no_planner)
+          $ resume_arg $ on_limit_arg $ lenient $ explain $ no_planner
+          $ update)
 
 let stats_cmd =
   let n =

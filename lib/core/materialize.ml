@@ -43,15 +43,10 @@ let instance_edge_labels =
   [ "SM_REFERENCES"; "I_SM_FROM"; "I_SM_TO"; "I_SM_HAS_NODE_ATTR";
     "I_SM_HAS_EDGE_ATTR" ]
 
-let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
-    ?checkpoint_dir ?checkpoint_every ?(resume = false) ~instances
-    ~schema ~schema_oid ~data ~sigma () =
-  Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
-  @@ fun () ->
+(* ---- lines 1-4 of Algorithm 2: load D into the super-components ---- *)
+let load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma =
   let dict = Instances.dictionary instances in
   let gd = Dictionary.graph dict in
-  (* ---- lines 1-4: load D into the super-components ---- *)
-  let t0 = now () in
   let instance_oid, program1, program2, ls, db =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "load" @@ fun () ->
     let instance_oid = Instances.store instances ~schema_oid data in
@@ -91,52 +86,15 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
     Kgm_metalog.Pg_bridge.load ls gd db;
     (instance_oid, program1, program2, ls, db)
   in
-  let load_s = now () -. t0 in
-  (* ---- lines 7-8: the reasoning passes ---- *)
-  let t1 = now () in
-  let engine_stats =
-    Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
-    (* each phase checkpoints under its own label; resuming prefers a
-       phase-2 snapshot (it already contains the whole phase-1 result),
-       else a phase-1 snapshot. Resume assumes the load stage above is
-       deterministic w.r.t. the original run — the engine's program
-       fingerprint check turns any mismatch into a clean error. *)
-    let ck label =
-      Option.map
-        (fun dir ->
-          Kgm_vadalog.Engine.checkpoint ?every:checkpoint_every ~label dir)
-        checkpoint_dir
-    in
-    let latest label =
-      match checkpoint_dir with
-      | Some dir when resume ->
-          Kgm_vadalog.Engine.latest_checkpoint ~label dir
-      | _ -> None
-    in
-    let run_phase ?resume_from label program =
-      Kgm_vadalog.Engine.run ?options ~telemetry ?cancel
-        ?checkpoint:(ck label) ?resume_from program db
-    in
-    match latest "phase2" with
-    | Some p2 -> run_phase ~resume_from:p2 "phase2" program2
-    | None ->
-        let stats1 =
-          run_phase ?resume_from:(latest "phase1") "phase1" program1
-        in
-        if stats1.Kgm_vadalog.Engine.stopped <> None then
-          (* partial phase 1: don't start phase 2, flush what exists *)
-          stats1
-        else
-          let stats2 = run_phase "phase2" program2 in
-          Kgm_vadalog.Engine.merge_stats stats1 stats2
-  in
-  let incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None in
-  let reason_s = now () -. t1 in
-  (* ---- line 9: materialize into the dictionary, flush into D ---- *)
-  let t2 = now () in
-  Kgm_telemetry.with_span telemetry ~cat:"stage" "flush"
-  @@ fun () ->
-  let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
+  (instance_oid, program1, program2, ls, db, gd)
+
+(* ---- line 9 of Algorithm 2: materialize into the dictionary, flush
+   into D. [wb] is the dictionary writeback; [refresh] reuses one
+   writeback across calls so labeled nulls keep stable graph ids.
+   Flushing is monotone — it only adds elements and property values —
+   so re-running it after an incremental update is idempotent on
+   everything already flushed. *)
+let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
   List.iter
     (fun l -> ignore (Kgm_metalog.Pg_bridge.store_nodes wb ls db l))
     instance_node_labels;
@@ -251,17 +209,142 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
         | None -> ()
       end)
     (PG.nodes_with_label gd "I_SM_Edge");
-  let flush_s = now () -. t2 in
+  (!derived_nodes, !derived_edges, !derived_attrs)
+
+let flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid =
+  let t = now () in
+  let dn, de, da =
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "flush" @@ fun () ->
+    flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid
+  in
   if Kgm_telemetry.enabled telemetry then begin
-    Kgm_telemetry.count telemetry ~by:!derived_nodes
-      "materialize.derived_nodes";
-    Kgm_telemetry.count telemetry ~by:!derived_edges
-      "materialize.derived_edges";
-    Kgm_telemetry.count telemetry ~by:!derived_attrs
-      "materialize.derived_attrs"
+    Kgm_telemetry.count telemetry ~by:dn "materialize.derived_nodes";
+    Kgm_telemetry.count telemetry ~by:de "materialize.derived_edges";
+    Kgm_telemetry.count telemetry ~by:da "materialize.derived_attrs"
   end;
+  (now () -. t, dn, de, da)
+
+let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
+    ?checkpoint_dir ?checkpoint_every ?(resume = false) ~instances
+    ~schema ~schema_oid ~data ~sigma () =
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
+  @@ fun () ->
+  let t0 = now () in
+  let instance_oid, program1, program2, ls, db, gd =
+    load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma
+  in
+  let load_s = now () -. t0 in
+  (* ---- lines 7-8: the reasoning passes ---- *)
+  let t1 = now () in
+  let engine_stats =
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
+    (* each phase checkpoints under its own label; resuming prefers a
+       phase-2 snapshot (it already contains the whole phase-1 result),
+       else a phase-1 snapshot. Resume assumes the load stage above is
+       deterministic w.r.t. the original run — the engine's program
+       fingerprint check turns any mismatch into a clean error. *)
+    let ck label =
+      Option.map
+        (fun dir ->
+          Kgm_vadalog.Engine.checkpoint ?every:checkpoint_every ~label dir)
+        checkpoint_dir
+    in
+    let latest label =
+      match checkpoint_dir with
+      | Some dir when resume ->
+          Kgm_vadalog.Engine.latest_checkpoint ~label dir
+      | _ -> None
+    in
+    let run_phase ?resume_from label program =
+      Kgm_vadalog.Engine.run ?options ~telemetry ?cancel
+        ?checkpoint:(ck label) ?resume_from program db
+    in
+    match latest "phase2" with
+    | Some p2 -> run_phase ~resume_from:p2 "phase2" program2
+    | None ->
+        let stats1 =
+          run_phase ?resume_from:(latest "phase1") "phase1" program1
+        in
+        if stats1.Kgm_vadalog.Engine.stopped <> None then
+          (* partial phase 1: don't start phase 2, flush what exists *)
+          stats1
+        else
+          let stats2 = run_phase "phase2" program2 in
+          Kgm_vadalog.Engine.merge_stats stats1 stats2
+  in
+  let incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None in
+  let reason_s = now () -. t1 in
+  let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
+  let flush_s, dn, de, da =
+    flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
+  in
   { instance_oid; load_s; reason_s; flush_s; engine_stats;
-    derived_nodes = !derived_nodes;
-    derived_edges = !derived_edges;
-    derived_attrs = !derived_attrs;
+    derived_nodes = dn; derived_edges = de; derived_attrs = da;
     incomplete }
+
+(* ---- incremental sessions: materialize once, then repair the chase
+   in place as the extensional facts change ---- *)
+
+type session = {
+  s_state : Kgm_vadalog.Incremental.state;
+  s_wb : Kgm_metalog.Pg_bridge.writeback;
+  s_ls : Kgm_metalog.Label_schema.t;
+  s_gd : PG.t;
+  s_data : PG.t;
+  s_instance_oid : int;
+}
+
+type refresh_report = {
+  r_update : Kgm_vadalog.Incremental.update_stats;
+  r_flush_s : float;
+  r_derived_nodes : int;
+  r_derived_edges : int;
+  r_derived_attrs : int;
+}
+
+let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
+    ~instances ~schema ~schema_oid ~data ~sigma () =
+  Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
+  @@ fun () ->
+  let t0 = now () in
+  let instance_oid, program1, program2, ls, db, gd =
+    load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma
+  in
+  let load_s = now () -. t0 in
+  let t1 = now () in
+  let state, engine_stats =
+    Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
+    Kgm_vadalog.Incremental.chase_phases ?options ~telemetry ~db
+      [ program1; program2 ]
+  in
+  let reason_s = now () -. t1 in
+  let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
+  let flush_s, dn, de, da =
+    flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
+  in
+  let report =
+    { instance_oid; load_s; reason_s; flush_s; engine_stats;
+      derived_nodes = dn; derived_edges = de; derived_attrs = da;
+      incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None }
+  in
+  ( { s_state = state; s_wb = wb; s_ls = ls; s_gd = gd; s_data = data;
+      s_instance_oid = instance_oid },
+    report )
+
+let session_state s = s.s_state
+
+let refresh ?(telemetry = Kgm_telemetry.null) session ~inserts ~retracts =
+  let r_update =
+    Kgm_vadalog.Incremental.maintain ~telemetry session.s_state ~inserts
+      ~retracts
+  in
+  (* the maintained database object may have been replaced by a
+     fallback re-chase, so re-fetch it from the state *)
+  let r_flush_s, dn, de, da =
+    flush_stage ~telemetry ~wb:session.s_wb ~gd:session.s_gd
+      ~ls:session.s_ls
+      ~db:(Kgm_vadalog.Incremental.db session.s_state)
+      ~data:session.s_data ~instance_oid:session.s_instance_oid
+  in
+  { r_update; r_flush_s; r_derived_nodes = dn; r_derived_edges = de;
+    r_derived_attrs = da }

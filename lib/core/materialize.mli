@@ -73,3 +73,65 @@ val label_schema_of_supermodel :
 (** Register every schema node/edge label (with its full attribute
     layout, intensional attributes included) into an MTV label
     schema. *)
+
+(** {1 Incremental sessions}
+
+    {!materialize_session} runs the same Algorithm 2 pipeline but keeps
+    the chase alive: the returned {!session} owns the maintained fact
+    database (with derivation support), the label schema, the
+    dictionary writeback and the target data graph. {!refresh} then
+    repairs the materialization in place after extensional fact
+    changes — delete-and-rederive for retractions, semi-naive deltas
+    for insertions (see {!Kgm_vadalog.Incremental}) — and re-runs the
+    flush stage.
+
+    Caveat: the flush into the dictionary and into D is {e monotone}.
+    A refresh adds newly derived elements and attribute values but does
+    not remove graph elements whose deriving facts were retracted; the
+    maintained {e fact database} is always exact (equal to a
+    from-scratch chase), only the graph projection can retain stale
+    elements. Re-running the flush is idempotent: a shared writeback
+    keeps labeled nulls mapped to stable graph ids across calls. *)
+
+type session
+
+type refresh_report = {
+  r_update : Kgm_vadalog.Incremental.update_stats;
+  r_flush_s : float;
+  r_derived_nodes : int;  (** new data nodes flushed by this refresh *)
+  r_derived_edges : int;  (** new data edges flushed by this refresh *)
+  r_derived_attrs : int;  (** new attribute values flushed *)
+}
+
+val materialize_session :
+  ?options:Kgm_vadalog.Engine.options ->
+  ?telemetry:Kgm_telemetry.t ->
+  instances:Instances.t ->
+  schema:Supermodel.t ->
+  schema_oid:int ->
+  data:Kgm_graphdb.Pgraph.t ->
+  sigma:string ->
+  unit -> session * report
+(** Like {!materialize} but retains the chase state for later
+    {!refresh} calls. Checkpoint/resume and cooperative cancellation
+    are not supported on sessions — use {!materialize} for one-shot
+    runs that need them. *)
+
+val session_state : session -> Kgm_vadalog.Incremental.state
+(** The underlying maintenance state — exposes the maintained fact
+    database ({!Kgm_vadalog.Incremental.db}) and the registered
+    extensional facts, e.g. to build update batches against them. *)
+
+val refresh :
+  ?telemetry:Kgm_telemetry.t ->
+  session ->
+  inserts:(string * Kgm_vadalog.Database.fact) list ->
+  retracts:(string * Kgm_vadalog.Database.fact) list ->
+  refresh_report
+(** Apply a batch of extensional inserts/retractions (predicate name +
+    fact tuple, against the bridge-loaded fact database) and repair the
+    materialization, then re-flush derived knowledge into the data
+    graph. Retractions of facts that were never registered as
+    extensional are ignored. [r_update.u_fallback] reports whether the
+    batch was maintained incrementally or forced a full re-chase
+    (stratified negation/aggregation over affected predicates). *)

@@ -96,8 +96,13 @@ let to_graphml g =
   Buffer.add_string buf "</graph>\n</graphml>\n";
   Buffer.contents buf
 
+(* RFC 4180: a field containing a separator, a quote, or either line
+   ending character must be quoted. '\r' matters as much as '\n' — an
+   unquoted CR is dropped by the importer's line handling, so CR/CRLF
+   payloads would silently corrupt the bundle. *)
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
     let buf = Buffer.create (String.length s + 2) in
     Buffer.add_char buf '"';
     String.iter

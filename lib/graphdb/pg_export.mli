@@ -10,6 +10,18 @@ val to_cypher : Pgraph.t -> string
 
 val to_graphml : Pgraph.t -> string
 
+val xml_escape : string -> string
+(** XML attribute/content escaping used by {!to_graphml} ([<], [>],
+    [&] and the double quote); injective, so unescaping entities is its
+    exact inverse. Exposed for the round-trip property tests. *)
+
+val csv_escape : string -> string
+(** RFC-4180 field quoting used by {!to_csv_bundle}: fields containing
+    a comma, a double quote, or either line-ending character ([\n] or
+    [\r]) are wrapped in quotes with embedded quotes doubled —
+    {!Pg_import.parse_csv} is its exact inverse. Exposed for the
+    round-trip property tests. *)
+
 val to_csv_bundle : Pgraph.t -> (string * string) list
 (** One CSV document per node label and per edge label:
     [("nodes_<label>.csv", data); ("edges_<label>.csv", data); ...].

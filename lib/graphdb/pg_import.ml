@@ -61,11 +61,20 @@ let oid_of_cell cell =
 
 (* Exported values are printed with Value.pp; recover the common cases
    (quoted strings, numbers, booleans, dates, oids); anything else stays
-   a string. *)
+   a string. Strings are printed in OCaml %S notation, so they must be
+   read back with the matching Scanf directive — stripping the outer
+   quotes alone would keep the backslash escapes (newline, quote,
+   backslash, decimal) literal and break the export/import round
+   trip. *)
 let value_of_cell cell =
   let n = String.length cell in
   if n >= 2 && cell.[0] = '"' && cell.[n - 1] = '"' then
-    Value.String (String.sub cell 1 (n - 2))
+    match Scanf.sscanf_opt cell "%S%!" (fun s -> s) with
+    | Some s -> Value.String s
+    | None ->
+        (* not valid %S (e.g. hand-written CSV): keep the old permissive
+           reading of everything between the outer quotes *)
+        Value.String (String.sub cell 1 (n - 2))
   else
     match Oid.of_string cell with
     | Some o -> Value.Id o

@@ -9,12 +9,53 @@ let sql_type = function
   | Value.TId -> "VARCHAR(64)"
   | Value.TAny -> "VARCHAR(255)"
 
+(* SQL-standard string literals: quotes are doubled, every other byte —
+   backslashes included — is literal. The emitted DDL/DML therefore
+   assumes a standard-conforming-strings dialect (SQL:1999; PostgreSQL
+   with [standard_conforming_strings = on], its default since 9.1) and
+   never uses the E'' extension: under that dialect '\' IS a lone
+   backslash and doubling it would change the value. Engines that still
+   treat backslash as an escape inside plain '' literals (e.g. MySQL
+   without NO_BACKSLASH_ESCAPES) are out of scope. *)
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
     (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* List values are stored as one varchar: elements rendered with
+   [sql_literal] and joined on ';', with '\' and ';' inside an element
+   escaped as "\\" and "\;" so the join is reversible — ["a;b"] and
+   ["a"; "b"] must not collide. [decode_list] is the exact inverse on
+   the pre-[escape_string] payload. *)
+let encode_elem s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '\\' || c = ';' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode_list s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | '\\' when !i + 1 < n ->
+         incr i;
+         Buffer.add_char buf s.[!i]
+     | ';' ->
+         out := Buffer.contents buf :: !out;
+         Buffer.clear buf
+     | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if n > 0 then out := Buffer.contents buf :: !out;
+  List.rev !out
 
 let rec sql_literal = function
   | Value.Int i -> string_of_int i
@@ -25,8 +66,9 @@ let rec sql_literal = function
   | Value.Id o -> Printf.sprintf "'%s'" (escape_string (Oid.to_string o))
   | Value.Null _ -> "NULL"
   | Value.List l ->
-      Printf.sprintf "'%s'"
-        (escape_string (String.concat ";" (List.map sql_literal l)))
+      Printf.sprintf "'%s'" (escape_string (encode_list l))
+
+and encode_list l = String.concat ";" (List.map (fun v -> encode_elem (sql_literal v)) l)
 
 let field_def (f : Rschema.field) =
   let range_checks =

@@ -3,7 +3,14 @@
     For relational targets the paper enforces translated schemas "as DDL
     statements, which include the respective constraints such as keys,
     foreign keys, domain constraints" (Sec. 2.2); this module emits that
-    artifact in a generic SQL:1999 dialect. *)
+    artifact in a generic SQL:1999 dialect.
+
+    {b Dialect assumption}: string literals are SQL-standard — quotes
+    doubled, backslashes (and every other byte) literal, no [E'']
+    prefix anywhere. That is SQL:1999 and PostgreSQL with
+    [standard_conforming_strings = on]; engines where backslash escapes
+    inside plain [''] literals are live (MySQL's default) will mis-read
+    payloads containing backslashes. *)
 
 open Kgm_common
 
@@ -15,6 +22,18 @@ val ddl : Rschema.t -> string
 
 val sql_type : Value.ty -> string
 val sql_literal : Value.t -> string
+
+val encode_list : Value.t list -> string
+(** The varchar payload of a [Value.List]: elements rendered with
+    {!sql_literal} and joined on [';'], with ['\'] and [';'] inside an
+    element escaped (["\\"], ["\;"]) so distinct lists never collide
+    (["a;b"] vs ["a"; "b"]). This is the string {!sql_literal} quotes
+    for a list value. *)
+
+val decode_list : string -> string list
+(** Exact inverse of {!encode_list} on its output: the rendered
+    elements, separators and escapes undone —
+    [decode_list (encode_list l) = List.map sql_literal l]. *)
 
 val inserts : Instance.t -> string
 (** One INSERT statement per tuple, relations in schema order. *)

@@ -149,6 +149,66 @@ let build_index s positions =
   Hashtbl.add s.indexes positions idx;
   idx
 
+(** [remove_batch t facts] deletes every listed (pred, fact) pair that
+    is present and returns how many were removed. Each affected
+    predicate store is rebuilt in one sweep: survivors keep their
+    relative order and are renumbered densely from 0, and the store's
+    index patterns are rebuilt over the survivors — so after a removal
+    the store is indistinguishable from one into which only the
+    survivors were ever inserted, which is what the incremental
+    maintenance layer's determinism argument needs. Duplicates in
+    [facts] are counted once. Raises [Invalid_argument] when frozen. *)
+let remove_batch t facts =
+  if t.frozen then invalid_arg "Database.remove_batch: database is frozen";
+  (* group the doomed facts per predicate, dedup'd via a probe table *)
+  let by_pred : (string, unit FactTbl.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (pred, fact) ->
+      if mem t pred fact then begin
+        let set =
+          match Hashtbl.find_opt by_pred pred with
+          | Some s -> s
+          | None ->
+              let s = FactTbl.create 16 in
+              Hashtbl.add by_pred pred s;
+              s
+        in
+        FactTbl.replace set fact ()
+      end)
+    facts;
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun pred doomed ->
+      match Hashtbl.find_opt t.preds pred with
+      | None -> ()
+      | Some s ->
+          let patterns =
+            Hashtbl.fold (fun positions _ acc -> positions :: acc) s.indexes []
+          in
+          let old_arr = s.arr and old_count = s.count in
+          s.arr <- [||];
+          s.count <- 0;
+          FactTbl.reset s.seqs;
+          Hashtbl.reset s.indexes;
+          for i = 0 to old_count - 1 do
+            let fact = old_arr.(i) in
+            if FactTbl.mem doomed fact then begin
+              incr removed;
+              t.total <- t.total - 1
+            end
+            else begin
+              let seq = s.count in
+              FactTbl.add s.seqs fact seq;
+              buffer_append s fact
+            end
+          done;
+          List.iter
+            (fun positions ->
+              ignore (build_index s positions))
+            patterns)
+    by_pred;
+  !removed
+
 let freeze t = t.frozen <- true
 let thaw t = t.frozen <- false
 let is_frozen t = t.frozen

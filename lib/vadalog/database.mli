@@ -62,6 +62,19 @@ val iter_matches :
     engine charges this to its [rs_probes] counter, so un-prepared
     probe patterns show up as the full scans they really are. *)
 
+val remove_batch : t -> (string * fact) list -> int
+(** [remove_batch t facts] deletes every listed (pred, fact) pair that
+    is present; returns how many facts were removed (duplicates counted
+    once). Affected predicate stores are rebuilt in one sweep: the
+    survivors keep their relative insertion order, are renumbered
+    densely from 0, and the predicate's index patterns are rebuilt over
+    them — afterwards the store is indistinguishable from one into
+    which only the survivors were ever inserted. This is the deletion
+    primitive of the incremental maintenance layer
+    ({!Kgm_vadalog.Incremental}); it is batch-oriented because DRed
+    removes a whole overdeletion cone at once. Raises
+    [Invalid_argument] on a frozen database. *)
+
 (** {1 Freezing (parallel read phases)}
 
     The restricted-chase engine evaluates rule bodies from several

@@ -206,6 +206,159 @@ let rec pp_derivation_tree (prov : provenance) ppf (pred, fact) =
   Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
+(* Derivation support: the full multiset of derivations, for DRed.
+
+   Provenance above records the FIRST derivation of each fact — enough
+   to explain it, not enough to maintain it: delete-and-rederive needs
+   every derivation (a fact whose first derivation dies may survive
+   through an alternative one), the nulls each firing invented (a
+   null's creating derivation dying retracts the null and everything
+   carrying it), and the restricted-chase checks that SUPPRESSED an
+   invention (when the homomorphic image that satisfied the check dies,
+   the suppressed firing must be re-attempted — it may now invent).
+   [Incremental] drives all of this; the structure is transparent in
+   the interface because the maintenance layer walks and prunes it
+   in place. *)
+
+let fact_equal (a : Database.fact) (b : Database.fact) =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec go i = i >= n || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare_fact (a : Database.fact) (b : Database.fact) =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let n = Array.length a in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let parent_equal (p, f) (p', f') = String.equal p p' && fact_equal f f'
+
+let compare_parent (p, f) (p', f') =
+  let c = String.compare p p' in
+  if c <> 0 then c else compare_fact f f'
+
+(* parents are stored sorted and dedup'd: the trail order differs
+   between the sequential and the worker evaluation paths, and DRed
+   only needs the SET of body facts a firing consumed *)
+let canonical_parents ps = List.sort_uniq compare_parent ps
+
+type support_entry = {
+  se_rule : int;  (* rule id within its program (informational) *)
+  se_parents : (string * Database.fact) list;  (* canonical order *)
+  se_nulls : int list;  (* labeled nulls this firing invented *)
+}
+
+type suppressed_firing = {
+  sf_rule : int;
+  sf_parents : (string * Database.fact) list;  (* canonical order *)
+  sf_image : (string * Database.fact) list;
+      (* the homomorphic image that satisfied the head check *)
+}
+
+type support = {
+  sup_entries : support_entry list ref ProvTbl.t;
+      (* derived fact -> its derivations, most recent first *)
+  sup_children : (string * Database.fact) list ref ProvTbl.t;
+      (* body fact -> head facts with an entry consuming it (the
+         reverse edges the overdeletion cone walks); may hold
+         duplicates and stale (pruned) children — consumers dedup *)
+  sup_null_origin : (int, (string * Database.fact) list) Hashtbl.t;
+      (* null id -> parents of its creating derivation *)
+  sup_null_facts : (int, (string * Database.fact) list ref) Hashtbl.t;
+      (* null id -> facts whose tuple carries the null *)
+  mutable sup_suppressed : suppressed_firing list;
+      (* reverse recording order *)
+  sup_suppressed_keys :
+    (int * (string * Value.t list) list, unit) Hashtbl.t;
+}
+
+let create_support () =
+  { sup_entries = ProvTbl.create 1024;
+    sup_children = ProvTbl.create 1024;
+    sup_null_origin = Hashtbl.create 64;
+    sup_null_facts = Hashtbl.create 64;
+    sup_suppressed = [];
+    sup_suppressed_keys = Hashtbl.create 64 }
+
+let rec value_nulls acc = function
+  | Value.Null k -> k :: acc
+  | Value.List l -> List.fold_left value_nulls acc l
+  | _ -> acc
+
+let fact_nulls (f : Database.fact) =
+  Array.fold_left value_nulls [] f |> List.sort_uniq Int.compare
+
+let support_entries sup pred fact =
+  match ProvTbl.find_opt sup.sup_entries (pred, Array.to_list fact) with
+  | Some r -> !r
+  | None -> []
+
+let support_record sup ~rule_id ~parents ~nulls pred fact =
+  let parents = canonical_parents parents in
+  let key = (pred, Array.to_list fact) in
+  let entries =
+    match ProvTbl.find_opt sup.sup_entries key with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        ProvTbl.add sup.sup_entries key r;
+        r
+  in
+  let dup =
+    List.exists
+      (fun e ->
+        e.se_rule = rule_id && List.equal parent_equal e.se_parents parents)
+      !entries
+  in
+  if not dup then begin
+    entries :=
+      { se_rule = rule_id; se_parents = parents; se_nulls = nulls } :: !entries;
+    List.iter
+      (fun (pp, pf) ->
+        let ck = (pp, Array.to_list pf) in
+        match ProvTbl.find_opt sup.sup_children ck with
+        | Some r -> r := (pred, fact) :: !r
+        | None -> ProvTbl.add sup.sup_children ck (ref [ (pred, fact) ]))
+      parents;
+    List.iter
+      (fun n ->
+        if not (Hashtbl.mem sup.sup_null_origin n) then
+          Hashtbl.add sup.sup_null_origin n parents)
+      nulls
+  end
+
+(* called once per NEW fact: index which nulls its tuple carries *)
+let support_index_fact sup pred fact =
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt sup.sup_null_facts n with
+      | Some r -> r := (pred, fact) :: !r
+      | None -> Hashtbl.add sup.sup_null_facts n (ref [ (pred, fact) ]))
+    (fact_nulls fact)
+
+let support_record_suppressed sup ~rule_id ~parents ~image =
+  let parents = canonical_parents parents in
+  let key =
+    (rule_id, List.map (fun (p, f) -> (p, Array.to_list f)) parents)
+  in
+  if not (Hashtbl.mem sup.sup_suppressed_keys key) then begin
+    Hashtbl.add sup.sup_suppressed_keys key ();
+    sup.sup_suppressed <-
+      { sf_rule = rule_id; sf_parents = parents;
+        sf_image = canonical_parents image }
+      :: sup.sup_suppressed
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bindings with trail-based backtracking                               *)
 
 type env = {
@@ -516,6 +669,7 @@ type run_state = {
   mutable added : int;
   agg_states : (int, agg_state) Hashtbl.t; (* rule_id -> state *)
   prov : provenance option;
+  sup : support option;  (* full derivation support (DRed maintenance) *)
   (* facts matched so far on the current evaluation path *)
   mutable fact_trail : (string * Value.t array) list;
   tele : Kgm_telemetry.t;
@@ -612,12 +766,12 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
          done
        with Exit -> ok := false);
       if !ok then begin
-        (match st.prov with
-         | Some _ ->
-             st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
-             k ();
-             st.fact_trail <- List.tl st.fact_trail
-         | None -> k ())
+        if Option.is_some st.prov || Option.is_some st.sup then begin
+          st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
+          k ();
+          st.fact_trail <- List.tl st.fact_trail
+        end
+        else k ()
       end;
       env_undo env mark
     end
@@ -651,12 +805,17 @@ let ground_atom env (a : Rule.atom) =
    null maps to some null, the same one at every occurrence. This is
    what makes chases like [mgr(X,M) :- emp(X). emp(M) :- mgr(X,M).]
    terminate while preserving certain answers over null-free facts. *)
+(* Returns [Some image] — the database facts forming the satisfying
+   homomorphic image, one per head atom — or [None] when no image
+   exists. The maintenance layer records the image with the suppressed
+   firing: should any of its facts later be retracted, the firing is
+   re-attempted (and may then invent). *)
 let head_satisfied st env (prep : prepared) =
   let ex_env = Hashtbl.create 4 in
   let null_map : (Value.t, Value.t) Hashtbl.t = Hashtbl.create 4 in
   let iso = st.opts.isomorphic_nulls in
   let rec go = function
-    | [] -> true
+    | [] -> Some []
     | (a : Rule.atom) :: rest ->
         let args = Array.of_list a.Rule.args in
         let n = Array.length args in
@@ -692,36 +851,41 @@ let head_satisfied st env (prep : prepared) =
           | `Free _ -> ()
         done;
         let candidates = Database.lookup st.db a.Rule.pred !positions !key in
-        List.exists
-          (fun fact ->
-            Array.length fact = n
-            &&
-            let new_ex = ref [] and new_nulls = ref [] in
-            let ok = ref true in
-            (try
-               for i = 0 to n - 1 do
-                 match requirement args.(i) with
-                 | `Rigid v -> if not (Value.equal v fact.(i)) then raise Exit
-                 | `Flex v ->
-                     (* consistent renaming: one image per null *)
-                     (match Hashtbl.find_opt null_map v with
-                      | Some mapped ->
-                          if not (Value.equal mapped fact.(i)) then raise Exit
-                      | None ->
-                          Hashtbl.add null_map v fact.(i);
-                          new_nulls := v :: !new_nulls)
-                 | `Free x ->
-                     Hashtbl.add ex_env x fact.(i);
-                     new_ex := x :: !new_ex
-               done
-             with Exit -> ok := false);
-            let res = !ok && go rest in
-            if not res then begin
-              List.iter (Hashtbl.remove ex_env) !new_ex;
-              List.iter (Hashtbl.remove null_map) !new_nulls
-            end;
-            res)
-          candidates
+        let rec try_cands = function
+          | [] -> None
+          | fact :: more ->
+              if Array.length fact <> n then try_cands more
+              else begin
+                let new_ex = ref [] and new_nulls = ref [] in
+                let ok = ref true in
+                (try
+                   for i = 0 to n - 1 do
+                     match requirement args.(i) with
+                     | `Rigid v ->
+                         if not (Value.equal v fact.(i)) then raise Exit
+                     | `Flex v ->
+                         (* consistent renaming: one image per null *)
+                         (match Hashtbl.find_opt null_map v with
+                          | Some mapped ->
+                              if not (Value.equal mapped fact.(i)) then
+                                raise Exit
+                          | None ->
+                              Hashtbl.add null_map v fact.(i);
+                              new_nulls := v :: !new_nulls)
+                     | `Free x ->
+                         Hashtbl.add ex_env x fact.(i);
+                         new_ex := x :: !new_ex
+                   done
+                 with Exit -> ok := false);
+                match (if !ok then go rest else None) with
+                | Some tl -> Some ((a.Rule.pred, fact) :: tl)
+                | None ->
+                    List.iter (Hashtbl.remove ex_env) !new_ex;
+                    List.iter (Hashtbl.remove null_map) !new_nulls;
+                    try_cands more
+              end
+        in
+        try_cands candidates
   in
   go prep.rule.Rule.head
 
@@ -746,30 +910,63 @@ let fire st env (prep : prepared) ~on_new =
               parents = List.rev st.fact_trail }
     | None -> ()
   in
-  let add_head a =
+  (* support records EVERY derivation — including re-derivations of a
+     fact already present: DRed needs the alternatives a fact may
+     survive a retraction through *)
+  let record_support nulls pred fact =
+    match st.sup with
+    | Some sup ->
+        support_record sup ~rule_id:prep.rule_id ~parents:st.fact_trail
+          ~nulls pred fact
+    | None -> ()
+  in
+  let add_head nulls (a : Rule.atom) =
     let fact = ground_atom env a in
     if Database.add st.db a.Rule.pred fact then begin
       st.added <- st.added + 1;
       st.cur.c_firings <- st.cur.c_firings + 1;
       budget_check ();
       record a.Rule.pred fact;
+      (match st.sup with
+       | Some sup -> support_index_fact sup a.Rule.pred fact
+       | None -> ());
+      record_support nulls a.Rule.pred fact;
       on_new a.Rule.pred fact
     end
+    else record_support nulls a.Rule.pred fact
   in
-  if prep.existentials = [] then List.iter add_head prep.rule.Rule.head
-  else if
-    st.opts.restricted_chase
-    &&
-    let satisfied = head_satisfied st env prep in
-    if satisfied then st.cur.c_hits <- st.cur.c_hits + 1
-    else st.cur.c_misses <- st.cur.c_misses + 1;
-    satisfied
-  then ()
+  if prep.existentials = [] then
+    List.iter (add_head []) prep.rule.Rule.head
   else begin
-    let mark = env_mark env in
-    List.iter (fun x -> env_bind env x (fresh_null st)) prep.existentials;
-    List.iter add_head prep.rule.Rule.head;
-    env_undo env mark
+    let satisfied =
+      st.opts.restricted_chase
+      &&
+      match head_satisfied st env prep with
+      | Some image ->
+          st.cur.c_hits <- st.cur.c_hits + 1;
+          (match st.sup with
+           | Some sup ->
+               support_record_suppressed sup ~rule_id:prep.rule_id
+                 ~parents:st.fact_trail ~image
+           | None -> ());
+          true
+      | None ->
+          st.cur.c_misses <- st.cur.c_misses + 1;
+          false
+    in
+    if not satisfied then begin
+      let mark = env_mark env in
+      let invented =
+        List.map
+          (fun x ->
+            let v = fresh_null st in
+            env_bind env x v;
+            match v with Value.Null k -> k | _ -> assert false)
+          prep.existentials
+      in
+      List.iter (add_head invented) prep.rule.Rule.head;
+      env_undo env mark
+    end
   end
 
 (* Evaluate literals from position [i]; [delta] optionally designates a
@@ -1127,6 +1324,7 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
     { db = main.db; opts = main.opts; added = 0;
       agg_states = Hashtbl.create 1;
       prov = main.prov;  (* only consulted as a capture-the-trail flag *)
+      sup = main.sup;    (* likewise *)
       fact_trail = [];
       tele = Kgm_telemetry.null;  (* collectors are not domain-safe *)
       ctrs = [||]; cur = ctr; round = main.round; trip_rule = None }
@@ -1147,9 +1345,9 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
     body;
   let keyv = Array.make (max 1 !n_pos) 0 in
   let slots =
-    match main.prov with
-    | Some _ -> Some (Array.make (max 1 !n_pos) ("", [||]))
-    | None -> None
+    if Option.is_some main.prov || Option.is_some main.sup then
+      Some (Array.make (max 1 !n_pos) ("", [||]))
+    else None
   in
   let dg = delta_group ~offset:w.w_offset w.w_facts in
   let buf = ref [] in
@@ -1256,17 +1454,18 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
   let results =
     if Array.length items = 0 then []
     else begin
-      (* build exactly the indexes the items will probe: the plans'
-         patterns when planning, the written-order predictions
-         otherwise (the delta literal never probes the store) *)
-      if planner_on then
-        Hashtbl.iter
-          (fun _ (p : Planner.plan) ->
-            List.iter
-              (fun (pred, pat) -> Database.prepare_index st.db pred pat)
-              p.Planner.patterns)
-          plans
-      else
+      (* build exactly the indexes the items will probe: every plan —
+         planned or written-order — records its probe patterns along
+         its own evaluation order (the delta literal never probes the
+         store). With the planner off the pure written-order
+         predictions are prepared as well. *)
+      Hashtbl.iter
+        (fun _ (p : Planner.plan) ->
+          List.iter
+            (fun (pred, pat) -> Database.prepare_index st.db pred pat)
+            p.Planner.patterns)
+        plans;
+      if not planner_on then
         List.iter
           (fun (prep : prepared) ->
             if not prep.has_agg then
@@ -1423,7 +1622,7 @@ type ck_payload = {
 let program_fingerprint program =
   Digest.to_hex (Digest.string (Rule.program_to_string program))
 
-let run ?(options = default_options) ?provenance
+let run ?(options = default_options) ?provenance ?support
     ?(telemetry = Kgm_telemetry.null) ?(cancel = Kgm_resilience.Token.none)
     ?checkpoint ?resume_from (program : Rule.program) db =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
@@ -1479,7 +1678,7 @@ let run ?(options = default_options) ?provenance
   let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; fact_trail = [];
+      prov = provenance; sup = support; fact_trail = [];
       tele = telemetry;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
@@ -1784,6 +1983,223 @@ let run ?(options = default_options) ?provenance
    | _ -> ());
   stats
 
+(* ------------------------------------------------------------------ *)
+(* Seeded semi-naive pass for incremental maintenance.
+
+   Precondition: [db] already holds a chase fixpoint plus a batch of
+   new extensional facts, and [seed] lists exactly the facts that are
+   new since that fixpoint (the inserted batch, the maintenance
+   layer's re-fire seeds). The pass runs ONLY delta rounds — no
+   round-0 full evaluation — per stratum: the first round of each
+   stratum ranges over the seeds plus whatever earlier strata of this
+   same pass derived, subsequent rounds over the stratum's own delta
+   exactly as in [run]. Under semi-naive completeness this derives
+   precisely the consequences of the seeds, which is what makes
+   maintenance cost proportional to the delta instead of the
+   database. Everything else — the planner's delta-first plans, the
+   pool's parallel rounds, the schedule-independent merge order, the
+   budget/deadline machinery — is shared with [run], so the
+   determinism invariants carry over unchanged. *)
+let run_delta ?(options = default_options) ?provenance ?support
+    ?(telemetry = Kgm_telemetry.null) ?(cancel = Kgm_resilience.Token.none)
+    ?on_new (program : Rule.program) db
+    ~(seed : (string * Database.fact list) list) =
+  Kgm_telemetry.with_span telemetry ~cat:"engine"
+    ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
+    "engine.run_delta"
+  @@ fun () ->
+  let t0 = Kgm_telemetry.Clock.now () in
+  (match Analysis.safety_report program with
+   | [] -> ()
+   | errs ->
+       Kgm_error.validate_error "unsafe program:@ %s" (String.concat "; " errs));
+  let analysis = Analysis.stratify program in
+  let deadline_tok =
+    match options.deadline_s with
+    | Some d -> Kgm_resilience.Token.create ~deadline_s:d ()
+    | None -> Kgm_resilience.Token.none
+  in
+  let tok_status () =
+    match Kgm_resilience.Token.status cancel with
+    | `Ok -> Kgm_resilience.Token.status deadline_tok
+    | s -> s
+  in
+  let n_rules = List.length program.Rule.rules in
+  let st =
+    { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
+      prov = provenance; sup = support; fact_trail = [];
+      tele = telemetry;
+      ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
+      cur = fresh_ctr ();
+      round = 0; trip_rule = None }
+  in
+  let prepared =
+    List.mapi
+      (fun i r ->
+        prepare i (if options.reorder_body then reorder_rule ~db r else r))
+      program.Rule.rules
+  in
+  let stratum_of pred =
+    Option.value ~default:0
+      (Analysis.SMap.find_opt pred analysis.Analysis.stratum_of)
+  in
+  let rule_stratum (prep : prepared) =
+    List.fold_left
+      (fun acc (a : Rule.atom) -> max acc (stratum_of a.Rule.pred))
+      0 prep.rule.Rule.head
+  in
+  let n_strata = List.length analysis.Analysis.strata in
+  let rounds = ref 0 in
+  let deltas = ref [] in
+  let retries = Atomic.make 0 in
+  let stopped = ref None in
+  (* everything this pass derived, chronological across strata: part of
+     the first-round delta of every later stratum (in [run] the round-0
+     full evaluation covers this; here nothing else would) *)
+  let new_facts : (string * Database.fact) list ref = ref [] in
+  let pool = Kgm_pool.create (max 1 options.jobs) in
+  Fun.protect ~finally:(fun () -> Kgm_pool.shutdown pool) @@ fun () ->
+  (try
+     for s = 0 to n_strata - 1 do
+       let rules_here = List.filter (fun p -> rule_stratum p = s) prepared in
+       if rules_here <> [] then begin
+         let in_stratum =
+           match List.nth_opt analysis.Analysis.strata s with
+           | Some preds -> preds
+           | None -> []
+         in
+         let delta : (string, Database.fact list ref) Hashtbl.t =
+           Hashtbl.create 8
+         in
+         let record pred fact =
+           (match on_new with Some f -> f pred fact | None -> ());
+           new_facts := (pred, fact) :: !new_facts;
+           if List.mem pred in_stratum then
+             match Hashtbl.find_opt delta pred with
+             | Some l -> l := fact :: !l
+             | None -> Hashtbl.add delta pred (ref [ fact ])
+         in
+         let delta_size () =
+           Hashtbl.fold (fun _ l acc -> acc + List.length !l) delta 0
+         in
+         let boundary_check () =
+           (match tok_status () with
+            | `Cancelled -> raise (Stop_chase (`Cancelled, true))
+            | `Deadline -> raise (Stop_chase (`Deadline, true))
+            | `Ok -> ());
+           if !rounds >= options.max_rounds then
+             raise (Stop_chase (`Rounds, true))
+         in
+         (* first round of the stratum: caller seeds + earlier strata's
+            derivations of this pass (fact lists are kept reversed, the
+            convention [eval_delta_round] expects) *)
+         let initial : (string, Database.fact list ref) Hashtbl.t =
+           Hashtbl.create 8
+         in
+         let put pred fact =
+           match Hashtbl.find_opt initial pred with
+           | Some l -> l := fact :: !l
+           | None -> Hashtbl.add initial pred (ref [ fact ])
+         in
+         List.iter (fun (pred, facts) -> List.iter (put pred) facts) seed;
+         List.iter (fun (pred, fact) -> put pred fact) (List.rev !new_facts);
+         let recursive_stratum =
+           s < Array.length analysis.Analysis.recursive
+           && analysis.Analysis.recursive.(s)
+         in
+         let pending = ref initial in
+         while Hashtbl.length !pending > 0 do
+           boundary_check ();
+           incr rounds;
+           st.round <- !rounds;
+           let current = !pending in
+           (try
+              Kgm_telemetry.with_span telemetry ~cat:"round" "round"
+                (fun () ->
+                  eval_delta_round st pool rules_here ~tok_status ~retries
+                    ~current ~on_new:record)
+            with Round_aborted ->
+              decr rounds;
+              (match tok_status () with
+               | `Cancelled -> raise (Stop_chase (`Cancelled, true))
+               | _ -> raise (Stop_chase (`Deadline, true))));
+           deltas := delta_size () :: !deltas;
+           let next = Hashtbl.copy delta in
+           Hashtbl.reset delta;
+           (* stratification dividend, as in [run]: after its seeded
+              round a non-recursive stratum cannot refire itself *)
+           if
+             options.planner && options.semi_naive
+             && (not recursive_stratum)
+             && Hashtbl.length next > 0
+           then begin
+             Hashtbl.reset next;
+             if Kgm_telemetry.enabled telemetry then
+               Kgm_telemetry.count telemetry "planner.rounds.skipped"
+           end;
+           pending := next
+         done
+       end
+     done
+   with Stop_chase (l, _) -> stopped := Some l);
+  let per_rule =
+    List.map
+      (fun (prep : prepared) ->
+        let c = st.ctrs.(prep.rule_id) in
+        { rs_id = prep.rule_id;
+          rs_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
+          rs_label = prep.head_label;
+          rs_firings = c.c_firings;
+          rs_matches = c.c_matches;
+          rs_probes = c.c_probes;
+          rs_nulls = c.c_nulls;
+          rs_chase_hits = c.c_hits;
+          rs_chase_misses = c.c_misses;
+          rs_time_s = c.c_time })
+      prepared
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 per_rule in
+  let stats =
+    { rounds = !rounds;
+      new_facts = st.added;
+      elapsed_s = Kgm_telemetry.Clock.now () -. t0;
+      delta_sizes = List.rev !deltas;
+      nulls_invented = sum (fun r -> r.rs_nulls);
+      chase_hits = sum (fun r -> r.rs_chase_hits);
+      chase_misses = sum (fun r -> r.rs_chase_misses);
+      per_rule;
+      stopped = !stopped }
+  in
+  if Kgm_telemetry.enabled telemetry then begin
+    Kgm_telemetry.count telemetry ~by:stats.new_facts "engine.facts.new";
+    Kgm_telemetry.count telemetry ~by:stats.rounds "engine.rounds";
+    let r = Atomic.get retries in
+    if r > 0 then
+      Kgm_telemetry.count telemetry ~by:r "resilience.worker.retries";
+    match stats.stopped with
+    | Some l -> Kgm_telemetry.count telemetry ("engine.stopped." ^ limit_name l)
+    | None -> ()
+  end;
+  (match !stopped, options.on_limit with
+   | Some l, `Raise ->
+       let ctx =
+         (match st.trip_rule with Some r -> [ ("rule", r) ] | None -> [])
+         @ [ ("round", string_of_int !rounds) ]
+       in
+       (match l with
+        | `Facts ->
+            Kgm_error.reason_error_ctx ctx
+              "fact budget exceeded (%d facts): non-terminating chase?"
+              options.max_facts
+        | `Rounds -> Kgm_error.reason_error_ctx ctx "round budget exceeded"
+        | `Deadline -> Kgm_error.reason_error_ctx ctx "deadline exceeded"
+        | `Cancelled ->
+            Kgm_error.reason_error_ctx
+              (("interrupted", "cancelled") :: ctx)
+              "interrupted")
+   | _ -> ());
+  stats
+
 (* Human-readable planning report: what [run] would decide for
    [program] over the current contents of [db] — the strata in
    execution order with their recursion flags, and for every rule of a
@@ -1850,12 +2266,12 @@ let pp_plan_report ?(options = default_options) ppf (program : Rule.program) db
         rules)
     analysis.Analysis.strata
 
-let run_program ?options ?provenance ?telemetry ?cancel ?checkpoint ?resume_from
-    program =
+let run_program ?options ?provenance ?support ?telemetry ?cancel ?checkpoint
+    ?resume_from program =
   let db = Database.create () in
   let stats =
-    run ?options ?provenance ?telemetry ?cancel ?checkpoint ?resume_from
-      program db
+    run ?options ?provenance ?support ?telemetry ?cancel ?checkpoint
+      ?resume_from program db
   in
   (db, stats)
 

@@ -169,10 +169,80 @@ val pp_derivation_tree :
   provenance -> Format.formatter -> string * Database.fact -> unit
 (** The whole derivation tree down to ground facts. *)
 
+(** {1 Derivation support (incremental maintenance)}
+
+    {!provenance} records the {e first} derivation of each fact —
+    enough to explain it, not enough to maintain it. A [support]
+    records the full derivation structure delete-and-rederive needs:
+    every derivation of every derived fact (a fact whose first
+    derivation dies may survive through an alternative one), the
+    labeled nulls each firing invented (a null's creating derivation
+    dying retracts the null and every fact carrying it), a reverse
+    (parent → children) edge index for walking overdeletion cones, a
+    null → carrying-facts index, and the restricted-chase checks that
+    {e suppressed} an invention together with the homomorphic image
+    that satisfied them (if the image later dies, the suppressed firing
+    must be re-attempted — it may then invent).
+
+    The representation is transparent: {!Incremental} walks and prunes
+    it in place. Pass a fresh support to {!run} for the initial chase
+    and the {e same} one to every subsequent {!run_delta} over that
+    database; recording must cover the whole life of the
+    materialization or DRed's completeness argument breaks. Support is
+    not serialized into checkpoints — maintenance does not compose
+    with [resume_from]. *)
+
+module ProvTbl : Hashtbl.S with type key = string * Kgm_common.Value.t list
+(** Fact-keyed hash tables, consistent with
+    {!Kgm_common.Value.equal}/[hash] (like {!Database.KeyTbl}, plus the
+    predicate name in the key). *)
+
+type support_entry = {
+  se_rule : int;  (** rule id within its program (informational) *)
+  se_parents : (string * Database.fact) list;
+      (** the positive body facts the firing consumed, in canonical
+          (sorted, dedup'd) order — DRed only needs the set *)
+  se_nulls : int list;  (** labeled nulls this firing invented *)
+}
+
+type suppressed_firing = {
+  sf_rule : int;
+  sf_parents : (string * Database.fact) list;  (** canonical order *)
+  sf_image : (string * Database.fact) list;
+      (** the image that satisfied the head check *)
+}
+
+type support = {
+  sup_entries : support_entry list ref ProvTbl.t;
+      (** derived fact → its derivations, most recent first *)
+  sup_children : (string * Database.fact) list ref ProvTbl.t;
+      (** body fact → head facts with an entry consuming it; may hold
+          duplicates and stale (pruned) children — consumers dedup *)
+  sup_null_origin : (int, (string * Database.fact) list) Hashtbl.t;
+      (** null id → parents of its creating derivation *)
+  sup_null_facts : (int, (string * Database.fact) list ref) Hashtbl.t;
+      (** null id → facts whose tuple carries the null *)
+  mutable sup_suppressed : suppressed_firing list;
+      (** reverse recording order *)
+  sup_suppressed_keys :
+    (int * (string * Kgm_common.Value.t list) list, unit) Hashtbl.t;
+      (** dedup keys of [sup_suppressed]; prune alongside it *)
+}
+
+val create_support : unit -> support
+
+val support_entries : support -> string -> Database.fact -> support_entry list
+(** All recorded derivations of a fact, most recent first; [[]] for
+    extensional (loaded) facts. *)
+
+val fact_nulls : Database.fact -> int list
+(** The labeled-null ids occurring in a fact's tuple (including inside
+    list values), sorted and dedup'd. *)
+
 (** {1 Running programs} *)
 
 val run :
-  ?options:options -> ?provenance:provenance ->
+  ?options:options -> ?provenance:provenance -> ?support:support ->
   ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint:checkpoint -> ?resume_from:string ->
   Rule.program -> Database.t -> stats
@@ -212,11 +282,35 @@ val pp_plan_report :
     only; nothing is evaluated and the database is not modified. *)
 
 val run_program :
-  ?options:options -> ?provenance:provenance ->
+  ?options:options -> ?provenance:provenance -> ?support:support ->
   ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint:checkpoint -> ?resume_from:string ->
   Rule.program -> Database.t * stats
 (** [run] on a fresh database. *)
+
+val run_delta :
+  ?options:options -> ?provenance:provenance -> ?support:support ->
+  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?on_new:(string -> Database.fact -> unit) ->
+  Rule.program -> Database.t ->
+  seed:(string * Database.fact list) list -> stats
+(** Seeded semi-naive pass for incremental maintenance. Precondition:
+    [db] already holds a chase fixpoint of [program] plus a batch of
+    new extensional facts, and [seed] lists exactly the facts that are
+    new since that fixpoint (already present in [db]; they are {e not}
+    re-inserted). Runs {e only} delta rounds — no round-0 full
+    evaluation: per stratum, the first round ranges over the seeds
+    plus whatever earlier strata of this same pass derived, later
+    rounds over the stratum's own delta exactly as in {!run}. By
+    semi-naive completeness this derives precisely the consequences of
+    the seeds, at a cost proportional to the delta rather than the
+    database. The planner's delta-first plans, the worker pool, the
+    schedule-independent merge order and the budget/deadline machinery
+    are shared with {!run}, so derived facts, their insertion order
+    and labeled-null numbering are identical at every [jobs] value and
+    with the planner on or off. [program]'s fact list is ignored;
+    checkpointing is not supported here ({!Incremental} states are
+    cheap to rebuild from a fresh chase). *)
 
 val query : Database.t -> string -> Database.fact list
 (** Facts of a predicate (insertion order). *)

@@ -1,0 +1,547 @@
+(** Incremental maintenance: insert/retract deltas over a completed
+    chase, repaired in place instead of re-chased.
+
+    Inserts are the easy half: a new extensional fact is exactly a
+    seed for {!Engine.run_delta}, the seeded semi-naive pass that
+    already powers the engine's per-stratum delta rounds — only
+    consequences of the batch are evaluated, with the planner's
+    delta-first plans and the pool's parallel rounds intact.
+
+    Retractions use delete-and-rederive (DRed), recast over the
+    support recorded during the chase:
+
+    {ol
+    {- {e Overdeletion cone.} Walk the support's reverse edges
+       ([sup_children]) from the retracted facts: everything reachable
+       has at least one derivation that (transitively) consumed a
+       retracted fact. When a cone fact is an origin parent of a
+       labeled null, the null is {e at risk} and every fact carrying
+       it joins the cone too (a null is only meaningful while its
+       creating derivation stands).}
+    {- {e Alive closure.} Inside the cone, compute the least fixpoint
+       of: a fact is alive iff it is (still) extensional, or all nulls
+       in its tuple are alive and some recorded derivation of it has
+       all parents alive; an at-risk null is alive iff all parents of
+       its creating derivation are alive. Facts outside the cone are
+       alive by construction — every derivation chain from them down
+       to the EDB avoids the retracted facts.}
+    {- {e Deletion.} Cone minus alive is removed in one
+       {!Database.remove_batch} sweep (survivors keep their relative
+       order — the determinism invariant), and the support is pruned:
+       entries of dead facts, entries of surviving facts that consumed
+       a dead parent, origin/carrier records of dead nulls, and
+       suppressed-firing records whose parents died.}
+    {- {e Rederivation.} A suppressed restricted-chase firing whose
+       witness image died is re-attempted: its parents are seeded into
+       the same {!Engine.run_delta} pass as the inserts, so the rule
+       re-fires through the normal machinery and may now invent.}}
+
+    Programs where the update can reach a negated or aggregated
+    predicate fall back to a full re-chase: stratified negation and
+    aggregation are non-monotone, so support entries under them are
+    not sound deletion evidence. The gate is computed conservatively
+    on the rule dependency graph before anything is touched. *)
+
+open Kgm_common
+
+type phase_edb = unit Engine.ProvTbl.t
+
+type state = {
+  phases : Rule.program list;
+  options : Engine.options;
+  mutable db : Database.t;
+  mutable support : Engine.support;
+  edb_set : phase_edb;
+  mutable edb_order : (string * Database.fact) list;  (* reverse load order *)
+}
+
+type update_stats = {
+  u_inserted : int;
+  u_retracted : int;
+  u_cone : int;
+  u_rederived : int;
+  u_deleted : int;
+  u_refired : int;
+  u_derived : int;
+  u_rounds : int;
+  u_fallback : bool;
+  u_elapsed_s : float;
+}
+
+let key pred fact = (pred, Array.to_list fact)
+
+let edb_note st pred fact =
+  let k = key pred fact in
+  if not (Engine.ProvTbl.mem st.edb_set k) then begin
+    Engine.ProvTbl.add st.edb_set k ();
+    st.edb_order <- (pred, fact) :: st.edb_order;
+    true
+  end
+  else false
+
+let chase_phases ?(options = Engine.default_options) ?telemetry ~db phases =
+  if phases = [] then invalid_arg "Incremental.chase_phases: empty pipeline";
+  let st =
+    { phases; options; db; support = Engine.create_support ();
+      edb_set = Engine.ProvTbl.create 256; edb_order = [] }
+  in
+  (* the EDB is everything loaded rather than derived: facts already in
+     the database plus each phase's own fact list *)
+  List.iter
+    (fun pred -> List.iter (fun f -> ignore (edb_note st pred f)) (Database.facts db pred))
+    (Database.predicates db);
+  List.iter
+    (fun (ph : Rule.program) ->
+      List.iter (fun (p, args) -> ignore (edb_note st p (Array.of_list args))) ph.Rule.facts)
+    phases;
+  let stats =
+    List.fold_left
+      (fun acc ph ->
+        let s = Engine.run ~options ~support:st.support ?telemetry ph db in
+        match acc with None -> Some s | Some a -> Some (Engine.merge_stats a s))
+      None phases
+  in
+  (st, Option.get stats)
+
+let chase ?options ?telemetry ?(db = Database.create ()) program =
+  chase_phases ?options ?telemetry ~db [ program ]
+
+let db st = st.db
+
+let edb_facts st =
+  List.rev st.edb_order
+  |> List.filter (fun (p, f) -> Engine.ProvTbl.mem st.edb_set (key p f))
+
+(* ------------------------------------------------------------------ *)
+(* Fallback gate: forward closure of the updated predicates over the
+   rule dependency graph, then a scan for negation/aggregation in its
+   reach. *)
+
+let affected_preds phases updated =
+  let affected = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace affected p ()) updated;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (ph : Rule.program) ->
+        List.iter
+          (fun (r : Rule.rule) ->
+            let body_hit =
+              List.exists
+                (function
+                  | Rule.Pos a | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
+                  | _ -> false)
+                r.Rule.body
+            in
+            if body_hit then
+              List.iter
+                (fun (a : Rule.atom) ->
+                  if not (Hashtbl.mem affected a.Rule.pred) then begin
+                    Hashtbl.replace affected a.Rule.pred ();
+                    changed := true
+                  end)
+                r.Rule.head)
+          ph.Rule.rules)
+      phases
+  done;
+  affected
+
+let needs_fallback st updated =
+  (not st.options.Engine.semi_naive)
+  ||
+  let affected = affected_preds st.phases updated in
+  List.exists
+    (fun (ph : Rule.program) ->
+      List.exists
+        (fun (r : Rule.rule) ->
+          let neg_hit =
+            List.exists
+              (function
+                | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
+                | _ -> false)
+              r.Rule.body
+          in
+          let has_agg =
+            List.exists (function Rule.Agg _ -> true | _ -> false) r.Rule.body
+          in
+          let body_hit =
+            List.exists
+              (function
+                | Rule.Pos a | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
+                | _ -> false)
+              r.Rule.body
+          in
+          neg_hit || (has_agg && body_hit))
+        ph.Rule.rules)
+    st.phases
+
+(* Full re-chase against the updated EDB: fresh database, fresh
+   support, the EDB replayed in its original load order (determinism of
+   null numbering is then up to {!canonical_facts}, since the global
+   null counter never rewinds). *)
+let rechase ?telemetry st =
+  let db' = Database.create () in
+  let support' = Engine.create_support () in
+  let ordered = edb_facts st in
+  List.iter (fun (p, f) -> ignore (Database.add db' p f)) ordered;
+  List.iter
+    (fun (ph : Rule.program) ->
+      ignore
+        (Engine.run ~options:st.options ~support:support' ?telemetry
+           { ph with Rule.facts = [] } db'))
+    st.phases;
+  st.db <- db';
+  st.support <- support';
+  st.edb_order <- List.rev ordered
+
+(* ------------------------------------------------------------------ *)
+
+let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
+  let t0 = Unix.gettimeofday () in
+  (* retractions only make sense against the EDB; a derived fact would
+     simply be rederived *)
+  let retracts =
+    List.filter (fun (p, f) -> Engine.ProvTbl.mem st.edb_set (key p f)) retracts
+  in
+  let updated =
+    List.sort_uniq String.compare (List.map fst (inserts @ retracts))
+  in
+  let fallback = updated <> [] && needs_fallback st updated in
+  if fallback then begin
+    List.iter (fun (p, f) -> Engine.ProvTbl.remove st.edb_set (key p f)) retracts;
+    let inserted =
+      List.fold_left
+        (fun n (p, f) -> if edb_note st p f then n + 1 else n)
+        0 inserts
+    in
+    rechase ?telemetry:(Some telemetry) st;
+    Kgm_telemetry.count telemetry "incremental.fallback";
+    Kgm_telemetry.count telemetry ~by:inserted "incremental.inserts";
+    Kgm_telemetry.count telemetry ~by:(List.length retracts)
+      "incremental.retracts";
+    { u_inserted = inserted; u_retracted = List.length retracts;
+      u_cone = 0; u_rederived = 0; u_deleted = 0; u_refired = 0;
+      u_derived = 0; u_rounds = 0; u_fallback = true;
+      u_elapsed_s = Unix.gettimeofday () -. t0 }
+  end
+  else begin
+    let sup = st.support in
+    List.iter (fun (p, f) -> Engine.ProvTbl.remove st.edb_set (key p f)) retracts;
+    (* -------- overdeletion cone (reverse reachability) -------- *)
+    (* origin parent -> nulls it helped create, built once per batch *)
+    let parent_nulls : (string * Value.t list, int list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    Hashtbl.iter
+      (fun n parents ->
+        List.iter
+          (fun (p, f) ->
+            let k = key p f in
+            match Hashtbl.find_opt parent_nulls k with
+            | Some r -> r := n :: !r
+            | None -> Hashtbl.add parent_nulls k (ref [ n ]))
+          parents)
+      sup.Engine.sup_null_origin;
+    let cone : unit Engine.ProvTbl.t = Engine.ProvTbl.create 256 in
+    let cone_order = ref [] in
+    let risk_nulls : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    List.iter (fun pf -> Queue.add pf queue) retracts;
+    while not (Queue.is_empty queue) do
+      let (p, f) = Queue.pop queue in
+      let k = key p f in
+      if Database.mem st.db p f && not (Engine.ProvTbl.mem cone k) then begin
+        Engine.ProvTbl.add cone k ();
+        cone_order := (p, f) :: !cone_order;
+        (match Engine.ProvTbl.find_opt sup.Engine.sup_children k with
+         | Some r -> List.iter (fun pf -> Queue.add pf queue) !r
+         | None -> ());
+        match Hashtbl.find_opt parent_nulls k with
+        | None -> ()
+        | Some ns ->
+            List.iter
+              (fun n ->
+                if not (Hashtbl.mem risk_nulls n) then begin
+                  Hashtbl.add risk_nulls n ();
+                  match Hashtbl.find_opt sup.Engine.sup_null_facts n with
+                  | Some r -> List.iter (fun pf -> Queue.add pf queue) !r
+                  | None -> ()
+                end)
+              !ns
+      end
+    done;
+    let cone_facts = List.rev !cone_order in
+    (* -------- alive closure inside the cone -------- *)
+    let alive : unit Engine.ProvTbl.t = Engine.ProvTbl.create 256 in
+    let alive_nulls : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let null_alive n =
+      (not (Hashtbl.mem risk_nulls n)) || Hashtbl.mem alive_nulls n
+    in
+    let fact_alive p f =
+      let k = key p f in
+      if Engine.ProvTbl.mem cone k then Engine.ProvTbl.mem alive k
+      else Database.mem st.db p f
+    in
+    let entry_alive (e : Engine.support_entry) =
+      List.for_all (fun (p, f) -> fact_alive p f) e.Engine.se_parents
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (p, f) ->
+          let k = key p f in
+          if not (Engine.ProvTbl.mem alive k) then begin
+            let ok =
+              Engine.ProvTbl.mem st.edb_set k
+              || (List.for_all null_alive (Engine.fact_nulls f)
+                  && List.exists entry_alive (Engine.support_entries sup p f))
+            in
+            if ok then begin
+              Engine.ProvTbl.add alive k ();
+              changed := true
+            end
+          end)
+        cone_facts;
+      Hashtbl.iter
+        (fun n () ->
+          if not (Hashtbl.mem alive_nulls n) then begin
+            let origin =
+              Option.value ~default:[]
+                (Hashtbl.find_opt sup.Engine.sup_null_origin n)
+            in
+            if List.for_all (fun (p, f) -> fact_alive p f) origin then begin
+              Hashtbl.add alive_nulls n ();
+              changed := true
+            end
+          end)
+        risk_nulls
+    done;
+    let dead_facts =
+      List.filter (fun (p, f) -> not (Engine.ProvTbl.mem alive (key p f))) cone_facts
+    in
+    let dead_set : unit Engine.ProvTbl.t = Engine.ProvTbl.create 64 in
+    List.iter (fun (p, f) -> Engine.ProvTbl.replace dead_set (key p f) ()) dead_facts;
+    let dead_nulls =
+      Hashtbl.fold
+        (fun n () acc -> if Hashtbl.mem alive_nulls n then acc else n :: acc)
+        risk_nulls []
+    in
+    (* -------- delete + prune support -------- *)
+    let deleted = Database.remove_batch st.db dead_facts in
+    List.iter
+      (fun (p, f) ->
+        let k = key p f in
+        Engine.ProvTbl.remove sup.Engine.sup_entries k;
+        (match Engine.ProvTbl.find_opt sup.Engine.sup_children k with
+         | None -> ()
+         | Some r ->
+             List.iter
+               (fun (q, g) ->
+                 let kc = key q g in
+                 if not (Engine.ProvTbl.mem dead_set kc) then
+                   match Engine.ProvTbl.find_opt sup.Engine.sup_entries kc with
+                   | None -> ()
+                   | Some er ->
+                       er :=
+                         List.filter
+                           (fun (e : Engine.support_entry) ->
+                             not
+                               (List.exists
+                                  (fun (pp, pf) ->
+                                    Engine.ProvTbl.mem dead_set (key pp pf))
+                                  e.Engine.se_parents))
+                           !er)
+               !r;
+             Engine.ProvTbl.remove sup.Engine.sup_children k))
+      dead_facts;
+    List.iter
+      (fun n ->
+        Hashtbl.remove sup.Engine.sup_null_origin n;
+        Hashtbl.remove sup.Engine.sup_null_facts n)
+      dead_nulls;
+    (* suppressed firings: drop the ones whose body died; re-attempt the
+       ones whose witness image died (chronological recording order, so
+       the seed order — and with it null numbering — is deterministic) *)
+    let refire_parents = ref [] in
+    let refired = ref 0 in
+    let kept =
+      List.filter
+        (fun (sf : Engine.suppressed_firing) ->
+          let sf_key =
+            ( sf.Engine.sf_rule,
+              List.map (fun (p, f) -> (p, Array.to_list f)) sf.Engine.sf_parents )
+          in
+          let parent_dead =
+            List.exists
+              (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
+              sf.Engine.sf_parents
+          in
+          let image_dead =
+            List.exists
+              (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
+              sf.Engine.sf_image
+          in
+          if parent_dead then begin
+            Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
+            false
+          end
+          else if image_dead then begin
+            Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
+            incr refired;
+            List.iter
+              (fun pf -> refire_parents := pf :: !refire_parents)
+              (List.rev sf.Engine.sf_parents);
+            false
+          end
+          else true)
+        sup.Engine.sup_suppressed
+    in
+    sup.Engine.sup_suppressed <- kept;
+    (* sup_suppressed is in reverse recording order; refire_parents was
+       consed while walking it, so it is now chronological *)
+    let refire_parents = !refire_parents in
+    (* -------- inserts -------- *)
+    let seed_order = ref [] in
+    let seed_tbl : (string, Database.fact list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let seen_seed : unit Engine.ProvTbl.t = Engine.ProvTbl.create 64 in
+    let push_seed p f =
+      let k = key p f in
+      if not (Engine.ProvTbl.mem seen_seed k) then begin
+        Engine.ProvTbl.add seen_seed k ();
+        match Hashtbl.find_opt seed_tbl p with
+        | Some r -> r := f :: !r
+        | None ->
+            Hashtbl.add seed_tbl p (ref [ f ]);
+            seed_order := p :: !seed_order
+      end
+    in
+    let inserted = ref 0 in
+    List.iter
+      (fun (p, f) ->
+        if edb_note st p f then begin
+          incr inserted;
+          if Database.add st.db p f then push_seed p f
+          (* else: the fact was already derived; it is now also
+             extensional, but its consequences already exist *)
+        end)
+      inserts;
+    List.iter
+      (fun (p, f) -> if Database.mem st.db p f then push_seed p f)
+      refire_parents;
+    let seed =
+      List.rev_map
+        (fun p -> (p, List.rev !(Hashtbl.find seed_tbl p)))
+        !seed_order
+    in
+    (* -------- seeded semi-naive pass, phase by phase -------- *)
+    let derived = ref 0 and rounds = ref 0 in
+    if seed <> [] then begin
+      (* later phases must also see what earlier phases of this same
+         batch derived, exactly as they would in a fresh pipeline *)
+      let extra = ref [] in
+      let on_new p f = extra := (p, f) :: !extra in
+      List.iter
+        (fun ph ->
+          let phase_seed =
+            seed
+            @ (List.rev !extra
+               |> List.map (fun (p, f) -> (p, [ f ])))
+          in
+          let s =
+            Engine.run_delta ~options:st.options ~support:sup ~telemetry
+              ~on_new ph st.db ~seed:phase_seed
+          in
+          derived := !derived + s.Engine.new_facts;
+          rounds := !rounds + s.Engine.rounds)
+        st.phases
+    end;
+    let retracted = List.length retracts in
+    let cone_n = List.length cone_facts in
+    let stats =
+      { u_inserted = !inserted; u_retracted = retracted; u_cone = cone_n;
+        u_rederived = cone_n - deleted; u_deleted = deleted;
+        u_refired = !refired; u_derived = !derived; u_rounds = !rounds;
+        u_fallback = false; u_elapsed_s = Unix.gettimeofday () -. t0 }
+    in
+    Kgm_telemetry.count telemetry ~by:stats.u_inserted "incremental.inserts";
+    Kgm_telemetry.count telemetry ~by:stats.u_retracted "incremental.retracts";
+    Kgm_telemetry.count telemetry ~by:stats.u_cone "incremental.cone";
+    Kgm_telemetry.count telemetry ~by:stats.u_rederived "incremental.rederived";
+    Kgm_telemetry.count telemetry ~by:stats.u_deleted "incremental.deleted";
+    Kgm_telemetry.count telemetry ~by:stats.u_refired "incremental.refired";
+    Kgm_telemetry.count telemetry ~by:stats.u_derived "incremental.derived";
+    Kgm_telemetry.count telemetry ~by:stats.u_rounds "incremental.rounds";
+    stats
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form: null ids are process-global and never rewind, so a
+   maintained database and a from-scratch re-chase carry different
+   absolute ids for what is the same labeled null. Renumber them
+   densely in first-occurrence order over a sort that masks nulls by
+   their within-fact repetition pattern — an order computable without
+   knowing the renaming. *)
+
+let rec mask_value seen v =
+  match v with
+  | Value.Null k ->
+      let i =
+        match Hashtbl.find_opt seen k with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length seen in
+            Hashtbl.add seen k i;
+            i
+      in
+      Value.Null i
+  | Value.List l -> Value.List (List.map (mask_value seen) l)
+  | v -> v
+
+let local_pattern (f : Database.fact) =
+  let seen = Hashtbl.create 4 in
+  List.map (mask_value seen) (Array.to_list f)
+
+let compare_vlist = List.compare Value.compare
+
+let canonical_facts dbase =
+  let rename : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec canon v =
+    match v with
+    | Value.Null k ->
+        let i =
+          match Hashtbl.find_opt rename k with
+          | Some i -> i
+          | None ->
+              let i = Hashtbl.length rename in
+              Hashtbl.add rename k i;
+              i
+        in
+        Value.Null i
+    | Value.List l -> Value.List (List.map canon l)
+    | v -> v
+  in
+  List.map
+    (fun pred ->
+      let sorted =
+        Database.facts dbase pred
+        |> List.map (fun f -> (local_pattern f, f))
+        |> List.stable_sort (fun (a, _) (b, _) -> compare_vlist a b)
+      in
+      let renamed = List.map (fun (_, f) -> Array.map canon f) sorted in
+      let final =
+        List.sort
+          (fun a b -> compare_vlist (Array.to_list a) (Array.to_list b))
+          renamed
+      in
+      (pred, final))
+    (Database.predicates dbase)
+
+let equal_facts a b =
+  let fact_eq f g = compare_vlist (Array.to_list f) (Array.to_list g) = 0 in
+  List.equal
+    (fun (p1, fs1) (p2, fs2) -> String.equal p1 p2 && List.equal fact_eq fs1 fs2)
+    (canonical_facts a) (canonical_facts b)

@@ -1,0 +1,97 @@
+(** Incremental maintenance of a chased materialization.
+
+    A {!state} couples a database with the programs that chased it, the
+    {!Engine.support} recorded while chasing, and the current
+    extensional database (EDB): the facts that were {e loaded}, as
+    opposed to derived. {!maintain} then repairs the materialization in
+    place under a batch of extensional inserts and retractions:
+
+    - inserts seed the engine's delta machinery ({!Engine.run_delta}),
+      reusing the planner's delta-first plans and the pool's parallel
+      rounds — only consequences of the new facts are evaluated;
+    - retractions use delete-and-rederive (DRed): the downward closure
+      of the retracted facts (the {e overdeletion cone}) is walked over
+      the support's reverse edges, an alive-set fixpoint inside the
+      cone rederives every fact that still has an all-alive derivation
+      from the surviving EDB, and the rest is deleted. A labeled null
+      whose creating derivation dies takes every fact carrying it down
+      too. Restricted-chase firings that were suppressed because their
+      image already existed are re-attempted when that image dies.
+
+    The repaired database is equal — same facts, labeled nulls
+    numbered identically up to the canonical renaming of
+    {!canonical_facts} — to a from-scratch chase of the updated EDB, at
+    every [jobs] value and with the planner on or off. Programs with
+    stratified negation or aggregation over predicates reachable from
+    the update fall back to a full re-chase (detected conservatively
+    from the rule dependency graph; [u_fallback] reports it). *)
+
+type state
+(** A maintained materialization. Mutable: {!maintain} repairs it in
+    place. The underlying database is shared, not copied — reading it
+    through {!db} after a [maintain] sees the repaired facts, but note
+    that a fallback re-chase replaces the database object itself, so
+    always re-fetch it through {!db} rather than caching it. *)
+
+type update_stats = {
+  u_inserted : int;     (** extensional facts actually added (not dups) *)
+  u_retracted : int;    (** extensional facts actually removed *)
+  u_cone : int;         (** size of the overdeletion cone *)
+  u_rederived : int;    (** cone facts saved by an alternative derivation *)
+  u_deleted : int;      (** facts removed from the database *)
+  u_refired : int;      (** suppressed firings re-attempted *)
+  u_derived : int;      (** facts added by the seeded semi-naive pass *)
+  u_rounds : int;       (** rounds of the seeded pass *)
+  u_fallback : bool;    (** the batch was served by a full re-chase *)
+  u_elapsed_s : float;  (** monotonic wall time of the whole update *)
+}
+
+val chase :
+  ?options:Engine.options -> ?telemetry:Kgm_telemetry.t ->
+  ?db:Database.t -> Rule.program -> state * Engine.stats
+(** Chase [program] (against [db] when given, a fresh database
+    otherwise) with support recording on, and return the maintainable
+    state. Facts already in [db] plus the program's fact list form the
+    initial EDB. *)
+
+val chase_phases :
+  ?options:Engine.options -> ?telemetry:Kgm_telemetry.t ->
+  db:Database.t -> Rule.program list -> state * Engine.stats
+(** Like {!chase} for a multi-phase pipeline (e.g. the two materialize
+    phases): the phases are chased in order against the same database
+    and recorded into one shared support, and {!maintain} replays them
+    in the same order. The phase list must be non-empty. *)
+
+val db : state -> Database.t
+(** The current materialization. Re-fetch after every {!maintain}. *)
+
+val edb_facts : state -> (string * Database.fact) list
+(** The current extensional facts, in load order. *)
+
+val maintain :
+  ?telemetry:Kgm_telemetry.t -> state ->
+  inserts:(string * Database.fact) list ->
+  retracts:(string * Database.fact) list -> update_stats
+(** Apply a batch of extensional updates and repair the
+    materialization. Retractions of facts not currently extensional are
+    ignored (a derived fact cannot be retracted — it would be
+    rederived); inserts already extensional are ignored. Retractions
+    are applied before inserts, so a batch may move a fact. Emits
+    [incremental.*] telemetry counters mirroring {!update_stats}. *)
+
+val canonical_facts : Database.t -> (string * Database.fact list) list
+(** The database contents in canonical form: predicates sorted, facts
+    of each predicate sorted, and labeled nulls renumbered densely from
+    0 in order of first occurrence over that sorted stream. Two
+    materializations of the same EDB — e.g. a maintained database and a
+    from-scratch re-chase — canonicalize identically even though their
+    absolute null ids differ (the null counter is process-global). The
+    renaming sorts facts with nulls masked by their within-fact
+    repetition pattern, which names nulls uniquely for warded chases
+    like ours; pathological fact sets that are identical up to a
+    cross-fact null permutation may canonicalize to distinct forms
+    (never the converse — equal canonical forms always mean isomorphic
+    databases). *)
+
+val equal_facts : Database.t -> Database.t -> bool
+(** [canonical_facts a = canonical_facts b] up to value equality. *)

@@ -40,17 +40,44 @@ type plan = {
 }
 
 let written ~delta_lit (r : Rule.rule) =
-  let n = List.length r.Rule.body in
+  let items = Array.of_list r.Rule.body in
+  let n = Array.length items in
   let order =
     delta_lit :: List.filter (fun i -> i <> delta_lit) (List.init n Fun.id)
   in
   (* rotating the delta to the front is readiness-safe: a non-atom
      literal's binders all precede it in the written order, and the
      rotation only moves one binder earlier *)
+  let bound = Hashtbl.create 16 in
+  let patterns = ref [] in
+  List.iter
+    (fun i ->
+      (match items.(i) with
+       | Rule.Pos (a : Rule.atom) when i <> delta_lit ->
+           (* the delta literal's bindings anchor probes the pure
+              written-order prediction misses (a late delta would
+              otherwise degrade every probe to a store scan) *)
+           let pattern =
+             List.filter_map Fun.id
+               (List.mapi
+                  (fun j t ->
+                    match t with
+                    | Term.Const _ -> Some j
+                    | Term.Var x ->
+                        if Hashtbl.mem bound x then Some j else None)
+                  a.Rule.args)
+           in
+           if pattern <> [] then
+             patterns := (a.Rule.pred, pattern) :: !patterns
+       | _ -> ());
+      List.iter
+        (fun v -> Hashtbl.replace bound v ())
+        (Rule.literal_body_bound items.(i)))
+    order;
   { order;
     reordered = order <> List.init n Fun.id;
     cost = 1;
-    patterns = [] }
+    patterns = List.rev !patterns }
 
 (* Candidate estimate for evaluating [a] now: base cardinality divided
    by 4 per bound position, floored at 1. *)

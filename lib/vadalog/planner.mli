@@ -22,7 +22,10 @@ type plan = {
 
 val written : delta_lit:int -> Rule.rule -> plan
 (** The unplanned order: the delta literal first (see {!plan_rule}),
-    then every other literal in written order; no patterns, unit cost.
+    then every other literal in written order; unit cost. Probe
+    patterns are still recorded along that order — the delta literal's
+    bindings anchor probes the pure written-order prediction misses —
+    so the engine prepares the right indexes with the planner off.
     The identity on bodies whose delta literal is already first. *)
 
 val plan_rule : count:(string -> int) -> delta_lit:int -> Rule.rule -> plan

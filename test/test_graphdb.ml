@@ -220,9 +220,127 @@ let test_oid_string_roundtrip () =
       Oid.skolem "node" [ "a"; "b" ] ];
   check Alcotest.bool "garbage rejected" true (Oid.of_string "nonsense" = None)
 
+(* ------------------------------------------------------------------ *)
+(* Serialization round trips with hostile payloads (regression: CR
+   fields were not quoted by csv_escape, and string cells were imported
+   without undoing the %S escapes Value.pp emits) *)
+
+let bundle_roundtrips g =
+  let g2 = Kgm_graphdb.Pg_import.of_csv_bundle (Kgm_graphdb.Pg_export.to_csv_bundle g) in
+  PG.equal_graphs g g2
+
+let test_csv_cr_payloads () =
+  (* a skolem oid argument is the one value rendered into CSV verbatim:
+     before the fix the unquoted CR was dropped by the importer *)
+  let g = PG.create () in
+  let a =
+    PG.add_node ~id:(Oid.skolem "reg" [ "row\r1" ]) g ~labels:[ "N" ]
+      ~props:[ ("note", Value.string "cr\rlf\r\nend") ]
+  in
+  let b = PG.add_node ~id:(Oid.skolem "reg" [ "row\r2" ]) g ~labels:[ "N" ] ~props:[] in
+  ignore (PG.add_edge g ~label:"E" ~src:a ~dst:b ~props:[]);
+  check Alcotest.bool "CR payloads survive" true (bundle_roundtrips g)
+
+let test_csv_escaped_string_payloads () =
+  (* values whose %S rendering differs from the raw string: before the
+     fix the import kept the backslash escapes literal *)
+  let g = PG.create () in
+  List.iteri
+    (fun i s ->
+      ignore
+        (PG.add_node ~id:(Oid.skolem "n" [ string_of_int i ]) g ~labels:[ "N" ]
+           ~props:[ ("p", Value.string s) ]))
+    [ "line1\nline2"; "he said \"hi\""; "back\\slash"; "tab\there";
+      "caf\xc3\xa9 — ünïcode"; "comma, semi; colon:"; "a\rb" ];
+  check Alcotest.bool "escaped strings survive" true (bundle_roundtrips g)
+
+let hostile_str =
+  (* strings over the characters the satellite bug reports name: quotes,
+     commas, semicolons, newlines, CR, unicode bytes *)
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'Z'; '0'; '"'; ','; ';'; '\n'; '\r'; '\\'; '\''; '<'; '&'; '\xc3'; '\xa9'; ' ' ])
+      (0 -- 12))
+
+let prop_csv_bundle_roundtrip =
+  QCheck.Test.make ~name:"csv bundle roundtrip on hostile strings" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (1 -- 4) hostile_str))
+    (fun payloads ->
+      let g = PG.create () in
+      let prev = ref None in
+      List.iteri
+        (fun i s ->
+          let id =
+            PG.add_node ~id:(Oid.skolem "q" [ string_of_int i ]) g
+              ~labels:[ "N" ]
+              ~props:[ ("s", Value.string s) ]
+          in
+          (match !prev with
+           | Some p ->
+               ignore
+                 (PG.add_edge g ~label:"E" ~src:p ~dst:id
+                    ~props:[ ("t", Value.string s) ])
+           | None -> ());
+          prev := Some id)
+        payloads;
+      bundle_roundtrips g)
+
+(* xml_escape has no importer counterpart; its inverse is entity
+   unescaping, which we implement test-side to assert injectivity *)
+let xml_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '&' then
+       let ent, skip =
+         if !i + 3 < n && String.sub s !i 4 = "&lt;" then ("<", 4)
+         else if !i + 3 < n && String.sub s !i 4 = "&gt;" then (">", 4)
+         else if !i + 4 < n && String.sub s !i 5 = "&amp;" then ("&", 5)
+         else if !i + 5 < n && String.sub s !i 6 = "&quot;" then ("\"", 6)
+         else ("&", 1)
+       in
+       Buffer.add_string buf ent;
+       i := !i + skip - 1
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let prop_xml_escape_roundtrip =
+  QCheck.Test.make ~name:"xml_escape/unescape identity" ~count:200
+    (QCheck.make hostile_str)
+    (fun s -> xml_unescape (Kgm_graphdb.Pg_export.xml_escape s) = s)
+
+let prop_csv_escape_roundtrip =
+  QCheck.Test.make ~name:"csv_escape/parse_csv identity" ~count:200
+    (QCheck.make hostile_str)
+    (fun s ->
+      let doc = Kgm_graphdb.Pg_export.csv_escape s ^ "\n" in
+      match Kgm_graphdb.Pg_import.parse_csv doc with
+      | [ [ cell ] ] -> cell = s
+      | [] -> s = ""  (* a lone empty field renders as an empty doc *)
+      | _ -> false)
+
+let test_graphml_hostile_attrs () =
+  let g = PG.create () in
+  ignore
+    (PG.add_node g ~labels:[ "A<B>&\"C" ]
+       ~props:[ ("k<&>", Value.string "v&\"<>") ]);
+  let xml = Kgm_graphdb.Pg_export.to_graphml g in
+  check Alcotest.bool "no raw angle in attrs" true
+    (not (contains xml "A<B>"));
+  check Alcotest.bool "escaped label present" true
+    (contains xml "A&lt;B&gt;&amp;&quot;C")
+
 let suite =
   suite
   @ [ ("csv bundle roundtrip", `Quick, test_csv_roundtrip);
       ("csv parsing edge cases", `Quick, test_csv_parse_edge_cases);
       ("csv import errors", `Quick, test_csv_import_errors);
-      ("oid string roundtrip", `Quick, test_oid_string_roundtrip) ]
+      ("oid string roundtrip", `Quick, test_oid_string_roundtrip);
+      ("csv CR payloads", `Quick, test_csv_cr_payloads);
+      ("csv %S payloads", `Quick, test_csv_escaped_string_payloads);
+      ("graphml hostile attributes", `Quick, test_graphml_hostile_attrs);
+      qtest prop_csv_bundle_roundtrip;
+      qtest prop_xml_escape_roundtrip;
+      qtest prop_csv_escape_roundtrip ]

@@ -1,0 +1,264 @@
+(* Tests for the incremental maintenance layer: insert seeding,
+   delete-and-rederive retraction, labeled-null death, suppressed-firing
+   re-fire, the negation/aggregation fallback gate, and the determinism
+   matrix (jobs × planner × maintained-vs-rechased). *)
+
+open Kgm_common
+module V = Kgm_vadalog
+module I = Kgm_vadalog.Incremental
+
+let check = Alcotest.check
+
+(* fact batches are written as Vadalog fact syntax and parsed, so the
+   values agree with whatever the parser makes of constants *)
+let pfacts src =
+  let p = V.Parser.parse_program src in
+  List.map (fun (pred, args) -> (pred, Array.of_list args)) p.V.Rule.facts
+
+let opts ?(jobs = 1) ?(planner = true) () =
+  { V.Engine.default_options with V.Engine.jobs; planner }
+
+(* an independent from-scratch chase over the state's current EDB *)
+let rechased st program options =
+  let db = V.Database.create () in
+  List.iter (fun (p, f) -> ignore (V.Database.add db p f)) (I.edb_facts st);
+  ignore (V.Engine.run ~options { program with V.Rule.facts = [] } db);
+  db
+
+let tc_src =
+  {| edge(a, b). edge(b, c). edge(c, d).
+     reach(X, Y) :- edge(X, Y).
+     reach(X, Z) :- reach(X, Y), edge(Y, Z). |}
+
+let test_insert_only () =
+  let program = V.Parser.parse_program tc_src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:(pfacts "edge(d, e).") ~retracts:[] in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.int "one insert" 1 u.I.u_inserted;
+  check Alcotest.bool "derived consequences" true (u.I.u_derived >= 4);
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_retract_chain () =
+  let program = V.Parser.parse_program tc_src in
+  let st, _ = I.chase program in
+  let before = V.Database.count (I.db st) "reach" in
+  check Alcotest.int "closure size" 6 before;
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "edge(b, c).") in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.int "one retract" 1 u.I.u_retracted;
+  (* cone: edge(b,c) and reach(b,c), reach(a,c), reach(b,d), reach(a,d)
+     — all dead; reach(c,d) never enters it (derived from edge(c,d)) *)
+  check Alcotest.int "reach after" 2 (V.Database.count (I.db st) "reach");
+  check Alcotest.int "cone" 5 u.I.u_cone;
+  check Alcotest.int "all deleted" 5 u.I.u_deleted;
+  check Alcotest.int "none rederived" 0 u.I.u_rederived;
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_alternative_derivation_survives () =
+  (* p(x) is derivable from either source; killing one leaves it alive *)
+  let src =
+    {| s1(x). s2(x).
+       p(X) :- s1(X).
+       p(X) :- s2(X).
+       q(X) :- p(X). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "s1(x).") in
+  check Alcotest.int "p survives" 1 (V.Database.count (I.db st) "p");
+  check Alcotest.int "q survives" 1 (V.Database.count (I.db st) "q");
+  check Alcotest.bool "cone nonempty" true (u.I.u_cone >= 2);
+  check Alcotest.bool "p,q rederived" true (u.I.u_rederived >= 2);
+  let u2 = I.maintain st ~inserts:[] ~retracts:(pfacts "s2(x).") in
+  check Alcotest.int "p gone" 0 (V.Database.count (I.db st) "p");
+  check Alcotest.int "q gone" 0 (V.Database.count (I.db st) "q");
+  check Alcotest.bool "deleted now" true (u2.I.u_deleted >= 3)
+
+let test_null_death () =
+  (* mgr invents a null manager; retracting the employee kills the null
+     and everything carrying it *)
+  let src =
+    {| emp(a). emp(b).
+       mgr(X, M) :- emp(X).
+       boss(M) :- mgr(X, M). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  check Alcotest.int "two mgr" 2 (V.Database.count (I.db st) "mgr");
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "emp(a).") in
+  check Alcotest.int "one mgr left" 1 (V.Database.count (I.db st) "mgr");
+  check Alcotest.int "one boss left" 1 (V.Database.count (I.db st) "boss");
+  check Alcotest.bool "null facts deleted" true (u.I.u_deleted >= 3);
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_suppressed_refire () =
+  (* the restricted chase suppresses the invention for owner(a, _)
+     because owner(a, b) already exists; retracting it must re-fire the
+     suppressed derivation, which now invents a null *)
+  let src =
+    {| person(a). owner(a, b).
+       owner(X, Y) :- person(X). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  check Alcotest.int "suppressed, not invented" 2
+    (V.Database.total (I.db st));
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "owner(a, b).") in
+  check Alcotest.bool "refired" true (u.I.u_refired >= 1);
+  (match V.Engine.query (I.db st) "owner" with
+   | [ [| _; Value.Null _ |] ] -> ()
+   | _ -> Alcotest.fail "expected owner(a, null)");
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_retract_derivable_edb_fact () =
+  (* a fact both loaded and derivable: retracting the EDB copy keeps it
+     alive through its derivation *)
+  let src =
+    {| e(a). d(a).
+       d(X) :- e(X). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "d(a).") in
+  check Alcotest.int "still derived" 1 (V.Database.count (I.db st) "d");
+  check Alcotest.int "nothing deleted" 0 u.I.u_deleted;
+  (* now retract its last support *)
+  let _ = I.maintain st ~inserts:[] ~retracts:(pfacts "e(a).") in
+  check Alcotest.int "gone with support" 0 (V.Database.count (I.db st) "d")
+
+let test_noop_updates () =
+  let program = V.Parser.parse_program tc_src in
+  let st, _ = I.chase program in
+  let total = V.Database.total (I.db st) in
+  (* duplicate insert and bogus retracts (unknown / derived facts) *)
+  let u =
+    I.maintain st
+      ~inserts:(pfacts "edge(a, b).")
+      ~retracts:(pfacts "edge(z, z). reach(a, c).")
+  in
+  check Alcotest.int "no insert" 0 u.I.u_inserted;
+  check Alcotest.int "no retract" 0 u.I.u_retracted;
+  check Alcotest.int "db unchanged" total (V.Database.total (I.db st))
+
+let test_fallback_negation () =
+  let src =
+    {| node(a). node(b). edge(a, b).
+       connected(X) :- edge(X, Y).
+       isolated(X) :- node(X), not connected(X). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  check Alcotest.int "b isolated" 1 (V.Database.count (I.db st) "isolated");
+  (* retracting edge(a,b) makes a isolated too — non-monotone, so the
+     gate must route this through a full re-chase *)
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "edge(a, b).") in
+  check Alcotest.bool "fallback" true u.I.u_fallback;
+  check Alcotest.int "both isolated" 2 (V.Database.count (I.db st) "isolated");
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_fallback_aggregation () =
+  let src =
+    {| own(a, b, 0.6). own(a, c, 0.3).
+       total(X, S) :- own(X, Y, W), S = sum(W). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:(pfacts "own(a, d, 0.05).") ~retracts:[] in
+  check Alcotest.bool "fallback" true u.I.u_fallback;
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_mixed_batch_matrix () =
+  (* the determinism matrix: jobs × planner, maintained vs re-chased,
+     on a workload with recursion and existential invention *)
+  let src =
+    {| edge(n0, n1). edge(n1, n2). edge(n2, n3). edge(n3, n4).
+       edge(n2, n0).
+       reach(X, Y) :- edge(X, Y).
+       reach(X, Z) :- reach(X, Y), edge(Y, Z).
+       shell(X, C) :- reach(X, n4). |}
+  in
+  let program = V.Parser.parse_program src in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun planner ->
+          let options = opts ~jobs ~planner () in
+          let st, _ = I.chase ~options program in
+          let u =
+            I.maintain st
+              ~inserts:(pfacts "edge(n4, n5). edge(n5, n0).")
+              ~retracts:(pfacts "edge(n1, n2).")
+          in
+          check Alcotest.bool
+            (Printf.sprintf "no fallback (jobs=%d planner=%b)" jobs planner)
+            false u.I.u_fallback;
+          let db2 = rechased st program options in
+          check Alcotest.bool
+            (Printf.sprintf "maintained = rechased (jobs=%d planner=%b)"
+               jobs planner)
+            true
+            (I.equal_facts (I.db st) db2))
+        [ true; false ])
+    [ 1; 2 ]
+
+let test_repeated_maintenance () =
+  (* many small batches must keep converging to the re-chased truth *)
+  let program = V.Parser.parse_program tc_src in
+  let st, _ = I.chase program in
+  let batches =
+    [ (pfacts "edge(d, e).", []);
+      ([], pfacts "edge(a, b).");
+      (pfacts "edge(e, a). edge(a, b).", pfacts "edge(c, d).");
+      ([], pfacts "edge(d, e). edge(e, a).") ]
+  in
+  List.iter
+    (fun (inserts, retracts) ->
+      let _ = I.maintain st ~inserts ~retracts in
+      let db2 = rechased st program (opts ()) in
+      check Alcotest.bool "converged" true (I.equal_facts (I.db st) db2))
+    batches
+
+let test_canonical_facts_renames_nulls () =
+  (* two chases of the same program burn different global null ids but
+     must canonicalize identically *)
+  let src = {| emp(a). emp(b). mgr(X, M) :- emp(X). |} in
+  let program = V.Parser.parse_program src in
+  let db1, _ = V.Engine.run_program program in
+  let db2, _ = V.Engine.run_program program in
+  check Alcotest.bool "isomorphic" true (I.equal_facts db1 db2);
+  let c = I.canonical_facts db1 in
+  let mgr = List.assoc "mgr" c in
+  let null_ids =
+    List.concat_map (fun f -> V.Engine.fact_nulls f) mgr
+    |> List.sort_uniq Int.compare
+  in
+  check
+    (Alcotest.list Alcotest.int)
+    "dense from 0" [ 0; 1 ] null_ids
+
+let suite =
+  [ Alcotest.test_case "insert only ≡ re-chase" `Quick test_insert_only;
+    Alcotest.test_case "retract chain (DRed)" `Quick test_retract_chain;
+    Alcotest.test_case "alternative derivation survives" `Quick
+      test_alternative_derivation_survives;
+    Alcotest.test_case "null death cascades" `Quick test_null_death;
+    Alcotest.test_case "suppressed firing re-fires" `Quick
+      test_suppressed_refire;
+    Alcotest.test_case "retract derivable EDB fact" `Quick
+      test_retract_derivable_edb_fact;
+    Alcotest.test_case "no-op updates" `Quick test_noop_updates;
+    Alcotest.test_case "negation falls back" `Quick test_fallback_negation;
+    Alcotest.test_case "aggregation falls back" `Quick
+      test_fallback_aggregation;
+    Alcotest.test_case "jobs × planner matrix" `Quick test_mixed_batch_matrix;
+    Alcotest.test_case "repeated maintenance converges" `Quick
+      test_repeated_maintenance;
+    Alcotest.test_case "canonical null renaming" `Quick
+      test_canonical_facts_renames_nulls ]

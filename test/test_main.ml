@@ -12,6 +12,7 @@ let () =
       ("relational", Test_relational.suite);
       ("graphdb", Test_graphdb.suite);
       ("vadalog", Test_vadalog.suite);
+      ("incremental", Test_incremental.suite);
       ("parallel", Test_parallel.suite);
       ("planner", Test_planner.suite);
       ("resilience", Test_resilience.suite);

@@ -227,6 +227,59 @@ let test_inserts () =
   let lines = String.split_on_char '\n' (String.trim sql) in
   check Alcotest.int "one insert per tuple" (I.total_tuples db) (List.length lines)
 
+let test_list_encoding_injective () =
+  (* regression: ["a;b"] and ["a"; "b"] used to serialize identically *)
+  let s = Kgm_relational.Sql.sql_literal in
+  check Alcotest.bool "a;b vs a,b distinct" true
+    (s (Value.List [ Value.string "a;b" ])
+     <> s (Value.List [ Value.string "a"; Value.string "b" ]));
+  check Alcotest.bool "backslash vs escaped semi distinct" true
+    (s (Value.List [ Value.string "a\\"; Value.string "b" ])
+     <> s (Value.List [ Value.string "a\\;b" ]))
+
+let test_list_decode_inverse () =
+  let module S = Kgm_relational.Sql in
+  let cases =
+    [ [];
+      [ Value.string "plain" ];
+      [ Value.string "a;b"; Value.string "c" ];
+      [ Value.string "back\\slash"; Value.int 3; Value.bool false ];
+      [ Value.string "it's"; Value.string "quote\"d" ];
+      [ Value.List [ Value.string "x;y" ]; Value.string "z" ];
+      [ Value.string "nl\nand\rcr"; Value.string "caf\xc3\xa9" ] ]
+  in
+  List.iter
+    (fun l ->
+      check
+        (Alcotest.list Alcotest.string)
+        "decode (encode l) = map sql_literal l"
+        (List.map S.sql_literal l)
+        (S.decode_list (S.encode_list l)))
+    cases
+
+let test_escape_string_dialect () =
+  (* standard-conforming strings: backslashes pass through verbatim,
+     quotes are doubled, and no E'' prefix is ever emitted *)
+  let s = Kgm_relational.Sql.sql_literal in
+  check Alcotest.string "backslash verbatim" "'a\\b'" (s (Value.string "a\\b"));
+  check Alcotest.string "quote doubled" "'a''b'" (s (Value.string "a'b"));
+  let ddl = Kgm_relational.Sql.ddl people_schema in
+  let ins = Kgm_relational.Sql.inserts (sample_instance ()) in
+  check Alcotest.bool "no E'' in ddl" false (contains ddl "E'");
+  check Alcotest.bool "no E'' in inserts" false (contains ins "E'")
+
+let hostile_string =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; ';'; '\\'; '\''; '"'; ','; '\n'; '\r'; '\xc3'; '\xa9' ]) (0 -- 10))
+
+let prop_list_roundtrip =
+  QCheck.Test.make ~name:"sql list encode/decode inverse" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (0 -- 5) hostile_string))
+    (fun elems ->
+      let module S = Kgm_relational.Sql in
+      let l = List.map Value.string elems in
+      S.decode_list (S.encode_list l) = List.map S.sql_literal l)
+
 let test_enum_check () =
   let sch =
     R.add_relation R.empty
@@ -256,4 +309,8 @@ let suite =
     ("sql ddl", `Quick, test_ddl);
     ("sql literals", `Quick, test_sql_literals);
     ("sql inserts", `Quick, test_inserts);
+    ("sql list encoding injective", `Quick, test_list_encoding_injective);
+    ("sql list decode inverse", `Quick, test_list_decode_inverse);
+    ("sql escape dialect", `Quick, test_escape_string_dialect);
+    qtest prop_list_roundtrip;
     ("enum modifiers", `Quick, test_enum_check) ]
