@@ -11,7 +11,8 @@
     - [demo]      : end-to-end Algorithm 2 on a synthetic Company KG;
     - [diff]      : model-independent schema evolution diff;
     - [check]     : instance conformance checking;
-    - [figures]   : regenerate the paper's figure artifacts. *)
+    - [figures]   : regenerate the paper's figure artifacts;
+    - [journal]   : summarize/filter a chase flight recording. *)
 
 open Cmdliner
 
@@ -51,6 +52,28 @@ let metrics_arg =
        & info [ "metrics" ]
            ~doc:"Print per-rule chase metrics and the telemetry summary \
                  after the run.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Record the chase flight recorder to $(docv) as JSONL \
+                 (one event per line: rounds, rule batches, plans, \
+                 worker chunks, checkpoints, limits). Summarize later \
+                 with $(b,kgmodel journal).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a Prometheus text-format snapshot of the \
+                 telemetry counters and histograms to $(docv): \
+                 refreshed at every round boundary during the run \
+                 (atomic rename), final state on exit.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Live progress line on stderr: round, delta size, \
+                 facts/sec, elapsed time against the deadline.")
 
 let jobs_arg =
   Arg.(value & opt int Kgm_vadalog.Engine.default_jobs
@@ -142,6 +165,83 @@ let with_telemetry ~trace ~metrics f =
     else Kgm_telemetry.null
   in
   let r = f tele in
+  if metrics then print_string (Kgm_telemetry.summary tele);
+  (match trace with
+   | Some file ->
+       (try Kgm_telemetry.write_chrome_trace file tele
+        with Sys_error msg ->
+          Kgm_common.Kgm_error.raise_error_ctx Kgm_common.Kgm_error.Storage
+            [ ("file", file) ]
+            "cannot write trace: %s" msg);
+       Format.printf "trace written to %s@." file
+   | None -> ());
+  r
+
+(* The full observability harness for reasoning commands: the telemetry
+   collector plus the flight recorder, with the derived consumers —
+   live progress line and periodic Prometheus snapshots — attached as
+   journal taps. [f] gets the collector and the journal; each is a
+   no-op unless some flag asked for it (--progress and --metrics-out
+   imply an in-memory journal even without --journal). *)
+let with_observability ~trace ~metrics ~journal ~metrics_out ~progress
+    ~deadline f =
+  let module Journal = Kgm_telemetry.Journal in
+  let tele =
+    if trace <> None || metrics || metrics_out <> None then
+      Kgm_telemetry.create ()
+    else Kgm_telemetry.null
+  in
+  let jr =
+    if journal <> None || progress || metrics_out <> None then
+      Journal.create ?path:journal ()
+    else Journal.null
+  in
+  if progress then begin
+    let t0 = Unix.gettimeofday () in
+    let derived = ref 0 in
+    Journal.tap jr (fun ev ->
+        match ev.Journal.ev_type with
+        | "round.end" ->
+            let fld k =
+              Option.value ~default:0 (Journal.int_field ev k)
+            in
+            derived := !derived + fld "delta";
+            let el = Unix.gettimeofday () -. t0 in
+            let rate =
+              if el > 0. then float_of_int !derived /. el else 0.
+            in
+            let budget =
+              match deadline with
+              | Some d -> Printf.sprintf "%.1fs/%.0fs" el d
+              | None -> Printf.sprintf "%.1fs" el
+            in
+            Printf.eprintf
+              "\r\027[Kround %d: delta %d, %d facts, %.0f facts/s, %s%!"
+              (fld "round") (fld "delta") (fld "facts") rate budget
+        | "run.end" | "maintain.end" -> prerr_newline ()
+        | _ -> ())
+  end;
+  (match metrics_out with
+   | Some file ->
+       Journal.tap jr (fun ev ->
+           if ev.Journal.ev_type = "round.end" then
+             try Kgm_telemetry.write_prometheus file tele
+             with Sys_error _ -> () (* retried at the final snapshot *))
+   | None -> ());
+  let r = f tele jr in
+  Journal.close jr;
+  (match journal with
+   | Some file -> Format.printf "%% journal written to %s@." file
+   | None -> ());
+  (match metrics_out with
+   | Some file ->
+       (try Kgm_telemetry.write_prometheus file tele
+        with Sys_error msg ->
+          Kgm_common.Kgm_error.raise_error_ctx Kgm_common.Kgm_error.Storage
+            [ ("file", file) ]
+            "cannot write metrics: %s" msg);
+       Format.printf "%% metrics written to %s@." file
+   | None -> ());
   if metrics then print_string (Kgm_telemetry.summary tele);
   (match trace with
    | Some file ->
@@ -275,13 +375,29 @@ let reason_cmd =
              ~doc:"Skip malformed @input rows (wrong arity, unparsable \
                    value) with a warning instead of failing.")
   in
-  let explain =
+  let explain_plan =
     Arg.(value & flag
-         & info [ "explain" ]
+         & info [ "explain-plan" ]
              ~doc:"Print the chase plan (strata in execution order, join \
                    order per recursive rule and delta literal) computed \
                    over the loaded input facts, then exit without \
                    running the chase.")
+  in
+  let explain_fact =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"FACT"
+             ~doc:"After the chase, print the derivation tree of $(docv) \
+                   (e.g. 'control(a,b)'): the firing rule, the \
+                   head-variable substitution, invented nulls and the \
+                   premises, recursively down to ground facts. Implies \
+                   provenance recording; deterministic across --jobs, \
+                   the planner and checkpoint/resume.")
+  in
+  let explain_depth =
+    Arg.(value & opt int Kgm_vadalog.Engine.default_explain_depth
+         & info [ "explain-depth" ] ~docv:"N"
+             ~doc:"Depth bound for --explain derivation trees (cyclic \
+                   ownership graphs are cut here and at back-edges).")
   in
   let no_planner =
     Arg.(value & flag
@@ -302,9 +418,12 @@ let reason_cmd =
                    comments. Incompatible with checkpointing.")
   in
   let run file query trace metrics jobs deadline ck_dir ck_every resume
-      on_limit lenient explain no_planner update =
+      on_limit lenient explain_plan no_planner update journal metrics_out
+      progress explain_fact explain_depth =
     handle (fun () ->
-        with_telemetry ~trace ~metrics @@ fun tele ->
+        with_observability ~trace ~metrics ~journal ~metrics_out ~progress
+          ~deadline
+        @@ fun tele jr ->
         let cancel = install_sigint () in
         let program = Kgm_vadalog.Parser.parse_program (read_file file) in
         let db = Kgm_vadalog.Database.create () in
@@ -328,9 +447,10 @@ let reason_cmd =
           { (options_for_jobs jobs) with
             Kgm_vadalog.Engine.deadline_s = deadline;
             on_limit = `Partial;
-            planner = not no_planner }
+            planner = not no_planner;
+            provenance = explain_fact <> None }
         in
-        if explain then begin
+        if explain_plan then begin
           (* the engine loads inline facts itself; mirror that here so
              the report sees the same cardinalities a run would start
              from *)
@@ -362,6 +482,36 @@ let reason_cmd =
                  (fun pred -> Format.printf "%s: %d facts@." pred
                      (List.length (Kgm_vadalog.Database.facts db pred)))
                  (Kgm_vadalog.Database.predicates db));
+          (match explain_fact with
+           | None -> ()
+           | Some s ->
+               let pred, fact =
+                 let s' = String.trim s in
+                 let s' =
+                   if s' <> "" && s'.[String.length s' - 1] = '.' then s'
+                   else s' ^ "."
+                 in
+                 let p = Kgm_vadalog.Parser.parse_program s' in
+                 match p.Kgm_vadalog.Rule.facts with
+                 | [ (pred, args) ] -> (pred, Array.of_list args)
+                 | _ ->
+                     Kgm_common.Kgm_error.raise_error_ctx
+                       Kgm_common.Kgm_error.Validate
+                       [ ("fact", s) ]
+                       "--explain expects a single ground fact, e.g. \
+                        'control(a,b)'"
+               in
+               let sup =
+                 match stats.Kgm_vadalog.Engine.support with
+                 | Some sup -> sup
+                 | None -> Kgm_vadalog.Engine.create_support ()
+               in
+               if not (Kgm_vadalog.Database.mem db pred fact) then
+                 Format.printf "%% not in the database: %s@." (String.trim s);
+               print_string
+                 (Kgm_vadalog.Engine.explain_tree_to_string
+                    (Kgm_vadalog.Engine.explain_tree ~max_depth:explain_depth
+                       sup program pred fact)));
           report_stopped ~on_limit ~metrics stats
         in
         match update with
@@ -381,8 +531,8 @@ let reason_cmd =
              | Some p -> Format.printf "%% resuming from %s@." p
              | None -> ());
             let stats =
-              Kgm_vadalog.Engine.run ~options ~telemetry:tele ~cancel
-                ?checkpoint ?resume_from program db
+              Kgm_vadalog.Engine.run ~options ~telemetry:tele ~journal:jr
+                ~cancel ?checkpoint ?resume_from program db
             in
             finish db stats
         | Some ufile ->
@@ -410,8 +560,8 @@ let reason_cmd =
                 (String.split_on_char '\n' (read_file ufile))
             in
             let st, stats =
-              Kgm_vadalog.Incremental.chase ~options ~telemetry:tele ~db
-                program
+              Kgm_vadalog.Incremental.chase ~options ~telemetry:tele
+                ~journal:jr ~db program
             in
             Format.printf "%% chase: %d new facts in %d rounds (%.3fs)@."
               stats.Kgm_vadalog.Engine.new_facts
@@ -423,7 +573,7 @@ let reason_cmd =
                 batch
             in
             let u =
-              Kgm_vadalog.Incremental.maintain ~telemetry:tele st
+              Kgm_vadalog.Incremental.maintain ~telemetry:tele ~journal:jr st
                 ~inserts:(pick `Ins) ~retracts:(pick `Ret)
             in
             Format.printf
@@ -446,8 +596,9 @@ let reason_cmd =
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
     Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg
           $ deadline_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ on_limit_arg $ lenient $ explain $ no_planner
-          $ update)
+          $ resume_arg $ on_limit_arg $ lenient $ explain_plan $ no_planner
+          $ update $ journal_arg $ metrics_out_arg $ progress_arg
+          $ explain_fact $ explain_depth)
 
 let stats_cmd =
   let n =
@@ -469,9 +620,12 @@ let demo_cmd =
   let n =
     Arg.(value & opt int 400 & info [ "n" ] ~doc:"Synthetic network size.")
   in
-  let run n trace metrics jobs deadline ck_dir ck_every resume on_limit =
+  let run n trace metrics jobs deadline ck_dir ck_every resume on_limit
+      journal metrics_out progress =
     handle (fun () ->
-        with_telemetry ~trace ~metrics @@ fun tele ->
+        with_observability ~trace ~metrics ~journal ~metrics_out ~progress
+          ~deadline
+        @@ fun tele jr ->
         let cancel = install_sigint () in
         let schema = Kgm_finance.Company_schema.load () in
         let dict = Kgmodel.Dictionary.create () in
@@ -486,10 +640,10 @@ let demo_cmd =
             on_limit = `Partial }
         in
         let report =
-          Kgmodel.Materialize.materialize ~options ~telemetry:tele ~cancel
-            ?checkpoint_dir:ck_dir ~checkpoint_every:ck_every ~resume
-            ~instances:inst ~schema ~schema_oid:sid ~data
-            ~sigma:Kgm_finance.Intensional.full ()
+          Kgmodel.Materialize.materialize ~options ~telemetry:tele
+            ~journal:jr ~cancel ?checkpoint_dir:ck_dir
+            ~checkpoint_every:ck_every ~resume ~instances:inst ~schema
+            ~schema_oid:sid ~data ~sigma:Kgm_finance.Intensional.full ()
         in
         Format.printf
           "materialized%s: load %.3fs, reason %.3fs, flush %.3fs@."
@@ -513,7 +667,7 @@ let demo_cmd =
        ~doc:"End-to-end Algorithm 2 on a synthetic Company KG.")
     Term.(const run $ n $ trace_arg $ metrics_arg $ jobs_arg $ deadline_arg
           $ checkpoint_dir_arg $ checkpoint_every_arg $ resume_arg
-          $ on_limit_arg)
+          $ on_limit_arg $ journal_arg $ metrics_out_arg $ progress_arg)
 
 let diff_cmd =
   let old_file =
@@ -638,6 +792,58 @@ let figures_cmd =
        ~doc:"Regenerate every figure artifact of the paper (Figs. 2, 3, 4, 6, 8).")
     Term.(const run $ out_dir $ trace_arg $ metrics_arg $ jobs_arg)
 
+let journal_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"A JSONL flight recording written by --journal.")
+  in
+  let ev_type =
+    Arg.(value & opt (some string) None
+         & info [ "type"; "t" ] ~docv:"TYPE"
+             ~doc:"Only consider events of $(docv) (e.g. round.end, \
+                   rule.batch, plan, chunk, checkpoint.write).")
+  in
+  let since =
+    Arg.(value & opt (some float) None
+         & info [ "since" ] ~docv:"SECONDS"
+             ~doc:"Drop events before $(docv), in seconds since the \
+                   journal was opened.")
+  in
+  let until =
+    Arg.(value & opt (some float) None
+         & info [ "until" ] ~docv:"SECONDS"
+             ~doc:"Drop events after $(docv).")
+  in
+  let events =
+    Arg.(value & flag
+         & info [ "events" ]
+             ~doc:"Print the (filtered) events back as JSONL instead of \
+                   the summary.")
+  in
+  let run file ev_type since until events =
+    handle (fun () ->
+        let module Journal = Kgm_telemetry.Journal in
+        match Journal.read_file file with
+        | Error msg ->
+            Kgm_common.Kgm_error.raise_error_ctx Kgm_common.Kgm_error.Storage
+              [ ("file", file) ]
+              "invalid journal: %s" msg
+        | Ok evs ->
+            let evs = Journal.filter ?ev_type ?since ?until evs in
+            if events then
+              List.iter
+                (fun ev ->
+                  print_endline
+                    (Kgm_telemetry.Json.to_string (Journal.json_of_event ev)))
+                evs
+            else print_string (Journal.summarize evs))
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:"Summarize or filter a chase flight recording (--journal).")
+    Term.(const run $ file $ ev_type $ since $ until $ events)
+
 let () =
   (* KGM_FAULTS=site:rate[,...][,seed=N] arms the deterministic fault-
      injection harness for the whole process *)
@@ -650,4 +856,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ validate_cmd; render_cmd; translate_cmd; compile_cmd; reason_cmd;
-            stats_cmd; demo_cmd; diff_cmd; check_cmd; figures_cmd ]))
+            stats_cmd; demo_cmd; diff_cmd; check_cmd; figures_cmd;
+            journal_cmd ]))

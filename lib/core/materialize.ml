@@ -36,6 +36,15 @@ let label_schema_of_supermodel (s : Supermodel.t) ls =
 
 let now () = Kgm_telemetry.Clock.now ()
 
+(* one flight-recorder event per Algorithm 2 stage, so a journal of a
+   materialization shows the load/reason/flush split around the
+   engine's own round/rule events *)
+let stage_event journal stage elapsed_s =
+  if Kgm_telemetry.Journal.enabled journal then
+    Kgm_telemetry.Journal.emit journal "stage"
+      [ ("stage", Kgm_telemetry.Json.Str stage);
+        ("elapsed_s", Kgm_telemetry.Json.Float elapsed_s) ]
+
 (* instance-level labels whose derived facts flow back to the dictionary *)
 let instance_node_labels = [ "I_SM_Node"; "I_SM_Edge"; "I_SM_Attribute" ]
 
@@ -224,9 +233,10 @@ let flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid =
   end;
   (now () -. t, dn, de, da)
 
-let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
-    ?checkpoint_dir ?checkpoint_every ?(resume = false) ~instances
-    ~schema ~schema_oid ~data ~sigma () =
+let materialize ?options ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Kgm_telemetry.Journal.null) ?cancel ?checkpoint_dir
+    ?checkpoint_every ?(resume = false) ~instances ~schema ~schema_oid ~data
+    ~sigma () =
   Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
   @@ fun () ->
   let t0 = now () in
@@ -234,6 +244,7 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
     load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma
   in
   let load_s = now () -. t0 in
+  stage_event journal "load" load_s;
   (* ---- lines 7-8: the reasoning passes ---- *)
   let t1 = now () in
   let engine_stats =
@@ -256,7 +267,7 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
       | _ -> None
     in
     let run_phase ?resume_from label program =
-      Kgm_vadalog.Engine.run ?options ~telemetry ?cancel
+      Kgm_vadalog.Engine.run ?options ~telemetry ~journal ?cancel
         ?checkpoint:(ck label) ?resume_from program db
     in
     match latest "phase2" with
@@ -274,10 +285,12 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null) ?cancel
   in
   let incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None in
   let reason_s = now () -. t1 in
+  stage_event journal "reason" reason_s;
   let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
   let flush_s, dn, de, da =
     flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
   in
+  stage_event journal "flush" flush_s;
   { instance_oid; load_s; reason_s; flush_s; engine_stats;
     derived_nodes = dn; derived_edges = de; derived_attrs = da;
     incomplete }
@@ -303,7 +316,8 @@ type refresh_report = {
 }
 
 let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
-    ~instances ~schema ~schema_oid ~data ~sigma () =
+    ?(journal = Kgm_telemetry.Journal.null) ~instances ~schema ~schema_oid
+    ~data ~sigma () =
   Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
   @@ fun () ->
   let t0 = now () in
@@ -311,17 +325,20 @@ let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
     load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma
   in
   let load_s = now () -. t0 in
+  stage_event journal "load" load_s;
   let t1 = now () in
   let state, engine_stats =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "reason" @@ fun () ->
-    Kgm_vadalog.Incremental.chase_phases ?options ~telemetry ~db
+    Kgm_vadalog.Incremental.chase_phases ?options ~telemetry ~journal ~db
       [ program1; program2 ]
   in
   let reason_s = now () -. t1 in
+  stage_event journal "reason" reason_s;
   let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
   let flush_s, dn, de, da =
     flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
   in
+  stage_event journal "flush" flush_s;
   let report =
     { instance_oid; load_s; reason_s; flush_s; engine_stats;
       derived_nodes = dn; derived_edges = de; derived_attrs = da;
@@ -333,10 +350,11 @@ let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
 
 let session_state s = s.s_state
 
-let refresh ?(telemetry = Kgm_telemetry.null) session ~inserts ~retracts =
+let refresh ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Kgm_telemetry.Journal.null) session ~inserts ~retracts =
   let r_update =
-    Kgm_vadalog.Incremental.maintain ~telemetry session.s_state ~inserts
-      ~retracts
+    Kgm_vadalog.Incremental.maintain ~telemetry ~journal session.s_state
+      ~inserts ~retracts
   in
   (* the maintained database object may have been replaced by a
      fallback re-chase, so re-fetch it from the state *)
@@ -346,5 +364,6 @@ let refresh ?(telemetry = Kgm_telemetry.null) session ~inserts ~retracts =
       ~db:(Kgm_vadalog.Incremental.db session.s_state)
       ~data:session.s_data ~instance_oid:session.s_instance_oid
   in
+  stage_event journal "flush" r_flush_s;
   { r_update; r_flush_s; r_derived_nodes = dn; r_derived_edges = de;
     r_derived_attrs = da }

@@ -38,6 +38,7 @@ type report = {
 val materialize :
   ?options:Kgm_vadalog.Engine.options ->
   ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
   ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint_dir:string ->
   ?checkpoint_every:int ->
@@ -66,7 +67,10 @@ val materialize :
     {!Kgm_telemetry.null}) additionally records the [load] / [reason] /
     [flush] stage spans matching the report's split — the EXP-2 stage
     decomposition — with the translator's and engine's spans nested
-    inside, plus [materialize.derived_*] counters. *)
+    inside, plus [materialize.derived_*] counters. An enabled [journal]
+    records one [stage] event per load/reason/flush stage around the
+    engine's own flight-recorder events (see
+    {!Kgm_telemetry.Journal}). *)
 
 val label_schema_of_supermodel :
   Supermodel.t -> Kgm_metalog.Label_schema.t -> unit
@@ -106,6 +110,7 @@ type refresh_report = {
 val materialize_session :
   ?options:Kgm_vadalog.Engine.options ->
   ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
   instances:Instances.t ->
   schema:Supermodel.t ->
   schema_oid:int ->
@@ -124,6 +129,7 @@ val session_state : session -> Kgm_vadalog.Incremental.state
 
 val refresh :
   ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
   session ->
   inserts:(string * Kgm_vadalog.Database.fact) list ->
   retracts:(string * Kgm_vadalog.Database.fact) list ->

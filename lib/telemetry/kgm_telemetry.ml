@@ -301,3 +301,608 @@ let write_chrome_trace ?process_name file t =
   let oc = open_out file in
   output_string oc (chrome_trace ?process_name t);
   close_out oc
+
+let sanitize_metric_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+let label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prometheus ?(namespace = "kgm") t =
+  let ns = sanitize_metric_name namespace in
+  let buf = Buffer.create 4096 in
+  let say fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* counters: monotone since collector creation *)
+  List.iter
+    (fun (name, v) ->
+      let m = Printf.sprintf "%s_%s_total" ns (sanitize_metric_name name) in
+      say "# TYPE %s counter\n%s %d\n" m m v)
+    (counters t);
+  (* histograms: cumulative le buckets over the non-empty log2 bounds *)
+  List.iter
+    (fun (name, (s : Histogram.snapshot)) ->
+      let m = Printf.sprintf "%s_%s_seconds" ns (sanitize_metric_name name) in
+      say "# TYPE %s histogram\n" m;
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, c) ->
+          cum := !cum + c;
+          say "%s_bucket{le=\"%.9g\"} %d\n" m bound !cum)
+        s.Histogram.buckets;
+      say "%s_bucket{le=\"+Inf\"} %d\n" m s.Histogram.count;
+      say "%s_sum %.9f\n" m s.Histogram.sum;
+      say "%s_count %d\n" m s.Histogram.count)
+    (histograms t);
+  (* spans, aggregated by name: a pair of counters per span name *)
+  let agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt agg sp.sp_name with
+      | Some (n, tot) ->
+          incr n;
+          tot := !tot +. sp.sp_dur
+      | None ->
+          Hashtbl.add agg sp.sp_name (ref 1, ref sp.sp_dur);
+          order := sp.sp_name :: !order)
+    (spans t);
+  (match List.rev !order with
+   | [] -> ()
+   | names ->
+       say "# TYPE %s_span_total counter\n" ns;
+       List.iter
+         (fun name ->
+           let n, _ = Hashtbl.find agg name in
+           say "%s_span_total{span=\"%s\"} %d\n" ns (label_escape name) !n)
+         names;
+       say "# TYPE %s_span_seconds_total counter\n" ns;
+       List.iter
+         (fun name ->
+           let _, tot = Hashtbl.find agg name in
+           say "%s_span_seconds_total{span=\"%s\"} %.9f\n" ns
+             (label_escape name) !tot)
+         names);
+  Buffer.contents buf
+
+let write_prometheus ?namespace file t =
+  (* atomic swap: a scraper (or a crash) never sees a torn snapshot *)
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (prometheus ?namespace t);
+  close_out oc;
+  Sys.rename tmp file
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON values: what the journal needs to write and read back.
+   No external dependency; integers are kept distinct from floats so
+   counters round-trip exactly. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let rec print buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_nan f || Float.abs f = Float.infinity then
+          Buffer.add_string buf "null"
+        else Buffer.add_string buf (float_repr f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape s);
+        Buffer.add_char buf '"'
+    | Arr l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            print buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (json_escape k);
+            Buffer.add_string buf "\":";
+            print buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    print buf v;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  (* recursive-descent parser over a string; positions are byte offsets *)
+  type cursor = { s : string; mutable i : int }
+
+  let error c msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg c.i))
+
+  let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+  let skip_ws c =
+    while
+      c.i < String.length c.s
+      && (match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      c.i <- c.i + 1
+    done
+
+  let expect c ch =
+    match peek c with
+    | Some x when x = ch -> c.i <- c.i + 1
+    | _ -> error c (Printf.sprintf "expected '%c'" ch)
+
+  let lit c word v =
+    if
+      c.i + String.length word <= String.length c.s
+      && String.sub c.s c.i (String.length word) = word
+    then begin
+      c.i <- c.i + String.length word;
+      v
+    end
+    else error c (Printf.sprintf "expected %s" word)
+
+  let utf8_of_code buf u =
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+
+  let parse_hex4 c =
+    if c.i + 4 > String.length c.s then error c "truncated \\u escape";
+    let h = String.sub c.s c.i 4 in
+    c.i <- c.i + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some v -> v
+    | None -> error c "bad \\u escape"
+
+  let parse_string c =
+    expect c '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if c.i >= String.length c.s then error c "unterminated string";
+      let ch = c.s.[c.i] in
+      c.i <- c.i + 1;
+      if ch = '"' then Buffer.contents buf
+      else if ch = '\\' then begin
+        (if c.i >= String.length c.s then error c "unterminated escape";
+         let e = c.s.[c.i] in
+         c.i <- c.i + 1;
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             let u = parse_hex4 c in
+             (* surrogate pair *)
+             if u >= 0xD800 && u <= 0xDBFF then begin
+               if
+                 c.i + 1 < String.length c.s
+                 && c.s.[c.i] = '\\'
+                 && c.s.[c.i + 1] = 'u'
+               then begin
+                 c.i <- c.i + 2;
+                 let lo = parse_hex4 c in
+                 utf8_of_code buf
+                   (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+               end
+               else utf8_of_code buf 0xFFFD
+             end
+             else utf8_of_code buf u
+         | _ -> error c "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf ch;
+        go ()
+      end
+    in
+    go ()
+
+  let parse_number c =
+    let start = c.i in
+    let is_num ch =
+      match ch with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while c.i < String.length c.s && is_num c.s.[c.i] do
+      c.i <- c.i + 1
+    done;
+    let tok = String.sub c.s start (c.i - start) in
+    let has ch = String.contains tok ch in
+    if (not (has '.')) && (not (has 'e')) && not (has 'E') then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> error c "bad number")
+    else
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error c "bad number"
+
+  let rec parse_value c =
+    skip_ws c;
+    match peek c with
+    | None -> error c "unexpected end of input"
+    | Some '"' -> Str (parse_string c)
+    | Some '{' ->
+        expect c '{';
+        skip_ws c;
+        if peek c = Some '}' then begin
+          expect c '}';
+          Obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec members () =
+            skip_ws c;
+            let k = parse_string c in
+            skip_ws c;
+            expect c ':';
+            let v = parse_value c in
+            kvs := (k, v) :: !kvs;
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                expect c ',';
+                members ()
+            | Some '}' -> expect c '}'
+            | _ -> error c "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        expect c '[';
+        skip_ws c;
+        if peek c = Some ']' then begin
+          expect c ']';
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value c in
+            items := v :: !items;
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                expect c ',';
+                elements ()
+            | Some ']' -> expect c ']'
+            | _ -> error c "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some 't' -> lit c "true" (Bool true)
+    | Some 'f' -> lit c "false" (Bool false)
+    | Some 'n' -> lit c "null" Null
+    | Some _ -> parse_number c
+
+  let of_string s =
+    let c = { s; i = 0 } in
+    match parse_value c with
+    | v ->
+        skip_ws c;
+        if c.i <> String.length s then Error "trailing garbage"
+        else Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let to_int = function Int i -> Some i | _ -> None
+  let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+  let to_str = function Str s -> Some s | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: a JSONL journal of chase events. Each line is one
+   JSON object {"seq":..,"t":..,"type":..,<payload>}; the first line is
+   a header event carrying the schema name and version. *)
+
+module Journal = struct
+  let schema = "kgm-chase-journal"
+  let version = 1
+
+  type event = {
+    ev_seq : int;
+    ev_t : float;  (* seconds since the journal was opened *)
+    ev_type : string;
+    ev_fields : (string * Json.t) list;
+  }
+
+  type t = {
+    on : bool;
+    epoch : float;
+    lock : Mutex.t;
+    mutable seq : int;
+    mutable oc : out_channel option;
+    mutable taps : (event -> unit) list;
+  }
+
+  let null =
+    { on = false;
+      epoch = 0.;
+      lock = Mutex.create ();
+      seq = 0;
+      oc = None;
+      taps = [] }
+
+  let enabled j = j.on
+
+  let json_of_event e =
+    Json.Obj
+      (("seq", Json.Int e.ev_seq)
+      :: ("t", Json.Float e.ev_t)
+      :: ("type", Json.Str e.ev_type)
+      :: e.ev_fields)
+
+  (* Workers on other domains report retries/faults, so emission is
+     serialized. Taps run under the lock to keep their view ordered;
+     a tap must not emit. *)
+  let emit j ev_type fields =
+    if j.on then begin
+      Mutex.lock j.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock j.lock)
+        (fun () ->
+          let e =
+            { ev_seq = j.seq;
+              ev_t = Clock.now () -. j.epoch;
+              ev_type;
+              ev_fields = fields }
+          in
+          j.seq <- j.seq + 1;
+          (match j.oc with
+           | Some oc ->
+               output_string oc (Json.to_string (json_of_event e));
+               output_char oc '\n'
+           | None -> ());
+          List.iter (fun f -> f e) j.taps)
+    end
+
+  let create ?path () =
+    let oc =
+      match path with
+      | None -> None
+      | Some p -> Some (open_out p)
+    in
+    let j =
+      { on = true;
+        epoch = Clock.now ();
+        lock = Mutex.create ();
+        seq = 0;
+        oc;
+        taps = [] }
+    in
+    emit j "journal.open"
+      [ ("schema", Json.Str schema); ("version", Json.Int version) ];
+    j
+
+  let tap j f = if j.on then j.taps <- j.taps @ [ f ]
+
+  let close j =
+    Mutex.lock j.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock j.lock)
+      (fun () ->
+        match j.oc with
+        | Some oc ->
+            j.oc <- None;
+            close_out oc
+        | None -> ())
+
+  (* ---------------- reading a recording back ---------------- *)
+
+  let event_of_json v =
+    match v with
+    | Json.Obj kvs ->
+        let seq =
+          Option.bind (List.assoc_opt "seq" kvs) Json.to_int
+        and t = Option.bind (List.assoc_opt "t" kvs) Json.to_float
+        and ty = Option.bind (List.assoc_opt "type" kvs) Json.to_str in
+        (match (seq, t, ty) with
+         | Some seq, Some t, Some ty ->
+             let fields =
+               List.filter
+                 (fun (k, _) -> k <> "seq" && k <> "t" && k <> "type")
+                 kvs
+             in
+             Ok { ev_seq = seq; ev_t = t; ev_type = ty; ev_fields = fields }
+         | _ -> Error "event missing seq/t/type")
+    | _ -> Error "event line is not a JSON object"
+
+  let parse_line line =
+    match Json.of_string line with
+    | Error e -> Error e
+    | Ok v -> event_of_json v
+
+  (* Validates the header line: schema name and a version we know how
+     to read. Returns the events including the header event. *)
+  let read_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let events = ref [] in
+        let lineno = ref 0 in
+        let bad = ref None in
+        (try
+           while !bad = None do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match parse_line line with
+               | Ok e -> events := e :: !events
+               | Error msg ->
+                   bad := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
+           done
+         with End_of_file -> ());
+        match !bad with
+        | Some msg -> Error msg
+        | None ->
+        match List.rev !events with
+        | [] -> Error "empty journal"
+        | hd :: _ as all ->
+            if hd.ev_type <> "journal.open" then
+              Error "missing journal.open header"
+            else if
+              Option.bind (List.assoc_opt "schema" hd.ev_fields) Json.to_str
+              <> Some schema
+            then Error "unknown journal schema"
+            else
+              let v =
+                Option.bind
+                  (List.assoc_opt "version" hd.ev_fields)
+                  Json.to_int
+              in
+              (match v with
+               | Some v when v = version -> Ok all
+               | Some v ->
+                   Error
+                     (Printf.sprintf "unsupported journal version %d (want %d)"
+                        v version)
+               | None -> Error "header missing version"))
+
+  let field e k = List.assoc_opt k e.ev_fields
+  let int_field e k = Option.bind (field e k) Json.to_int
+  let str_field e k = Option.bind (field e k) Json.to_str
+
+  let filter ?ev_type ?since ?until events =
+    List.filter
+      (fun e ->
+        (match ev_type with
+         | Some ty -> e.ev_type = ty
+         | None -> true)
+        && (match since with Some s -> e.ev_t >= s | None -> true)
+        && match until with Some u -> e.ev_t <= u | None -> true)
+      events
+
+  let summarize events =
+    let buf = Buffer.create 1024 in
+    let say fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let n = List.length events in
+    let duration =
+      match (events, List.rev events) with
+      | first :: _, last :: _ -> last.ev_t -. first.ev_t
+      | _ -> 0.
+    in
+    say "== journal summary ==\n";
+    say "events   %d\n" n;
+    say "duration %.3fs\n" duration;
+    (* per-type counts, in first-seen order *)
+    let counts : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt counts e.ev_type with
+        | Some r -> incr r
+        | None ->
+            Hashtbl.add counts e.ev_type (ref 1);
+            order := e.ev_type :: !order)
+      events;
+    say "by type:\n";
+    List.iter
+      (fun ty -> say "  %-28s %8d\n" ty !(Hashtbl.find counts ty))
+      (List.rev !order);
+    (* round deltas *)
+    let deltas =
+      List.filter_map
+        (fun e ->
+          if e.ev_type = "round.end" then int_field e "delta" else None)
+        events
+    in
+    (match deltas with
+     | [] -> ()
+     | ds ->
+         let mn = List.fold_left min max_int ds
+         and mx = List.fold_left max 0 ds
+         and sum = List.fold_left ( + ) 0 ds in
+         say "rounds: %d  delta min/mean/max: %d / %.1f / %d\n"
+           (List.length ds) mn
+           (float_of_int sum /. float_of_int (List.length ds))
+           mx);
+    (* top rules by facts fired *)
+    let fired : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if e.ev_type = "rule.batch" then
+          match (str_field e "rule", int_field e "derived") with
+          | Some r, Some d -> (
+              match Hashtbl.find_opt fired r with
+              | Some acc -> acc := !acc + d
+              | None -> Hashtbl.add fired r (ref d))
+          | _ -> ())
+      events;
+    let rules =
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) fired []
+      |> List.sort (fun (a, va) (b, vb) ->
+             match compare vb va with 0 -> String.compare a b | c -> c)
+    in
+    (match rules with
+     | [] -> ()
+     | rs ->
+         say "top rules by facts derived:\n";
+         List.iteri
+           (fun i (r, d) -> if i < 10 then say "  %-48s %8d\n" r d)
+           rs);
+    Buffer.contents buf
+end

@@ -129,3 +129,121 @@ val chrome_trace : ?process_name:string -> t -> string
 
 val write_chrome_trace : ?process_name:string -> string -> t -> unit
 (** [write_chrome_trace file t] writes {!chrome_trace} to [file]. *)
+
+val prometheus : ?namespace:string -> t -> string
+(** Prometheus text exposition (version 0.0.4) of the collector:
+    counters as [<ns>_<name>_total], histograms as cumulative
+    [<ns>_<name>_seconds] bucket series ([le] upper bounds in seconds,
+    from the log-2 buckets) with [_sum]/[_count], and spans aggregated
+    by name into [<ns>_span_total{span=...}] /
+    [<ns>_span_seconds_total{span=...}] counter pairs. Metric names are
+    sanitized to [[a-zA-Z0-9_:]]; [namespace] defaults to ["kgm"]. *)
+
+val write_prometheus : ?namespace:string -> string -> t -> unit
+(** [write_prometheus file t] writes {!prometheus} to [file] via a
+    rename, so a concurrent reader never observes a torn snapshot.
+    Suitable for periodic re-export during a long chase. *)
+
+(** Minimal JSON values — just enough for the journal to write events
+    and read them back without an external dependency. Integers and
+    floats are distinct constructors so counters round-trip exactly. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact (single-line) rendering. Non-finite floats print as
+      [null]; floats otherwise round-trip through {!of_string}. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON document; trailing garbage is an error. Object key
+      order is preserved. *)
+
+  val member : string -> t -> t option
+  val to_int : t -> int option
+  val to_float : t -> float option
+  (** Accepts [Int] too (JSON numbers are one type on the wire). *)
+
+  val to_str : t -> string option
+end
+
+(** The chase flight recorder: an append-only JSONL journal of
+    structured events from the engine, planner, pool, resilience and
+    incremental layers. Each line is one object
+    [{"seq":int,"t":seconds,"type":string,...payload}]; the first line
+    is a [journal.open] header carrying the schema name and version, so
+    a reader can reject recordings it does not understand.
+
+    Emission is serialized by a mutex (worker domains report retries
+    and faults), and the {!null} journal makes every call a no-op, so
+    instrumented code pays one branch when recording is off. *)
+module Journal : sig
+  val schema : string
+  (** ["kgm-chase-journal"]. *)
+
+  val version : int
+  (** Current schema version, stamped into the header event. *)
+
+  type event = {
+    ev_seq : int;                         (** 0-based emission order *)
+    ev_t : float;                         (** seconds since journal open *)
+    ev_type : string;                     (** e.g. ["round.end"] *)
+    ev_fields : (string * Json.t) list;   (** payload, order preserved *)
+  }
+
+  type t
+
+  val null : t
+  (** The disabled journal: {!emit} is a no-op. Default for
+      [?journal] arguments. *)
+
+  val create : ?path:string -> unit -> t
+  (** An enabled journal; with [path], events are appended to that file
+      as JSONL (truncating any previous content). The header event is
+      emitted immediately. Without [path] the journal only feeds
+      {!tap}s — e.g. the CLI progress line. *)
+
+  val enabled : t -> bool
+  (** Guard for call sites that would otherwise build a payload just to
+      throw it away. *)
+
+  val emit : t -> string -> (string * Json.t) list -> unit
+  (** [emit j type fields] appends one event. Safe from any domain. *)
+
+  val tap : t -> (event -> unit) -> unit
+  (** Register a callback run (under the journal lock, in order) for
+      every subsequent event. A tap must not {!emit}. *)
+
+  val close : t -> unit
+  (** Flush and close the backing file, if any. Idempotent. *)
+
+  (** {1 Reading a recording} *)
+
+  val read_file : string -> (event list, string) result
+  (** Parse a JSONL recording, validate the [journal.open] header
+      (schema and version), and return all events including the header.
+      [Error] describes the first malformed line or header mismatch. *)
+
+  val parse_line : string -> (event, string) result
+
+  val json_of_event : event -> Json.t
+  (** The exact object {!emit} would have written. *)
+
+  val field : event -> string -> Json.t option
+  val int_field : event -> string -> int option
+  val str_field : event -> string -> string option
+
+  val filter :
+    ?ev_type:string -> ?since:float -> ?until:float ->
+    event list -> event list
+
+  val summarize : event list -> string
+  (** Human-readable digest: event counts by type, round count with
+      delta min/mean/max, top rules by facts derived. *)
+end

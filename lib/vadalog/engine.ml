@@ -11,6 +11,8 @@
     ablation, guarded by the fact budget. *)
 
 open Kgm_common
+module Journal = Kgm_telemetry.Journal
+module J = Kgm_telemetry.Json
 
 type options = {
   semi_naive : bool;        (** ABL-2: false = naive re-evaluation *)
@@ -19,6 +21,10 @@ type options = {
                                 satisfaction check (Vadalog-style
                                 termination for warded programs) *)
   reorder_body : bool;      (** ABL-4: greedy join ordering of bodies *)
+  provenance : bool;        (** retain the derivation support graph after
+                                the chase (in {!stats.support}) so facts
+                                can be explained; implied by passing
+                                [?support] explicitly *)
   planner : bool;           (** cost-aware chase planning: skip delta
                                 rounds of non-recursive strata, evaluate
                                 delta-round bodies in selectivity order
@@ -57,6 +63,7 @@ let default_options =
     restricted_chase = true;
     isomorphic_nulls = true;
     reorder_body = false;
+    provenance = false;
     planner = true;
     max_facts = 5_000_000;
     max_rounds = 1_000_000;
@@ -102,69 +109,6 @@ type rule_stats = {
   rs_chase_misses : int;   (** checks finding none (nulls invented) *)
   rs_time_s : float;       (** monotonic time spent evaluating the rule *)
 }
-
-type stats = {
-  rounds : int;
-  new_facts : int;
-  elapsed_s : float;
-  delta_sizes : int list;  (** facts derived per semi-naive round, in
-                               chronological order across strata *)
-  nulls_invented : int;
-  chase_hits : int;
-  chase_misses : int;
-  per_rule : rule_stats list;  (** program order *)
-  stopped : limit option;  (** [Some l] when the run stopped early under
-                               [on_limit:`Partial]; the result is a
-                               deterministic prefix of the fixpoint *)
-}
-
-let merge_stats a b =
-  { rounds = a.rounds + b.rounds;
-    new_facts = a.new_facts + b.new_facts;
-    elapsed_s = a.elapsed_s +. b.elapsed_s;
-    delta_sizes = a.delta_sizes @ b.delta_sizes;
-    nulls_invented = a.nulls_invented + b.nulls_invented;
-    chase_hits = a.chase_hits + b.chase_hits;
-    chase_misses = a.chase_misses + b.chase_misses;
-    per_rule = a.per_rule @ b.per_rule;
-    stopped = (match a.stopped with Some _ -> a.stopped | None -> b.stopped) }
-
-let pp_rule_table ppf stats =
-  let active =
-    List.filter
-      (fun r -> r.rs_matches > 0 || r.rs_probes > 0 || r.rs_firings > 0)
-      stats.per_rule
-  in
-  let idle = List.length stats.per_rule - List.length active in
-  let by_time =
-    List.sort (fun a b -> compare b.rs_time_s a.rs_time_s) active
-  in
-  Format.fprintf ppf "%-28s %8s %8s %10s %6s %6s %6s %10s@."
-    "rule" "fired" "matched" "probes" "nulls" "hits" "misses" "time s";
-  Format.fprintf ppf "%s@." (String.make 90 '-');
-  List.iter
-    (fun r ->
-      let label =
-        if String.length r.rs_label <= 28 then r.rs_label
-        else String.sub r.rs_label 0 25 ^ "..."
-      in
-      Format.fprintf ppf "%-28s %8d %8d %10d %6d %6d %6d %10.6f@."
-        label r.rs_firings r.rs_matches r.rs_probes r.rs_nulls
-        r.rs_chase_hits r.rs_chase_misses r.rs_time_s)
-    by_time;
-  if idle > 0 then
-    Format.fprintf ppf "(%d rule%s with no activity omitted)@." idle
-      (if idle = 1 then "" else "s");
-  Format.fprintf ppf
-    "total: %d new facts, %d rounds, %d nulls, %d/%d chase hits/misses, %.6fs@."
-    stats.new_facts stats.rounds stats.nulls_invented stats.chase_hits
-    stats.chase_misses stats.elapsed_s;
-  match stats.stopped with
-  | Some l ->
-      Format.fprintf ppf
-        "INCOMPLETE: stopped on %s after %d rounds (partial fixpoint prefix)@."
-        (limit_name l) stats.rounds
-  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Provenance: the first derivation recorded for each derived fact      *)
@@ -357,6 +301,78 @@ let support_record_suppressed sup ~rule_id ~parents ~image =
         sf_image = canonical_parents image }
       :: sup.sup_suppressed
   end
+
+(* ------------------------------------------------------------------ *)
+(* Run statistics                                                       *)
+
+type stats = {
+  rounds : int;
+  new_facts : int;
+  elapsed_s : float;
+  delta_sizes : int list;  (** facts derived per semi-naive round, in
+                               chronological order across strata *)
+  nulls_invented : int;
+  chase_hits : int;
+  chase_misses : int;
+  per_rule : rule_stats list;  (** program order *)
+  stopped : limit option;  (** [Some l] when the run stopped early under
+                               [on_limit:`Partial]; the result is a
+                               deterministic prefix of the fixpoint *)
+  support : support option;
+                           (** the derivation support recorded during the
+                               run, when [options.provenance] was on or a
+                               [?support] was passed *)
+}
+
+let merge_stats a b =
+  { rounds = a.rounds + b.rounds;
+    new_facts = a.new_facts + b.new_facts;
+    elapsed_s = a.elapsed_s +. b.elapsed_s;
+    delta_sizes = a.delta_sizes @ b.delta_sizes;
+    nulls_invented = a.nulls_invented + b.nulls_invented;
+    chase_hits = a.chase_hits + b.chase_hits;
+    chase_misses = a.chase_misses + b.chase_misses;
+    per_rule = a.per_rule @ b.per_rule;
+    stopped = (match a.stopped with Some _ -> a.stopped | None -> b.stopped);
+    support =
+      (match a.support with Some _ -> a.support | None -> b.support) }
+
+let pp_rule_table ppf stats =
+  let active =
+    List.filter
+      (fun r -> r.rs_matches > 0 || r.rs_probes > 0 || r.rs_firings > 0)
+      stats.per_rule
+  in
+  let idle = List.length stats.per_rule - List.length active in
+  let by_time =
+    List.sort (fun a b -> compare b.rs_time_s a.rs_time_s) active
+  in
+  Format.fprintf ppf "%-28s %8s %8s %10s %6s %6s %6s %10s@."
+    "rule" "fired" "matched" "probes" "nulls" "hits" "misses" "time s";
+  Format.fprintf ppf "%s@." (String.make 90 '-');
+  List.iter
+    (fun r ->
+      let label =
+        if String.length r.rs_label <= 28 then r.rs_label
+        else String.sub r.rs_label 0 25 ^ "..."
+      in
+      Format.fprintf ppf "%-28s %8d %8d %10d %6d %6d %6d %10.6f@."
+        label r.rs_firings r.rs_matches r.rs_probes r.rs_nulls
+        r.rs_chase_hits r.rs_chase_misses r.rs_time_s)
+    by_time;
+  if idle > 0 then
+    Format.fprintf ppf "(%d rule%s with no activity omitted)@." idle
+      (if idle = 1 then "" else "s");
+  Format.fprintf ppf
+    "total: %d new facts, %d rounds, %d nulls, %d/%d chase hits/misses, %.6fs@."
+    stats.new_facts stats.rounds stats.nulls_invented stats.chase_hits
+    stats.chase_misses stats.elapsed_s;
+  match stats.stopped with
+  | Some l ->
+      Format.fprintf ppf
+        "INCOMPLETE: stopped on %s after %d rounds (partial fixpoint prefix)@."
+        (limit_name l) stats.rounds
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bindings with trail-based backtracking                               *)
@@ -670,9 +686,19 @@ type run_state = {
   agg_states : (int, agg_state) Hashtbl.t; (* rule_id -> state *)
   prov : provenance option;
   sup : support option;  (* full derivation support (DRed maintenance) *)
-  (* facts matched so far on the current evaluation path *)
+  (* facts matched so far on the current evaluation path. The scan path
+     pushes/pops once per matched candidate at EVERY join level — tens
+     of millions of times per round on probe-heavy joins — so it uses a
+     manually-grown stack instead of list cells: a cons here would churn
+     the minor heap enough to show up as whole-run overhead. *)
+  mutable trail_preds : string array;
+  mutable trail_facts : Database.fact array;
+  mutable trail_len : int;
+  (* worker-merge path only: parents restored wholesale from a
+     collected candidate (the stack is empty there) *)
   mutable fact_trail : (string * Value.t array) list;
   tele : Kgm_telemetry.t;
+  jr : Kgm_telemetry.Journal.t;
   ctrs : rule_ctr array;       (* indexed by rule_id *)
   mutable cur : rule_ctr;      (* counters of the rule being evaluated *)
   mutable round : int;         (* current fixpoint round (for errors) *)
@@ -680,6 +706,33 @@ type run_state = {
                                (* rule that tripped the fact budget, for
                                   the error context under `Raise *)
 }
+
+let trail_push st pred fact =
+  let n = st.trail_len in
+  if n = Array.length st.trail_preds then begin
+    let cap = if n = 0 then 8 else 2 * n in
+    let tp = Array.make cap "" and tf = Array.make cap [||] in
+    Array.blit st.trail_preds 0 tp 0 n;
+    Array.blit st.trail_facts 0 tf 0 n;
+    st.trail_preds <- tp;
+    st.trail_facts <- tf
+  end;
+  st.trail_preds.(n) <- pred;
+  st.trail_facts.(n) <- fact;
+  st.trail_len <- n + 1
+
+(* the current evaluation path's matched facts, most recent first (the
+   order the old cons-built trail had); only materialized on a complete
+   body match, where a recorder actually consumes it *)
+let trail_parents st =
+  if st.trail_len = 0 then st.fact_trail
+  else begin
+    let acc = ref [] in
+    for i = 0 to st.trail_len - 1 do
+      acc := (st.trail_preds.(i), st.trail_facts.(i)) :: !acc
+    done;
+    !acc
+  end
 
 (* Labeled nulls are drawn from a process-wide counter: successive runs
    over a shared database (e.g. the two phases of Algorithm 2) must
@@ -767,9 +820,9 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
        with Exit -> ok := false);
       if !ok then begin
         if Option.is_some st.prov || Option.is_some st.sup then begin
-          st.fact_trail <- (a.Rule.pred, fact) :: st.fact_trail;
+          trail_push st a.Rule.pred fact;
           k ();
-          st.fact_trail <- List.tl st.fact_trail
+          st.trail_len <- st.trail_len - 1
         end
         else k ()
       end;
@@ -907,7 +960,7 @@ let fire st env (prep : prepared) ~on_new =
         if not (ProvTbl.mem prov key) then
           ProvTbl.add prov key
             { via_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
-              parents = List.rev st.fact_trail }
+              parents = List.rev (trail_parents st) }
     | None -> ()
   in
   (* support records EVERY derivation — including re-derivations of a
@@ -916,8 +969,8 @@ let fire st env (prep : prepared) ~on_new =
   let record_support nulls pred fact =
     match st.sup with
     | Some sup ->
-        support_record sup ~rule_id:prep.rule_id ~parents:st.fact_trail
-          ~nulls pred fact
+        support_record sup ~rule_id:prep.rule_id
+          ~parents:(trail_parents st) ~nulls pred fact
     | None -> ()
   in
   let add_head nulls (a : Rule.atom) =
@@ -947,7 +1000,7 @@ let fire st env (prep : prepared) ~on_new =
           (match st.sup with
            | Some sup ->
                support_record_suppressed sup ~rule_id:prep.rule_id
-                 ~parents:st.fact_trail ~image
+                 ~parents:(trail_parents st) ~image
            | None -> ());
           true
       | None ->
@@ -1159,7 +1212,13 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
           [ ("fired", string_of_int (st.added - before));
             ("round", string_of_int st.round) ]
         ("rule:" ^ prep.head_label) ~start:t0 ~stop:t1
-  end
+  end;
+  if Journal.enabled st.jr && st.added > before then
+    Journal.emit st.jr "rule.batch"
+      [ ("round", J.Int st.round);
+        ("rule", J.Str prep.head_label);
+        ("derived", J.Int (st.added - before));
+        ("time_s", J.Float (t1 -. t0)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Parallel semi-naive rounds.
@@ -1325,8 +1384,10 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
       agg_states = Hashtbl.create 1;
       prov = main.prov;  (* only consulted as a capture-the-trail flag *)
       sup = main.sup;    (* likewise *)
+      trail_preds = [||]; trail_facts = [||]; trail_len = 0;
       fact_trail = [];
       tele = Kgm_telemetry.null;  (* collectors are not domain-safe *)
+      jr = Kgm_telemetry.Journal.null;
       ctrs = [||]; cur = ctr; round = main.round; trip_rule = None }
   in
   let prep = w.w_prep in
@@ -1384,8 +1445,8 @@ let fire_candidate st env (prep : prepared) cand ~on_new =
   st.fact_trail <- [];
   env_undo env mark
 
-let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
-    ~current ~on_new =
+let eval_delta_round st pool (rules : prepared list) ~use_planner ~tok_status
+    ~retries ~current ~on_new =
   (* 1. deterministic (rule, literal, chunk) work-item order; results
      are chunking-invariant (the merge sorts each (rule, literal) group
      on insertion-seq vectors), so the chunk size is free to follow the
@@ -1393,7 +1454,7 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
      literal), recomputed here from the live cardinalities of this
      round boundary; with the planner off every item evaluates in
      written order. *)
-  let planner_on = st.opts.planner in
+  let planner_on = use_planner in
   let plans : (int * int, Planner.plan) Hashtbl.t = Hashtbl.create 16 in
   let items = ref [] in
   List.iter
@@ -1433,6 +1494,18 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
           prep.rule.Rule.body)
     rules;
   let items = Array.of_list (List.rev !items) in
+  if Journal.enabled st.jr then
+    Hashtbl.iter
+      (fun (rule_id, lit) (p : Planner.plan) ->
+        let prep = List.find (fun pr -> pr.rule_id = rule_id) rules in
+        Journal.emit st.jr "plan"
+          [ ("round", J.Int st.round);
+            ("rule", J.Str prep.head_label);
+            ("delta_lit", J.Int lit);
+            ("cost", J.Int p.Planner.cost);
+            ("reordered", J.Bool p.Planner.reordered);
+            ("order", J.Arr (List.map (fun i -> J.Int i) p.Planner.order)) ])
+      plans;
   if Kgm_telemetry.enabled st.tele && Hashtbl.length plans > 0 then begin
     Kgm_telemetry.count st.tele ~by:(Hashtbl.length plans) "planner.plans";
     let reordered =
@@ -1490,7 +1563,14 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
                    else
                      Kgm_resilience.Retry.with_backoff ~attempts:3
                        ~base_s:0.0005
-                       ~on_retry:(fun ~attempt:_ _ -> Atomic.incr retries)
+                       ~on_retry:(fun ~attempt exn ->
+                         Atomic.incr retries;
+                         (* cross-domain emit: the journal serializes *)
+                         if Journal.enabled st.jr then
+                           Journal.emit st.jr "worker.retry"
+                             [ ("round", J.Int st.round);
+                               ("attempt", J.Int attempt);
+                               ("error", J.Str (Printexc.to_string exn)) ])
                        (fun () ->
                          Kgm_resilience.Faults.inject "worker";
                          eval_work_item st w))
@@ -1507,6 +1587,19 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
   in
   if Atomic.get aborted then raise Round_aborted;
   let pairs = List.combine (Array.to_list items) results in
+  if Journal.enabled st.jr then
+    List.iter
+      (fun ((w : work_item), (r : work_result)) ->
+        Journal.emit st.jr "chunk"
+          [ ("round", J.Int st.round);
+            ("rule", J.Str w.w_prep.head_label);
+            ("delta_lit", J.Int w.w_lit);
+            ("offset", J.Int w.w_offset);
+            ("size", J.Int (List.length w.w_facts));
+            ("candidates", J.Int (List.length r.wr_cands));
+            ("probes", J.Int r.wr_probes);
+            ("time_s", J.Float r.wr_time) ])
+      pairs;
   (* 3. sequential merge sweep in program order *)
   List.iter
     (fun (prep : prepared) ->
@@ -1565,7 +1658,13 @@ let eval_delta_round st pool (rules : prepared list) ~tok_status ~retries
                 [ ("fired", string_of_int (st.added - before));
                   ("round", string_of_int st.round) ]
               ("rule:" ^ prep.head_label) ~start:t0 ~stop:t1
-        end
+        end;
+        if Journal.enabled st.jr && st.added > before then
+          Journal.emit st.jr "rule.batch"
+            [ ("round", J.Int st.round);
+              ("rule", J.Str prep.head_label);
+              ("derived", J.Int (st.added - before));
+              ("time_s", J.Float (t1 -. t0)) ]
       end)
     rules
 
@@ -1594,7 +1693,9 @@ let default_checkpoint_every = 8
 let checkpoint ?(every = default_checkpoint_every) ?(label = "chase") dir =
   { ck_dir = dir; ck_every = max 1 every; ck_label = label }
 
-let ck_version = 1
+(* v2: snapshots carry the derivation support (p_sup); v1 snapshots are
+   rejected by [Snapshot.load]'s version check *)
+let ck_version = 2
 let ck_kind label = "chase-" ^ label
 
 let latest_checkpoint ?(label = "chase") dir =
@@ -1617,19 +1718,61 @@ type ck_payload = {
   p_ctrs : rule_ctr array;
   p_agg : (int * agg_state) list;
   p_prov : ((string * Value.t list) * derivation) list option;
+  p_sup : support option;
+      (* v2: the full derivation support, so a resumed run stays
+         incrementally maintainable and explain-able. Pure data
+         (hashtables, refs, lists of values), so Marshal round-trips
+         it; per-fact entry lists are preserved verbatim, which keeps
+         explanation output identical across resume. *)
 }
+
+(* Merge a deserialized support into the caller's (normally fresh)
+   support structure. Entry lists and recording order are preserved;
+   duplicates are impossible when [into] is empty and harmless
+   otherwise ([support_record] dedups, and consumers of children lists
+   dedup on their side). *)
+let support_absorb ~(into : support) (src : support) =
+  ProvTbl.iter
+    (fun key entries ->
+      List.iter
+        (fun e ->
+          let pred, vals = key in
+          support_record into ~rule_id:e.se_rule ~parents:e.se_parents
+            ~nulls:e.se_nulls pred (Array.of_list vals))
+        (List.rev !entries))
+    src.sup_entries;
+  Hashtbl.iter
+    (fun n facts ->
+      match Hashtbl.find_opt into.sup_null_facts n with
+      | Some r -> r := !facts @ !r
+      | None -> Hashtbl.add into.sup_null_facts n (ref !facts))
+    src.sup_null_facts;
+  List.iter
+    (fun sf ->
+      support_record_suppressed into ~rule_id:sf.sf_rule
+        ~parents:sf.sf_parents ~image:sf.sf_image)
+    (List.rev src.sup_suppressed)
 
 let program_fingerprint program =
   Digest.to_hex (Digest.string (Rule.program_to_string program))
 
 let run ?(options = default_options) ?provenance ?support
-    ?(telemetry = Kgm_telemetry.null) ?(cancel = Kgm_resilience.Token.none)
-    ?checkpoint ?resume_from (program : Rule.program) db =
+    ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Kgm_telemetry.Journal.null)
+    ?(cancel = Kgm_resilience.Token.none) ?checkpoint ?resume_from
+    (program : Rule.program) db =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
     ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
     "engine.run"
   @@ fun () ->
   let t0 = Kgm_telemetry.Clock.now () in
+  (* [options.provenance] retains the support graph even when the caller
+     did not pass one; it is returned in [stats.support] *)
+  let support =
+    match support with
+    | Some _ -> support
+    | None -> if options.provenance then Some (create_support ()) else None
+  in
   (match Analysis.safety_report program with
    | [] -> ()
    | errs ->
@@ -1678,8 +1821,9 @@ let run ?(options = default_options) ?provenance ?support
   let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; sup = support; fact_trail = [];
-      tele = telemetry;
+      prov = provenance; sup = support;
+      trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
+      tele = telemetry; jr = journal;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
       round = 0; trip_rule = None }
@@ -1689,7 +1833,7 @@ let run ?(options = default_options) ?provenance ?support
    | Some p ->
        (* replay the snapshot: facts in insertion order (dedup against
           whatever the caller pre-loaded), exact null counter, counters,
-          aggregate and provenance state *)
+          aggregate, provenance and support state *)
        List.iter
          (fun (pred, facts) ->
            List.iter (fun f -> ignore (Database.add db pred f)) facts)
@@ -1706,7 +1850,19 @@ let run ?(options = default_options) ?provenance ?support
               (fun (k, d) ->
                 if not (ProvTbl.mem prov k) then ProvTbl.add prov k d)
               entries
+        | _ -> ());
+       (match support, p.p_sup with
+        | Some into, Some src -> support_absorb ~into src
         | _ -> ()));
+  if Journal.enabled journal then
+    Journal.emit journal "run.start"
+      [ ("mode", J.Str "chase");
+        ("rules", J.Int n_rules);
+        ("strata", J.Int (List.length analysis.Analysis.strata));
+        ("jobs", J.Int options.jobs);
+        ("planner", J.Bool options.planner);
+        ("provenance", J.Bool (Option.is_some support));
+        ("resumed", J.Bool (Option.is_some resume)) ];
   let prepared =
     List.mapi
       (fun i r ->
@@ -1765,7 +1921,8 @@ let run ?(options = default_options) ?provenance ?support
             p_prov =
               Option.map
                 (fun prov -> ProvTbl.fold (fun k d acc -> (k, d) :: acc) prov [])
-                st.prov }
+                st.prov;
+            p_sup = st.sup }
         in
         let path =
           Kgm_resilience.Snapshot.path ~dir:cfg.ck_dir
@@ -1779,8 +1936,17 @@ let run ?(options = default_options) ?provenance ?support
                Kgm_resilience.Snapshot.save ~kind:(ck_kind cfg.ck_label)
                  ~version:ck_version ~path payload);
            incr cks_written;
-           last_ck := Some path
-         with _ -> incr cks_failed)
+           last_ck := Some path;
+           if Journal.enabled journal then
+             Journal.emit journal "checkpoint.write"
+               [ ("round", J.Int !rounds);
+                 ("stratum", J.Int stratum);
+                 ("path", J.Str path) ]
+         with _ ->
+           incr cks_failed;
+           if Journal.enabled journal then
+             Journal.emit journal "checkpoint.fail"
+               [ ("round", J.Int !rounds); ("path", J.Str path) ])
   in
   let stopped = ref None in
   (* one pool for the whole run; with jobs = 1 it spawns no domains and
@@ -1840,15 +2006,30 @@ let run ?(options = default_options) ?provenance ?support
          in
          try
            boundary_check ();
+           let round_start () =
+             if Journal.enabled journal then
+               Journal.emit journal "round.start"
+                 [ ("stratum", J.Int s); ("round", J.Int !rounds) ]
+           in
+           let round_end delta_n =
+             if Journal.enabled journal then
+               Journal.emit journal "round.end"
+                 [ ("stratum", J.Int s);
+                   ("round", J.Int !rounds);
+                   ("delta", J.Int delta_n);
+                   ("facts", J.Int (Database.total db)) ]
+           in
            if not !round0_done then begin
              (* round 0: full evaluation *)
              incr rounds;
              st.round <- !rounds;
+             round_start ();
              Kgm_telemetry.with_span telemetry ~cat:"round" "round" (fun () ->
                  List.iter
                    (fun p -> eval_rule st p ~delta:None ~on_new:record)
                    rules_here);
              deltas := delta_size () :: !deltas;
+             round_end (delta_size ());
              round0_done := true;
              maybe_checkpoint ()
            end;
@@ -1876,13 +2057,15 @@ let run ?(options = default_options) ?provenance ?support
              boundary_check ();
              incr rounds;
              st.round <- !rounds;
+             round_start ();
              let current = Hashtbl.copy delta in
              Hashtbl.reset delta;
              (try
                 Kgm_telemetry.with_span telemetry ~cat:"round" "round"
                   (fun () ->
                     if options.semi_naive then
-                      eval_delta_round st pool rules_here ~tok_status ~retries
+                      eval_delta_round st pool rules_here
+                        ~use_planner:options.planner ~tok_status ~retries
                         ~current ~on_new:record
                     else
                       (* naive: full re-evaluation; recurse only while
@@ -1900,6 +2083,7 @@ let run ?(options = default_options) ?provenance ?support
                  | `Cancelled -> raise (Stop_chase (`Cancelled, true))
                  | _ -> raise (Stop_chase (`Deadline, true))));
              deltas := delta_size () :: !deltas;
+             round_end (delta_size ());
              continue := Hashtbl.length delta > 0;
              maybe_checkpoint ()
            done
@@ -1911,7 +2095,13 @@ let run ?(options = default_options) ?provenance ?support
            raise (Stop_chase (l, clean))
        end
      done
-   with Stop_chase (l, _) -> stopped := Some l);
+   with Stop_chase (l, clean) ->
+     stopped := Some l;
+     if Journal.enabled journal then
+       Journal.emit journal "limit.stop"
+         [ ("limit", J.Str (limit_name l));
+           ("clean", J.Bool clean);
+           ("round", J.Int !rounds) ]);
   let per_rule =
     List.map
       (fun (prep : prepared) ->
@@ -1938,8 +2128,21 @@ let run ?(options = default_options) ?provenance ?support
       chase_hits = sum (fun r -> r.rs_chase_hits);
       chase_misses = sum (fun r -> r.rs_chase_misses);
       per_rule;
-      stopped = !stopped }
+      stopped = !stopped;
+      support = st.sup }
   in
+  if Journal.enabled journal then
+    Journal.emit journal "run.end"
+      [ ("mode", J.Str "chase");
+        ("rounds", J.Int stats.rounds);
+        ("new_facts", J.Int stats.new_facts);
+        ("facts", J.Int (Database.total db));
+        ("nulls", J.Int stats.nulls_invented);
+        ("elapsed_s", J.Float stats.elapsed_s);
+        ( "stopped",
+          match stats.stopped with
+          | Some l -> J.Str (limit_name l)
+          | None -> J.Null ) ];
   if Kgm_telemetry.enabled telemetry then begin
     Kgm_telemetry.count telemetry ~by:stats.new_facts "engine.facts.new";
     Kgm_telemetry.count telemetry ~by:stats.rounds "engine.rounds";
@@ -2001,14 +2204,20 @@ let run ?(options = default_options) ?provenance ?support
    budget/deadline machinery — is shared with [run], so the
    determinism invariants carry over unchanged. *)
 let run_delta ?(options = default_options) ?provenance ?support
-    ?(telemetry = Kgm_telemetry.null) ?(cancel = Kgm_resilience.Token.none)
-    ?on_new (program : Rule.program) db
+    ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Kgm_telemetry.Journal.null)
+    ?(cancel = Kgm_resilience.Token.none) ?on_new (program : Rule.program) db
     ~(seed : (string * Database.fact list) list) =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
     ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
     "engine.run_delta"
   @@ fun () ->
   let t0 = Kgm_telemetry.Clock.now () in
+  let support =
+    match support with
+    | Some _ -> support
+    | None -> if options.provenance then Some (create_support ()) else None
+  in
   (match Analysis.safety_report program with
    | [] -> ()
    | errs ->
@@ -2027,12 +2236,25 @@ let run_delta ?(options = default_options) ?provenance ?support
   let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; sup = support; fact_trail = [];
-      tele = telemetry;
+      prov = provenance; sup = support;
+      trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
+      tele = telemetry; jr = journal;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
       round = 0; trip_rule = None }
   in
+  if Journal.enabled journal then
+    Journal.emit journal "run.start"
+      [ ("mode", J.Str "delta");
+        ("rules", J.Int n_rules);
+        ("strata", J.Int (List.length analysis.Analysis.strata));
+        ("jobs", J.Int options.jobs);
+        ("planner", J.Bool options.planner);
+        ("provenance", J.Bool (Option.is_some support));
+        ( "seed",
+          J.Int
+            (List.fold_left (fun acc (_, fs) -> acc + List.length fs) 0 seed)
+        ) ];
   let prepared =
     List.mapi
       (fun i r ->
@@ -2112,27 +2334,42 @@ let run_delta ?(options = default_options) ?provenance ?support
            boundary_check ();
            incr rounds;
            st.round <- !rounds;
+           if Journal.enabled journal then
+             Journal.emit journal "round.start"
+               [ ("stratum", J.Int s); ("round", J.Int !rounds) ];
            let current = !pending in
            (try
               Kgm_telemetry.with_span telemetry ~cat:"round" "round"
                 (fun () ->
-                  eval_delta_round st pool rules_here ~tok_status ~retries
-                    ~current ~on_new:record)
+                  (* maintenance deltas are tiny relative to the
+                     saturated store, so the delta-first selectivity
+                     plans are applied unconditionally: with the planner
+                     off, written-order plans probe the full closure
+                     once per seed fact (the BENCH_incremental 0.3x
+                     regression). Planning is pure scheduling — outputs
+                     are unchanged — so the ablation contrast is
+                     confined to [run]. *)
+                  eval_delta_round st pool rules_here ~use_planner:true
+                    ~tok_status ~retries ~current ~on_new:record)
             with Round_aborted ->
               decr rounds;
               (match tok_status () with
                | `Cancelled -> raise (Stop_chase (`Cancelled, true))
                | _ -> raise (Stop_chase (`Deadline, true))));
            deltas := delta_size () :: !deltas;
+           if Journal.enabled journal then
+             Journal.emit journal "round.end"
+               [ ("stratum", J.Int s);
+                 ("round", J.Int !rounds);
+                 ("delta", J.Int (delta_size ()));
+                 ("facts", J.Int (Database.total db)) ];
            let next = Hashtbl.copy delta in
            Hashtbl.reset delta;
            (* stratification dividend, as in [run]: after its seeded
-              round a non-recursive stratum cannot refire itself *)
-           if
-             options.planner && options.semi_naive
-             && (not recursive_stratum)
-             && Hashtbl.length next > 0
-           then begin
+              round a non-recursive stratum cannot refire itself (this
+              pass is always semi-naive, so the skip is unconditional
+              too) *)
+           if (not recursive_stratum) && Hashtbl.length next > 0 then begin
              Hashtbl.reset next;
              if Kgm_telemetry.enabled telemetry then
                Kgm_telemetry.count telemetry "planner.rounds.skipped"
@@ -2141,7 +2378,13 @@ let run_delta ?(options = default_options) ?provenance ?support
          done
        end
      done
-   with Stop_chase (l, _) -> stopped := Some l);
+   with Stop_chase (l, clean) ->
+     stopped := Some l;
+     if Journal.enabled journal then
+       Journal.emit journal "limit.stop"
+         [ ("limit", J.Str (limit_name l));
+           ("clean", J.Bool clean);
+           ("round", J.Int !rounds) ]);
   let per_rule =
     List.map
       (fun (prep : prepared) ->
@@ -2168,8 +2411,20 @@ let run_delta ?(options = default_options) ?provenance ?support
       chase_hits = sum (fun r -> r.rs_chase_hits);
       chase_misses = sum (fun r -> r.rs_chase_misses);
       per_rule;
-      stopped = !stopped }
+      stopped = !stopped;
+      support = st.sup }
   in
+  if Journal.enabled journal then
+    Journal.emit journal "run.end"
+      [ ("mode", J.Str "delta");
+        ("rounds", J.Int stats.rounds);
+        ("new_facts", J.Int stats.new_facts);
+        ("facts", J.Int (Database.total db));
+        ("elapsed_s", J.Float stats.elapsed_s);
+        ( "stopped",
+          match stats.stopped with
+          | Some l -> J.Str (limit_name l)
+          | None -> J.Null ) ];
   if Kgm_telemetry.enabled telemetry then begin
     Kgm_telemetry.count telemetry ~by:stats.new_facts "engine.facts.new";
     Kgm_telemetry.count telemetry ~by:stats.rounds "engine.rounds";
@@ -2266,11 +2521,11 @@ let pp_plan_report ?(options = default_options) ppf (program : Rule.program) db
         rules)
     analysis.Analysis.strata
 
-let run_program ?options ?provenance ?support ?telemetry ?cancel ?checkpoint
-    ?resume_from program =
+let run_program ?options ?provenance ?support ?telemetry ?journal ?cancel
+    ?checkpoint ?resume_from program =
   let db = Database.create () in
   let stats =
-    run ?options ?provenance ?support ?telemetry ?cancel ?checkpoint
+    run ?options ?provenance ?support ?telemetry ?journal ?cancel ?checkpoint
       ?resume_from program db
   in
   (db, stats)
@@ -2285,3 +2540,145 @@ let outputs (program : Rule.program) db =
       | "output", pred :: _ -> Some (pred, Database.facts db pred)
       | _ -> None)
     program.Rule.annotations
+
+(* ------------------------------------------------------------------ *)
+(* Fact-level explanation: bounded derivation trees over the support.
+
+   The support records every derivation of every fact in a
+   deterministic order (the merge phase emission order is
+   schedule-independent, and checkpoints preserve per-fact entry lists
+   verbatim), so picking the FIRST-recorded derivation at every node
+   yields a tree that is bit-identical across [jobs], planner on/off,
+   and checkpoint/resume. Parents always predate their fact in the
+   first-recorded derivation, so the recursion is well-founded on
+   acyclic data; cyclic ownership graphs are cut by the depth bound and
+   the on-path cycle guard. *)
+
+type explain_tree = {
+  et_pred : string;
+  et_fact : Database.fact;
+  et_depth : int;  (* recursion depth of this node, root = 0 *)
+  et_node : explain_node;
+}
+
+and explain_node =
+  | Ground  (* no recorded derivation: extensional (or support is off) *)
+  | Truncated  (* max_depth reached; the fact does have derivations *)
+  | Cycle  (* fact already on the current path *)
+  | Derived of explain_deriv
+
+and explain_deriv = {
+  ed_rule_id : int;
+  ed_rule : string;  (* pretty-printed firing rule *)
+  ed_subst : (string * Value.t) list;
+      (* head-variable substitution grounding the head to the fact,
+         existentials bound to the invented nulls; sorted by name *)
+  ed_nulls : int list;  (* labeled nulls this derivation invented *)
+  ed_premises : explain_tree list;  (* canonical parent order *)
+}
+
+let default_explain_depth = 32
+
+(* the substitution under which some head atom of [r] grounds to
+   [fact]: constants must coincide, variables bind consistently *)
+let head_substitution (r : Rule.rule) pred (fact : Database.fact) =
+  let try_atom (a : Rule.atom) =
+    if a.Rule.pred <> pred || List.length a.Rule.args <> Array.length fact
+    then None
+    else begin
+      let binds = Hashtbl.create 8 in
+      let ok =
+        List.for_all2
+          (fun t v ->
+            match t with
+            | Term.Const c -> Value.equal c v
+            | Term.Var x -> (
+                match Hashtbl.find_opt binds x with
+                | Some v' -> Value.equal v v'
+                | None ->
+                    Hashtbl.add binds x v;
+                    true))
+          a.Rule.args (Array.to_list fact)
+      in
+      if ok then
+        Some
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) binds []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+      else None
+    end
+  in
+  Option.value ~default:[] (List.find_map try_atom r.Rule.head)
+
+let explain_tree ?(max_depth = default_explain_depth) (sup : support)
+    (program : Rule.program) pred (fact : Database.fact) =
+  let rules = Array.of_list program.Rule.rules in
+  let key_equal (p, k) (p', k') =
+    String.equal p p' && List.equal Value.equal k k'
+  in
+  let rec go path depth pred fact =
+    let key = (pred, Array.to_list fact) in
+    let node =
+      match support_entries sup pred fact with
+      | [] -> Ground
+      | entries ->
+          if depth >= max_depth then Truncated
+          else if List.exists (key_equal key) path then Cycle
+          else begin
+            (* entries are most-recent-first: the first-recorded
+               derivation is the last *)
+            let e = List.nth entries (List.length entries - 1) in
+            let rule =
+              if e.se_rule >= 0 && e.se_rule < Array.length rules then
+                Some rules.(e.se_rule)
+              else None
+            in
+            Derived
+              { ed_rule_id = e.se_rule;
+                ed_rule =
+                  (match rule with
+                   | Some r -> Format.asprintf "%a" Rule.pp_rule r
+                   | None -> "<rule " ^ string_of_int e.se_rule ^ ">");
+                ed_subst =
+                  (match rule with
+                   | Some r -> head_substitution r pred fact
+                   | None -> []);
+                ed_nulls = e.se_nulls;
+                ed_premises =
+                  List.map
+                    (fun (pp, pf) -> go (key :: path) (depth + 1) pp pf)
+                    e.se_parents }
+          end
+    in
+    { et_pred = pred; et_fact = fact; et_depth = depth; et_node = node }
+  in
+  go [] 0 pred fact
+
+let rec pp_explain_tree ppf (t : explain_tree) =
+  let pp_fact ppf (p, f) =
+    Format.fprintf ppf "%s(%s)" p
+      (String.concat ", " (Array.to_list (Array.map Value.to_string f)))
+  in
+  Format.fprintf ppf "@[<v 2>%a" pp_fact (t.et_pred, t.et_fact);
+  (match t.et_node with
+   | Ground -> Format.fprintf ppf "  (ground)"
+   | Truncated -> Format.fprintf ppf "  (depth limit)"
+   | Cycle -> Format.fprintf ppf "  (cycle)"
+   | Derived d ->
+       Format.fprintf ppf "  <- %s" d.ed_rule;
+       if d.ed_subst <> [] then
+         Format.fprintf ppf "@,{%s}"
+           (String.concat ", "
+              (List.map
+                 (fun (v, value) ->
+                   Printf.sprintf "%s = %s" v (Value.to_string value))
+                 d.ed_subst));
+       if d.ed_nulls <> [] then
+         Format.fprintf ppf "@,invents %s"
+           (String.concat ", "
+              (List.map (fun n -> "_:" ^ string_of_int n) d.ed_nulls));
+       List.iter
+         (fun p -> Format.fprintf ppf "@,%a" pp_explain_tree p)
+         d.ed_premises);
+  Format.fprintf ppf "@]"
+
+let explain_tree_to_string t = Format.asprintf "%a@." pp_explain_tree t

@@ -29,6 +29,13 @@ type options = {
           as written, which hand-tuned programs (and the generated SSST
           mappings and views) rely on; turn on for ad-hoc queries with
           unknown selectivities (ABL-4 quantifies both sides) *)
+  provenance : bool;
+      (** retain the derivation support graph after the chase and return
+          it in {!stats.support}, so facts can be explained
+          ({!explain_tree}) without the caller allocating a {!support}
+          up front. Passing [?support] explicitly implies it. Off by
+          default: recording costs memory proportional to the number of
+          derivations (see DESIGN.md §11 for the cost model) *)
   planner : bool;
       (** cost-aware chase planning (on by default). Non-recursive
           strata (no dependency edge inside their SCC group) complete
@@ -123,31 +130,6 @@ type rule_stats = {
   rs_time_s : float;       (** monotonic time evaluating the rule *)
 }
 
-type stats = {
-  rounds : int;      (** fixpoint rounds across all strata *)
-  new_facts : int;   (** facts added by this run *)
-  elapsed_s : float; (** monotonic wall time of the run *)
-  delta_sizes : int list;
-      (** facts derived per semi-naive round, chronological across
-          strata *)
-  nulls_invented : int;
-  chase_hits : int;
-  chase_misses : int;
-  per_rule : rule_stats list;  (** program order *)
-  stopped : limit option;
-      (** [Some l] when the run stopped early under [on_limit:`Partial]:
-          the database holds a deterministic prefix of the fixpoint and
-          [l] names the limiting resource. [None] for complete runs. *)
-}
-
-val merge_stats : stats -> stats -> stats
-(** Componentwise sum/concatenation — for reporting over multi-pass
-    runs (e.g. Algorithm 2's two phases). *)
-
-val pp_rule_table : Format.formatter -> stats -> unit
-(** Human-readable per-rule metrics table, busiest rules first; rules
-    with no activity are folded into one line. *)
-
 (** {1 Provenance} *)
 
 type derivation = {
@@ -188,9 +170,10 @@ val pp_derivation_tree :
     it in place. Pass a fresh support to {!run} for the initial chase
     and the {e same} one to every subsequent {!run_delta} over that
     database; recording must cover the whole life of the
-    materialization or DRed's completeness argument breaks. Support is
-    not serialized into checkpoints — maintenance does not compose
-    with [resume_from]. *)
+    materialization or DRed's completeness argument breaks. Version-2
+    snapshots serialize the support recorded so far, so a resumed run
+    keeps recording into the caller's support and the result is
+    maintainable and explainable exactly as if never interrupted. *)
 
 module ProvTbl : Hashtbl.S with type key = string * Kgm_common.Value.t list
 (** Fact-keyed hash tables, consistent with
@@ -239,11 +222,95 @@ val fact_nulls : Database.fact -> int list
 (** The labeled-null ids occurring in a fact's tuple (including inside
     list values), sorted and dedup'd. *)
 
+type stats = {
+  rounds : int;      (** fixpoint rounds across all strata *)
+  new_facts : int;   (** facts added by this run *)
+  elapsed_s : float; (** monotonic wall time of the run *)
+  delta_sizes : int list;
+      (** facts derived per semi-naive round, chronological across
+          strata *)
+  nulls_invented : int;
+  chase_hits : int;
+  chase_misses : int;
+  per_rule : rule_stats list;  (** program order *)
+  stopped : limit option;
+      (** [Some l] when the run stopped early under [on_limit:`Partial]:
+          the database holds a deterministic prefix of the fixpoint and
+          [l] names the limiting resource. [None] for complete runs. *)
+  support : support option;
+      (** the derivation support recorded during the run — present when
+          [options.provenance] was on or a [?support] was passed (the
+          caller's support is returned as-is) *)
+}
+
+val merge_stats : stats -> stats -> stats
+(** Componentwise sum/concatenation — for reporting over multi-pass
+    runs (e.g. Algorithm 2's two phases). The first non-[None]
+    [support] wins. *)
+
+val pp_rule_table : Format.formatter -> stats -> unit
+(** Human-readable per-rule metrics table, busiest rules first; rules
+    with no activity are folded into one line. *)
+
+(** {1 Fact-level explanation}
+
+    Bounded derivation trees over a recorded {!support}: why does this
+    fact hold? At each derived fact the {e first-recorded} derivation
+    is expanded — the merge order of the chase is schedule-independent
+    and snapshots preserve entry lists verbatim, so the tree (and its
+    rendering) is bit-identical across [jobs] values, planner on/off,
+    and checkpoint/resume. *)
+
+type explain_tree = {
+  et_pred : string;
+  et_fact : Database.fact;
+  et_depth : int;  (** recursion depth of this node, root = 0 *)
+  et_node : explain_node;
+}
+
+and explain_node =
+  | Ground
+      (** no recorded derivation: extensional, or support was off *)
+  | Truncated  (** [max_depth] reached; the fact does have derivations *)
+  | Cycle      (** the fact is already on the current path *)
+  | Derived of explain_deriv
+
+and explain_deriv = {
+  ed_rule_id : int;
+  ed_rule : string;  (** pretty-printed firing rule *)
+  ed_subst : (string * Kgm_common.Value.t) list;
+      (** head-variable substitution grounding the head to the fact,
+          existentials bound to the invented nulls; sorted by name *)
+  ed_nulls : int list;  (** labeled nulls this derivation invented *)
+  ed_premises : explain_tree list;  (** canonical parent order *)
+}
+
+val default_explain_depth : int
+(** 32 — deep enough for the financial use-cases, shallow enough that
+    cyclic ownership graphs stay readable. *)
+
+val explain_tree :
+  ?max_depth:int -> support -> Rule.program -> string -> Database.fact ->
+  explain_tree
+(** [explain_tree sup program pred fact] — the bounded derivation tree
+    of [fact]. A fact with no recorded derivation (extensional, or
+    simply absent) explains as {!Ground}; recursion stops at
+    [max_depth] ({!Truncated}) and on back-edges ({!Cycle}). [program]
+    must be the program that was chased — rule ids index into it to
+    render rules and recover head substitutions. *)
+
+val pp_explain_tree : Format.formatter -> explain_tree -> unit
+(** Indented rendering: one line per fact with the firing rule, then
+    the substitution, invented nulls and premises nested below. *)
+
+val explain_tree_to_string : explain_tree -> string
+
 (** {1 Running programs} *)
 
 val run :
   ?options:options -> ?provenance:provenance -> ?support:support ->
-  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t ->
+  ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint:checkpoint -> ?resume_from:string ->
   Rule.program -> Database.t -> stats
 (** Load the program's facts into the database and chase its rules to
@@ -270,7 +337,16 @@ val run :
     evaluation that derived facts, an [engine.rule_eval_s] latency
     histogram and [engine.*] counters (plus [resilience.*] and
     [engine.stopped.*] counters when checkpoints, retries or limit
-    stops occurred). *)
+    stops occurred).
+
+    [journal] defaults to {!Kgm_telemetry.Journal.null}; an enabled
+    journal receives the chase flight record — [run.start],
+    [round.start]/[round.end] (with delta and database sizes),
+    [rule.batch] per rule firing batch, [plan] per planner decision,
+    [chunk] per worker work item, [worker.retry], [checkpoint.write]/
+    [checkpoint.fail], [limit.stop] and [run.end] — as JSONL events
+    (see {!Kgm_telemetry.Journal}). Pure observation: journalling
+    never changes what is derived. *)
 
 val pp_plan_report :
   ?options:options -> Format.formatter -> Rule.program -> Database.t -> unit
@@ -283,14 +359,16 @@ val pp_plan_report :
 
 val run_program :
   ?options:options -> ?provenance:provenance -> ?support:support ->
-  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t ->
+  ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint:checkpoint -> ?resume_from:string ->
   Rule.program -> Database.t * stats
 (** [run] on a fresh database. *)
 
 val run_delta :
   ?options:options -> ?provenance:provenance -> ?support:support ->
-  ?telemetry:Kgm_telemetry.t -> ?cancel:Kgm_resilience.Token.t ->
+  ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t ->
+  ?cancel:Kgm_resilience.Token.t ->
   ?on_new:(string -> Database.fact -> unit) ->
   Rule.program -> Database.t ->
   seed:(string * Database.fact list) list -> stats
@@ -308,7 +386,12 @@ val run_delta :
     schedule-independent merge order and the budget/deadline machinery
     are shared with {!run}, so derived facts, their insertion order
     and labeled-null numbering are identical at every [jobs] value and
-    with the planner on or off. [program]'s fact list is ignored;
+    with the planner on or off. Delta-first plans and their hash
+    indexes are used here {e unconditionally} — [options.planner] only
+    ablates {!run}. Seeded passes are delta rounds by construction;
+    probing the whole closure per seed through written-order plans made
+    planner-off maintenance slower than a re-chase (0.32–0.36×), and
+    since the planner is pure scheduling there is nothing to ablate. [program]'s fact list is ignored;
     checkpointing is not supported here ({!Incremental} states are
     cheap to rebuild from a fresh chase). *)
 

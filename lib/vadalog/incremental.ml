@@ -43,6 +43,8 @@
     on the rule dependency graph before anything is touched. *)
 
 open Kgm_common
+module Journal = Kgm_telemetry.Journal
+module J = Kgm_telemetry.Json
 
 type phase_edb = unit Engine.ProvTbl.t
 
@@ -79,7 +81,8 @@ let edb_note st pred fact =
   end
   else false
 
-let chase_phases ?(options = Engine.default_options) ?telemetry ~db phases =
+let chase_phases ?(options = Engine.default_options) ?telemetry ?journal ~db
+    phases =
   if phases = [] then invalid_arg "Incremental.chase_phases: empty pipeline";
   let st =
     { phases; options; db; support = Engine.create_support ();
@@ -97,14 +100,16 @@ let chase_phases ?(options = Engine.default_options) ?telemetry ~db phases =
   let stats =
     List.fold_left
       (fun acc ph ->
-        let s = Engine.run ~options ~support:st.support ?telemetry ph db in
+        let s =
+          Engine.run ~options ~support:st.support ?telemetry ?journal ph db
+        in
         match acc with None -> Some s | Some a -> Some (Engine.merge_stats a s))
       None phases
   in
   (st, Option.get stats)
 
-let chase ?options ?telemetry ?(db = Database.create ()) program =
-  chase_phases ?options ?telemetry ~db [ program ]
+let chase ?options ?telemetry ?journal ?(db = Database.create ()) program =
+  chase_phases ?options ?telemetry ?journal ~db [ program ]
 
 let db st = st.db
 
@@ -180,7 +185,7 @@ let needs_fallback st updated =
    support, the EDB replayed in its original load order (determinism of
    null numbering is then up to {!canonical_facts}, since the global
    null counter never rewinds). *)
-let rechase ?telemetry st =
+let rechase ?telemetry ?journal st =
   let db' = Database.create () in
   let support' = Engine.create_support () in
   let ordered = edb_facts st in
@@ -188,7 +193,7 @@ let rechase ?telemetry st =
   List.iter
     (fun (ph : Rule.program) ->
       ignore
-        (Engine.run ~options:st.options ~support:support' ?telemetry
+        (Engine.run ~options:st.options ~support:support' ?telemetry ?journal
            { ph with Rule.facts = [] } db'))
     st.phases;
   st.db <- db';
@@ -197,13 +202,18 @@ let rechase ?telemetry st =
 
 (* ------------------------------------------------------------------ *)
 
-let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
+let maintain ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Kgm_telemetry.Journal.null) st ~inserts ~retracts =
   let t0 = Unix.gettimeofday () in
   (* retractions only make sense against the EDB; a derived fact would
      simply be rederived *)
   let retracts =
     List.filter (fun (p, f) -> Engine.ProvTbl.mem st.edb_set (key p f)) retracts
   in
+  if Journal.enabled journal then
+    Journal.emit journal "maintain.start"
+      [ ("inserts", J.Int (List.length inserts));
+        ("retracts", J.Int (List.length retracts)) ];
   let updated =
     List.sort_uniq String.compare (List.map fst (inserts @ retracts))
   in
@@ -215,15 +225,24 @@ let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
         (fun n (p, f) -> if edb_note st p f then n + 1 else n)
         0 inserts
     in
-    rechase ?telemetry:(Some telemetry) st;
+    rechase ~telemetry ~journal st;
     Kgm_telemetry.count telemetry "incremental.fallback";
     Kgm_telemetry.count telemetry ~by:inserted "incremental.inserts";
     Kgm_telemetry.count telemetry ~by:(List.length retracts)
       "incremental.retracts";
-    { u_inserted = inserted; u_retracted = List.length retracts;
-      u_cone = 0; u_rederived = 0; u_deleted = 0; u_refired = 0;
-      u_derived = 0; u_rounds = 0; u_fallback = true;
-      u_elapsed_s = Unix.gettimeofday () -. t0 }
+    let stats =
+      { u_inserted = inserted; u_retracted = List.length retracts;
+        u_cone = 0; u_rederived = 0; u_deleted = 0; u_refired = 0;
+        u_derived = 0; u_rounds = 0; u_fallback = true;
+        u_elapsed_s = Unix.gettimeofday () -. t0 }
+    in
+    if Journal.enabled journal then
+      Journal.emit journal "maintain.end"
+        [ ("fallback", J.Bool true);
+          ("inserted", J.Int stats.u_inserted);
+          ("retracted", J.Int stats.u_retracted);
+          ("elapsed_s", J.Float stats.u_elapsed_s) ];
+    stats
   end
   else begin
     let sup = st.support in
@@ -330,6 +349,13 @@ let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
     in
     (* -------- delete + prune support -------- *)
     let deleted = Database.remove_batch st.db dead_facts in
+    if Journal.enabled journal then
+      Journal.emit journal "dred.cone"
+        [ ("cone", J.Int (List.length cone_facts));
+          ("rederived", J.Int (List.length cone_facts - deleted));
+          ("deleted", J.Int deleted);
+          ("risk_nulls", J.Int (Hashtbl.length risk_nulls));
+          ("dead_nulls", J.Int (List.length dead_nulls)) ];
     List.iter
       (fun (p, f) ->
         let k = key p f in
@@ -453,7 +479,7 @@ let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
           in
           let s =
             Engine.run_delta ~options:st.options ~support:sup ~telemetry
-              ~on_new ph st.db ~seed:phase_seed
+              ~journal ~on_new ph st.db ~seed:phase_seed
           in
           derived := !derived + s.Engine.new_facts;
           rounds := !rounds + s.Engine.rounds)
@@ -475,6 +501,18 @@ let maintain ?(telemetry = Kgm_telemetry.null) st ~inserts ~retracts =
     Kgm_telemetry.count telemetry ~by:stats.u_refired "incremental.refired";
     Kgm_telemetry.count telemetry ~by:stats.u_derived "incremental.derived";
     Kgm_telemetry.count telemetry ~by:stats.u_rounds "incremental.rounds";
+    if Journal.enabled journal then
+      Journal.emit journal "maintain.end"
+        [ ("fallback", J.Bool false);
+          ("inserted", J.Int stats.u_inserted);
+          ("retracted", J.Int stats.u_retracted);
+          ("cone", J.Int stats.u_cone);
+          ("rederived", J.Int stats.u_rederived);
+          ("deleted", J.Int stats.u_deleted);
+          ("refired", J.Int stats.u_refired);
+          ("derived", J.Int stats.u_derived);
+          ("rounds", J.Int stats.u_rounds);
+          ("elapsed_s", J.Float stats.u_elapsed_s) ];
     stats
   end
 

@@ -48,6 +48,7 @@ type update_stats = {
 
 val chase :
   ?options:Engine.options -> ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
   ?db:Database.t -> Rule.program -> state * Engine.stats
 (** Chase [program] (against [db] when given, a fresh database
     otherwise) with support recording on, and return the maintainable
@@ -56,6 +57,7 @@ val chase :
 
 val chase_phases :
   ?options:Engine.options -> ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
   db:Database.t -> Rule.program list -> state * Engine.stats
 (** Like {!chase} for a multi-phase pipeline (e.g. the two materialize
     phases): the phases are chased in order against the same database
@@ -69,7 +71,7 @@ val edb_facts : state -> (string * Database.fact) list
 (** The current extensional facts, in load order. *)
 
 val maintain :
-  ?telemetry:Kgm_telemetry.t -> state ->
+  ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t -> state ->
   inserts:(string * Database.fact) list ->
   retracts:(string * Database.fact) list -> update_stats
 (** Apply a batch of extensional updates and repair the
@@ -77,7 +79,10 @@ val maintain :
     ignored (a derived fact cannot be retracted — it would be
     rederived); inserts already extensional are ignored. Retractions
     are applied before inserts, so a batch may move a fact. Emits
-    [incremental.*] telemetry counters mirroring {!update_stats}. *)
+    [incremental.*] telemetry counters mirroring {!update_stats}; an
+    enabled [journal] additionally records [maintain.start], [dred.cone]
+    (overdeletion cone / rederivation / deletion sizes) and
+    [maintain.end] events around the seeded pass's own event stream. *)
 
 val canonical_facts : Database.t -> (string * Database.fact list) list
 (** The database contents in canonical form: predicates sorted, facts
