@@ -1,0 +1,98 @@
+(* Append-only dictionary from values to dense int ids.
+
+   Concurrency discipline (enforced by the engine, not by locks): the
+   dictionary is mutated only on sequential paths — program load,
+   rule preparation, round-0 evaluation, the merge sweep, checkpoint
+   resume. While the database is frozen for a parallel round, pool
+   workers only call the read-only [find]/[resolve]/[is_null]; the
+   pool's own mutex provides the happens-before edge for anything
+   interned before the round started. Values computed by workers that
+   are not yet in the dictionary go through a worker-local [Scratch]
+   table (negative ids) and are re-interned sequentially at merge, so
+   id assignment is deterministic across jobs x planner x chunking. *)
+
+module VTbl = Hashtbl.Make (Value.Hashed)
+
+type t = {
+  mutable vals : Value.t array; (* id -> value *)
+  mutable nulls : Bytes.t; (* id -> 1 iff the value is a labeled null *)
+  mutable len : int;
+  ids : int VTbl.t; (* value -> id *)
+}
+
+let create ?(size = 256) () =
+  {
+    vals = Array.make (max 1 size) (Value.Int 0);
+    nulls = Bytes.make (max 1 size) '\000';
+    len = 0;
+    ids = VTbl.create (max 1 size);
+  }
+
+let length t = t.len
+
+let ensure t n =
+  if n > Array.length t.vals then begin
+    let cap = max n (2 * Array.length t.vals) in
+    let vals = Array.make cap (Value.Int 0) in
+    Array.blit t.vals 0 vals 0 t.len;
+    t.vals <- vals;
+    let nulls = Bytes.make cap '\000' in
+    Bytes.blit t.nulls 0 nulls 0 t.len;
+    t.nulls <- nulls
+  end
+
+let intern t v =
+  match VTbl.find_opt t.ids v with
+  | Some id -> id
+  | None ->
+      let id = t.len in
+      ensure t (id + 1);
+      t.vals.(id) <- v;
+      if Value.is_null v then Bytes.set t.nulls id '\001';
+      t.len <- id + 1;
+      VTbl.add t.ids v id;
+      id
+
+let find t v = VTbl.find_opt t.ids v
+
+let resolve t id =
+  if id < 0 || id >= t.len then invalid_arg "Intern.resolve: unknown id";
+  t.vals.(id)
+
+let is_null t id =
+  if id < 0 || id >= t.len then invalid_arg "Intern.is_null: unknown id";
+  Bytes.get t.nulls id = '\001'
+
+let export t = Array.sub t.vals 0 t.len
+
+(* Worker-local side table for values first seen on a pool worker (the
+   frozen dictionary cannot be appended to). Ids are negative so they
+   can never collide with dictionary ids; they are only meaningful to
+   the worker that created them and are re-interned at merge. *)
+module Scratch = struct
+  type s = { mutable sc_vals : Value.t array; mutable sc_len : int; sc_ids : int VTbl.t }
+
+  let create () = { sc_vals = [||]; sc_len = 0; sc_ids = VTbl.create 8 }
+
+  let id s v =
+    match VTbl.find_opt s.sc_ids v with
+    | Some id -> id
+    | None ->
+        let k = s.sc_len in
+        if k >= Array.length s.sc_vals then begin
+          let cap = max 4 (2 * Array.length s.sc_vals) in
+          let vals = Array.make cap (Value.Int 0) in
+          Array.blit s.sc_vals 0 vals 0 s.sc_len;
+          s.sc_vals <- vals
+        end;
+        s.sc_vals.(k) <- v;
+        s.sc_len <- k + 1;
+        let id = -k - 1 in
+        VTbl.add s.sc_ids v id;
+        id
+
+  let resolve s id =
+    let k = -id - 1 in
+    if k < 0 || k >= s.sc_len then invalid_arg "Intern.Scratch.resolve: unknown id";
+    s.sc_vals.(k)
+end

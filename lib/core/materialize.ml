@@ -52,6 +52,28 @@ let instance_edge_labels =
   [ "SM_REFERENCES"; "I_SM_FROM"; "I_SM_TO"; "I_SM_HAS_NODE_ATTR";
     "I_SM_HAS_EDGE_ATTR" ]
 
+(* Reverse tracking of what the flush wrote into D, so an incremental
+   session can sweep elements whose deriving facts were retracted. The
+   key insight: every flushed data element / attribute value has a
+   source element in the dictionary graph (the derived instance node or
+   edge, or the instance-attribute node carrying the value); once the
+   dictionary has been swept against the maintained fact database, a
+   tracked data mutation whose source is gone must be reverted. *)
+type track = {
+  tk_nodes : (PG.id, unit) Hashtbl.t;  (* data nodes created by flush *)
+  tk_edges : (PG.id, unit) Hashtbl.t;  (* data edges created by flush *)
+  tk_node_attrs : (PG.id * string, PG.id * Value.t option) Hashtbl.t;
+  tk_edge_attrs : (PG.id * string, PG.id * Value.t option) Hashtbl.t;
+      (* (owner, key) -> (source instance-attribute node, value the
+         owner had before the first flush wrote it — [None] = absent) *)
+}
+
+let create_track () =
+  { tk_nodes = Hashtbl.create 64;
+    tk_edges = Hashtbl.create 64;
+    tk_node_attrs = Hashtbl.create 64;
+    tk_edge_attrs = Hashtbl.create 64 }
+
 (* ---- lines 1-4 of Algorithm 2: load D into the super-components ---- *)
 let load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma =
   let dict = Instances.dictionary instances in
@@ -103,7 +125,7 @@ let load_stage ~telemetry ~instances ~schema ~schema_oid ~data ~sigma =
    Flushing is monotone — it only adds elements and property values —
    so re-running it after an incremental update is idempotent on
    everything already flushed. *)
-let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
+let flush_into_data ?track ~wb ~gd ~ls ~db ~data ~instance_oid () =
   List.iter
     (fun l -> ignore (Kgm_metalog.Pg_bridge.store_nodes wb ls db l))
     instance_node_labels;
@@ -149,6 +171,9 @@ let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
             let did = data_id_of inode in
             if not (PG.node_exists data did) then begin
               ignore (PG.add_node ~id:did data ~labels:[ label ] ~props:[]);
+              (match track with
+               | Some t -> Hashtbl.replace t.tk_nodes did ()
+               | None -> ());
               incr derived_nodes
             end
         | None -> ()
@@ -172,7 +197,7 @@ let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
               in
               (match attr_name with
                | Some k ->
-                   if set_prop k v then incr derived_attrs
+                   if set_prop ia k v then incr derived_attrs
                | None -> ())
           | _ -> ())
       (PG.neighbors_out ~label:link gd owner)
@@ -182,10 +207,19 @@ let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
       if in_instance inode then begin
         let did = data_id_of inode in
         if PG.node_exists data did then
-          flush_attrs inode "I_SM_HAS_NODE_ATTR" (fun k v ->
+          flush_attrs inode "I_SM_HAS_NODE_ATTR" (fun ia k v ->
               match PG.node_prop data did k with
               | Some v' when Value.equal v v' -> false
-              | _ ->
+              | prev ->
+                  (match track with
+                   | Some t ->
+                       let prev0 =
+                         match Hashtbl.find_opt t.tk_node_attrs (did, k) with
+                         | Some (_, p0) -> p0 (* keep the original *)
+                         | None -> prev
+                       in
+                       Hashtbl.replace t.tk_node_attrs (did, k) (ia, prev0)
+                   | None -> ());
                   PG.set_node_prop data did k v;
                   true)
       end)
@@ -206,12 +240,27 @@ let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
                when PG.node_exists data src && PG.node_exists data dst ->
                  if not (PG.edge_exists data iedge) then begin
                    ignore (PG.add_edge ~id:iedge data ~label ~src ~dst ~props:[]);
+                   (match track with
+                    | Some t -> Hashtbl.replace t.tk_edges iedge ()
+                    | None -> ());
                    incr derived_edges
                  end;
-                 flush_attrs iedge "I_SM_HAS_EDGE_ATTR" (fun k v ->
+                 flush_attrs iedge "I_SM_HAS_EDGE_ATTR" (fun ia k v ->
                      match PG.edge_prop data iedge k with
                      | Some v' when Value.equal v v' -> false
-                     | _ ->
+                     | prev ->
+                         (match track with
+                          | Some t ->
+                              let prev0 =
+                                match
+                                  Hashtbl.find_opt t.tk_edge_attrs (iedge, k)
+                                with
+                                | Some (_, p0) -> p0
+                                | None -> prev
+                              in
+                              Hashtbl.replace t.tk_edge_attrs (iedge, k)
+                                (ia, prev0)
+                          | None -> ());
                          PG.set_edge_prop data iedge k v;
                          true)
              | _ -> ())
@@ -220,11 +269,11 @@ let flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid =
     (PG.nodes_with_label gd "I_SM_Edge");
   (!derived_nodes, !derived_edges, !derived_attrs)
 
-let flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid =
+let flush_stage ?track ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid () =
   let t = now () in
   let dn, de, da =
     Kgm_telemetry.with_span telemetry ~cat:"stage" "flush" @@ fun () ->
-    flush_into_data ~wb ~gd ~ls ~db ~data ~instance_oid
+    flush_into_data ?track ~wb ~gd ~ls ~db ~data ~instance_oid ()
   in
   if Kgm_telemetry.enabled telemetry then begin
     Kgm_telemetry.count telemetry ~by:dn "materialize.derived_nodes";
@@ -288,7 +337,7 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null)
   stage_event journal "reason" reason_s;
   let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
   let flush_s, dn, de, da =
-    flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
+    flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid ()
   in
   stage_event journal "flush" flush_s;
   { instance_oid; load_s; reason_s; flush_s; engine_stats;
@@ -305,6 +354,7 @@ type session = {
   s_gd : PG.t;
   s_data : PG.t;
   s_instance_oid : int;
+  s_track : track;
 }
 
 type refresh_report = {
@@ -313,6 +363,8 @@ type refresh_report = {
   r_derived_nodes : int;
   r_derived_edges : int;
   r_derived_attrs : int;
+  r_swept_elements : int;
+  r_swept_attrs : int;
 }
 
 let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
@@ -335,8 +387,9 @@ let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
   let reason_s = now () -. t1 in
   stage_event journal "reason" reason_s;
   let wb = Kgm_metalog.Pg_bridge.make_writeback gd in
+  let track = create_track () in
   let flush_s, dn, de, da =
-    flush_stage ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid
+    flush_stage ~track ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid ()
   in
   stage_event journal "flush" flush_s;
   let report =
@@ -345,10 +398,123 @@ let materialize_session ?options ?(telemetry = Kgm_telemetry.null)
       incomplete = engine_stats.Kgm_vadalog.Engine.stopped <> None }
   in
   ( { s_state = state; s_wb = wb; s_ls = ls; s_gd = gd; s_data = data;
-      s_instance_oid = instance_oid },
+      s_instance_oid = instance_oid; s_track = track },
     report )
 
 let session_state s = s.s_state
+
+(* ---- non-monotone repair: mark and sweep ----
+
+   [flush_into_data] is monotone by design, so after a maintenance pass
+   that retracted facts, the graphs can hold elements whose derivations
+   died. Two sweeps restore exactness:
+
+   1. Dictionary sweep (mark = the maintained fact database): an
+      instance element of this session whose fact is gone from [db] is
+      removed from the dictionary graph. Elements of other instances,
+      schema constructs and extensional elements are untouched — the
+      sweep only ever visits elements carrying this session's
+      [instanceOID], and the maintained database still holds every
+      extensional fact. Removing a node cascades its incident edges;
+      surviving instance edges whose own fact died are swept by label
+      against the database too.
+
+   2. Data sweep (mark = the swept dictionary): every data element and
+      attribute value the session's flushes created is tracked together
+      with its source dictionary element; a tracked mutation whose
+      source was just swept away is reverted — nodes and edges are
+      removed, attribute values restored to the value D held before the
+      first flush (or deleted when it had none). *)
+let sweep_dictionary ~wb ~gd ~db ~instance_oid =
+  let in_instance id =
+    PG.node_prop gd id "instanceOID" = Some (Value.Int instance_oid)
+  in
+  let live_ids label =
+    let live = Hashtbl.create 64 in
+    List.iter
+      (fun fact ->
+        if Array.length fact > 0 then
+          Hashtbl.replace live
+            (Kgm_metalog.Pg_bridge.element_id wb fact.(0)) ())
+      (DB.facts db label);
+    live
+  in
+  let removed = ref 0 in
+  List.iter
+    (fun label ->
+      let live = live_ids label in
+      List.iter
+        (fun id ->
+          if in_instance id && not (Hashtbl.mem live id) then begin
+            PG.remove_node gd id;
+            incr removed
+          end)
+        (PG.nodes_with_label gd label))
+    instance_node_labels;
+  List.iter
+    (fun label ->
+      let live = live_ids label in
+      List.iter
+        (fun eid ->
+          if PG.edge_exists gd eid then
+            let src, _ = PG.edge_ends gd eid in
+            if in_instance src && not (Hashtbl.mem live eid) then begin
+              PG.remove_edge gd eid;
+              incr removed
+            end)
+        (PG.edges_with_label gd label))
+    instance_edge_labels;
+  !removed
+
+let sweep_data ~gd ~data ~(track : track) =
+  let elements = ref 0 and attrs = ref 0 in
+  let dead tbl = Hashtbl.fold
+      (fun id () acc -> if not (PG.node_exists gd id) then id :: acc else acc)
+      tbl []
+  in
+  List.iter
+    (fun id ->
+      if PG.edge_exists data id then begin
+        PG.remove_edge data id;
+        incr elements
+      end;
+      Hashtbl.remove track.tk_edges id)
+    (dead track.tk_edges);
+  List.iter
+    (fun id ->
+      if PG.node_exists data id then begin
+        PG.remove_node data id;
+        incr elements
+      end;
+      Hashtbl.remove track.tk_nodes id)
+    (dead track.tk_nodes);
+  let dead_attrs tbl =
+    Hashtbl.fold
+      (fun key (ia, prev) acc ->
+        if not (PG.node_exists gd ia) then (key, prev) :: acc else acc)
+      tbl []
+  in
+  List.iter
+    (fun (((owner, k) as key), prev) ->
+      (if PG.node_exists data owner then begin
+         (match prev with
+          | Some v -> PG.set_node_prop data owner k v
+          | None -> PG.remove_node_prop data owner k);
+         incr attrs
+       end);
+      Hashtbl.remove track.tk_node_attrs key)
+    (dead_attrs track.tk_node_attrs);
+  List.iter
+    (fun (((owner, k) as key), prev) ->
+      (if PG.edge_exists data owner then begin
+         (match prev with
+          | Some v -> PG.set_edge_prop data owner k v
+          | None -> PG.remove_edge_prop data owner k);
+         incr attrs
+       end);
+      Hashtbl.remove track.tk_edge_attrs key)
+    (dead_attrs track.tk_edge_attrs);
+  (!elements, !attrs)
 
 let refresh ?(telemetry = Kgm_telemetry.null)
     ?(journal = Kgm_telemetry.Journal.null) session ~inserts ~retracts =
@@ -358,12 +524,30 @@ let refresh ?(telemetry = Kgm_telemetry.null)
   in
   (* the maintained database object may have been replaced by a
      fallback re-chase, so re-fetch it from the state *)
+  let db = Kgm_vadalog.Incremental.db session.s_state in
+  (* non-monotone repair before the monotone re-flush: sweep dictionary
+     elements whose facts died, then revert the data mutations they had
+     sourced. The re-flush then re-derives (and re-tracks) anything
+     still flowing from live facts. *)
+  let swept_gd =
+    sweep_dictionary ~wb:session.s_wb ~gd:session.s_gd ~db
+      ~instance_oid:session.s_instance_oid
+  in
+  let swept_el, swept_at =
+    sweep_data ~gd:session.s_gd ~data:session.s_data ~track:session.s_track
+  in
+  if Kgm_telemetry.enabled telemetry && swept_gd + swept_el + swept_at > 0
+  then begin
+    Kgm_telemetry.count telemetry ~by:swept_gd "materialize.swept_dictionary";
+    Kgm_telemetry.count telemetry ~by:swept_el "materialize.swept_elements";
+    Kgm_telemetry.count telemetry ~by:swept_at "materialize.swept_attrs"
+  end;
   let r_flush_s, dn, de, da =
-    flush_stage ~telemetry ~wb:session.s_wb ~gd:session.s_gd
-      ~ls:session.s_ls
-      ~db:(Kgm_vadalog.Incremental.db session.s_state)
-      ~data:session.s_data ~instance_oid:session.s_instance_oid
+    flush_stage ~track:session.s_track ~telemetry ~wb:session.s_wb
+      ~gd:session.s_gd ~ls:session.s_ls ~db ~data:session.s_data
+      ~instance_oid:session.s_instance_oid ()
   in
   stage_event journal "flush" r_flush_s;
   { r_update; r_flush_s; r_derived_nodes = dn; r_derived_edges = de;
-    r_derived_attrs = da }
+    r_derived_attrs = da; r_swept_elements = swept_el;
+    r_swept_attrs = swept_at }

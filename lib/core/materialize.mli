@@ -89,13 +89,14 @@ val label_schema_of_supermodel :
     for insertions (see {!Kgm_vadalog.Incremental}) — and re-runs the
     flush stage.
 
-    Caveat: the flush into the dictionary and into D is {e monotone}.
-    A refresh adds newly derived elements and attribute values but does
-    not remove graph elements whose deriving facts were retracted; the
-    maintained {e fact database} is always exact (equal to a
-    from-scratch chase), only the graph projection can retain stale
-    elements. Re-running the flush is idempotent: a shared writeback
-    keeps labeled nulls mapped to stable graph ids across calls. *)
+    The flush itself stays {e monotone} (it only adds elements and
+    values), but a {!refresh} is exact end-to-end: before re-flushing it
+    sweeps the dictionary's instance elements against the maintained
+    fact database and reverts every tracked data mutation whose source
+    element died — derived nodes and edges are removed, attribute
+    values restored to what D held before the first flush. Re-running
+    the flush is idempotent: a shared writeback keeps labeled nulls
+    mapped to stable graph ids across calls. *)
 
 type session
 
@@ -105,6 +106,10 @@ type refresh_report = {
   r_derived_nodes : int;  (** new data nodes flushed by this refresh *)
   r_derived_edges : int;  (** new data edges flushed by this refresh *)
   r_derived_attrs : int;  (** new attribute values flushed *)
+  r_swept_elements : int;
+      (** data nodes/edges removed because their deriving facts died *)
+  r_swept_attrs : int;
+      (** attribute values reverted for the same reason *)
 }
 
 val materialize_session :

@@ -80,6 +80,8 @@ let node_props t id =
 
 let set_node_prop t id k v = Hashtbl.replace (get_node t id).n_props k v
 
+let remove_node_prop t id k = Hashtbl.remove (get_node t id).n_props k
+
 let add_node_label t id l =
   let n = get_node t id in
   if not (List.mem l n.labels) then begin
@@ -111,6 +113,8 @@ let edge_props t id =
   |> List.sort compare
 
 let set_edge_prop t id k v = Hashtbl.replace (get_edge t id).e_props k v
+
+let remove_edge_prop t id k = Hashtbl.remove (get_edge t id).e_props k
 
 let remove_edge t id =
   let e = get_edge t id in

@@ -25,6 +25,9 @@ val node_labels : t -> id -> string list
 val node_prop : t -> id -> string -> Value.t option
 val node_props : t -> id -> (string * Value.t) list
 val set_node_prop : t -> id -> string -> Value.t -> unit
+val remove_node_prop : t -> id -> string -> unit
+(** Delete a property; a no-op when it is absent. *)
+
 val add_node_label : t -> id -> string -> unit
 val remove_node : t -> id -> unit
 (** Also removes incident edges. *)
@@ -42,6 +45,9 @@ val edge_ends : t -> id -> id * id
 val edge_prop : t -> id -> string -> Value.t option
 val edge_props : t -> id -> (string * Value.t) list
 val set_edge_prop : t -> id -> string -> Value.t -> unit
+val remove_edge_prop : t -> id -> string -> unit
+(** Delete a property; a no-op when it is absent. *)
+
 val remove_edge : t -> id -> unit
 
 (** {1 Iteration and lookup} *)

@@ -142,6 +142,13 @@ module Snapshot : sig
       leaves the previous snapshot intact. Raises [Sys_error] on IO
       failure. *)
 
+  val peek_version : kind:string -> path:string -> int
+  (** The version a snapshot's header claims, after validating magic
+      and kind — without touching the payload. Lets a caller branch on
+      format version before asking {!load} for a specific one. Raises
+      [Kgm_error.Error] ([Storage]) on a missing, foreign or truncated
+      file. *)
+
   val load : kind:string -> version:int -> path:string -> 'a
   (** The caller asserts the payload type, as with [Marshal]; the
       kind/version/digest checks are the guard rails. Raises

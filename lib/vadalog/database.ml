@@ -1,33 +1,39 @@
 (** Fact store of the Vadalog engine: per-predicate sets of tuples with
     lazily built hash indexes on bound-position patterns.
 
-    The dedup set and the indexes are functorized over
-    {!Kgm_common.Value.Hashed_array} / {!Kgm_common.Value.Hashed}: keying
-    them on structural [( = )] / [Hashtbl.hash] would make a fact
-    containing [Float nan] never equal itself (so every round re-inserts
-    it — a non-termination risk for recursive rules over float
-    aggregates) and would distinguish [Id]s by their cosmetic hint.
+    Facts are dictionary-encoded: every {!Kgm_common.Value.t} is
+    interned into a dense int id ({!Kgm_common.Intern}) and a stored
+    fact is an unboxed [int array]. Probes, dedup and index keys
+    compare and hash machine ints — O(1) equality, no structural
+    traversal of boxed values on the hot path. The dictionary is owned
+    by the database (shared by {!copy}) and interning agrees with
+    [Value.equal], so a fact containing [Float nan] still equals itself
+    (interning it twice yields the same id) and [Id]s are not
+    distinguished by their cosmetic hint.
 
     Facts live in per-predicate append-order buffers (doubling arrays),
     so insertion order is the storage order: probes and {!facts} never
     reverse a list, and every fact carries an insertion sequence number
     that the engine uses as a deterministic sort key. The dedup table is
-    keyed on the [Value.t array] fact itself — no list key is allocated
-    per {!add}/{!mem} probe.
+    keyed on the [int array] fact itself — no list key is allocated per
+    {!add}/{!mem} probe.
 
     For the parallel chase the store can be {!freeze}-frozen: a frozen
     database rejects writes and never mutates on {!lookup} (a missing
-    index falls back to a linear scan instead of being built), so any
-    number of domains may read it concurrently. {!prepare_index} builds
-    the indexes a query plan will need {e before} the parallel
-    section. *)
+    index falls back to a linear scan instead of being built, and a
+    probe key containing a value absent from the dictionary simply has
+    no matches), so any number of domains may read it — and the
+    read-only dictionary — concurrently. {!prepare_index} builds the
+    indexes a query plan will need {e before} the parallel section. *)
 
 open Kgm_common
 
 type fact = Value.t array
+type ifact = int array
 
-(* Hashing/equality of fact keys must agree with Value.equal, not with
-   structural equality — see the module comment. *)
+(* Value-keyed table for callers that key on resolved tuples (the
+   engine's aggregate states among them). Hashing/equality must agree
+   with Value.equal, not with structural equality. *)
 module Key = struct
   type t = Value.t list
 
@@ -36,7 +42,32 @@ module Key = struct
 end
 
 module KeyTbl = Hashtbl.Make (Key)
-module FactTbl = Hashtbl.Make (Value.Hashed_array)
+
+(* Interned probe keys: the values at a pattern's positions, as ids. *)
+module IKey = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash k = List.fold_left (fun h i -> (h * 31) + i) 17 k
+end
+
+module IKeyTbl = Hashtbl.Make (IKey)
+
+(* Interned facts: pointwise int equality, multiplicative hash. *)
+module IFact = struct
+  type t = int array
+
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash f = Array.fold_left (fun h i -> (h * 31) + i) (Array.length f) f
+end
+
+module IFactTbl = Hashtbl.Make (IFact)
 
 (* Growable array of ascending insertion sequences (index postings). *)
 type postings = { mutable p_seq : int array; mutable p_len : int }
@@ -52,26 +83,59 @@ let postings_add ps seq =
   ps.p_len <- ps.p_len + 1
 
 type pred_store = {
-  mutable arr : fact array;  (* arr.(0 .. count-1) in insertion order *)
+  mutable arr : ifact array;  (* arr.(0 .. count-1) in insertion order *)
   mutable count : int;
-  seqs : int FactTbl.t;      (* dedup set: fact -> insertion sequence *)
-  indexes : (int list, postings KeyTbl.t) Hashtbl.t;
+  seqs : int IFactTbl.t;      (* dedup set: fact -> insertion sequence *)
+  indexes : (int list, postings IKeyTbl.t) Hashtbl.t;
 }
 
 type t = {
   preds : (string, pred_store) Hashtbl.t;
+  dict : Intern.t;
   mutable total : int;
   mutable frozen : bool;
 }
 
-let create () = { preds = Hashtbl.create 64; total = 0; frozen = false }
+let create ?dict () =
+  let dict = match dict with Some d -> d | None -> Intern.create () in
+  { preds = Hashtbl.create 64; dict; total = 0; frozen = false }
+
+let dict t = t.dict
+let intern_fact t (f : fact) : ifact = Array.map (Intern.intern t.dict) f
+let resolve_fact t (f : ifact) : fact = Array.map (Intern.resolve t.dict) f
+
+(* Read-only encoding of a fact; [None] when some value was never
+   interned (then the fact cannot be stored here). Frozen-safe. *)
+let find_fact t (f : fact) : ifact option =
+  let n = Array.length f in
+  let out = Array.make n 0 in
+  let rec go i =
+    if i >= n then Some out
+    else
+      match Intern.find t.dict f.(i) with
+      | Some id ->
+          out.(i) <- id;
+          go (i + 1)
+      | None -> None
+  in
+  go 0
+
+let find_key t (k : Value.t list) : int list option =
+  let rec go = function
+    | [] -> Some []
+    | v :: rest -> (
+        match Intern.find t.dict v with
+        | Some id -> ( match go rest with Some ids -> Some (id :: ids) | None -> None)
+        | None -> None)
+  in
+  go k
 
 let store t pred =
   match Hashtbl.find_opt t.preds pred with
   | Some s -> s
   | None ->
       let s =
-        { arr = [||]; count = 0; seqs = FactTbl.create 256; indexes = Hashtbl.create 4 }
+        { arr = [||]; count = 0; seqs = IFactTbl.create 256; indexes = Hashtbl.create 4 }
       in
       Hashtbl.add t.preds pred s;
       s
@@ -79,7 +143,7 @@ let store t pred =
 (* A predicate may hold facts of several arities (nothing enforces a
    unique arity per name); a fact too short for the position pattern
    simply has no key under it. *)
-let index_key positions fact =
+let index_key positions (fact : ifact) =
   let n = Array.length fact in
   if List.exists (fun i -> i >= n) positions then None
   else Some (List.map (fun i -> fact.(i)) positions)
@@ -88,12 +152,12 @@ let index_insert idx positions fact seq =
   match index_key positions fact with
   | None -> ()
   | Some k -> (
-      match KeyTbl.find_opt idx k with
+      match IKeyTbl.find_opt idx k with
       | Some ps -> postings_add ps seq
       | None ->
           let ps = { p_seq = Array.make 8 0; p_len = 0 } in
           postings_add ps seq;
-          KeyTbl.add idx k ps)
+          IKeyTbl.add idx k ps)
 
 let buffer_append s fact =
   if s.count = Array.length s.arr then begin
@@ -105,33 +169,47 @@ let buffer_append s fact =
   s.arr.(s.count) <- fact;
   s.count <- s.count + 1
 
-(** [add t pred fact] returns [true] when the fact is new. *)
-let add t pred fact =
+(** [add_i t pred ifact] inserts an already-interned fact; returns
+    [true] when it is new. *)
+let add_i t pred (fact : ifact) =
   if t.frozen then invalid_arg "Database.add: database is frozen";
   (* chaos site: a crash here lands mid-round, which is exactly what the
      checkpoint/resume tests need to provoke (one ref read when fault
      injection is off) *)
   Kgm_resilience.Faults.inject "db_insert";
   let s = store t pred in
-  if FactTbl.mem s.seqs fact then false
+  if IFactTbl.mem s.seqs fact then false
   else begin
     let seq = s.count in
-    FactTbl.add s.seqs fact seq;
+    IFactTbl.add s.seqs fact seq;
     buffer_append s fact;
     t.total <- t.total + 1;
     Hashtbl.iter (fun positions idx -> index_insert idx positions fact seq) s.indexes;
     true
   end
 
-let mem t pred fact =
+(** [add t pred fact] returns [true] when the fact is new. *)
+let add t pred fact =
+  if t.frozen then invalid_arg "Database.add: database is frozen";
+  add_i t pred (intern_fact t fact)
+
+let mem_i t pred (fact : ifact) =
   match Hashtbl.find_opt t.preds pred with
-  | Some s -> FactTbl.mem s.seqs fact
+  | Some s -> IFactTbl.mem s.seqs fact
   | None -> false
+
+let mem t pred fact =
+  match find_fact t fact with Some f -> mem_i t pred f | None -> false
+
+let facts_i t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> []
+  | Some s -> List.init s.count (fun i -> s.arr.(i))
 
 let facts t pred =
   match Hashtbl.find_opt t.preds pred with
   | None -> []
-  | Some s -> List.init s.count (fun i -> s.arr.(i))
+  | Some s -> List.init s.count (fun i -> resolve_fact t s.arr.(i))
 
 let count t pred =
   match Hashtbl.find_opt t.preds pred with Some s -> s.count | None -> 0
@@ -142,7 +220,7 @@ let predicates t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.preds [] |> List.sort String.compare
 
 let build_index s positions =
-  let idx = KeyTbl.create (max 64 s.count) in
+  let idx = IKeyTbl.create (max 64 s.count) in
   for i = 0 to s.count - 1 do
     index_insert idx positions s.arr.(i) i
   done;
@@ -157,24 +235,29 @@ let build_index s positions =
     the store is indistinguishable from one into which only the
     survivors were ever inserted, which is what the incremental
     maintenance layer's determinism argument needs. Duplicates in
-    [facts] are counted once. Raises [Invalid_argument] when frozen. *)
+    [facts] are counted once. Raises [Invalid_argument] when frozen.
+    (The dictionary is append-only: ids of removed facts stay interned,
+    which is harmless — membership is decided by the dedup set.) *)
 let remove_batch t facts =
   if t.frozen then invalid_arg "Database.remove_batch: database is frozen";
   (* group the doomed facts per predicate, dedup'd via a probe table *)
-  let by_pred : (string, unit FactTbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let by_pred : (string, unit IFactTbl.t) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (pred, fact) ->
-      if mem t pred fact then begin
-        let set =
-          match Hashtbl.find_opt by_pred pred with
-          | Some s -> s
-          | None ->
-              let s = FactTbl.create 16 in
-              Hashtbl.add by_pred pred s;
-              s
-        in
-        FactTbl.replace set fact ()
-      end)
+      match find_fact t fact with
+      | None -> ()
+      | Some ifact ->
+          if mem_i t pred ifact then begin
+            let set =
+              match Hashtbl.find_opt by_pred pred with
+              | Some s -> s
+              | None ->
+                  let s = IFactTbl.create 16 in
+                  Hashtbl.add by_pred pred s;
+                  s
+            in
+            IFactTbl.replace set ifact ()
+          end)
     facts;
   let removed = ref 0 in
   Hashtbl.iter
@@ -188,17 +271,17 @@ let remove_batch t facts =
           let old_arr = s.arr and old_count = s.count in
           s.arr <- [||];
           s.count <- 0;
-          FactTbl.reset s.seqs;
+          IFactTbl.reset s.seqs;
           Hashtbl.reset s.indexes;
           for i = 0 to old_count - 1 do
             let fact = old_arr.(i) in
-            if FactTbl.mem doomed fact then begin
+            if IFactTbl.mem doomed fact then begin
               incr removed;
               t.total <- t.total - 1
             end
             else begin
               let seq = s.count in
-              FactTbl.add s.seqs fact seq;
+              IFactTbl.add s.seqs fact seq;
               buffer_append s fact
             end
           done;
@@ -227,16 +310,16 @@ let indexed_patterns t pred =
       Hashtbl.fold (fun positions _ acc -> positions :: acc) s.indexes []
       |> List.sort compare
 
-(** [iter_matches t pred positions key f] calls [f seq fact] for every
-    fact whose values at [positions] equal [key], in ascending insertion
-    order ([seq] is the fact's per-predicate insertion sequence). Same
-    index semantics as {!lookup}, without allocating a result list.
-    Returns the number of facts {e examined} to produce the matches: the
-    index-group length when an index serves the probe (or is built, when
-    the store is unfrozen), but the whole predicate on the frozen
-    missing-index path, where the probe degrades to a linear scan — the
-    honest probe cost the engine's [rs_probes] counter reports. *)
-let iter_matches t pred positions key f =
+(** [iter_matches_i t pred positions key f] calls [f seq ifact] for
+    every fact whose ids at [positions] equal [key], in ascending
+    insertion order ([seq] is the fact's per-predicate insertion
+    sequence). Returns the number of facts {e examined} to produce the
+    matches: the index-group length when an index serves the probe (or
+    is built, when the store is unfrozen), but the whole predicate on
+    the frozen missing-index path, where the probe degrades to a linear
+    scan — the honest probe cost the engine's [rs_probes] counter
+    reports. *)
+let iter_matches_i t pred positions key f =
   match Hashtbl.find_opt t.preds pred with
   | None -> 0
   | Some s ->
@@ -249,7 +332,7 @@ let iter_matches t pred positions key f =
       else begin
         match Hashtbl.find_opt s.indexes positions with
         | Some idx -> (
-            match KeyTbl.find_opt idx key with
+            match IKeyTbl.find_opt idx key with
             | Some ps ->
                 for i = 0 to ps.p_len - 1 do
                   let seq = ps.p_seq.(i) in
@@ -261,14 +344,14 @@ let iter_matches t pred positions key f =
             if t.frozen then begin
               for i = 0 to s.count - 1 do
                 match index_key positions s.arr.(i) with
-                | Some k when Key.equal k key -> f i s.arr.(i)
+                | Some k when IKey.equal k key -> f i s.arr.(i)
                 | _ -> ()
               done;
               s.count
             end
             else begin
               let idx = build_index s positions in
-              match KeyTbl.find_opt idx key with
+              match IKeyTbl.find_opt idx key with
               | Some ps ->
                   for i = 0 to ps.p_len - 1 do
                     let seq = ps.p_seq.(i) in
@@ -278,6 +361,23 @@ let iter_matches t pred positions key f =
               | None -> 0
             end
       end
+
+(** Interned facts whose ids at [positions] equal [key], in insertion
+    order (see {!iter_matches_i} for the index semantics). *)
+let lookup_i t pred positions key =
+  let acc = ref [] in
+  ignore (iter_matches_i t pred positions key (fun _ f -> acc := f :: !acc));
+  List.rev !acc
+
+(** Value-level probe: same semantics as {!iter_matches_i} after
+    encoding the key through the dictionary. A key containing a value
+    that was never interned matches nothing and examines nothing (such
+    a value cannot occur in any stored fact) — in particular the probe
+    never mutates the dictionary, so it is frozen-safe. *)
+let iter_matches t pred positions key f =
+  match find_key t key with
+  | None -> 0
+  | Some ikey -> iter_matches_i t pred positions ikey (fun seq ifact -> f seq (resolve_fact t ifact))
 
 (** Facts whose values at [positions] equal [key], in insertion order.
     Builds (and then maintains) a hash index for the position pattern on
@@ -289,11 +389,14 @@ let lookup t pred positions key =
   List.rev !acc
 
 let copy t =
-  let t' = create () in
+  (* the dictionary is shared: ids remain stable across copies, which
+     lets the engine compare and ship interned facts between a store
+     and its frozen snapshot *)
+  let t' = create ~dict:t.dict () in
   Hashtbl.iter
     (fun pred s ->
       for i = 0 to s.count - 1 do
-        ignore (add t' pred (Array.copy s.arr.(i)))
+        ignore (add_i t' pred (Array.copy s.arr.(i)))
       done;
       (* carry the source's index patterns over: a frozen copy could
          otherwise never build them and would linear-scan every probe *)

@@ -8,14 +8,45 @@ open Kgm_common
 
 type fact = Value.t array
 
+type ifact = int array
+(** A dictionary-encoded fact: each cell is the {!Kgm_common.Intern} id
+    of the corresponding value in the database's dictionary. This is
+    the representation facts are actually stored, deduplicated and
+    joined in — pointwise int equality, no boxed-value traversal. *)
+
 module KeyTbl : Hashtbl.S with type key = Value.t list
 (** Hash tables keyed by value tuples, consistent with
     {!Value.equal}/{!Value.hash} — use for any fact-keyed state (the
     engine's aggregation groups, provenance, ...). *)
 
+module IKeyTbl : Hashtbl.S with type key = int list
+(** Hash tables keyed by interned probe keys (id tuples). *)
+
+module IFactTbl : Hashtbl.S with type key = ifact
+(** Hash tables keyed by interned facts (pointwise int equality,
+    multiplicative hash over the ids). *)
+
 type t
 
-val create : unit -> t
+val create : ?dict:Intern.t -> unit -> t
+(** A fresh store; [dict] shares an existing dictionary (ids allocated
+    by either side are visible to both). Default: a private one. *)
+
+val dict : t -> Intern.t
+(** The database's dictionary. Append to it only on sequential paths —
+    never while the database is frozen for a parallel round. *)
+
+val intern_fact : t -> fact -> ifact
+(** Encode a fact, interning any values not yet in the dictionary.
+    Never call on a frozen database's dictionary. *)
+
+val resolve_fact : t -> ifact -> fact
+(** Decode an interned fact back to values (read-only). *)
+
+val find_fact : t -> fact -> ifact option
+(** Read-only encoding: [None] when some value was never interned (then
+    the fact cannot be present in any store sharing the dictionary).
+    Frozen-safe. *)
 
 val add : t -> string -> fact -> bool
 (** [add db pred fact] inserts and returns [true] when the fact is new.
@@ -28,10 +59,18 @@ val add : t -> string -> fact -> bool
 
 val mem : t -> string -> fact -> bool
 
+val add_i : t -> string -> ifact -> bool
+(** {!add} for an already-interned fact (no dictionary mutation). *)
+
+val mem_i : t -> string -> ifact -> bool
+
 val facts : t -> string -> fact list
 (** Facts of a predicate in insertion order — the order {!add} first
     accepted them, which every probe and export preserves (the engine's
     determinism invariants depend on it); [[]] for unknown predicates. *)
+
+val facts_i : t -> string -> ifact list
+(** Interned facts of a predicate in insertion order. *)
 
 val count : t -> string -> int
 val total : t -> int
@@ -45,7 +84,12 @@ val lookup : t -> string -> int list -> Value.t list -> fact list
     Builds a hash index for the position pattern on first use; the empty
     pattern is a full scan. Facts too short for the pattern never match.
     On a {!freeze}-frozen database a missing index is answered by a
-    linear scan instead of being built (no mutation). *)
+    linear scan instead of being built (no mutation). A key containing
+    a value absent from the dictionary matches nothing (and examines
+    nothing) without touching the dictionary. *)
+
+val lookup_i : t -> string -> int list -> int list -> ifact list
+(** {!lookup} over interned facts and an id-encoded key. *)
 
 val iter_matches :
   t -> string -> int list -> Value.t list -> (int -> fact -> unit) -> int
@@ -61,6 +105,11 @@ val iter_matches :
     missing-index path, where the probe degrades to a linear scan. The
     engine charges this to its [rs_probes] counter, so un-prepared
     probe patterns show up as the full scans they really are. *)
+
+val iter_matches_i :
+  t -> string -> int list -> int list -> (int -> ifact -> unit) -> int
+(** {!iter_matches} over interned facts and an id-encoded key — the
+    engine's hot probe path (no per-fact decoding). *)
 
 val remove_batch : t -> (string * fact) list -> int
 (** [remove_batch t facts] deletes every listed (pred, fact) pair that
@@ -99,9 +148,11 @@ val indexed_patterns : t -> string -> int list list
 (** The position patterns currently indexed for a predicate, sorted. *)
 
 val copy : t -> t
-(** Deep copy: facts are copied in insertion order, the source's index
-    patterns are rebuilt eagerly, and the frozen flag carries over (a
-    copy of a frozen snapshot is itself a read-only snapshot). *)
+(** Deep copy of the stores — the dictionary is {e shared}, so ids stay
+    stable across copies. Facts are copied in insertion order, the
+    source's index patterns are rebuilt eagerly, and the frozen flag
+    carries over (a copy of a frozen snapshot is itself a read-only
+    snapshot). *)
 
 val pp : Format.formatter -> t -> unit
 (** Every fact as [pred(v1, ..., vn).] lines, predicates sorted. *)

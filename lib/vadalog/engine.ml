@@ -377,8 +377,11 @@ let pp_rule_table ppf stats =
 (* ------------------------------------------------------------------ *)
 (* Bindings with trail-based backtracking                               *)
 
+(* Bindings map variables to interned value ids (possibly a worker's
+   negative scratch id, see below) — equality checks on the hot join
+   path are int compares. *)
 type env = {
-  tbl : (string, Value.t) Hashtbl.t;
+  tbl : (string, int) Hashtbl.t;
   mutable trail : string list;
 }
 
@@ -405,6 +408,7 @@ let env_lookup env v = Hashtbl.find_opt env.tbl v
 (* Aggregation state (persists across rounds within a run)              *)
 
 module KeyTbl = Database.KeyTbl
+module IKeyTbl = Database.IKeyTbl
 
 type group_state = {
   seen : unit KeyTbl.t;  (* contributor/dedup keys *)
@@ -441,7 +445,39 @@ let agg_step op acc v =
   | Rule.Pack, Some a -> Value.List [ a; v ]
 
 (* ------------------------------------------------------------------ *)
-(* Prepared rules                                                       *)
+(* Prepared rules.
+
+   Rule bodies and heads are compiled against the database's dictionary
+   at preparation time: constants become interned ids, so matching a
+   literal against stored facts never touches a boxed value. *)
+
+type cterm = CConst of int | CVar of string
+
+type catom = { ca_pred : string; ca_args : cterm array }
+
+type clit =
+  | CPos of catom
+  | CNeg of catom
+  | CCond of Expr.t
+  | CAssign of string * Expr.t
+  | CAgg of Rule.aggregate
+
+let compile_atom dict (a : Rule.atom) =
+  { ca_pred = a.Rule.pred;
+    ca_args =
+      Array.of_list
+        (List.map
+           (function
+             | Term.Const v -> CConst (Intern.intern dict v)
+             | Term.Var x -> CVar x)
+           a.Rule.args) }
+
+let compile_lit dict = function
+  | Rule.Pos a -> CPos (compile_atom dict a)
+  | Rule.Neg a -> CNeg (compile_atom dict a)
+  | Rule.Cond e -> CCond e
+  | Rule.Assign (x, e) -> CAssign (x, e)
+  | Rule.Agg g -> CAgg g
 
 type prepared = {
   rule : Rule.rule;
@@ -465,6 +501,8 @@ type prepared = {
      bound by an earlier literal. Built eagerly by the parallel path
      before freezing the database. A pattern the prediction misses only
      costs a linear scan on the frozen store, never a crash. *)
+  cbody : clit list;   (* body compiled against the dictionary *)
+  cheads : catom list; (* head atoms, likewise *)
 }
 
 let vars_after body i =
@@ -570,7 +608,7 @@ let reorder_rule ?db (r : Rule.rule) =
     { r with Rule.body = List.rev !result }
   end
 
-let prepare rule_id (r : Rule.rule) =
+let prepare dict rule_id (r : Rule.rule) =
   let hvars = Rule.head_vars r.Rule.head in
   let group_vars =
     List.concat
@@ -660,7 +698,9 @@ let prepare rule_id (r : Rule.rule) =
     strat_agg_index;
     has_agg;
     needed_vars;
-    index_patterns }
+    index_patterns;
+    cbody = List.map (compile_lit dict) r.Rule.body;
+    cheads = List.map (compile_atom dict) r.Rule.head }
 
 (* ------------------------------------------------------------------ *)
 
@@ -692,11 +732,15 @@ type run_state = {
      manually-grown stack instead of list cells: a cons here would churn
      the minor heap enough to show up as whole-run overhead. *)
   mutable trail_preds : string array;
-  mutable trail_facts : Database.fact array;
+  mutable trail_facts : Database.ifact array;
   mutable trail_len : int;
   (* worker-merge path only: parents restored wholesale from a
      collected candidate (the stack is empty there) *)
-  mutable fact_trail : (string * Value.t array) list;
+  mutable fact_trail : (string * Database.ifact) list;
+  (* worker-local ids for values first computed on this domain while
+     the dictionary is frozen (Assign results, mostly); re-interned
+     sequentially at merge *)
+  sc : Intern.Scratch.s;
   tele : Kgm_telemetry.t;
   jr : Kgm_telemetry.Journal.t;
   ctrs : rule_ctr array;       (* indexed by rule_id *)
@@ -742,13 +786,50 @@ let trail_parents st =
    is what makes the numbering independent of [options.jobs]. *)
 let global_null_counter = Atomic.make 0
 
+(* [fresh_null st] returns the interned id of the fresh null and its
+   label. Only called from sequential sections (round 0, the merge
+   sweep), where appending to the dictionary is legal. *)
 let fresh_null st =
   st.cur.c_nulls <- st.cur.c_nulls + 1;
-  Value.Null (Atomic.fetch_and_add global_null_counter 1 + 1)
+  let n = Atomic.fetch_and_add global_null_counter 1 + 1 in
+  (Intern.intern (Database.dict st.db) (Value.Null n), n)
 
-let term_value env = function
-  | Term.Const v -> Some v
-  | Term.Var x -> env_lookup env x
+(* Id handling. Non-negative ids live in the shared dictionary;
+   negative ids are worker-local scratch entries (values a worker
+   computed that the frozen dictionary does not hold). [value_id]
+   encodes a computed value: a direct intern when the store is live
+   (sequential paths — deterministic id order), a read-only find plus
+   scratch fallback when frozen (worker paths — no mutation). A scratch
+   id can never spuriously equal a dictionary id, and two ids are equal
+   iff their values are: scratch entries are only created for values
+   absent from the dictionary, and both tables dedup. *)
+let resolve_id st id =
+  if id >= 0 then Intern.resolve (Database.dict st.db) id
+  else Intern.Scratch.resolve st.sc id
+
+let value_id st v =
+  if Database.is_frozen st.db then
+    match Intern.find (Database.dict st.db) v with
+    | Some id -> id
+    | None -> Intern.Scratch.id st.sc v
+  else Intern.intern (Database.dict st.db) v
+
+let id_is_null st id =
+  if id >= 0 then Intern.is_null (Database.dict st.db) id
+  else Value.is_null (Intern.Scratch.resolve st.sc id)
+
+let resolve_ifact st (f : Database.ifact) : Database.fact =
+  Array.map (resolve_id st) f
+
+let resolve_parents st ps =
+  List.map (fun (p, f) -> (p, resolve_ifact st f)) ps
+
+(* variable resolver for expression evaluation over id bindings *)
+let env_value st env x = Option.map (resolve_id st) (env_lookup env x)
+
+let cterm_id env = function
+  | CConst id -> Some id
+  | CVar x -> env_lookup env x
 
 (* The per-round delta a rule evaluation ranges over, with a lazily
    built hash index per (arity, bound-positions) pattern. A probe's
@@ -759,8 +840,8 @@ let term_value env = function
    away. Each entry carries the fact's index within the round's delta,
    the delta component of the emission-order sort key. *)
 type delta_group = {
-  dg_facts : (int * Database.fact) list;  (* (delta index, fact), chronological *)
-  dg_cache : (int * int list, (int * Database.fact) list ref KeyTbl.t) Hashtbl.t;
+  dg_facts : (int * Database.ifact) list;  (* (delta index, fact), chronological *)
+  dg_cache : (int * int list, (int * Database.ifact) list ref IKeyTbl.t) Hashtbl.t;
 }
 
 let delta_group ?(offset = 0) facts =
@@ -773,54 +854,57 @@ let dg_lookup dg ~arity positions key =
     match Hashtbl.find_opt dg.dg_cache ck with
     | Some t -> t
     | None ->
-        let t = KeyTbl.create 32 in
+        let t = IKeyTbl.create 32 in
         List.iter
           (fun ((_, f) as entry) ->
             if Array.length f = arity then begin
               (* positions all < arity: they index a literal of this arity *)
               let k = List.map (fun i -> f.(i)) positions in
-              match KeyTbl.find_opt t k with
+              match IKeyTbl.find_opt t k with
               | Some r -> r := entry :: !r
-              | None -> KeyTbl.add t k (ref [ entry ])
+              | None -> IKeyTbl.add t k (ref [ entry ])
             end)
           dg.dg_facts;
-        KeyTbl.iter (fun _ r -> r := List.rev !r) t;
+        IKeyTbl.iter (fun _ r -> r := List.rev !r) t;
         Hashtbl.add dg.dg_cache ck t;
         t
   in
-  match KeyTbl.find_opt tbl key with Some r -> !r | None -> []
+  match IKeyTbl.find_opt tbl key with Some r -> !r | None -> []
 
-(* Enumerate facts matching atom under env; call k for each extension. *)
-let match_atom st env (a : Rule.atom) ~facts_override k =
-  let args = Array.of_list a.Rule.args in
+(* Enumerate facts matching atom under env; call k for each extension.
+   All comparisons are id equality. Candidate lists are materialized
+   before iterating (the continuation may add facts to the live store
+   mid-iteration; a snapshot keeps the enumeration stable, exactly as
+   the pre-interning code did). *)
+let match_atom st env (a : catom) ~facts_override k =
+  let args = a.ca_args in
   let n = Array.length args in
-  (* bound positions and their key values *)
+  (* bound positions and their key ids *)
   let positions = ref [] and key = ref [] in
   for i = n - 1 downto 0 do
-    match term_value env args.(i) with
-    | Some v ->
+    match cterm_id env args.(i) with
+    | Some id ->
         positions := i :: !positions;
-        key := v :: !key
+        key := id :: !key
     | None -> ()
   done;
-  let each fact =
+  let each (fact : Database.ifact) =
     if Array.length fact = n then begin
       let mark = env_mark env in
       let ok = ref true in
       (try
          for i = 0 to n - 1 do
            match args.(i) with
-           | Term.Const v ->
-               if not (Value.equal v fact.(i)) then raise Exit
-           | Term.Var x ->
+           | CConst id -> if id <> fact.(i) then raise Exit
+           | CVar x ->
                (match env_lookup env x with
-                | Some v -> if not (Value.equal v fact.(i)) then raise Exit
+                | Some id -> if id <> fact.(i) then raise Exit
                 | None -> env_bind env x fact.(i))
          done
        with Exit -> ok := false);
       if !ok then begin
         if Option.is_some st.prov || Option.is_some st.sup then begin
-          trail_push st a.Rule.pred fact;
+          trail_push st a.ca_pred fact;
           k ();
           st.trail_len <- st.trail_len - 1
         end
@@ -835,18 +919,17 @@ let match_atom st env (a : Rule.atom) ~facts_override k =
       st.cur.c_probes <- st.cur.c_probes + List.length group;
       List.iter (fun (_, fact) -> each fact) group
   | None ->
-      let candidates = Database.lookup st.db a.Rule.pred !positions !key in
+      let candidates = Database.lookup_i st.db a.ca_pred !positions !key in
       st.cur.c_probes <- st.cur.c_probes + List.length candidates;
       List.iter each candidates
 
-let ground_atom env (a : Rule.atom) =
-  Array.of_list
-    (List.map
-       (fun t ->
-         match term_value env t with
-         | Some v -> v
-         | None -> Kgm_error.reason_error "unbound variable in ground_atom")
-       a.Rule.args)
+let ground_atom env (a : catom) : Database.ifact =
+  Array.map
+    (fun t ->
+      match cterm_id env t with
+      | Some id -> id
+      | None -> Kgm_error.reason_error "unbound variable in ground_atom")
+    a.ca_args
 
 (* Does the head have a homomorphic image in the database under env?
    Backtracking over head atoms; existential vars accumulate bindings.
@@ -864,49 +947,49 @@ let ground_atom env (a : Rule.atom) =
    firing: should any of its facts later be retracted, the firing is
    re-attempted (and may then invent). *)
 let head_satisfied st env (prep : prepared) =
-  let ex_env = Hashtbl.create 4 in
-  let null_map : (Value.t, Value.t) Hashtbl.t = Hashtbl.create 4 in
+  let ex_env : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let null_map : (int, int) Hashtbl.t = Hashtbl.create 4 in
   let iso = st.opts.isomorphic_nulls in
   let rec go = function
     | [] -> Some []
-    | (a : Rule.atom) :: rest ->
-        let args = Array.of_list a.Rule.args in
+    | (a : catom) :: rest ->
+        let args = a.ca_args in
         let n = Array.length args in
-        (* [`Rigid v]: the image is the term v itself (constants,
+        (* [`Rigid id]: the image is the term's id itself (constants,
            non-null body bindings, and already-chosen images of
-           existentials); [`Flex v]: a body-bound null, flexible up to
+           existentials); [`Flex id]: a body-bound null, flexible up to
            the consistent renaming in [null_map]; [`Free x]: an
            existential without an image yet. *)
         let requirement t =
           match t with
-          | Term.Const v -> if iso && Value.is_null v then `Flex v else `Rigid v
-          | Term.Var x ->
+          | CConst id -> if iso && id_is_null st id then `Flex id else `Rigid id
+          | CVar x ->
               (match env_lookup env x with
-               | Some v -> if iso && Value.is_null v then `Flex v else `Rigid v
+               | Some id -> if iso && id_is_null st id then `Flex id else `Rigid id
                | None ->
                    (match Hashtbl.find_opt ex_env x with
-                    | Some v -> `Rigid v
+                    | Some id -> `Rigid id
                     | None -> `Free x))
         in
-        (* index only on rigid required values and already-mapped nulls *)
+        (* index only on rigid required ids and already-mapped nulls *)
         let positions = ref [] and key = ref [] in
         for i = n - 1 downto 0 do
           match requirement args.(i) with
-          | `Rigid v ->
+          | `Rigid id ->
               positions := i :: !positions;
-              key := v :: !key
-          | `Flex v ->
-              (match Hashtbl.find_opt null_map v with
+              key := id :: !key
+          | `Flex id ->
+              (match Hashtbl.find_opt null_map id with
                | Some mapped ->
                    positions := i :: !positions;
                    key := mapped :: !key
                | None -> ())
           | `Free _ -> ()
         done;
-        let candidates = Database.lookup st.db a.Rule.pred !positions !key in
+        let candidates = Database.lookup_i st.db a.ca_pred !positions !key in
         let rec try_cands = function
           | [] -> None
-          | fact :: more ->
+          | (fact : Database.ifact) :: more ->
               if Array.length fact <> n then try_cands more
               else begin
                 let new_ex = ref [] and new_nulls = ref [] in
@@ -914,24 +997,22 @@ let head_satisfied st env (prep : prepared) =
                 (try
                    for i = 0 to n - 1 do
                      match requirement args.(i) with
-                     | `Rigid v ->
-                         if not (Value.equal v fact.(i)) then raise Exit
-                     | `Flex v ->
+                     | `Rigid id -> if id <> fact.(i) then raise Exit
+                     | `Flex id ->
                          (* consistent renaming: one image per null *)
-                         (match Hashtbl.find_opt null_map v with
+                         (match Hashtbl.find_opt null_map id with
                           | Some mapped ->
-                              if not (Value.equal mapped fact.(i)) then
-                                raise Exit
+                              if mapped <> fact.(i) then raise Exit
                           | None ->
-                              Hashtbl.add null_map v fact.(i);
-                              new_nulls := v :: !new_nulls)
+                              Hashtbl.add null_map id fact.(i);
+                              new_nulls := id :: !new_nulls)
                      | `Free x ->
                          Hashtbl.add ex_env x fact.(i);
                          new_ex := x :: !new_ex
                    done
                  with Exit -> ok := false);
                 match (if !ok then go rest else None) with
-                | Some tl -> Some ((a.Rule.pred, fact) :: tl)
+                | Some tl -> Some ((a.ca_pred, fact) :: tl)
                 | None ->
                     List.iter (Hashtbl.remove ex_env) !new_ex;
                     List.iter (Hashtbl.remove null_map) !new_nulls;
@@ -940,7 +1021,7 @@ let head_satisfied st env (prep : prepared) =
         in
         try_cands candidates
   in
-  go prep.rule.Rule.head
+  go prep.cheads
 
 let fire st env (prep : prepared) ~on_new =
   st.cur.c_matches <- st.cur.c_matches + 1;
@@ -953,14 +1034,14 @@ let fire st env (prep : prepared) ~on_new =
       raise (Stop_chase (`Facts, false))
     end
   in
-  let record pred fact =
+  let record pred (fact : Database.fact) =
     match st.prov with
     | Some prov ->
         let key = (pred, Array.to_list fact) in
         if not (ProvTbl.mem prov key) then
           ProvTbl.add prov key
             { via_rule = Format.asprintf "%a" Rule.pp_rule prep.rule;
-              parents = List.rev (trail_parents st) }
+              parents = List.rev (resolve_parents st (trail_parents st)) }
     | None -> ()
   in
   (* support records EVERY derivation — including re-derivations of a
@@ -970,26 +1051,31 @@ let fire st env (prep : prepared) ~on_new =
     match st.sup with
     | Some sup ->
         support_record sup ~rule_id:prep.rule_id
-          ~parents:(trail_parents st) ~nulls pred fact
+          ~parents:(resolve_parents st (trail_parents st)) ~nulls pred fact
     | None -> ()
   in
-  let add_head nulls (a : Rule.atom) =
-    let fact = ground_atom env a in
-    if Database.add st.db a.Rule.pred fact then begin
+  let add_head nulls (a : catom) =
+    let ifact = ground_atom env a in
+    if Database.add_i st.db a.ca_pred ifact then begin
       st.added <- st.added + 1;
       st.cur.c_firings <- st.cur.c_firings + 1;
       budget_check ();
-      record a.Rule.pred fact;
-      (match st.sup with
-       | Some sup -> support_index_fact sup a.Rule.pred fact
-       | None -> ());
-      record_support nulls a.Rule.pred fact;
-      on_new a.Rule.pred fact
+      (* maintenance layers stay value-based: resolve once, at the
+         recording boundary, off the hot dedup path *)
+      if Option.is_some st.prov || Option.is_some st.sup then begin
+        let fact = resolve_ifact st ifact in
+        record a.ca_pred fact;
+        (match st.sup with
+         | Some sup -> support_index_fact sup a.ca_pred fact
+         | None -> ());
+        record_support nulls a.ca_pred fact
+      end;
+      on_new a.ca_pred ifact
     end
-    else record_support nulls a.Rule.pred fact
+    else if Option.is_some st.sup then
+      record_support nulls a.ca_pred (resolve_ifact st ifact)
   in
-  if prep.existentials = [] then
-    List.iter (add_head []) prep.rule.Rule.head
+  if prep.existentials = [] then List.iter (add_head []) prep.cheads
   else begin
     let satisfied =
       st.opts.restricted_chase
@@ -1000,7 +1086,8 @@ let fire st env (prep : prepared) ~on_new =
           (match st.sup with
            | Some sup ->
                support_record_suppressed sup ~rule_id:prep.rule_id
-                 ~parents:(trail_parents st) ~image
+                 ~parents:(resolve_parents st (trail_parents st))
+                 ~image:(resolve_parents st image)
            | None -> ());
           true
       | None ->
@@ -1012,12 +1099,12 @@ let fire st env (prep : prepared) ~on_new =
       let invented =
         List.map
           (fun x ->
-            let v = fresh_null st in
-            env_bind env x v;
-            match v with Value.Null k -> k | _ -> assert false)
+            let id, k = fresh_null st in
+            env_bind env x id;
+            k)
           prep.existentials
       in
-      List.iter (add_head invented) prep.rule.Rule.head;
+      List.iter (add_head invented) prep.cheads;
       env_undo env mark
     end
   end
@@ -1033,32 +1120,38 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
   | lit :: rest -> (
       let continue () = eval_literals st env prep rest (i + 1) ~delta ~emit in
       match lit with
-      | Rule.Pos a ->
+      | CPos a ->
           let facts_override =
             match delta with
             | Some (j, fl) when j = i -> Some fl
             | _ -> None
           in
           match_atom st env a ~facts_override (fun () -> continue ())
-      | Rule.Neg a ->
+      | CNeg a ->
           let fact = ground_atom env a in
-          if not (Database.mem st.db a.Rule.pred fact) then continue ()
-      | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
-      | Rule.Assign (x, e) ->
-          let v = Expr.eval env.tbl e in
+          (* a fact holding a worker-local scratch id cannot be stored:
+             [mem_i] is false, i.e. the negated atom correctly fails to
+             block *)
+          if not (Database.mem_i st.db a.ca_pred fact) then continue ()
+      | CCond e -> if Expr.truthy_fn (env_value st env) e then continue ()
+      | CAssign (x, e) ->
+          let v = Expr.eval_fn (env_value st env) e in
+          let id = value_id st v in
           (match env_lookup env x with
-           | Some v' -> if Value.equal v v' then continue ()
+           | Some id' -> if id = id' then continue ()
            | None ->
                let mark = env_mark env in
-               env_bind env x v;
+               env_bind env x id;
                continue ();
                env_undo env mark)
-      | Rule.Agg g when g.Rule.mode = Rule.Monotonic ->
+      | CAgg g when g.Rule.mode = Rule.Monotonic ->
+          (* aggregate state is checkpointed, so its keys stay
+             value-level; aggregates only run on the sequential path *)
           let gv = List.assoc i prep.group_vars in
           let group_key =
             List.map
               (fun v ->
-                match env_lookup env v with
+                match env_value st env v with
                 | Some value -> value
                 | None -> Kgm_error.reason_error "unbound group variable %s" v)
               gv
@@ -1066,7 +1159,7 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
           let contrib_key =
             List.map
               (fun v ->
-                match env_lookup env v with
+                match env_value st env v with
                 | Some value -> value
                 | None -> Kgm_error.reason_error "unbound contributor %s" v)
               g.Rule.contributors
@@ -1089,27 +1182,27 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
           in
           if not (KeyTbl.mem group.seen contrib_key) then begin
             KeyTbl.add group.seen contrib_key ();
-            let w = Expr.eval env.tbl g.Rule.weight in
+            let w = Expr.eval_fn (env_value st env) g.Rule.weight in
             group.acc <- Some (agg_step g.Rule.op group.acc w);
             group.n <- group.n + 1;
             let mark = env_mark env in
-            env_bind env g.Rule.result (Option.get group.acc);
+            env_bind env g.Rule.result (value_id st (Option.get group.acc));
             continue ();
             env_undo env mark
           end
-      | Rule.Agg _ ->
+      | CAgg _ ->
           Kgm_error.reason_error
             "stratified aggregate not handled inline (engine bug)")
 
 (* Stratified-aggregate rule: enumerate prefix, group, then run suffix
    per group with only the group variables (plus result) in scope. *)
 let eval_stratified st (prep : prepared) agg_i ~on_new =
-  let body = prep.rule.Rule.body in
+  let body = prep.cbody in
   let prefix = List.filteri (fun j _ -> j < agg_i) body in
   let suffix = List.filteri (fun j _ -> j > agg_i) body in
   let g =
     match List.nth body agg_i with
-    | Rule.Agg g -> g
+    | CAgg g -> g
     | _ -> assert false
   in
   let gv = List.assoc agg_i prep.group_vars in
@@ -1121,7 +1214,8 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
   let prefix_vars =
     List.filter
       (fun v -> not (String.length v > 0 && v.[0] = '_'))
-      (Rule.body_vars prefix)
+      (Rule.body_vars
+         (List.filteri (fun j _ -> j < agg_i) prep.rule.Rule.body))
   in
   let groups : agg_state = KeyTbl.create 64 in
   let rec enumerate env lits i k =
@@ -1130,34 +1224,35 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
     | lit :: rest -> (
         let continue () = enumerate env rest (i + 1) k in
         match lit with
-        | Rule.Pos a -> match_atom st env a ~facts_override:None (fun () -> continue ())
-        | Rule.Neg a ->
+        | CPos a -> match_atom st env a ~facts_override:None (fun () -> continue ())
+        | CNeg a ->
             let fact = ground_atom env a in
-            if not (Database.mem st.db a.Rule.pred fact) then continue ()
-        | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
-        | Rule.Assign (x, e) ->
-            let v = Expr.eval env.tbl e in
+            if not (Database.mem_i st.db a.ca_pred fact) then continue ()
+        | CCond e -> if Expr.truthy_fn (env_value st env) e then continue ()
+        | CAssign (x, e) ->
+            let v = Expr.eval_fn (env_value st env) e in
+            let id = value_id st v in
             (match env_lookup env x with
-             | Some v' -> if Value.equal v v' then continue ()
+             | Some id' -> if id = id' then continue ()
              | None ->
                  let mark = env_mark env in
-                 env_bind env x v;
+                 env_bind env x id;
                  continue ();
                  env_undo env mark)
-        | Rule.Agg _ -> Kgm_error.reason_error "nested aggregate")
+        | CAgg _ -> Kgm_error.reason_error "nested aggregate")
   in
   let env = env_create () in
   enumerate env prefix 0 (fun () ->
       let group_key =
-        List.map (fun v -> Option.get (env_lookup env v)) gv
+        List.map (fun v -> Option.get (env_value st env v)) gv
       in
       let dedup_key =
         if g.Rule.contributors <> [] then
-          List.map (fun v -> Option.get (env_lookup env v)) g.Rule.contributors
+          List.map (fun v -> Option.get (env_value st env v)) g.Rule.contributors
         else
           (* set semantics: one contribution per distinct prefix binding *)
           List.map
-            (fun v -> Option.value ~default:(Value.Null 0) (env_lookup env v))
+            (fun v -> Option.value ~default:(Value.Null 0) (env_value st env v))
             prefix_vars
       in
       let group =
@@ -1170,7 +1265,7 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
       in
       if not (KeyTbl.mem group.seen dedup_key) then begin
         KeyTbl.add group.seen dedup_key ();
-        let w = Expr.eval env.tbl g.Rule.weight in
+        let w = Expr.eval_fn (env_value st env) g.Rule.weight in
         group.acc <- Some (agg_step g.Rule.op group.acc w)
       end);
   (* per group: bind group vars + result, then run the suffix and head *)
@@ -1180,8 +1275,9 @@ let eval_stratified st (prep : prepared) agg_i ~on_new =
       | None -> ()
       | Some acc ->
           let env = env_create () in
-          List.iter2 (fun v value -> env_bind env v value) gv group_key;
-          env_bind env g.Rule.result acc;
+          List.iter2 (fun v value -> env_bind env v (value_id st value)) gv
+            group_key;
+          env_bind env g.Rule.result (value_id st acc);
           eval_literals st env prep suffix (agg_i + 1) ~delta:None
             ~emit:(fun () -> fire st env prep ~on_new))
     groups
@@ -1198,7 +1294,7 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
        if delta = None then eval_stratified st prep agg_i ~on_new
    | None ->
        let env = env_create () in
-       eval_literals st env prep prep.rule.Rule.body 0 ~delta
+       eval_literals st env prep prep.cbody 0 ~delta
          ~emit:(fun () -> fire st env prep ~on_new));
   let t1 = Kgm_telemetry.Clock.now () in
   ctr.c_time <- ctr.c_time +. (t1 -. t0);
@@ -1251,9 +1347,13 @@ let eval_rule st (prep : prepared) ~delta ~on_new =
    store, at their program position inside the merge sweep. *)
 
 type candidate = {
-  cd_vals : Value.t array;  (* needed_vars bindings, positionally *)
+  cd_vals : int array;      (* needed_vars binding ids, positionally *)
   cd_key : int array;       (* insertion-seq vector, written Pos order *)
-  cd_parents : (string * Value.t array) list;  (* body-fact trail *)
+  cd_parents : (string * Database.ifact) list;  (* body-fact trail *)
+  cd_spill : (int * Value.t) list;
+  (* worker-local scratch ids appearing in [cd_vals] with their values,
+     in first-use order; the merge re-interns them sequentially and
+     rewrites the negative ids before firing *)
 }
 
 (* lexicographic; vectors of one (rule, literal) group share a length *)
@@ -1275,7 +1375,7 @@ type work_item = {
                                     the written order) *)
   w_weight : int;                (* estimated probe volume, for
                                     heaviest-first pool scheduling *)
-  w_facts : Database.fact list;  (* its delta chunk, chronological *)
+  w_facts : Database.ifact list; (* its delta chunk, chronological *)
   w_offset : int;                (* chunk start within the round delta *)
 }
 
@@ -1300,44 +1400,42 @@ exception Round_aborted
    [slots], from which the emit callback assembles the candidate. *)
 let eval_planned st env (prep : prepared) ~order ~delta_lit ~dg ~keyv ~pos_ord
     ~slots ~emit =
-  let body = Array.of_list prep.rule.Rule.body in
+  let body = Array.of_list prep.cbody in
   let rec go = function
     | [] -> emit ()
     | j :: rest -> (
         let continue () = go rest in
         match body.(j) with
-        | Rule.Pos (a : Rule.atom) ->
-            let args = Array.of_list a.Rule.args in
+        | CPos a ->
+            let args = a.ca_args in
             let n = Array.length args in
             let positions = ref [] and key = ref [] in
             for i = n - 1 downto 0 do
-              match term_value env args.(i) with
-              | Some v ->
+              match cterm_id env args.(i) with
+              | Some id ->
                   positions := i :: !positions;
-                  key := v :: !key
+                  key := id :: !key
               | None -> ()
             done;
             let ord = pos_ord.(j) in
-            let try_fact seq fact =
+            let try_fact seq (fact : Database.ifact) =
               if Array.length fact = n then begin
                 let mark = env_mark env in
                 let ok = ref true in
                 (try
                    for i = 0 to n - 1 do
                      match args.(i) with
-                     | Term.Const v ->
-                         if not (Value.equal v fact.(i)) then raise Exit
-                     | Term.Var x ->
+                     | CConst id -> if id <> fact.(i) then raise Exit
+                     | CVar x ->
                          (match env_lookup env x with
-                          | Some v ->
-                              if not (Value.equal v fact.(i)) then raise Exit
+                          | Some id -> if id <> fact.(i) then raise Exit
                           | None -> env_bind env x fact.(i))
                    done
                  with Exit -> ok := false);
                 if !ok then begin
                   keyv.(ord) <- seq;
                   (match slots with
-                   | Some sl -> sl.(ord) <- (a.Rule.pred, fact)
+                   | Some sl -> sl.(ord) <- (a.ca_pred, fact)
                    | None -> ());
                   go rest
                 end;
@@ -1351,24 +1449,27 @@ let eval_planned st env (prep : prepared) ~order ~delta_lit ~dg ~keyv ~pos_ord
             end
             else
               let examined =
-                Database.iter_matches st.db a.Rule.pred !positions !key
+                Database.iter_matches_i st.db a.ca_pred !positions !key
                   try_fact
               in
               st.cur.c_probes <- st.cur.c_probes + examined
-        | Rule.Neg a ->
+        | CNeg a ->
+            (* a ground id from the worker's scratch table cannot name a
+               stored value, so [mem_i] correctly reports absence *)
             let fact = ground_atom env a in
-            if not (Database.mem st.db a.Rule.pred fact) then continue ()
-        | Rule.Cond e -> if Expr.truthy env.tbl e then continue ()
-        | Rule.Assign (x, e) ->
-            let v = Expr.eval env.tbl e in
+            if not (Database.mem_i st.db a.ca_pred fact) then continue ()
+        | CCond e -> if Expr.truthy_fn (env_value st env) e then continue ()
+        | CAssign (x, e) ->
+            let v = Expr.eval_fn (env_value st env) e in
+            let id = value_id st v in
             (match env_lookup env x with
-             | Some v' -> if Value.equal v v' then continue ()
+             | Some id' -> if id = id' then continue ()
              | None ->
                  let mark = env_mark env in
-                 env_bind env x v;
+                 env_bind env x id;
                  continue ();
                  env_undo env mark)
-        | Rule.Agg _ ->
+        | CAgg _ ->
             Kgm_error.reason_error "aggregate rule on the worker pool (engine bug)")
   in
   go order
@@ -1386,6 +1487,7 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
       sup = main.sup;    (* likewise *)
       trail_preds = [||]; trail_facts = [||]; trail_len = 0;
       fact_trail = [];
+      sc = Intern.Scratch.create ();
       tele = Kgm_telemetry.null;  (* collectors are not domain-safe *)
       jr = Kgm_telemetry.Journal.null;
       ctrs = [||]; cur = ctr; round = main.round; trip_rule = None }
@@ -1393,13 +1495,13 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
   let prep = w.w_prep in
   (* written Pos ordinal of each body literal: the slot its matched
      fact's insertion sequence occupies in the sort-key vector *)
-  let body = prep.rule.Rule.body in
+  let body = prep.cbody in
   let pos_ord = Array.make (List.length body) (-1) in
   let n_pos = ref 0 in
   List.iteri
     (fun i lit ->
       match lit with
-      | Rule.Pos _ ->
+      | CPos _ ->
           pos_ord.(i) <- !n_pos;
           incr n_pos
       | _ -> ())
@@ -1420,17 +1522,26 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
         Array.map
           (fun v ->
             match env_lookup env v with
-            | Some value -> value
+            | Some id -> id
             | None -> Kgm_error.reason_error "unbound head variable %s" v)
           prep.needed_vars
       in
+      (* scratch ids escaping in the candidate: ship their values so
+         the merge can re-intern them *)
+      let spill = ref [] in
+      Array.iter
+        (fun id ->
+          if id < 0 && not (List.mem_assoc id !spill) then
+            spill := (id, Intern.Scratch.resolve st.sc id) :: !spill)
+        vals;
       let parents =
         match slots with
         | Some sl -> Array.fold_left (fun acc s -> s :: acc) [] sl
         | None -> []
       in
       buf :=
-        { cd_vals = vals; cd_key = Array.copy keyv; cd_parents = parents }
+        { cd_vals = vals; cd_key = Array.copy keyv; cd_parents = parents;
+          cd_spill = List.rev !spill }
         :: !buf);
   { wr_cands = List.rev !buf; wr_probes = ctr.c_probes;
     wr_time = Kgm_telemetry.Clock.now () -. t0 }
@@ -1439,7 +1550,24 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
    (chase check, null invention, provenance) against the live store. *)
 let fire_candidate st env (prep : prepared) cand ~on_new =
   let mark = env_mark env in
-  Array.iteri (fun i v -> env_bind env prep.needed_vars.(i) v) cand.cd_vals;
+  (* sequential: re-intern the worker's scratch values (in the
+     candidate's first-use order — candidates themselves fire in the
+     deterministic sorted order, so dictionary growth is deterministic
+     too) and rewrite the negative ids *)
+  let vals =
+    if cand.cd_spill = [] then cand.cd_vals
+    else begin
+      let remap =
+        List.map
+          (fun (sid, v) -> (sid, Intern.intern (Database.dict st.db) v))
+          cand.cd_spill
+      in
+      Array.map
+        (fun id -> if id < 0 then List.assoc id remap else id)
+        cand.cd_vals
+    end
+  in
+  Array.iteri (fun i id -> env_bind env prep.needed_vars.(i) id) vals;
   st.fact_trail <- cand.cd_parents;
   fire st env prep ~on_new;
   st.fact_trail <- [];
@@ -1693,9 +1821,12 @@ let default_checkpoint_every = 8
 let checkpoint ?(every = default_checkpoint_every) ?(label = "chase") dir =
   { ck_dir = dir; ck_every = max 1 every; ck_label = label }
 
-(* v2: snapshots carry the derivation support (p_sup); v1 snapshots are
+(* v3: facts and deltas are stored as interned [int array]s together
+   with the dictionary (p_dict); loading re-interns the dictionary into
+   the target database and remaps the ids. v2 snapshots (boxed value
+   facts) are still read, via [ck_payload_v2] below; v1 snapshots are
    rejected by [Snapshot.load]'s version check *)
-let ck_version = 2
+let ck_version = 3
 let ck_kind label = "chase-" ^ label
 
 let latest_checkpoint ?(label = "chase") dir =
@@ -1713,8 +1844,10 @@ type ck_payload = {
   p_deltas : int list;     (* reverse chronological, as the loop keeps it *)
   p_added : int;
   p_nulls : int;           (* global null counter *)
-  p_facts : (string * Database.fact list) list;
-  p_delta : (string * Database.fact list) list;
+  p_dict : Value.t array;  (* interned values in id order; [p_facts] and
+                              [p_delta] ids index into it *)
+  p_facts : (string * Database.ifact list) list;
+  p_delta : (string * Database.ifact list) list;
   p_ctrs : rule_ctr array;
   p_agg : (int * agg_state) list;
   p_prov : ((string * Value.t list) * derivation) list option;
@@ -1724,6 +1857,25 @@ type ck_payload = {
          (hashtables, refs, lists of values), so Marshal round-trips
          it; per-fact entry lists are preserved verbatim, which keeps
          explanation output identical across resume. *)
+}
+
+(* Structural mirror of the v2 payload (facts as boxed value arrays, no
+   dictionary). Marshal is shape-based, so reading an old snapshot into
+   this record is exact; the loader re-interns the values. *)
+type ck_payload_v2 = {
+  q_fingerprint : string;
+  q_stratum : int;
+  q_round0_done : bool;
+  q_rounds : int;
+  q_deltas : int list;
+  q_added : int;
+  q_nulls : int;
+  q_facts : (string * Database.fact list) list;
+  q_delta : (string * Database.fact list) list;
+  q_ctrs : rule_ctr array;
+  q_agg : (int * agg_state) list;
+  q_prov : ((string * Value.t list) * derivation) list option;
+  q_sup : support option;
 }
 
 (* Merge a deserialized support into the caller's (normally fresh)
@@ -1800,12 +1952,48 @@ let run ?(options = default_options) ?provenance ?support
     | `Ok -> Kgm_resilience.Token.status deadline_tok
     | s -> s
   in
+  (* Load a snapshot and normalize it against [db]'s dictionary: v3 ids
+     are remapped through the serialized dictionary, v2 value facts are
+     interned directly. Either way the returned payload's ids are valid
+     in [db] and [p_dict] is spent. Any other version falls through to
+     the strict v3 load, whose Storage error names both versions. *)
   let resume : ck_payload option =
     Option.map
       (fun path ->
-        let (p : ck_payload) =
-          Kgm_resilience.Snapshot.load ~kind:(ck_kind ck_label)
-            ~version:ck_version ~path
+        let kind = ck_kind ck_label in
+        let p =
+          if Kgm_resilience.Snapshot.peek_version ~kind ~path = 2 then begin
+            let (q : ck_payload_v2) =
+              Kgm_resilience.Snapshot.load ~kind ~version:2 ~path
+            in
+            let inf = List.map (Database.intern_fact db) in
+            { p_fingerprint = q.q_fingerprint;
+              p_stratum = q.q_stratum;
+              p_round0_done = q.q_round0_done;
+              p_rounds = q.q_rounds;
+              p_deltas = q.q_deltas;
+              p_added = q.q_added;
+              p_nulls = q.q_nulls;
+              p_dict = [||];
+              p_facts = List.map (fun (pr, fl) -> (pr, inf fl)) q.q_facts;
+              p_delta = List.map (fun (pr, fl) -> (pr, inf fl)) q.q_delta;
+              p_ctrs = q.q_ctrs;
+              p_agg = q.q_agg;
+              p_prov = q.q_prov;
+              p_sup = q.q_sup }
+          end
+          else begin
+            let (p : ck_payload) =
+              Kgm_resilience.Snapshot.load ~kind ~version:ck_version ~path
+            in
+            let dict = Database.dict db in
+            let remap = Array.map (fun v -> Intern.intern dict v) p.p_dict in
+            let rf = List.map (fun f -> Array.map (fun id -> remap.(id)) f) in
+            { p with
+              p_dict = [||];
+              p_facts = List.map (fun (pr, fl) -> (pr, rf fl)) p.p_facts;
+              p_delta = List.map (fun (pr, fl) -> (pr, rf fl)) p.p_delta }
+          end
         in
         if p.p_fingerprint <> fingerprint then
           Kgm_error.validate_error
@@ -1823,6 +2011,7 @@ let run ?(options = default_options) ?provenance ?support
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
       prov = provenance; sup = support;
       trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
+      sc = Intern.Scratch.create ();
       tele = telemetry; jr = journal;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
@@ -1836,7 +2025,7 @@ let run ?(options = default_options) ?provenance ?support
           aggregate, provenance and support state *)
        List.iter
          (fun (pred, facts) ->
-           List.iter (fun f -> ignore (Database.add db pred f)) facts)
+           List.iter (fun f -> ignore (Database.add_i db pred f)) facts)
          p.p_facts;
        Atomic.set global_null_counter p.p_nulls;
        st.added <- p.p_added;
@@ -1866,7 +2055,8 @@ let run ?(options = default_options) ?provenance ?support
   let prepared =
     List.mapi
       (fun i r ->
-        prepare i (if options.reorder_body then reorder_rule ~db r else r))
+        prepare (Database.dict db) i
+          (if options.reorder_body then reorder_rule ~db r else r))
       program.Rule.rules
   in
   let stratum_of pred =
@@ -1907,9 +2097,10 @@ let run ?(options = default_options) ?provenance ?support
             p_deltas = !deltas;
             p_added = st.added;
             p_nulls = Atomic.get global_null_counter;
+            p_dict = Intern.export (Database.dict db);
             p_facts =
               List.map
-                (fun pred -> (pred, Database.facts db pred))
+                (fun pred -> (pred, Database.facts_i db pred))
                 (Database.predicates db);
             p_delta =
               Hashtbl.fold (fun pred l acc -> (pred, List.rev !l) :: acc) delta []
@@ -1966,7 +2157,7 @@ let run ?(options = default_options) ?provenance ?support
            | Some preds -> preds
            | None -> []
          in
-         let delta : (string, Database.fact list ref) Hashtbl.t =
+         let delta : (string, Database.ifact list ref) Hashtbl.t =
            Hashtbl.create 8
          in
          let record pred fact =
@@ -2238,6 +2429,7 @@ let run_delta ?(options = default_options) ?provenance ?support
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
       prov = provenance; sup = support;
       trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
+      sc = Intern.Scratch.create ();
       tele = telemetry; jr = journal;
       ctrs = Array.init (max 1 n_rules) (fun _ -> fresh_ctr ());
       cur = fresh_ctr ();
@@ -2258,7 +2450,8 @@ let run_delta ?(options = default_options) ?provenance ?support
   let prepared =
     List.mapi
       (fun i r ->
-        prepare i (if options.reorder_body then reorder_rule ~db r else r))
+        prepare (Database.dict db) i
+          (if options.reorder_body then reorder_rule ~db r else r))
       program.Rule.rules
   in
   let stratum_of pred =
@@ -2278,7 +2471,7 @@ let run_delta ?(options = default_options) ?provenance ?support
   (* everything this pass derived, chronological across strata: part of
      the first-round delta of every later stratum (in [run] the round-0
      full evaluation covers this; here nothing else would) *)
-  let new_facts : (string * Database.fact) list ref = ref [] in
+  let new_facts : (string * Database.ifact) list ref = ref [] in
   let pool = Kgm_pool.create (max 1 options.jobs) in
   Fun.protect ~finally:(fun () -> Kgm_pool.shutdown pool) @@ fun () ->
   (try
@@ -2290,11 +2483,14 @@ let run_delta ?(options = default_options) ?provenance ?support
            | Some preds -> preds
            | None -> []
          in
-         let delta : (string, Database.fact list ref) Hashtbl.t =
+         let delta : (string, Database.ifact list ref) Hashtbl.t =
            Hashtbl.create 8
          in
          let record pred fact =
-           (match on_new with Some f -> f pred fact | None -> ());
+           (* external observers stay value-level *)
+           (match on_new with
+            | Some f -> f pred (Database.resolve_fact db fact)
+            | None -> ());
            new_facts := (pred, fact) :: !new_facts;
            if List.mem pred in_stratum then
              match Hashtbl.find_opt delta pred with
@@ -2315,7 +2511,7 @@ let run_delta ?(options = default_options) ?provenance ?support
          (* first round of the stratum: caller seeds + earlier strata's
             derivations of this pass (fact lists are kept reversed, the
             convention [eval_delta_round] expects) *)
-         let initial : (string, Database.fact list ref) Hashtbl.t =
+         let initial : (string, Database.ifact list ref) Hashtbl.t =
            Hashtbl.create 8
          in
          let put pred fact =
@@ -2323,7 +2519,10 @@ let run_delta ?(options = default_options) ?provenance ?support
            | Some l -> l := fact :: !l
            | None -> Hashtbl.add initial pred (ref [ fact ])
          in
-         List.iter (fun (pred, facts) -> List.iter (put pred) facts) seed;
+         List.iter
+           (fun (pred, facts) ->
+             List.iter (fun f -> put pred (Database.intern_fact db f)) facts)
+           seed;
          List.iter (fun (pred, fact) -> put pred fact) (List.rev !new_facts);
          let recursive_stratum =
            s < Array.length analysis.Analysis.recursive

@@ -132,20 +132,23 @@ let skolem_arg v =
      by the canonical printed form of each argument. *)
   Value.to_string v
 
-let rec eval bindings = function
+(* The evaluator is written against an abstract variable resolver so
+   embeddings that do not keep [Value.t] bindings directly (the engine
+   binds interned ids) can evaluate without building a value table. *)
+let rec eval_fn lookup = function
   | Const v -> v
   | Var x ->
-      (match Hashtbl.find_opt bindings x with
+      (match lookup x with
        | Some v -> v
        | None -> err "unbound variable %s" x)
   | Binop (Concat, a, b) ->
-      let sa = eval bindings a and sb = eval bindings b in
+      let sa = eval_fn lookup a and sb = eval_fn lookup b in
       (match sa, sb with
        | Value.String x, Value.String y -> Value.String (x ^ y)
        | x, y -> err "++ on non-strings (%s, %s)" (Value.to_string x) (Value.to_string y))
-  | Binop (op, a, b) -> numeric_binop op (eval bindings a) (eval bindings b)
+  | Binop (op, a, b) -> numeric_binop op (eval_fn lookup a) (eval_fn lookup b)
   | Cmp (c, a, b) ->
-      let va = eval bindings a and vb = eval bindings b in
+      let va = eval_fn lookup a and vb = eval_fn lookup b in
       let r =
         (* numeric comparison coerces int/float; others use Value.compare *)
         match Value.as_float va, Value.as_float vb with
@@ -156,14 +159,17 @@ let rec eval bindings = function
         (match c with
          | Eq -> r = 0 | Neq -> r <> 0 | Lt -> r < 0
          | Le -> r <= 0 | Gt -> r > 0 | Ge -> r >= 0)
-  | And (a, b) -> Value.Bool (truthy bindings a && truthy bindings b)
-  | Or (a, b) -> Value.Bool (truthy bindings a || truthy bindings b)
-  | Not a -> Value.Bool (not (truthy bindings a))
-  | Fun (f, args) -> builtin f (List.map (eval bindings) args)
+  | And (a, b) -> Value.Bool (truthy_fn lookup a && truthy_fn lookup b)
+  | Or (a, b) -> Value.Bool (truthy_fn lookup a || truthy_fn lookup b)
+  | Not a -> Value.Bool (not (truthy_fn lookup a))
+  | Fun (f, args) -> builtin f (List.map (eval_fn lookup) args)
   | Skolem (f, args) ->
-      Value.Id (Oid.skolem f (List.map (fun a -> skolem_arg (eval bindings a)) args))
+      Value.Id (Oid.skolem f (List.map (fun a -> skolem_arg (eval_fn lookup a)) args))
 
-and truthy bindings e =
-  match eval bindings e with
+and truthy_fn lookup e =
+  match eval_fn lookup e with
   | Value.Bool b -> b
   | v -> err "non-boolean condition value %s" (Value.to_string v)
+
+let eval bindings e = eval_fn (fun x -> Hashtbl.find_opt bindings x) e
+let truthy bindings e = truthy_fn (fun x -> Hashtbl.find_opt bindings x) e

@@ -32,9 +32,17 @@ val vars : t -> string list
 
 val pp : Format.formatter -> t -> unit
 
+val eval_fn : (string -> Value.t option) -> t -> Value.t
+(** Evaluate against an abstract variable resolver; raises
+    {!Eval_error} on unbound variables, type mismatches, unknown
+    builtins or division by zero. The engine uses this with a resolver
+    over its interned-id bindings. *)
+
+val truthy_fn : (string -> Value.t option) -> t -> bool
+(** {!eval_fn} then require a boolean. *)
+
 val eval : (string, Value.t) Hashtbl.t -> t -> Value.t
-(** Evaluate under total bindings; raises {!Eval_error} on unbound
-    variables, type mismatches, unknown builtins or division by zero. *)
+(** {!eval_fn} over a binding table. *)
 
 val truthy : (string, Value.t) Hashtbl.t -> t -> bool
 (** [eval] then require a boolean. *)

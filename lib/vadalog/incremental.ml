@@ -578,8 +578,157 @@ let canonical_facts dbase =
       (pred, final))
     (Database.predicates dbase)
 
+(* Exact isomorphism decision, used when the canonical forms differ.
+
+   First-occurrence renaming is sound but incomplete: fact sets that
+   differ only by a cross-fact null permutation can sort into different
+   orders and canonicalize apart (e.g. the chain p(n1,n2), p(n2,n3)
+   inserted in the opposite order). The exact check searches for a
+   bijection on null labels instead. Facts without nulls must match
+   exactly; facts with nulls can only map to facts of the same
+   predicate with the same within-fact null pattern, so the search
+   backtracks only inside those (pred, pattern) groups while a global
+   bijection [sigma] accumulates cross-fact constraints. Group sizes
+   are small in practice (they share a masked shape), so the worst-case
+   factorial blowup stays theoretical. *)
+let iso_facts a b =
+  let sigma : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let sigma_inv : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* unify a value of [a] with a value of [b] under the bijection;
+     returns the newly bound pairs (for undo) or None on clash *)
+  let rec unify u v acc =
+    match (u, v) with
+    | Value.Null j, Value.Null k -> (
+        match (Hashtbl.find_opt sigma j, Hashtbl.find_opt sigma_inv k) with
+        | Some k', _ -> if k' = k then Some acc else None
+        | None, Some _ -> None
+        | None, None ->
+            Hashtbl.add sigma j k;
+            Hashtbl.add sigma_inv k j;
+            Some ((j, k) :: acc))
+    | Value.Null _, _ | _, Value.Null _ -> None
+    | Value.List l1, Value.List l2 ->
+        if List.compare_lengths l1 l2 <> 0 then None
+        else
+          List.fold_left2
+            (fun acc u v ->
+              match acc with None -> None | Some acc -> unify u v acc)
+            (Some acc) l1 l2
+    | u, v -> if Value.equal u v then Some acc else None
+  in
+  let undo pairs =
+    List.iter
+      (fun (j, k) ->
+        Hashtbl.remove sigma j;
+        Hashtbl.remove sigma_inv k)
+      pairs
+  in
+  let unify_fact (f : Database.fact) (g : Database.fact) =
+    let n = Array.length f in
+    if n <> Array.length g then None
+    else
+      let rec go i acc =
+        if i >= n then Some acc
+        else
+          match unify f.(i) g.(i) acc with
+          | None ->
+              undo acc;
+              None
+          | Some acc -> go (i + 1) acc
+      in
+      go 0 []
+  in
+  let rec has_null = function
+    | Value.Null _ -> true
+    | Value.List l -> List.exists has_null l
+    | _ -> false
+  in
+  let fact_has_null f = Array.exists has_null f in
+  (* consecutive grouping of a pattern-sorted (pattern, fact) list *)
+  let group_null_facts facts =
+    facts
+    |> List.filter fact_has_null
+    |> List.map (fun f -> (local_pattern f, f))
+    |> List.stable_sort (fun (p1, _) (p2, _) -> compare_vlist p1 p2)
+    |> List.fold_left
+         (fun groups (pat, f) ->
+           match groups with
+           | (pat', fs) :: rest when compare_vlist pat pat' = 0 ->
+               (pat', f :: fs) :: rest
+           | _ -> (pat, [ f ]) :: groups)
+         []
+    |> List.rev
+  in
+  let sorted_ground facts =
+    facts
+    |> List.filter (fun f -> not (fact_has_null f))
+    |> List.map Array.to_list
+    |> List.sort compare_vlist
+  in
+  let preds_a = List.sort compare (Database.predicates a) in
+  let preds_b = List.sort compare (Database.predicates b) in
+  List.equal String.equal preds_a preds_b
+  &&
+  (* per predicate: ground facts as multisets, null facts per group *)
+  let exception Shape_mismatch in
+  match
+    List.map
+      (fun pred ->
+        let fa = Database.facts a pred and fb = Database.facts b pred in
+        if
+          not
+            (List.equal
+               (fun x y -> compare_vlist x y = 0)
+               (sorted_ground fa) (sorted_ground fb))
+        then raise Shape_mismatch;
+        let ga = group_null_facts fa and gb = group_null_facts fb in
+        if List.compare_lengths ga gb <> 0 then raise Shape_mismatch;
+        List.map2
+          (fun (pa, fsa) (pb, fsb) ->
+            if
+              compare_vlist pa pb <> 0 || List.compare_lengths fsa fsb <> 0
+            then raise Shape_mismatch;
+            (fsa, Array.of_list fsb, Array.make (List.length fsb) false))
+          ga gb)
+      preds_a
+  with
+  | exception Shape_mismatch -> false
+  | groups ->
+      (* backtracking assignment of each [a]-fact to an unused same-
+         group [b]-fact, threading the global bijection *)
+      let rec assign = function
+        | [] -> true
+        | (fs, gb, used) :: rest -> (
+            match fs with
+            | [] -> assign rest
+            | f :: fs' ->
+                let n = Array.length gb in
+                let rec try_k k =
+                  k < n
+                  && (((not used.(k))
+                      &&
+                      match unify_fact f gb.(k) with
+                      | None -> false
+                      | Some pairs ->
+                          used.(k) <- true;
+                          if assign ((fs', gb, used) :: rest) then true
+                          else begin
+                            used.(k) <- false;
+                            undo pairs;
+                            false
+                          end)
+                     || try_k (k + 1))
+                in
+                try_k 0)
+      in
+      assign (List.concat groups)
+
 let equal_facts a b =
+  (* fast path: the first-occurrence canonical forms agree — sound, and
+     complete for the overwhelmingly common case where the masked-
+     pattern sort pins every fact's position *)
   let fact_eq f g = compare_vlist (Array.to_list f) (Array.to_list g) = 0 in
   List.equal
     (fun (p1, fs1) (p2, fs2) -> String.equal p1 p2 && List.equal fact_eq fs1 fs2)
     (canonical_facts a) (canonical_facts b)
+  || iso_facts a b

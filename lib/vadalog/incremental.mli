@@ -96,7 +96,13 @@ val canonical_facts : Database.t -> (string * Database.fact list) list
     like ours; pathological fact sets that are identical up to a
     cross-fact null permutation may canonicalize to distinct forms
     (never the converse — equal canonical forms always mean isomorphic
-    databases). *)
+    databases). Use {!equal_facts} for an exact decision. *)
 
 val equal_facts : Database.t -> Database.t -> bool
-(** [canonical_facts a = canonical_facts b] up to value equality. *)
+(** Whether the two databases hold the same facts up to a bijective
+    renaming of labeled nulls — a true isomorphism check. Equal
+    canonical forms decide the common case in one pass; when they
+    differ (fact sets identical only up to a cross-fact null
+    permutation), an exact backtracking search for the bijection
+    settles it, restricted to facts of the same predicate and
+    within-fact null pattern. *)

@@ -243,6 +243,34 @@ let test_canonical_facts_renames_nulls () =
     (Alcotest.list Alcotest.int)
     "dense from 0" [ 0; 1 ] null_ids
 
+let test_equal_facts_null_permutation () =
+  (* the chain p(n1,n2), p(n2,n3) inserted in opposite orders: the
+     within-fact patterns tie, the stable sort keeps insertion order,
+     and first-occurrence renaming produces [(0,1);(1,2)] vs
+     [(0,1);(2,0)] — distinct canonical forms for isomorphic databases
+     (map 1<->11, 2<->12, 3<->13). [equal_facts] must see through the
+     permutation with its exact backtracking check. *)
+  let db1 = V.Database.create () in
+  ignore (V.Database.add db1 "p" [| Value.Null 1; Value.Null 2 |]);
+  ignore (V.Database.add db1 "p" [| Value.Null 2; Value.Null 3 |]);
+  let db2 = V.Database.create () in
+  ignore (V.Database.add db2 "p" [| Value.Null 12; Value.Null 13 |]);
+  ignore (V.Database.add db2 "p" [| Value.Null 11; Value.Null 12 |]);
+  check Alcotest.bool "canonical forms differ (fast path insufficient)" false
+    (I.canonical_facts db1 = I.canonical_facts db2);
+  check Alcotest.bool "isomorphic chains" true (I.equal_facts db1 db2);
+  (* negative control: a 2-chain is NOT isomorphic to converging edges *)
+  let db3 = V.Database.create () in
+  ignore (V.Database.add db3 "p" [| Value.Null 21; Value.Null 22 |]);
+  ignore (V.Database.add db3 "p" [| Value.Null 23; Value.Null 22 |]);
+  check Alcotest.bool "chain <> convergence" false (I.equal_facts db1 db3);
+  (* ground facts must still match exactly, not up to renaming *)
+  let db4 = V.Database.create () in
+  ignore (V.Database.add db4 "p" [| Value.String "a"; Value.Null 1 |]);
+  let db5 = V.Database.create () in
+  ignore (V.Database.add db5 "p" [| Value.String "b"; Value.Null 1 |]);
+  check Alcotest.bool "constants rigid" false (I.equal_facts db4 db5)
+
 let suite =
   [ Alcotest.test_case "insert only ≡ re-chase" `Quick test_insert_only;
     Alcotest.test_case "retract chain (DRed)" `Quick test_retract_chain;
@@ -261,4 +289,6 @@ let suite =
     Alcotest.test_case "repeated maintenance converges" `Quick
       test_repeated_maintenance;
     Alcotest.test_case "canonical null renaming" `Quick
-      test_canonical_facts_renames_nulls ]
+      test_canonical_facts_renames_nulls;
+    Alcotest.test_case "equal_facts: cross-fact null permutation" `Quick
+      test_equal_facts_null_permutation ]

@@ -7,6 +7,7 @@ let () = ignore (Kgm_resilience.Faults.configure_from_env ())
 let () =
   Alcotest.run "kgmodel"
     [ ("common", Test_common.suite);
+      ("intern", Test_intern.suite);
       ("telemetry", Test_telemetry.suite);
       ("algo", Test_algo.suite);
       ("relational", Test_relational.suite);

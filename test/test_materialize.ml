@@ -281,6 +281,68 @@ let test_agreement_with_native () =
   check Alcotest.int "native = materialized" native materialized;
   check Alcotest.int "vadalog = materialized" vadalog materialized
 
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions: non-monotone refresh must sweep stale graph
+   elements (the flush itself is monotone; before this fix, retracting
+   a shareholder left the derived CONTROLS edge in the flushed data
+   graph forever). *)
+
+let test_refresh_sweeps_stale_graph () =
+  let schema, _, sid, inst = setup () in
+  let d, (a, _, _, _, _) = small_company_data () in
+  (* the HOLDS edge A -> s1: the 60% share of B that drives control *)
+  let holds_ab =
+    List.find
+      (fun e ->
+        let src, dst = PG.edge_ends d e in
+        src = a && PG.node_prop d dst "shareId" = Some (Value.string "s1"))
+      (PG.edges_with_label d "HOLDS")
+  in
+  let session, _report =
+    Kgmodel.Materialize.materialize_session ~instances:inst ~schema
+      ~schema_oid:sid ~data:d ~sigma:Kgm_finance.Intensional.full ()
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "controls before"
+    [ ("\"A\"", "\"B\""); ("\"A\"", "\"C\"") ]
+    (control_pairs d);
+  (* retract every extensional fact of the instance element mirroring
+     that HOLDS edge — the shareholder link disappears from the EDB *)
+  let gd = Kgmodel.Dictionary.graph (Kgmodel.Instances.dictionary inst) in
+  let ielem =
+    List.find
+      (fun n -> PG.node_prop gd n "dataOID" = Some (Value.Id holds_ab))
+      (PG.nodes_with_label gd "I_SM_Edge")
+  in
+  let st = Kgmodel.Materialize.session_state session in
+  let mentions (f : Kgm_vadalog.Database.fact) =
+    Array.exists (fun v -> v = Value.Id ielem) f
+  in
+  let retracts =
+    List.filter (fun (_, f) -> mentions f) (Kgm_vadalog.Incremental.edb_facts st)
+  in
+  check Alcotest.bool "element facts found" true (retracts <> []);
+  let r = Kgmodel.Materialize.refresh session ~inserts:[] ~retracts in
+  (* the fact database is exact; the graph projection must now be too:
+     with A's 60% of B gone, A controls neither B nor C (its remaining
+     stake in C is 0.3 directly), so both flushed CONTROLS edges die *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "controls after retraction" [] (control_pairs d);
+  check Alcotest.bool "sweep reported" true
+    (r.Kgmodel.Materialize.r_swept_elements > 0);
+  (* the extensional graph is untouched *)
+  check Alcotest.bool "HOLDS edge still in D" true (PG.edge_exists d holds_ab);
+  (* and a refresh that re-inserts the facts restores the control edges *)
+  let r2 = Kgmodel.Materialize.refresh session ~inserts:retracts ~retracts:[] in
+  ignore r2;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "controls restored"
+    [ ("\"A\"", "\"B\""); ("\"A\"", "\"C\"") ]
+    (control_pairs d)
+
 let suite =
   [ ("instance round-trip (quasi-inverse)", `Quick, test_instance_roundtrip);
     ("instance conformance errors", `Quick, test_instance_conformance_errors);
@@ -292,4 +354,6 @@ let suite =
     ("derived family nodes", `Quick, test_derived_nodes_families);
     ("close links sigma", `Quick, test_close_links_sigma);
     ("timing report populated", `Quick, test_timing_report);
+    ("refresh sweeps stale graph elements", `Quick,
+     test_refresh_sweeps_stale_graph);
     ("EXP-5 agreement (3 encodings)", `Slow, test_agreement_with_native) ]
