@@ -109,6 +109,15 @@ let checkpoint_every_arg =
        & info [ "checkpoint-every" ] ~docv:"N"
            ~doc:"Snapshot every $(docv) completed rounds.")
 
+let checkpoint_keep_arg =
+  Arg.(value & opt int 0
+       & info [ "checkpoint-keep" ] ~docv:"K"
+           ~doc:"Retain only the newest $(docv) snapshot generations in \
+                 --checkpoint-dir, deleting older ones after each \
+                 successful write (0 keeps everything). The newest \
+                 retained generation is always a complete, digest-valid \
+                 snapshot, so --resume never loses its restart point.")
+
 let resume_arg =
   Arg.(value & flag
        & info [ "resume" ]
@@ -408,18 +417,20 @@ let reason_cmd =
                    probe counts and wall time change.")
   in
   let update =
-    Arg.(value & opt (some file) None
+    Arg.(value & opt_all string []
          & info [ "update" ] ~docv:"FILE"
              ~doc:"After the chase, apply an extensional update batch \
                    and repair the materialization incrementally \
                    (delete-and-rederive). Each non-empty line of FILE \
                    is a fact, optionally prefixed with + (insert, the \
                    default) or - (retract); lines starting with % are \
-                   comments. Incompatible with checkpointing.")
+                   comments. Repeatable: batches are applied in order \
+                   through one maintained session; $(docv) - reads a \
+                   batch from stdin. Incompatible with checkpointing.")
   in
-  let run file query trace metrics jobs deadline ck_dir ck_every resume
-      on_limit lenient explain_plan no_planner update journal metrics_out
-      progress explain_fact explain_depth =
+  let run file query trace metrics jobs deadline ck_dir ck_every ck_keep
+      resume on_limit lenient explain_plan no_planner update journal
+      metrics_out progress explain_fact explain_depth =
     handle (fun () ->
         with_observability ~trace ~metrics ~journal ~metrics_out ~progress
           ~deadline
@@ -515,10 +526,12 @@ let reason_cmd =
           report_stopped ~on_limit ~metrics stats
         in
         match update with
-        | None ->
+        | [] ->
             let checkpoint =
               Option.map
-                (fun dir -> Kgm_vadalog.Engine.checkpoint ~every:ck_every dir)
+                (fun dir ->
+                  Kgm_vadalog.Engine.checkpoint ~every:ck_every ~keep:ck_keep
+                    dir)
                 ck_dir
             in
             let resume_from =
@@ -535,29 +548,13 @@ let reason_cmd =
                 ~cancel ?checkpoint ?resume_from program db
             in
             finish db stats
-        | Some ufile ->
-            (* chase with derivation support recorded, then repair *)
-            let batch =
-              List.concat_map
-                (fun line ->
-                  let line = String.trim line in
-                  if line = "" || line.[0] = '%' then []
-                  else
-                    let sign, rest =
-                      match line.[0] with
-                      | '+' ->
-                          (`Ins, String.sub line 1 (String.length line - 1))
-                      | '-' ->
-                          (`Ret, String.sub line 1 (String.length line - 1))
-                      | _ -> (`Ins, line)
-                    in
-                    let p =
-                      Kgm_vadalog.Parser.parse_program (String.trim rest)
-                    in
-                    List.map
-                      (fun (pred, args) -> (sign, (pred, Array.of_list args)))
-                      p.Kgm_vadalog.Rule.facts)
-                (String.split_on_char '\n' (read_file ufile))
+        | ufiles ->
+            (* chase with derivation support recorded, then repair —
+               every batch flows through the one maintained session,
+               parsed by the server's shared batch reader *)
+            let read_batch path =
+              if path = "-" then In_channel.input_all stdin
+              else read_file path
             in
             let st, stats =
               Kgm_vadalog.Incremental.chase ~options ~telemetry:tele
@@ -567,38 +564,237 @@ let reason_cmd =
               stats.Kgm_vadalog.Engine.new_facts
               stats.Kgm_vadalog.Engine.rounds
               stats.Kgm_vadalog.Engine.elapsed_s;
-            let pick s =
-              List.filter_map
-                (fun (s', pf) -> if s' = s then Some pf else None)
-                batch
-            in
-            let u =
-              Kgm_vadalog.Incremental.maintain ~telemetry:tele ~journal:jr st
-                ~inserts:(pick `Ins) ~retracts:(pick `Ret)
-            in
-            Format.printf
-              "%% update: +%d -%d; cone %d, deleted %d, rederived %d, \
-               refired %d, derived %d in %d rounds (%.3fs)%s@."
-              u.Kgm_vadalog.Incremental.u_inserted
-              u.Kgm_vadalog.Incremental.u_retracted
-              u.Kgm_vadalog.Incremental.u_cone
-              u.Kgm_vadalog.Incremental.u_deleted
-              u.Kgm_vadalog.Incremental.u_rederived
-              u.Kgm_vadalog.Incremental.u_refired
-              u.Kgm_vadalog.Incremental.u_derived
-              u.Kgm_vadalog.Incremental.u_rounds
-              u.Kgm_vadalog.Incremental.u_elapsed_s
-              (if u.Kgm_vadalog.Incremental.u_fallback then
-                 " [fallback: full re-chase]"
-               else "");
+            List.iter
+              (fun ufile ->
+                let batch = Kgm_server.Batch.parse (read_batch ufile) in
+                let inserts, retracts = Kgm_server.Batch.split batch in
+                let u =
+                  Kgm_vadalog.Incremental.maintain ~telemetry:tele
+                    ~journal:jr st ~inserts ~retracts
+                in
+                Format.printf
+                  "%% update %s: +%d -%d; cone %d, deleted %d, rederived \
+                   %d, refired %d, derived %d in %d rounds (%.3fs)%s@."
+                  (if ufile = "-" then "<stdin>" else ufile)
+                  u.Kgm_vadalog.Incremental.u_inserted
+                  u.Kgm_vadalog.Incremental.u_retracted
+                  u.Kgm_vadalog.Incremental.u_cone
+                  u.Kgm_vadalog.Incremental.u_deleted
+                  u.Kgm_vadalog.Incremental.u_rederived
+                  u.Kgm_vadalog.Incremental.u_refired
+                  u.Kgm_vadalog.Incremental.u_derived
+                  u.Kgm_vadalog.Incremental.u_rounds
+                  u.Kgm_vadalog.Incremental.u_elapsed_s
+                  (if u.Kgm_vadalog.Incremental.u_fallback then
+                     " [fallback: full re-chase]"
+                   else ""))
+              ufiles;
             finish (Kgm_vadalog.Incremental.db st) stats)
   in
   Cmd.v (Cmd.info "reason" ~doc:"Run a Vadalog program.")
     Term.(const run $ file $ query $ trace_arg $ metrics_arg $ jobs_arg
           $ deadline_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-          $ resume_arg $ on_limit_arg $ lenient $ explain_plan $ no_planner
+          $ checkpoint_keep_arg $ resume_arg $ on_limit_arg $ lenient
+          $ explain_plan $ no_planner
           $ update $ journal_arg $ metrics_out_arg $ progress_arg
           $ explain_fact $ explain_depth)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the long-lived reasoning daemon. Chase (or recover) once,
+   then answer point/pattern/explain queries against immutable frozen
+   epochs while update batches repair the master incrementally. *)
+
+let serve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Vadalog program to serve.")
+  in
+  let sock =
+    Arg.(value & opt string "/tmp/kgmodel.sock"
+         & info [ "sock" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (also reachable with \
+                   $(b,curl --unix-socket)).")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Persist session snapshots to $(docv): one is written \
+                   at startup, after update batches and at drain, and \
+                   the newest valid one is recovered from on restart \
+                   (corrupt or foreign generations are skipped).")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Request worker threads.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound; beyond it requests are shed \
+                   immediately with 503 overloaded.")
+  in
+  let keep =
+    Arg.(value & opt int 3
+         & info [ "keep" ] ~docv:"K"
+             ~doc:"Session snapshot generations retained in --state-dir.")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 1
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Write a session snapshot every $(docv) applied update \
+                   batches (always at drain).")
+  in
+  let request_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "request-deadline" ] ~docv:"SECONDS"
+             ~doc:"Default per-request deadline; a client overrides it \
+                   with the x-kgm-deadline header. Requests past it \
+                   answer 504.")
+  in
+  let debug_endpoints =
+    Arg.(value & flag
+         & info [ "debug-endpoints" ]
+             ~doc:"Expose POST /slow (a cancellable sleep) — for drain \
+                   and overload testing only.")
+  in
+  let run file sock state_dir workers queue keep snapshot_every
+      request_deadline debug_endpoints jobs trace metrics journal
+      metrics_out =
+    handle (fun () ->
+        with_observability ~trace ~metrics ~journal ~metrics_out
+          ~progress:false ~deadline:None
+        @@ fun tele jr ->
+        let program = Kgm_vadalog.Parser.parse_program (read_file file) in
+        let options =
+          { (options_for_jobs jobs) with Kgm_vadalog.Engine.provenance = true }
+        in
+        let session, epoch =
+          match
+            Option.bind state_dir (fun dir ->
+                Kgm_server.recover ~options ~telemetry:tele ~journal:jr ~dir
+                  [ program ])
+          with
+          | Some (st, ep, path) ->
+              Format.printf "%% recovered epoch %d from %s (%d facts)@." ep
+                path
+                (Kgm_vadalog.Database.total (Kgm_vadalog.Incremental.db st));
+              (st, ep)
+          | None ->
+              let db = Kgm_vadalog.Database.create () in
+              ignore (Kgm_vadalog.Io_sources.load_inputs program db);
+              let st, stats =
+                Kgm_vadalog.Incremental.chase ~options ~telemetry:tele
+                  ~journal:jr ~db program
+              in
+              Format.printf "%% chase: %d new facts in %d rounds (%.3fs)@."
+                stats.Kgm_vadalog.Engine.new_facts
+                stats.Kgm_vadalog.Engine.rounds
+                stats.Kgm_vadalog.Engine.elapsed_s;
+              (* an immediate generation 0, so a crash before the first
+                 update can still recover *)
+              (match state_dir with
+               | Some dir ->
+                   ignore (Kgm_server.save_session ~dir ~keep ~epoch:0 st)
+               | None -> ());
+              (st, 0)
+        in
+        let cfg =
+          { Kgm_server.sock; workers; queue_capacity = queue;
+            default_deadline_s = request_deadline; io_timeout_s = 10.;
+            state_dir; keep; snapshot_every; debug_endpoints }
+        in
+        let srv =
+          Kgm_server.create ~telemetry:tele ~journal:jr ~epoch cfg ~session
+        in
+        List.iter
+          (fun s ->
+            try
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> Kgm_server.drain srv))
+            with Invalid_argument _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Kgm_server.start srv;
+        Format.printf "%% serving on %s (workers %d, queue %d, epoch %d)@."
+          sock workers queue epoch;
+        Format.print_flush ();
+        let s = Kgm_server.run_until_drained srv in
+        Format.printf
+          "%% drained: %d requests (%d shed, %d errors), %d updates, \
+           epoch %d, %d faults absorbed@."
+          s.Kgm_server.st_requests s.Kgm_server.st_shed s.Kgm_server.st_errors
+          s.Kgm_server.st_updates s.Kgm_server.st_epoch
+          s.Kgm_server.st_faults)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a materialized Vadalog program over a Unix socket: \
+             concurrent queries against frozen epochs, incremental \
+             update batches, graceful drain on SIGINT/SIGTERM, crash \
+             recovery from --state-dir.")
+    Term.(const run $ file $ sock $ state_dir $ workers $ queue $ keep
+          $ snapshot_every $ request_deadline $ debug_endpoints $ jobs_arg
+          $ trace_arg $ metrics_arg $ journal_arg $ metrics_out_arg)
+
+let call_cmd =
+  let sock =
+    Arg.(value & opt string "/tmp/kgmodel.sock"
+         & info [ "sock" ] ~docv:"PATH" ~doc:"Server socket.")
+  in
+  let meth =
+    Arg.(value & opt (some string) None
+         & info [ "method"; "X" ] ~docv:"METHOD"
+             ~doc:"HTTP method (default: GET, or POST when a body is \
+                   given).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Request deadline, sent as x-kgm-deadline and bounding \
+                   the socket IO.")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+             ~doc:"Endpoint: /health /ready /status /metrics /epoch \
+                   /query /explain /update.")
+  in
+  let body =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"BODY"
+             ~doc:"Request body (a query pattern, a fact, or an update \
+                   batch); - reads stdin.")
+  in
+  let run sock meth deadline path body =
+    handle (fun () ->
+        let body =
+          match body with
+          | Some "-" -> Some (In_channel.input_all stdin)
+          | b -> b
+        in
+        let meth =
+          match meth with
+          | Some m -> String.uppercase_ascii m
+          | None -> if body = None then "GET" else "POST"
+        in
+        match
+          Kgm_server.Client.request ?deadline_s:deadline ?body ~sock ~meth
+            ~path ()
+        with
+        | code, b ->
+            print_string b;
+            if code >= 400 then begin
+              Format.eprintf "error: HTTP %d@." code;
+              exit 1
+            end
+        | exception Unix.Unix_error (e, _, _) ->
+            Format.eprintf "error: %s: %s@." sock (Unix.error_message e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send one request to a running $(b,kgmodel serve) and print \
+             the response body (exit 1 on an HTTP error).")
+    Term.(const run $ sock $ meth $ deadline $ path $ body)
 
 let stats_cmd =
   let n =
@@ -856,5 +1052,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ validate_cmd; render_cmd; translate_cmd; compile_cmd; reason_cmd;
-            stats_cmd; demo_cmd; diff_cmd; check_cmd; figures_cmd;
-            journal_cmd ]))
+            serve_cmd; call_cmd; stats_cmd; demo_cmd; diff_cmd; check_cmd;
+            figures_cmd; journal_cmd ]))

@@ -284,8 +284,8 @@ let flush_stage ?track ~telemetry ~wb ~gd ~ls ~db ~data ~instance_oid () =
 
 let materialize ?options ?(telemetry = Kgm_telemetry.null)
     ?(journal = Kgm_telemetry.Journal.null) ?cancel ?checkpoint_dir
-    ?checkpoint_every ?(resume = false) ~instances ~schema ~schema_oid ~data
-    ~sigma () =
+    ?checkpoint_every ?checkpoint_keep ?(resume = false) ~instances ~schema
+    ~schema_oid ~data ~sigma () =
   Kgm_telemetry.with_span telemetry ~cat:"stage" "materialize"
   @@ fun () ->
   let t0 = now () in
@@ -306,7 +306,8 @@ let materialize ?options ?(telemetry = Kgm_telemetry.null)
     let ck label =
       Option.map
         (fun dir ->
-          Kgm_vadalog.Engine.checkpoint ?every:checkpoint_every ~label dir)
+          Kgm_vadalog.Engine.checkpoint ?every:checkpoint_every
+            ?keep:checkpoint_keep ~label dir)
         checkpoint_dir
     in
     let latest label =

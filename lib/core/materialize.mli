@@ -42,6 +42,7 @@ val materialize :
   ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint_dir:string ->
   ?checkpoint_every:int ->
+  ?checkpoint_keep:int ->
   ?resume:bool ->
   instances:Instances.t ->
   schema:Supermodel.t ->
@@ -56,7 +57,9 @@ val materialize :
     the reasoning stage cooperatively; with [on_limit:`Partial] the
     partial derivation is still flushed into D and the report is tagged
     [incomplete]. [checkpoint_dir] checkpoints each reasoning phase
-    under its own label (["phase1"], ["phase2"]); [resume:true] restarts
+    under its own label (["phase1"], ["phase2"]) — [checkpoint_keep]
+    bounds the generations retained per label (0/absent keeps all);
+    [resume:true] restarts
     from the latest snapshot found there — preferring a phase-2 snapshot
     (which already contains the whole phase-1 result) — provided the
     load stage is re-run on identical inputs (the engine's program

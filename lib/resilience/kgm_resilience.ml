@@ -52,6 +52,11 @@ module Token = struct
     | None -> false
     | Some d -> Kgm_telemetry.Clock.now () > d
 
+  let remaining_s t =
+    match t.deadline with
+    | None -> None
+    | Some d -> Some (Float.max 0. (d -. Kgm_telemetry.Clock.now ()))
+
   let status t =
     if Atomic.get t.cancelled then `Cancelled
     else if deadline_exceeded t then `Deadline
@@ -189,20 +194,53 @@ end
 module Retry = struct
   let default_retry_on = function Fault _ -> true | _ -> false
 
-  let with_backoff ?(attempts = 3) ?(base_s = 0.001)
-      ?(retry_on = default_retry_on) ?on_retry f =
+  (* Deterministic draw stream for the jitter: splitmix64 over a
+     process-global counter, so sleep schedules are reproducible within
+     a process without consuming the global Random state. *)
+  let jitter_ctr = Atomic.make 0
+
+  let jitter_draw () =
+    let n = Atomic.fetch_and_add jitter_ctr 1 in
+    let open Int64 in
+    let x = add (of_int n) 0x9E3779B97F4A7C15L in
+    let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+    let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+    let h = logxor x (shift_right_logical x 31) in
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+  let with_backoff ?(attempts = 3) ?(base_s = 0.001) ?(max_s = 0.5)
+      ?(jitter = true) ?(cancel = Token.none) ?(retry_on = default_retry_on)
+      ?on_retry f =
     let attempts = max 1 attempts in
+    (* decorrelated jitter (the AWS backoff strategy): each sleep is
+       uniform in [base, 3 * previous], so concurrent retriers that
+       failed together spread out instead of re-colliding in lockstep;
+       without jitter, classic exponential base * 2^k. Either way the
+       sleep is capped by [max_s] and by whatever monotonic deadline
+       the caller's [cancel] token carries — a retry must never outlive
+       the request that issued it. *)
+    let prev_sleep = ref base_s in
     let rec go n =
       try f ()
-      with e when n + 1 < attempts && retry_on e ->
-        (match on_retry with
-         | Some k -> k ~attempt:(n + 1) e
-         | None -> ());
-        (* exponential backoff: base, 2*base, 4*base, ... — short
-           enough for in-process transients, long enough to yield *)
-        let delay = base_s *. Float.of_int (1 lsl n) in
-        if delay > 0. then Unix.sleepf delay;
-        go (n + 1)
+      with
+      | e when n + 1 < attempts && retry_on e && Token.status cancel = `Ok ->
+          (match on_retry with
+           | Some k -> k ~attempt:(n + 1) e
+           | None -> ());
+          let delay =
+            if jitter then
+              base_s +. (jitter_draw () *. ((!prev_sleep *. 3.) -. base_s))
+            else base_s *. Float.of_int (1 lsl n)
+          in
+          let delay = Float.min delay max_s in
+          prev_sleep := Float.max base_s delay;
+          let delay =
+            match Token.remaining_s cancel with
+            | Some r -> Float.min delay r
+            | None -> delay
+          in
+          if delay > 0. then Unix.sleepf delay;
+          if Token.status cancel = `Ok then go (n + 1) else raise e
     in
     go 0
 end
@@ -329,4 +367,26 @@ module Snapshot = struct
         if Digest.to_hex (Digest.string body) <> digest then
           fail "snapshot payload corrupt (digest mismatch)";
         Marshal.from_string body 0)
+
+  (* Generation rotation: a long-lived writer (periodic engine
+     checkpoints, the server's session snapshots) calls this right
+     after a successful [save], so the newest retained generation is
+     always one that just passed through the atomic write path. [keep]
+     is clamped to >= 1 — the generation a recovery would start from is
+     never deleted — and each removal is a single unlink, atomic with
+     respect to concurrent readers that already opened the file. *)
+  let gc ~dir ~kind ~keep =
+    let keep = max 1 keep in
+    let files = list ~dir ~kind in
+    let n = List.length files in
+    if n <= keep then []
+    else begin
+      let doomed = List.filteri (fun i _ -> i < n - keep) files in
+      List.filter_map
+        (fun (_, p) ->
+          match Sys.remove p with
+          | () -> Some p
+          | exception Sys_error _ -> None)
+        doomed
+    end
 end

@@ -40,6 +40,12 @@ module Token : sig
 
   val deadline_exceeded : t -> bool
 
+  val remaining_s : t -> float option
+  (** Monotonic seconds until the deadline trips, clamped at 0; [None]
+      when the token carries no deadline. Lets derived work (retries,
+      sub-requests) bound itself by the budget of the request that
+      issued it. *)
+
   val status : t -> [ `Ok | `Cancelled | `Deadline ]
   (** Cancellation wins over deadline expiry when both hold. *)
 
@@ -102,15 +108,30 @@ module Retry : sig
   val with_backoff :
     ?attempts:int ->
     ?base_s:float ->
+    ?max_s:float ->
+    ?jitter:bool ->
+    ?cancel:Token.t ->
     ?retry_on:(exn -> bool) ->
     ?on_retry:(attempt:int -> exn -> unit) ->
     (unit -> 'a) ->
     'a
   (** [with_backoff f] runs [f], retrying up to [attempts] times (total,
       default 3) when it raises an exception accepted by [retry_on]
-      (default: {!Fault} only), sleeping [base_s * 2^k] between attempts
-      (default base 1 ms). The last exception propagates unchanged;
-      exceptions rejected by [retry_on] propagate immediately. *)
+      (default: {!Fault} only). The last exception propagates unchanged;
+      exceptions rejected by [retry_on] propagate immediately.
+
+      Sleeps between attempts use decorrelated jitter (each delay
+      uniform in [[base_s, 3 * previous]], drawn from a deterministic
+      process-local stream) so retriers that failed together do not
+      re-collide in lockstep; [jitter:false] restores classic
+      exponential [base_s * 2^k]. Every delay is capped at [max_s]
+      (default 0.5 s).
+
+      [cancel] bounds the whole retry loop by the issuing request: a
+      token that is already cancelled or past its deadline suppresses
+      further retries (the current exception propagates), and each
+      sleep is truncated to {!Token.remaining_s} so a retry can never
+      outlive the request's budget. *)
 end
 
 (** {1 Snapshots} *)
@@ -154,4 +175,13 @@ module Snapshot : sig
       kind/version/digest checks are the guard rails. Raises
       [Kgm_error.Error] ([Storage]) on a missing, foreign, corrupt or
       version-mismatched file. *)
+
+  val gc : dir:string -> kind:string -> keep:int -> string list
+  (** Delete all but the newest [keep] generations of the kind in
+      [dir] ([keep] clamped to >= 1, so the generation a recovery
+      would resume from survives); returns the paths removed. Call
+      right after a successful {!save} — rotation then never races the
+      write, and the newest retained file is always a complete,
+      digest-valid snapshot. Files that cannot be removed are skipped
+      silently (a reader may have the directory open). *)
 end

@@ -1,0 +1,962 @@
+(* Kgm_server — the long-lived reasoning daemon behind `kgmodel serve`.
+
+   One Incremental.state (the master materialization, mutated only
+   under [writer_mu]) feeds an Atomic.t of frozen database epochs.
+   Readers load the current epoch with one atomic read and answer
+   against it — no reader ever blocks on a writer, and every response
+   is stamped with the epoch id it was computed from. The wire
+   protocol is a hand-rolled HTTP/1.1 subset over a Unix-domain
+   socket: one request per connection, Connection: close — enough for
+   curl, the bundled Client and the chaos harness, with no external
+   dependency.
+
+   Threading: one acceptor thread (select with a short timeout so it
+   notices the drain flag), N worker threads behind a bounded
+   admission queue, and the caller's thread parked in
+   run_until_drained acting as the drain coordinator. The telemetry
+   collector is not thread-safe, so every collector mutation and
+   export happens under [writer_mu]; worker-thread statistics live in
+   Atomics sampled by registered gauges at export time. *)
+
+module R = Kgm_vadalog.Rule
+module DB = Kgm_vadalog.Database
+module Inc = Kgm_vadalog.Incremental
+module E = Kgm_vadalog.Engine
+module Err = Kgm_common.Kgm_error
+module Token = Kgm_resilience.Token
+module Faults = Kgm_resilience.Faults
+module Retry = Kgm_resilience.Retry
+module Snapshot = Kgm_resilience.Snapshot
+module Journal = Kgm_telemetry.Journal
+module J = Kgm_telemetry.Json
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* ------------------------------------------------------------------ *)
+(* Update batches                                                      *)
+
+module Batch = struct
+  type sign = [ `Ins | `Ret ]
+
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '%' then []
+    else begin
+      let sign, rest =
+        match line.[0] with
+        | '+' -> (`Ins, String.sub line 1 (String.length line - 1))
+        | '-' -> (`Ret, String.sub line 1 (String.length line - 1))
+        | _ -> (`Ins, line)
+      in
+      let rest = String.trim rest in
+      let rest =
+        if rest <> "" && rest.[String.length rest - 1] = '.' then rest
+        else rest ^ "."
+      in
+      let reject msg =
+        Err.raise_error_ctx Err.Validate
+          [ ("line", string_of_int lineno); ("text", line) ]
+          "%s" msg
+      in
+      let p =
+        try Kgm_vadalog.Parser.parse_program rest
+        with Err.Error e -> reject ("batch: " ^ e.Err.message)
+      in
+      if p.R.rules <> [] then
+        reject "a batch line must be a ground fact, not a rule";
+      if p.R.facts = [] then reject "batch: no fact on this line";
+      List.map
+        (fun (pred, args) -> (sign, (pred, Array.of_list args)))
+        p.R.facts
+    end
+
+  let parse text =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.concat
+
+  let split batch =
+    let pick s =
+      List.filter_map (fun (s', pf) -> if s' = s then Some pf else None) batch
+    in
+    (pick `Ins, pick `Ret)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Session persistence                                                 *)
+
+let session_kind = "session"
+let session_version = 3
+
+(* derived facts are deliberately absent: recovery re-chases, which
+   keeps snapshots small and makes a restore verifiable against the
+   program instead of trusting a marshaled closure *)
+type session_blob = {
+  sb_fingerprint : string;
+  sb_epoch : int;
+  sb_edb : (string * Kgm_common.Value.t array) list;
+}
+
+let strip ph = { ph with R.facts = [] }
+
+let fingerprint phases =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n%%phase%%\n"
+          (List.map (fun ph -> R.program_to_string (strip ph)) phases)))
+
+let save_session ~dir ~keep ~epoch st =
+  let blob =
+    { sb_fingerprint = fingerprint (Inc.phases st);
+      sb_epoch = epoch;
+      sb_edb = Inc.edb_facts st }
+  in
+  let path = Snapshot.path ~dir ~kind:session_kind ~seq:epoch in
+  Snapshot.save ~kind:session_kind ~version:session_version ~path blob;
+  ignore (Snapshot.gc ~dir ~kind:session_kind ~keep);
+  path
+
+let recover ?options ?telemetry ?journal ~dir phases =
+  if phases = [] then invalid_arg "Kgm_server.recover: empty pipeline";
+  let jr = Option.value journal ~default:Journal.null in
+  let expected = fingerprint phases in
+  let gens = List.rev (Snapshot.list ~dir ~kind:session_kind) in
+  let rec try_gens = function
+    | [] -> None
+    | (_seq, path) :: older -> (
+        match
+          let blob : session_blob =
+            Snapshot.load ~kind:session_kind ~version:session_version ~path
+          in
+          if blob.sb_fingerprint <> expected then
+            Err.raise_error_ctx Err.Storage
+              [ ("path", path) ]
+              "session snapshot was written by a different program";
+          let db = DB.create () in
+          List.iter
+            (fun (pred, fact) -> ignore (DB.add db pred fact))
+            blob.sb_edb;
+          (* facts-stripped phases: the snapshot's EDB already contains
+             the program's inline facts, including any later retracted
+             by updates — re-adding them from the rule text would
+             resurrect retractions *)
+          let st, _stats =
+            Inc.chase_phases ?options ?telemetry ?journal ~db
+              (List.map strip phases)
+          in
+          (st, blob.sb_epoch)
+        with
+        | st, epoch ->
+            if Journal.enabled jr then
+              Journal.emit jr "server.recover"
+                [ ("path", J.Str path);
+                  ("epoch", J.Int epoch);
+                  ("facts", J.Int (DB.total (Inc.db st))) ];
+            Some (st, epoch, path)
+        | exception Err.Error e ->
+            if Journal.enabled jr then
+              Journal.emit jr "server.recover.reject"
+                [ ("path", J.Str path); ("error", J.Str (Err.to_string e)) ];
+            try_gens older)
+  in
+  try_gens gens
+
+(* ------------------------------------------------------------------ *)
+(* HTTP/1.1 subset                                                     *)
+
+type req = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (* keys lowercased *)
+  body : string;
+}
+
+let header req k = List.assoc_opt k req.headers
+
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Status"
+
+let write_response fd status extra body =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_of status));
+  Buffer.add_string b "content-type: text/plain; charset=utf-8\r\n";
+  Buffer.add_string b
+    (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  Buffer.add_string b "connection: close\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    extra;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  (* a peer that hung up mid-response is its problem, not ours *)
+  try write_all fd (Buffer.contents b) with Unix.Unix_error _ -> ()
+
+let max_head = 65536
+let max_body = 8_000_000
+
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec fill () =
+    match find_sub (Buffer.contents buf) "\r\n\r\n" 0 with
+    | Some i -> Ok i
+    | None ->
+        if Buffer.length buf > max_head then Error "request head too large"
+        else begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed mid-request"
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              fill ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              Error "read timeout"
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+        end
+  in
+  match fill () with
+  | Error _ as e -> e
+  | Ok head_end -> (
+      let all = Buffer.contents buf in
+      let head = String.sub all 0 head_end in
+      match String.split_on_char '\r' head |> List.map String.trim with
+      | [] -> Error "empty request"
+      | first :: rest -> (
+          let headers =
+            List.filter_map
+              (fun line ->
+                match String.index_opt line ':' with
+                | None -> None
+                | Some i ->
+                    Some
+                      ( String.lowercase_ascii (String.sub line 0 i),
+                        String.trim
+                          (String.sub line (i + 1)
+                             (String.length line - i - 1)) ))
+              rest
+          in
+          let clen =
+            match List.assoc_opt "content-length" headers with
+            | Some v -> ( match int_of_string_opt v with Some n -> n | None -> -1)
+            | None -> 0
+          in
+          if clen < 0 || clen > max_body then Error "bad content-length"
+          else
+            let body = Buffer.create clen in
+            Buffer.add_string body
+              (String.sub all (head_end + 4)
+                 (String.length all - head_end - 4));
+            let rec drain_body () =
+              if Buffer.length body >= clen then
+                Ok (String.sub (Buffer.contents body) 0 clen)
+              else
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> Error "connection closed mid-body"
+                | n ->
+                    Buffer.add_subbytes body chunk 0 n;
+                    drain_body ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                    Error "read timeout"
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error (Unix.error_message e)
+            in
+            match drain_body () with
+            | Error _ as e -> e
+            | Ok body -> (
+                match String.split_on_char ' ' first with
+                | meth :: path :: _ ->
+                    Ok { meth; path; headers; body }
+                | _ -> Error "malformed request line")))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern queries                                                     *)
+
+(* a query body is either a bare predicate name (all its facts) or a
+   pattern like [controls(a, X)] — constants bind positions, variables
+   project, a repeated variable joins within the fact. Parsed by
+   round-tripping [pat :- pat.] through the Vadalog rule parser, so the
+   constant syntax (strings, numbers, dates, ...) is exactly the
+   language's own. *)
+type query =
+  | Q_pred of string
+  | Q_pattern of R.atom
+
+let parse_query body =
+  let s = String.trim body in
+  let s =
+    if s <> "" && s.[String.length s - 1] = '.' then
+      String.trim (String.sub s 0 (String.length s - 1))
+    else s
+  in
+  if s = "" then
+    Err.raise_error_ctx Err.Validate [] "query: empty pattern";
+  if not (String.contains s '(') then Q_pred s
+  else
+    let rule =
+      try Kgm_vadalog.Parser.parse_rule (s ^ " :- " ^ s ^ ".")
+      with Err.Error e ->
+        Err.raise_error_ctx Err.Validate
+          [ ("pattern", s) ]
+          "query: %s" e.Err.message
+    in
+    match rule.R.head with
+    | [ atom ] -> Q_pattern atom
+    | _ ->
+        Err.raise_error_ctx Err.Validate
+          [ ("pattern", s) ]
+          "query: expected a single atom"
+
+let fact_line pred fact =
+  Printf.sprintf "%s(%s)." pred
+    (String.concat ", "
+       (Array.to_list (Array.map Kgm_common.Value.to_string fact)))
+
+(* poll the deadline/drain tokens every so many facts so a scan over a
+   large predicate cannot outlive its budget *)
+let poll_every = 2048
+
+let eval_query ~poll db q buf =
+  let n = ref 0 in
+  let seen = ref 0 in
+  let emit pred fact =
+    incr n;
+    Buffer.add_string buf (fact_line pred fact);
+    Buffer.add_char buf '\n'
+  in
+  (match q with
+  | Q_pred pred ->
+      List.iter
+        (fun fact ->
+          incr seen;
+          if !seen land (poll_every - 1) = 0 then poll ();
+          emit pred fact)
+        (DB.facts db pred)
+  | Q_pattern atom ->
+      let args = Array.of_list atom.R.args in
+      let arity = Array.length args in
+      let positions = ref [] and key = ref [] in
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Kgm_vadalog.Term.Const v ->
+              positions := i :: !positions;
+              key := v :: !key
+          | Kgm_vadalog.Term.Var _ -> ())
+        args;
+      let positions = List.rev !positions and key = List.rev !key in
+      (* positions of each named variable occurring more than once *)
+      let var_groups =
+        let tbl = Hashtbl.create 4 in
+        Array.iteri
+          (fun i t ->
+            match t with
+            | Kgm_vadalog.Term.Var v when v <> "" && v.[0] <> '_' ->
+                Hashtbl.replace tbl v
+                  (i :: (try Hashtbl.find tbl v with Not_found -> []))
+            | _ -> ())
+          args;
+        Hashtbl.fold
+          (fun _ ps acc -> if List.length ps > 1 then ps :: acc else acc)
+          tbl []
+      in
+      let joins_ok fact =
+        List.for_all
+          (fun ps ->
+            match ps with
+            | [] -> true
+            | p0 :: rest ->
+                List.for_all
+                  (fun p -> Kgm_common.Value.equal fact.(p0) fact.(p))
+                  rest)
+          var_groups
+      in
+      ignore
+        (DB.iter_matches db atom.R.pred positions key (fun _seq fact ->
+             incr seen;
+             if !seen land (poll_every - 1) = 0 then poll ();
+             if Array.length fact = arity && joins_ok fact then
+               emit atom.R.pred fact)));
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+type config = {
+  sock : string;
+  workers : int;
+  queue_capacity : int;
+  default_deadline_s : float option;
+  io_timeout_s : float;
+  state_dir : string option;
+  keep : int;
+  snapshot_every : int;
+  debug_endpoints : bool;
+}
+
+let default_config ~sock =
+  { sock;
+    workers = 4;
+    queue_capacity = 64;
+    default_deadline_s = None;
+    io_timeout_s = 10.;
+    state_dir = None;
+    keep = 3;
+    snapshot_every = 1;
+    debug_endpoints = false }
+
+type epoch = { ep_id : int; ep_db : DB.t }
+
+type stats = {
+  st_epoch : int;
+  st_requests : int;
+  st_shed : int;
+  st_errors : int;
+  st_updates : int;
+  st_queue_depth : int;
+  st_inflight : int;
+  st_faults : int;
+}
+
+type t = {
+  cfg : config;
+  session : Inc.state;
+  tele : Kgm_telemetry.t;
+  jr : Journal.t;
+  epoch : epoch Atomic.t;
+  mutable epoch_ctr : int;  (* under writer_mu *)
+  writer_mu : Mutex.t;
+  q : Unix.file_descr Queue.t;
+  q_mu : Mutex.t;
+  q_cond : Condition.t;
+  mutable worker_threads : Thread.t list;
+  mutable acceptor_thread : Thread.t option;
+  mutable listen_fd : Unix.file_descr option;
+  started : bool Atomic.t;
+  drain_req : bool Atomic.t;
+  stop_accept : bool Atomic.t;
+  stop_workers : bool Atomic.t;
+  stopped : bool Atomic.t;
+  drain_tok : Token.t;
+  c_requests : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_updates : int Atomic.t;
+  c_inflight : int Atomic.t;
+  c_faults : int Atomic.t;
+}
+
+let freeze_copy db =
+  let c = DB.copy db in
+  if not (DB.is_frozen c) then DB.freeze c;
+  c
+
+let create ?(telemetry = Kgm_telemetry.null)
+    ?(journal = Journal.null) ?(epoch = 0) cfg ~session =
+  let cfg =
+    { cfg with
+      workers = max 1 cfg.workers;
+      queue_capacity = max 1 cfg.queue_capacity;
+      snapshot_every = max 1 cfg.snapshot_every }
+  in
+  let t =
+    { cfg;
+      session;
+      tele = telemetry;
+      jr = journal;
+      epoch =
+        Atomic.make { ep_id = epoch; ep_db = freeze_copy (Inc.db session) };
+      epoch_ctr = epoch;
+      writer_mu = Mutex.create ();
+      q = Queue.create ();
+      q_mu = Mutex.create ();
+      q_cond = Condition.create ();
+      worker_threads = [];
+      acceptor_thread = None;
+      listen_fd = None;
+      started = Atomic.make false;
+      drain_req = Atomic.make false;
+      stop_accept = Atomic.make false;
+      stop_workers = Atomic.make false;
+      stopped = Atomic.make false;
+      drain_tok = Token.create ();
+      c_requests = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_errors = Atomic.make 0;
+      c_updates = Atomic.make 0;
+      c_inflight = Atomic.make 0;
+      c_faults = Atomic.make 0 }
+  in
+  Kgm_telemetry.gauge t.tele "server.epoch" (fun () ->
+      (Atomic.get t.epoch).ep_id);
+  Kgm_telemetry.gauge t.tele "server.requests" (fun () ->
+      Atomic.get t.c_requests);
+  Kgm_telemetry.gauge t.tele "server.shed" (fun () -> Atomic.get t.c_shed);
+  Kgm_telemetry.gauge t.tele "server.errors" (fun () ->
+      Atomic.get t.c_errors);
+  Kgm_telemetry.gauge t.tele "server.updates" (fun () ->
+      Atomic.get t.c_updates);
+  Kgm_telemetry.gauge t.tele "server.inflight" (fun () ->
+      Atomic.get t.c_inflight);
+  Kgm_telemetry.gauge t.tele "server.queue_depth" (fun () ->
+      Queue.length t.q);
+  Kgm_telemetry.gauge t.tele "server.faults_absorbed" (fun () ->
+      Atomic.get t.c_faults);
+  t
+
+let stats t =
+  { st_epoch = (Atomic.get t.epoch).ep_id;
+    st_requests = Atomic.get t.c_requests;
+    st_shed = Atomic.get t.c_shed;
+    st_errors = Atomic.get t.c_errors;
+    st_updates = Atomic.get t.c_updates;
+    st_queue_depth = Queue.length t.q;
+    st_inflight = Atomic.get t.c_inflight;
+    st_faults = Atomic.get t.c_faults }
+
+let draining t = Atomic.get t.drain_req
+let drain t = Atomic.set t.drain_req true
+
+(* publish the master as a fresh frozen epoch. Under writer_mu. The
+   "swap" fault site is transient: wrapped in the retry loop, bounded
+   by the drain token. A publish that exhausts its retries leaves the
+   previous epoch visible — readers stay consistent, the next
+   successful swap publishes everything since. *)
+let publish t =
+  let db = freeze_copy (Inc.db t.session) in
+  t.epoch_ctr <- t.epoch_ctr + 1;
+  let id = t.epoch_ctr in
+  Retry.with_backoff ~attempts:4 ~base_s:0.001 ~cancel:t.drain_tok
+    ~on_retry:(fun ~attempt:_ _ -> Atomic.incr t.c_faults)
+    (fun () ->
+      Faults.inject "swap";
+      Atomic.set t.epoch { ep_id = id; ep_db = db });
+  if Journal.enabled t.jr then
+    Journal.emit t.jr "server.swap"
+      [ ("epoch", J.Int id); ("facts", J.Int (DB.total db)) ]
+
+(* write a session snapshot; failures are absorbed (journaled and
+   counted) — a persistence hiccup must not fail the update that
+   triggered it, and drain must complete regardless *)
+let try_snapshot t =
+  match t.cfg.state_dir with
+  | None -> None
+  | Some dir -> (
+      match
+        Retry.with_backoff ~attempts:4 ~base_s:0.002
+          ~on_retry:(fun ~attempt:_ _ -> Atomic.incr t.c_faults)
+          (fun () ->
+            save_session ~dir ~keep:t.cfg.keep ~epoch:t.epoch_ctr t.session)
+      with
+      | path ->
+          if Journal.enabled t.jr then
+            Journal.emit t.jr "server.checkpoint"
+              [ ("path", J.Str path); ("epoch", J.Int t.epoch_ctr) ];
+          Some path
+      | exception e ->
+          Atomic.incr t.c_faults;
+          if Journal.enabled t.jr then
+            Journal.emit t.jr "server.checkpoint.fail"
+              [ ("error", J.Str (Printexc.to_string e)) ];
+          None)
+
+(* ---- request routing (worker threads) ---- *)
+
+let ok body = (200, [], body)
+
+let handle_update t body =
+  let batch = Batch.parse body in
+  let inserts, retracts = Batch.split batch in
+  with_lock t.writer_mu (fun () ->
+      let u =
+        Inc.maintain ~telemetry:t.tele ~journal:t.jr t.session ~inserts
+          ~retracts
+      in
+      Atomic.incr t.c_updates;
+      publish t;
+      if Atomic.get t.c_updates mod t.cfg.snapshot_every = 0 then
+        ignore (try_snapshot t);
+      ok
+        (Printf.sprintf
+           "ok epoch=%d inserted=%d retracted=%d derived=%d deleted=%d \
+            rederived=%d rounds=%d fallback=%b\n"
+           t.epoch_ctr u.Inc.u_inserted u.Inc.u_retracted u.Inc.u_derived
+           u.Inc.u_deleted u.Inc.u_rederived u.Inc.u_rounds u.Inc.u_fallback))
+
+let handle_explain t body =
+  let s = String.trim body in
+  let s =
+    if s <> "" && s.[String.length s - 1] = '.' then s else s ^ "."
+  in
+  let p = Kgm_vadalog.Parser.parse_program s in
+  match p.R.facts with
+  | [ (pred, args) ] ->
+      let fact = Array.of_list args in
+      with_lock t.writer_mu (fun () ->
+          let sup = Inc.support t.session in
+          let program =
+            match Inc.phases t.session with
+            | ph :: _ -> ph
+            | [] -> R.empty_program
+          in
+          let buf = Buffer.create 256 in
+          if not (DB.mem (Inc.db t.session) pred fact) then
+            Buffer.add_string buf
+              (Printf.sprintf "%% not in the database: %s\n" (String.trim s));
+          Buffer.add_string buf
+            (E.explain_tree_to_string (E.explain_tree sup program pred fact));
+          ok (Buffer.contents buf))
+  | _ ->
+      Err.raise_error_ctx Err.Validate
+        [ ("fact", body) ]
+        "explain expects a single ground fact, e.g. 'control(a, b)'"
+
+let handle_status t =
+  let ep = Atomic.get t.epoch in
+  let s = stats t in
+  ok
+    (Printf.sprintf
+       "epoch: %d\nfacts: %d\nrequests: %d\nshed: %d\nerrors: %d\n\
+        updates: %d\nqueue_depth: %d\ninflight: %d\nfaults_absorbed: %d\n\
+        workers: %d\nqueue_capacity: %d\ndraining: %b\n"
+       ep.ep_id (DB.total ep.ep_db) s.st_requests s.st_shed s.st_errors
+       s.st_updates s.st_queue_depth s.st_inflight s.st_faults t.cfg.workers
+       t.cfg.queue_capacity (draining t))
+
+let handle_slow t req tok =
+  let dur =
+    match float_of_string_opt (String.trim req.body) with
+    | Some d when d >= 0. -> Float.min d 30.
+    | _ -> 0.05
+  in
+  let t0 = Kgm_telemetry.Clock.now () in
+  let rec loop () =
+    Token.check tok;
+    Token.check t.drain_tok;
+    if Kgm_telemetry.Clock.now () -. t0 < dur then begin
+      Thread.delay 0.005;
+      loop ()
+    end
+  in
+  loop ();
+  ok "slept\n"
+
+let route t req =
+  let deadline_s =
+    match header req "x-kgm-deadline" with
+    | Some v -> float_of_string_opt v
+    | None -> t.cfg.default_deadline_s
+  in
+  let tok =
+    match deadline_s with
+    | Some d -> Token.create ~deadline_s:d ()
+    | None -> Token.none
+  in
+  match (req.meth, req.path) with
+  | "GET", "/health" -> ok "ok\n"
+  | "GET", "/ready" ->
+      if draining t then (503, [], "draining\n") else ok "ready\n"
+  | "GET", "/epoch" ->
+      ok (Printf.sprintf "%d\n" (Atomic.get t.epoch).ep_id)
+  | "GET", "/status" -> handle_status t
+  | "GET", "/metrics" ->
+      with_lock t.writer_mu (fun () ->
+          ( 200,
+            [ ("content-type", "text/plain; version=0.0.4") ],
+            Kgm_telemetry.prometheus t.tele ))
+  | "POST", "/query" ->
+      let q = parse_query req.body in
+      let ep = Atomic.get t.epoch in
+      let buf = Buffer.create 1024 in
+      let poll () =
+        Token.check tok;
+        Token.check t.drain_tok
+      in
+      let n = eval_query ~poll ep.ep_db q buf in
+      ( 200,
+        [ ("x-kgm-epoch", string_of_int ep.ep_id);
+          ("x-kgm-count", string_of_int n) ],
+        Buffer.contents buf )
+  | "POST", "/explain" ->
+      if draining t then (503, [], "draining\n") else handle_explain t req.body
+  | "POST", "/update" ->
+      if draining t then (503, [], "draining\n")
+      else handle_update t req.body
+  | "POST", "/slow" when t.cfg.debug_endpoints -> handle_slow t req tok
+  | _, "/health" | _, "/ready" | _, "/epoch" | _, "/status" | _, "/metrics"
+  | _, "/query" | _, "/explain" | _, "/update" ->
+      (405, [], "method not allowed\n")
+  | _ -> (404, [], "unknown endpoint\n")
+
+let serve_conn t fd =
+  Atomic.incr t.c_requests;
+  match read_request fd with
+  | Error msg ->
+      Atomic.incr t.c_errors;
+      write_response fd 400 [] (msg ^ "\n")
+  | Ok req ->
+      let status, extra, body =
+        try
+          Faults.inject "request";
+          route t req
+        with
+        | Kgm_resilience.Fault site ->
+            Atomic.incr t.c_faults;
+            (500, [], Printf.sprintf "fault injected at %s\n" site)
+        | Kgm_resilience.Interrupted `Deadline -> (504, [], "deadline\n")
+        | Kgm_resilience.Interrupted `Cancelled -> (503, [], "draining\n")
+        | Err.Error e -> (400, [], Err.to_string e ^ "\n")
+        | e -> (500, [], "internal: " ^ Printexc.to_string e ^ "\n")
+      in
+      if status >= 400 then Atomic.incr t.c_errors;
+      write_response fd status extra body
+
+(* ---- threads ---- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* closing a socket with unread inbound bytes makes the kernel send
+   RST, which destroys the response we just queued before the client
+   can read it — so a shed answer must linger: stop sending, then
+   drain whatever the client wrote until it sees our FIN and closes *)
+let lingering_close fd =
+  (try Unix.shutdown fd SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd SO_RCVTIMEO 1.0;
+     let junk = Bytes.create 4096 in
+     while Unix.read fd junk 0 (Bytes.length junk) > 0 do
+       ()
+     done
+   with Unix.Unix_error _ -> ());
+  close_quietly fd
+
+let shed t fd why =
+  Atomic.incr t.c_shed;
+  write_response fd 503 [] (why ^ "\n");
+  lingering_close fd;
+  if Journal.enabled t.jr then
+    Journal.emit t.jr "server.overloaded" [ ("why", J.Str why) ]
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.q_mu;
+    while Queue.is_empty t.q && not (Atomic.get t.stop_workers) do
+      Condition.wait t.q_cond t.q_mu
+    done;
+    if Queue.is_empty t.q then Mutex.unlock t.q_mu (* stopping *)
+    else begin
+      let fd = Queue.pop t.q in
+      Mutex.unlock t.q_mu;
+      Atomic.incr t.c_inflight;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.decr t.c_inflight;
+          close_quietly fd)
+        (fun () -> serve_conn t fd);
+      loop ()
+    end
+  in
+  loop ()
+
+let acceptor_loop t lfd =
+  while not (Atomic.get t.stop_accept) do
+    match Unix.select [ lfd ] [] [] 0.05 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept ~cloexec:true lfd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> (
+            match Faults.inject "accept" with
+            | exception Kgm_resilience.Fault _ ->
+                (* a dropped connection: the client sees a reset, the
+                   failure path curl/retry loops exercise *)
+                Atomic.incr t.c_faults;
+                close_quietly fd
+            | () ->
+                (try
+                   Unix.setsockopt_float fd SO_RCVTIMEO t.cfg.io_timeout_s;
+                   Unix.setsockopt_float fd SO_SNDTIMEO t.cfg.io_timeout_s
+                 with Unix.Unix_error _ -> ());
+                if draining t then shed t fd "draining"
+                else begin
+                  let admitted =
+                    with_lock t.q_mu (fun () ->
+                        if Queue.length t.q < t.cfg.queue_capacity then begin
+                          Queue.push fd t.q;
+                          Condition.signal t.q_cond;
+                          true
+                        end
+                        else false)
+                  in
+                  if not admitted then shed t fd "overloaded"
+                end))
+  done
+
+let start t =
+  if Atomic.exchange t.started true then
+    invalid_arg "Kgm_server.start: already started";
+  (try Unix.unlink t.cfg.sock with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind lfd (ADDR_UNIX t.cfg.sock);
+     Unix.listen lfd 64
+   with e ->
+     close_quietly lfd;
+     raise e);
+  t.listen_fd <- Some lfd;
+  t.acceptor_thread <- Some (Thread.create (fun () -> acceptor_loop t lfd) ());
+  t.worker_threads <-
+    List.init t.cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  if Journal.enabled t.jr then
+    Journal.emit t.jr "server.start"
+      [ ("sock", J.Str t.cfg.sock);
+        ("workers", J.Int t.cfg.workers);
+        ("queue", J.Int t.cfg.queue_capacity);
+        ("epoch", J.Int (Atomic.get t.epoch).ep_id) ]
+
+let absorb_drain_fault t =
+  try Faults.inject "drain"
+  with Kgm_resilience.Fault _ -> Atomic.incr t.c_faults
+
+let run_until_drained t =
+  while not (Atomic.get t.drain_req) do
+    Thread.delay 0.02
+  done;
+  if Journal.enabled t.jr then Journal.emit t.jr "server.drain.start" [];
+  (* 1. stop admission: the acceptor notices the flag within one select
+     tick; then unlink the socket so new clients fail fast *)
+  absorb_drain_fault t;
+  Atomic.set t.stop_accept true;
+  (match t.acceptor_thread with Some th -> Thread.join th | None -> ());
+  (match t.listen_fd with Some fd -> close_quietly fd | None -> ());
+  (try Unix.unlink t.cfg.sock with Unix.Unix_error _ -> ());
+  (* 2. cancel in-flight work (scans and debug sleeps poll the drain
+     token) and shed everything still queued *)
+  absorb_drain_fault t;
+  Token.cancel t.drain_tok;
+  let doomed =
+    with_lock t.q_mu (fun () ->
+        let l = List.of_seq (Queue.to_seq t.q) in
+        Queue.clear t.q;
+        Atomic.set t.stop_workers true;
+        Condition.broadcast t.q_cond;
+        l)
+  in
+  List.iter (fun fd -> shed t fd "draining") doomed;
+  List.iter Thread.join t.worker_threads;
+  (* 3. final checkpoint — absorbed on failure: drain always exits *)
+  absorb_drain_fault t;
+  ignore (try_snapshot t);
+  let s = stats t in
+  if Journal.enabled t.jr then
+    Journal.emit t.jr "server.drain.done"
+      [ ("requests", J.Int s.st_requests);
+        ("shed", J.Int s.st_shed);
+        ("errors", J.Int s.st_errors);
+        ("updates", J.Int s.st_updates);
+        ("faults_absorbed", J.Int s.st_faults) ];
+  Atomic.set t.stopped true;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+module Client = struct
+  let request ?deadline_s ?(body = "") ~sock ~meth ~path () =
+    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        let io =
+          match deadline_s with Some d -> Float.max 0.05 d | None -> 30.
+        in
+        (try
+           Unix.setsockopt_float fd SO_RCVTIMEO io;
+           Unix.setsockopt_float fd SO_SNDTIMEO io
+         with Unix.Unix_error _ -> ());
+        Unix.connect fd (ADDR_UNIX sock);
+        let b = Buffer.create (String.length body + 256) in
+        Buffer.add_string b
+          (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+        Buffer.add_string b "host: kgm\r\nconnection: close\r\n";
+        (match deadline_s with
+        | Some d ->
+            Buffer.add_string b (Printf.sprintf "x-kgm-deadline: %g\r\n" d)
+        | None -> ());
+        Buffer.add_string b
+          (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+        Buffer.add_string b body;
+        write_all fd (Buffer.contents b);
+        let resp = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec slurp () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes resp chunk 0 n;
+              slurp ()
+        in
+        slurp ();
+        let all = Buffer.contents resp in
+        let status =
+          match String.index_opt all ' ' with
+          | Some i -> (
+              match
+                int_of_string_opt
+                  (String.trim
+                     (String.sub all (i + 1) (Int.min 4 (String.length all - i - 1))))
+              with
+              | Some c -> c
+              | None -> 0)
+          | None -> 0
+        in
+        let body =
+          match find_sub all "\r\n\r\n" 0 with
+          | Some i -> String.sub all (i + 4) (String.length all - i - 4)
+          | None -> ""
+        in
+        (status, body))
+
+  let wait_ready ?(attempts = 100) ?(delay_s = 0.05) sock =
+    let rec go n =
+      if n <= 0 then false
+      else
+        match request ~deadline_s:1. ~sock ~meth:"GET" ~path:"/ready" () with
+        | 200, _ -> true
+        | _ ->
+            Thread.delay delay_s;
+            go (n - 1)
+        | exception Unix.Unix_error _ ->
+            Thread.delay delay_s;
+            go (n - 1)
+    in
+    go attempts
+end

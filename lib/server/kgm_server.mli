@@ -1,0 +1,201 @@
+(** Kgm_server — the long-lived reasoning daemon behind
+    [kgmodel serve].
+
+    The paper's production deployments keep a materialized KG resident
+    and query it while extensional updates stream in (Sec. 6); this
+    module is that serving layer. A server owns one
+    {!Kgm_vadalog.Incremental.state} (the {e master} materialization)
+    and publishes read-only {e epochs} of it: after every applied
+    update batch the repaired database is copied, frozen and swapped
+    into an [Atomic.t]. Readers grab the current epoch with one atomic
+    load — they never block on a writer, never observe a half-applied
+    batch, and each request is answered against exactly one epoch
+    (stamped into the [x-kgm-epoch] response header).
+
+    The wire protocol is minimal HTTP/1.1 over a Unix-domain socket,
+    one request per connection ([Connection: close]) — enough for
+    [curl --unix-socket], the bundled {!Client}, and the CI chaos
+    harness, with no external dependency.
+
+    {2 Failure model}
+
+    - {e Admission control}: accepted connections enter a bounded
+      queue; when it is full the server answers [503 overloaded]
+      immediately instead of queueing unboundedly — load is shed at
+      the door, latency stays bounded, and a client can tell
+      "busy" from "broken".
+    - {e Deadlines}: each request runs under a
+      {!Kgm_resilience.Token} (from the [x-kgm-deadline] header or
+      the configured default); long scans poll it and answer
+      [504 deadline] when it trips.
+    - {e Graceful drain}: {!drain} (wired to SIGINT/SIGTERM by the
+      CLI, safe to call from a signal handler) stops admission,
+      cancels or finishes in-flight work, sheds the queue with
+      [503 draining], writes a final session snapshot and lets
+      {!run_until_drained} return — exit 0, state on disk.
+    - {e Crash recovery}: {!recover} restarts from the newest session
+      snapshot whose digest and program fingerprint check out,
+      falling back generation by generation past corrupt or foreign
+      files; {!save_session} rotates generations with
+      {!Kgm_resilience.Snapshot.gc} so the directory stays bounded
+      without ever deleting the generation recovery needs.
+    - {e Fault injection}: the ["accept"], ["request"], ["swap"] and
+      ["drain"] {!Kgm_resilience.Faults} sites let a seeded chaos run
+      prove each path: dropped connections, failing requests
+      ([500 fault injected]), epoch swaps that need their retry loop,
+      and faults during drain that are absorbed (drain {e always}
+      completes).
+
+    An epoch swap that exhausts its retries leaves the master updated
+    but the previous epoch visible; readers simply keep answering
+    against the older consistent snapshot until the next successful
+    swap publishes everything since. *)
+
+(** Update batches — the shared text format of [kgmodel serve]'s
+    [POST /update] and [kgmodel reason --update]. One fact per line;
+    [+fact.] inserts, [-fact.] retracts, a bare [fact.] inserts;
+    blank lines and [%] comments are skipped. *)
+module Batch : sig
+  type sign = [ `Ins | `Ret ]
+
+  val parse :
+    string -> (sign * (string * Kgm_vadalog.Database.fact)) list
+  (** Parse a whole batch, in line order. Raises [Kgm_error.Error]
+      ([Validate], with the 1-based line in context) on a line that is
+      not a ground fact. *)
+
+  val split :
+    (sign * (string * Kgm_vadalog.Database.fact)) list ->
+    (string * Kgm_vadalog.Database.fact) list
+    * (string * Kgm_vadalog.Database.fact) list
+  (** [(inserts, retracts)], each in batch order. *)
+end
+
+(** {1 Configuration} *)
+
+type config = {
+  sock : string;          (** Unix-domain socket path (unlinked on bind
+                              and again on drain) *)
+  workers : int;          (** request worker threads (clamped >= 1) *)
+  queue_capacity : int;   (** admission queue bound; beyond it requests
+                              are shed with [503 overloaded] *)
+  default_deadline_s : float option;
+                          (** per-request deadline when the client sends
+                              no [x-kgm-deadline] header *)
+  io_timeout_s : float;   (** socket read/write timeout — bounds a
+                              stalled client's hold on a worker *)
+  state_dir : string option;
+                          (** session snapshot directory; [None]
+                              disables persistence *)
+  keep : int;             (** snapshot generations retained (>= 1
+                              effective); see
+                              {!Kgm_resilience.Snapshot.gc} *)
+  snapshot_every : int;   (** write a session snapshot every N applied
+                              update batches (and always at drain) *)
+  debug_endpoints : bool; (** expose [POST /slow] (a cancellable sleep)
+                              — for drain/overload tests only *)
+}
+
+val default_config : sock:string -> config
+(** 4 workers, queue 64, no default deadline, 10 s IO timeout, no
+    persistence, keep 3, snapshot every batch, debug off. *)
+
+(** {1 Server lifecycle} *)
+
+type t
+
+type stats = {
+  st_epoch : int;        (** id of the currently published epoch *)
+  st_requests : int;     (** requests admitted (including failed ones) *)
+  st_shed : int;         (** connections answered [503] at admission
+                             (overloaded or draining) *)
+  st_errors : int;       (** requests that answered 4xx/5xx *)
+  st_updates : int;      (** update batches applied *)
+  st_queue_depth : int;  (** connections queued right now *)
+  st_inflight : int;     (** requests being served right now *)
+  st_faults : int;       (** injected faults absorbed by the server *)
+}
+
+val create :
+  ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
+  ?epoch:int ->
+  config -> session:Kgm_vadalog.Incremental.state -> t
+(** Wrap a chased (or recovered) session. [epoch] seeds the epoch
+    counter — pass the recovered epoch so ids keep ascending across
+    restarts. Registers [server.*] gauges on [telemetry] (sampled at
+    [/metrics] export). Does not touch the network. *)
+
+val start : t -> unit
+(** Bind the socket and spawn the acceptor and worker threads. Raises
+    [Unix.Unix_error] if the socket cannot be bound; raises
+    [Invalid_argument] if already started. *)
+
+val drain : t -> unit
+(** Request a graceful drain (idempotent, async-signal-safe: it only
+    flips an atomic flag). The drain itself is performed by
+    {!run_until_drained}. *)
+
+val draining : t -> bool
+
+val run_until_drained : t -> stats
+(** Block until {!drain} is requested, then: stop admission, unlink
+    the socket, cancel in-flight work past the grace of one request,
+    shed the queue with [503 draining], join every thread, write the
+    final session snapshot (when [state_dir] is set), and return the
+    final statistics. ["drain"]-site faults along the way are absorbed
+    and counted — drain always completes. *)
+
+val stats : t -> stats
+
+(** {1 Session persistence} *)
+
+val fingerprint : Kgm_vadalog.Rule.program list -> string
+(** Digest identifying the {e rules} of a phase pipeline (inline facts
+    are ignored: they are EDB, carried by the snapshot itself). A
+    snapshot only restores against the pipeline that produced it. *)
+
+val save_session :
+  dir:string -> keep:int -> epoch:int ->
+  Kgm_vadalog.Incremental.state -> string
+(** Snapshot the session's extensional facts (kind ["session"],
+    version 3, sequence = [epoch]) with atomic-rename and digest
+    protection, then rotate old generations ({!Kgm_resilience.Snapshot.gc}
+    with [keep]); returns the path written. The derived facts are not
+    stored — recovery re-chases, which is what makes the snapshot
+    small and the restore verifiable. *)
+
+val recover :
+  ?options:Kgm_vadalog.Engine.options ->
+  ?telemetry:Kgm_telemetry.t ->
+  ?journal:Kgm_telemetry.Journal.t ->
+  dir:string -> Kgm_vadalog.Rule.program list ->
+  (Kgm_vadalog.Incremental.state * int * string) option
+(** Walk the ["session"] snapshots in [dir] newest-first; for the
+    first one that loads (magic, kind, version and payload digest all
+    valid) {e and} matches {!fingerprint} of the given phases, rebuild
+    the EDB and re-chase the facts-stripped phases, returning
+    [(session, epoch, path)]. Rejected generations are journaled
+    ([server.recover.reject]) and skipped; [None] when no generation
+    survives. The restored materialization equals the lost one up to
+    the canonical renaming of labeled nulls
+    ({!Kgm_vadalog.Incremental.canonical_facts}); null-free
+    workloads restore bit-identically. *)
+
+(** {1 Client} *)
+
+(** A blocking HTTP/1.1-over-Unix-socket client for the CLI
+    ([kgmodel call]), the tests and the chaos harness. *)
+module Client : sig
+  val request :
+    ?deadline_s:float -> ?body:string -> sock:string ->
+    meth:string -> path:string -> unit -> int * string
+  (** One request, one connection. [deadline_s] both bounds the socket
+      IO and is forwarded as the [x-kgm-deadline] header. Returns
+      [(status, body)]. Raises [Unix.Unix_error] when the server is
+      unreachable or the IO times out. *)
+
+  val wait_ready : ?attempts:int -> ?delay_s:float -> string -> bool
+  (** Poll [GET /ready] on the socket until it answers 200 (true) or
+      the attempts run out (false) — the test/CI startup barrier. *)
+end

@@ -98,6 +98,7 @@ type t = {
   mutable closed : span list;           (* reverse completion order *)
   ctrs : (string, int ref) Hashtbl.t;
   hists : (string, Histogram.t) Hashtbl.t;
+  gauge_reg : (string, unit -> int) Hashtbl.t;
 }
 
 let make on =
@@ -107,7 +108,8 @@ let make on =
     stack = [];
     closed = [];
     ctrs = Hashtbl.create 16;
-    hists = Hashtbl.create 16 }
+    hists = Hashtbl.create 16;
+    gauge_reg = Hashtbl.create 8 }
 
 let create () = make true
 let null = make false
@@ -119,7 +121,8 @@ let reset t =
   t.stack <- [];
   t.closed <- [];
   Hashtbl.reset t.ctrs;
-  Hashtbl.reset t.hists
+  Hashtbl.reset t.hists;
+  Hashtbl.reset t.gauge_reg
 
 let push t =
   let id = t.next_id in
@@ -195,6 +198,21 @@ let counters t =
 
 let histograms t =
   Hashtbl.fold (fun k h acc -> (k, Histogram.snapshot h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Gauges are callback-registered and sampled at export time: the
+   owner (e.g. the serving loop's queue depth, current epoch) keeps
+   its state where it naturally lives — typically an [Atomic.t] — and
+   the exporter reads it instead of the owner pushing every change. *)
+let gauge t name sample = if t.on then Hashtbl.replace t.gauge_reg name sample
+
+let gauges t =
+  Hashtbl.fold
+    (fun k sample acc ->
+      match sample () with
+      | v -> (k, v) :: acc
+      | exception _ -> acc)
+    t.gauge_reg []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -332,6 +350,12 @@ let prometheus ?(namespace = "kgm") t =
       let m = Printf.sprintf "%s_%s_total" ns (sanitize_metric_name name) in
       say "# TYPE %s counter\n%s %d\n" m m v)
     (counters t);
+  (* gauges: instantaneous values sampled at export *)
+  List.iter
+    (fun (name, v) ->
+      let m = Printf.sprintf "%s_%s" ns (sanitize_metric_name name) in
+      say "# TYPE %s gauge\n%s %d\n" m m v)
+    (gauges t);
   (* histograms: cumulative le buckets over the non-empty log2 bounds *)
   List.iter
     (fun (name, (s : Histogram.snapshot)) ->

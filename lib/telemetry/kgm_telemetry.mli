@@ -116,6 +116,16 @@ val counters : t -> (string * int) list
 val histograms : t -> (string * Histogram.snapshot) list
 (** Sorted by name. *)
 
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register (or replace) a named gauge: a callback sampled at export
+    time — the owner keeps the state where it lives (e.g. an
+    [Atomic.t] queue depth) instead of pushing every change. No-op on
+    the {!null} collector. The callback must be safe to call from the
+    exporting thread; one that raises is skipped at sampling. *)
+
+val gauges : t -> (string * int) list
+(** Sampled now, sorted by name. *)
+
 (** {1 Exporters} *)
 
 val summary : t -> string
@@ -132,7 +142,8 @@ val write_chrome_trace : ?process_name:string -> string -> t -> unit
 
 val prometheus : ?namespace:string -> t -> string
 (** Prometheus text exposition (version 0.0.4) of the collector:
-    counters as [<ns>_<name>_total], histograms as cumulative
+    counters as [<ns>_<name>_total], registered gauges as
+    [<ns>_<name>] (sampled at export), histograms as cumulative
     [<ns>_<name>_seconds] bucket series ([le] upper bounds in seconds,
     from the log-2 buckets) with [_sum]/[_count], and spans aggregated
     by name into [<ns>_span_total{span=...}] /

@@ -1573,8 +1573,8 @@ let fire_candidate st env (prep : prepared) cand ~on_new =
   st.fact_trail <- [];
   env_undo env mark
 
-let eval_delta_round st pool (rules : prepared list) ~use_planner ~tok_status
-    ~retries ~current ~on_new =
+let eval_delta_round st pool (rules : prepared list) ~use_planner ~cancel
+    ~tok_status ~retries ~current ~on_new =
   (* 1. deterministic (rule, literal, chunk) work-item order; results
      are chunking-invariant (the merge sorts each (rule, literal) group
      on insertion-seq vectors), so the chunk size is free to follow the
@@ -1690,7 +1690,7 @@ let eval_delta_round st pool (rules : prepared list) ~use_planner ~tok_status
                    end
                    else
                      Kgm_resilience.Retry.with_backoff ~attempts:3
-                       ~base_s:0.0005
+                       ~base_s:0.0005 ~cancel
                        ~on_retry:(fun ~attempt exn ->
                          Atomic.incr retries;
                          (* cross-domain emit: the journal serializes *)
@@ -1814,12 +1814,14 @@ type checkpoint = {
   ck_dir : string;
   ck_every : int;   (** write a snapshot every [ck_every] completed rounds *)
   ck_label : string;
+  ck_keep : int;    (** generations retained after each write; 0 = all *)
 }
 
 let default_checkpoint_every = 8
 
-let checkpoint ?(every = default_checkpoint_every) ?(label = "chase") dir =
-  { ck_dir = dir; ck_every = max 1 every; ck_label = label }
+let checkpoint ?(every = default_checkpoint_every) ?(keep = 0)
+    ?(label = "chase") dir =
+  { ck_dir = dir; ck_every = max 1 every; ck_label = label; ck_keep = keep }
 
 (* v3: facts and deltas are stored as interned [int array]s together
    with the dictionary (p_dict); loading re-interns the dictionary into
@@ -2128,6 +2130,14 @@ let run ?(options = default_options) ?provenance ?support
                  ~version:ck_version ~path payload);
            incr cks_written;
            last_ck := Some path;
+           (* rotate right after a successful write: the newest
+              retained generation is the one we just renamed into
+              place, so a recovery always has a valid file to start
+              from *)
+           if cfg.ck_keep > 0 then
+             ignore
+               (Kgm_resilience.Snapshot.gc ~dir:cfg.ck_dir
+                  ~kind:(ck_kind cfg.ck_label) ~keep:cfg.ck_keep);
            if Journal.enabled journal then
              Journal.emit journal "checkpoint.write"
                [ ("round", J.Int !rounds);
@@ -2256,8 +2266,8 @@ let run ?(options = default_options) ?provenance ?support
                   (fun () ->
                     if options.semi_naive then
                       eval_delta_round st pool rules_here
-                        ~use_planner:options.planner ~tok_status ~retries
-                        ~current ~on_new:record
+                        ~use_planner:options.planner ~cancel ~tok_status
+                        ~retries ~current ~on_new:record
                     else
                       (* naive: full re-evaluation; recurse only while
                          new facts appear *)
@@ -2549,7 +2559,7 @@ let run_delta ?(options = default_options) ?provenance ?support
                      are unchanged — so the ablation contrast is
                      confined to [run]. *)
                   eval_delta_round st pool rules_here ~use_planner:true
-                    ~tok_status ~retries ~current ~on_new:record)
+                    ~cancel ~tok_status ~retries ~current ~on_new:record)
             with Round_aborted ->
               decr rounds;
               (match tok_status () with

@@ -97,13 +97,17 @@ type checkpoint = {
                           rounds (also on any clean limit stop) *)
   ck_label : string;  (** distinguishes concurrent chases sharing a
                           directory, e.g. materialization phases *)
+  ck_keep : int;      (** generations retained after each successful
+                          write ({!Kgm_resilience.Snapshot.gc});
+                          [0] keeps everything *)
 }
 
 val default_checkpoint_every : int
 
-val checkpoint : ?every:int -> ?label:string -> string -> checkpoint
+val checkpoint : ?every:int -> ?keep:int -> ?label:string -> string -> checkpoint
 (** [checkpoint dir] — [every] defaults to {!default_checkpoint_every}
-    (clamped to >= 1), [label] to ["chase"]. *)
+    (clamped to >= 1), [keep] to [0] (unbounded), [label] to
+    ["chase"]. *)
 
 val latest_checkpoint : ?label:string -> string -> string option
 (** Highest-round snapshot file under a checkpoint directory, if any —

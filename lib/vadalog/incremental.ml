@@ -112,6 +112,8 @@ let chase ?options ?telemetry ?journal ?(db = Database.create ()) program =
   chase_phases ?options ?telemetry ?journal ~db [ program ]
 
 let db st = st.db
+let phases st = st.phases
+let support st = st.support
 
 let edb_facts st =
   List.rev st.edb_order

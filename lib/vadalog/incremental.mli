@@ -67,6 +67,14 @@ val chase_phases :
 val db : state -> Database.t
 (** The current materialization. Re-fetch after every {!maintain}. *)
 
+val phases : state -> Rule.program list
+(** The chased pipeline, in replay order. *)
+
+val support : state -> Engine.support
+(** The live support (provenance edges) backing DRed. Replaced by a
+    fallback re-chase, so re-fetch after every {!maintain} — e.g. to
+    explain a fact against the current materialization. *)
+
 val edb_facts : state -> (string * Database.fact) list
 (** The current extensional facts, in load order. *)
 

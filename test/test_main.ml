@@ -17,6 +17,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("planner", Test_planner.suite);
       ("resilience", Test_resilience.suite);
+      ("server", Test_server.suite);
       ("observability", Test_observability.suite);
       ("metalog", Test_metalog.suite);
       ("kgmodel", Test_kgmodel.suite);

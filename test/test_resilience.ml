@@ -67,6 +67,20 @@ let test_token () =
   check Alcotest.bool "none ok" true (R.Token.status R.Token.none = `Ok);
   R.Token.check R.Token.none
 
+let test_token_remaining () =
+  check Alcotest.(option (float 0.)) "no deadline, no budget" None
+    (R.Token.remaining_s (R.Token.create ()));
+  check Alcotest.(option (float 0.)) "none token" None
+    (R.Token.remaining_s R.Token.none);
+  let t = R.Token.create ~deadline_s:5. () in
+  (match R.Token.remaining_s t with
+  | Some r -> check Alcotest.bool "within budget" true (r > 0. && r <= 5.)
+  | None -> Alcotest.fail "expected a remaining budget");
+  let d = R.Token.create ~deadline_s:0.001 () in
+  Unix.sleepf 0.01;
+  check Alcotest.(option (float 1e-9)) "expired clamps to 0" (Some 0.)
+    (R.Token.remaining_s d)
+
 (* ------------------------------------------------------------------ *)
 (* Faults: seeded determinism *)
 
@@ -156,6 +170,43 @@ let test_retry () =
          if !calls < 3 then raise (R.Fault "t") else ()));
   check Alcotest.(list int) "on_retry attempts" [ 2; 1 ] !seen
 
+let test_retry_cancel_bounds () =
+  (* a cancelled token suppresses further retries: the first failure
+     propagates after exactly one attempt *)
+  let tok = R.Token.create () in
+  R.Token.cancel tok;
+  let calls = ref 0 in
+  (match
+     R.Retry.with_backoff ~attempts:5 ~base_s:1e-4 ~cancel:tok (fun () ->
+         incr calls;
+         raise (R.Fault "t"))
+   with
+  | exception R.Fault _ -> check Alcotest.int "no retry when cancelled" 1 !calls
+  | _ -> Alcotest.fail "expected the fault to propagate");
+  (* a deadline token caps the whole loop: many nominal attempts with
+     long sleeps still return within (roughly) the request budget *)
+  let tok = R.Token.create ~deadline_s:0.05 () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     R.Retry.with_backoff ~attempts:50 ~base_s:0.04 ~max_s:0.5 ~cancel:tok
+       (fun () -> raise (R.Fault "t"))
+   with
+  | exception R.Fault _ -> ()
+  | _ -> Alcotest.fail "expected the fault to propagate");
+  check Alcotest.bool "retry loop bounded by the deadline" true
+    (Unix.gettimeofday () -. t0 < 1.0);
+  (* decorrelated jitter stays within [base, max]: 4 attempts with a
+     tiny cap cannot take long, jittered or not *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     R.Retry.with_backoff ~attempts:4 ~base_s:1e-4 ~max_s:0.01 (fun () ->
+         raise (R.Fault "t"))
+   with
+  | exception R.Fault _ -> ()
+  | _ -> Alcotest.fail "expected the fault to propagate");
+  check Alcotest.bool "delays capped at max_s" true
+    (Unix.gettimeofday () -. t0 < 0.5)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot *)
 
@@ -216,6 +267,54 @@ let test_snapshot_write_fault_leaves_previous () =
   R.Faults.reset ();
   check Alcotest.string "previous snapshot intact" "first"
     (R.Snapshot.load ~kind:"t" ~version:1 ~path)
+
+let test_snapshot_gc () =
+  let dir = fresh_dir "snapgc" in
+  let save seq =
+    R.Snapshot.save ~kind:"t" ~version:1
+      ~path:(R.Snapshot.path ~dir ~kind:"t" ~seq)
+      seq
+  in
+  List.iter save [ 1; 2; 3; 4; 5 ];
+  (* a generous keep removes nothing *)
+  check Alcotest.(list string) "keep >= n removes nothing" []
+    (R.Snapshot.gc ~dir ~kind:"t" ~keep:9);
+  let removed = R.Snapshot.gc ~dir ~kind:"t" ~keep:2 in
+  check Alcotest.int "removed the oldest three" 3 (List.length removed);
+  check Alcotest.(list int) "newest generations survive" [ 4; 5 ]
+    (List.map fst (R.Snapshot.list ~dir ~kind:"t"));
+  check Alcotest.int "survivor loads" 5
+    (R.Snapshot.load ~kind:"t" ~version:1
+       ~path:(R.Snapshot.path ~dir ~kind:"t" ~seq:5));
+  (* keep clamps to 1: the resume generation is never deleted *)
+  ignore (R.Snapshot.gc ~dir ~kind:"t" ~keep:0);
+  check Alcotest.(list int) "keep 0 still retains the newest" [ 5 ]
+    (List.map fst (R.Snapshot.list ~dir ~kind:"t"));
+  (* other kinds are untouched *)
+  R.Snapshot.save ~kind:"u" ~version:1
+    ~path:(R.Snapshot.path ~dir ~kind:"u" ~seq:1)
+    0;
+  ignore (R.Snapshot.gc ~dir ~kind:"t" ~keep:1);
+  check Alcotest.int "kind filter" 1
+    (List.length (R.Snapshot.list ~dir ~kind:"u"))
+
+let test_checkpoint_rotation () =
+  (* engine checkpoints with ~keep rotate after every write, and the
+     newest retained generation still resumes bit-for-bit *)
+  let ref_db, _ = run ~options:(options_jobs 1) tc_src in
+  let dir = fresh_dir "ckrotate" in
+  let ck = V.Engine.checkpoint ~every:1 ~keep:2 dir in
+  ignore (run ~options:(options_jobs 1) ~checkpoint:ck tc_src);
+  let snaps = R.Snapshot.list ~dir ~kind:"chase-chase" in
+  check Alcotest.int "only keep generations remain" 2 (List.length snaps);
+  let path =
+    match V.Engine.latest_checkpoint dir with
+    | Some p -> p
+    | None -> Alcotest.fail "expected a retained snapshot"
+  in
+  let db_r, _ = run ~options:(options_jobs 1) ~resume_from:path tc_src in
+  check Alcotest.bool "resume from a rotated dir is exact" true
+    (Test_parallel.canon ref_db = Test_parallel.canon db_r)
 
 (* ------------------------------------------------------------------ *)
 (* io_sources: malformed rows, strict vs lenient *)
@@ -480,8 +579,14 @@ let suite =
       test_faults_deterministic;
     Alcotest.test_case "faults: KGM_FAULTS env." `Quick test_faults_from_env;
     Alcotest.test_case "retry with backoff." `Quick test_retry;
+    Alcotest.test_case "token: remaining budget." `Quick test_token_remaining;
+    Alcotest.test_case "retry: cancel + deadline bound the loop." `Quick
+      test_retry_cancel_bounds;
     Alcotest.test_case "snapshot: round-trip + guard rails." `Quick
       test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot: generation gc." `Quick test_snapshot_gc;
+    Alcotest.test_case "checkpoint rotation keeps the resume point." `Quick
+      test_checkpoint_rotation;
     Alcotest.test_case "snapshot: atomic write under faults." `Quick
       test_snapshot_write_fault_leaves_previous;
     Alcotest.test_case "sources: strict malformed rows." `Quick

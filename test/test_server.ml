@@ -1,0 +1,424 @@
+(* Tests for the reasoning server: the shared batch parser, epoch-swap
+   query serving over a live Unix socket, overload shedding at the
+   admission queue, per-request deadlines, graceful drain under every
+   injected-fault site, and recovery-from-every-generation equivalence
+   of the session snapshots. The servers here run in-process (threads,
+   a socket in the temp dir), so the drain matrix and the fault
+   registry stay deterministic under alcotest. *)
+
+module V = Kgm_vadalog
+module R = Kgm_resilience
+module S = Kgm_server
+module Inc = Kgm_vadalog.Incremental
+
+let check = Alcotest.check
+let options = { V.Engine.default_options with V.Engine.jobs = 1 }
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun name ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kgm_server_%s_%d_%d" name (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".snap" then
+          Sys.remove (Filename.concat d f))
+      (Sys.readdir d);
+    d
+
+let fresh_sock =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kgm_srv_%d_%d.sock" (Unix.getpid ()) !ctr)
+
+(* a small recursive program on the incremental fast path (no
+   aggregation, no negation): updates repair without fallback *)
+let tc_src =
+  {| edge(a, b). edge(b, c). edge(c, d).
+     path(X, Y) :- edge(X, Y).
+     path(X, Z) :- path(X, Y), edge(Y, Z). |}
+
+let mk_session src =
+  let st, _ = Inc.chase ~options (V.Parser.parse_program src) in
+  st
+
+(* start a server around a fresh session, run [f], always drain *)
+let with_server ?(src = tc_src) ?(cfg = fun c -> c) ?journal f =
+  let session = mk_session src in
+  let sock = fresh_sock () in
+  let config = cfg (S.default_config ~sock) in
+  let srv = S.create ?journal { config with S.sock } ~session in
+  S.start srv;
+  if not (S.Client.wait_ready sock) then Alcotest.fail "server never ready";
+  let stats = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      S.drain srv;
+      stats := Some (S.run_until_drained srv))
+    (fun () -> f srv sock);
+  match !stats with Some s -> s | None -> Alcotest.fail "no final stats"
+
+let post ?deadline_s sock path body =
+  S.Client.request ?deadline_s ~body ~sock ~meth:"POST" ~path ()
+
+let get sock path = S.Client.request ~sock ~meth:"GET" ~path ()
+
+let sorted_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Batch parser *)
+
+let test_batch_parse () =
+  let batch =
+    S.Batch.parse
+      "+edge(a, b).\n\
+       -edge(b, c).\n\
+       % a comment\n\
+       \n\
+       edge(c, d)\n\
+       +p(1, 2.5, \"x\").\n"
+  in
+  let show (s, (pred, fact)) =
+    Printf.sprintf "%s%s/%d"
+      (match s with `Ins -> "+" | `Ret -> "-")
+      pred (Array.length fact)
+  in
+  check
+    Alcotest.(list string)
+    "signs, comments, optional + and ."
+    [ "+edge/2"; "-edge/2"; "+edge/2"; "+p/3" ]
+    (List.map show batch);
+  let inserts, retracts = S.Batch.split batch in
+  check Alcotest.int "inserts" 3 (List.length inserts);
+  check Alcotest.int "retracts" 1 (List.length retracts);
+  (* a rule is not a batch line, and the error locates it *)
+  (match S.Batch.parse "+edge(a, b).\np(X) :- q(X).\n" with
+  | exception Kgm_common.Kgm_error.Error e ->
+      check Alcotest.bool "validate stage" true
+        (e.Kgm_common.Kgm_error.stage = Kgm_common.Kgm_error.Validate);
+      check
+        Alcotest.(option string)
+        "line located" (Some "2")
+        (List.assoc_opt "line" e.Kgm_common.Kgm_error.context)
+  | _ -> Alcotest.fail "expected a validate error");
+  match S.Batch.parse "-not a fact" with
+  | exception Kgm_common.Kgm_error.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse rejection"
+
+(* ------------------------------------------------------------------ *)
+(* Queries against a live server *)
+
+let test_queries () =
+  let stats =
+    with_server (fun _srv sock ->
+        let code, body = get sock "/health" in
+        check Alcotest.int "health" 200 code;
+        check Alcotest.string "health body" "ok\n" body;
+        let code, _ = get sock "/ready" in
+        check Alcotest.int "ready" 200 code;
+        (* bare predicate: every fact *)
+        let code, body = post sock "/query" "edge" in
+        check Alcotest.int "pred query" 200 code;
+        check
+          Alcotest.(list string)
+          "all edges"
+          [ "edge(\"a\", \"b\")."; "edge(\"b\", \"c\")."; "edge(\"c\", \"d\")." ]
+          (sorted_lines body);
+        (* bound first position *)
+        let _, body = post sock "/query" "path(a, X)" in
+        check
+          Alcotest.(list string)
+          "pattern query"
+          [ "path(\"a\", \"b\")."; "path(\"a\", \"c\")."; "path(\"a\", \"d\")." ]
+          (sorted_lines body);
+        (* repeated variable joins within the fact *)
+        let _, body = post sock "/query" "path(X, X)" in
+        check Alcotest.(list string) "repeated var" [] (sorted_lines body);
+        (* unknown predicate: empty, not an error *)
+        let code, body = post sock "/query" "nothing(X)" in
+        check Alcotest.int "unknown pred ok" 200 code;
+        check Alcotest.string "unknown pred empty" "" body;
+        (* malformed pattern: a clean 400 *)
+        let code, _ = post sock "/query" "p(" in
+        check Alcotest.int "bad pattern" 400 code;
+        let code, _ = get sock "/nope" in
+        check Alcotest.int "unknown endpoint" 404 code;
+        (* metrics exposition includes the server gauges *)
+        let code, _ = get sock "/metrics" in
+        check Alcotest.int "metrics" 200 code)
+  in
+  check Alcotest.int "no shed" 0 stats.S.st_shed;
+  check Alcotest.bool "requests counted" true (stats.S.st_requests >= 8)
+
+let test_update_epochs () =
+  ignore
+    (with_server (fun srv sock ->
+         let _, e0 = get sock "/epoch" in
+         check Alcotest.string "initial epoch" "0\n" e0;
+         let code, body = post sock "/update" "+edge(d, e).\n-edge(a, b).\n" in
+         check Alcotest.int "update ok" 200 code;
+         check Alcotest.bool "update reports the new epoch" true
+           (String.length body >= 10 && String.sub body 0 10 = "ok epoch=1");
+         let _, e1 = get sock "/epoch" in
+         check Alcotest.string "epoch swapped" "1\n" e1;
+         (* the repaired materialization serves the new closure *)
+         let _, body = post sock "/query" "path(b, X)" in
+         check
+           Alcotest.(list string)
+           "inserted edge reaches the closure"
+           [ "path(\"b\", \"c\")."; "path(\"b\", \"d\")."; "path(\"b\", \"e\")." ]
+           (sorted_lines body);
+         let _, body = post sock "/query" "path(a, X)" in
+         check Alcotest.(list string) "retraction took" [] (sorted_lines body);
+         (* explain over the maintained support *)
+         let code, body = post sock "/explain" "path(b, d)" in
+         check Alcotest.int "explain ok" 200 code;
+         check Alcotest.bool "explain shows a derivation" true
+           (String.length body > 0
+           && not
+                (String.length body >= 5 && String.sub body 0 5 = "% not"));
+         check Alcotest.int "server stats count the update" 1
+           (S.stats srv).S.st_updates))
+
+let test_deadline () =
+  ignore
+    (with_server
+       ~cfg:(fun c -> { c with S.debug_endpoints = true })
+       (fun _srv sock ->
+         let code, body = post ~deadline_s:0.3 sock "/slow" "5" in
+         check Alcotest.int "deadline trips" 504 code;
+         check Alcotest.string "deadline body" "deadline\n" body))
+
+(* ------------------------------------------------------------------ *)
+(* Overload shedding: queue full => immediate 503, never a hang *)
+
+let test_overload_shedding () =
+  let stats =
+    with_server
+      ~cfg:(fun c ->
+        { c with S.workers = 1; queue_capacity = 1; debug_endpoints = true })
+      (fun _srv sock ->
+        let n = 6 in
+        let codes = Array.make n (-1) in
+        let fire i path body =
+          Thread.create
+            (fun () ->
+              match post ~deadline_s:10. sock path body with
+              | code, _ -> codes.(i) <- code
+              | exception Unix.Unix_error _ -> codes.(i) <- -2)
+            ()
+        in
+        (* one request occupies the single worker, one fills the queue *)
+        let t0 = fire 0 "/slow" "0.8" in
+        Thread.delay 0.25;
+        let t1 = fire 1 "/slow" "0.8" in
+        Thread.delay 0.15;
+        (* the rest arrive while worker + queue are full *)
+        let rest = List.init (n - 2) (fun i -> fire (i + 2) "/query" "edge") in
+        List.iter Thread.join (t0 :: t1 :: rest);
+        if not (Array.for_all (fun c -> c > 0) codes) then
+          Printf.eprintf "codes: %s\n%!"
+            (String.concat " "
+               (Array.to_list (Array.map string_of_int codes)));
+        check Alcotest.bool "every request got an answer (no hang)" true
+          (Array.for_all (fun c -> c > 0) codes);
+        check Alcotest.int "the in-flight slow request finished" 200 codes.(0);
+        let shed =
+          Array.fold_left (fun k c -> if c = 503 then k + 1 else k) 0 codes
+        in
+        check Alcotest.bool "at least one request was shed with 503" true
+          (shed >= 1))
+  in
+  check Alcotest.bool "shed counted by the server" true (stats.S.st_shed >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Drain under faults: SIGTERM x in-flight request x KGM_FAULTS site.
+   Whatever the armed site, drain must complete, cancel or finish the
+   in-flight request, and leave a recoverable final snapshot. *)
+
+let drain_under_fault site_spec =
+  let name = match site_spec with None -> "none" | Some s -> s in
+  let dir = fresh_dir ("drain_" ^ name) in
+  R.Faults.reset ();
+  (match site_spec with
+  | Some spec -> R.Faults.configure spec
+  | None -> ());
+  let session = mk_session tc_src in
+  let sock = fresh_sock () in
+  let cfg =
+    { (S.default_config ~sock) with
+      S.state_dir = Some dir;
+      debug_endpoints = true;
+      workers = 2 }
+  in
+  let srv = S.create cfg ~session in
+  S.start srv;
+  if not (S.Client.wait_ready sock) then Alcotest.fail (name ^ ": never ready");
+  (* an update exercises the swap site (a swap that exhausts its
+     retries answers 500 and must not wedge the server) *)
+  let _ = post sock "/update" "+edge(d, e).\n" in
+  (* park an in-flight request, then drain out from under it *)
+  let inflight_code = ref (-1) in
+  let th =
+    Thread.create
+      (fun () ->
+        match post ~deadline_s:20. sock "/slow" "20" with
+        | code, _ -> inflight_code := code
+        | exception Unix.Unix_error _ -> inflight_code := -2)
+      ()
+  in
+  Thread.delay 0.3;
+  S.drain srv;
+  let t0 = Unix.gettimeofday () in
+  let stats = S.run_until_drained srv in
+  let drain_s = Unix.gettimeofday () -. t0 in
+  Thread.join th;
+  R.Faults.reset ();
+  check Alcotest.bool (name ^ ": drain is prompt, not a 20s wait") true
+    (drain_s < 5.);
+  check Alcotest.bool (name ^ ": in-flight request was answered") true
+    (!inflight_code > 0);
+  check Alcotest.bool (name ^ ": socket removed") false (Sys.file_exists sock);
+  (* the final snapshot recovers (faults now disarmed) *)
+  (match S.recover ~options ~dir [ V.Parser.parse_program tc_src ] with
+  | Some (st, _epoch, _path) ->
+      check Alcotest.bool (name ^ ": recovered state serves facts") true
+        (V.Database.total (Inc.db st) > 0)
+  | None ->
+      (* only acceptable when the armed site defeated every write
+         (checkpoint_write is retried, so plain drain faults cannot) *)
+      if site_spec = None then
+        Alcotest.fail (name ^ ": expected a recoverable snapshot"));
+  ignore stats
+
+let test_drain_matrix () =
+  List.iter drain_under_fault
+    [ None;
+      Some "drain:1.0,seed=7";
+      Some "swap:1.0,seed=7";
+      Some "request:0.3,seed=7";
+      Some "accept:0.2,seed=7" ]
+
+(* ------------------------------------------------------------------ *)
+(* Session snapshots: recovery from every generation *)
+
+let canon st = Inc.canonical_facts (Inc.db st)
+
+let test_recover_every_generation () =
+  let dir = fresh_dir "gens" in
+  let program = V.Parser.parse_program tc_src in
+  let session = mk_session tc_src in
+  let expected = Hashtbl.create 4 in
+  ignore (S.save_session ~dir ~keep:10 ~epoch:0 session);
+  Hashtbl.replace expected 0 (canon session);
+  let batches =
+    [ (1, "+edge(d, e).\n"); (2, "+edge(e, a).\n"); (3, "-edge(a, b).\n") ]
+  in
+  List.iter
+    (fun (epoch, batch) ->
+      let inserts, retracts = S.Batch.split (S.Batch.parse batch) in
+      ignore (Inc.maintain session ~inserts ~retracts);
+      ignore (S.save_session ~dir ~keep:10 ~epoch session);
+      Hashtbl.replace expected epoch (canon session))
+    batches;
+  check Alcotest.int "four generations on disk" 4
+    (List.length (R.Snapshot.list ~dir ~kind:"session"));
+  (* each generation, restored in isolation, re-chases to exactly the
+     materialization it snapshotted *)
+  List.iter
+    (fun epoch ->
+      let gen_dir = fresh_dir (Printf.sprintf "gen_%d" epoch) in
+      let src = R.Snapshot.path ~dir ~kind:"session" ~seq:epoch in
+      let dst = R.Snapshot.path ~dir:gen_dir ~kind:"session" ~seq:epoch in
+      let ic = open_in_bin src in
+      let oc = open_out_bin dst in
+      output_string oc (really_input_string ic (in_channel_length ic));
+      close_in ic;
+      close_out oc;
+      match S.recover ~options ~dir:gen_dir [ program ] with
+      | Some (st, ep, _path) ->
+          check Alcotest.int
+            (Printf.sprintf "generation %d: epoch restored" epoch)
+            epoch ep;
+          check Alcotest.bool
+            (Printf.sprintf "generation %d: equivalent materialization" epoch)
+            true
+            (canon st = Hashtbl.find expected epoch)
+      | None ->
+          Alcotest.fail (Printf.sprintf "generation %d did not recover" epoch))
+    [ 0; 1; 2; 3 ];
+  (* a corrupted newest generation falls back to the previous one *)
+  let newest = R.Snapshot.path ~dir ~kind:"session" ~seq:3 in
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 newest in
+  seek_out oc (in_channel_length (open_in_bin newest) - 1);
+  output_string oc "X";
+  close_out oc;
+  (match S.recover ~options ~dir [ program ] with
+  | Some (st, ep, _path) ->
+      check Alcotest.int "fell back to generation 2" 2 ep;
+      check Alcotest.bool "fallback materialization equivalent" true
+        (canon st = Hashtbl.find expected 2)
+  | None -> Alcotest.fail "expected the fallback generation to recover");
+  (* a different program's rules reject every generation *)
+  check Alcotest.bool "foreign program recovers nothing" true
+    (S.recover ~options ~dir
+       [ V.Parser.parse_program "p(X) :- q(X). q(1)." ]
+    = None)
+
+let test_save_session_rotates () =
+  let dir = fresh_dir "rotate" in
+  let session = mk_session tc_src in
+  for epoch = 0 to 5 do
+    ignore (S.save_session ~dir ~keep:2 ~epoch session)
+  done;
+  check Alcotest.(list int) "only the newest two generations" [ 4; 5 ]
+    (List.map fst (R.Snapshot.list ~dir ~kind:"session"))
+
+(* retracting an inline program fact must not resurrect on recovery:
+   the restore chases facts-stripped phases *)
+let test_recover_respects_retracted_program_facts () =
+  let dir = fresh_dir "retract" in
+  let program = V.Parser.parse_program tc_src in
+  let session = mk_session tc_src in
+  let inserts, retracts = S.Batch.split (S.Batch.parse "-edge(a, b).\n") in
+  ignore (Inc.maintain session ~inserts ~retracts);
+  ignore (S.save_session ~dir ~keep:3 ~epoch:1 session);
+  match S.recover ~options ~dir [ program ] with
+  | Some (st, _, _) ->
+      check Alcotest.bool "retracted inline fact stays retracted" false
+        (V.Database.mem (Inc.db st) "edge"
+           [| Kgm_common.Value.String "a"; Kgm_common.Value.String "b" |]);
+      check Alcotest.bool "equivalent to the maintained session" true
+        (canon st = canon session)
+  | None -> Alcotest.fail "expected recovery"
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "batch: parse + split + errors." `Quick
+      test_batch_parse;
+    Alcotest.test_case "queries over a live socket." `Quick test_queries;
+    Alcotest.test_case "updates swap epochs." `Quick test_update_epochs;
+    Alcotest.test_case "per-request deadlines answer 504." `Quick
+      test_deadline;
+    Alcotest.test_case "overload sheds with 503, never hangs." `Quick
+      test_overload_shedding;
+    Alcotest.test_case "drain matrix: SIGTERM x in-flight x faults." `Quick
+      test_drain_matrix;
+    Alcotest.test_case "recovery from every generation." `Quick
+      test_recover_every_generation;
+    Alcotest.test_case "session snapshots rotate." `Quick
+      test_save_session_rotates;
+    Alcotest.test_case "recovery respects retracted program facts." `Quick
+      test_recover_respects_retracted_program_facts ]
