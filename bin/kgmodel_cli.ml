@@ -651,6 +651,18 @@ let serve_cmd =
                    with the x-kgm-deadline header. Requests past it \
                    answer 504.")
   in
+  let idle_timeout =
+    Arg.(value & opt float 5.
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Close a keep-alive connection after $(docv) with no \
+                   request in flight.")
+  in
+  let max_requests =
+    Arg.(value & opt int 10_000
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Requests served on one connection before the server \
+                   answers connection: close.")
+  in
   let debug_endpoints =
     Arg.(value & flag
          & info [ "debug-endpoints" ]
@@ -658,8 +670,8 @@ let serve_cmd =
                    and overload testing only.")
   in
   let run file sock state_dir workers queue keep snapshot_every
-      request_deadline debug_endpoints jobs trace metrics journal
-      metrics_out =
+      request_deadline idle_timeout max_requests debug_endpoints jobs trace
+      metrics journal metrics_out =
     handle (fun () ->
         with_observability ~trace ~metrics ~journal ~metrics_out
           ~progress:false ~deadline:None
@@ -701,6 +713,8 @@ let serve_cmd =
         let cfg =
           { Kgm_server.sock; workers; queue_capacity = queue;
             default_deadline_s = request_deadline; io_timeout_s = 10.;
+            idle_timeout_s = idle_timeout;
+            max_requests_per_conn = max_requests;
             state_dir; keep; snapshot_every; debug_endpoints }
         in
         let srv =
@@ -732,8 +746,9 @@ let serve_cmd =
              update batches, graceful drain on SIGINT/SIGTERM, crash \
              recovery from --state-dir.")
     Term.(const run $ file $ sock $ state_dir $ workers $ queue $ keep
-          $ snapshot_every $ request_deadline $ debug_endpoints $ jobs_arg
-          $ trace_arg $ metrics_arg $ journal_arg $ metrics_out_arg)
+          $ snapshot_every $ request_deadline $ idle_timeout $ max_requests
+          $ debug_endpoints $ jobs_arg $ trace_arg $ metrics_arg
+          $ journal_arg $ metrics_out_arg)
 
 let call_cmd =
   let sock =
@@ -764,7 +779,26 @@ let call_cmd =
              ~doc:"Request body (a query pattern, a fact, or an update \
                    batch); - reads stdin.")
   in
-  let run sock meth deadline path body =
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"Send the request $(docv) times per client (over one \
+                   kept-alive connection unless --close-per-request) and \
+                   report req/s and p50/p99 latency on stderr.")
+  in
+  let concurrency =
+    Arg.(value & opt int 1
+         & info [ "concurrency" ] ~docv:"C"
+             ~doc:"Closed-loop client threads, each with its own \
+                   connection, each sending --repeat requests.")
+  in
+  let close_per_request =
+    Arg.(value & flag
+         & info [ "close-per-request" ]
+             ~doc:"Open a fresh connection per request (the PR-8 \
+                   protocol) — the keep-alive speedup baseline.")
+  in
+  let run sock meth deadline path body repeat concurrency close_per_request =
     handle (fun () ->
         let body =
           match body with
@@ -776,25 +810,130 @@ let call_cmd =
           | Some m -> String.uppercase_ascii m
           | None -> if body = None then "GET" else "POST"
         in
-        match
-          Kgm_server.Client.request ?deadline_s:deadline ?body ~sock ~meth
-            ~path ()
-        with
-        | code, b ->
-            print_string b;
-            if code >= 400 then begin
-              Format.eprintf "error: HTTP %d@." code;
+        if repeat <= 1 && concurrency <= 1 && not close_per_request then
+          match
+            Kgm_server.Client.request ?deadline_s:deadline ?body ~sock ~meth
+              ~path ()
+          with
+          | code, b ->
+              print_string b;
+              if code >= 400 then begin
+                Format.eprintf "error: HTTP %d@." code;
+                exit 1
+              end
+          | exception Unix.Unix_error (e, _, _) ->
+              Format.eprintf "error: %s: %s@." sock (Unix.error_message e);
               exit 1
-            end
-        | exception Unix.Unix_error (e, _, _) ->
-            Format.eprintf "error: %s: %s@." sock (Unix.error_message e);
-            exit 1)
+        else begin
+          (* closed-loop load: C client threads, R requests each. Every
+             answer must be identical — the epochs-are-immutable
+             consistency check rides along with the throughput number. *)
+          let repeat = max 1 repeat and concurrency = max 1 concurrency in
+          Kgm_server.tune_runtime_for_serving ();
+          let errors = Atomic.make 0 in
+          let results = Array.make concurrency (None, [||]) in
+          let one_client i () =
+            try
+              let lats = Array.make repeat 0. in
+              let first = ref None in
+              let note code b =
+                if code >= 400 then Atomic.incr errors
+                else
+                  match !first with
+                  | None -> first := Some b
+                  | Some f -> if not (String.equal f b) then Atomic.incr errors
+              in
+              if close_per_request then
+                for k = 0 to repeat - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  (match
+                     Kgm_server.Client.request ?deadline_s:deadline ?body ~sock
+                       ~meth ~path ()
+                   with
+                  | code, b -> note code b
+                  | exception (Unix.Unix_error _ | Failure _) ->
+                      Atomic.incr errors);
+                  lats.(k) <- Unix.gettimeofday () -. t0
+                done
+              else begin
+                let conn = ref (Kgm_server.Client.connect sock) in
+                for k = 0 to repeat - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  (match
+                     Kgm_server.Client.request_on ?deadline_s:deadline ?body
+                       !conn ~meth ~path ()
+                   with
+                  | code, b -> note code b
+                  | exception (Unix.Unix_error _ | Failure _) -> (
+                      (* the server may close on its request cap or an
+                         idle gap — reconnect once before counting an
+                         error *)
+                      Kgm_server.Client.close !conn;
+                      match
+                        conn := Kgm_server.Client.connect sock;
+                        Kgm_server.Client.request_on ?deadline_s:deadline ?body
+                          !conn ~meth ~path ()
+                      with
+                      | code, b -> note code b
+                      | exception (Unix.Unix_error _ | Failure _) ->
+                          Atomic.incr errors));
+                  lats.(k) <- Unix.gettimeofday () -. t0
+                done;
+                Kgm_server.Client.close !conn
+              end;
+              results.(i) <- (!first, lats)
+            with Unix.Unix_error _ | Failure _ ->
+              (* a client that cannot even connect must fail the run,
+                 not vanish leaving rosy stats behind *)
+              Atomic.incr errors
+          in
+          let t0 = Unix.gettimeofday () in
+          let threads =
+            List.init concurrency (fun i -> Thread.create (one_client i) ())
+          in
+          List.iter Thread.join threads;
+          let wall = Unix.gettimeofday () -. t0 in
+          let bodies = Array.to_list results |> List.filter_map fst in
+          (match bodies with
+          | b0 :: rest ->
+              print_string b0;
+              if not (List.for_all (String.equal b0) rest) then begin
+                Format.eprintf "error: clients observed different answers@.";
+                Atomic.incr errors
+              end
+          | [] -> ());
+          let lats =
+            Array.concat (Array.to_list (Array.map snd results))
+          in
+          Array.sort Float.compare lats;
+          let pct p =
+            let n = Array.length lats in
+            if n = 0 then 0.
+            else
+              lats.(max 0 (min (n - 1)
+                             (int_of_float
+                                (Float.round (p /. 100. *. float (n - 1))))))
+          in
+          let total = repeat * concurrency in
+          Format.eprintf
+            "%% %d requests, %d clients%s: %.1f req/s, p50 %.3f ms, p99 \
+             %.3f ms, %d errors@."
+            total concurrency
+            (if close_per_request then ", close-per-request" else ", keep-alive")
+            (float total /. Float.max 1e-9 wall)
+            (pct 50. *. 1e3) (pct 99. *. 1e3) (Atomic.get errors);
+          if Atomic.get errors > 0 then exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "call"
        ~doc:"Send one request to a running $(b,kgmodel serve) and print \
-             the response body (exit 1 on an HTTP error).")
-    Term.(const run $ sock $ meth $ deadline $ path $ body)
+             the response body (exit 1 on an HTTP error). With \
+             $(b,--repeat)/$(b,--concurrency) it becomes a closed-loop \
+             load generator: identical-answer checking, req/s and \
+             p50/p99 on stderr.")
+    Term.(const run $ sock $ meth $ deadline $ path $ body $ repeat
+          $ concurrency $ close_per_request)
 
 let stats_cmd =
   let n =

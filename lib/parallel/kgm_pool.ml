@@ -194,3 +194,76 @@ let chunk_size_for pool ~len =
   (* about four chunks per worker: enough slack for load balancing,
      few enough that per-chunk overhead stays negligible *)
   max 1 ((len + (4 * pool.size) - 1) / (4 * pool.size))
+
+(* ------------------------------------------------------------------ *)
+
+(* A service pool is the long-running sibling of {!run}: instead of a
+   batch with ordered results, items stream in through {!Service.submit}
+   and are consumed by dedicated worker domains for their side effects
+   (the reasoning server feeds accepted connections through one). No
+   ordering or result contract — a service is a sink. A handler that
+   raises does not kill its domain: the exception goes to [on_error]
+   (default: swallowed) and the worker moves on. *)
+module Service = struct
+  type 'a t = {
+    queue : 'a Queue.t;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+    on_error : exn -> unit;
+    handler : 'a -> unit;
+  }
+
+  let rec worker svc =
+    Mutex.lock svc.mutex;
+    while Queue.is_empty svc.queue && not svc.stop do
+      Condition.wait svc.nonempty svc.mutex
+    done;
+    if Queue.is_empty svc.queue then Mutex.unlock svc.mutex (* stopping *)
+    else begin
+      let item = Queue.pop svc.queue in
+      Mutex.unlock svc.mutex;
+      (try svc.handler item with e -> (try svc.on_error e with _ -> ()));
+      worker svc
+    end
+
+  let create ~domains ?(on_error = fun _ -> ()) handler =
+    let svc =
+      { queue = Queue.create (); mutex = Mutex.create ();
+        nonempty = Condition.create (); stop = false; domains = [];
+        on_error; handler }
+    in
+    svc.domains <-
+      List.init (max 1 domains) (fun _ -> Domain.spawn (fun () -> worker svc));
+    svc
+
+  let submit svc item =
+    Mutex.lock svc.mutex;
+    let admitted = not svc.stop in
+    if admitted then begin
+      Queue.push item svc.queue;
+      Condition.signal svc.nonempty
+    end;
+    Mutex.unlock svc.mutex;
+    admitted
+
+  let pending svc =
+    Mutex.lock svc.mutex;
+    let n = Queue.length svc.queue in
+    Mutex.unlock svc.mutex;
+    n
+
+  (* stop admission, reclaim whatever was still queued, and join the
+     workers (each finishes the item it is processing first) *)
+  let shutdown svc =
+    Mutex.lock svc.mutex;
+    svc.stop <- true;
+    let leftover = List.of_seq (Queue.to_seq svc.queue) in
+    Queue.clear svc.queue;
+    Condition.broadcast svc.nonempty;
+    Mutex.unlock svc.mutex;
+    List.iter Domain.join svc.domains;
+    svc.domains <- [];
+    leftover
+end

@@ -54,3 +54,41 @@ val parallel_chunks : pool -> 'a array -> chunk_size:int -> ('a array -> 'b) -> 
 val chunk_size_for : pool -> len:int -> int
 (** A reasonable chunk size for [len] work items on this pool (about
     four chunks per worker). *)
+
+(** A fixed-size pool of {e dedicated} worker domains consuming a
+    stream of items for their side effects — the long-running sibling
+    of {!run}. Where {!run} is a batch with submission-ordered results,
+    a service is a sink: items enter through {!Service.submit} in any
+    order, are handled concurrently, and produce no result. The
+    reasoning server layers its request readers on one (each request
+    answers against an immutable epoch snapshot, so the handlers need
+    no shared locks).
+
+    A handler that raises does not kill its domain: the exception is
+    passed to [on_error] (swallowed by default) and the worker moves
+    on. Every domain is spawned at {!Service.create} and joined at
+    {!Service.shutdown}; unlike {!run} the caller's domain never helps,
+    so a service of [n] domains really owns [n]. *)
+module Service : sig
+  type 'a t
+
+  val create :
+    domains:int -> ?on_error:(exn -> unit) -> ('a -> unit) -> 'a t
+  (** [create ~domains handler] spawns [max 1 domains] worker domains,
+      each looping [handler] over submitted items. *)
+
+  val submit : 'a t -> 'a -> bool
+  (** Enqueue an item; [false] after {!shutdown} began (the item was
+      {e not} enqueued — the caller still owns it). The queue is
+      unbounded: admission control is the caller's policy, via
+      {!pending}. *)
+
+  val pending : 'a t -> int
+  (** Items queued and not yet picked up by a worker (excludes items
+      currently being handled). *)
+
+  val shutdown : 'a t -> 'a list
+  (** Stop admission, join every worker (each finishes the item it is
+      handling), and return the items never picked up — the caller
+      decides their fate (the server sheds them with [503]). *)
+end

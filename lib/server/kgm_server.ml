@@ -6,17 +6,23 @@
    against it — no reader ever blocks on a writer, and every response
    is stamped with the epoch id it was computed from. The wire
    protocol is a hand-rolled HTTP/1.1 subset over a Unix-domain
-   socket: one request per connection, Connection: close — enough for
-   curl, the bundled Client and the chaos harness, with no external
-   dependency.
+   socket — persistent connections with pipelining (bytes read past
+   one request's content-length carry over into the next), a
+   per-connection idle timeout and request cap, `connection: close`
+   only on demand, cap, or drain — enough for curl, the bundled
+   Client and the chaos harness, with no external dependency.
 
    Threading: one acceptor thread (select with a short timeout so it
-   notices the drain flag), N worker threads behind a bounded
-   admission queue, and the caller's thread parked in
-   run_until_drained acting as the drain coordinator. The telemetry
-   collector is not thread-safe, so every collector mutation and
-   export happens under [writer_mu]; worker-thread statistics live in
-   Atomics sampled by registered gauges at export time. *)
+   notices the drain flag) feeding a pool of N reader *domains*
+   (Kgm_pool.Service) behind a bounded admission gate — readers answer
+   against immutable frozen epochs, so they parallelize without locks
+   (systhreads would serialize on the runtime lock). A small shed
+   thread owns every 503-at-the-door write so a slow or dead client
+   can never stall the acceptor. The caller's thread parks in
+   run_until_drained as the drain coordinator. The telemetry collector
+   is not thread-safe, so every collector mutation and export happens
+   under [writer_mu]; per-domain statistics live in Atomics sampled by
+   registered gauges at export time. *)
 
 module R = Kgm_vadalog.Rule
 module DB = Kgm_vadalog.Database
@@ -203,16 +209,27 @@ let reason_of = function
   | 504 -> "Gateway Timeout"
   | _ -> "Status"
 
-let write_response fd status extra body =
+(* assembled with plain Buffer pushes — this runs once per request,
+   and interpreted Printf formats are measurable at six figures of
+   requests per second *)
+let write_response ?(keep_alive = false) fd status extra body =
   let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b "HTTP/1.1 ";
+  Buffer.add_string b (string_of_int status);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (reason_of status);
+  Buffer.add_string b "\r\ncontent-type: text/plain; charset=utf-8\r\n";
+  Buffer.add_string b "content-length: ";
+  Buffer.add_string b (string_of_int (String.length body));
   Buffer.add_string b
-    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_of status));
-  Buffer.add_string b "content-type: text/plain; charset=utf-8\r\n";
-  Buffer.add_string b
-    (Printf.sprintf "content-length: %d\r\n" (String.length body));
-  Buffer.add_string b "connection: close\r\n";
+    (if keep_alive then "\r\nconnection: keep-alive\r\n"
+     else "\r\nconnection: close\r\n");
   List.iter
-    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_string b ": ";
+      Buffer.add_string b v;
+      Buffer.add_string b "\r\n")
     extra;
   Buffer.add_string b "\r\n";
   Buffer.add_string b body;
@@ -222,79 +239,144 @@ let write_response fd status extra body =
 let max_head = 65536
 let max_body = 8_000_000
 
-let read_request fd =
-  let buf = Buffer.create 512 in
-  let chunk = Bytes.create 4096 in
-  let rec fill () =
-    match find_sub (Buffer.contents buf) "\r\n\r\n" 0 with
-    | Some i -> Ok i
-    | None ->
-        if Buffer.length buf > max_head then Error "request head too large"
-        else begin
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 -> Error "connection closed mid-request"
-          | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              fill ()
-          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-              Error "read timeout"
-          | exception Unix.Unix_error (e, _, _) ->
-              Error (Unix.error_message e)
-        end
+let parse_head_lines head =
+  match String.split_on_char '\r' head |> List.map String.trim with
+  | [] -> None
+  | first :: rest ->
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  ))
+          rest
+      in
+      Some (first, headers)
+
+(* Per-connection read state: [pending] carries the bytes already read
+   past the previous request's content-length — the pipelined
+   successor the old one-request reader would have silently eaten —
+   and [served] counts requests toward the per-connection cap. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_pending : string;
+  mutable c_served : int;
+  c_chunk : Bytes.t;   (* read scratch, reused across requests *)
+  c_buf : Buffer.t;    (* request accumulator, reused across requests *)
+}
+
+let make_conn fd =
+  {
+    c_fd = fd;
+    c_pending = "";
+    c_served = 0;
+    c_chunk = Bytes.create 8192;
+    c_buf = Buffer.create 512;
+  }
+
+(* Read one request off a persistent connection.
+
+   [`Close] is the clean end of the connection (peer EOF between
+   requests, idle timeout, or a drain request while waiting for new
+   bytes); [`Err] is a protocol or transport failure worth a [400]
+   before closing. Between requests the wait for the first byte is a
+   short-tick select bounded by [idle_s], polled against [draining] so
+   an idle keep-alive connection never delays a drain; once a request
+   has started arriving, reads run under the socket's SO_RCVTIMEO
+   ([io_timeout_s]), so a slowloris half-request times out as an
+   error rather than holding a reader forever. Bytes past this
+   request's content-length stay in [c_pending] for the next call. *)
+let read_request ~idle_s ~draining conn =
+  let chunk = conn.c_chunk in
+  let buf = conn.c_buf in
+  Buffer.clear buf;
+  Buffer.add_string buf conn.c_pending;
+  conn.c_pending <- "";
+  let recv () =
+    match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> `Data (Bytes.sub_string chunk 0 n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
+    | exception Unix.Unix_error (e, _, _) -> `Fail (Unix.error_message e)
   in
-  match fill () with
-  | Error _ as e -> e
-  | Ok head_end -> (
-      let all = Buffer.contents buf in
-      let head = String.sub all 0 head_end in
-      match String.split_on_char '\r' head |> List.map String.trim with
-      | [] -> Error "empty request"
-      | first :: rest -> (
-          let headers =
-            List.filter_map
-              (fun line ->
-                match String.index_opt line ':' with
-                | None -> None
-                | Some i ->
-                    Some
-                      ( String.lowercase_ascii (String.sub line 0 i),
-                        String.trim
-                          (String.sub line (i + 1)
-                             (String.length line - i - 1)) ))
-              rest
+  let rec await_first budget =
+    if draining () then `Close
+    else if budget <= 0. then `Close (* idle timeout *)
+    else
+      let tick = Float.min 0.05 budget in
+      match Unix.select [ conn.c_fd ] [] [] tick with
+      | [], _, _ -> await_first (budget -. tick)
+      | _ -> `Ready
+      | exception Unix.Unix_error (EINTR, _, _) -> await_first budget
+  in
+  let rec read_head started =
+    let all = Buffer.contents buf in
+    match find_sub all "\r\n\r\n" 0 with
+    | Some head_end -> read_body head_end
+    | None ->
+        if Buffer.length buf > max_head then `Err "request head too large"
+        else if not started then
+          match await_first idle_s with
+          | `Close -> `Close
+          | `Ready -> (
+              match recv () with
+              | `Eof -> `Close (* clean close between requests *)
+              | `Data s ->
+                  Buffer.add_string buf s;
+                  read_head true
+              | `Timeout -> `Close
+              | `Fail m -> `Err m)
+        else begin
+          match recv () with
+          | `Eof -> `Err "connection closed mid-request"
+          | `Data s ->
+              Buffer.add_string buf s;
+              read_head true
+          | `Timeout -> `Err "read timeout"
+          | `Fail m -> `Err m
+        end
+  and read_body head_end =
+    match parse_head_lines (String.sub (Buffer.contents buf) 0 head_end) with
+    | None -> `Err "empty request"
+    | Some (first, headers) -> (
+        let clen =
+          match List.assoc_opt "content-length" headers with
+          | Some v -> (
+              match int_of_string_opt v with Some n -> n | None -> -1)
+          | None -> 0
+        in
+        if clen < 0 || clen > max_body then `Err "bad content-length"
+        else
+          let total = head_end + 4 + clen in
+          let rec fill () =
+            if Buffer.length buf >= total then begin
+              let all = Buffer.contents buf in
+              (* leftover bytes past content-length are the pipelined
+                 next request — carry, don't truncate *)
+              conn.c_pending <-
+                String.sub all total (String.length all - total);
+              let body = String.sub all (head_end + 4) clen in
+              match String.split_on_char ' ' first with
+              | meth :: path :: _ -> `Req { meth; path; headers; body }
+              | _ -> `Err "malformed request line"
+            end
+            else
+              match recv () with
+              | `Eof -> `Err "connection closed mid-body"
+              | `Data s ->
+                  Buffer.add_string buf s;
+                  fill ()
+              | `Timeout -> `Err "read timeout"
+              | `Fail m -> `Err m
           in
-          let clen =
-            match List.assoc_opt "content-length" headers with
-            | Some v -> ( match int_of_string_opt v with Some n -> n | None -> -1)
-            | None -> 0
-          in
-          if clen < 0 || clen > max_body then Error "bad content-length"
-          else
-            let body = Buffer.create clen in
-            Buffer.add_string body
-              (String.sub all (head_end + 4)
-                 (String.length all - head_end - 4));
-            let rec drain_body () =
-              if Buffer.length body >= clen then
-                Ok (String.sub (Buffer.contents body) 0 clen)
-              else
-                match Unix.read fd chunk 0 (Bytes.length chunk) with
-                | 0 -> Error "connection closed mid-body"
-                | n ->
-                    Buffer.add_subbytes body chunk 0 n;
-                    drain_body ()
-                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-                    Error "read timeout"
-                | exception Unix.Unix_error (e, _, _) ->
-                    Error (Unix.error_message e)
-            in
-            match drain_body () with
-            | Error _ as e -> e
-            | Ok body -> (
-                match String.split_on_char ' ' first with
-                | meth :: path :: _ ->
-                    Ok { meth; path; headers; body }
-                | _ -> Error "malformed request line")))
+          fill ())
+  in
+  read_head (Buffer.length buf > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Pattern queries                                                     *)
@@ -334,22 +416,28 @@ let parse_query body =
           [ ("pattern", s) ]
           "query: expected a single atom"
 
-let fact_line pred fact =
-  Printf.sprintf "%s(%s)." pred
-    (String.concat ", "
-       (Array.to_list (Array.map Kgm_common.Value.to_string fact)))
+(* one answer line, pushed straight into the response buffer — this
+   is the per-fact inner loop of every query *)
+let add_fact_line buf pred fact =
+  Buffer.add_string buf pred;
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Kgm_common.Value.to_string v))
+    fact;
+  Buffer.add_string buf ").\n"
 
 (* poll the deadline/drain tokens every so many facts so a scan over a
    large predicate cannot outlive its budget *)
 let poll_every = 2048
 
-let eval_query ~poll db q buf =
+let eval_query ~poll ?register ?cache db q buf =
   let n = ref 0 in
   let seen = ref 0 in
   let emit pred fact =
     incr n;
-    Buffer.add_string buf (fact_line pred fact);
-    Buffer.add_char buf '\n'
+    add_fact_line buf pred fact
   in
   (match q with
   | Q_pred pred ->
@@ -398,8 +486,19 @@ let eval_query ~poll db q buf =
                   rest)
           var_groups
       in
+      (* remember the probe pattern so the next epoch publish prepares
+         its index up front; within this epoch the side-car cache turns
+         the repeated frozen-store linear scan into one build *)
+      (match register with
+      | Some f when positions <> [] -> f atom.R.pred positions
+      | _ -> ());
+      let iter =
+        match cache with
+        | Some c -> DB.iter_matches_cached c db
+        | None -> DB.iter_matches db
+      in
       ignore
-        (DB.iter_matches db atom.R.pred positions key (fun _seq fact ->
+        (iter atom.R.pred positions key (fun _seq fact ->
              incr seen;
              if !seen land (poll_every - 1) = 0 then poll ();
              if Array.length fact = arity && joins_ok fact then
@@ -415,6 +514,8 @@ type config = {
   queue_capacity : int;
   default_deadline_s : float option;
   io_timeout_s : float;
+  idle_timeout_s : float;
+  max_requests_per_conn : int;
   state_dir : string option;
   keep : int;
   snapshot_every : int;
@@ -427,16 +528,23 @@ let default_config ~sock =
     queue_capacity = 64;
     default_deadline_s = None;
     io_timeout_s = 10.;
+    idle_timeout_s = 5.;
+    max_requests_per_conn = 10_000;
     state_dir = None;
     keep = 3;
     snapshot_every = 1;
     debug_endpoints = false }
 
-type epoch = { ep_id : int; ep_db : DB.t }
+(* an epoch pairs the frozen snapshot with its side-car index cache:
+   patterns first seen at query time (after the publish-time
+   preparation) are built once per epoch instead of linear-scanned per
+   request *)
+type epoch = { ep_id : int; ep_db : DB.t; ep_cache : DB.index_cache }
 
 type stats = {
   st_epoch : int;
   st_requests : int;
+  st_conns : int;
   st_shed : int;
   st_errors : int;
   st_updates : int;
@@ -444,6 +552,11 @@ type stats = {
   st_inflight : int;
   st_faults : int;
 }
+
+(* bound on the publish-time pattern registry, so an adversarial query
+   stream cannot make every epoch copy arbitrarily expensive (patterns
+   past the cap still get the per-epoch cache) *)
+let max_registered_patterns = 512
 
 type t = {
   cfg : config;
@@ -453,19 +566,25 @@ type t = {
   epoch : epoch Atomic.t;
   mutable epoch_ctr : int;  (* under writer_mu *)
   writer_mu : Mutex.t;
-  q : Unix.file_descr Queue.t;
-  q_mu : Mutex.t;
-  q_cond : Condition.t;
-  mutable worker_threads : Thread.t list;
+  patterns_mu : Mutex.t;
+  patterns : (string * int list, unit) Hashtbl.t;  (* query surface *)
+  qp_mu : Mutex.t;
+  qp_cache : (string, query) Hashtbl.t;  (* query text -> parsed *)
+  mutable pool : Unix.file_descr Kgm_pool.Service.t option;
+  shed_q : (Unix.file_descr * string) Queue.t;
+  shed_mu : Mutex.t;
+  shed_cond : Condition.t;
+  mutable shed_thread : Thread.t option;
+  stop_shed : bool Atomic.t;
   mutable acceptor_thread : Thread.t option;
   mutable listen_fd : Unix.file_descr option;
   started : bool Atomic.t;
   drain_req : bool Atomic.t;
   stop_accept : bool Atomic.t;
-  stop_workers : bool Atomic.t;
   stopped : bool Atomic.t;
   drain_tok : Token.t;
   c_requests : int Atomic.t;
+  c_conns : int Atomic.t;
   c_shed : int Atomic.t;
   c_errors : int Atomic.t;
   c_updates : int Atomic.t;
@@ -484,6 +603,7 @@ let create ?(telemetry = Kgm_telemetry.null)
     { cfg with
       workers = max 1 cfg.workers;
       queue_capacity = max 1 cfg.queue_capacity;
+      max_requests_per_conn = max 1 cfg.max_requests_per_conn;
       snapshot_every = max 1 cfg.snapshot_every }
   in
   let t =
@@ -492,32 +612,46 @@ let create ?(telemetry = Kgm_telemetry.null)
       tele = telemetry;
       jr = journal;
       epoch =
-        Atomic.make { ep_id = epoch; ep_db = freeze_copy (Inc.db session) };
+        Atomic.make
+          { ep_id = epoch;
+            ep_db = freeze_copy (Inc.db session);
+            ep_cache = DB.cache_create () };
       epoch_ctr = epoch;
       writer_mu = Mutex.create ();
-      q = Queue.create ();
-      q_mu = Mutex.create ();
-      q_cond = Condition.create ();
-      worker_threads = [];
+      patterns_mu = Mutex.create ();
+      patterns = Hashtbl.create 16;
+      qp_mu = Mutex.create ();
+      qp_cache = Hashtbl.create 64;
+      pool = None;
+      shed_q = Queue.create ();
+      shed_mu = Mutex.create ();
+      shed_cond = Condition.create ();
+      shed_thread = None;
+      stop_shed = Atomic.make false;
       acceptor_thread = None;
       listen_fd = None;
       started = Atomic.make false;
       drain_req = Atomic.make false;
       stop_accept = Atomic.make false;
-      stop_workers = Atomic.make false;
       stopped = Atomic.make false;
       drain_tok = Token.create ();
       c_requests = Atomic.make 0;
+      c_conns = Atomic.make 0;
       c_shed = Atomic.make 0;
       c_errors = Atomic.make 0;
       c_updates = Atomic.make 0;
       c_inflight = Atomic.make 0;
       c_faults = Atomic.make 0 }
   in
+  let queue_depth () =
+    match t.pool with Some p -> Kgm_pool.Service.pending p | None -> 0
+  in
   Kgm_telemetry.gauge t.tele "server.epoch" (fun () ->
       (Atomic.get t.epoch).ep_id);
   Kgm_telemetry.gauge t.tele "server.requests" (fun () ->
       Atomic.get t.c_requests);
+  Kgm_telemetry.gauge t.tele "server.connections" (fun () ->
+      Atomic.get t.c_conns);
   Kgm_telemetry.gauge t.tele "server.shed" (fun () -> Atomic.get t.c_shed);
   Kgm_telemetry.gauge t.tele "server.errors" (fun () ->
       Atomic.get t.c_errors);
@@ -525,39 +659,64 @@ let create ?(telemetry = Kgm_telemetry.null)
       Atomic.get t.c_updates);
   Kgm_telemetry.gauge t.tele "server.inflight" (fun () ->
       Atomic.get t.c_inflight);
-  Kgm_telemetry.gauge t.tele "server.queue_depth" (fun () ->
-      Queue.length t.q);
+  Kgm_telemetry.gauge t.tele "server.queue_depth" queue_depth;
   Kgm_telemetry.gauge t.tele "server.faults_absorbed" (fun () ->
       Atomic.get t.c_faults);
   t
 
+let queue_depth t =
+  match t.pool with Some p -> Kgm_pool.Service.pending p | None -> 0
+
 let stats t =
   { st_epoch = (Atomic.get t.epoch).ep_id;
     st_requests = Atomic.get t.c_requests;
+    st_conns = Atomic.get t.c_conns;
     st_shed = Atomic.get t.c_shed;
     st_errors = Atomic.get t.c_errors;
     st_updates = Atomic.get t.c_updates;
-    st_queue_depth = Queue.length t.q;
+    st_queue_depth = queue_depth t;
     st_inflight = Atomic.get t.c_inflight;
     st_faults = Atomic.get t.c_faults }
 
 let draining t = Atomic.get t.drain_req
 let drain t = Atomic.set t.drain_req true
 
-(* publish the master as a fresh frozen epoch. Under writer_mu. The
+let register_pattern t pred positions =
+  Mutex.lock t.patterns_mu;
+  if
+    Hashtbl.length t.patterns < max_registered_patterns
+    && not (Hashtbl.mem t.patterns (pred, positions))
+  then Hashtbl.replace t.patterns (pred, positions) ();
+  Mutex.unlock t.patterns_mu
+
+let registered_patterns t =
+  Mutex.lock t.patterns_mu;
+  let ps = Hashtbl.fold (fun k () acc -> k :: acc) t.patterns [] in
+  Mutex.unlock t.patterns_mu;
+  ps
+
+(* publish the master as a fresh frozen epoch. Under writer_mu. Every
+   probe pattern the query surface has used so far is index-prepared on
+   the copy *before* it freezes, so readers of the new epoch never pay
+   the frozen-store linear-scan fallback for a known pattern. The
    "swap" fault site is transient: wrapped in the retry loop, bounded
    by the drain token. A publish that exhausts its retries leaves the
    previous epoch visible — readers stay consistent, the next
    successful swap publishes everything since. *)
 let publish t =
-  let db = freeze_copy (Inc.db t.session) in
+  let db = DB.copy (Inc.db t.session) in
+  if DB.is_frozen db then DB.thaw db;
+  List.iter
+    (fun (pred, positions) -> DB.prepare_index db pred positions)
+    (registered_patterns t);
+  DB.freeze db;
   t.epoch_ctr <- t.epoch_ctr + 1;
   let id = t.epoch_ctr in
   Retry.with_backoff ~attempts:4 ~base_s:0.001 ~cancel:t.drain_tok
     ~on_retry:(fun ~attempt:_ _ -> Atomic.incr t.c_faults)
     (fun () ->
       Faults.inject "swap";
-      Atomic.set t.epoch { ep_id = id; ep_db = db });
+      Atomic.set t.epoch { ep_id = id; ep_db = db; ep_cache = DB.cache_create () });
   if Journal.enabled t.jr then
     Journal.emit t.jr "server.swap"
       [ ("epoch", J.Int id); ("facts", J.Int (DB.total db)) ]
@@ -643,12 +802,12 @@ let handle_status t =
   let s = stats t in
   ok
     (Printf.sprintf
-       "epoch: %d\nfacts: %d\nrequests: %d\nshed: %d\nerrors: %d\n\
-        updates: %d\nqueue_depth: %d\ninflight: %d\nfaults_absorbed: %d\n\
-        workers: %d\nqueue_capacity: %d\ndraining: %b\n"
-       ep.ep_id (DB.total ep.ep_db) s.st_requests s.st_shed s.st_errors
-       s.st_updates s.st_queue_depth s.st_inflight s.st_faults t.cfg.workers
-       t.cfg.queue_capacity (draining t))
+       "epoch: %d\nfacts: %d\nrequests: %d\nconnections: %d\nshed: %d\n\
+        errors: %d\nupdates: %d\nqueue_depth: %d\ninflight: %d\n\
+        faults_absorbed: %d\nworkers: %d\nqueue_capacity: %d\ndraining: %b\n"
+       ep.ep_id (DB.total ep.ep_db) s.st_requests s.st_conns s.st_shed
+       s.st_errors s.st_updates s.st_queue_depth s.st_inflight s.st_faults
+       t.cfg.workers t.cfg.queue_capacity (draining t))
 
 let handle_slow t req tok =
   let dur =
@@ -661,7 +820,7 @@ let handle_slow t req tok =
     Token.check tok;
     Token.check t.drain_tok;
     if Kgm_telemetry.Clock.now () -. t0 < dur then begin
-      Thread.delay 0.005;
+      Unix.sleepf 0.005;
       loop ()
     end
   in
@@ -692,14 +851,34 @@ let route t req =
             [ ("content-type", "text/plain; version=0.0.4") ],
             Kgm_telemetry.prometheus t.tele ))
   | "POST", "/query" ->
-      let q = parse_query req.body in
+      (* the query surface of a serving workload is a small set of
+         repeated shapes: cache text -> parsed query so the Vadalog
+         rule parser runs once per shape, not once per request.
+         Parsed queries are immutable, so sharing them across reader
+         domains is free; failures are not cached (they answer 400
+         anyway). *)
+      let q =
+        match
+          with_lock t.qp_mu (fun () -> Hashtbl.find_opt t.qp_cache req.body)
+        with
+        | Some q -> q
+        | None ->
+            let q = parse_query req.body in
+            with_lock t.qp_mu (fun () ->
+                if Hashtbl.length t.qp_cache < 4096 then
+                  Hashtbl.replace t.qp_cache req.body q);
+            q
+      in
       let ep = Atomic.get t.epoch in
       let buf = Buffer.create 1024 in
       let poll () =
         Token.check tok;
         Token.check t.drain_tok
       in
-      let n = eval_query ~poll ep.ep_db q buf in
+      let n =
+        eval_query ~poll ~register:(register_pattern t) ~cache:ep.ep_cache
+          ep.ep_db q buf
+      in
       ( 200,
         [ ("x-kgm-epoch", string_of_int ep.ep_id);
           ("x-kgm-count", string_of_int n) ],
@@ -715,28 +894,59 @@ let route t req =
       (405, [], "method not allowed\n")
   | _ -> (404, [], "unknown endpoint\n")
 
+(* One persistent connection, start to close. Requests are answered in
+   arrival order; bytes past each request's content-length carry over
+   to the next iteration (pipelining). The connection closes when the
+   client asks ([connection: close]), the per-connection request cap is
+   reached, the idle timeout expires, a drain is requested and no
+   buffered request remains, or the framing breaks (one [400], then
+   close — after a framing error the byte stream cannot be trusted). *)
 let serve_conn t fd =
-  Atomic.incr t.c_requests;
-  match read_request fd with
-  | Error msg ->
-      Atomic.incr t.c_errors;
-      write_response fd 400 [] (msg ^ "\n")
-  | Ok req ->
-      let status, extra, body =
-        try
-          Faults.inject "request";
-          route t req
-        with
-        | Kgm_resilience.Fault site ->
-            Atomic.incr t.c_faults;
-            (500, [], Printf.sprintf "fault injected at %s\n" site)
-        | Kgm_resilience.Interrupted `Deadline -> (504, [], "deadline\n")
-        | Kgm_resilience.Interrupted `Cancelled -> (503, [], "draining\n")
-        | Err.Error e -> (400, [], Err.to_string e ^ "\n")
-        | e -> (500, [], "internal: " ^ Printexc.to_string e ^ "\n")
-      in
-      if status >= 400 then Atomic.incr t.c_errors;
-      write_response fd status extra body
+  Atomic.incr t.c_conns;
+  let conn = make_conn fd in
+  let rec loop () =
+    match
+      read_request ~idle_s:t.cfg.idle_timeout_s
+        ~draining:(fun () -> draining t)
+        conn
+    with
+    | `Close -> ()
+    | `Err msg ->
+        Atomic.incr t.c_errors;
+        write_response ~keep_alive:false fd 400 [] (msg ^ "\n")
+    | `Req req ->
+        Atomic.incr t.c_requests;
+        conn.c_served <- conn.c_served + 1;
+        let status, extra, body =
+          try
+            Faults.inject "request";
+            route t req
+          with
+          | Kgm_resilience.Fault site ->
+              Atomic.incr t.c_faults;
+              (500, [], Printf.sprintf "fault injected at %s\n" site)
+          | Kgm_resilience.Interrupted `Deadline -> (504, [], "deadline\n")
+          | Kgm_resilience.Interrupted `Cancelled -> (503, [], "draining\n")
+          | Err.Error e -> (400, [], Err.to_string e ^ "\n")
+          | e -> (500, [], "internal: " ^ Printexc.to_string e ^ "\n")
+        in
+        if status >= 400 then Atomic.incr t.c_errors;
+        let client_close =
+          match header req "connection" with
+          | Some v -> String.lowercase_ascii (String.trim v) = "close"
+          | None -> false
+        in
+        let keep_alive =
+          (not client_close)
+          && conn.c_served < t.cfg.max_requests_per_conn
+          (* during a drain, finish what the client already pipelined,
+             then close instead of waiting for more *)
+          && not (draining t && conn.c_pending = "")
+        in
+        write_response ~keep_alive fd status extra body;
+        if keep_alive then loop ()
+  in
+  loop ()
 
 (* ---- threads ---- *)
 
@@ -757,35 +967,58 @@ let lingering_close fd =
    with Unix.Unix_error _ -> ());
   close_quietly fd
 
-let shed t fd why =
-  Atomic.incr t.c_shed;
-  write_response fd 503 [] (why ^ "\n");
+(* the blocking half of a shed: 503 + lingering close. Runs only on
+   the shed thread (or the drain coordinator), never on the acceptor *)
+let shed_now t fd why =
+  write_response ~keep_alive:false fd 503 [] (why ^ "\n");
   lingering_close fd;
   if Journal.enabled t.jr then
     Journal.emit t.jr "server.overloaded" [ ("why", J.Str why) ]
 
-let worker_loop t =
+(* bound on 503s waiting for the shed thread: past it the connection
+   is just closed — under that much pressure the polite answer has
+   lost its audience, and the acceptor must never block *)
+let max_shed_backlog = 256
+
+(* hand the doomed fd to the shed thread. The acceptor's only cost is
+   a queue push: a slow or dead shed target stalls the shed thread (up
+   to its own IO timeouts), never the accept loop *)
+let shed_async t fd why =
+  Atomic.incr t.c_shed;
+  Mutex.lock t.shed_mu;
+  let backlogged = Queue.length t.shed_q >= max_shed_backlog in
+  if not backlogged then begin
+    Queue.push (fd, why) t.shed_q;
+    Condition.signal t.shed_cond
+  end;
+  Mutex.unlock t.shed_mu;
+  if backlogged then close_quietly fd
+
+let shed_loop t =
   let rec loop () =
-    Mutex.lock t.q_mu;
-    while Queue.is_empty t.q && not (Atomic.get t.stop_workers) do
-      Condition.wait t.q_cond t.q_mu
+    Mutex.lock t.shed_mu;
+    while Queue.is_empty t.shed_q && not (Atomic.get t.stop_shed) do
+      Condition.wait t.shed_cond t.shed_mu
     done;
-    if Queue.is_empty t.q then Mutex.unlock t.q_mu (* stopping *)
+    if Queue.is_empty t.shed_q then Mutex.unlock t.shed_mu (* stopping *)
     else begin
-      let fd = Queue.pop t.q in
-      Mutex.unlock t.q_mu;
-      Atomic.incr t.c_inflight;
-      Fun.protect
-        ~finally:(fun () ->
-          Atomic.decr t.c_inflight;
-          close_quietly fd)
-        (fun () -> serve_conn t fd);
+      let fd, why = Queue.pop t.shed_q in
+      Mutex.unlock t.shed_mu;
+      shed_now t fd why;
       loop ()
     end
   in
   loop ()
 
-let acceptor_loop t lfd =
+let handle_conn t fd =
+  Atomic.incr t.c_inflight;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.c_inflight;
+      close_quietly fd)
+    (fun () -> serve_conn t fd)
+
+let acceptor_loop t lfd pool =
   while not (Atomic.get t.stop_accept) do
     match Unix.select [ lfd ] [] [] 0.05 with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
@@ -805,24 +1038,32 @@ let acceptor_loop t lfd =
                    Unix.setsockopt_float fd SO_RCVTIMEO t.cfg.io_timeout_s;
                    Unix.setsockopt_float fd SO_SNDTIMEO t.cfg.io_timeout_s
                  with Unix.Unix_error _ -> ());
-                if draining t then shed t fd "draining"
-                else begin
-                  let admitted =
-                    with_lock t.q_mu (fun () ->
-                        if Queue.length t.q < t.cfg.queue_capacity then begin
-                          Queue.push fd t.q;
-                          Condition.signal t.q_cond;
-                          true
-                        end
-                        else false)
-                  in
-                  if not admitted then shed t fd "overloaded"
-                end))
+                if draining t then shed_async t fd "draining"
+                else if
+                  Kgm_pool.Service.pending pool >= t.cfg.queue_capacity
+                  || not (Kgm_pool.Service.submit pool fd)
+                then shed_async t fd "overloaded"))
   done
+
+(* Serving allocates short-lived strings and buffers on every request;
+   with the stock 256k-word minor heap a busy reader domain triggers a
+   minor collection every few dozen requests, and on OCaml 5 every
+   minor collection is a stop-the-world synchronization of *all*
+   domains — the cross-domain rendezvous, not the copying, is what
+   shows up as multi-millisecond tail latency. A serving process wants
+   a large minor arena: raise it (never shrink a larger setting)
+   before the reader domains spawn so they inherit it. *)
+let serving_minor_heap = 4 * 1024 * 1024 (* words, per domain *)
+
+let tune_runtime_for_serving () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < serving_minor_heap then
+    Gc.set { g with Gc.minor_heap_size = serving_minor_heap }
 
 let start t =
   if Atomic.exchange t.started true then
     invalid_arg "Kgm_server.start: already started";
+  tune_runtime_for_serving ();
   (try Unix.unlink t.cfg.sock with Unix.Unix_error _ -> ());
   let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   (try
@@ -832,9 +1073,19 @@ let start t =
      close_quietly lfd;
      raise e);
   t.listen_fd <- Some lfd;
-  t.acceptor_thread <- Some (Thread.create (fun () -> acceptor_loop t lfd) ());
-  t.worker_threads <-
-    List.init t.cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  (* the reader pool: dedicated domains, because every request answers
+     against an immutable epoch snapshot — reads share no locks, so
+     domains give true parallelism where systhreads would serialize on
+     the runtime lock *)
+  let pool =
+    Kgm_pool.Service.create ~domains:t.cfg.workers
+      ~on_error:(fun _ -> Atomic.incr t.c_errors)
+      (fun fd -> handle_conn t fd)
+  in
+  t.pool <- Some pool;
+  t.shed_thread <- Some (Thread.create (fun () -> shed_loop t) ());
+  t.acceptor_thread <-
+    Some (Thread.create (fun () -> acceptor_loop t lfd pool) ());
   if Journal.enabled t.jr then
     Journal.emit t.jr "server.start"
       [ ("sock", J.Str t.cfg.sock);
@@ -859,19 +1110,20 @@ let run_until_drained t =
   (match t.listen_fd with Some fd -> close_quietly fd | None -> ());
   (try Unix.unlink t.cfg.sock with Unix.Unix_error _ -> ());
   (* 2. cancel in-flight work (scans and debug sleeps poll the drain
-     token) and shed everything still queued *)
+     token; keep-alive loops close once their buffered pipeline is
+     answered) and shed every connection never picked up by a reader *)
   absorb_drain_fault t;
   Token.cancel t.drain_tok;
-  let doomed =
-    with_lock t.q_mu (fun () ->
-        let l = List.of_seq (Queue.to_seq t.q) in
-        Queue.clear t.q;
-        Atomic.set t.stop_workers true;
-        Condition.broadcast t.q_cond;
-        l)
-  in
-  List.iter (fun fd -> shed t fd "draining") doomed;
-  List.iter Thread.join t.worker_threads;
+  (match t.pool with
+  | Some pool ->
+      let doomed = Kgm_pool.Service.shutdown pool in
+      List.iter (fun fd -> shed_async t fd "draining") doomed
+  | None -> ());
+  (* the shed thread flushes its backlog (including the fds above),
+     then exits *)
+  Atomic.set t.stop_shed true;
+  with_lock t.shed_mu (fun () -> Condition.broadcast t.shed_cond);
+  (match t.shed_thread with Some th -> Thread.join th | None -> ());
   (* 3. final checkpoint — absorbed on failure: drain always exits *)
   absorb_drain_fault t;
   ignore (try_snapshot t);
@@ -879,6 +1131,7 @@ let run_until_drained t =
   if Journal.enabled t.jr then
     Journal.emit t.jr "server.drain.done"
       [ ("requests", J.Int s.st_requests);
+        ("conns", J.Int s.st_conns);
         ("shed", J.Int s.st_shed);
         ("errors", J.Int s.st_errors);
         ("updates", J.Int s.st_updates);
@@ -890,60 +1143,146 @@ let run_until_drained t =
 (* Client                                                              *)
 
 module Client = struct
-  let request ?deadline_s ?(body = "") ~sock ~meth ~path () =
+  type conn = {
+    fd : Unix.file_descr;
+    mutable leftover : string;  (** response bytes read past the framed end *)
+    mutable alive : bool;       (** usable for another request *)
+    mutable fd_closed : bool;
+    chunk : Bytes.t;            (** read scratch, reused across responses *)
+    resp : Buffer.t;            (** response accumulator, reused *)
+    send : Buffer.t;            (** request assembly, reused *)
+  }
+
+  let connect ?(io_timeout_s = 30.) sock =
     let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt_float fd SO_RCVTIMEO io_timeout_s;
+       Unix.setsockopt_float fd SO_SNDTIMEO io_timeout_s;
+       Unix.connect fd (ADDR_UNIX sock)
+     with e ->
+       close_quietly fd;
+       raise e);
+    {
+      fd;
+      leftover = "";
+      alive = true;
+      fd_closed = false;
+      chunk = Bytes.create 8192;
+      resp = Buffer.create 1024;
+      send = Buffer.create 512;
+    }
+
+  (* idempotent on purpose: a second [close] must never touch the fd
+     number again — the kernel may have already handed it to another
+     thread's socket, and closing that one destroys an unrelated live
+     connection *)
+  let close c =
+    c.alive <- false;
+    if not c.fd_closed then begin
+      c.fd_closed <- true;
+      close_quietly c.fd
+    end
+
+  let add_request buf ?deadline_s ?(body = "") ?(close_conn = false) ~meth
+      ~path () =
+    Buffer.add_string buf meth;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf path;
+    Buffer.add_string buf " HTTP/1.1\r\nhost: kgm\r\n";
+    if close_conn then Buffer.add_string buf "connection: close\r\n";
+    (match deadline_s with
+    | Some d ->
+        Buffer.add_string buf (Printf.sprintf "x-kgm-deadline: %g\r\n" d)
+    | None -> ());
+    Buffer.add_string buf "content-length: ";
+    Buffer.add_string buf (string_of_int (String.length body));
+    Buffer.add_string buf "\r\n\r\n";
+    Buffer.add_string buf body
+
+  (* read one content-length framed response (never to EOF — the
+     server keeps the socket open); bytes past the frame are stashed
+     for the next call. [Failure] when the server closed or sent
+     garbage. *)
+  let read_response c =
+    let resp = c.resp in
+    Buffer.clear resp;
+    Buffer.add_string resp c.leftover;
+    c.leftover <- "";
+    let chunk = c.chunk in
+    let recv () =
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          c.alive <- false;
+          failwith "Kgm_server.Client: connection closed by server"
+      | n -> Buffer.add_subbytes resp chunk 0 n
+    in
+    let rec read_head () =
+      match find_sub (Buffer.contents resp) "\r\n\r\n" 0 with
+      | Some i -> i
+      | None ->
+          recv ();
+          read_head ()
+    in
+    let head_end = read_head () in
+    let all = Buffer.contents resp in
+    let head = String.sub all 0 head_end in
+    let first_line, headers =
+      match parse_head_lines head with
+      | Some p -> p
+      | None -> failwith "Kgm_server.Client: malformed response head"
+    in
+    let status =
+      match String.split_on_char ' ' first_line with
+      | _ :: code :: _ -> (
+          match int_of_string_opt code with Some c -> c | None -> 0)
+      | _ -> 0
+    in
+    let clen =
+      match List.assoc_opt "content-length" headers with
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with Some n -> n | None -> 0)
+      | None -> 0
+    in
+    let total = head_end + 4 + clen in
+    while Buffer.length resp < total do
+      recv ()
+    done;
+    let all = Buffer.contents resp in
+    let body = String.sub all (head_end + 4) clen in
+    c.leftover <- String.sub all total (String.length all - total);
+    (match List.assoc_opt "connection" headers with
+    | Some v when String.lowercase_ascii (String.trim v) = "close" -> close c
+    | _ -> ());
+    (status, body)
+
+  let request_on ?deadline_s ?(body = "") ?(close_conn = false) c ~meth ~path
+      () =
+    if not c.alive then failwith "Kgm_server.Client: connection closed";
+    let b = c.send in
+    Buffer.clear b;
+    add_request b ?deadline_s ~body ~close_conn ~meth ~path ();
+    write_all c.fd (Buffer.contents b);
+    read_response c
+
+  (* HTTP/1.1 pipelining: every request in one write, then the
+     responses in order — one syscall round per batch instead of one
+     per request *)
+  let pipeline ?deadline_s c ~meth ~path bodies =
+    if not c.alive then failwith "Kgm_server.Client: connection closed";
+    let b = c.send in
+    Buffer.clear b;
+    List.iter
+      (fun body -> add_request b ?deadline_s ~body ~meth ~path ())
+      bodies;
+    write_all c.fd (Buffer.contents b);
+    List.map (fun _ -> read_response c) bodies
+
+  let request ?deadline_s ?(body = "") ~sock ~meth ~path () =
+    let io = match deadline_s with Some d -> Float.max 0.05 d | None -> 30. in
+    let c = connect ~io_timeout_s:io sock in
     Fun.protect
-      ~finally:(fun () -> close_quietly fd)
-      (fun () ->
-        let io =
-          match deadline_s with Some d -> Float.max 0.05 d | None -> 30.
-        in
-        (try
-           Unix.setsockopt_float fd SO_RCVTIMEO io;
-           Unix.setsockopt_float fd SO_SNDTIMEO io
-         with Unix.Unix_error _ -> ());
-        Unix.connect fd (ADDR_UNIX sock);
-        let b = Buffer.create (String.length body + 256) in
-        Buffer.add_string b
-          (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
-        Buffer.add_string b "host: kgm\r\nconnection: close\r\n";
-        (match deadline_s with
-        | Some d ->
-            Buffer.add_string b (Printf.sprintf "x-kgm-deadline: %g\r\n" d)
-        | None -> ());
-        Buffer.add_string b
-          (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
-        Buffer.add_string b body;
-        write_all fd (Buffer.contents b);
-        let resp = Buffer.create 1024 in
-        let chunk = Bytes.create 4096 in
-        let rec slurp () =
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 -> ()
-          | n ->
-              Buffer.add_subbytes resp chunk 0 n;
-              slurp ()
-        in
-        slurp ();
-        let all = Buffer.contents resp in
-        let status =
-          match String.index_opt all ' ' with
-          | Some i -> (
-              match
-                int_of_string_opt
-                  (String.trim
-                     (String.sub all (i + 1) (Int.min 4 (String.length all - i - 1))))
-              with
-              | Some c -> c
-              | None -> 0)
-          | None -> 0
-        in
-        let body =
-          match find_sub all "\r\n\r\n" 0 with
-          | Some i -> String.sub all (i + 4) (String.length all - i - 4)
-          | None -> ""
-        in
-        (status, body))
+      ~finally:(fun () -> close c)
+      (fun () -> request_on ?deadline_s ~body ~close_conn:true c ~meth ~path ())
 
   let wait_ready ?(attempts = 100) ?(delay_s = 0.05) sock =
     let rec go n =
@@ -954,7 +1293,7 @@ module Client = struct
         | _ ->
             Thread.delay delay_s;
             go (n - 1)
-        | exception Unix.Unix_error _ ->
+        | exception (Unix.Unix_error _ | Failure _) ->
             Thread.delay delay_s;
             go (n - 1)
     in

@@ -12,10 +12,21 @@
     batch, and each request is answered against exactly one epoch
     (stamped into the [x-kgm-epoch] response header).
 
-    The wire protocol is minimal HTTP/1.1 over a Unix-domain socket,
-    one request per connection ([Connection: close]) — enough for
+    The wire protocol is minimal HTTP/1.1 over a Unix-domain socket
+    with {e persistent connections}: responses default to
+    [connection: keep-alive], clients may pipeline (bytes past one
+    request's [content-length] are carried into the next read), and a
+    connection is closed only on client demand ([connection: close]),
+    idle timeout, per-connection request cap, or drain. Enough for
     [curl --unix-socket], the bundled {!Client}, and the CI chaos
     harness, with no external dependency.
+
+    Requests are served by a pool of {e reader domains}
+    ({!Kgm_pool.Service}) rather than systhreads: every request
+    answers against one immutable frozen epoch (plus a per-epoch
+    side-car index cache for query patterns first seen after publish),
+    so readers share no locks and scale across cores. Writer paths
+    ([/update]) still serialize on the master session's mutex.
 
     {2 Failure model}
 
@@ -76,14 +87,24 @@ end
 type config = {
   sock : string;          (** Unix-domain socket path (unlinked on bind
                               and again on drain) *)
-  workers : int;          (** request worker threads (clamped >= 1) *)
+  workers : int;          (** reader domains (clamped >= 1) *)
   queue_capacity : int;   (** admission queue bound; beyond it requests
                               are shed with [503 overloaded] *)
   default_deadline_s : float option;
                           (** per-request deadline when the client sends
                               no [x-kgm-deadline] header *)
   io_timeout_s : float;   (** socket read/write timeout — bounds a
-                              stalled client's hold on a worker *)
+                              stalled client's hold on a worker
+                              {e mid-request} (slowloris) *)
+  idle_timeout_s : float; (** keep-alive idle bound: a connection with
+                              no request in flight is closed after this
+                              long without bytes *)
+  max_requests_per_conn : int;
+                          (** requests served on one connection before
+                              the server answers [connection: close]
+                              (clamped >= 1) — bounds per-connection
+                              state and re-balances long-lived clients
+                              across readers *)
   state_dir : string option;
                           (** session snapshot directory; [None]
                               disables persistence *)
@@ -97,8 +118,9 @@ type config = {
 }
 
 val default_config : sock:string -> config
-(** 4 workers, queue 64, no default deadline, 10 s IO timeout, no
-    persistence, keep 3, snapshot every batch, debug off. *)
+(** 4 workers, queue 64, no default deadline, 10 s IO timeout, 5 s
+    idle timeout, 10000 requests per connection, no persistence,
+    keep 3, snapshot every batch, debug off. *)
 
 (** {1 Server lifecycle} *)
 
@@ -106,7 +128,10 @@ type t
 
 type stats = {
   st_epoch : int;        (** id of the currently published epoch *)
-  st_requests : int;     (** requests admitted (including failed ones) *)
+  st_requests : int;     (** requests served (including failed ones) —
+                             on keep-alive connections many per
+                             connection *)
+  st_conns : int;        (** connections picked up by a reader *)
   st_shed : int;         (** connections answered [503] at admission
                              (overloaded or draining) *)
   st_errors : int;       (** requests that answered 4xx/5xx *)
@@ -126,8 +151,21 @@ val create :
     restarts. Registers [server.*] gauges on [telemetry] (sampled at
     [/metrics] export). Does not touch the network. *)
 
+val tune_runtime_for_serving : unit -> unit
+(** Raise the minor-heap size to a serving-friendly arena (4M words;
+    never shrinks a larger setting). On OCaml 5 every minor collection
+    is a stop-the-world rendezvous of all domains, so an
+    allocation-heavy request loop on a small minor heap turns into
+    multi-millisecond tail latency; a large arena amortizes the
+    synchronizations away. {!start} calls this before spawning the
+    reader domains; a load-generating client process should call it
+    too. *)
+
 val start : t -> unit
-(** Bind the socket and spawn the acceptor and worker threads. Raises
+(** Bind the socket and spawn the acceptor thread, the shed thread
+    (which answers [503] off the accept path so a slow doomed client
+    never stalls accepts) and the reader domain pool. Tunes the
+    runtime via {!tune_runtime_for_serving}. Raises
     [Unix.Unix_error] if the socket cannot be bound; raises
     [Invalid_argument] if already started. *)
 
@@ -185,12 +223,47 @@ val recover :
 (** {1 Client} *)
 
 (** A blocking HTTP/1.1-over-Unix-socket client for the CLI
-    ([kgmodel call]), the tests and the chaos harness. *)
+    ([kgmodel call]), the tests and the chaos harness. Supports both
+    persistent (keep-alive) connections and the classic one-shot
+    request. *)
 module Client : sig
+  type conn
+  (** A persistent connection: many requests over one socket
+      ({!request_on}). Not thread-safe — one [conn] per client
+      thread. *)
+
+  val connect : ?io_timeout_s:float -> string -> conn
+  (** Connect to the server socket (default 30 s IO timeout). Raises
+      [Unix.Unix_error] when the server is unreachable. *)
+
+  val close : conn -> unit
+
+  val request_on :
+    ?deadline_s:float -> ?body:string -> ?close_conn:bool ->
+    conn -> meth:string -> path:string -> unit -> int * string
+  (** One request/response on a persistent connection. Responses are
+      read by their [content-length] frame; bytes past it are carried
+      into the next call. [close_conn] sends [connection: close]
+      (the connection is unusable afterwards); the server closing
+      (drain, request cap) is detected from the response header and
+      marks the connection dead. Returns [(status, body)]; raises
+      [Failure] on a dead/garbled connection, [Unix.Unix_error] on IO
+      errors. *)
+
+  val pipeline :
+    ?deadline_s:float -> conn -> meth:string -> path:string ->
+    string list -> (int * string) list
+  (** HTTP/1.1 pipelining: send one request per body in a single
+      write, then read the responses in order. One syscall round per
+      batch instead of one per request — the cheapest way to drive the
+      server at full throughput from one client. Same failure contract
+      as {!request_on}. *)
+
   val request :
     ?deadline_s:float -> ?body:string -> sock:string ->
     meth:string -> path:string -> unit -> int * string
-  (** One request, one connection. [deadline_s] both bounds the socket
+  (** One request, one connection ([connection: close]) — {!connect} +
+      {!request_on} + {!close}. [deadline_s] both bounds the socket
       IO and is forwarded as the [x-kgm-deadline] header. Returns
       [(status, body)]. Raises [Unix.Unix_error] when the server is
       unreachable or the IO times out. *)

@@ -38,7 +38,16 @@ module Key = struct
   type t = Value.t list
 
   let equal = List.equal Value.equal
-  let hash k = Hashtbl.hash (List.map Value.hash k)
+
+  (* an explicit seeded FNV-style fold over the element hashes:
+     [Hashtbl.hash] on the hash list would stop mixing after its
+     default 10 meaningful nodes, so wide keys differing only past
+     position 10 would all collide into one bucket *)
+  let hash k =
+    List.fold_left
+      (fun h v -> (h * 0x01000193) lxor Value.hash v)
+      0x811c9dc5 k
+    land max_int
 end
 
 module KeyTbl = Hashtbl.Make (Key)
@@ -387,6 +396,84 @@ let lookup t pred positions key =
   let acc = ref [] in
   ignore (iter_matches t pred positions key (fun _ f -> acc := f :: !acc));
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Side-car index cache for frozen stores.
+
+   A frozen database answers a probe on an unprepared pattern with a
+   full linear scan (it must not mutate itself — any number of domains
+   may be reading it). For a serving layer that sees the same pattern
+   on every request that is an O(n) scan per request; an [index_cache]
+   amortizes it: the first probe builds the pattern's index {e outside}
+   the store, under the cache's mutex, and every later probe (from any
+   domain) answers through the cached index. The mutex protects only
+   the lookup/build step; a published index is immutable, so probes
+   read it lock-free. Safe only against a frozen store (the postings
+   would go stale under writes), which is exactly the epoch-snapshot
+   use the reasoning server makes of it. *)
+
+type index_cache = {
+  ic_mu : Mutex.t;
+  ic_tbl : (string * int list, postings IKeyTbl.t) Hashtbl.t;
+}
+
+let cache_create () = { ic_mu = Mutex.create (); ic_tbl = Hashtbl.create 8 }
+
+let cached_patterns c =
+  Mutex.lock c.ic_mu;
+  let ps = Hashtbl.fold (fun k _ acc -> k :: acc) c.ic_tbl [] in
+  Mutex.unlock c.ic_mu;
+  List.sort compare ps
+
+(* build the pattern's index without attaching it to the store *)
+let build_detached s positions =
+  let idx = IKeyTbl.create (max 64 s.count) in
+  for i = 0 to s.count - 1 do
+    index_insert idx positions s.arr.(i) i
+  done;
+  idx
+
+let cache_index c t pred positions =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> None
+  | Some s -> (
+      match Hashtbl.find_opt s.indexes positions with
+      | Some idx -> Some (s, idx) (* the store itself is prepared *)
+      | None ->
+          Mutex.lock c.ic_mu;
+          let idx =
+            match Hashtbl.find_opt c.ic_tbl (pred, positions) with
+            | Some idx -> idx
+            | None ->
+                let idx = build_detached s positions in
+                Hashtbl.add c.ic_tbl (pred, positions) idx;
+                idx
+          in
+          Mutex.unlock c.ic_mu;
+          Some (s, idx))
+
+(** [iter_matches_cached cache t pred positions key f] — the semantics
+    of {!iter_matches}, but a missing index on a frozen store is built
+    once into [cache] (thread-safe) instead of degrading to a linear
+    scan per probe. The returned examined count is the postings length
+    (the probe is indexed either way after the first call). *)
+let iter_matches_cached c t pred positions key f =
+  if positions = [] || not t.frozen then iter_matches t pred positions key f
+  else
+    match find_key t key with
+    | None -> 0
+    | Some ikey -> (
+        match cache_index c t pred positions with
+        | None -> 0
+        | Some (s, idx) -> (
+            match IKeyTbl.find_opt idx ikey with
+            | Some ps ->
+                for i = 0 to ps.p_len - 1 do
+                  let seq = ps.p_seq.(i) in
+                  f seq (resolve_fact t s.arr.(seq))
+                done;
+                ps.p_len
+            | None -> 0))
 
 let copy t =
   (* the dictionary is shared: ids remain stable across copies, which

@@ -147,6 +147,35 @@ val prepare_index : t -> string -> int list -> unit
 val indexed_patterns : t -> string -> int list list
 (** The position patterns currently indexed for a predicate, sorted. *)
 
+(** {1 Side-car index cache (frozen stores)}
+
+    A frozen store answers a probe on an unprepared pattern with a full
+    linear scan on {e every} call (it must not mutate itself — any
+    number of domains may be reading it concurrently). An
+    {!index_cache} amortizes that to one scan: the first probe builds
+    the pattern's index {e outside} the store under the cache's mutex;
+    later probes, from any domain, answer through the cached (then
+    immutable) index lock-free. Only meaningful against a frozen store
+    — the reasoning server keeps one cache per published epoch for
+    query patterns first seen after the epoch was prepared. *)
+
+type index_cache
+
+val cache_create : unit -> index_cache
+
+val cached_patterns : index_cache -> (string * int list) list
+(** The (predicate, positions) patterns built into the cache so far,
+    sorted. *)
+
+val iter_matches_cached :
+  index_cache -> t -> string -> int list -> Value.t list ->
+  (int -> fact -> unit) -> int
+(** {!iter_matches}, except that a missing index on a frozen store is
+    built once into the cache (thread-safe) instead of degrading to a
+    linear scan per probe; the examined count is then the postings
+    length. Falls back to plain {!iter_matches} for empty patterns and
+    unfrozen stores. *)
+
 val copy : t -> t
 (** Deep copy of the stores — the dictionary is {e shared}, so ids stay
     stable across copies. Facts are copied in insertion order, the

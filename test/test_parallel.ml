@@ -257,6 +257,134 @@ let test_determinism_control () =
   check Alcotest.bool "nonempty" true (p1 <> [])
 
 (* ------------------------------------------------------------------ *)
+(* Service pools: the streaming sibling of run — items from many
+   producers, dedicated consumer domains, shutdown returns the
+   unprocessed remainder *)
+
+let test_service_pool () =
+  let processed = Atomic.make 0 in
+  let svc =
+    Kgm_pool.Service.create ~domains:2 (fun n ->
+        Atomic.fetch_and_add processed n |> ignore)
+  in
+  for i = 1 to 100 do
+    Alcotest.(check bool) "submit admitted" true (Kgm_pool.Service.submit svc i)
+  done;
+  let rec wait n =
+    if Kgm_pool.Service.pending svc > 0 && n > 0 then begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  let leftover = Kgm_pool.Service.shutdown svc in
+  check Alcotest.int "everything processed or returned"
+    (100 * 101 / 2)
+    (Atomic.get processed + List.fold_left ( + ) 0 leftover);
+  check Alcotest.bool "post-shutdown submit refused" false
+    (Kgm_pool.Service.submit svc 7)
+
+let test_service_pool_errors () =
+  let errs = Atomic.make 0 in
+  let ok = Atomic.make 0 in
+  let svc =
+    Kgm_pool.Service.create ~domains:1
+      ~on_error:(fun _ -> Atomic.incr errs)
+      (fun n -> if n < 0 then failwith "bad item" else Atomic.incr ok)
+  in
+  List.iter
+    (fun n -> ignore (Kgm_pool.Service.submit svc n))
+    [ 1; -1; 2; -2; 3 ];
+  let rec wait n =
+    if Atomic.get ok + Atomic.get errs < 5 && n > 0 then begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  ignore (Kgm_pool.Service.shutdown svc);
+  check Alcotest.int "handler exceptions routed to on_error" 2
+    (Atomic.get errs);
+  check Alcotest.int "worker survived them" 3 (Atomic.get ok)
+
+(* ------------------------------------------------------------------ *)
+(* Index-key hashing: Hashtbl.hash caps at ~10 meaningful nodes, so
+   wide keys differing only past position 10 used to collide into one
+   bucket; the seeded fold must spread them *)
+
+let test_key_hash_distribution () =
+  let module KT = V.Database.KeyTbl in
+  let wide i =
+    (* 12 identical positions, then the distinguishing one *)
+    List.init 12 (fun p -> Value.Int p) @ [ Value.Int i ]
+  in
+  let n = 1024 in
+  let tbl = KT.create n in
+  for i = 0 to n - 1 do
+    KT.replace tbl (wide i) i
+  done;
+  check Alcotest.int "all keys distinct" n (KT.length tbl);
+  for i = 0 to n - 1 do
+    check Alcotest.(option int) "retrievable" (Some i)
+      (KT.find_opt tbl (wide i))
+  done;
+  (* distribution, not just correctness: bucket the raw hashes mod 64
+     and require no bucket to swallow a constant fraction — with the
+     old Hashtbl.hash every wide key landed in one bucket *)
+  let buckets = Array.make 64 0 in
+  let hash k =
+    List.fold_left
+      (fun h v -> (h * 0x01000193) lxor Value.hash v)
+      0x811c9dc5 k
+    land max_int
+  in
+  for i = 0 to n - 1 do
+    let b = hash (wide i) mod 64 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let worst = Array.fold_left max 0 buckets in
+  check Alcotest.bool
+    (Printf.sprintf "worst bucket %d of %d keys is not degenerate" worst n)
+    true
+    (worst < n / 8)
+
+(* ------------------------------------------------------------------ *)
+(* The frozen-store side-car index cache: first probe builds once,
+   later probes answer through it with index-sized examined counts *)
+
+let test_index_cache () =
+  let db = V.Database.create () in
+  for i = 0 to 99 do
+    ignore
+      (V.Database.add db "e"
+         [| Value.Int (i mod 10); Value.Int i |])
+  done;
+  V.Database.freeze db;
+  let cache = V.Database.cache_create () in
+  let probe () =
+    let got = ref [] in
+    let examined =
+      V.Database.iter_matches_cached cache db "e" [ 0 ] [ Value.Int 3 ]
+        (fun _seq fact -> got := fact :: !got)
+    in
+    (examined, List.rev !got)
+  in
+  (* uncached, the frozen store would examine all 100 facts per probe;
+     through the cache only the first probe pays the build *)
+  let examined1, got1 = probe () in
+  let examined2, got2 = probe () in
+  check Alcotest.int "10 facts match" 10 (List.length got1);
+  check Alcotest.bool "same answer twice" true (got1 = got2);
+  check Alcotest.int "cached probe examines the postings only" 10 examined2;
+  check Alcotest.int "so did the building probe" 10 examined1;
+  check Alcotest.bool "pattern recorded" true
+    (List.mem ("e", [ 0 ]) (V.Database.cached_patterns cache));
+  (* matches what the store's own index would answer *)
+  let direct = V.Database.lookup db "e" [ 0 ] [ Value.Int 3 ] in
+  check Alcotest.bool "agrees with lookup" true (got1 = direct);
+  V.Database.thaw db
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [ Alcotest.test_case "pool chunk order." `Quick test_pool_chunk_order;
@@ -282,4 +410,11 @@ let suite =
     Alcotest.test_case "jobs-determinism: negation + aggregation." `Quick
       test_determinism_negation_aggregation;
     Alcotest.test_case "jobs-determinism: company control." `Quick
-      test_determinism_control ]
+      test_determinism_control;
+    Alcotest.test_case "service pool: stream, drain, shutdown." `Quick
+      test_service_pool;
+    Alcotest.test_case "service pool: handler errors survive." `Quick
+      test_service_pool_errors;
+    Alcotest.test_case "index key hash: wide keys spread." `Quick
+      test_key_hash_distribution;
+    Alcotest.test_case "frozen-store index cache." `Quick test_index_cache ]

@@ -404,6 +404,275 @@ let test_recover_respects_retracted_program_facts () =
   | None -> Alcotest.fail "expected recovery"
 
 (* ------------------------------------------------------------------ *)
+(* Connection lifecycle: keep-alive, pipelining, timeouts, caps, and
+   the drain interaction. These talk raw bytes to the socket where the
+   protocol detail (leftover carryover, close headers, EOF) is the
+   thing under test, and use the persistent Client elsewhere. *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let raw_connect sock =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX sock);
+  (try Unix.setsockopt_float fd SO_RCVTIMEO 5. with Unix.Unix_error _ -> ());
+  fd
+
+let raw_request ?(headers = "") meth path body =
+  Printf.sprintf "%s %s HTTP/1.1\r\nhost: t\r\n%scontent-length: %d\r\n\r\n%s"
+    meth path headers (String.length body) body
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* read one content-length framed response; [pending] holds bytes read
+   past the previous frame. Returns (status, headers, body, leftover). *)
+let read_framed fd pending =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf pending;
+  let chunk = Bytes.create 4096 in
+  let recv () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Alcotest.fail "peer closed mid-response"
+    | n -> Buffer.add_subbytes buf chunk 0 n
+  in
+  let rec head () =
+    match find_sub (Buffer.contents buf) "\r\n\r\n" 0 with
+    | Some i -> i
+    | None ->
+        recv ();
+        head ()
+  in
+  let head_end = head () in
+  let all = Buffer.contents buf in
+  let lines =
+    String.split_on_char '\r' (String.sub all 0 head_end)
+    |> List.map String.trim
+  in
+  let status =
+    match lines with
+    | first :: _ -> (
+        match String.split_on_char ' ' first with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.fail "bad status line")
+    | [] -> Alcotest.fail "empty head"
+  in
+  let headers =
+    List.filter_map
+      (fun l ->
+        match String.index_opt l ':' with
+        | Some i ->
+            Some
+              ( String.lowercase_ascii (String.sub l 0 i),
+                String.trim (String.sub l (i + 1) (String.length l - i - 1))
+              )
+        | None -> None)
+      (List.tl lines)
+  in
+  let clen = int_of_string (List.assoc "content-length" headers) in
+  let total = head_end + 4 + clen in
+  while Buffer.length buf < total do
+    recv ()
+  done;
+  let all = Buffer.contents buf in
+  ( status,
+    headers,
+    String.sub all (head_end + 4) clen,
+    String.sub all total (String.length all - total) )
+
+let expect_eof ?(timeout_s = 3.) fd =
+  (try Unix.setsockopt_float fd SO_RCVTIMEO timeout_s
+   with Unix.Unix_error _ -> ());
+  let b = Bytes.create 64 in
+  match Unix.read fd b 0 64 with
+  | 0 -> ()
+  | n -> Alcotest.fail (Printf.sprintf "expected EOF, got %d bytes" n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      Alcotest.fail "expected EOF, connection still open"
+
+(* two requests written back-to-back in one write: the bytes past the
+   first content-length must be carried into the second request, not
+   truncated; a third request with connection: close ends it *)
+let test_pipelining () =
+  ignore
+    (with_server (fun _srv sock ->
+         let fd = raw_connect sock in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             write_all fd
+               (raw_request "POST" "/query" "edge"
+               ^ raw_request "POST" "/query" "path(a, X)");
+             let s1, h1, b1, left = read_framed fd "" in
+             check Alcotest.int "pipelined 1 ok" 200 s1;
+             check
+               Alcotest.(option string)
+               "pipelined 1 keeps alive" (Some "keep-alive")
+               (List.assoc_opt "connection" h1);
+             check
+               Alcotest.(list string)
+               "pipelined 1 answers"
+               [ "edge(\"a\", \"b\")."; "edge(\"b\", \"c\").";
+                 "edge(\"c\", \"d\")." ]
+               (sorted_lines b1);
+             let s2, _, b2, left = read_framed fd left in
+             check Alcotest.int "pipelined 2 ok" 200 s2;
+             check
+               Alcotest.(list string)
+               "pipelined 2 answers (carryover not truncated)"
+               [ "path(\"a\", \"b\")."; "path(\"a\", \"c\").";
+                 "path(\"a\", \"d\")." ]
+               (sorted_lines b2);
+             write_all fd
+               (raw_request ~headers:"connection: close\r\n" "POST" "/query"
+                  "edge");
+             let s3, h3, _, left = read_framed fd left in
+             check Alcotest.int "on-demand close ok" 200 s3;
+             check
+               Alcotest.(option string)
+               "close honored" (Some "close")
+               (List.assoc_opt "connection" h3);
+             check Alcotest.string "nothing buffered past the close" "" left;
+             expect_eof fd)))
+
+(* many requests over one persistent Client connection: request count
+   grows, connection count does not *)
+let test_client_keepalive () =
+  ignore
+    (with_server (fun srv sock ->
+         let s0 = S.stats srv in
+         let c = S.Client.connect sock in
+         Fun.protect
+           ~finally:(fun () -> S.Client.close c)
+           (fun () ->
+             for _ = 1 to 5 do
+               let code, _ =
+                 S.Client.request_on c ~meth:"POST" ~path:"/query"
+                   ~body:"path(a, X)" ()
+               in
+               check Alcotest.int "keep-alive query ok" 200 code
+             done);
+         let s1 = S.stats srv in
+         check Alcotest.int "five requests served" 5
+           (s1.S.st_requests - s0.S.st_requests);
+         check Alcotest.int "over one connection" 1
+           (s1.S.st_conns - s0.S.st_conns)))
+
+let test_idle_timeout () =
+  ignore
+    (with_server
+       ~cfg:(fun c -> { c with S.idle_timeout_s = 0.25 })
+       (fun _srv sock ->
+         let fd = raw_connect sock in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             write_all fd (raw_request "POST" "/query" "edge");
+             let s, h, _, left = read_framed fd "" in
+             check Alcotest.int "served before idling" 200 s;
+             check
+               Alcotest.(option string)
+               "still keep-alive" (Some "keep-alive")
+               (List.assoc_opt "connection" h);
+             check Alcotest.string "no leftover" "" left;
+             (* no second request: the server must hang up on its own *)
+             let t0 = Unix.gettimeofday () in
+             expect_eof fd;
+             let dt = Unix.gettimeofday () -. t0 in
+             check Alcotest.bool "closed by idle timeout, not instantly" true
+               (dt < 2.5))))
+
+let test_request_cap () =
+  ignore
+    (with_server
+       ~cfg:(fun c -> { c with S.max_requests_per_conn = 2 })
+       (fun _srv sock ->
+         let c = S.Client.connect sock in
+         Fun.protect
+           ~finally:(fun () -> S.Client.close c)
+           (fun () ->
+             let code, _ =
+               S.Client.request_on c ~meth:"POST" ~path:"/query" ~body:"edge"
+                 ()
+             in
+             check Alcotest.int "request 1 ok" 200 code;
+             let code, _ =
+               S.Client.request_on c ~meth:"POST" ~path:"/query" ~body:"edge"
+                 ()
+             in
+             check Alcotest.int "request 2 ok (capped after)" 200 code;
+             match
+               S.Client.request_on c ~meth:"POST" ~path:"/query" ~body:"edge"
+                 ()
+             with
+             | _ -> Alcotest.fail "expected the cap to close the connection"
+             | exception (Failure _ | Unix.Unix_error _) -> ())))
+
+(* a half-sent request head must not hold a reader forever: past
+   io_timeout_s it answers 400 and closes *)
+let test_slowloris () =
+  ignore
+    (with_server
+       ~cfg:(fun c -> { c with S.io_timeout_s = 0.3 })
+       (fun _srv sock ->
+         let fd = raw_connect sock in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             write_all fd "POST /query HTTP/1.1\r\ncontent-le";
+             let t0 = Unix.gettimeofday () in
+             let s, h, _, _ = read_framed fd "" in
+             let dt = Unix.gettimeofday () -. t0 in
+             check Alcotest.int "slowloris answered 400" 400 s;
+             check
+               Alcotest.(option string)
+               "and closed" (Some "close")
+               (List.assoc_opt "connection" h);
+             check Alcotest.bool "bounded by io_timeout_s" true (dt < 2.5);
+             expect_eof fd)))
+
+(* drain while a pipelined pair is buffered: both requests are
+   answered, then the connection closes instead of waiting for more *)
+let test_keepalive_drain () =
+  ignore
+    (with_server
+       ~cfg:(fun c -> { c with S.debug_endpoints = true })
+       (fun srv sock ->
+         let fd = raw_connect sock in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             write_all fd
+               (raw_request "POST" "/slow" "0.5"
+               ^ raw_request "POST" "/query" "edge");
+             Thread.delay 0.15;
+             S.drain srv;
+             let s1, _, _, left = read_framed fd "" in
+             check Alcotest.bool "in-flight request answered" true (s1 > 0);
+             let s2, h2, b2, left = read_framed fd left in
+             check Alcotest.int "buffered pipeline finished under drain" 200
+               s2;
+             check Alcotest.int "with the right answer" 3
+               (List.length (sorted_lines b2));
+             check
+               Alcotest.(option string)
+               "then the connection closes" (Some "close")
+               (List.assoc_opt "connection" h2);
+             check Alcotest.string "nothing after the close" "" left;
+             expect_eof fd)))
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [ Alcotest.test_case "batch: parse + split + errors." `Quick
@@ -421,4 +690,16 @@ let suite =
     Alcotest.test_case "session snapshots rotate." `Quick
       test_save_session_rotates;
     Alcotest.test_case "recovery respects retracted program facts." `Quick
-      test_recover_respects_retracted_program_facts ]
+      test_recover_respects_retracted_program_facts;
+    Alcotest.test_case "keep-alive: pipelined requests carry over." `Quick
+      test_pipelining;
+    Alcotest.test_case "keep-alive: one connection, many requests." `Quick
+      test_client_keepalive;
+    Alcotest.test_case "keep-alive: idle timeout closes." `Quick
+      test_idle_timeout;
+    Alcotest.test_case "keep-alive: request cap closes." `Quick
+      test_request_cap;
+    Alcotest.test_case "slowloris: partial head times out." `Quick
+      test_slowloris;
+    Alcotest.test_case "keep-alive x drain: pipeline finishes, then close."
+      `Quick test_keepalive_drain ]
