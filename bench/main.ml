@@ -912,7 +912,10 @@ let planner_bench () =
    reachability workload (chains of depth 20, as PLAN (a)). Two update
    scenarios per configuration: a single mid-chain retraction (the
    delete-and-rederive cone) and a 1% insert batch hung off the chain
-   tails (delta propagation), applied cumulatively. After every
+   tails (delta propagation), applied cumulatively. A second workload
+   (the [agg-] rows) runs the same scenarios against the company-control
+   program, whose monotonic [sum(W, <Z>)] is served by counting
+   maintenance — no wholesale stratum, no fallback. After every
    maintain the maintained database is compared — canonically, labeled
    nulls renamed — against a from-scratch chase of the updated EDB, at
    jobs 1 and 2, planner on and off. KGM_BENCH_N overrides the instance
@@ -944,7 +947,15 @@ let incremental_bench () =
       "reach(X, Y) :- company(X), own(X, Y, W), company(Y), W > 0.0. \
        reach(X, Z) :- reach(X, Y), own(Y, Z, W), company(Z), W > 0.0."
   in
-  let program = { rules with V.Rule.facts = edb } in
+  (* the control program over the same topology: every 0.6 edge clears
+     the 0.5 threshold, so control propagates down each chain and a
+     mid-chain retraction empties every group below it *)
+  let control_rules =
+    V.Parser.parse_program
+      "controls(X, X) :- company(X). \
+       controls(X, Y) :- controls(X, Z), own(Z, Y, W), V = sum(W, <Z>), \
+       V > 0.5."
+  in
   (* single retraction: a mid-chain edge, so half of chain 0's closure
      dies and nothing is rederivable *)
   let mid = len / 2 in
@@ -962,7 +973,7 @@ let incremental_bench () =
            [ ("company", [| Value.Int v |]);
              ("own", [| Value.Int tail; Value.Int v; Value.Float 0.6 |]) ]))
   in
-  let rechase st options =
+  let rechase rules st options =
     time (fun () ->
         let db = V.Database.create () in
         List.iter
@@ -973,35 +984,44 @@ let incremental_bench () =
   in
   say
     "%d companies in %d chains; single mid-chain retraction, then a 1%%@.\
-     insert batch (%d facts). Maintained database checked against a@.\
-     from-scratch chase of the updated EDB after every batch.@.@."
+     insert batch (%d facts), on the reach program and again on the@.\
+     company-control program (agg- rows, counting maintenance of the@.\
+     monotonic sum). Maintained database checked against a from-scratch@.\
+     chase of the updated EDB after every batch.@.@."
     (chains * len) chains
     (2 * batch_n);
-  say "%6s | %7s | %12s | %11s | %10s | %8s | %5s@." "jobs" "planner"
+  say "%6s | %7s | %15s | %11s | %10s | %8s | %5s@." "jobs" "planner"
     "scenario" "maintain s" "rechase s" "speedup" "equal";
-  say "%s@." (String.make 74 '-');
+  say "%s@." (String.make 77 '-');
   let rows = ref [] in
-  List.iter
-    (fun (jobs, planner) ->
-      let options = { V.Engine.default_options with planner; jobs } in
-      let st, _ = V.Incremental.chase ~options program in
-      let scenario name ~inserts ~retracts =
-        let u = V.Incremental.maintain st ~inserts ~retracts in
-        let db_ref, t_rechase = rechase st options in
-        let equal = V.Incremental.equal_facts (V.Incremental.db st) db_ref in
-        let speedup =
-          t_rechase /. max 1e-9 u.V.Incremental.u_elapsed_s
+  let run_matrix prefix rules =
+    List.iter
+      (fun (jobs, planner) ->
+        let options = { V.Engine.default_options with planner; jobs } in
+        let program = { rules with V.Rule.facts = edb } in
+        let st, _ = V.Incremental.chase ~options program in
+        let scenario name ~inserts ~retracts =
+          let u = V.Incremental.maintain st ~inserts ~retracts in
+          let db_ref, t_rechase = rechase rules st options in
+          let equal =
+            V.Incremental.equal_facts (V.Incremental.db st) db_ref
+          in
+          let speedup = t_rechase /. max 1e-9 u.V.Incremental.u_elapsed_s in
+          say "%6d | %7b | %15s | %11.5f | %10.5f | %7.1fx | %5b@." jobs
+            planner name u.V.Incremental.u_elapsed_s t_rechase speedup equal;
+          rows := (jobs, planner, name, u, t_rechase, speedup, equal) :: !rows
         in
-        say "%6d | %7b | %12s | %11.5f | %10.5f | %7.1fx | %5b@." jobs
-          planner name u.V.Incremental.u_elapsed_s t_rechase speedup equal;
-        rows := (jobs, planner, name, u, t_rechase, speedup, equal) :: !rows
-      in
-      scenario "retract-1" ~inserts:[] ~retracts:[ retract1 ];
-      scenario "insert-1pct" ~inserts:batch ~retracts:[])
-    [ (1, true); (1, false); (2, true); (2, false) ];
+        scenario (prefix ^ "retract-1") ~inserts:[] ~retracts:[ retract1 ];
+        scenario (prefix ^ "insert-1pct") ~inserts:batch ~retracts:[])
+      [ (1, true); (1, false); (2, true); (2, false) ]
+  in
+  run_matrix "" rules;
+  run_matrix "agg-" control_rules;
   let rows = List.rev !rows in
   say
-    "@.Shape check: equal everywhere, no fallback; both scenarios@.\
+    "@.Shape check: equal everywhere, no fallback — including the agg-@.\
+     rows, where the retraction decrements sum(W, <Z>) group state and@.\
+     only threshold-crossing control facts cascade; both scenarios@.\
      maintain at >= 5x lower wall-clock than the full re-chase at the@.\
      default size — the update touches a sliver of the closure.@.\
      Planner on/off no longer matters here: seeded passes are delta@.\
@@ -1022,10 +1042,12 @@ let incremental_bench () =
         "    { \"jobs\": %d, \"planner\": %b, \"scenario\": \"%s\", \
          \"maintain_s\": %.6f, \"rechase_s\": %.6f, \"speedup\": %.3f, \
          \"cone\": %d, \"deleted\": %d, \"rederived\": %d, \"derived\": %d, \
-         \"fallback\": %b, \"maintained_equal\": %b }%s\n"
+         \"strata\": %d, \"agg_groups\": %d, \"fallback\": %b, \
+         \"maintained_equal\": %b }%s\n"
         jobs planner name u.V.Incremental.u_elapsed_s t_rechase speedup
         u.V.Incremental.u_cone u.V.Incremental.u_deleted
         u.V.Incremental.u_rederived u.V.Incremental.u_derived
+        u.V.Incremental.u_strata u.V.Incremental.u_agg_groups
         u.V.Incremental.u_fallback equal
         (if i = List.length rows - 1 then "" else ","))
     rows;

@@ -574,7 +574,7 @@ let reason_cmd =
                 in
                 Format.printf
                   "%% update %s: +%d -%d; cone %d, deleted %d, rederived \
-                   %d, refired %d, derived %d in %d rounds (%.3fs)%s@."
+                   %d, refired %d, derived %d in %d rounds (%.3fs)%s%s%s@."
                   (if ufile = "-" then "<stdin>" else ufile)
                   u.Kgm_vadalog.Incremental.u_inserted
                   u.Kgm_vadalog.Incremental.u_retracted
@@ -585,6 +585,14 @@ let reason_cmd =
                   u.Kgm_vadalog.Incremental.u_derived
                   u.Kgm_vadalog.Incremental.u_rounds
                   u.Kgm_vadalog.Incremental.u_elapsed_s
+                  (if u.Kgm_vadalog.Incremental.u_strata > 0 then
+                     Printf.sprintf ", %d strata rederived"
+                       u.Kgm_vadalog.Incremental.u_strata
+                   else "")
+                  (if u.Kgm_vadalog.Incremental.u_agg_groups > 0 then
+                     Printf.sprintf ", %d aggregate groups maintained"
+                       u.Kgm_vadalog.Incremental.u_agg_groups
+                   else "")
                   (if u.Kgm_vadalog.Incremental.u_fallback then
                      " [fallback: full re-chase]"
                    else ""))

@@ -765,9 +765,10 @@ let handle_update t body =
       ok
         (Printf.sprintf
            "ok epoch=%d inserted=%d retracted=%d derived=%d deleted=%d \
-            rederived=%d rounds=%d fallback=%b\n"
+            rederived=%d rounds=%d strata=%d agg_groups=%d fallback=%b\n"
            t.epoch_ctr u.Inc.u_inserted u.Inc.u_retracted u.Inc.u_derived
-           u.Inc.u_deleted u.Inc.u_rederived u.Inc.u_rounds u.Inc.u_fallback))
+           u.Inc.u_deleted u.Inc.u_rederived u.Inc.u_rounds u.Inc.u_strata
+           u.Inc.u_agg_groups u.Inc.u_fallback))
 
 let handle_explain t body =
   let s = String.trim body in

@@ -184,6 +184,119 @@ let is_recursive_program (p : Rule.program) =
   List.exists (fun e -> comp_of e.from_pred = comp_of e.to_pred) edges
 
 (* ------------------------------------------------------------------ *)
+(* Maintenance-oriented lookups                                         *)
+
+let stratum_of_pred (t : t) pred =
+  Option.value ~default:0 (SMap.find_opt pred t.stratum_of)
+
+let rule_strata (t : t) (p : Rule.program) =
+  Array.of_list
+    (List.map
+       (fun (r : Rule.rule) ->
+         List.fold_left
+           (fun acc (a : Rule.atom) -> max acc (stratum_of_pred t a.Rule.pred))
+           0 r.Rule.head)
+       p.Rule.rules)
+
+type agg_profile = {
+  ap_rule : int;
+  ap_agg : Rule.aggregate;
+  ap_group_vars : string list;
+  ap_conds : Expr.t list;
+  ap_counting : bool;
+}
+
+(* Monotone-up in [result]: truth can only flip false -> true as the
+   accumulator grows under a monotone-nondecreasing op. *)
+let rec monotone_up result (e : Expr.t) =
+  match e with
+  | Expr.Cmp ((Expr.Gt | Expr.Ge), Expr.Var v, rhs) when v = result ->
+      not (List.mem result (Expr.vars rhs))
+  | Expr.Cmp ((Expr.Lt | Expr.Le), lhs, Expr.Var v) when v = result ->
+      not (List.mem result (Expr.vars lhs))
+  | Expr.And (a, b) | Expr.Or (a, b) -> monotone_up result a && monotone_up result b
+  | _ -> not (List.mem result (Expr.vars e))
+
+let monotonic_profiles (p : Rule.program) =
+  List.concat
+    (List.mapi
+       (fun ri (r : Rule.rule) ->
+         let aggs =
+           List.filteri
+             (fun _ l ->
+               match l with Rule.Agg _ -> true | _ -> false)
+             r.Rule.body
+         in
+         match aggs with
+         | [ Rule.Agg g ] when g.Rule.mode = Rule.Monotonic ->
+             let agg_i =
+               let rec find i = function
+                 | Rule.Agg _ :: _ -> i
+                 | _ :: rest -> find (i + 1) rest
+                 | [] -> assert false
+               in
+               find 0 r.Rule.body
+             in
+             (* group variables, mirroring the engine's computation
+                exactly (same [Rule.body_vars] order): the prefix-bound
+                variables used in the head or after the aggregate, minus
+                contributors and the result *)
+             let hvars = Rule.head_vars r.Rule.head in
+             let before =
+               Rule.body_vars (List.filteri (fun j _ -> j < agg_i) r.Rule.body)
+             in
+             let after =
+               List.sort_uniq String.compare
+                 (List.concat_map
+                    (function
+                      | Rule.Pos a | Rule.Neg a -> Rule.atom_vars a
+                      | Rule.Cond e -> Expr.vars e
+                      | Rule.Assign (x, e) -> x :: Expr.vars e
+                      | Rule.Agg g ->
+                          (g.Rule.result :: g.Rule.contributors)
+                          @ Expr.vars g.Rule.weight)
+                    (List.filteri (fun j _ -> j > agg_i) r.Rule.body))
+             in
+             let used v = List.mem v hvars || List.mem v after in
+             let gv =
+               List.filter
+                 (fun v ->
+                   used v
+                   && (not (List.mem v g.Rule.contributors))
+                   && v <> g.Rule.result)
+                 before
+             in
+             let suffix = List.filteri (fun j _ -> j > agg_i) r.Rule.body in
+             let conds =
+               List.filter_map
+                 (function Rule.Cond e -> Some e | _ -> None)
+                 suffix
+             in
+             let suffix_conds_only = List.length conds = List.length suffix in
+             let scope = g.Rule.result :: gv in
+             let counting =
+               (match g.Rule.op with
+                | Rule.Sum | Rule.Count | Rule.Max -> true
+                | Rule.Prod | Rule.Min | Rule.Pack -> false)
+               && suffix_conds_only
+               && Rule.existential_vars r = []
+               && List.for_all
+                    (fun v ->
+                      (not (List.mem v g.Rule.contributors))
+                      && v <> g.Rule.result)
+                    hvars
+               && List.for_all
+                    (fun e ->
+                      List.for_all (fun v -> List.mem v scope) (Expr.vars e)
+                      && monotone_up g.Rule.result e)
+                    conds
+             in
+             [ { ap_rule = ri; ap_agg = g; ap_group_vars = gv;
+                 ap_conds = conds; ap_counting = counting } ]
+         | _ -> [])
+       p.Rule.rules)
+
+(* ------------------------------------------------------------------ *)
 (* Wardedness                                                           *)
 
 type position = string * int (* predicate, argument index *)

@@ -37,6 +37,44 @@ val stratify : Rule.program -> t
 
 val is_recursive_program : Rule.program -> bool
 
+(** {1 Maintenance-oriented lookups}
+
+    Helpers for stratum-aware incremental maintenance
+    ({!Incremental}): mapping rules to the strata they fire in, and
+    classifying monotonic aggregates for counting maintenance. *)
+
+val stratum_of_pred : t -> string -> int
+(** The stratum a predicate belongs to; 0 for unknown predicates. *)
+
+val rule_strata : t -> Rule.program -> int array
+(** Per rule (positional), the stratum the engine evaluates it in: the
+    maximum stratum over its head predicates. *)
+
+type agg_profile = {
+  ap_rule : int;  (** rule index in the program *)
+  ap_agg : Rule.aggregate;
+  ap_group_vars : string list;
+      (** the group key, in the exact variable order the engine uses *)
+  ap_conds : Expr.t list;  (** conditions after the aggregate literal *)
+  ap_counting : bool;
+      (** the rule is counting-maintainable: its derived heads per
+          group depend only on the group's {e final} accumulator, not
+          on contribution order — see {!monotonic_profiles} *)
+}
+
+val monotonic_profiles : Rule.program -> agg_profile list
+(** One profile per rule whose single aggregate literal is
+    [Monotonic]. [ap_counting] holds when the aggregate's op is
+    monotone-nondecreasing ([sum]/[count]/[max] — [msum] semantics),
+    everything after the aggregate is a condition over the group
+    variables and the result, every condition mentioning the result is
+    monotone-up in it (a [>]/[>=] threshold), and neither contributors
+    nor the result reach the head (no running totals) and the head has
+    no existentials. Under those conditions a head fact holds iff the
+    final group total passes the threshold, so retracting a
+    contributor can be served by decrementing group state and
+    re-checking — the basis of DRed counting maintenance. *)
+
 (** {1 Wardedness} *)
 
 type position = string * int

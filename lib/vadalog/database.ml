@@ -247,7 +247,7 @@ let build_index s positions =
     [facts] are counted once. Raises [Invalid_argument] when frozen.
     (The dictionary is append-only: ids of removed facts stay interned,
     which is harmless — membership is decided by the dedup set.) *)
-let remove_batch t facts =
+let remove_batch ?on_remove t facts =
   if t.frozen then invalid_arg "Database.remove_batch: database is frozen";
   (* group the doomed facts per predicate, dedup'd via a probe table *)
   let by_pred : (string, unit IFactTbl.t) Hashtbl.t = Hashtbl.create 8 in
@@ -268,6 +268,11 @@ let remove_batch t facts =
             IFactTbl.replace set ifact ()
           end)
     facts;
+  let notify pred ifact =
+    match on_remove with
+    | Some f -> f pred (resolve_fact t ifact)
+    | None -> ()
+  in
   let removed = ref 0 in
   Hashtbl.iter
     (fun pred doomed ->
@@ -286,7 +291,8 @@ let remove_batch t facts =
             let fact = old_arr.(i) in
             if IFactTbl.mem doomed fact then begin
               incr removed;
-              t.total <- t.total - 1
+              t.total <- t.total - 1;
+              notify pred fact
             end
             else begin
               let seq = s.count in
@@ -294,10 +300,16 @@ let remove_batch t facts =
               buffer_append s fact
             end
           done;
-          List.iter
-            (fun positions ->
-              ignore (build_index s positions))
-            patterns)
+          if s.count = 0 then
+            (* a predicate emptied by the sweep disappears entirely:
+               keeping a ghost store would make [predicates] (and the
+               maintenance layer's canonical forms) disagree with a
+               database into which only the survivors were inserted *)
+            Hashtbl.remove t.preds pred
+          else
+            List.iter
+              (fun positions -> ignore (build_index s positions))
+              patterns)
     by_pred;
   !removed
 

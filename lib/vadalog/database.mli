@@ -111,18 +111,23 @@ val iter_matches_i :
 (** {!iter_matches} over interned facts and an id-encoded key — the
     engine's hot probe path (no per-fact decoding). *)
 
-val remove_batch : t -> (string * fact) list -> int
+val remove_batch :
+  ?on_remove:(string -> fact -> unit) -> t -> (string * fact) list -> int
 (** [remove_batch t facts] deletes every listed (pred, fact) pair that
     is present; returns how many facts were removed (duplicates counted
     once). Affected predicate stores are rebuilt in one sweep: the
     survivors keep their relative insertion order, are renumbered
     densely from 0, and the predicate's index patterns are rebuilt over
     them — afterwards the store is indistinguishable from one into
-    which only the survivors were ever inserted. This is the deletion
+    which only the survivors were ever inserted (in particular, a
+    predicate emptied by the sweep vanishes from {!predicates}). This is the deletion
     primitive of the incremental maintenance layer
     ({!Kgm_vadalog.Incremental}); it is batch-oriented because DRed
-    removes a whole overdeletion cone at once. Raises
-    [Invalid_argument] on a frozen database. *)
+    removes a whole overdeletion cone at once. [on_remove] is called
+    once per fact actually removed, in sweep order — maintenance
+    layers use it to keep derived state (aggregate group logs, caches)
+    in step with the store. Raises [Invalid_argument] on a frozen
+    database. *)
 
 (** {1 Freezing (parallel read phases)}
 

@@ -418,6 +418,28 @@ type group_state = {
 
 type agg_state = group_state KeyTbl.t
 
+(* Counting-maintenance observers: a maintenance layer listening on
+   [?on_agg] sees every distinct monotonic-aggregate contribution (with
+   the body facts it came from) and every head fact a group fired —
+   including re-derivations of facts already present. That log is what
+   lets DRed decrement group totals on retraction instead of falling
+   back to a full re-chase. *)
+type agg_event =
+  | Agg_contrib of {
+      ac_rule : int;                 (* recording id of the aggregate rule *)
+      ac_group : Value.t list;       (* group key (group_vars order) *)
+      ac_key : Value.t list;         (* contributor dedup key *)
+      ac_weight : Value.t;           (* the aggregated value *)
+      ac_parents : (string * Database.fact) list;
+          (* body facts matched before the aggregate literal *)
+    }
+  | Agg_head of {
+      ah_rule : int;
+      ah_group : Value.t list;
+      ah_pred : string;
+      ah_fact : Database.fact;
+    }
+
 let agg_step op acc v =
   match op, acc with
   | Rule.Count, None -> Value.Int 1
@@ -482,6 +504,11 @@ let compile_lit dict = function
 type prepared = {
   rule : Rule.rule;
   rule_id : int;
+  rid : int;
+  (* recording id: the rule id written into support entries, suppressed
+     firings and aggregate state. Equal to [rule_id] except when a
+     maintenance layer re-runs a slice of a larger pipeline and needs
+     the recorded ids to stay stable across slices ([?rule_ids]). *)
   head_label : string;  (* "pred/arity" of every head atom, joined *)
   existentials : string list;
   (* for every monotonic/stratified aggregate literal (at most one
@@ -608,7 +635,7 @@ let reorder_rule ?db (r : Rule.rule) =
     { r with Rule.body = List.rev !result }
   end
 
-let prepare dict rule_id (r : Rule.rule) =
+let prepare ?rid dict rule_id (r : Rule.rule) =
   let hvars = Rule.head_vars r.Rule.head in
   let group_vars =
     List.concat
@@ -687,6 +714,7 @@ let prepare dict rule_id (r : Rule.rule) =
   in
   { rule = r;
     rule_id;
+    rid = (match rid with Some id -> id | None -> rule_id);
     head_label =
       String.concat ","
         (List.map
@@ -723,9 +751,15 @@ type run_state = {
   db : Database.t;
   opts : options;
   mutable added : int;
-  agg_states : (int, agg_state) Hashtbl.t; (* rule_id -> state *)
+  agg_states : (int, agg_state) Hashtbl.t; (* rid -> state *)
   prov : provenance option;
   sup : support option;  (* full derivation support (DRed maintenance) *)
+  on_agg : (agg_event -> unit) option;
+  (* group keys of the aggregate literals on the current evaluation
+     path, innermost first — lets [fire] attribute head facts to the
+     group that produced them. Aggregate rules only run sequentially
+     (has_agg), so a plain mutable field is safe. *)
+  mutable agg_notes : (int * Value.t list) list;
   (* facts matched so far on the current evaluation path. The scan path
      pushes/pops once per matched candidate at EVERY join level — tens
      of millions of times per round on probe-heavy joins — so it uses a
@@ -1050,9 +1084,19 @@ let fire st env (prep : prepared) ~on_new =
   let record_support nulls pred fact =
     match st.sup with
     | Some sup ->
-        support_record sup ~rule_id:prep.rule_id
+        support_record sup ~rule_id:prep.rid
           ~parents:(resolve_parents st (trail_parents st)) ~nulls pred fact
     | None -> ()
+  in
+  let notify_agg pred fact =
+    match st.on_agg with
+    | Some f when st.agg_notes <> [] ->
+        List.iter
+          (fun (rid, group) ->
+            f (Agg_head { ah_rule = rid; ah_group = group;
+                          ah_pred = pred; ah_fact = fact }))
+          st.agg_notes
+    | _ -> ()
   in
   let add_head nulls (a : catom) =
     let ifact = ground_atom env a in
@@ -1062,18 +1106,24 @@ let fire st env (prep : prepared) ~on_new =
       budget_check ();
       (* maintenance layers stay value-based: resolve once, at the
          recording boundary, off the hot dedup path *)
-      if Option.is_some st.prov || Option.is_some st.sup then begin
+      if Option.is_some st.prov || Option.is_some st.sup
+         || Option.is_some st.on_agg
+      then begin
         let fact = resolve_ifact st ifact in
         record a.ca_pred fact;
         (match st.sup with
          | Some sup -> support_index_fact sup a.ca_pred fact
          | None -> ());
-        record_support nulls a.ca_pred fact
+        record_support nulls a.ca_pred fact;
+        notify_agg a.ca_pred fact
       end;
       on_new a.ca_pred ifact
     end
-    else if Option.is_some st.sup then
-      record_support nulls a.ca_pred (resolve_ifact st ifact)
+    else if Option.is_some st.sup || Option.is_some st.on_agg then begin
+      let fact = resolve_ifact st ifact in
+      record_support nulls a.ca_pred fact;
+      notify_agg a.ca_pred fact
+    end
   in
   if prep.existentials = [] then List.iter (add_head []) prep.cheads
   else begin
@@ -1085,7 +1135,7 @@ let fire st env (prep : prepared) ~on_new =
           st.cur.c_hits <- st.cur.c_hits + 1;
           (match st.sup with
            | Some sup ->
-               support_record_suppressed sup ~rule_id:prep.rule_id
+               support_record_suppressed sup ~rule_id:prep.rid
                  ~parents:(resolve_parents st (trail_parents st))
                  ~image:(resolve_parents st image)
            | None -> ());
@@ -1165,11 +1215,11 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
               g.Rule.contributors
           in
           let state =
-            match Hashtbl.find_opt st.agg_states prep.rule_id with
+            match Hashtbl.find_opt st.agg_states prep.rid with
             | Some s -> s
             | None ->
                 let s = KeyTbl.create 64 in
-                Hashtbl.add st.agg_states prep.rule_id s;
+                Hashtbl.add st.agg_states prep.rid s;
                 s
           in
           let group =
@@ -1185,9 +1235,22 @@ let rec eval_literals st env (prep : prepared) body i ~delta ~emit =
             let w = Expr.eval_fn (env_value st env) g.Rule.weight in
             group.acc <- Some (agg_step g.Rule.op group.acc w);
             group.n <- group.n + 1;
+            (match st.on_agg with
+             | Some f ->
+                 f (Agg_contrib
+                      { ac_rule = prep.rid; ac_group = group_key;
+                        ac_key = contrib_key; ac_weight = w;
+                        ac_parents = resolve_parents st (trail_parents st) })
+             | None -> ());
             let mark = env_mark env in
             env_bind env g.Rule.result (value_id st (Option.get group.acc));
-            continue ();
+            (match st.on_agg with
+             | Some _ ->
+                 st.agg_notes <- (prep.rid, group_key) :: st.agg_notes;
+                 Fun.protect
+                   ~finally:(fun () -> st.agg_notes <- List.tl st.agg_notes)
+                   continue
+             | None -> continue ());
             env_undo env mark
           end
       | CAgg _ ->
@@ -1485,6 +1548,7 @@ let eval_work_item (main : run_state) (w : work_item) : work_result =
       agg_states = Hashtbl.create 1;
       prov = main.prov;  (* only consulted as a capture-the-trail flag *)
       sup = main.sup;    (* likewise *)
+      on_agg = None; agg_notes = [];  (* aggregates never run on workers *)
       trail_preds = [||]; trail_facts = [||]; trail_len = 0;
       fact_trail = [];
       sc = Intern.Scratch.create ();
@@ -1913,8 +1977,8 @@ let program_fingerprint program =
 let run ?(options = default_options) ?provenance ?support
     ?(telemetry = Kgm_telemetry.null)
     ?(journal = Kgm_telemetry.Journal.null)
-    ?(cancel = Kgm_resilience.Token.none) ?checkpoint ?resume_from
-    (program : Rule.program) db =
+    ?(cancel = Kgm_resilience.Token.none) ?checkpoint ?resume_from ?on_agg
+    ?rule_ids (program : Rule.program) db =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
     ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
     "engine.run"
@@ -2011,7 +2075,7 @@ let run ?(options = default_options) ?provenance ?support
   let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; sup = support;
+      prov = provenance; sup = support; on_agg; agg_notes = [];
       trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
       sc = Intern.Scratch.create ();
       tele = telemetry; jr = journal;
@@ -2057,7 +2121,9 @@ let run ?(options = default_options) ?provenance ?support
   let prepared =
     List.mapi
       (fun i r ->
-        prepare (Database.dict db) i
+        prepare
+          ?rid:(Option.map (fun a -> a.(i)) rule_ids)
+          (Database.dict db) i
           (if options.reorder_body then reorder_rule ~db r else r))
       program.Rule.rules
   in
@@ -2407,7 +2473,8 @@ let run ?(options = default_options) ?provenance ?support
 let run_delta ?(options = default_options) ?provenance ?support
     ?(telemetry = Kgm_telemetry.null)
     ?(journal = Kgm_telemetry.Journal.null)
-    ?(cancel = Kgm_resilience.Token.none) ?on_new (program : Rule.program) db
+    ?(cancel = Kgm_resilience.Token.none) ?on_new ?on_agg ?rule_ids
+    ?(agg_init = []) (program : Rule.program) db
     ~(seed : (string * Database.fact list) list) =
   Kgm_telemetry.with_span telemetry ~cat:"engine"
     ~args:[ ("rules", string_of_int (List.length program.Rule.rules)) ]
@@ -2437,7 +2504,7 @@ let run_delta ?(options = default_options) ?provenance ?support
   let n_rules = List.length program.Rule.rules in
   let st =
     { db; opts = options; added = 0; agg_states = Hashtbl.create 16;
-      prov = provenance; sup = support;
+      prov = provenance; sup = support; on_agg; agg_notes = [];
       trail_preds = [||]; trail_facts = [||]; trail_len = 0; fact_trail = [];
       sc = Intern.Scratch.create ();
       tele = telemetry; jr = journal;
@@ -2445,6 +2512,11 @@ let run_delta ?(options = default_options) ?provenance ?support
       cur = fresh_ctr ();
       round = 0; trip_rule = None }
   in
+  (* counting maintenance: start monotonic aggregates from the caller's
+     saturated accumulators instead of empty groups, so a delta pass
+     neither re-counts old contributions nor misses thresholds already
+     crossed *)
+  List.iter (fun (id, s) -> Hashtbl.replace st.agg_states id s) agg_init;
   if Journal.enabled journal then
     Journal.emit journal "run.start"
       [ ("mode", J.Str "delta");
@@ -2460,7 +2532,9 @@ let run_delta ?(options = default_options) ?provenance ?support
   let prepared =
     List.mapi
       (fun i r ->
-        prepare (Database.dict db) i
+        prepare
+          ?rid:(Option.map (fun a -> a.(i)) rule_ids)
+          (Database.dict db) i
           (if options.reorder_body then reorder_rule ~db r else r))
       program.Rule.rules
   in

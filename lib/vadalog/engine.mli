@@ -226,6 +226,51 @@ val fact_nulls : Database.fact -> int list
 (** The labeled-null ids occurring in a fact's tuple (including inside
     list values), sorted and dedup'd. *)
 
+(** {1 Monotonic-aggregate observation}
+
+    Counting maintenance (DRed through [msum]-style aggregates) needs
+    two things the {!support} graph does not carry: the weight and
+    body facts behind every {e distinct} contribution — including
+    sub-threshold ones, which never fire a head — and the mapping from
+    a group to the head facts it produced. [?on_agg] streams both. *)
+
+type group_state = {
+  seen : unit Database.KeyTbl.t;  (** contributor/dedup keys *)
+  mutable acc : Kgm_common.Value.t option;  (** running accumulator *)
+  mutable n : int;  (** distinct contributions folded into [acc] *)
+}
+(** Per-group accumulator of a monotonic aggregate, exactly as the
+    engine keeps it across rounds (and checkpoints it). *)
+
+type agg_state = group_state Database.KeyTbl.t
+(** Group key → accumulator, for one aggregate rule. *)
+
+type agg_event =
+  | Agg_contrib of {
+      ac_rule : int;  (** recording id of the aggregate rule *)
+      ac_group : Kgm_common.Value.t list;  (** group key *)
+      ac_key : Kgm_common.Value.t list;  (** contributor dedup key *)
+      ac_weight : Kgm_common.Value.t;  (** the aggregated value *)
+      ac_parents : (string * Database.fact) list;
+          (** body facts matched before the aggregate literal *)
+    }  (** a distinct contribution was folded into its group *)
+  | Agg_head of {
+      ah_rule : int;
+      ah_group : Kgm_common.Value.t list;
+      ah_pred : string;
+      ah_fact : Database.fact;
+    }
+      (** a head fact was produced under a group's accumulator —
+          emitted on re-derivations of existing facts too, like
+          support recording *)
+
+val agg_step :
+  Rule.agg_op -> Kgm_common.Value.t option -> Kgm_common.Value.t ->
+  Kgm_common.Value.t
+(** One accumulator step — [agg_step op acc v] folds [v] into [acc]
+    exactly as the engine does, so a maintenance layer can rebuild a
+    {!group_state} from surviving contributions. *)
+
 type stats = {
   rounds : int;      (** fixpoint rounds across all strata *)
   new_facts : int;   (** facts added by this run *)
@@ -316,9 +361,18 @@ val run :
   ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t ->
   ?cancel:Kgm_resilience.Token.t ->
   ?checkpoint:checkpoint -> ?resume_from:string ->
+  ?on_agg:(agg_event -> unit) -> ?rule_ids:int array ->
   Rule.program -> Database.t -> stats
 (** Load the program's facts into the database and chase its rules to
-    fixpoint, stratum by stratum. Raises [Kgm_error.Error]:
+    fixpoint, stratum by stratum.
+
+    [on_agg] observes monotonic-aggregate evaluation (see
+    {!agg_event}); pure observation, like [journal]. [rule_ids]
+    overrides the {e recording} id of each rule (positional): support
+    entries, suppressed firings and aggregate state are keyed by
+    [rule_ids.(i)] instead of [i]. Maintenance layers slicing a larger
+    pipeline into sub-programs pass the rules' pipeline-wide ids so
+    the shared support stays unambiguous. Raises [Kgm_error.Error]:
     [Validate] on unsafe or unstratifiable programs (or unwarded ones
     when [check_wardedness]), [Reason] on exceeded budgets (with the
     offending rule and round — and the final checkpoint path, when one
@@ -374,9 +428,16 @@ val run_delta :
   ?telemetry:Kgm_telemetry.t -> ?journal:Kgm_telemetry.Journal.t ->
   ?cancel:Kgm_resilience.Token.t ->
   ?on_new:(string -> Database.fact -> unit) ->
+  ?on_agg:(agg_event -> unit) -> ?rule_ids:int array ->
+  ?agg_init:(int * agg_state) list ->
   Rule.program -> Database.t ->
   seed:(string * Database.fact list) list -> stats
-(** Seeded semi-naive pass for incremental maintenance. Precondition:
+(** Seeded semi-naive pass for incremental maintenance. [on_agg] and
+    [rule_ids] as in {!run}; [agg_init] installs saturated
+    monotonic-aggregate accumulators (keyed by recording id) before
+    the pass, so new contributions extend the old totals — required
+    whenever [program] contains a monotonic aggregate, otherwise the
+    pass would re-count from empty groups. Precondition:
     [db] already holds a chase fixpoint of [program] plus a batch of
     new extensional facts, and [seed] lists exactly the facts that are
     new since that fixpoint (already present in [db]; they are {e not}

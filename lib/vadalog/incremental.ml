@@ -17,17 +17,26 @@
        retracted fact. When a cone fact is an origin parent of a
        labeled null, the null is {e at risk} and every fact carrying
        it joins the cone too (a null is only meaningful while its
-       creating derivation stands).}
+       creating derivation stands). When a cone fact fed a monotonic
+       aggregate, the group it contributed to is {e touched} and the
+       group's head facts join the cone (the group total shrinks, so
+       heads that only ever passed a threshold thanks to the dying
+       contribution must be re-judged — the support graph alone cannot
+       see this, because sub-threshold contributions never fired).}
     {- {e Alive closure.} Inside the cone, compute the least fixpoint
        of: a fact is alive iff it is (still) extensional, or all nulls
-       in its tuple are alive and some recorded derivation of it has
-       all parents alive; an at-risk null is alive iff all parents of
-       its creating derivation are alive. Facts outside the cone are
-       alive by construction — every derivation chain from them down
-       to the EDB avoids the retracted facts.}
+       in its tuple are alive and it has sound derivation evidence —
+       a recorded non-aggregate derivation with all parents alive, or
+       a touched aggregate group whose {e surviving} contributions
+       still drive its conditions true ({e counting} evidence: the
+       group state is refolded from the contribution log, so evidence
+       reflects the post-retraction totals, not the stale support).
+       An at-risk null is alive iff all parents of its creating
+       derivation are alive.}
     {- {e Deletion.} Cone minus alive is removed in one
        {!Database.remove_batch} sweep (survivors keep their relative
-       order — the determinism invariant), and the support is pruned:
+       order — the determinism invariant); the [on_remove] hook keeps
+       the aggregate group logs in step, and the support is pruned:
        entries of dead facts, entries of surviving facts that consumed
        a dead parent, origin/carrier records of dead nulls, and
        suppressed-firing records whose parents died.}
@@ -36,11 +45,22 @@
        the same {!Engine.run_delta} pass as the inserts, so the rule
        re-fires through the normal machinery and may now invent.}}
 
-    Programs where the update can reach a negated or aggregated
-    predicate fall back to a full re-chase: stratified negation and
-    aggregation are non-monotone, so support entries under them are
-    not sound deletion evidence. The gate is computed conservatively
-    on the rule dependency graph before anything is touched. *)
+    {b Stratum-aware non-monotonicity.} Stratified negation and
+    [Stratified] aggregation are non-monotone, so support entries
+    recorded under them are not sound deletion evidence — but that
+    only poisons the strata actually containing them. Each phase is
+    stratified once ({!Analysis.stratify}); when the update's affected
+    closure reaches a rule with stratified negation or aggregation,
+    that rule's {e stratum} is marked {e wholesale}: its derived facts
+    are force-deleted through the cone and the stratum is re-derived
+    with {!Engine.run} on top of the already-maintained lower strata —
+    never from scratch. Strata below and beside the mark keep the DRed
+    path above; [Monotonic] aggregates (the paper's [msum]) keep it
+    too, through counting evidence. A full re-chase survives only for
+    updates the machinery genuinely cannot localize: a non-semi-naive
+    engine, a monotonic aggregate outside {!Analysis.monotonic_profiles},
+    or an affected non-counting monotonic rule (order-sensitive
+    accumulators such as [pack] running totals). *)
 
 open Kgm_common
 module Journal = Kgm_telemetry.Journal
@@ -48,9 +68,64 @@ module J = Kgm_telemetry.Json
 
 type phase_edb = unit Engine.ProvTbl.t
 
+(* -------- aggregate contribution logs (counting maintenance) -------- *)
+
+(** One aggregation group of one monotonic rule: every distinct
+    contribution the engine folded (including sub-threshold ones that
+    never fired) and every head fact the group produced. *)
+type group_log = {
+  mutable gl_contribs :
+    (Value.t list * Value.t * (string * Database.fact) list) list;
+      (** (dedup key, weight, body parents), reverse chronological *)
+  mutable gl_heads : (string * Database.fact) list;  (** reverse chrono *)
+  gl_head_set : unit Engine.ProvTbl.t;
+  mutable gl_touched : bool;  (** scratch, one {!maintain} call *)
+  mutable gl_pass_true : bool;  (** scratch: counting evidence cache *)
+  mutable gl_dirty : bool;  (** scratch: heads pruned during removal *)
+  mutable gl_defunct : bool;
+      (** the log holding this group was reset (wholesale rerun or
+          fallback); persistent index entries pointing here are stale *)
+}
+
+type agg_log = {
+  lg_rid : int;  (** pipeline-global recording id of the rule *)
+  lg_phase : int;
+  lg_profile : Analysis.agg_profile;
+  lg_body_preds : string list;
+  lg_head_preds : string list;
+  lg_groups : group_log Database.KeyTbl.t;
+  lg_state : Engine.agg_state;
+      (** live accumulators, mirroring the engine's: handed to
+          {!Engine.run_delta} as [agg_init] (which then mutates them in
+          place) and resynced from surviving contributions after a
+          retraction — never refolded wholesale *)
+  mutable lg_neg : bool;
+      (** a negative weight was recorded at some point: [sum] counting
+          evidence is then unsound and the fallback gate fires *)
+}
+
+(** Per-phase stratification, computed once at chase time. Recording
+    ids are pipeline-global: phase [i]'s rule [j] records support,
+    suppressed firings and aggregate state under
+    [metas.(i).pm_rid_base + j]. *)
+type phase_meta = {
+  pm_rules : Rule.rule array;
+  pm_rule_strata : int array;
+  pm_rid_base : int;
+  pm_n_strata : int;
+}
+
 type state = {
   phases : Rule.program list;
   options : Engine.options;
+  metas : phase_meta array;
+  agg_tbl : (int, agg_log) Hashtbl.t;  (** recording id -> log *)
+  idx_parent : (agg_log * Value.t list * group_log) list ref Engine.ProvTbl.t;
+      (** contribution parent fact -> the groups it feeds; persistent,
+          appended as contributions are recorded, so a maintain pays
+          cone-sized lookups instead of a materialization-sized build *)
+  idx_head : (agg_log * Value.t list * group_log) list ref Engine.ProvTbl.t;
+      (** aggregate head fact -> the groups that derived it *)
   mutable db : Database.t;
   mutable support : Engine.support;
   edb_set : phase_edb;
@@ -66,6 +141,8 @@ type update_stats = {
   u_refired : int;
   u_derived : int;
   u_rounds : int;
+  u_strata : int;
+  u_agg_groups : int;
   u_fallback : bool;
   u_elapsed_s : float;
 }
@@ -81,13 +158,147 @@ let edb_note st pred fact =
   end
   else false
 
+let rule_body_preds (r : Rule.rule) =
+  List.filter_map
+    (function Rule.Pos a | Rule.Neg a -> Some a.Rule.pred | _ -> None)
+    r.Rule.body
+
+let rule_head_preds (r : Rule.rule) =
+  List.map (fun (a : Rule.atom) -> a.Rule.pred) r.Rule.head
+
+let build_metas phases =
+  let base = ref 0 in
+  let metas =
+    List.map
+      (fun (ph : Rule.program) ->
+        let analysis = Analysis.stratify ph in
+        let rules = Array.of_list ph.Rule.rules in
+        let m =
+          { pm_rules = rules;
+            pm_rule_strata = Analysis.rule_strata analysis ph;
+            pm_rid_base = !base;
+            pm_n_strata = max 1 (List.length analysis.Analysis.strata) }
+        in
+        base := !base + Array.length rules;
+        m)
+      phases
+  in
+  Array.of_list metas
+
+let register_agg_logs st =
+  (* anything pointing into the old logs (persistent indexes) is stale *)
+  Hashtbl.iter
+    (fun _ log ->
+      Database.KeyTbl.iter (fun _ g -> g.gl_defunct <- true) log.lg_groups)
+    st.agg_tbl;
+  Engine.ProvTbl.reset st.idx_parent;
+  Engine.ProvTbl.reset st.idx_head;
+  Hashtbl.reset st.agg_tbl;
+  List.iteri
+    (fun i (ph : Rule.program) ->
+      let m = st.metas.(i) in
+      List.iter
+        (fun (prof : Analysis.agg_profile) ->
+          let r = m.pm_rules.(prof.Analysis.ap_rule) in
+          let rid = m.pm_rid_base + prof.Analysis.ap_rule in
+          Hashtbl.replace st.agg_tbl rid
+            { lg_rid = rid; lg_phase = i; lg_profile = prof;
+              lg_body_preds = List.sort_uniq String.compare (rule_body_preds r);
+              lg_head_preds = List.sort_uniq String.compare (rule_head_preds r);
+              lg_groups = Database.KeyTbl.create 16;
+              lg_state = Database.KeyTbl.create 16; lg_neg = false })
+        (Analysis.monotonic_profiles ph))
+    st.phases
+
+let log_group log gkey =
+  match Database.KeyTbl.find_opt log.lg_groups gkey with
+  | Some g -> g
+  | None ->
+      let g =
+        { gl_contribs = []; gl_heads = [];
+          gl_head_set = Engine.ProvTbl.create 8; gl_touched = false;
+          gl_pass_true = false; gl_dirty = false; gl_defunct = false }
+      in
+      Database.KeyTbl.add log.lg_groups gkey g;
+      g
+
+let state_group log gkey =
+  match Database.KeyTbl.find_opt log.lg_state gkey with
+  | Some gs -> gs
+  | None ->
+      let gs =
+        { Engine.seen = Database.KeyTbl.create 8; acc = None; n = 0 }
+      in
+      Database.KeyTbl.add log.lg_state gkey gs;
+      gs
+
+let value_negative = function
+  | Value.Int n -> n < 0
+  | Value.Float f -> f < 0.0
+  | _ -> false
+
+(* groups of one log are recorded in bursts, so a bucket-head check
+   dedups most repeated (parent, group) pairs; the few that slip
+   through only cost a redundant touch *)
+let index_add tbl k ((_, _, g) as entry) =
+  match Engine.ProvTbl.find_opt tbl k with
+  | Some r -> (
+      match !r with
+      | (_, _, g') :: _ when g' == g -> ()
+      | _ -> r := entry :: !r)
+  | None -> Engine.ProvTbl.add tbl k (ref [ entry ])
+
+let record_agg_event st = function
+  | Engine.Agg_contrib { ac_rule; ac_group; ac_key; ac_weight; ac_parents } ->
+      (match Hashtbl.find_opt st.agg_tbl ac_rule with
+       | None -> ()
+       | Some log ->
+           let g = log_group log ac_group in
+           g.gl_contribs <- (ac_key, ac_weight, ac_parents) :: g.gl_contribs;
+           if value_negative ac_weight then log.lg_neg <- true;
+           (* replica accumulator: when the engine runs on [lg_state]
+              itself (a delta pass seeded through [agg_init]), its
+              seen-set already holds the key and this is a no-op *)
+           let gs = state_group log ac_group in
+           if not (Database.KeyTbl.mem gs.Engine.seen ac_key) then begin
+             Database.KeyTbl.add gs.Engine.seen ac_key ();
+             gs.Engine.acc <-
+               Some
+                 (Engine.agg_step log.lg_profile.Analysis.ap_agg.Rule.op
+                    gs.Engine.acc ac_weight);
+             gs.Engine.n <- gs.Engine.n + 1
+           end;
+           let entry = (log, ac_group, g) in
+           List.iter
+             (fun (p, f) -> index_add st.idx_parent (key p f) entry)
+             ac_parents)
+  | Engine.Agg_head { ah_rule; ah_group; ah_pred; ah_fact } ->
+      (match Hashtbl.find_opt st.agg_tbl ah_rule with
+       | None -> ()
+       | Some log ->
+           let g = log_group log ah_group in
+           let k = key ah_pred ah_fact in
+           if not (Engine.ProvTbl.mem g.gl_head_set k) then begin
+             Engine.ProvTbl.add g.gl_head_set k ();
+             g.gl_heads <- (ah_pred, ah_fact) :: g.gl_heads;
+             index_add st.idx_head k (log, ah_group, g)
+           end)
+
+let phase_rule_ids (m : phase_meta) =
+  Array.init (Array.length m.pm_rules) (fun j -> m.pm_rid_base + j)
+
 let chase_phases ?(options = Engine.default_options) ?telemetry ?journal ~db
     phases =
   if phases = [] then invalid_arg "Incremental.chase_phases: empty pipeline";
+  let metas = build_metas phases in
   let st =
-    { phases; options; db; support = Engine.create_support ();
+    { phases; options; metas; agg_tbl = Hashtbl.create 16;
+      idx_parent = Engine.ProvTbl.create 256;
+      idx_head = Engine.ProvTbl.create 256; db;
+      support = Engine.create_support ();
       edb_set = Engine.ProvTbl.create 256; edb_order = [] }
   in
+  register_agg_logs st;
   (* the EDB is everything loaded rather than derived: facts already in
      the database plus each phase's own fact list *)
   List.iter
@@ -97,16 +308,20 @@ let chase_phases ?(options = Engine.default_options) ?telemetry ?journal ~db
     (fun (ph : Rule.program) ->
       List.iter (fun (p, args) -> ignore (edb_note st p (Array.of_list args))) ph.Rule.facts)
     phases;
-  let stats =
-    List.fold_left
-      (fun acc ph ->
-        let s =
-          Engine.run ~options ~support:st.support ?telemetry ?journal ph db
-        in
-        match acc with None -> Some s | Some a -> Some (Engine.merge_stats a s))
-      None phases
-  in
-  (st, Option.get stats)
+  let stats = ref None in
+  List.iteri
+    (fun i ph ->
+      let s =
+        Engine.run ~options ~support:st.support ?telemetry ?journal
+          ~on_agg:(record_agg_event st) ~rule_ids:(phase_rule_ids metas.(i)) ph
+          db
+      in
+      stats :=
+        (match !stats with
+         | None -> Some s
+         | Some a -> Some (Engine.merge_stats a s)))
+    phases;
+  (st, Option.get !stats)
 
 let chase ?options ?telemetry ?journal ?(db = Database.create ()) program =
   chase_phases ?options ?telemetry ?journal ~db [ program ]
@@ -120,13 +335,11 @@ let edb_facts st =
   |> List.filter (fun (p, f) -> Engine.ProvTbl.mem st.edb_set (key p f))
 
 (* ------------------------------------------------------------------ *)
-(* Fallback gate: forward closure of the updated predicates over the
-   rule dependency graph, then a scan for negation/aggregation in its
-   reach. *)
+(* Update planning: the affected closure of the updated predicates,
+   wholesale-marking of strata the closure reaches through stratified
+   negation/aggregation, and the (narrow) fallback gate. *)
 
-let affected_preds phases updated =
-  let affected = Hashtbl.create 16 in
-  List.iter (fun p -> Hashtbl.replace affected p ()) updated;
+let close_affected phases affected =
   let changed = ref true in
   while !changed do
     changed := false;
@@ -151,37 +364,126 @@ let affected_preds phases updated =
                 r.Rule.head)
           ph.Rule.rules)
       phases
-  done;
-  affected
+  done
 
-let needs_fallback st updated =
-  (not st.options.Engine.semi_naive)
-  ||
-  let affected = affected_preds st.phases updated in
-  List.exists
-    (fun (ph : Rule.program) ->
-      List.exists
-        (fun (r : Rule.rule) ->
-          let neg_hit =
+type plan = {
+  pl_affected : (string, unit) Hashtbl.t;
+  pl_marked : bool array array;  (* phase -> stratum -> wholesale *)
+  pl_wpreds : (string, unit) Hashtbl.t;  (* head preds of marked strata *)
+  pl_wholesale_rids : (int, unit) Hashtbl.t;
+  pl_n_marked : int;
+  pl_fallback : bool;
+}
+
+let plan_update st updated =
+  let affected = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace affected p ()) updated;
+  let marked =
+    Array.map (fun (m : phase_meta) -> Array.make m.pm_n_strata false) st.metas
+  in
+  let wpreds = Hashtbl.create 16 in
+  let wholesale_rids = Hashtbl.create 16 in
+  let n_marked = ref 0 in
+  let changed = ref true in
+  let mark i s =
+    marked.(i).(s) <- true;
+    incr n_marked;
+    changed := true;
+    let m = st.metas.(i) in
+    Array.iteri
+      (fun j r ->
+        if m.pm_rule_strata.(j) = s then begin
+          Hashtbl.replace wholesale_rids (m.pm_rid_base + j) ();
+          List.iter
+            (fun p ->
+              Hashtbl.replace wpreds p ();
+              Hashtbl.replace affected p ())
+            (rule_head_preds r)
+        end)
+      m.pm_rules
+  in
+  (* fixpoint: closing [affected] can mark more strata (their heads are
+     force-rederived, hence affected), which re-opens the closure *)
+  while !changed do
+    changed := false;
+    close_affected st.phases affected;
+    Array.iteri
+      (fun i (m : phase_meta) ->
+        Array.iteri
+          (fun j (r : Rule.rule) ->
+            let s = m.pm_rule_strata.(j) in
+            if not marked.(i).(s) then begin
+              let neg_hit =
+                List.exists
+                  (function
+                    | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
+                    | _ -> false)
+                  r.Rule.body
+              in
+              let strat_agg =
+                List.exists
+                  (function
+                    | Rule.Agg g -> g.Rule.mode = Rule.Stratified
+                    | _ -> false)
+                  r.Rule.body
+              in
+              let body_hit =
+                List.exists (Hashtbl.mem affected) (rule_body_preds r)
+              in
+              let head_hit =
+                List.exists (Hashtbl.mem affected) (rule_head_preds r)
+              in
+              (* head pred force-deleted by another marked stratum: this
+                 rule's derivations are wiped with it, so it must re-run
+                 wholesale too *)
+              let head_in_w =
+                List.exists (Hashtbl.mem wpreds) (rule_head_preds r)
+              in
+              if neg_hit || (strat_agg && (body_hit || head_hit)) || head_in_w
+              then mark i s
+            end)
+          m.pm_rules)
+      st.metas
+  done;
+  (* fallback gate: monotonic aggregates the counting machinery cannot
+     carry. A profiled-but-untouched rule is safe (its accumulators are
+     reinstated verbatim); a touched one must be counting, and a [sum]
+     with a recorded negative weight is not monotone-nondecreasing, so
+     its counting evidence would be unsound. *)
+  let unprofiled = ref false in
+  let noncounting_hit = ref false in
+  Array.iteri
+    (fun i (m : phase_meta) ->
+      Array.iteri
+        (fun j (r : Rule.rule) ->
+          let mono =
             List.exists
               (function
-                | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
+                | Rule.Agg g -> g.Rule.mode = Rule.Monotonic
                 | _ -> false)
               r.Rule.body
           in
-          let has_agg =
-            List.exists (function Rule.Agg _ -> true | _ -> false) r.Rule.body
-          in
-          let body_hit =
-            List.exists
-              (function
-                | Rule.Pos a | Rule.Neg a -> Hashtbl.mem affected a.Rule.pred
-                | _ -> false)
-              r.Rule.body
-          in
-          neg_hit || (has_agg && body_hit))
-        ph.Rule.rules)
-    st.phases
+          if mono then
+            match Hashtbl.find_opt st.agg_tbl (m.pm_rid_base + j) with
+            | None -> unprofiled := true
+            | Some log ->
+                let hit =
+                  marked.(i).(m.pm_rule_strata.(j))
+                  || List.exists (Hashtbl.mem affected) log.lg_body_preds
+                  || List.exists (Hashtbl.mem affected) log.lg_head_preds
+                in
+                if
+                  hit
+                  && ((not log.lg_profile.Analysis.ap_counting)
+                      || (log.lg_profile.Analysis.ap_agg.Rule.op = Rule.Sum
+                          && log.lg_neg))
+                then noncounting_hit := true)
+        m.pm_rules)
+    st.metas;
+  { pl_affected = affected; pl_marked = marked; pl_wpreds = wpreds;
+    pl_wholesale_rids = wholesale_rids; pl_n_marked = !n_marked;
+    pl_fallback =
+      (not st.options.Engine.semi_naive) || !unprofiled || !noncounting_hit }
 
 (* Full re-chase against the updated EDB: fresh database, fresh
    support, the EDB replayed in its original load order (determinism of
@@ -192,21 +494,37 @@ let rechase ?telemetry ?journal st =
   let support' = Engine.create_support () in
   let ordered = edb_facts st in
   List.iter (fun (p, f) -> ignore (Database.add db' p f)) ordered;
-  List.iter
-    (fun (ph : Rule.program) ->
+  register_agg_logs st;
+  List.iteri
+    (fun i (ph : Rule.program) ->
       ignore
         (Engine.run ~options:st.options ~support:support' ?telemetry ?journal
+           ~on_agg:(record_agg_event st)
+           ~rule_ids:(phase_rule_ids st.metas.(i))
            { ph with Rule.facts = [] } db'))
     st.phases;
   st.db <- db';
   st.support <- support';
   st.edb_order <- List.rev ordered
 
+(* Saturated accumulators for a plain replay segment: every monotonic
+   rule of the segment needs one, or {!Engine.run_delta} would re-count
+   from empty groups. The live [lg_state] tables are handed over
+   directly — the engine then mutates them in place, which is exactly
+   what keeps them current for the next maintain. *)
+let agg_init_for st (m : phase_meta) js =
+  List.filter_map
+    (fun j ->
+      match Hashtbl.find_opt st.agg_tbl (m.pm_rid_base + j) with
+      | None -> None
+      | Some log -> Some (m.pm_rid_base + j, log.lg_state))
+    js
+
 (* ------------------------------------------------------------------ *)
 
 let maintain ?(telemetry = Kgm_telemetry.null)
     ?(journal = Kgm_telemetry.Journal.null) st ~inserts ~retracts =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kgm_telemetry.Clock.now () in
   (* retractions only make sense against the EDB; a derived fact would
      simply be rederived *)
   let retracts =
@@ -219,7 +537,8 @@ let maintain ?(telemetry = Kgm_telemetry.null)
   let updated =
     List.sort_uniq String.compare (List.map fst (inserts @ retracts))
   in
-  let fallback = updated <> [] && needs_fallback st updated in
+  let plan = plan_update st updated in
+  let fallback = updated <> [] && plan.pl_fallback in
   if fallback then begin
     List.iter (fun (p, f) -> Engine.ProvTbl.remove st.edb_set (key p f)) retracts;
     let inserted =
@@ -235,8 +554,8 @@ let maintain ?(telemetry = Kgm_telemetry.null)
     let stats =
       { u_inserted = inserted; u_retracted = List.length retracts;
         u_cone = 0; u_rederived = 0; u_deleted = 0; u_refired = 0;
-        u_derived = 0; u_rounds = 0; u_fallback = true;
-        u_elapsed_s = Unix.gettimeofday () -. t0 }
+        u_derived = 0; u_rounds = 0; u_strata = 0; u_agg_groups = 0;
+        u_fallback = true; u_elapsed_s = Kgm_telemetry.Clock.now () -. t0 }
     in
     if Journal.enabled journal then
       Journal.emit journal "maintain.end"
@@ -249,6 +568,45 @@ let maintain ?(telemetry = Kgm_telemetry.null)
   else begin
     let sup = st.support in
     List.iter (fun (p, f) -> Engine.ProvTbl.remove st.edb_set (key p f)) retracts;
+    let affected = plan.pl_affected in
+    (* -------- wholesale strata: forced overdeletion -------- *)
+    (* every derived fact of a marked stratum's head predicates is
+       discarded (the rerun re-derives what still holds), and so is
+       every null those discarded derivations invented *)
+    let forced : unit Engine.ProvTbl.t = Engine.ProvTbl.create 64 in
+    let forced_nulls : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let forced_seeds = ref [] in
+    let wholesale_preds =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun p () acc -> p :: acc) plan.pl_wpreds [])
+    in
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun f ->
+            let k = key pred f in
+            if not (Engine.ProvTbl.mem st.edb_set k) then begin
+              Engine.ProvTbl.replace forced k ();
+              forced_seeds := (pred, f) :: !forced_seeds;
+              List.iter
+                (fun (e : Engine.support_entry) ->
+                  List.iter
+                    (fun n ->
+                      if not (Hashtbl.mem forced_nulls n) then begin
+                        Hashtbl.replace forced_nulls n ();
+                        match Hashtbl.find_opt sup.Engine.sup_null_facts n with
+                        | Some r ->
+                            List.iter
+                              (fun pf -> forced_seeds := pf :: !forced_seeds)
+                              !r
+                        | None -> ()
+                      end)
+                    e.Engine.se_nulls)
+                (Engine.support_entries sup pred f)
+            end)
+          (Database.facts st.db pred))
+      wholesale_preds;
+    let forced_seeds = List.rev !forced_seeds in
     (* -------- overdeletion cone (reverse reachability) -------- *)
     (* origin parent -> nulls it helped create, built once per batch *)
     let parent_nulls : (string * Value.t list, int list ref) Hashtbl.t =
@@ -264,11 +622,23 @@ let maintain ?(telemetry = Kgm_telemetry.null)
             | None -> Hashtbl.add parent_nulls k (ref [ n ]))
           parents)
       sup.Engine.sup_null_origin;
+    (* contribution-parent and head indexes over the aggregate logs the
+       update can reach (body or head predicate in the closure) *)
+    (* the persistent contribution-parent / head indexes stand in for a
+       per-batch build; entries into reset logs are skipped via
+       [gl_defunct], wholesale groups via their recording id *)
+    let live_entry (log, _, g) =
+      (not g.gl_defunct)
+      && not (Hashtbl.mem plan.pl_wholesale_rids log.lg_rid)
+    in
+    let touched = ref [] in
     let cone : unit Engine.ProvTbl.t = Engine.ProvTbl.create 256 in
     let cone_order = ref [] in
     let risk_nulls : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter (fun n () -> Hashtbl.replace risk_nulls n ()) forced_nulls;
     let queue = Queue.create () in
     List.iter (fun pf -> Queue.add pf queue) retracts;
+    List.iter (fun pf -> Queue.add pf queue) forced_seeds;
     while not (Queue.is_empty queue) do
       let (p, f) = Queue.pop queue in
       let k = key p f in
@@ -277,6 +647,21 @@ let maintain ?(telemetry = Kgm_telemetry.null)
         cone_order := (p, f) :: !cone_order;
         (match Engine.ProvTbl.find_opt sup.Engine.sup_children k with
          | Some r -> List.iter (fun pf -> Queue.add pf queue) !r
+         | None -> ());
+        (* a dying contribution shrinks its group's total: the group's
+           heads must be re-judged, support edges or not *)
+        (match Engine.ProvTbl.find_opt st.idx_parent k with
+         | Some r ->
+             List.iter
+               (fun ((log, gkey, g) as entry) ->
+                 if live_entry entry && not g.gl_touched then begin
+                   g.gl_touched <- true;
+                   touched := (log, gkey, g) :: !touched;
+                   List.iter
+                     (fun pf -> Queue.add pf queue)
+                     (List.rev g.gl_heads)
+                 end)
+               !r
          | None -> ());
         match Hashtbl.find_opt parent_nulls k with
         | None -> ()
@@ -304,8 +689,55 @@ let maintain ?(telemetry = Kgm_telemetry.null)
       if Engine.ProvTbl.mem cone k then Engine.ProvTbl.mem alive k
       else Database.mem st.db p f
     in
-    let entry_alive (e : Engine.support_entry) =
-      List.for_all (fun (p, f) -> fact_alive p f) e.Engine.se_parents
+    (* aggregate-rule entries are never deletion evidence: a surviving
+       entry says nothing about the group's post-retraction total *)
+    let entry_evidence (e : Engine.support_entry) =
+      (not (Hashtbl.mem st.agg_tbl e.Engine.se_rule))
+      && List.for_all (fun (p, f) -> fact_alive p f) e.Engine.se_parents
+    in
+    (* counting evidence: refold the group's surviving contributions
+       (first surviving occurrence per dedup key, chronological — the
+       order a re-chase would fold them) and re-check the conditions
+       under the final total. Monotone, so a [true] caches. *)
+    let group_passes (log : agg_log) gkey (g : group_log) =
+      (not g.gl_touched) || g.gl_pass_true
+      ||
+      let prof = log.lg_profile in
+      let seen = Database.KeyTbl.create 16 in
+      let acc = ref None in
+      List.iter
+        (fun (ckey, w, parents) ->
+          if
+            (not (Database.KeyTbl.mem seen ckey))
+            && List.for_all (fun (p, f) -> fact_alive p f) parents
+          then begin
+            Database.KeyTbl.add seen ckey ();
+            acc := Some (Engine.agg_step prof.Analysis.ap_agg.Rule.op !acc w)
+          end)
+        (List.rev g.gl_contribs);
+      match !acc with
+      | None -> false
+      | Some total ->
+          let lookup v =
+            if v = prof.Analysis.ap_agg.Rule.result then Some total
+            else
+              let rec find gvs ks =
+                match (gvs, ks) with
+                | gv :: _, k :: _ when String.equal gv v -> Some k
+                | _ :: gvs, _ :: ks -> find gvs ks
+                | _ -> None
+              in
+              find prof.Analysis.ap_group_vars gkey
+          in
+          let ok =
+            try
+              List.for_all
+                (fun e -> Expr.truthy_fn lookup e)
+                prof.Analysis.ap_conds
+            with Expr.Eval_error _ -> false
+          in
+          if ok then g.gl_pass_true <- true;
+          ok
     in
     let changed = ref true in
     while !changed do
@@ -313,11 +745,22 @@ let maintain ?(telemetry = Kgm_telemetry.null)
       List.iter
         (fun (p, f) ->
           let k = key p f in
-          if not (Engine.ProvTbl.mem alive k) then begin
+          if
+            (not (Engine.ProvTbl.mem alive k))
+            && not (Engine.ProvTbl.mem forced k)
+          then begin
             let ok =
               Engine.ProvTbl.mem st.edb_set k
               || (List.for_all null_alive (Engine.fact_nulls f)
-                  && List.exists entry_alive (Engine.support_entries sup p f))
+                  && (List.exists entry_evidence (Engine.support_entries sup p f)
+                      ||
+                      match Engine.ProvTbl.find_opt st.idx_head k with
+                      | Some r ->
+                          List.exists
+                            (fun ((log, gkey, g) as entry) ->
+                              live_entry entry && group_passes log gkey g)
+                            !r
+                      | None -> false))
             in
             if ok then begin
               Engine.ProvTbl.add alive k ();
@@ -327,7 +770,10 @@ let maintain ?(telemetry = Kgm_telemetry.null)
         cone_facts;
       Hashtbl.iter
         (fun n () ->
-          if not (Hashtbl.mem alive_nulls n) then begin
+          if
+            (not (Hashtbl.mem alive_nulls n))
+            && not (Hashtbl.mem forced_nulls n)
+          then begin
             let origin =
               Option.value ~default:[]
                 (Hashtbl.find_opt sup.Engine.sup_null_origin n)
@@ -349,15 +795,72 @@ let maintain ?(telemetry = Kgm_telemetry.null)
         (fun n () acc -> if Hashtbl.mem alive_nulls n then acc else n :: acc)
         risk_nulls []
     in
-    (* -------- delete + prune support -------- *)
-    let deleted = Database.remove_batch st.db dead_facts in
+    (* -------- delete + prune support and group logs -------- *)
+    let dirty_groups = ref [] in
+    let on_remove p f =
+      match Engine.ProvTbl.find_opt st.idx_head (key p f) with
+      | None -> ()
+      | Some r ->
+          List.iter
+            (fun (_, _, g) ->
+              let k = key p f in
+              if
+                (not g.gl_defunct) && Engine.ProvTbl.mem g.gl_head_set k
+              then begin
+                Engine.ProvTbl.remove g.gl_head_set k;
+                if not g.gl_dirty then begin
+                  g.gl_dirty <- true;
+                  dirty_groups := g :: !dirty_groups
+                end
+              end)
+            !r
+    in
+    let deleted = Database.remove_batch ~on_remove st.db dead_facts in
+    List.iter
+      (fun g ->
+        g.gl_heads <-
+          List.filter
+            (fun (p, f) -> Engine.ProvTbl.mem g.gl_head_set (key p f))
+            g.gl_heads;
+        g.gl_dirty <- false)
+      !dirty_groups;
+    List.iter
+      (fun (log, gkey, g) ->
+        g.gl_contribs <-
+          List.filter
+            (fun (_, _, parents) ->
+              not
+                (List.exists
+                   (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
+                   parents))
+            g.gl_contribs;
+        (* resync the live accumulator with the survivors, in the
+           chronological order a re-chase would fold them *)
+        let op = log.lg_profile.Analysis.ap_agg.Rule.op in
+        let gs =
+          { Engine.seen = Database.KeyTbl.create 8; acc = None; n = 0 }
+        in
+        List.iter
+          (fun (ckey, w, _) ->
+            if not (Database.KeyTbl.mem gs.Engine.seen ckey) then begin
+              Database.KeyTbl.add gs.Engine.seen ckey ();
+              gs.Engine.acc <- Some (Engine.agg_step op gs.Engine.acc w);
+              gs.Engine.n <- gs.Engine.n + 1
+            end)
+          (List.rev g.gl_contribs);
+        if gs.Engine.n = 0 then Database.KeyTbl.remove log.lg_state gkey
+        else Database.KeyTbl.replace log.lg_state gkey gs)
+      !touched;
     if Journal.enabled journal then
       Journal.emit journal "dred.cone"
         [ ("cone", J.Int (List.length cone_facts));
           ("rederived", J.Int (List.length cone_facts - deleted));
           ("deleted", J.Int deleted);
           ("risk_nulls", J.Int (Hashtbl.length risk_nulls));
-          ("dead_nulls", J.Int (List.length dead_nulls)) ];
+          ("dead_nulls", J.Int (List.length dead_nulls));
+          ("forced", J.Int (Engine.ProvTbl.length forced));
+          ("wholesale_strata", J.Int plan.pl_n_marked);
+          ("agg_groups", J.Int (List.length !touched)) ];
     List.iter
       (fun (p, f) ->
         let k = key p f in
@@ -389,9 +892,38 @@ let maintain ?(telemetry = Kgm_telemetry.null)
         Hashtbl.remove sup.Engine.sup_null_origin n;
         Hashtbl.remove sup.Engine.sup_null_facts n)
       dead_nulls;
-    (* suppressed firings: drop the ones whose body died; re-attempt the
-       ones whose witness image died (chronological recording order, so
-       the seed order — and with it null numbering — is deterministic) *)
+    (* wholesale derivations are void even when their fact survives as
+       EDB: drop their entries (the rerun re-records what still holds)
+       and reset their contribution logs *)
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun f ->
+            match Engine.ProvTbl.find_opt sup.Engine.sup_entries (key pred f) with
+            | None -> ()
+            | Some er ->
+                er :=
+                  List.filter
+                    (fun (e : Engine.support_entry) ->
+                      not (Hashtbl.mem plan.pl_wholesale_rids e.Engine.se_rule))
+                    !er)
+          (Database.facts st.db pred))
+      wholesale_preds;
+    Hashtbl.iter
+      (fun rid (log : agg_log) ->
+        if Hashtbl.mem plan.pl_wholesale_rids rid then begin
+          Database.KeyTbl.iter
+            (fun _ g -> g.gl_defunct <- true)
+            log.lg_groups;
+          Database.KeyTbl.reset log.lg_groups;
+          Database.KeyTbl.reset log.lg_state
+        end)
+      st.agg_tbl;
+    (* suppressed firings: wholesale rules re-attempt everything in
+       their rerun, so their records just drop; elsewhere, drop the
+       ones whose body died and re-attempt the ones whose witness image
+       died (chronological recording order, so the seed order — and
+       with it null numbering — is deterministic) *)
     let refire_parents = ref [] in
     let refired = ref 0 in
     let kept =
@@ -401,29 +933,34 @@ let maintain ?(telemetry = Kgm_telemetry.null)
             ( sf.Engine.sf_rule,
               List.map (fun (p, f) -> (p, Array.to_list f)) sf.Engine.sf_parents )
           in
-          let parent_dead =
-            List.exists
-              (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
-              sf.Engine.sf_parents
-          in
-          let image_dead =
-            List.exists
-              (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
-              sf.Engine.sf_image
-          in
-          if parent_dead then begin
+          if Hashtbl.mem plan.pl_wholesale_rids sf.Engine.sf_rule then begin
             Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
             false
           end
-          else if image_dead then begin
-            Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
-            incr refired;
-            List.iter
-              (fun pf -> refire_parents := pf :: !refire_parents)
-              (List.rev sf.Engine.sf_parents);
-            false
-          end
-          else true)
+          else
+            let parent_dead =
+              List.exists
+                (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
+                sf.Engine.sf_parents
+            in
+            let image_dead =
+              List.exists
+                (fun (p, f) -> Engine.ProvTbl.mem dead_set (key p f))
+                sf.Engine.sf_image
+            in
+            if parent_dead then begin
+              Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
+              false
+            end
+            else if image_dead then begin
+              Hashtbl.remove sup.Engine.sup_suppressed_keys sf_key;
+              incr refired;
+              List.iter
+                (fun pf -> refire_parents := pf :: !refire_parents)
+                (List.rev sf.Engine.sf_parents);
+              false
+            end
+            else true)
         sup.Engine.sup_suppressed
     in
     sup.Engine.sup_suppressed <- kept;
@@ -465,35 +1002,111 @@ let maintain ?(telemetry = Kgm_telemetry.null)
         (fun p -> (p, List.rev !(Hashtbl.find seed_tbl p)))
         !seed_order
     in
-    (* -------- seeded semi-naive pass, phase by phase -------- *)
+    (* -------- replay: plain strata as seeded semi-naive deltas,
+       wholesale strata re-derived on the maintained lower strata ---- *)
     let derived = ref 0 and rounds = ref 0 in
-    if seed <> [] then begin
+    let any_wholesale = plan.pl_n_marked > 0 in
+    if seed <> [] || any_wholesale then begin
       (* later phases must also see what earlier phases of this same
          batch derived, exactly as they would in a fresh pipeline *)
       let extra = ref [] in
-      let on_new p f = extra := (p, f) :: !extra in
-      List.iter
-        (fun ph ->
-          let phase_seed =
-            seed
-            @ (List.rev !extra
-               |> List.map (fun (p, f) -> (p, [ f ])))
+      let reach = Hashtbl.copy affected in
+      List.iter (fun (p, _) -> Hashtbl.replace reach p ()) seed;
+      let on_new p f =
+        extra := (p, f) :: !extra;
+        Hashtbl.replace reach p ()
+      in
+      let on_agg = record_agg_event st in
+      List.iteri
+        (fun i (ph : Rule.program) ->
+          let m = st.metas.(i) in
+          let marked = plan.pl_marked.(i) in
+          let phase_wholesale = Array.exists Fun.id marked in
+          (* a phase the update cannot reach derives nothing new: skip
+             it instead of scanning every rule against the seeds *)
+          let relevant =
+            phase_wholesale
+            || Array.exists
+                 (fun (r : Rule.rule) ->
+                   List.exists (Hashtbl.mem reach) (rule_body_preds r))
+                 m.pm_rules
           in
-          let s =
-            Engine.run_delta ~options:st.options ~support:sup ~telemetry
-              ~journal ~on_new ph st.db ~seed:phase_seed
-          in
-          derived := !derived + s.Engine.new_facts;
-          rounds := !rounds + s.Engine.rounds)
+          if relevant then begin
+            let n = m.pm_n_strata in
+            let s = ref 0 in
+            while !s < n do
+              let flag = marked.(!s) in
+              let e = ref (!s + 1) in
+              while !e < n && marked.(!e) = flag do incr e done;
+              let js = ref [] in
+              Array.iteri
+                (fun j _ ->
+                  let sj = m.pm_rule_strata.(j) in
+                  if sj >= !s && sj < !e then js := j :: !js)
+                m.pm_rules;
+              let js = List.rev !js in
+              if js <> [] then begin
+                let rules = List.map (fun j -> m.pm_rules.(j)) js in
+                let rule_ids =
+                  Array.of_list (List.map (fun j -> m.pm_rid_base + j) js)
+                in
+                let sub = { ph with Rule.rules; Rule.facts = [] } in
+                if flag then begin
+                  let stats =
+                    Engine.run ~options:st.options ~support:sup ~telemetry
+                      ~journal ~on_agg ~rule_ids sub st.db
+                  in
+                  derived := !derived + stats.Engine.new_facts;
+                  rounds := !rounds + stats.Engine.rounds;
+                  (* the rerun stratum's contents are (potentially) new
+                     to every downstream consumer *)
+                  let hps =
+                    List.sort_uniq String.compare
+                      (List.concat_map rule_head_preds rules)
+                  in
+                  List.iter
+                    (fun pred ->
+                      List.iter (fun f -> on_new pred f)
+                        (Database.facts st.db pred))
+                    hps
+                end
+                else begin
+                  let phase_seed =
+                    seed
+                    @ (List.rev !extra |> List.map (fun (p, f) -> (p, [ f ])))
+                  in
+                  if phase_seed <> [] then begin
+                    let agg_init = agg_init_for st m js in
+                    let stats =
+                      Engine.run_delta ~options:st.options ~support:sup
+                        ~telemetry ~journal ~on_new ~on_agg ~rule_ids ~agg_init
+                        sub st.db ~seed:phase_seed
+                    in
+                    derived := !derived + stats.Engine.new_facts;
+                    rounds := !rounds + stats.Engine.rounds
+                  end
+                end
+              end;
+              s := !e
+            done
+          end)
         st.phases
     end;
+    let agg_groups = List.length !touched in
+    List.iter
+      (fun (_, _, g) ->
+        g.gl_touched <- false;
+        g.gl_pass_true <- false)
+      !touched;
     let retracted = List.length retracts in
     let cone_n = List.length cone_facts in
     let stats =
       { u_inserted = !inserted; u_retracted = retracted; u_cone = cone_n;
         u_rederived = cone_n - deleted; u_deleted = deleted;
         u_refired = !refired; u_derived = !derived; u_rounds = !rounds;
-        u_fallback = false; u_elapsed_s = Unix.gettimeofday () -. t0 }
+        u_strata = plan.pl_n_marked; u_agg_groups = agg_groups;
+        u_fallback = false;
+        u_elapsed_s = Kgm_telemetry.Clock.now () -. t0 }
     in
     Kgm_telemetry.count telemetry ~by:stats.u_inserted "incremental.inserts";
     Kgm_telemetry.count telemetry ~by:stats.u_retracted "incremental.retracts";
@@ -503,6 +1116,9 @@ let maintain ?(telemetry = Kgm_telemetry.null)
     Kgm_telemetry.count telemetry ~by:stats.u_refired "incremental.refired";
     Kgm_telemetry.count telemetry ~by:stats.u_derived "incremental.derived";
     Kgm_telemetry.count telemetry ~by:stats.u_rounds "incremental.rounds";
+    Kgm_telemetry.count telemetry ~by:stats.u_strata "incremental.strata";
+    Kgm_telemetry.count telemetry ~by:stats.u_agg_groups
+      "incremental.agg_groups";
     if Journal.enabled journal then
       Journal.emit journal "maintain.end"
         [ ("fallback", J.Bool false);
@@ -514,6 +1130,8 @@ let maintain ?(telemetry = Kgm_telemetry.null)
           ("refired", J.Int stats.u_refired);
           ("derived", J.Int stats.u_derived);
           ("rounds", J.Int stats.u_rounds);
+          ("strata", J.Int stats.u_strata);
+          ("agg_groups", J.Int stats.u_agg_groups);
           ("elapsed_s", J.Float stats.u_elapsed_s) ];
     stats
   end

@@ -18,13 +18,29 @@
       too. Restricted-chase firings that were suppressed because their
       image already existed are re-attempted when that image dies.
 
+    Maintenance is {e stratum-aware}: each phase is stratified once
+    ({!Analysis.stratify}) and non-monotone constructs only poison the
+    strata that contain them. A stratum the update reaches through
+    stratified negation or [Stratified] aggregation is marked
+    {e wholesale} — its derived facts are force-deleted through the
+    cone and the stratum is re-derived with {!Engine.run} on top of
+    the already-maintained lower strata, never from scratch — while
+    every other stratum keeps the DRed path. [Monotonic] aggregates
+    (the paper's [msum]) are maintained by {e counting}: the chase
+    records every distinct contribution (weight and body parents, even
+    sub-threshold ones) per group, so a retraction refolds the group's
+    surviving contributions and only threshold-crossing head facts
+    cascade. A full re-chase ([u_fallback]) survives only for updates
+    the machinery genuinely cannot localize: a non-semi-naive engine,
+    a monotonic aggregate outside {!Analysis.monotonic_profiles}, or
+    an affected non-counting monotonic rule (order-sensitive
+    accumulators such as [pack] running totals, or a [sum] that
+    recorded a negative weight).
+
     The repaired database is equal — same facts, labeled nulls
     numbered identically up to the canonical renaming of
     {!canonical_facts} — to a from-scratch chase of the updated EDB, at
-    every [jobs] value and with the planner on or off. Programs with
-    stratified negation or aggregation over predicates reachable from
-    the update fall back to a full re-chase (detected conservatively
-    from the rule dependency graph; [u_fallback] reports it). *)
+    every [jobs] value and with the planner on or off. *)
 
 type state
 (** A maintained materialization. Mutable: {!maintain} repairs it in
@@ -42,6 +58,11 @@ type update_stats = {
   u_refired : int;      (** suppressed firings re-attempted *)
   u_derived : int;      (** facts added by the seeded semi-naive pass *)
   u_rounds : int;       (** rounds of the seeded pass *)
+  u_strata : int;       (** strata re-derived wholesale (negation /
+                            stratified aggregation in the update's
+                            reach); 0 = pure DRed + counting *)
+  u_agg_groups : int;   (** monotonic-aggregate groups touched by the
+                            overdeletion cone (counting maintenance) *)
   u_fallback : bool;    (** the batch was served by a full re-chase *)
   u_elapsed_s : float;  (** monotonic wall time of the whole update *)
 }

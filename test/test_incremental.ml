@@ -1,7 +1,9 @@
 (* Tests for the incremental maintenance layer: insert seeding,
    delete-and-rederive retraction, labeled-null death, suppressed-firing
-   re-fire, the negation/aggregation fallback gate, and the determinism
-   matrix (jobs × planner × maintained-vs-rechased). *)
+   re-fire, stratum-aware maintenance through negation and stratified
+   aggregation, counting maintenance of monotonic aggregates, the
+   narrowed fallback gate, and the determinism matrix (jobs × planner ×
+   checkpoint/resume × maintained-vs-rechased). *)
 
 open Kgm_common
 module V = Kgm_vadalog
@@ -19,11 +21,32 @@ let opts ?(jobs = 1) ?(planner = true) () =
   { V.Engine.default_options with V.Engine.jobs; planner }
 
 (* an independent from-scratch chase over the state's current EDB *)
-let rechased st program options =
+let rechased ?checkpoint ?resume_from st program options =
   let db = V.Database.create () in
-  List.iter (fun (p, f) -> ignore (V.Database.add db p f)) (I.edb_facts st);
-  ignore (V.Engine.run ~options { program with V.Rule.facts = [] } db);
+  if resume_from = None then
+    List.iter (fun (p, f) -> ignore (V.Database.add db p f)) (I.edb_facts st);
+  ignore
+    (V.Engine.run ~options ?checkpoint ?resume_from
+       { program with V.Rule.facts = [] }
+       db);
   db
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun name ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kgm_incr_%s_%d_%d" name (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".snap" then
+          Sys.remove (Filename.concat d f))
+      (Sys.readdir d);
+    d
 
 let tc_src =
   {| edge(a, b). edge(b, c). edge(c, d).
@@ -145,7 +168,7 @@ let test_noop_updates () =
   check Alcotest.int "no retract" 0 u.I.u_retracted;
   check Alcotest.int "db unchanged" total (V.Database.total (I.db st))
 
-let test_fallback_negation () =
+let test_negation_stratum () =
   let src =
     {| node(a). node(b). edge(a, b).
        connected(X) :- edge(X, Y).
@@ -154,25 +177,268 @@ let test_fallback_negation () =
   let program = V.Parser.parse_program src in
   let st, _ = I.chase program in
   check Alcotest.int "b isolated" 1 (V.Database.count (I.db st) "isolated");
-  (* retracting edge(a,b) makes a isolated too — non-monotone, so the
-     gate must route this through a full re-chase *)
+  (* retracting edge(a,b) makes a isolated too — non-monotone, but the
+     negation only poisons its own stratum: that stratum is re-derived
+     wholesale on top of the DRed-maintained lower strata, no full
+     re-chase *)
   let u = I.maintain st ~inserts:[] ~retracts:(pfacts "edge(a, b).") in
-  check Alcotest.bool "fallback" true u.I.u_fallback;
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.bool "wholesale strata" true (u.I.u_strata >= 1);
   check Alcotest.int "both isolated" 2 (V.Database.count (I.db st) "isolated");
   let db2 = rechased st program (opts ()) in
   check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
 
-let test_fallback_aggregation () =
+let test_stratified_agg_stratum () =
   let src =
     {| own(a, b, 0.6). own(a, c, 0.3).
        total(X, S) :- own(X, Y, W), S = sum(W). |}
   in
   let program = V.Parser.parse_program src in
   let st, _ = I.chase program in
+  (* [sum(W)] with no contributor key is a Stratified aggregate: its
+     stratum is re-derived wholesale rather than falling back *)
   let u = I.maintain st ~inserts:(pfacts "own(a, d, 0.05).") ~retracts:[] in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.bool "wholesale strata" true (u.I.u_strata >= 1);
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2);
+  let u2 = I.maintain st ~inserts:[] ~retracts:(pfacts "own(a, b, 0.6).") in
+  check Alcotest.bool "no fallback on retract" false u2.I.u_fallback;
+  let db3 = rechased st program (opts ()) in
+  check Alcotest.bool "retract equal to re-chase" true
+    (I.equal_facts (I.db st) db3)
+
+(* the company-control fixture: a controls b directly (0.6), and c
+   through the combined 0.3 + 0.3 held directly and via b *)
+let control_src =
+  {| company(a). company(b). company(c). company(d).
+     own(a, b, 0.6). own(a, c, 0.3). own(b, c, 0.3).
+     controls(X, X) :- company(X).
+     controls(X, Y) :- controls(X, Z), own(Z, Y, W),
+                       V = sum(W, <Z>), V > 0.5. |}
+
+let test_control_loses_control () =
+  let program = V.Parser.parse_program control_src in
+  let st, _ = I.chase program in
+  check Alcotest.int "initial control" 6
+    (V.Database.count (I.db st) "controls");
+  (* retracting b's stake drops group (a,c) to 0.3: a loses control of c.
+     Counting maintenance — no wholesale stratum, no fallback. *)
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "own(b, c, 0.3).") in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.int "pure counting (no wholesale)" 0 u.I.u_strata;
+  check Alcotest.bool "agg groups touched" true (u.I.u_agg_groups >= 1);
+  check Alcotest.int "a loses control of c" 5
+    (V.Database.count (I.db st) "controls");
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2);
+  (* now empty group (a,b) to zero contributors *)
+  let u2 = I.maintain st ~inserts:[] ~retracts:(pfacts "own(a, b, 0.6).") in
+  check Alcotest.bool "no fallback (emptied group)" false u2.I.u_fallback;
+  check Alcotest.int "only reflexive control left" 4
+    (V.Database.count (I.db st) "controls");
+  let db3 = rechased st program (opts ()) in
+  check Alcotest.bool "emptied equal to re-chase" true
+    (I.equal_facts (I.db st) db3)
+
+let test_control_gains_control () =
+  let program = V.Parser.parse_program control_src in
+  let st, _ = I.chase program in
+  (* two sub-threshold stakes that only cross 0.5 together, one held
+     through the controlled subsidiary b *)
+  let u =
+    I.maintain st
+      ~inserts:(pfacts "own(a, d, 0.3). own(b, d, 0.3).")
+      ~retracts:[]
+  in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.int "a gains control of d" 7
+    (V.Database.count (I.db st) "controls");
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_control_matrix () =
+  (* jobs × planner × maintained-vs-rechased on the control program,
+     with a mixed threshold-crossing batch; one leg re-chases through
+     checkpoint/resume to pin the invariant across resumed runs *)
+  let program = V.Parser.parse_program control_src in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun planner ->
+          let options = opts ~jobs ~planner () in
+          let st, _ = I.chase ~options program in
+          let u =
+            I.maintain st
+              ~inserts:(pfacts "own(a, d, 0.55).")
+              ~retracts:(pfacts "own(b, c, 0.3).")
+          in
+          check Alcotest.bool
+            (Printf.sprintf "no fallback (jobs=%d planner=%b)" jobs planner)
+            false u.I.u_fallback;
+          let db2 = rechased st program options in
+          check Alcotest.bool
+            (Printf.sprintf "maintained = rechased (jobs=%d planner=%b)"
+               jobs planner)
+            true
+            (I.equal_facts (I.db st) db2))
+        [ true; false ])
+    [ 1; 2 ];
+  (* checkpoint/resume leg: re-chase writing a snapshot every round,
+     then resume an independent run from the latest snapshot — both
+     must equal the maintained database *)
+  let st, _ = I.chase program in
+  let _ =
+    I.maintain st
+      ~inserts:(pfacts "own(a, d, 0.55).")
+      ~retracts:(pfacts "own(b, c, 0.3).")
+  in
+  let dir = fresh_dir "control" in
+  let ck = V.Engine.checkpoint ~every:1 dir in
+  let db_ck = rechased ~checkpoint:ck st program (opts ()) in
+  check Alcotest.bool "maintained = checkpointed re-chase" true
+    (I.equal_facts (I.db st) db_ck);
+  match V.Engine.latest_checkpoint dir with
+  | None -> Alcotest.fail "no checkpoint written"
+  | Some path ->
+      let db_r = rechased ~resume_from:path st program (opts ~jobs:2 ()) in
+      check Alcotest.bool "maintained = resumed re-chase" true
+        (I.equal_facts (I.db st) db_r)
+
+let test_integrated_ownership_update () =
+  (* integrated-ownership style: holdings unioned from two registries,
+     significance decided by a stratified sum over all of them *)
+  let src =
+    {| own(a, b, 0.15). own(b, c, 0.25). reg(a, b, 0.1).
+       hold(X, Y, W) :- own(X, Y, W).
+       hold(X, Y, W) :- reg(X, Y, W).
+       sig(X, Y) :- hold(X, Y, W), T = sum(W), T >= 0.2. |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  check Alcotest.int "two significant links" 2
+    (V.Database.count (I.db st) "sig");
+  (* retracting the registry stake drops (a,b) to 0.15: sig(a,b) dies *)
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "reg(a, b, 0.1).") in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.bool "wholesale strata" true (u.I.u_strata >= 1);
+  check Alcotest.int "sig(a,b) gone" 1 (V.Database.count (I.db st) "sig");
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2);
+  (* and an insert that pushes it back over the threshold *)
+  let u2 = I.maintain st ~inserts:(pfacts "reg(a, b, 0.12).") ~retracts:[] in
+  check Alcotest.bool "no fallback on insert" false u2.I.u_fallback;
+  check Alcotest.int "sig(a,b) back" 2 (V.Database.count (I.db st) "sig");
+  let db3 = rechased st program (opts ()) in
+  check Alcotest.bool "insert equal to re-chase" true
+    (I.equal_facts (I.db st) db3)
+
+let test_fallback_running_total () =
+  (* a monotonic aggregate whose result reaches the head emits running
+     totals — order-sensitive, outside counting maintenance, so the
+     gate must still route updates through a full re-chase *)
+  let src =
+    {| own(a, b, 0.3). own(a, c, 0.4).
+       t(X, V) :- own(X, Y, W), V = sum(W, <Y>). |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:(pfacts "own(a, d, 0.1).") ~retracts:[] in
   check Alcotest.bool "fallback" true u.I.u_fallback;
   let db2 = rechased st program (opts ()) in
   check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_fallback_negative_weight () =
+  (* a counting-shaped sum that recorded a negative contribution: the
+     final-total evidence is unsound (the accumulator is not monotone),
+     so the dynamic gate must fall back when the rule is hit *)
+  let src =
+    {| company(a). company(b).
+       own(a, b, 0.9). own(b, b, -0.2).
+       controls(X, X) :- company(X).
+       controls(X, Y) :- controls(X, Z), own(Z, Y, W),
+                         V = sum(W, <Z>), V > 0.5. |}
+  in
+  let program = V.Parser.parse_program src in
+  let st, _ = I.chase program in
+  let u = I.maintain st ~inserts:[] ~retracts:(pfacts "own(a, b, 0.9).") in
+  check Alcotest.bool "fallback" true u.I.u_fallback;
+  let db2 = rechased st program (opts ()) in
+  check Alcotest.bool "equal to re-chase" true (I.equal_facts (I.db st) db2)
+
+let test_two_phase_skip () =
+  (* a phase whose body predicates the update cannot reach must not be
+     re-entered: only phase 1's delta pass may start an engine run *)
+  let p1 = V.Parser.parse_program "e(x). a(X) :- e(X)." in
+  let p2 = V.Parser.parse_program "u(y). w(X) :- u(X)." in
+  let db = V.Database.create () in
+  let st, _ = I.chase_phases ~db [ p1; p2 ] in
+  check Alcotest.int "phase-2 derived" 1 (V.Database.count (I.db st) "w");
+  let journal = Kgm_telemetry.Journal.create () in
+  let runs = ref [] in
+  Kgm_telemetry.Journal.tap journal (fun ev ->
+      if ev.Kgm_telemetry.Journal.ev_type = "run.start" then
+        runs :=
+          Option.value ~default:"?"
+            (Kgm_telemetry.Journal.str_field ev "mode")
+          :: !runs);
+  let u = I.maintain ~journal st ~inserts:(pfacts "e(z).") ~retracts:[] in
+  check Alcotest.bool "no fallback" false u.I.u_fallback;
+  check Alcotest.int "a(z) derived" 2 (V.Database.count (I.db st) "a");
+  check Alcotest.int "phase 2 untouched" 1 (V.Database.count (I.db st) "w");
+  check
+    (Alcotest.list Alcotest.string)
+    "only phase 1's delta pass ran" [ "delta" ] !runs;
+  (* symmetric: a phase-2-only update must skip phase 1 *)
+  let runs2 = ref [] in
+  let journal2 = Kgm_telemetry.Journal.create () in
+  Kgm_telemetry.Journal.tap journal2 (fun ev ->
+      if ev.Kgm_telemetry.Journal.ev_type = "run.start" then
+        runs2 := "run" :: !runs2);
+  let u2 = I.maintain ~journal:journal2 st ~inserts:(pfacts "u(z).") ~retracts:[] in
+  check Alcotest.bool "no fallback (phase 2)" false u2.I.u_fallback;
+  check Alcotest.int "w(z) derived" 2 (V.Database.count (I.db st) "w");
+  check Alcotest.int "one engine run" 1 (List.length !runs2)
+
+let test_lib_is_gettimeofday_free () =
+  (* satellite guard: maintenance timing (and the rest of lib/) must use
+     the monotonic Kgm_telemetry clock, never the wall clock *)
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None -> () (* not running from a build tree; nothing to scan *)
+  | Some root ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh
+          && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      let offenders = ref [] in
+      let rec walk dir =
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat dir entry in
+            if Sys.is_directory path then walk path
+            else if Filename.check_suffix entry ".ml" then begin
+              let ic = open_in_bin path in
+              let len = in_channel_length ic in
+              let body = really_input_string ic len in
+              close_in ic;
+              if contains body "Unix.gettimeofday" then
+                offenders := path :: !offenders
+            end)
+          (Sys.readdir dir)
+      in
+      let lib = Filename.concat root "lib" in
+      if Sys.file_exists lib then walk lib;
+      check
+        (Alcotest.list Alcotest.string)
+        "lib/ uses the monotonic clock only" [] !offenders
 
 let test_mixed_batch_matrix () =
   (* the determinism matrix: jobs × planner, maintained vs re-chased,
@@ -282,9 +548,26 @@ let suite =
     Alcotest.test_case "retract derivable EDB fact" `Quick
       test_retract_derivable_edb_fact;
     Alcotest.test_case "no-op updates" `Quick test_noop_updates;
-    Alcotest.test_case "negation falls back" `Quick test_fallback_negation;
-    Alcotest.test_case "aggregation falls back" `Quick
-      test_fallback_aggregation;
+    Alcotest.test_case "negation: wholesale stratum, no fallback" `Quick
+      test_negation_stratum;
+    Alcotest.test_case "stratified aggregation: wholesale stratum" `Quick
+      test_stratified_agg_stratum;
+    Alcotest.test_case "control: who loses control (counting)" `Quick
+      test_control_loses_control;
+    Alcotest.test_case "control: threshold crossed upward" `Quick
+      test_control_gains_control;
+    Alcotest.test_case "control: jobs × planner × resume matrix" `Quick
+      test_control_matrix;
+    Alcotest.test_case "integrated ownership under update" `Quick
+      test_integrated_ownership_update;
+    Alcotest.test_case "running-total msum still falls back" `Quick
+      test_fallback_running_total;
+    Alcotest.test_case "negative-weight sum still falls back" `Quick
+      test_fallback_negative_weight;
+    Alcotest.test_case "irrelevant phase is skipped" `Quick
+      test_two_phase_skip;
+    Alcotest.test_case "lib/ is wall-clock free" `Quick
+      test_lib_is_gettimeofday_free;
     Alcotest.test_case "jobs × planner matrix" `Quick test_mixed_batch_matrix;
     Alcotest.test_case "repeated maintenance converges" `Quick
       test_repeated_maintenance;
